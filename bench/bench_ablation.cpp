@@ -1,0 +1,280 @@
+// Ablations over the design choices DESIGN.md calls out:
+//  - AdaBoost round count,
+//  - MLP hidden-layer width (the paper's over-fitting observation),
+//  - paper Table II features vs the fully data-driven reduction,
+//  - Stage-1 benign-confidence routing threshold,
+//  - single-run multiplexed collection vs the paper's multi-run protocol.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/random_forest.hpp"
+#include "uarch/core.hpp"
+#include "workload/appmodels.hpp"
+#include "workload/corpus.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace smart2;
+
+double boosted_mean_perf(int rounds) {
+  double sum = 0.0;
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    const int positive = label_of(kMalwareClasses[m]);
+    const Dataset btr =
+        bench::train()
+            .binary_view(positive, label_of(AppClass::kBenign))
+            .select_features(bench::plan().common);
+    const Dataset bte =
+        bench::test()
+            .binary_view(positive, label_of(AppClass::kBenign))
+            .select_features(bench::plan().common);
+    auto model = make_boosted("J48", rounds);
+    model->fit(btr);
+    sum += evaluate_binary(*model, bte).performance;
+  }
+  return sum / static_cast<double>(kNumMalwareClasses);
+}
+
+void ablate_boost_rounds() {
+  std::printf("Ablation 1: AdaBoost rounds (J48 base, 4 Common HPCs)\n");
+  TableWriter t({"rounds", "mean F x AUC"});
+  for (int rounds : {1, 2, 5, 10, 20, 40})
+    t.add_row({std::to_string(rounds), bench::pct(boosted_mean_perf(rounds))});
+  std::printf("%s\n", t.render().c_str());
+}
+
+void ablate_mlp_width() {
+  std::printf("Ablation 2: MLP hidden width (Virus detector, 16 HPCs)\n");
+  const int positive = label_of(AppClass::kVirus);
+  const Dataset btr = bench::train()
+                          .binary_view(positive, label_of(AppClass::kBenign))
+                          .select_features(bench::plan().top16);
+  const Dataset bte = bench::test()
+                          .binary_view(positive, label_of(AppClass::kBenign))
+                          .select_features(bench::plan().top16);
+  TableWriter t({"hidden units", "F", "AUC"});
+  for (std::size_t hidden : {2UL, 4UL, 8UL, 16UL, 48UL}) {
+    Mlp::Params p;
+    p.hidden = hidden;
+    p.epochs = 100;
+    Mlp mlp(p);
+    mlp.fit(btr);
+    const auto ev = evaluate_binary(mlp, bte);
+    t.add_row({std::to_string(hidden), bench::pct(ev.f_measure),
+               TableWriter::num(ev.auc, 3)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void ablate_plan_source() {
+  std::printf(
+      "Ablation 3: paper Table II features vs data-driven reduction\n");
+  TableWriter t({"plan", "mean 2SMaRT F (4HPC, boosted)", "5-way accuracy"});
+  for (bool use_paper : {true, false}) {
+    TwoStageConfig cfg;
+    cfg.boost = true;
+    cfg.use_paper_features = use_paper;
+    TwoStageHmd hmd(cfg);
+    hmd.train(bench::train());
+    const TwoStageEval ev = evaluate_two_stage(hmd, bench::test());
+    double mean = 0.0;
+    for (const auto& c : ev.per_class) mean += c.f_measure;
+    mean /= static_cast<double>(kNumMalwareClasses);
+    t.add_row({use_paper ? "paper Table II" : "data-driven",
+               bench::pct(mean), bench::pct(ev.multiclass_accuracy)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void ablate_benign_confidence() {
+  std::printf("Ablation 4: Stage-1 benign-confidence routing threshold\n");
+  TableWriter t({"threshold", "mean F", "mean precision", "mean recall"});
+  for (double thr : {0.5, 0.65, 0.8, 0.95}) {
+    TwoStageConfig cfg;
+    cfg.boost = true;
+    cfg.benign_confidence = thr;
+    TwoStageHmd hmd(cfg);
+    hmd.train(bench::train());
+    const TwoStageEval ev = evaluate_two_stage(hmd, bench::test());
+    double f = 0.0;
+    double p = 0.0;
+    double r = 0.0;
+    for (const auto& c : ev.per_class) {
+      f += c.f_measure / kNumMalwareClasses;
+      p += c.precision / kNumMalwareClasses;
+      r += c.recall / kNumMalwareClasses;
+    }
+    t.add_row({TableWriter::num(thr, 2), bench::pct(f), bench::pct(p),
+               bench::pct(r)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void ablate_multiplexing() {
+  std::printf(
+      "Ablation 5: multi-run collection vs single-run multiplexing\n"
+      "(mean absolute relative error of multiplexed 44-event vectors against\n"
+      "the multi-run protocol, over 12 applications)\n");
+  const HpcCollector collector(bench::collector_config());
+  CorpusConfig cc = bench::corpus_config();
+  cc.scale = 0.0;  // minimal corpus, 8 per class
+  const auto corpus = build_corpus(cc);
+
+  double total_err = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t a = 0; a < 12 && a < corpus.size(); ++a) {
+    const auto multi = collector.collect_all_events(corpus[a]);
+    const auto mux = collector.collect_multiplexed(corpus[a]);
+    for (std::size_t e = 0; e < kNumEvents; ++e) {
+      if (multi[e] < 1.0) continue;  // skip near-zero counters
+      total_err += std::abs(mux[e] - multi[e]) / multi[e];
+      ++counted;
+    }
+  }
+  std::printf("  mean |error| = %s%%  (motivates the paper's position that\n"
+              "  run-time detection should use only as many events as there\n"
+              "  are physical HPC registers)\n\n",
+              bench::pct(total_err / static_cast<double>(counted)).c_str());
+}
+
+void ablate_ensemble_family() {
+  std::printf(
+      "Ablation 6: AdaBoost (the paper's choice) vs Bagging (J48 base,\n"
+      "4 Common HPCs, 10 members each)\n");
+  TableWriter t({"class", "single J48", "AdaBoost", "Bagging", "RandomForest",
+                 "NaiveBayes"});
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    const int positive = label_of(kMalwareClasses[m]);
+    const Dataset btr = bench::train()
+                            .binary_view(positive, label_of(AppClass::kBenign))
+                            .select_features(bench::plan().common);
+    const Dataset bte = bench::test()
+                            .binary_view(positive, label_of(AppClass::kBenign))
+                            .select_features(bench::plan().common);
+    auto eval_of = [&](Classifier& c) {
+      c.fit(btr);
+      return evaluate_binary(c, bte).performance;
+    };
+    DecisionTree single;
+    AdaBoost boosted(std::make_unique<DecisionTree>());
+    Bagging bagged(std::make_unique<DecisionTree>());
+    auto forest = make_random_forest();
+    NaiveBayes bayes;
+    t.add_row({std::string(to_string(kMalwareClasses[m])),
+               bench::pct(eval_of(single)), bench::pct(eval_of(boosted)),
+               bench::pct(eval_of(bagged)), bench::pct(eval_of(*forest)),
+               bench::pct(eval_of(bayes))});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void ablate_corpus_scale() {
+  std::printf(
+      "Ablation 9: corpus-size sensitivity (mean boosted-J48 F x AUC over\n"
+      "the four classes; each scale profiles its own corpus)\n");
+  TableWriter t({"scale", "apps", "mean F x AUC"});
+  for (double scale : {0.05, 0.1, 0.25}) {
+    CorpusConfig corpus = bench::corpus_config();
+    corpus.scale = scale;
+    const Dataset d =
+        cached_hpc_dataset(corpus, bench::collector_config(), ".smart2_cache");
+    Rng rng(corpus.seed ^ 0x517ULL);
+    auto [train, test] = d.stratified_split(0.6, rng);
+    const FeaturePlan plan = paper_feature_plan(train);
+    double sum = 0.0;
+    for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+      const int positive = label_of(kMalwareClasses[m]);
+      const Dataset btr = train.binary_view(positive, 0)
+                              .select_features(plan.common);
+      const Dataset bte = test.binary_view(positive, 0)
+                              .select_features(plan.common);
+      auto model = make_boosted("J48");
+      model->fit(btr);
+      sum += evaluate_binary(*model, bte).performance;
+    }
+    t.add_row({TableWriter::num(scale, 2), std::to_string(d.size()),
+               bench::pct(sum / kNumMalwareClasses)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void ablate_cross_validation() {
+  std::printf(
+      "Ablation 7: 60/40 split vs 5-fold cross-validation (J48, Trojan,\n"
+      "4 Common HPCs) — fold variance of the F-measure\n");
+  const int positive = label_of(AppClass::kTrojan);
+  Dataset all = bench::dataset()
+                    .binary_view(positive, label_of(AppClass::kBenign))
+                    .select_features(bench::plan().common);
+  Rng rng(99);
+  DecisionTree proto;
+  const auto cv = cross_validate_binary(proto, all, 5, rng);
+  const auto split_eval =
+      bench::eval_specialized("J48", 3, bench::plan().common, false);
+  std::printf("  60/40 split F = %s%%\n", bench::pct(split_eval.f_measure).c_str());
+  std::printf("  5-fold CV   F = %s%% +- %s (stddev across folds)\n\n",
+              bench::pct(cv.mean.f_measure).c_str(),
+              bench::pct(cv.f_stddev).c_str());
+}
+
+void ablate_prefetcher() {
+  std::printf(
+      "Ablation 8: next-line hardware prefetcher impact on the Common\n"
+      "events (streaming benign utility, fixed 200k-cycle window)\n");
+  Rng rng(0x77);
+  const auto profile = sample_benign(BenignArchetype::kStreamingUtility, rng);
+  TableWriter t({"event", "prefetcher off", "prefetcher on"});
+  EventCounts off{};
+  EventCounts on{};
+  for (bool enabled : {false, true}) {
+    CoreConfig cfg;
+    cfg.next_line_prefetcher = enabled;
+    CoreModel core(cfg);
+    WorkloadGenerator gen(profile, 0x78);
+    run_cycles(gen, core, 200'000);
+    (enabled ? on : off) = core.counters();
+  }
+  for (Event e : {Event::kInstructions, Event::kL1DcacheLoadMisses,
+                  Event::kL1DcachePrefetches, Event::kCacheMisses,
+                  Event::kNodeLoads}) {
+    t.add_row({std::string(event_short_name(e)),
+               std::to_string(off[event_index(e)]),
+               std::to_string(on[event_index(e)])});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void BM_BoostRounds(benchmark::State& state) {
+  for (auto _ : state) {
+    const double perf = boosted_mean_perf(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(perf);
+  }
+}
+BENCHMARK(BM_BoostRounds)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  smart2::bench::print_banner("Ablations");
+  ablate_boost_rounds();
+  ablate_mlp_width();
+  ablate_plan_source();
+  ablate_benign_confidence();
+  ablate_multiplexing();
+  ablate_ensemble_family();
+  ablate_cross_validation();
+  ablate_prefetcher();
+  ablate_corpus_scale();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

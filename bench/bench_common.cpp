@@ -1,0 +1,91 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smart2::bench {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+}  // namespace
+
+CorpusConfig corpus_config() {
+  CorpusConfig cfg;
+  cfg.scale = env_double("SMART2_SCALE", 0.25);
+  cfg.seed = static_cast<std::uint64_t>(env_double("SMART2_SEED", 42));
+  return cfg;
+}
+
+CollectorConfig collector_config() { return CollectorConfig{}; }
+
+const Dataset& dataset() {
+  static const Dataset d = [] {
+    std::fprintf(stderr,
+                 "[bench] profiling corpus (scale=%.2f, cached in "
+                 "./.smart2_cache)...\n",
+                 corpus_config().scale);
+    return cached_hpc_dataset(corpus_config(), collector_config(),
+                              ".smart2_cache");
+  }();
+  return d;
+}
+
+const std::pair<Dataset, Dataset>& split() {
+  static const std::pair<Dataset, Dataset> s = [] {
+    Rng rng(corpus_config().seed ^ 0x517ULL);
+    return dataset().stratified_split(0.6, rng);
+  }();
+  return s;
+}
+
+const FeaturePlan& plan() {
+  static const FeaturePlan p = paper_feature_plan(train());
+  return p;
+}
+
+std::vector<std::size_t> features_for(const FeatureMode& mode,
+                                      std::size_t malware_slot) {
+  if (mode.per_class) return plan().custom[malware_slot];
+  if (mode.count >= kIntermediateFeatureCount) return plan().top16;
+  return plan().common;
+}
+
+BinaryEval eval_specialized(const std::string& model_name,
+                            std::size_t malware_slot,
+                            const std::vector<std::size_t>& features,
+                            bool boosted) {
+  const int positive = label_of(kMalwareClasses[malware_slot]);
+  const Dataset btr = train()
+                          .binary_view(positive, label_of(AppClass::kBenign))
+                          .select_features(features);
+  const Dataset bte = test()
+                          .binary_view(positive, label_of(AppClass::kBenign))
+                          .select_features(features);
+  auto model = boosted ? make_boosted(model_name) : make_classifier(model_name);
+  model->fit(btr);
+  return evaluate_binary(*model, bte);
+}
+
+std::string pct(double fraction, int precision) {
+  return TableWriter::num(100.0 * fraction, precision);
+}
+
+void print_banner(const std::string& experiment) {
+  const auto& d = dataset();
+  const auto hist = d.class_histogram();
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf(
+      "corpus: %zu apps (Benign %zu, Backdoor %zu, Rootkit %zu, Virus %zu, "
+      "Trojan %zu), 44 events via 11 runs x 4 HPCs, 60/40 split\n\n",
+      d.size(), hist[0], hist[1], hist[2], hist[3], hist[4]);
+}
+
+}  // namespace smart2::bench

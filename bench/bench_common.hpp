@@ -1,0 +1,67 @@
+// Shared infrastructure for the reproduction benches.
+//
+// Every bench binary regenerates one of the paper's tables or figures. They
+// all profile the same corpus through the same collector; the dataset is
+// cached on disk (./.smart2_cache) so the suite profiles it only once.
+//
+// Environment knobs:
+//   SMART2_SCALE   corpus scale factor (default 0.25; 1.0 = the paper's
+//                  full >3600-application corpus)
+//   SMART2_SEED    corpus/split seed (default 42)
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/table.hpp"
+#include "core/feature_plan.hpp"
+#include "core/model_zoo.hpp"
+#include "core/single_stage.hpp"
+#include "core/two_stage.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "ml/metrics.hpp"
+
+namespace smart2::bench {
+
+/// Corpus configuration honoring SMART2_SCALE / SMART2_SEED.
+CorpusConfig corpus_config();
+
+/// The paper's collector: 4 HPC registers, 10 ms-equivalent windows.
+CollectorConfig collector_config();
+
+/// The shared profiled dataset (built once per process, disk-cached).
+const Dataset& dataset();
+
+/// Deterministic 60/40 stratified split of dataset() (paper protocol).
+const std::pair<Dataset, Dataset>& split();
+inline const Dataset& train() { return split().first; }
+inline const Dataset& test() { return split().second; }
+
+/// The paper's Table II feature plan over the training set.
+const FeaturePlan& plan();
+
+/// Feature-set modes used across Tables I/III/IV and Fig. 4.
+struct FeatureMode {
+  const char* label;        // "16HPC", "8HPC", "4HPC"
+  bool per_class = false;   // true: use plan().custom[class]
+  std::size_t count = 4;    // width when !per_class (16 or 4)
+};
+
+/// Train `model_name` (optionally AdaBoost-boosted) on the {Benign, class}
+/// binary problem restricted to `features` and evaluate on the test side.
+BinaryEval eval_specialized(const std::string& model_name,
+                            std::size_t malware_slot,
+                            const std::vector<std::size_t>& features,
+                            bool boosted);
+
+/// Feature indices for (mode, class slot).
+std::vector<std::size_t> features_for(const FeatureMode& mode,
+                                      std::size_t malware_slot);
+
+/// Percent formatting helper (paper reports percentages).
+std::string pct(double fraction, int precision = 1);
+
+/// Print a header naming the experiment and the corpus in use.
+void print_banner(const std::string& experiment);
+
+}  // namespace smart2::bench

@@ -1,0 +1,90 @@
+// Table II: the prominent top-8 HPC features per malware class.
+//
+// Prints both the paper's published sets (the repository default) and what
+// the reimplemented reduction pipeline (Correlation Attribute Eval 44->16,
+// PCA ranking 16->8) selects on the simulated corpus.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ml/feature_selection.hpp"
+#include "uarch/events.hpp"
+
+namespace {
+
+using namespace smart2;
+
+std::string short_names(const Dataset& d, const std::vector<std::size_t>& f) {
+  std::string out;
+  for (std::size_t i : f) {
+    if (!out.empty()) out += ", ";
+    out += std::string(event_short_name(event_at(i)));
+  }
+  (void)d;
+  return out;
+}
+
+void print_table2() {
+  bench::print_banner("Table II: top-8 HPC features per malware class");
+
+  const FeaturePlan paper = bench::plan();
+  const FeaturePlan data_driven = build_feature_plan(bench::train());
+
+  std::printf("Paper's published plan (repository default):\n");
+  TableWriter tp({"set", "events"});
+  tp.add_row({"Common (4)", short_names(bench::train(), paper.common)});
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m)
+    tp.add_row({std::string(to_string(kMalwareClasses[m])) + " (8)",
+                short_names(bench::train(), paper.custom[m])});
+  std::printf("%s\n", tp.render().c_str());
+
+  std::printf(
+      "Data-driven reduction on the simulated corpus (CorrelationAttributeEval"
+      "\n44->16, PCA ranking with redundancy filter 16->8/4):\n");
+  TableWriter td({"set", "events"});
+  td.add_row({"Common (4)", short_names(bench::train(), data_driven.common)});
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m)
+    td.add_row({std::string(to_string(kMalwareClasses[m])) + " (8)",
+                short_names(bench::train(), data_driven.custom[m])});
+  std::printf("%s\n", td.render().c_str());
+
+  std::printf(
+      "Top-16 (correlation stage): %s\n\n",
+      short_names(bench::train(), data_driven.top16).c_str());
+}
+
+void BM_FeatureReduction(benchmark::State& state) {
+  for (auto _ : state) {
+    const FeaturePlan plan = build_feature_plan(bench::train());
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_FeatureReduction)->Unit(benchmark::kMillisecond);
+
+void BM_CorrelationEval(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto ranked = correlation_attribute_eval(bench::train());
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_CorrelationEval)->Unit(benchmark::kMillisecond);
+
+void BM_Pca(benchmark::State& state) {
+  const auto top16 = select_top_correlated(bench::train(), 16);
+  const Dataset narrowed = bench::train().select_features(top16);
+  for (auto _ : state) {
+    const auto result = pca(narrowed);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Pca)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

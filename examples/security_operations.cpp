@@ -1,0 +1,113 @@
+// Security-operations scenario: on-line screening of unknown applications.
+//
+// A trained 2SMaRT pipeline is deployed behind a RuntimeMonitor that owns
+// the 4 physical HPC registers. A stream of previously unseen applications
+// (some benign, some malicious) is scanned one by one; each scan programs
+// the Common events, samples one execution window, and lets the two-stage
+// detector decide. Custom-8 mode shows the second-measurement path.
+//
+//   ./examples/security_operations [num-apps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/runtime_monitor.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "workload/appmodels.hpp"
+
+using namespace smart2;
+
+namespace {
+
+AppSpec random_app(Rng& rng, AppClass cls) {
+  AppSpec app;
+  app.profile = sample_profile(cls, rng);
+  app.app_seed = rng.next_u64();
+  return app;
+}
+
+void run_shift(const RuntimeMonitor& monitor, std::size_t num_apps,
+               const char* label) {
+  std::printf("--- %s ---\n", label);
+  Rng rng(0xdeadbeef);
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+  std::size_t total_runs = 0;
+
+  for (std::size_t i = 0; i < num_apps; ++i) {
+    // Alternate benign and malware arrivals; malware class rotates.
+    const bool is_malware = i % 2 == 1;
+    const AppClass cls =
+        is_malware ? kMalwareClasses[(i / 2) % kNumMalwareClasses]
+                   : AppClass::kBenign;
+    const AppSpec app = random_app(rng, cls);
+    const MonitorResult result = monitor.scan(app);
+    total_runs += result.runs_used;
+
+    const char* verdict = result.detection.is_malware ? "MALWARE" : "benign ";
+    if (is_malware && result.detection.is_malware) ++tp;
+    if (is_malware && !result.detection.is_malware) ++fn;
+    if (!is_malware && result.detection.is_malware) ++fp;
+    if (!is_malware && !result.detection.is_malware) ++tn;
+
+    if (i < 8) {
+      std::printf("  app %2zu  actual=%-8s -> %s", i, to_string(cls).data(),
+                  verdict);
+      if (result.detection.is_malware)
+        std::printf(" as %-8s (score %.2f)",
+                    to_string(result.detection.predicted_class).data(),
+                    result.detection.stage2_score);
+      std::printf("  [%zu run%s]\n", result.runs_used,
+                  result.runs_used == 1 ? "" : "s");
+    }
+  }
+  std::printf(
+      "  ...\n  shift summary: %zu apps | TP %zu  FN %zu  FP %zu  TN %zu | "
+      "mean measurement runs/app %.2f\n\n",
+      num_apps, tp, fn, fp, tn,
+      static_cast<double>(total_runs) / static_cast<double>(num_apps));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_apps =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 40;
+
+  std::printf("Training the 2SMaRT pipeline...\n");
+  CorpusConfig corpus;
+  corpus.scale = 0.1;
+  const Dataset dataset =
+      cached_hpc_dataset(corpus, CollectorConfig{}, /*cache_dir=*/"");
+  Rng rng(7);
+  const auto [train, test] = dataset.stratified_split(0.6, rng);
+
+  // Deployment A: single-run boosted detectors on the Common HPCs.
+  TwoStageConfig common_cfg;
+  common_cfg.stage2_features = Stage2Features::kCommon4;
+  common_cfg.boost = true;
+  TwoStageHmd common_hmd(common_cfg);
+  common_hmd.train(train);
+  const RuntimeMonitor common_monitor(common_hmd,
+                                      HpcCollector(CollectorConfig{}));
+  run_shift(common_monitor, num_apps,
+            "Deployment A: 4 Common HPCs + AdaBoost (single measurement run)");
+
+  // Deployment B: per-class Custom-8 detectors (re-measures on suspicion).
+  TwoStageConfig custom_cfg;
+  custom_cfg.stage2_features = Stage2Features::kCustom8;
+  TwoStageHmd custom_hmd(custom_cfg);
+  custom_hmd.train(train);
+  const RuntimeMonitor custom_monitor(custom_hmd,
+                                      HpcCollector(CollectorConfig{}));
+  run_shift(custom_monitor, num_apps,
+            "Deployment B: Custom 8 HPCs (second measurement when flagged)");
+
+  std::printf(
+      "Deployment A is the paper's run-time recommendation: one measurement\n"
+      "window per application, boosted detectors compensating for the small\n"
+      "feature set. Deployment B trades a second measurement run for the\n"
+      "class-tuned feature sets.\n");
+  return 0;
+}

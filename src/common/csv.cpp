@@ -1,0 +1,82 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace smart2::csv {
+
+Row parse_line(std::string_view line) {
+  Row out;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF endings.
+    } else {
+      field.push_back(c);
+    }
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+std::string escape_field(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string_view::npos ||
+      (!field.empty() && (field.front() == ' ' || field.back() == ' '));
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_line(const Row& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out.push_back(',');
+    out += escape_field(fields[i]);
+  }
+  return out;
+}
+
+std::vector<Row> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv::read_file: cannot open " + path);
+  std::vector<Row> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(parse_line(line));
+  }
+  return rows;
+}
+
+void write_file(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv::write_file: cannot open " + path);
+  for (const Row& row : rows) out << format_line(row) << '\n';
+  if (!out) throw std::runtime_error("csv::write_file: write failed " + path);
+}
+
+}  // namespace smart2::csv

@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for dataset import/export.
+//
+// Supports quoted fields with embedded commas and doubled quotes. No
+// multi-line fields (HPC feature tables never contain them).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smart2::csv {
+
+using Row = std::vector<std::string>;
+
+/// Split one CSV line into fields.
+Row parse_line(std::string_view line);
+
+/// Quote a field if it contains a comma, quote, or whitespace edge.
+std::string escape_field(std::string_view field);
+
+/// Join fields into one CSV line (no trailing newline).
+std::string format_line(const Row& fields);
+
+/// Read an entire CSV file. Throws std::runtime_error on I/O failure.
+std::vector<Row> read_file(const std::string& path);
+
+/// Write rows to a CSV file. Throws std::runtime_error on I/O failure.
+void write_file(const std::string& path, const std::vector<Row>& rows);
+
+}  // namespace smart2::csv

@@ -1,0 +1,24 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Sufficient for the PCA used in feature reduction (matrices up to 44x44).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace smart2 {
+
+struct EigenResult {
+  /// Eigenvalues sorted descending.
+  std::vector<double> values;
+  /// Column i of `vectors` is the unit eigenvector for values[i].
+  Matrix vectors;
+};
+
+/// Decompose a symmetric matrix. Throws std::invalid_argument if `m` is not
+/// square. Asymmetry is tolerated by symmetrizing (m + m^T)/2 first.
+EigenResult eigen_symmetric(const Matrix& m, int max_sweeps = 64,
+                            double tol = 1e-12);
+
+}  // namespace smart2

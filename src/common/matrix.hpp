@@ -1,0 +1,74 @@
+// Small dense row-major matrix of doubles.
+//
+// Sized for the workloads in this repository (feature matrices of a few
+// thousand rows by a few dozen columns, covariance matrices up to 44x44).
+// Not a general linear-algebra library; only the operations the ML code
+// needs are provided.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace smart2 {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access (throws std::out_of_range).
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  const double* row_data(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+  double* row_data(std::size_t r) noexcept { return data_.data() + r * cols_; }
+
+  std::vector<double> row(std::size_t r) const;
+  std::vector<double> col(std::size_t c) const;
+
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& rhs) const;
+  std::vector<double> multiply(const std::vector<double>& v) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s) noexcept;
+
+  static Matrix identity(std::size_t n);
+
+  /// Covariance matrix of the columns of `samples` (rows are observations).
+  /// Uses the unbiased (n-1) normalization.
+  static Matrix covariance(const Matrix& samples);
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix lhs, double s);
+
+}  // namespace smart2

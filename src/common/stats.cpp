@@ -1,0 +1,106 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace smart2::stats {
+
+double mean(std::span<const double> v) noexcept {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) noexcept {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size() - 1);
+}
+
+double stddev(std::span<const double> v) noexcept {
+  return std::sqrt(variance(v));
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("pearson: size mismatch");
+  if (x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double weighted_mean(std::span<const double> v, std::span<const double> w) {
+  if (v.size() != w.size())
+    throw std::invalid_argument("weighted_mean: size mismatch");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    num += v[i] * w[i];
+    den += w[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double quantile(std::span<const double> v, double q) {
+  if (v.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double min(std::span<const double> v) noexcept {
+  if (v.empty()) return 0.0;
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max(std::span<const double> v) noexcept {
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+double entropy_bits(std::span<const double> counts) noexcept {
+  double total = 0.0;
+  for (double c : counts)
+    if (c > 0.0) total += c;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    const double p = c / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::vector<std::size_t> argsort(std::span<const double> v) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  return idx;
+}
+
+}  // namespace smart2::stats

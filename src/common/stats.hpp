@@ -1,0 +1,37 @@
+// Descriptive statistics helpers shared by the ML and workload code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smart2::stats {
+
+double mean(std::span<const double> v) noexcept;
+
+/// Unbiased sample variance; returns 0 for fewer than two elements.
+double variance(std::span<const double> v) noexcept;
+
+double stddev(std::span<const double> v) noexcept;
+
+/// Pearson correlation coefficient; returns 0 if either side is constant.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Weighted mean. `w` must be the same length as `v`; zero total weight
+/// yields 0.
+double weighted_mean(std::span<const double> v, std::span<const double> w);
+
+/// q-quantile (0 <= q <= 1) with linear interpolation; input is copied and
+/// sorted internally.
+double quantile(std::span<const double> v, double q);
+
+double min(std::span<const double> v) noexcept;
+double max(std::span<const double> v) noexcept;
+
+/// Shannon entropy (bits) of a discrete distribution given by counts.
+double entropy_bits(std::span<const double> counts) noexcept;
+
+/// Indices that would sort `v` ascending (stable).
+std::vector<std::size_t> argsort(std::span<const double> v);
+
+}  // namespace smart2::stats

@@ -1,0 +1,30 @@
+// ASCII table rendering for benchmark harnesses.
+//
+// The bench binaries reproduce the paper's tables; TableWriter renders them
+// with aligned columns so the output is directly comparable to the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smart2 {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Append a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with column alignment, a header underline, and outer borders.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smart2

@@ -1,0 +1,101 @@
+#include "core/feature_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/feature_selection.hpp"
+#include "uarch/events.hpp"
+
+namespace smart2 {
+
+namespace {
+
+std::size_t event_feature(std::string_view short_name) {
+  const auto e = event_from_name(short_name);
+  if (!e)
+    throw std::logic_error("paper_feature_plan: unknown event " +
+                           std::string(short_name));
+  return event_index(*e);
+}
+
+}  // namespace
+
+FeaturePlan paper_feature_plan(const Dataset& multiclass_train) {
+  if (multiclass_train.feature_count() != kNumEvents)
+    throw std::invalid_argument(
+        "paper_feature_plan: dataset is not the 44-event feature space");
+
+  FeaturePlan plan;
+  // Table II, "Common" rows.
+  plan.common = {event_feature("branch-inst"), event_feature("cache-ref"),
+                 event_feature("branch-miss"), event_feature("node-st")};
+
+  // Table II, "Custom" rows per class (kMalwareClasses order: Backdoor,
+  // Rootkit, Virus, Trojan).
+  const std::array<std::array<std::string_view, 4>, kNumMalwareClasses>
+      custom_names = {{
+          {"branch-lds", "L1-icache-ld-miss", "LLC-ld-miss", "iTLB-ld-miss"},
+          {"cache-miss", "branch-lds", "LLC-ld-miss", "L1-dcache-st"},
+          {"LLC-lds", "L1-dcache-lds", "L1-dcache-st", "iTLB-ld-miss"},
+          {"cache-miss", "L1-icache-ld-miss", "LLC-ld-miss", "iTLB-ld-miss"},
+      }};
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    plan.custom[m] = plan.common;
+    for (const auto name : custom_names[m])
+      plan.custom[m].push_back(event_feature(name));
+  }
+
+  // top16: union of every Table II event, topped up by correlation rank.
+  plan.top16 = plan.common;
+  for (const auto& custom : plan.custom)
+    for (std::size_t f : custom)
+      if (std::find(plan.top16.begin(), plan.top16.end(), f) ==
+          plan.top16.end())
+        plan.top16.push_back(f);
+  for (const RankedFeature& r : correlation_attribute_eval(multiclass_train)) {
+    if (plan.top16.size() >= kIntermediateFeatureCount) break;
+    if (std::find(plan.top16.begin(), plan.top16.end(), r.index) ==
+        plan.top16.end())
+      plan.top16.push_back(r.index);
+  }
+  return plan;
+}
+
+FeaturePlan build_feature_plan(const Dataset& multiclass_train) {
+  FeaturePlan plan;
+  plan.top16 =
+      select_top_correlated(multiclass_train, kIntermediateFeatureCount);
+
+  // Common features: the multiclass (5-way) reduction — these must serve
+  // every class at run time, so they are selected against all classes.
+  plan.common = reduce_features(multiclass_train, kIntermediateFeatureCount,
+                                kCommonFeatureCount);
+
+  // Custom features: per-class binary reduction, seeded with the Common set
+  // (Table II lists the Common 4 at the top of every class column).
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    const int positive = label_of(kMalwareClasses[m]);
+    const Dataset binary =
+        multiclass_train.binary_view(positive, label_of(AppClass::kBenign));
+    const auto ranked = reduce_features(binary, kIntermediateFeatureCount,
+                                        kCustomFeatureCount);
+    std::vector<std::size_t> custom = plan.common;
+    for (std::size_t f : ranked) {
+      if (custom.size() >= kCustomFeatureCount) break;
+      if (std::find(custom.begin(), custom.end(), f) == custom.end())
+        custom.push_back(f);
+    }
+    plan.custom[m] = std::move(custom);
+  }
+  return plan;
+}
+
+std::vector<std::string> feature_names_of(
+    const Dataset& d, const std::vector<std::size_t>& f) {
+  std::vector<std::string> out;
+  out.reserve(f.size());
+  for (std::size_t i : f) out.push_back(d.feature_names().at(i));
+  return out;
+}
+
+}  // namespace smart2

@@ -1,0 +1,41 @@
+#include "core/model_zoo.hpp"
+
+#include <stdexcept>
+
+#include "ml/adaboost.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+
+namespace smart2 {
+
+const std::vector<std::string>& classifier_names() {
+  static const std::vector<std::string> names = {"J48", "JRip", "MLP", "OneR"};
+  return names;
+}
+
+std::unique_ptr<Classifier> make_classifier(std::string_view name) {
+  if (name == "J48") return std::make_unique<DecisionTree>();
+  if (name == "JRip") return std::make_unique<Ripper>();
+  if (name == "MLP") {
+    Mlp::Params params;
+    params.epochs = 100;
+    return std::make_unique<Mlp>(params);
+  }
+  if (name == "OneR") return std::make_unique<OneR>();
+  if (name == "MLR") return std::make_unique<LogisticRegression>();
+  throw std::invalid_argument("make_classifier: unknown classifier " +
+                              std::string(name));
+}
+
+std::unique_ptr<Classifier> make_boosted(std::string_view base_name,
+                                         int rounds, std::uint64_t seed) {
+  AdaBoost::Params params;
+  params.rounds = rounds;
+  params.seed = seed;
+  return std::make_unique<AdaBoost>(make_classifier(base_name), params);
+}
+
+}  // namespace smart2

@@ -1,0 +1,26 @@
+// Registry of the classifier types the paper evaluates (WEKA names).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+/// The four Stage-2 candidate classifiers, in the paper's order.
+const std::vector<std::string>& classifier_names();
+
+/// Instantiate an untrained classifier by WEKA name ("J48", "JRip", "MLP",
+/// "OneR", plus "MLR" for the Stage-1 model). Throws std::invalid_argument
+/// for unknown names.
+std::unique_ptr<Classifier> make_classifier(std::string_view name);
+
+/// Wrap a base classifier in AdaBoost.M1 with the given number of rounds.
+std::unique_ptr<Classifier> make_boosted(std::string_view base_name,
+                                         int rounds = 10,
+                                         std::uint64_t seed = 0xb0057);
+
+}  // namespace smart2

@@ -1,0 +1,96 @@
+#include "core/online_detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+
+namespace smart2 {
+
+OnlineDetector::OnlineDetector(const TwoStageHmd& hmd,
+                               OnlineDetectorConfig config)
+    : hmd_(hmd), config_(config) {
+  if (!hmd.trained())
+    throw std::invalid_argument("OnlineDetector: pipeline is not trained");
+  if (hmd.config().stage2_features != Stage2Features::kCommon4)
+    throw std::invalid_argument(
+        "OnlineDetector: per-window scoring needs Common4 stage-2 detectors");
+  if (config_.smoothing <= 0.0 || config_.smoothing > 1.0)
+    throw std::invalid_argument("OnlineDetector: smoothing must be in (0,1]");
+  if (config_.clear_threshold > config_.raise_threshold)
+    throw std::invalid_argument(
+        "OnlineDetector: clear threshold above raise threshold");
+  if (config_.confirm_windows == 0)
+    throw std::invalid_argument("OnlineDetector: need >= 1 confirm window");
+}
+
+OnlineDetector::WindowVerdict OnlineDetector::observe(
+    std::span<const double> common4) {
+  WindowVerdict verdict;
+
+  // Per-window score: the stage-2 malware probability of the class stage 1
+  // suspects; a confident benign window scores its residual malware mass.
+  const auto proba = hmd_.stage1_proba(common4);
+  int best_malware = label_of(kMalwareClasses[0]);
+  for (AppClass m : kMalwareClasses)
+    if (proba[static_cast<std::size_t>(label_of(m))] >
+        proba[static_cast<std::size_t>(best_malware)])
+      best_malware = label_of(m);
+  const auto suspected = static_cast<AppClass>(best_malware);
+
+  const double benign_p =
+      proba[static_cast<std::size_t>(label_of(AppClass::kBenign))];
+  if (benign_p >= 0.95) {
+    verdict.window_score = 1.0 - benign_p;
+  } else {
+    verdict.window_score = hmd_.stage2_score(suspected, common4);
+  }
+  verdict.suspected_class = suspected;
+
+  // EWMA + hysteresis.
+  ++windows_;
+  score_ = windows_ == 1
+               ? verdict.window_score
+               : config_.smoothing * verdict.window_score +
+                     (1.0 - config_.smoothing) * score_;
+  verdict.smoothed_score = score_;
+
+  const bool was_alarmed = alarmed_;
+  if (score_ >= config_.raise_threshold) {
+    ++consecutive_high_;
+    if (consecutive_high_ >= config_.confirm_windows) alarmed_ = true;
+  } else {
+    consecutive_high_ = 0;
+    if (score_ < config_.clear_threshold) alarmed_ = false;
+  }
+  verdict.alarmed = alarmed_;
+  verdict.alarm_edge = alarmed_ && !was_alarmed;
+  return verdict;
+}
+
+void OnlineDetector::reset() noexcept {
+  score_ = 0.0;
+  consecutive_high_ = 0;
+  windows_ = 0;
+  alarmed_ = false;
+}
+
+double threshold_for_fpr(std::span<const int> labels,
+                         std::span<const double> scores, double target_fpr) {
+  if (labels.size() != scores.size())
+    throw std::invalid_argument("threshold_for_fpr: size mismatch");
+  if (target_fpr < 0.0 || target_fpr > 1.0)
+    throw std::invalid_argument("threshold_for_fpr: bad target");
+
+  const auto curve = roc_curve(labels, scores);
+  // The curve is ordered by descending threshold (increasing FPR); take the
+  // last point within budget — it has the highest TPR.
+  double best = curve.front().threshold;
+  for (const RocPoint& p : curve) {
+    if (p.fpr <= target_fpr) best = p.threshold;
+    else break;
+  }
+  return best;
+}
+
+}  // namespace smart2

@@ -1,0 +1,73 @@
+// On-line windowed detection with alarm hysteresis.
+//
+// A deployed HMD does not make one decision per application — it watches an
+// endless stream of 10 ms sampling windows and must decide *when* to raise
+// an alarm. OnlineDetector smooths the per-window two-stage scores with an
+// exponential moving average and applies raise/clear hysteresis, trading
+// detection latency (windows until alarm) against false-alarm rate — the
+// run-time view the paper motivates but does not evaluate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/two_stage.hpp"
+
+namespace smart2 {
+
+struct OnlineDetectorConfig {
+  /// EWMA smoothing factor for the per-window malware score (1 = no memory).
+  double smoothing = 0.5;
+  /// Alarm raises when the smoothed score crosses this... (single sampling
+  /// windows are noisy — malware camouflage phases score near zero — so the
+  /// raise point sits well below the 0.5 a whole-run detector would use)
+  double raise_threshold = 0.45;
+  /// ...and clears only when it falls below this (hysteresis).
+  double clear_threshold = 0.25;
+  /// Consecutive windows above raise_threshold required to alarm.
+  std::size_t confirm_windows = 2;
+};
+
+class OnlineDetector {
+ public:
+  /// `hmd` must be trained, configured for Common4 features (a window only
+  /// yields the 4 run-time HPC values), and outlive the detector.
+  OnlineDetector(const TwoStageHmd& hmd,
+                 OnlineDetectorConfig config = OnlineDetectorConfig{});
+
+  struct WindowVerdict {
+    double window_score = 0.0;    // raw two-stage score of this window
+    double smoothed_score = 0.0;  // EWMA state after this window
+    bool alarmed = false;         // alarm currently raised
+    bool alarm_edge = false;      // alarm raised *by this window*
+    AppClass suspected_class = AppClass::kBenign;
+  };
+
+  /// Feed one sampling window's Common-feature values.
+  WindowVerdict observe(std::span<const double> common4);
+
+  /// Forget all state (process switch).
+  void reset() noexcept;
+
+  bool alarmed() const noexcept { return alarmed_; }
+  double smoothed_score() const noexcept { return score_; }
+  std::size_t windows_observed() const noexcept { return windows_; }
+
+ private:
+  const TwoStageHmd& hmd_;
+  OnlineDetectorConfig config_;
+  double score_ = 0.0;
+  std::size_t consecutive_high_ = 0;
+  std::size_t windows_ = 0;
+  bool alarmed_ = false;
+};
+
+/// Pick the decision threshold achieving at most `target_fpr` false-positive
+/// rate on a labeled score set (highest-recall threshold within the budget).
+/// Falls back to a threshold above every score if even the strictest cut
+/// exceeds the budget.
+double threshold_for_fpr(std::span<const int> labels,
+                         std::span<const double> scores, double target_fpr);
+
+}  // namespace smart2

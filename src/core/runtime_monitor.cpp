@@ -1,0 +1,89 @@
+#include "core/runtime_monitor.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace smart2 {
+
+RuntimeMonitor::RuntimeMonitor(const TwoStageHmd& hmd, HpcCollector collector)
+    : hmd_(hmd), collector_(std::move(collector)) {
+  if (!hmd_.trained())
+    throw std::invalid_argument("RuntimeMonitor: pipeline is not trained");
+  if (hmd_.config().stage2_features == Stage2Features::kTop16)
+    throw std::invalid_argument(
+        "RuntimeMonitor: 16-HPC detectors require multi-run profiling and "
+        "cannot run on-line");
+  if (hmd_.plan().common.size() > collector_.config().registers)
+    throw std::invalid_argument(
+        "RuntimeMonitor: more Common features than HPC registers");
+}
+
+std::vector<Event> RuntimeMonitor::events_of(
+    const std::vector<std::size_t>& features) const {
+  std::vector<Event> events;
+  events.reserve(features.size());
+  for (std::size_t f : features) {
+    if (f >= kNumEvents)
+      throw std::out_of_range("RuntimeMonitor: feature is not an HPC event");
+    events.push_back(event_at(f));
+  }
+  return events;
+}
+
+std::vector<Event> RuntimeMonitor::common_events() const {
+  return events_of(hmd_.plan().common);
+}
+
+MonitorResult RuntimeMonitor::scan(const AppSpec& app) const {
+  MonitorResult out;
+
+  // Run 1: the Common events, programmed into the real registers.
+  const auto common_ev = common_events();
+  out.common_values = collector_.collect_single_run(app, common_ev, 0);
+  out.runs_used = 1;
+
+  const auto proba = hmd_.stage1_proba(out.common_values);
+  int best = 0;
+  for (std::size_t k = 1; k < proba.size(); ++k)
+    if (proba[k] > proba[static_cast<std::size_t>(best)])
+      best = static_cast<int>(k);
+  out.detection.stage1_confidence = proba[static_cast<std::size_t>(best)];
+  const auto cls = static_cast<AppClass>(best);
+  if (cls == AppClass::kBenign) return out;
+
+  // Stage 2 feature vector. Common4 mode reuses the first run's counters;
+  // Custom8 mode re-programs the registers with the class's extra events and
+  // measures again (the second "run" of the paper's protocol).
+  const auto& wanted = hmd_.stage2_feature_indices(cls);
+  std::unordered_map<std::size_t, double> known;
+  for (std::size_t i = 0; i < hmd_.plan().common.size(); ++i)
+    known[hmd_.plan().common[i]] = out.common_values[i];
+
+  std::vector<std::size_t> missing;
+  for (std::size_t f : wanted)
+    if (known.find(f) == known.end()) missing.push_back(f);
+
+  if (!missing.empty()) {
+    if (missing.size() > collector_.config().registers)
+      throw std::logic_error(
+          "RuntimeMonitor: custom feature set exceeds one extra run");
+    const auto extra_ev = events_of(missing);
+    const auto extra = collector_.collect_single_run(app, extra_ev, 1);
+    for (std::size_t i = 0; i < missing.size(); ++i)
+      known[missing[i]] = extra[i];
+    out.runs_used = 2;
+  }
+
+  std::vector<double> class_features;
+  class_features.reserve(wanted.size());
+  for (std::size_t f : wanted) class_features.push_back(known.at(f));
+
+  out.detection.stage2_score = hmd_.stage2_score(cls, class_features);
+  if (out.detection.stage2_score > 0.5) {
+    out.detection.is_malware = true;
+    out.detection.predicted_class = cls;
+  }
+  return out;
+}
+
+}  // namespace smart2

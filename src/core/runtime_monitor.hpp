@@ -1,0 +1,43 @@
+// Run-time deployment of a trained 2SMaRT pipeline.
+//
+// The monitor owns the measurement plan the paper argues for: program the 4
+// Common events into the 4 HPC registers, sample one execution window, run
+// Stage 1, and — when Stage 1 flags a malware class — either decide
+// immediately from the same 4 counters (Common4/boosted mode, single run) or
+// re-program the registers with the class's 4 Custom events for a second
+// measurement (Custom8 mode). Top16 detectors cannot run on-line; scan()
+// throws for them.
+#pragma once
+
+#include "core/two_stage.hpp"
+#include "hpc/collector.hpp"
+
+namespace smart2 {
+
+struct MonitorResult {
+  Detection detection;
+  /// Measurement runs needed (1 = single-run, 2 = Custom8 re-measure).
+  std::size_t runs_used = 0;
+  /// The Common-feature values observed in the first run.
+  std::vector<double> common_values;
+};
+
+class RuntimeMonitor {
+ public:
+  /// `hmd` must outlive the monitor and already be trained.
+  RuntimeMonitor(const TwoStageHmd& hmd, HpcCollector collector);
+
+  /// Observe one application and classify it.
+  MonitorResult scan(const AppSpec& app) const;
+
+  /// Events the monitor programs for Stage 1 (the Common 4).
+  std::vector<Event> common_events() const;
+
+ private:
+  std::vector<Event> events_of(const std::vector<std::size_t>& features) const;
+
+  const TwoStageHmd& hmd_;
+  HpcCollector collector_;
+};
+
+}  // namespace smart2

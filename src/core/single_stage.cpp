@@ -1,0 +1,89 @@
+#include "core/single_stage.hpp"
+
+#include <stdexcept>
+
+#include "data/labels.hpp"
+#include "ml/feature_selection.hpp"
+
+namespace smart2 {
+
+SingleStageHmd::SingleStageHmd(SingleStageConfig config)
+    : config_(std::move(config)) {
+  if (config_.num_features == 0)
+    throw std::invalid_argument("SingleStageHmd: need at least one feature");
+}
+
+void SingleStageHmd::train(const Dataset& multiclass_train) {
+  std::vector<int> positives;
+  for (AppClass c : kMalwareClasses) positives.push_back(label_of(c));
+  const Dataset binary = multiclass_train.binary_view_any(positives);
+
+  features_ = select_top_correlated(binary, config_.num_features);
+  const Dataset narrowed = binary.select_features(features_);
+
+  model_ = config_.boost
+               ? make_boosted(config_.model, config_.boost_rounds, config_.seed)
+               : make_classifier(config_.model);
+  model_->fit(narrowed);
+  trained_ = true;
+}
+
+double SingleStageHmd::malware_score(
+    std::span<const double> features44) const {
+  if (!trained_) throw std::logic_error("SingleStageHmd: not trained");
+  std::vector<double> x;
+  x.reserve(features_.size());
+  for (std::size_t f : features_) x.push_back(features44[f]);
+  const auto proba = model_->predict_proba(x);
+  return proba.size() > 1 ? proba[1] : 0.0;
+}
+
+SingleStageEval evaluate_single_stage(const SingleStageHmd& hmd,
+                                      const Dataset& test) {
+  SingleStageEval out;
+
+  std::vector<int> all_labels;
+  std::vector<int> all_pred;
+  std::vector<double> all_scores;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const double score = hmd.malware_score(test.features(i));
+    all_scores.push_back(score);
+    all_pred.push_back(score > 0.5 ? 1 : 0);
+    all_labels.push_back(test.label(i) == label_of(AppClass::kBenign) ? 0 : 1);
+  }
+  {
+    const auto cm = confusion(all_labels, all_pred, 2);
+    out.overall.accuracy = cm.accuracy();
+    out.overall.precision = cm.precision(1);
+    out.overall.recall = cm.recall(1);
+    out.overall.f_measure = cm.f_measure(1);
+    out.overall.auc = roc_auc(all_labels, all_scores);
+    out.overall.performance = out.overall.f_measure * out.overall.auc;
+  }
+
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    const int positive = label_of(kMalwareClasses[m]);
+    std::vector<int> labels;
+    std::vector<int> pred;
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      if (test.label(i) != positive &&
+          test.label(i) != label_of(AppClass::kBenign))
+        continue;
+      labels.push_back(test.label(i) == positive ? 1 : 0);
+      pred.push_back(all_pred[i]);
+      scores.push_back(all_scores[i]);
+    }
+    const auto cm = confusion(labels, pred, 2);
+    BinaryEval& ev = out.per_class[m];
+    ev.accuracy = cm.accuracy();
+    ev.precision = cm.precision(1);
+    ev.recall = cm.recall(1);
+    ev.f_measure = cm.f_measure(1);
+    ev.auc = roc_auc(labels, scores);
+    ev.performance = ev.f_measure * ev.auc;
+  }
+  return out;
+}
+
+}  // namespace smart2

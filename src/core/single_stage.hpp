@@ -1,0 +1,68 @@
+// Single-stage HMD baselines.
+//
+// The Fig. 5b comparator ("[2]", Patel et al., DAC'17-style): one general
+// binary detector over malware-vs-benign, no class specialization, features
+// chosen by plain correlation ranking on the binary problem. Also used for
+// the Stage1-only baseline of Fig. 5a via TwoStageHmd::stage1().
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/model_zoo.hpp"
+#include "data/dataset.hpp"
+#include "data/labels.hpp"
+#include "ml/metrics.hpp"
+
+namespace smart2 {
+
+struct SingleStageConfig {
+  std::string model = "J48";
+  std::size_t num_features = 4;
+  bool boost = false;
+  int boost_rounds = 10;
+  std::uint64_t seed = 0x51a6e;
+};
+
+class SingleStageHmd {
+ public:
+  explicit SingleStageHmd(SingleStageConfig config = SingleStageConfig{});
+
+  /// Train on the multiclass 44-event dataset; all malware classes collapse
+  /// to one positive label.
+  void train(const Dataset& multiclass_train);
+
+  bool trained() const noexcept { return trained_; }
+
+  /// Malware probability for one 44-event feature vector.
+  double malware_score(std::span<const double> features44) const;
+
+  bool is_malware(std::span<const double> features44) const {
+    return malware_score(features44) > 0.5;
+  }
+
+  /// Feature indices (into the 44-event space) the detector consumes.
+  const std::vector<std::size_t>& features() const { return features_; }
+  const Classifier& model() const { return *model_; }
+  const SingleStageConfig& config() const { return config_; }
+
+ private:
+  SingleStageConfig config_;
+  bool trained_ = false;
+  std::vector<std::size_t> features_;
+  std::unique_ptr<Classifier> model_;
+};
+
+/// Evaluate a single-stage detector per malware class (restricting the test
+/// set to {Benign, class}), for direct comparison with 2SMaRT.
+struct SingleStageEval {
+  std::array<BinaryEval, kNumMalwareClasses> per_class;
+  BinaryEval overall;  // malware-vs-benign over the full test set
+};
+
+SingleStageEval evaluate_single_stage(const SingleStageHmd& hmd,
+                                      const Dataset& test);
+
+}  // namespace smart2

@@ -1,0 +1,308 @@
+#include "core/two_stage.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/logistic.hpp"
+#include "ml/serialize.hpp"
+
+namespace smart2 {
+
+std::string_view to_string(Stage2Features mode) noexcept {
+  switch (mode) {
+    case Stage2Features::kCommon4: return "4HPC";
+    case Stage2Features::kCustom8: return "8HPC";
+    case Stage2Features::kTop16: return "16HPC";
+  }
+  return "?";
+}
+
+TwoStageHmd::TwoStageHmd(TwoStageConfig config) : config_(std::move(config)) {
+  if (config_.selection_holdout <= 0.0 || config_.selection_holdout >= 1.0)
+    throw std::invalid_argument("TwoStageHmd: bad selection holdout");
+}
+
+std::size_t TwoStageHmd::malware_slot(AppClass c) const {
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m)
+    if (kMalwareClasses[m] == c) return m;
+  throw std::invalid_argument("TwoStageHmd: not a malware class");
+}
+
+std::vector<std::size_t> TwoStageHmd::features_for(std::size_t slot) const {
+  switch (config_.stage2_features) {
+    case Stage2Features::kCommon4: return plan_.common;
+    case Stage2Features::kCustom8: return plan_.custom[slot];
+    case Stage2Features::kTop16: return plan_.top16;
+  }
+  return plan_.common;
+}
+
+TwoStageHmd::Specialized TwoStageHmd::train_specialized(
+    const Dataset& multiclass_train, std::size_t slot, Rng& rng) const {
+  const AppClass cls = kMalwareClasses[slot];
+  Specialized out;
+  out.features = features_for(slot);
+
+  const Dataset binary_full =
+      multiclass_train.binary_view(label_of(cls), label_of(AppClass::kBenign));
+  const Dataset narrowed = binary_full.select_features(out.features);
+
+  auto build = [&](const std::string& name) -> std::unique_ptr<Classifier> {
+    if (config_.boost)
+      return make_boosted(name, config_.boost_rounds, rng.next_u64());
+    return make_classifier(name);
+  };
+
+  if (!config_.stage2_model.empty()) {
+    out.model_name = config_.stage2_model;
+  } else {
+    // Per-class model selection on an internal holdout, scored by the
+    // paper's detection-performance metric F x AUC.
+    Rng split_rng(rng.next_u64());
+    auto [fit_part, val_part] =
+        narrowed.stratified_split(1.0 - config_.selection_holdout, split_rng);
+    double best_perf = -1.0;
+    for (const std::string& name : classifier_names()) {
+      auto candidate = build(name);
+      candidate->fit(fit_part);
+      const BinaryEval eval = evaluate_binary(*candidate, val_part);
+      if (eval.performance > best_perf) {
+        best_perf = eval.performance;
+        out.model_name = name;
+      }
+    }
+  }
+
+  out.model = build(out.model_name);
+  out.model->fit(narrowed);
+  return out;
+}
+
+void TwoStageHmd::train(const Dataset& multiclass_train) {
+  if (multiclass_train.class_count() != kNumAppClasses)
+    throw std::invalid_argument(
+        "TwoStageHmd::train: expected the 5-class application dataset");
+
+  plan_ = config_.use_paper_features
+              ? paper_feature_plan(multiclass_train)
+              : build_feature_plan(multiclass_train);
+  Rng rng(config_.seed);
+
+  // Stage 1: MLR over the Common features.
+  stage1_ = make_classifier("MLR");
+  stage1_->fit(multiclass_train.select_features(plan_.common));
+
+  // Stage 2: one specialized detector per malware class.
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m)
+    stage2_[m] = train_specialized(multiclass_train, m, rng);
+
+  trained_ = true;
+}
+
+AppClass TwoStageHmd::predict_class(std::span<const double> common4) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  return static_cast<AppClass>(stage1_->predict(common4));
+}
+
+std::vector<double> TwoStageHmd::stage1_proba(
+    std::span<const double> common4) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  return stage1_->predict_proba(common4);
+}
+
+double TwoStageHmd::stage2_score(AppClass c,
+                                 std::span<const double> class_features) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  const auto proba = stage2_[malware_slot(c)].model->predict_proba(class_features);
+  return proba.size() > 1 ? proba[1] : 0.0;
+}
+
+const std::vector<std::size_t>& TwoStageHmd::stage2_feature_indices(
+    AppClass c) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  return stage2_[malware_slot(c)].features;
+}
+
+const std::string& TwoStageHmd::stage2_model_name(AppClass c) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  return stage2_[malware_slot(c)].model_name;
+}
+
+const Classifier& TwoStageHmd::stage2(AppClass c) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  return *stage2_[malware_slot(c)].model;
+}
+
+Detection TwoStageHmd::detect(std::span<const double> features44) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+
+  std::vector<double> common;
+  common.reserve(plan_.common.size());
+  for (std::size_t f : plan_.common) common.push_back(features44[f]);
+
+  Detection out;
+  const auto proba = stage1_->predict_proba(common);
+  int best = 0;
+  for (std::size_t k = 1; k < proba.size(); ++k)
+    if (proba[k] > proba[static_cast<std::size_t>(best)])
+      best = static_cast<int>(k);
+  out.stage1_confidence = proba[static_cast<std::size_t>(best)];
+
+  // Route to Stage 2. A confident benign call short-circuits; anything less
+  // certain is handed to the likeliest malware class's specialized detector,
+  // which makes the final benign/malware decision (Fig. 3).
+  auto cls = static_cast<AppClass>(best);
+  if (cls == AppClass::kBenign) {
+    if (proba[label_of(AppClass::kBenign)] >= config_.benign_confidence)
+      return out;
+    int best_malware = label_of(kMalwareClasses[0]);
+    for (AppClass m : kMalwareClasses)
+      if (proba[static_cast<std::size_t>(label_of(m))] >
+          proba[static_cast<std::size_t>(best_malware)])
+        best_malware = label_of(m);
+    cls = static_cast<AppClass>(best_malware);
+  }
+
+  const Specialized& spec = stage2_[malware_slot(cls)];
+  std::vector<double> class_features;
+  class_features.reserve(spec.features.size());
+  for (std::size_t f : spec.features) class_features.push_back(features44[f]);
+
+  const auto sp = spec.model->predict_proba(class_features);
+  out.stage2_score = sp.size() > 1 ? sp[1] : 0.0;
+  if (out.stage2_score > config_.stage2_threshold) {
+    out.is_malware = true;
+    out.predicted_class = cls;
+  }
+  return out;
+}
+
+namespace {
+
+void save_indices(std::ostream& out, const std::vector<std::size_t>& v) {
+  out << v.size();
+  for (std::size_t f : v) out << ' ' << f;
+  out << '\n';
+}
+
+std::vector<std::size_t> load_indices(std::istream& in) {
+  std::size_t n = 0;
+  if (!(in >> n)) throw std::runtime_error("TwoStageHmd: bad index list");
+  std::vector<std::size_t> v(n);
+  for (std::size_t& f : v) in >> f;
+  return v;
+}
+
+}  // namespace
+
+void TwoStageHmd::save(std::ostream& out) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd::save: not trained");
+  out << "smart2-pipeline 1\n";
+  out << static_cast<int>(config_.stage2_features) << ' ' << config_.boost
+      << ' ' << config_.boost_rounds << ' ' << config_.benign_confidence
+      << ' ' << config_.stage2_threshold << '\n';
+  save_indices(out, plan_.common);
+  save_indices(out, plan_.top16);
+  for (const auto& custom : plan_.custom) save_indices(out, custom);
+  serialize_classifier(*stage1_, out);
+  for (const auto& spec : stage2_) {
+    out << spec.model_name << '\n';
+    save_indices(out, spec.features);
+    serialize_classifier(*spec.model, out);
+  }
+  if (!out) throw std::runtime_error("TwoStageHmd::save: write failed");
+}
+
+TwoStageHmd TwoStageHmd::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "smart2-pipeline" || version != 1)
+    throw std::runtime_error("TwoStageHmd::load: bad header");
+
+  TwoStageConfig cfg;
+  int mode = 0;
+  if (!(in >> mode >> cfg.boost >> cfg.boost_rounds >> cfg.benign_confidence >>
+        cfg.stage2_threshold))
+    throw std::runtime_error("TwoStageHmd::load: bad config");
+  cfg.stage2_features = static_cast<Stage2Features>(mode);
+
+  TwoStageHmd hmd(cfg);
+  hmd.plan_.common = load_indices(in);
+  hmd.plan_.top16 = load_indices(in);
+  for (auto& custom : hmd.plan_.custom) custom = load_indices(in);
+  hmd.stage1_ = deserialize_classifier(in);
+  for (auto& spec : hmd.stage2_) {
+    if (!(in >> spec.model_name))
+      throw std::runtime_error("TwoStageHmd::load: bad stage-2 entry");
+    spec.features = load_indices(in);
+    spec.model = deserialize_classifier(in);
+  }
+  if (!in) throw std::runtime_error("TwoStageHmd::load: truncated");
+  hmd.trained_ = true;
+  return hmd;
+}
+
+void TwoStageHmd::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("TwoStageHmd::save_file: cannot open " + path);
+  save(out);
+}
+
+TwoStageHmd TwoStageHmd::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("TwoStageHmd::load_file: cannot open " + path);
+  return load(in);
+}
+
+TwoStageEval evaluate_two_stage(const TwoStageHmd& hmd, const Dataset& test) {
+  TwoStageEval out;
+
+  // 5-way accuracy of the end-to-end labels.
+  std::size_t correct = 0;
+  std::vector<Detection> detections(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    detections[i] = hmd.detect(test.features(i));
+    if (label_of(detections[i].predicted_class) == test.label(i)) ++correct;
+  }
+  out.multiclass_accuracy =
+      test.empty() ? 0.0
+                   : static_cast<double>(correct) /
+                         static_cast<double>(test.size());
+
+  // Per-class {Benign, class} restriction.
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    const int positive = label_of(kMalwareClasses[m]);
+    std::vector<int> labels;
+    std::vector<int> predicted;
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      if (test.label(i) != positive &&
+          test.label(i) != label_of(AppClass::kBenign))
+        continue;
+      labels.push_back(test.label(i) == positive ? 1 : 0);
+      predicted.push_back(detections[i].is_malware ? 1 : 0);
+      // Score for AUC: stage-2 score when stage 1 flagged any malware class,
+      // otherwise the complement of the benign confidence.
+      const Detection& det = detections[i];
+      scores.push_back(det.stage2_score > 0.0
+                           ? det.stage2_score
+                           : 1.0 - det.stage1_confidence);
+    }
+    const auto cm = confusion(labels, predicted, 2);
+    BinaryEval& ev = out.per_class[m];
+    ev.accuracy = cm.accuracy();
+    ev.precision = cm.precision(1);
+    ev.recall = cm.recall(1);
+    ev.f_measure = cm.f_measure(1);
+    ev.auc = roc_auc(labels, scores);
+    ev.performance = ev.f_measure * ev.auc;
+  }
+  return out;
+}
+
+}  // namespace smart2

@@ -1,0 +1,204 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smart2 {
+
+Dataset::Dataset(std::vector<std::string> feature_names,
+                 std::vector<std::string> class_names)
+    : feature_names_(std::move(feature_names)),
+      class_names_(std::move(class_names)) {}
+
+void Dataset::reserve(std::size_t n) {
+  x_.reserve(n * feature_count());
+  labels_.reserve(n);
+}
+
+void Dataset::add(std::span<const double> features, int label) {
+  if (features.size() != feature_count())
+    throw std::invalid_argument("Dataset::add: feature width mismatch");
+  if (label < 0 || static_cast<std::size_t>(label) >= class_count())
+    throw std::invalid_argument("Dataset::add: label out of range");
+  x_.insert(x_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+std::vector<double> Dataset::feature_column(std::size_t f) const {
+  if (f >= feature_count())
+    throw std::out_of_range("Dataset::feature_column");
+  std::vector<double> out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = features(i)[f];
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(class_count(), 0);
+  for (int l : labels_) ++hist[static_cast<std::size_t>(l)];
+  return hist;
+}
+
+Dataset Dataset::select_features(
+    std::span<const std::size_t> feature_indices) const {
+  std::vector<std::string> names;
+  names.reserve(feature_indices.size());
+  for (std::size_t f : feature_indices) {
+    if (f >= feature_count())
+      throw std::out_of_range("Dataset::select_features");
+    names.push_back(feature_names_[f]);
+  }
+  Dataset out(std::move(names), class_names_);
+  out.reserve(size());
+  std::vector<double> row(feature_indices.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto src = features(i);
+    for (std::size_t j = 0; j < feature_indices.size(); ++j)
+      row[j] = src[feature_indices[j]];
+    out.add(row, labels_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::binary_view(int positive_label, int negative_label,
+                             std::string negative_name,
+                             std::string positive_name) const {
+  Dataset out(feature_names_,
+              {std::move(negative_name), std::move(positive_name)});
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (labels_[i] == positive_label)
+      out.add(features(i), 1);
+    else if (labels_[i] == negative_label)
+      out.add(features(i), 0);
+  }
+  return out;
+}
+
+Dataset Dataset::binary_view_any(std::span<const int> positive_labels,
+                                 std::string negative_name,
+                                 std::string positive_name) const {
+  Dataset out(feature_names_,
+              {std::move(negative_name), std::move(positive_name)});
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const bool pos = std::find(positive_labels.begin(), positive_labels.end(),
+                               labels_[i]) != positive_labels.end();
+    out.add(features(i), pos ? 1 : 0);
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::stratified_split(double train_fraction,
+                                                      Rng& rng) const {
+  if (train_fraction < 0.0 || train_fraction > 1.0)
+    throw std::invalid_argument("stratified_split: fraction out of range");
+
+  // Group instance indices per class, shuffle each group, cut each at the
+  // train fraction. This keeps class proportions identical on both sides.
+  std::vector<std::vector<std::size_t>> per_class(class_count());
+  for (std::size_t i = 0; i < size(); ++i)
+    per_class[static_cast<std::size_t>(labels_[i])].push_back(i);
+
+  Dataset train(feature_names_, class_names_);
+  Dataset test(feature_names_, class_names_);
+  for (auto& group : per_class) {
+    rng.shuffle(group);
+    const auto cut = static_cast<std::size_t>(
+        std::lround(train_fraction * static_cast<double>(group.size())));
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      Dataset& dst = k < cut ? train : test;
+      dst.add(features(group[k]), labels_[group[k]]);
+    }
+  }
+  train.shuffle(rng);
+  test.shuffle(rng);
+  return {std::move(train), std::move(test)};
+}
+
+Dataset Dataset::resample_weighted(std::span<const double> weights,
+                                   std::size_t n, Rng& rng) const {
+  if (weights.size() != size())
+    throw std::invalid_argument("resample_weighted: weight count mismatch");
+  Dataset out(feature_names_, class_names_);
+  out.reserve(n);
+  const std::vector<double> w(weights.begin(), weights.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rng.weighted_index(w);
+    out.add(features(i), labels_[i]);
+  }
+  return out;
+}
+
+void Dataset::shuffle(Rng& rng) {
+  const std::size_t d = feature_count();
+  std::vector<std::size_t> order(size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  std::vector<double> new_x(x_.size());
+  std::vector<int> new_labels(labels_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto src = features(order[i]);
+    std::copy(src.begin(), src.end(), new_x.begin() + i * d);
+    new_labels[i] = labels_[order[i]];
+  }
+  x_ = std::move(new_x);
+  labels_ = std::move(new_labels);
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.feature_count() != feature_count() ||
+      other.class_count() != class_count())
+    throw std::invalid_argument("Dataset::append: schema mismatch");
+  for (std::size_t i = 0; i < other.size(); ++i)
+    add(other.features(i), other.label(i));
+}
+
+void Standardizer::fit(const Dataset& train) {
+  const std::size_t d = train.feature_count();
+  const std::size_t n = train.size();
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = train.features(i);
+    for (std::size_t f = 0; f < d; ++f) mean_[f] += x[f];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = train.features(i);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double dd = x[f] - mean_[f];
+      stddev_[f] += dd * dd;
+    }
+  }
+  for (double& s : stddev_)
+    s = n > 1 ? std::sqrt(s / static_cast<double>(n - 1)) : 0.0;
+}
+
+void Standardizer::restore(std::vector<double> mean,
+                           std::vector<double> stddev) {
+  if (mean.size() != stddev.size())
+    throw std::invalid_argument("Standardizer::restore: size mismatch");
+  mean_ = std::move(mean);
+  stddev_ = std::move(stddev);
+}
+
+std::vector<double> Standardizer::transform(std::span<const double> x) const {
+  if (x.size() != mean_.size())
+    throw std::invalid_argument("Standardizer::transform: width mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t f = 0; f < x.size(); ++f)
+    out[f] = stddev_[f] > 1e-12 ? (x[f] - mean_[f]) / stddev_[f] : 0.0;
+  return out;
+}
+
+Dataset Standardizer::transform(const Dataset& d) const {
+  Dataset out(d.feature_names(), d.class_names());
+  out.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    out.add(transform(d.features(i)), d.label(i));
+  return out;
+}
+
+}  // namespace smart2

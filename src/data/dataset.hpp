@@ -1,0 +1,121 @@
+// Labeled feature datasets and the transformations the 2SMaRT pipeline
+// applies to them: stratified splitting, per-class binary views, feature
+// subsetting, standardization, and weighted resampling (for AdaBoost base
+// learners that cannot consume instance weights directly).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace smart2 {
+
+/// A labeled dataset: dense row-major feature matrix plus integer labels.
+///
+/// Labels are small non-negative integers. For the multiclass corpus they are
+/// AppClass values (0..4); for per-class binary datasets they are 0 = benign,
+/// 1 = malware.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<std::string> feature_names,
+          std::vector<std::string> class_names);
+
+  void reserve(std::size_t n);
+
+  /// Append one instance. `features` must match feature_count().
+  void add(std::span<const double> features, int label);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  bool empty() const noexcept { return labels_.empty(); }
+  std::size_t feature_count() const noexcept { return feature_names_.size(); }
+  std::size_t class_count() const noexcept { return class_names_.size(); }
+
+  std::span<const double> features(std::size_t i) const noexcept {
+    return {x_.data() + i * feature_count(), feature_count()};
+  }
+  int label(std::size_t i) const noexcept { return labels_[i]; }
+
+  const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+  const std::vector<std::string>& class_names() const noexcept {
+    return class_names_;
+  }
+  const std::vector<int>& labels() const noexcept { return labels_; }
+
+  /// Column `f` as a contiguous vector.
+  std::vector<double> feature_column(std::size_t f) const;
+
+  /// Number of instances carrying each label.
+  std::vector<std::size_t> class_histogram() const;
+
+  /// Keep only the listed feature columns (in the given order).
+  Dataset select_features(std::span<const std::size_t> feature_indices) const;
+
+  /// Binary view for one malware class: all instances whose label equals
+  /// `positive_label` become 1, instances labeled `negative_label` become 0,
+  /// all others are dropped. Class names become {"negative", "positive"}
+  /// unless overridden.
+  Dataset binary_view(int positive_label, int negative_label,
+                      std::string negative_name = "Benign",
+                      std::string positive_name = "Malware") const;
+
+  /// Binary view: `positive_labels` -> 1, everything else -> 0 (kept).
+  Dataset binary_view_any(std::span<const int> positive_labels,
+                          std::string negative_name = "Benign",
+                          std::string positive_name = "Malware") const;
+
+  /// Deterministic stratified split; `train_fraction` of each class goes to
+  /// the first dataset. Matches the paper's 60/40 protocol.
+  std::pair<Dataset, Dataset> stratified_split(double train_fraction,
+                                               Rng& rng) const;
+
+  /// Sample `n` instances i.i.d. proportional to `weights` (with
+  /// replacement). Used to emulate weighted training for weight-unaware
+  /// learners inside AdaBoost.
+  Dataset resample_weighted(std::span<const double> weights, std::size_t n,
+                            Rng& rng) const;
+
+  /// Shuffle instances in place.
+  void shuffle(Rng& rng);
+
+  /// Merge another dataset with identical schema into this one.
+  void append(const Dataset& other);
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+  std::vector<double> x_;   // row-major, size() * feature_count()
+  std::vector<int> labels_;
+};
+
+/// Z-score standardizer fitted on a training set and applied to any
+/// compatible feature vector. Constant features map to 0.
+class Standardizer {
+ public:
+  Standardizer() = default;
+
+  void fit(const Dataset& train);
+
+  /// Restore fitted state directly (deserialization path). Sizes must match.
+  void restore(std::vector<double> mean, std::vector<double> stddev);
+
+  bool fitted() const noexcept { return !mean_.empty(); }
+  std::size_t feature_count() const noexcept { return mean_.size(); }
+
+  std::vector<double> transform(std::span<const double> x) const;
+  Dataset transform(const Dataset& d) const;
+
+  const std::vector<double>& mean() const noexcept { return mean_; }
+  const std::vector<double>& stddev() const noexcept { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace smart2

@@ -1,0 +1,25 @@
+#include "data/labels.hpp"
+
+namespace smart2 {
+
+std::string_view to_string(AppClass c) noexcept {
+  switch (c) {
+    case AppClass::kBenign: return "Benign";
+    case AppClass::kBackdoor: return "Backdoor";
+    case AppClass::kRootkit: return "Rootkit";
+    case AppClass::kVirus: return "Virus";
+    case AppClass::kTrojan: return "Trojan";
+  }
+  return "Unknown";
+}
+
+std::optional<AppClass> app_class_from_string(std::string_view name) noexcept {
+  if (name == "Benign") return AppClass::kBenign;
+  if (name == "Backdoor") return AppClass::kBackdoor;
+  if (name == "Rootkit") return AppClass::kRootkit;
+  if (name == "Virus") return AppClass::kVirus;
+  if (name == "Trojan") return AppClass::kTrojan;
+  return std::nullopt;
+}
+
+}  // namespace smart2

@@ -1,0 +1,36 @@
+// Application class taxonomy shared by the corpus, the detectors, and the
+// benches. Matches the five classes the paper analyses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace smart2 {
+
+enum class AppClass : std::uint8_t {
+  kBenign = 0,
+  kBackdoor = 1,
+  kRootkit = 2,
+  kVirus = 3,
+  kTrojan = 4,
+};
+
+inline constexpr std::size_t kNumAppClasses = 5;
+inline constexpr std::size_t kNumMalwareClasses = 4;
+
+inline constexpr std::array<AppClass, kNumMalwareClasses> kMalwareClasses = {
+    AppClass::kBackdoor, AppClass::kRootkit, AppClass::kVirus,
+    AppClass::kTrojan};
+
+/// Stable integer label used in Dataset (0 = Benign, ... 4 = Trojan).
+constexpr int label_of(AppClass c) noexcept { return static_cast<int>(c); }
+
+std::string_view to_string(AppClass c) noexcept;
+
+/// Case-sensitive parse of the canonical names ("Benign", "Backdoor", ...).
+std::optional<AppClass> app_class_from_string(std::string_view name) noexcept;
+
+}  // namespace smart2

@@ -1,0 +1,178 @@
+#include "hpc/collector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hpc/pmu.hpp"
+#include "workload/generator.hpp"
+
+namespace smart2 {
+
+namespace {
+
+/// splitmix-style mix of the app seed and run index, so each run of the same
+/// app sees an independent but reproducible stream.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HpcCollector::HpcCollector(CollectorConfig config) : config_(config) {
+  if (config_.registers == 0)
+    throw std::invalid_argument("HpcCollector: registers must be positive");
+  if (config_.cycles_per_sample == 0 || config_.samples_per_run == 0)
+    throw std::invalid_argument("HpcCollector: empty sampling plan");
+}
+
+std::size_t HpcCollector::batches_for_all_events() const noexcept {
+  return (kNumEvents + config_.registers - 1) / config_.registers;
+}
+
+std::uint64_t HpcCollector::run_seed(const AppSpec& app,
+                                     std::uint64_t run_index) const {
+  return mix(app.app_seed, run_index);
+}
+
+std::vector<double> HpcCollector::collect_single_run(
+    const AppSpec& app, std::span<const Event> events,
+    std::uint64_t run_index) const {
+  if (events.size() > config_.registers)
+    throw std::invalid_argument(
+        "HpcCollector: more events than HPC registers in a single run");
+
+  CoreConfig core_config;
+  core_config.seed = mix(config_.core_seed, run_seed(app, run_index));
+  CoreModel core(core_config);
+  WorkloadGenerator gen(app.profile, run_seed(app, run_index));
+
+  run_cycles(gen, core, config_.warmup_cycles);
+  core.clear_counters();
+
+  std::vector<double> mean(events.size(), 0.0);
+  EventCounts before = core.counters();
+  for (std::size_t w = 0; w < config_.samples_per_run; ++w) {
+    run_cycles(gen, core, config_.cycles_per_sample);
+    const EventCounts& after = core.counters();
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      const std::size_t idx = event_index(events[e]);
+      mean[e] += static_cast<double>(after[idx] - before[idx]);
+    }
+    before = after;
+  }
+  for (double& m : mean) m /= static_cast<double>(config_.samples_per_run);
+  return mean;
+}
+
+std::vector<double> HpcCollector::collect_all_events(
+    const AppSpec& app) const {
+  std::vector<double> features(kNumEvents, 0.0);
+  const std::size_t batches = batches_for_all_events();
+  for (std::size_t b = 0; b < batches; ++b) {
+    std::vector<Event> batch;
+    for (std::size_t r = 0; r < config_.registers; ++r) {
+      const std::size_t idx = b * config_.registers + r;
+      if (idx >= kNumEvents) break;
+      batch.push_back(event_at(idx));
+    }
+    // One fresh run per batch: new machine, new stream — the "destroy the
+    // container after each run" protocol.
+    const auto counts = collect_single_run(app, batch, /*run_index=*/b);
+    for (std::size_t e = 0; e < batch.size(); ++e)
+      features[event_index(batch[e])] = counts[e];
+  }
+  return features;
+}
+
+std::vector<double> HpcCollector::collect_multiplexed(
+    const AppSpec& app) const {
+  CoreConfig core_config;
+  core_config.seed = mix(config_.core_seed, run_seed(app, 0));
+  CoreModel core(core_config);
+  WorkloadGenerator gen(app.profile, run_seed(app, 0));
+
+  run_cycles(gen, core, config_.warmup_cycles);
+  core.clear_counters();
+
+  Pmu pmu(config_.registers);
+  for (std::size_t b = 0; b < batches_for_all_events(); ++b) {
+    std::vector<Event> batch;
+    for (std::size_t r = 0; r < config_.registers; ++r) {
+      const std::size_t idx = b * config_.registers + r;
+      if (idx >= kNumEvents) break;
+      batch.push_back(event_at(idx));
+    }
+    pmu.add_group(std::move(batch));
+  }
+
+  const std::uint64_t total_cycles =
+      config_.cycles_per_sample * config_.samples_per_run;
+  // Rotate groups many times per run (perf rotates on every tick).
+  const std::uint64_t slice = std::max<std::uint64_t>(
+      1, total_cycles / (batches_for_all_events() * 8));
+  pmu.run(gen, core, total_cycles, slice);
+
+  std::vector<double> features(kNumEvents, 0.0);
+  for (std::size_t i = 0; i < kNumEvents; ++i)
+    features[i] = pmu.scaled_count(event_at(i)) /
+                  static_cast<double>(config_.samples_per_run);
+  return features;
+}
+
+std::vector<std::vector<std::uint64_t>> HpcCollector::trace(
+    const AppSpec& app, std::span<const Event> events,
+    std::size_t windows) const {
+  if (events.size() > config_.registers)
+    throw std::invalid_argument(
+        "HpcCollector: more events than HPC registers in a trace");
+
+  CoreConfig core_config;
+  core_config.seed = mix(config_.core_seed, run_seed(app, 0));
+  CoreModel core(core_config);
+  WorkloadGenerator gen(app.profile, run_seed(app, 0));
+
+  run_cycles(gen, core, config_.warmup_cycles);
+  core.clear_counters();
+
+  std::vector<std::vector<std::uint64_t>> out;
+  out.reserve(windows);
+  EventCounts before = core.counters();
+  for (std::size_t w = 0; w < windows; ++w) {
+    run_cycles(gen, core, config_.cycles_per_sample);
+    const EventCounts& after = core.counters();
+    std::vector<std::uint64_t> row(events.size());
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      const std::size_t idx = event_index(events[e]);
+      row[e] = after[idx] - before[idx];
+    }
+    out.push_back(std::move(row));
+    before = after;
+  }
+  return out;
+}
+
+Dataset build_hpc_dataset(const std::vector<AppSpec>& corpus,
+                          const HpcCollector& collector) {
+  std::vector<std::string> feature_names;
+  feature_names.reserve(kNumEvents);
+  for (std::size_t i = 0; i < kNumEvents; ++i)
+    feature_names.emplace_back(event_name(event_at(i)));
+
+  std::vector<std::string> class_names;
+  class_names.reserve(kNumAppClasses);
+  for (std::size_t c = 0; c < kNumAppClasses; ++c)
+    class_names.emplace_back(to_string(static_cast<AppClass>(c)));
+
+  Dataset d(std::move(feature_names), std::move(class_names));
+  d.reserve(corpus.size());
+  for (const AppSpec& app : corpus) {
+    const auto features = collector.collect_all_events(app);
+    d.add(features, label_of(app.profile.app_class));
+  }
+  return d;
+}
+
+}  // namespace smart2

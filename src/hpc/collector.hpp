@@ -1,0 +1,74 @@
+// HPC data collection, reproducing the paper's protocol (§III-A):
+//
+//  * 44 events split into ceil(44/registers) batches (11 batches of 4),
+//  * one fresh run of the application per batch — the container (here: the
+//    whole machine model) is destroyed between runs, so no state leaks,
+//  * counts sampled in fixed-duration windows of `cycles_per_sample` core
+//    cycles (the analogue of the paper's 10 ms sampling interval),
+//  * the per-event feature is the mean count per sampling window.
+//
+// collect_single_run() is the run-time path: at most `registers` events in
+// one execution, no re-runs — what a deployed 2SMaRT detector actually sees.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "uarch/events.hpp"
+#include "workload/corpus.hpp"
+
+namespace smart2 {
+
+struct CollectorConfig {
+  std::size_t registers = 4;              // simultaneously readable HPCs
+  std::uint64_t cycles_per_sample = 80'000;  // sampling window ("10 ms")
+  std::size_t samples_per_run = 3;         // windows measured per run
+  std::uint64_t warmup_cycles = 80'000;    // spent before the first window
+  std::uint64_t core_seed = 0xfeed;        // OS-noise seed for the machine
+};
+
+class HpcCollector {
+ public:
+  explicit HpcCollector(CollectorConfig config = CollectorConfig{});
+
+  const CollectorConfig& config() const noexcept { return config_; }
+
+  /// Number of runs needed to observe all 44 events (11 with 4 registers).
+  std::size_t batches_for_all_events() const noexcept;
+
+  /// Full-event profiling: one run per batch, fresh machine per run.
+  /// Returns a 44-wide vector of mean counts per sampling window, ordered by
+  /// Event index.
+  std::vector<double> collect_all_events(const AppSpec& app) const;
+
+  /// Run-time collection: a single run counting at most `registers` events.
+  /// `run_index` selects an independent execution (new run seed).
+  std::vector<double> collect_single_run(const AppSpec& app,
+                                         std::span<const Event> events,
+                                         std::uint64_t run_index = 0) const;
+
+  /// Single run counting ALL 44 events via round-robin multiplexing with
+  /// perf-style scaling (ablation: multiplexing error vs multi-run truth).
+  std::vector<double> collect_multiplexed(const AppSpec& app) const;
+
+  /// Per-window counts for the given events over `windows` windows of one
+  /// run — the Fig. 1 trace view. Result: windows x events.
+  std::vector<std::vector<std::uint64_t>> trace(const AppSpec& app,
+                                                std::span<const Event> events,
+                                                std::size_t windows) const;
+
+ private:
+  std::uint64_t run_seed(const AppSpec& app, std::uint64_t run_index) const;
+
+  CollectorConfig config_;
+};
+
+/// Profile every app in `corpus` with `collector` and assemble the labeled
+/// 44-feature dataset (feature names = canonical event names, class names =
+/// the five AppClass names).
+Dataset build_hpc_dataset(const std::vector<AppSpec>& corpus,
+                          const HpcCollector& collector);
+
+}  // namespace smart2

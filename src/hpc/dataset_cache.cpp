@@ -1,0 +1,104 @@
+#include "hpc/dataset_cache.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace smart2 {
+
+void save_dataset_csv(const std::string& path, const Dataset& d) {
+  std::vector<csv::Row> rows;
+  rows.reserve(d.size() + 2);
+
+  csv::Row class_row;
+  class_row.push_back("#classes");
+  for (const auto& c : d.class_names()) class_row.push_back(c);
+  rows.push_back(std::move(class_row));
+
+  csv::Row header = d.feature_names();
+  header.push_back("label");
+  rows.push_back(std::move(header));
+
+  char buf[64];
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    csv::Row row;
+    row.reserve(d.feature_count() + 1);
+    for (double v : d.features(i)) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      row.emplace_back(buf);
+    }
+    row.push_back(std::to_string(d.label(i)));
+    rows.push_back(std::move(row));
+  }
+  csv::write_file(path, rows);
+}
+
+Dataset load_dataset_csv(const std::string& path) {
+  const auto rows = csv::read_file(path);
+  if (rows.size() < 2 || rows[0].empty() || rows[0][0] != "#classes")
+    throw std::runtime_error("load_dataset_csv: bad header in " + path);
+
+  std::vector<std::string> class_names(rows[0].begin() + 1, rows[0].end());
+  if (rows[1].empty() || rows[1].back() != "label")
+    throw std::runtime_error("load_dataset_csv: missing label column");
+  std::vector<std::string> feature_names(rows[1].begin(), rows[1].end() - 1);
+
+  Dataset d(std::move(feature_names), std::move(class_names));
+  d.reserve(rows.size() - 2);
+  std::vector<double> features(d.feature_count());
+  for (std::size_t r = 2; r < rows.size(); ++r) {
+    const csv::Row& row = rows[r];
+    if (row.size() != d.feature_count() + 1)
+      throw std::runtime_error("load_dataset_csv: ragged row");
+    for (std::size_t f = 0; f < d.feature_count(); ++f) {
+      const std::string& cell = row[f];
+      char* end = nullptr;
+      features[f] = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str())
+        throw std::runtime_error("load_dataset_csv: bad number " + cell);
+    }
+    d.add(features, std::stoi(row.back()));
+  }
+  return d;
+}
+
+std::string dataset_fingerprint(const CorpusConfig& corpus,
+                                const CollectorConfig& collector) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "c%zu-%zu-%zu-%zu-%zu-s%.4f-x%llu-a%.3f-g%.3f-t%.3f_r%zu-w%llu-n%zu-"
+      "u%llu-m%llu",
+      corpus.benign, corpus.backdoor, corpus.rootkit, corpus.virus,
+      corpus.trojan, corpus.scale,
+      static_cast<unsigned long long>(corpus.seed),
+      corpus.noise.atypical_fraction, corpus.noise.sigma,
+      corpus.noise.atypical_sigma, collector.registers,
+      static_cast<unsigned long long>(collector.cycles_per_sample),
+      collector.samples_per_run,
+      static_cast<unsigned long long>(collector.warmup_cycles),
+      static_cast<unsigned long long>(collector.core_seed));
+  return buf;
+}
+
+Dataset cached_hpc_dataset(const CorpusConfig& corpus,
+                           const CollectorConfig& collector,
+                           const std::string& cache_dir) {
+  std::string path;
+  if (!cache_dir.empty()) {
+    std::filesystem::create_directories(cache_dir);
+    path = cache_dir + "/hpc-" + dataset_fingerprint(corpus, collector) +
+           ".csv";
+    if (std::filesystem::exists(path)) return load_dataset_csv(path);
+  }
+  const auto apps = build_corpus(corpus);
+  const HpcCollector hpc_collector(collector);
+  Dataset d = build_hpc_dataset(apps, hpc_collector);
+  if (!path.empty()) save_dataset_csv(path, d);
+  return d;
+}
+
+}  // namespace smart2

@@ -1,0 +1,35 @@
+// Disk cache for profiled HPC datasets.
+//
+// Profiling the full >3600-application corpus takes ~1 minute; the bench
+// binaries share one dataset per (corpus, collector) configuration through a
+// CSV cache keyed by a configuration fingerprint.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "hpc/collector.hpp"
+#include "workload/corpus.hpp"
+
+namespace smart2 {
+
+/// Serialize a dataset to CSV (header: feature names + "label"; one row per
+/// instance). Class names are stored in a comment-like first column row.
+void save_dataset_csv(const std::string& path, const Dataset& d);
+
+/// Load a dataset written by save_dataset_csv. Throws std::runtime_error on
+/// malformed input.
+Dataset load_dataset_csv(const std::string& path);
+
+/// Stable fingerprint of the full generation configuration.
+std::string dataset_fingerprint(const CorpusConfig& corpus,
+                                const CollectorConfig& collector);
+
+/// Build (or load from `cache_dir`) the HPC dataset for the given corpus and
+/// collector configuration. Pass an empty cache_dir to force regeneration.
+Dataset cached_hpc_dataset(const CorpusConfig& corpus,
+                           const CollectorConfig& collector,
+                           const std::string& cache_dir = ".smart2_cache");
+
+}  // namespace smart2

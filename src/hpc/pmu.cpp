@@ -1,0 +1,97 @@
+#include "hpc/pmu.hpp"
+
+#include <stdexcept>
+
+namespace smart2 {
+
+Pmu::Pmu(std::size_t registers) : registers_(registers) {
+  if (registers == 0)
+    throw std::invalid_argument("Pmu: need at least one counter register");
+}
+
+void Pmu::add_group(std::vector<Event> events) {
+  if (events.empty())
+    throw std::invalid_argument("Pmu: empty event group");
+  if (events.size() > registers_)
+    throw std::invalid_argument(
+        "Pmu: group exceeds available counter registers");
+  Group g;
+  g.events = std::move(events);
+  g.counts.assign(g.events.size(), 0);
+  groups_.push_back(std::move(g));
+}
+
+void Pmu::run(WorkloadGenerator& gen, CoreModel& core,
+              std::uint64_t total_cycles, std::uint64_t slice_cycles) {
+  if (groups_.empty())
+    throw std::logic_error("Pmu: no event groups programmed");
+  if (slice_cycles == 0)
+    throw std::invalid_argument("Pmu: slice must be positive");
+
+  std::size_t active = 0;
+  std::uint64_t done = 0;
+  EventCounts before = core.counters();
+  while (done < total_cycles) {
+    const std::uint64_t chunk = std::min(slice_cycles, total_cycles - done);
+    const std::uint64_t cycles_before = core.cycles();
+    run_cycles(gen, core, chunk);
+    const std::uint64_t elapsed = core.cycles() - cycles_before;
+    const EventCounts& after = core.counters();
+
+    Group& g = groups_[active];
+    for (std::size_t i = 0; i < g.events.size(); ++i) {
+      const std::size_t idx = event_index(g.events[i]);
+      g.counts[i] += after[idx] - before[idx];
+    }
+    g.running_cycles += elapsed;
+    enabled_cycles_ += elapsed;
+    done += elapsed;
+    before = after;
+    active = (active + 1) % groups_.size();
+  }
+}
+
+const Pmu::Group* Pmu::group_of(Event e) const {
+  for (const Group& g : groups_)
+    for (Event ge : g.events)
+      if (ge == e) return &g;
+  return nullptr;
+}
+
+std::uint64_t Pmu::raw_count(Event e) const {
+  const Group* g = group_of(e);
+  if (g == nullptr)
+    throw std::invalid_argument("Pmu: event not programmed");
+  for (std::size_t i = 0; i < g->events.size(); ++i)
+    if (g->events[i] == e) return g->counts[i];
+  return 0;
+}
+
+double Pmu::scaled_count(Event e) const {
+  const Group* g = group_of(e);
+  if (g == nullptr)
+    throw std::invalid_argument("Pmu: event not programmed");
+  if (g->running_cycles == 0) return 0.0;
+  const double scale = static_cast<double>(enabled_cycles_) /
+                       static_cast<double>(g->running_cycles);
+  return static_cast<double>(raw_count(e)) * scale;
+}
+
+double Pmu::running_fraction(Event e) const {
+  const Group* g = group_of(e);
+  if (g == nullptr)
+    throw std::invalid_argument("Pmu: event not programmed");
+  if (enabled_cycles_ == 0) return 0.0;
+  return static_cast<double>(g->running_cycles) /
+         static_cast<double>(enabled_cycles_);
+}
+
+void Pmu::reset() noexcept {
+  for (Group& g : groups_) {
+    std::fill(g.counts.begin(), g.counts.end(), 0);
+    g.running_cycles = 0;
+  }
+  enabled_cycles_ = 0;
+}
+
+}  // namespace smart2

@@ -1,0 +1,66 @@
+// Performance-monitoring-unit model.
+//
+// Modern cores expose only a handful of programmable counter registers (the
+// paper's Xeon X5550: four). The Pmu enforces that constraint: events are
+// programmed in groups of at most `registers`; counting more groups than
+// registers requires either time-multiplexing within one run (with perf's
+// enabled/running scaling) or multiple runs (the paper's protocol).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "uarch/core.hpp"
+#include "uarch/events.hpp"
+#include "workload/generator.hpp"
+
+namespace smart2 {
+
+class Pmu {
+ public:
+  /// `registers`: number of events that can be counted simultaneously.
+  explicit Pmu(std::size_t registers = 4);
+
+  std::size_t registers() const noexcept { return registers_; }
+
+  /// Add an event group. Throws std::invalid_argument if the group exceeds
+  /// the register count.
+  void add_group(std::vector<Event> events);
+
+  std::size_t group_count() const noexcept { return groups_.size(); }
+
+  /// Run `gen` on `core` for `total_cycles`, rotating the active group every
+  /// `slice_cycles` (round-robin, like perf's timer-tick rotation),
+  /// accumulating raw counts and enabled/running cycle totals per group.
+  /// With a single group this is plain counting.
+  void run(WorkloadGenerator& gen, CoreModel& core, std::uint64_t total_cycles,
+           std::uint64_t slice_cycles);
+
+  /// Raw count observed while the event's group was scheduled.
+  std::uint64_t raw_count(Event e) const;
+
+  /// perf-style extrapolated count: raw * enabled / running. Events in an
+  /// always-running group return the raw count exactly.
+  double scaled_count(Event e) const;
+
+  /// Fraction of cycles the event's group was actually counting.
+  double running_fraction(Event e) const;
+
+  void reset() noexcept;
+
+ private:
+  struct Group {
+    std::vector<Event> events;
+    std::vector<std::uint64_t> counts;   // parallel to events
+    std::uint64_t running_cycles = 0;
+  };
+
+  const Group* group_of(Event e) const;
+
+  std::size_t registers_;
+  std::vector<Group> groups_;
+  std::uint64_t enabled_cycles_ = 0;
+};
+
+}  // namespace smart2

@@ -1,0 +1,31 @@
+#include "hw/fixed_point.hpp"
+
+#include <cmath>
+
+namespace smart2 {
+
+double FixedPointFormat::max_value() const noexcept {
+  return std::ldexp(1.0, integer_bits - 1) -
+         std::ldexp(1.0, -fraction_bits);
+}
+
+double FixedPointFormat::min_value() const noexcept {
+  return -std::ldexp(1.0, integer_bits - 1);
+}
+
+std::int64_t FixedPointFormat::quantize(double v) const noexcept {
+  if (std::isnan(v)) return 0;
+  const double scaled = v * std::ldexp(1.0, fraction_bits);
+  const double hi = max_value() * std::ldexp(1.0, fraction_bits);
+  const double lo = min_value() * std::ldexp(1.0, fraction_bits);
+  double clamped = scaled;
+  if (clamped > hi) clamped = hi;
+  if (clamped < lo) clamped = lo;
+  return static_cast<std::int64_t>(std::llround(clamped));
+}
+
+double FixedPointFormat::dequantize(std::int64_t q) const noexcept {
+  return static_cast<double>(q) * std::ldexp(1.0, -fraction_bits);
+}
+
+}  // namespace smart2

@@ -1,0 +1,31 @@
+// Fixed-point formats for the hardware implementations of the detectors.
+//
+// The HLS flow quantizes inputs, thresholds, and weights to a Q-format;
+// quantize/dequantize round-trips let the cost model measure how much
+// detection quality a given width costs (an ablation the paper's Vivado
+// flow implies but does not report).
+#pragma once
+
+#include <cstdint>
+
+namespace smart2 {
+
+struct FixedPointFormat {
+  int integer_bits = 10;  // including sign
+  int fraction_bits = 6;
+
+  int width() const noexcept { return integer_bits + fraction_bits; }
+
+  /// Max/min representable values.
+  double max_value() const noexcept;
+  double min_value() const noexcept;
+
+  /// Round-to-nearest quantization with saturation.
+  std::int64_t quantize(double v) const noexcept;
+  double dequantize(std::int64_t q) const noexcept;
+
+  /// Quantize-dequantize round trip.
+  double round_trip(double v) const noexcept { return dequantize(quantize(v)); }
+};
+
+}  // namespace smart2

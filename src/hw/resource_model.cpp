@@ -1,0 +1,89 @@
+#include "hw/resource_model.hpp"
+
+#include <cstdio>
+
+namespace smart2 {
+
+Resources& Resources::operator+=(const Resources& rhs) noexcept {
+  luts += rhs.luts;
+  ffs += rhs.ffs;
+  dsps += rhs.dsps;
+  brams += rhs.brams;
+  return *this;
+}
+
+Resources Resources::scaled(std::uint64_t n) const noexcept {
+  return {luts * n, ffs * n, dsps * n, brams * n};
+}
+
+Resources operator+(Resources lhs, const Resources& rhs) noexcept {
+  return lhs += rhs;
+}
+
+Resources ResourceLibrary::comparator() const noexcept {
+  // ~1 LUT per 2 bits plus carry logic.
+  return {static_cast<std::uint64_t>(data_width) / 2 + 2, 0, 0, 0};
+}
+
+Resources ResourceLibrary::adder() const noexcept {
+  return {static_cast<std::uint64_t>(data_width) + 2, 0, 0, 0};
+}
+
+Resources ResourceLibrary::multiplier() const noexcept {
+  // One DSP48 covers a 16x16 product.
+  return {4, 0, 1, 0};
+}
+
+Resources ResourceLibrary::pipeline_register() const noexcept {
+  return {0, static_cast<std::uint64_t>(data_width), 0, 0};
+}
+
+Resources ResourceLibrary::rom(std::uint64_t words) const noexcept {
+  // LUT-ROM: 1 LUT6 stores 64 bits.
+  const std::uint64_t bits = words * static_cast<std::uint64_t>(data_width);
+  return {bits / 64 + 1, 0, 0, 0};
+}
+
+Resources ResourceLibrary::sigmoid_unit() const noexcept {
+  // 32-segment piecewise-linear: segment ROM + multiply-add + select.
+  Resources r = rom(64);
+  r += multiplier();
+  r += adder();
+  r.luts += 16;
+  return r;
+}
+
+Resources ResourceLibrary::priority_encoder(std::uint64_t n) const noexcept {
+  return {n / 2 + 4, 0, 0, 0};
+}
+
+Resources ResourceLibrary::exp_unit() const noexcept {
+  // Range-reduced LUT + multiply.
+  Resources r = rom(128);
+  r += multiplier();
+  r += adder();
+  r.luts += 24;
+  return r;
+}
+
+double lut_equivalents(const Resources& r) noexcept {
+  return static_cast<double>(r.luts) + 0.5 * static_cast<double>(r.ffs) +
+         kDspLutEquivalent * static_cast<double>(r.dsps) +
+         kBramLutEquivalent * static_cast<double>(r.brams);
+}
+
+double relative_area_percent(const Resources& r) noexcept {
+  return 100.0 * lut_equivalents(r) / lut_equivalents(kOpenSparcCore);
+}
+
+std::string to_string(const Resources& r) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%llu LUT, %llu FF, %llu DSP, %llu BRAM",
+                static_cast<unsigned long long>(r.luts),
+                static_cast<unsigned long long>(r.ffs),
+                static_cast<unsigned long long>(r.dsps),
+                static_cast<unsigned long long>(r.brams));
+  return buf;
+}
+
+}  // namespace smart2

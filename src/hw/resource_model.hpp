@@ -1,0 +1,65 @@
+// Virtex-7-flavored resource accounting for classifier datapaths.
+//
+// Costs are per-primitive estimates at the default 16-bit fixed-point width,
+// in the spirit of what Vivado HLS reports for small arithmetic datapaths.
+// Area is reported relative to an OpenSPARC-T1-core FPGA footprint, the
+// reference the paper uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace smart2 {
+
+struct Resources {
+  std::uint64_t luts = 0;
+  std::uint64_t ffs = 0;
+  std::uint64_t dsps = 0;
+  std::uint64_t brams = 0;
+
+  Resources& operator+=(const Resources& rhs) noexcept;
+  Resources scaled(std::uint64_t n) const noexcept;
+};
+
+Resources operator+(Resources lhs, const Resources& rhs) noexcept;
+
+struct ResourceLibrary {
+  int data_width = 16;  // fixed-point operand width
+
+  /// n-bit magnitude comparator.
+  Resources comparator() const noexcept;
+  /// n-bit adder/subtractor.
+  Resources adder() const noexcept;
+  /// n x n multiplier (maps to one DSP slice at <= 18x25 bits).
+  Resources multiplier() const noexcept;
+  /// n-bit pipeline register.
+  Resources pipeline_register() const noexcept;
+  /// Constant storage (LUT-ROM), `words` entries of data_width bits.
+  Resources rom(std::uint64_t words) const noexcept;
+  /// Piecewise-linear sigmoid evaluation unit.
+  Resources sigmoid_unit() const noexcept;
+  /// Priority encoder over n inputs.
+  Resources priority_encoder(std::uint64_t n) const noexcept;
+  /// Exponential/softmax approximation unit (for MLR).
+  Resources exp_unit() const noexcept;
+};
+
+/// LUT-equivalent weight of one DSP slice when folding resources into a
+/// single area number (a DSP48 replaces roughly this much soft logic).
+inline constexpr double kDspLutEquivalent = 700.0;
+/// ... and of one block RAM.
+inline constexpr double kBramLutEquivalent = 400.0;
+
+/// OpenSPARC T1 single-core footprint on a Virtex-7-class device (the area
+/// reference of Table V).
+inline constexpr Resources kOpenSparcCore = {68'000, 39'000, 12, 32};
+
+/// Fold a resource vector into LUT-equivalents.
+double lut_equivalents(const Resources& r) noexcept;
+
+/// Area relative to the OpenSPARC core, in percent.
+double relative_area_percent(const Resources& r) noexcept;
+
+std::string to_string(const Resources& r);
+
+}  // namespace smart2

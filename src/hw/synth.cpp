@@ -1,0 +1,154 @@
+#include "hw/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/adaboost.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+
+namespace smart2 {
+
+namespace {
+
+std::uint32_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint32_t>((a + b - 1) / b);
+}
+
+std::uint32_t log2_ceil(std::uint64_t n) {
+  std::uint32_t bits = 0;
+  std::uint64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+HlsEstimator::HlsEstimator(HlsParams params) : params_(params) {
+  lib_.data_width = params_.format.width();
+  if (params_.mac_columns == 0)
+    throw std::invalid_argument("HlsEstimator: need at least one MAC column");
+}
+
+HwDesign HlsEstimator::synthesize(const Classifier& c) const {
+  if (!c.trained())
+    throw std::invalid_argument("HlsEstimator: classifier is not trained");
+
+  HwDesign design;
+  design.classifier = c.name();
+
+  if (const auto* tree = dynamic_cast<const DecisionTree*>(&c)) {
+    const std::uint64_t internal = tree->node_count() - tree->leaf_count();
+    const std::uint64_t depth = std::max<std::size_t>(tree->depth(), 1);
+    // One comparator + threshold constant per internal node; a pipeline
+    // register stage per level; leaf distribution ROM.
+    design.resources += lib_.comparator().scaled(std::max<std::uint64_t>(internal, 1));
+    design.resources += lib_.rom(std::max<std::uint64_t>(internal, 1));
+    design.resources += lib_.pipeline_register().scaled(depth);
+    design.resources += lib_.rom(tree->leaf_count());
+    design.resources += lib_.priority_encoder(tree->leaf_count());
+    design.latency_cycles = static_cast<std::uint32_t>(depth);
+  } else if (const auto* rules = dynamic_cast<const Ripper*>(&c)) {
+    const std::uint64_t conds =
+        std::max<std::uint64_t>(rules->condition_count(), 1);
+    std::uint64_t max_conds = 1;
+    for (const auto& r : rules->rules())
+      max_conds = std::max<std::uint64_t>(max_conds, r.conditions.size());
+    // All conditions evaluate in parallel; each rule ANDs its conditions;
+    // a priority encoder picks the first matching rule.
+    design.resources += lib_.comparator().scaled(conds);
+    design.resources += lib_.rom(conds);
+    design.resources += Resources{conds / 2 + 4, 0, 0, 0};  // AND network
+    design.resources +=
+        lib_.priority_encoder(rules->rules().size() + 1);
+    design.latency_cycles = 1 + log2_ceil(max_conds + 1);
+  } else if (const auto* oner = dynamic_cast<const OneR*>(&c)) {
+    const std::uint64_t buckets =
+        std::max<std::uint64_t>(oner->buckets().size(), 1);
+    design.resources += lib_.comparator().scaled(buckets - 1 ? buckets - 1 : 1);
+    design.resources += lib_.rom(buckets);
+    design.resources += lib_.priority_encoder(buckets);
+    design.latency_cycles = 1;
+  } else if (const auto* mlp = dynamic_cast<const Mlp*>(&c)) {
+    const std::uint64_t in = mlp->feature_count();
+    const std::uint64_t hid = mlp->hidden_units();
+    const std::uint64_t out = mlp->class_count();
+    const std::uint64_t weights = in * hid + hid * out;
+    // Weight array in DSPs (parallel columns), weight ROM, one sigmoid unit
+    // per hidden neuron, adder trees. Layers are scheduled serially over the
+    // available MAC columns.
+    design.resources += lib_.multiplier().scaled(weights);
+    design.resources += lib_.rom(weights);
+    design.resources += lib_.adder().scaled(hid + out);
+    design.resources += lib_.sigmoid_unit().scaled(hid);
+    design.resources += lib_.exp_unit().scaled(out);
+    design.resources += lib_.pipeline_register().scaled(hid + out);
+    design.latency_cycles = ceil_div(in * hid, params_.mac_columns) +
+                            ceil_div(hid * out, params_.mac_columns) +
+                            2 /* sigmoid */ + log2_ceil(in) + log2_ceil(hid) +
+                            6 /* softmax */;
+  } else if (const auto* mlr = dynamic_cast<const LogisticRegression*>(&c)) {
+    const std::uint64_t in = mlr->coefficients().empty()
+                                 ? 1
+                                 : mlr->coefficients()[0].size();
+    const std::uint64_t out = mlr->coefficients().size();
+    const std::uint64_t weights = in * out;
+    design.resources += lib_.multiplier().scaled(weights);
+    design.resources += lib_.rom(weights);
+    design.resources += lib_.adder().scaled(out);
+    design.resources += lib_.exp_unit().scaled(out);
+    design.latency_cycles =
+        ceil_div(weights, params_.mac_columns) + log2_ceil(in) + 6;
+  } else if (const auto* boost = dynamic_cast<const AdaBoost*>(&c)) {
+    // Members instantiated side by side; evaluated serially into the
+    // weighted vote (one accumulate per member), plus the final compare.
+    std::uint32_t latency = 0;
+    for (std::size_t m = 0; m < boost->round_count(); ++m) {
+      const HwDesign member = synthesize(boost->member(m));
+      design.resources += member.resources;
+      latency += member.latency_cycles + 2;  // vote multiply-accumulate
+    }
+    design.resources +=
+        lib_.multiplier().scaled(1) + lib_.adder().scaled(1);
+    design.latency_cycles = latency + 3;
+  } else {
+    throw std::invalid_argument("HlsEstimator: no hardware mapping for " +
+                                c.name());
+  }
+
+  design.area_percent = relative_area_percent(design.resources);
+  return design;
+}
+
+double quantized_agreement(const Classifier& c, const Dataset& d,
+                           FixedPointFormat format) {
+  if (d.empty()) return 1.0;
+  // Per-feature max-scaling to [-1, 1], as a hardware input frontend would.
+  std::vector<double> scale(d.feature_count(), 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto x = d.features(i);
+    for (std::size_t f = 0; f < x.size(); ++f)
+      scale[f] = std::max(scale[f], std::abs(x[f]));
+  }
+  for (double& s : scale)
+    if (s <= 0.0) s = 1.0;
+
+  std::size_t agree = 0;
+  std::vector<double> q(d.feature_count());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto x = d.features(i);
+    for (std::size_t f = 0; f < x.size(); ++f)
+      q[f] = format.round_trip(x[f] / scale[f]) * scale[f];
+    if (c.predict(x) == c.predict(q)) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(d.size());
+}
+
+}  // namespace smart2

@@ -1,0 +1,61 @@
+// HLS-style lowering of trained classifiers to hardware designs.
+//
+// Mirrors the paper's Vivado-HLS flow on Virtex-7 (Table V): every detector
+// becomes a fixed-point datapath whose latency (cycles @10 ns) and area
+// (relative to an OpenSPARC core) we estimate structurally:
+//
+//   OneR  — parallel threshold comparators + priority encoder (1 cycle).
+//   JRip  — per-condition comparators, per-rule AND trees, first-match
+//           priority encoder (a few cycles).
+//   J48   — one comparator stage per tree level, pipelined (latency = depth).
+//   MLP   — DSP-parallel weight array, layer-serial schedule with a bounded
+//           number of MAC columns (large area, long latency).
+//   MLR   — weight array + exp/softmax units.
+//   AdaBoost — members instantiated side by side (area adds) and evaluated
+//           serially into the weighted vote (latency adds).
+#pragma once
+
+#include <string>
+
+#include "hw/fixed_point.hpp"
+#include "hw/resource_model.hpp"
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+struct HwDesign {
+  std::string classifier;
+  Resources resources;
+  std::uint32_t latency_cycles = 0;  // @10 ns clock
+  double area_percent = 0.0;         // vs OpenSPARC core
+};
+
+struct HlsParams {
+  FixedPointFormat format{10, 6};
+  /// MAC columns available to neural layers (time-multiplexing factor).
+  std::uint32_t mac_columns = 4;
+};
+
+class HlsEstimator {
+ public:
+  explicit HlsEstimator(HlsParams params = HlsParams{});
+
+  /// Lower a trained classifier. Throws std::invalid_argument for
+  /// classifier types without a hardware mapping.
+  HwDesign synthesize(const Classifier& c) const;
+
+  const HlsParams& params() const { return params_; }
+
+ private:
+  HlsParams params_;
+  ResourceLibrary lib_;
+};
+
+/// Fraction of instances of `d` whose prediction is unchanged when the
+/// feature inputs are quantized to `format` (features are max-scaled to
+/// [-1, 1] first, as the hardware frontend would). 1.0 = no quantization
+/// impact.
+double quantized_agreement(const Classifier& c, const Dataset& d,
+                           FixedPointFormat format);
+
+}  // namespace smart2

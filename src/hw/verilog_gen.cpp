@@ -1,0 +1,404 @@
+#include "hw/verilog_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "ml/adaboost.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+
+namespace smart2 {
+
+namespace {
+
+int class_bits(std::size_t classes) {
+  int bits = 1;
+  while ((std::size_t{1} << bits) < classes) ++bits;
+  return bits;
+}
+
+std::string signed_literal(int width, std::int64_t value) {
+  std::ostringstream out;
+  if (value < 0)
+    out << "-" << width << "'sd" << -value;
+  else
+    out << width << "'sd" << value;
+  return out.str();
+}
+
+std::string class_literal(int bits, int value) {
+  return std::to_string(bits) + "'d" + std::to_string(value);
+}
+
+/// Scaled, quantized threshold for comparisons against input f.
+std::int64_t quantize_threshold(double threshold, double scale,
+                                const FixedPointFormat& fmt) {
+  return fmt.quantize(threshold / scale);
+}
+
+struct Emitter {
+  const FixedPointFormat& fmt;
+  const std::vector<double>& scale;
+  int cbits;
+  std::ostringstream body;
+
+  std::string input(std::size_t f) const {
+    return "in" + std::to_string(f);
+  }
+  std::string cmp_le(std::size_t f, double threshold) const {
+    return "(" + input(f) + " <= " +
+           signed_literal(fmt.width(),
+                          quantize_threshold(threshold, scale[f], fmt)) +
+           ")";
+  }
+};
+
+std::string tree_expr(const Emitter& e, const DecisionTree::Node* node) {
+  if (node->is_leaf) {
+    const int cls = static_cast<int>(
+        std::max_element(node->class_weight.begin(),
+                         node->class_weight.end()) -
+        node->class_weight.begin());
+    return class_literal(e.cbits, cls);
+  }
+  return "(" + e.cmp_le(node->feature, node->threshold) + " ? " +
+         tree_expr(e, node->left.get()) + " : " +
+         tree_expr(e, node->right.get()) + ")";
+}
+
+/// Declare-and-assign helper: `target` empty means the module output.
+std::string target_decl(const Emitter& e, const std::string& target) {
+  if (target.empty()) return "  assign class_out =";
+  return "  wire [" + std::to_string(e.cbits - 1) + ":0] " + target + " =";
+}
+
+void emit_tree(Emitter& e, const DecisionTree& tree,
+               const std::string& target = "") {
+  e.body << target_decl(e, target) << " " << tree_expr(e, tree.root())
+         << ";\n";
+}
+
+void emit_oner(Emitter& e, const OneR& oner, const std::string& target = "") {
+  const auto& buckets = oner.buckets();
+  // Cascade of threshold comparisons, lowest bucket first (the trained
+  // buckets are ordered by upper bound).
+  e.body << target_decl(e, target) << "\n";
+  for (std::size_t b = 0; b + 1 < buckets.size(); ++b) {
+    e.body << "    " << e.cmp_le(oner.rule_feature(), buckets[b].upper)
+           << " ? " << class_literal(e.cbits, buckets[b].majority)
+           << " :\n";
+  }
+  e.body << "    " << class_literal(e.cbits, buckets.back().majority)
+         << ";\n";
+}
+
+void emit_ripper(Emitter& e, const Ripper& ripper,
+                 const std::string& target = "",
+                 const std::string& prefix = "rule") {
+  const auto& rules = ripper.rules();
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    e.body << "  wire " << prefix << r << " = ";
+    const auto& conds = rules[r].conditions;
+    if (conds.empty()) {
+      e.body << "1'b1";
+    } else {
+      for (std::size_t c = 0; c < conds.size(); ++c) {
+        if (c) e.body << " & ";
+        const std::string le = e.cmp_le(conds[c].feature, conds[c].threshold);
+        e.body << (conds[c].less_equal ? le : "~" + le);
+      }
+    }
+    e.body << ";\n";
+  }
+  // First-match priority encoder; the default class closes the chain.
+  e.body << target_decl(e, target) << "\n";
+  for (std::size_t r = 0; r < rules.size(); ++r)
+    e.body << "    " << prefix << r << " ? "
+           << class_literal(e.cbits, rules[r].predicted) << " :\n";
+  e.body << "    " << class_literal(e.cbits, ripper.default_class())
+         << ";\n";
+}
+
+/// One ensemble member lowered to a named wire; true if the member type has
+/// a combinational mapping.
+bool emit_member(Emitter& e, const Classifier& member,
+                 const std::string& target, std::size_t index) {
+  if (const auto* tree = dynamic_cast<const DecisionTree*>(&member)) {
+    emit_tree(e, *tree, target);
+    return true;
+  }
+  if (const auto* oner = dynamic_cast<const OneR*>(&member)) {
+    emit_oner(e, *oner, target);
+    return true;
+  }
+  if (const auto* rules = dynamic_cast<const Ripper*>(&member)) {
+    emit_ripper(e, *rules, target, "m" + std::to_string(index) + "_rule");
+    return true;
+  }
+  return false;
+}
+
+void emit_adaboost(Emitter& e, const AdaBoost& boost,
+                   std::size_t num_classes) {
+  // Members evaluate in parallel; each contributes its (fixed-point
+  // quantized) alpha to the class it votes for; argmax wins.
+  constexpr int kAlphaFraction = 8;
+  const int vote_width = 24;
+
+  std::vector<std::string> member_wire(boost.round_count());
+  for (std::size_t m = 0; m < boost.round_count(); ++m) {
+    member_wire[m] = "member" + std::to_string(m) + "_class";
+    if (!emit_member(e, boost.member(m), member_wire[m], m))
+      throw std::invalid_argument(
+          "generate_verilog: AdaBoost member has no combinational mapping: " +
+          boost.member(m).name());
+  }
+
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    e.body << "  wire [" << vote_width - 1 << ":0] vote" << c << " =";
+    for (std::size_t m = 0; m < boost.round_count(); ++m) {
+      const auto alpha_q = static_cast<std::int64_t>(
+          boost.member_weight(m) * (1 << kAlphaFraction));
+      if (m) e.body << "\n    +";
+      e.body << " ((" << member_wire[m]
+             << " == " << class_literal(e.cbits, static_cast<int>(c))
+             << ") ? " << vote_width << "'d" << alpha_q << " : "
+             << vote_width << "'d0)";
+    }
+    e.body << ";\n";
+  }
+
+  e.body << "  assign class_out =\n";
+  for (std::size_t c = 0; c + 1 < num_classes; ++c) {
+    e.body << "    (";
+    bool first = true;
+    for (std::size_t o = 0; o < num_classes; ++o) {
+      if (o == c) continue;
+      if (!first) e.body << " && ";
+      e.body << "vote" << c << " >= vote" << o;
+      first = false;
+    }
+    e.body << ") ? " << class_literal(e.cbits, static_cast<int>(c))
+           << " :\n";
+  }
+  e.body << "    "
+         << class_literal(e.cbits, static_cast<int>(num_classes - 1))
+         << ";\n";
+}
+
+void emit_mlr(Emitter& e, const LogisticRegression& mlr,
+              std::size_t features) {
+  // The trained model scores standardized inputs: score_c = sum_f w[c][f] *
+  // (raw_f - mu_f) / sigma_f + b_c. The hardware sees in_f = raw_f /
+  // scale_f, so the standardizer folds into the constants: w' = w * scale /
+  // sigma and b' = b - sum(w * mu / sigma).
+  const auto& w = mlr.coefficients();
+  const auto& bias = mlr.bias();
+  const auto& mu = mlr.scaler().mean();
+  const auto& sigma = mlr.scaler().stddev();
+  const int acc_width = 2 * e.fmt.width() + 4;
+
+  for (std::size_t c = 0; c < w.size(); ++c) {
+    e.body << "  wire signed [" << acc_width - 1 << ":0] score" << c
+           << " =\n      ";
+    double folded_bias = bias[c];
+    for (std::size_t f = 0; f < features; ++f) {
+      const double s = sigma[f] > 1e-12 ? sigma[f] : 1.0;
+      const double folded_w = w[c][f] * e.scale[f] / s;
+      folded_bias -= w[c][f] * mu[f] / s;
+      if (f) e.body << "\n    + ";
+      const std::int64_t q = e.fmt.quantize(folded_w);
+      e.body << "(" << e.input(f) << " * "
+             << signed_literal(e.fmt.width(), q) << ")";
+    }
+    const std::int64_t qb = e.fmt.quantize(folded_bias)
+                            << e.fmt.fraction_bits;
+    e.body << "\n    + " << signed_literal(acc_width, qb) << ";\n";
+  }
+  // Argmax over class scores.
+  e.body << "  assign class_out =\n";
+  for (std::size_t c = 0; c < w.size(); ++c) {
+    if (c + 1 == w.size()) {
+      e.body << "    " << class_literal(e.cbits, static_cast<int>(c))
+             << ";\n";
+      break;
+    }
+    e.body << "    (";
+    bool first = true;
+    for (std::size_t o = 0; o < w.size(); ++o) {
+      if (o == c) continue;
+      if (!first) e.body << " && ";
+      e.body << "score" << c << " >= score" << o;
+      first = false;
+    }
+    e.body << ") ? " << class_literal(e.cbits, static_cast<int>(c))
+           << " :\n";
+  }
+}
+
+}  // namespace
+
+VerilogModule generate_verilog(const Classifier& c, const std::string& name,
+                               const VerilogOptions& options) {
+  if (!c.trained())
+    throw std::invalid_argument("generate_verilog: classifier is not trained");
+  if (options.scale_reference == nullptr)
+    throw std::invalid_argument("generate_verilog: need a scale reference");
+  const Dataset& ref = *options.scale_reference;
+  if (ref.feature_count() != c.feature_count())
+    throw std::invalid_argument(
+        "generate_verilog: scale reference feature width mismatch");
+
+  VerilogModule module;
+  module.name = name;
+  module.format = options.format;
+  module.input_scale.assign(c.feature_count(), 1.0);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const auto x = ref.features(i);
+    for (std::size_t f = 0; f < x.size(); ++f)
+      module.input_scale[f] =
+          std::max(module.input_scale[f], std::abs(x[f]));
+  }
+
+  Emitter e{options.format, module.input_scale,
+            class_bits(std::max<std::size_t>(c.class_count(), 2)), {}};
+
+  if (const auto* tree = dynamic_cast<const DecisionTree*>(&c)) {
+    emit_tree(e, *tree);
+  } else if (const auto* oner = dynamic_cast<const OneR*>(&c)) {
+    emit_oner(e, *oner);
+  } else if (const auto* rules = dynamic_cast<const Ripper*>(&c)) {
+    emit_ripper(e, *rules);
+  } else if (const auto* mlr = dynamic_cast<const LogisticRegression*>(&c)) {
+    emit_mlr(e, *mlr, c.feature_count());
+  } else if (const auto* boost = dynamic_cast<const AdaBoost*>(&c)) {
+    emit_adaboost(e, *boost, std::max<std::size_t>(c.class_count(), 2));
+  } else {
+    throw std::invalid_argument(
+        "generate_verilog: no combinational mapping for " + c.name());
+  }
+
+  std::ostringstream out;
+  out << "// Generated by smart2 from a trained " << c.name()
+      << " detector.\n";
+  out << "// Inputs: Q" << options.format.integer_bits << "."
+      << options.format.fraction_bits
+      << " fixed-point, max-scaled per feature (see input_scale).\n";
+  out << "module " << name << " (\n";
+  for (std::size_t f = 0; f < c.feature_count(); ++f)
+    out << "  input  signed [" << options.format.width() - 1 << ":0] in" << f
+        << ",\n";
+  out << "  output [" << e.cbits - 1 << ":0] class_out\n";
+  out << ");\n";
+  out << e.body.str();
+  out << "endmodule\n";
+  module.source = out.str();
+  return module;
+}
+
+std::string generate_testbench(const VerilogModule& module,
+                               const Classifier& c, const Dataset& probe,
+                               std::size_t vectors) {
+  if (!c.trained())
+    throw std::invalid_argument("generate_testbench: classifier not trained");
+  if (probe.feature_count() != module.input_scale.size())
+    throw std::invalid_argument(
+        "generate_testbench: probe feature width mismatch");
+  const std::size_t n = std::min<std::size_t>(vectors, probe.size());
+  if (n == 0)
+    throw std::invalid_argument("generate_testbench: empty probe set");
+
+  const FixedPointFormat& fmt = module.format;
+  const std::size_t inputs = module.input_scale.size();
+  const int cbits = class_bits(std::max<std::size_t>(c.class_count(), 2));
+
+  std::ostringstream out;
+  out << "// Self-checking testbench for " << module.name
+      << " (generated by smart2).\n";
+  out << "`timescale 1ns/1ps\n";
+  out << "module " << module.name << "_tb;\n";
+  for (std::size_t f = 0; f < inputs; ++f)
+    out << "  reg signed [" << fmt.width() - 1 << ":0] in" << f << ";\n";
+  out << "  wire [" << cbits - 1 << ":0] class_out;\n";
+  out << "  integer failures = 0;\n\n";
+  out << "  " << module.name << " dut (";
+  for (std::size_t f = 0; f < inputs; ++f) out << ".in" << f << "(in" << f
+                                               << "), ";
+  out << ".class_out(class_out));\n\n";
+  out << "  task check(input [" << cbits - 1
+      << ":0] expected, input integer idx);\n"
+      << "    begin\n"
+      << "      #1;\n"
+      << "      if (class_out !== expected) begin\n"
+      << "        $display(\"FAIL vector %0d: got %0d expected %0d\", idx, "
+         "class_out, expected);\n"
+      << "        failures = failures + 1;\n"
+      << "      end\n"
+      << "    end\n"
+      << "  endtask\n\n";
+  out << "  initial begin\n";
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = probe.features(i);
+    // Quantize through the same frontend path the module expects, then ask
+    // the C++ model what the hardware should answer on those exact values.
+    std::vector<double> quantized(inputs);
+    for (std::size_t f = 0; f < inputs; ++f) {
+      const std::int64_t q = fmt.quantize(x[f] / module.input_scale[f]);
+      quantized[f] = fmt.dequantize(q) * module.input_scale[f];
+      out << "    in" << f << " = ";
+      if (q < 0)
+        out << "-" << fmt.width() << "'sd" << -q;
+      else
+        out << fmt.width() << "'sd" << q;
+      out << "; ";
+    }
+    const int expected = c.predict(quantized);
+    out << "check(" << cbits << "'d" << expected << ", " << i << ");\n";
+  }
+
+  out << "    if (failures == 0) $display(\"PASS: all " << n
+      << " vectors\");\n"
+      << "    else $display(\"FAILURES: %0d of " << n << "\", failures);\n"
+      << "    $finish;\n"
+      << "  end\n"
+      << "endmodule\n";
+  return out.str();
+}
+
+std::string verilog_lint(const VerilogModule& module) {
+  const std::string& s = module.source;
+  auto count = [&](const std::string& token) {
+    std::size_t n = 0;
+    std::size_t pos = 0;
+    while ((pos = s.find(token, pos)) != std::string::npos) {
+      ++n;
+      pos += token.size();
+    }
+    return n;
+  };
+  if (count("module " + module.name) != 1) return "missing module header";
+  if (count("endmodule") != 1) return "missing endmodule";
+  if (count("assign class_out") != 1) return "missing class_out assignment";
+
+  long parens = 0;
+  for (char ch : s) {
+    if (ch == '(') ++parens;
+    if (ch == ')') --parens;
+    if (parens < 0) return "unbalanced parentheses";
+  }
+  if (parens != 0) return "unbalanced parentheses";
+
+  for (std::size_t f = 0; f < module.input_scale.size(); ++f) {
+    const std::string port = "in" + std::to_string(f);
+    if (s.find("] " + port) == std::string::npos)
+      return "missing input port " + port;
+  }
+  return {};
+}
+
+}  // namespace smart2

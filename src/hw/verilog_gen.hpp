@@ -1,0 +1,60 @@
+// Synthesizable Verilog generation for trained detectors.
+//
+// The cost model in synth.hpp *estimates* hardware; this module *emits* it:
+// a combinational Verilog module computing the predicted class from
+// fixed-point feature inputs. Supported classifier structures are the ones
+// with direct combinational datapaths — OneR (threshold cascade), J48
+// (comparator tree), JRip (parallel rules + priority encoder), and MLR
+// (multiply-accumulate + argmax). MLP and ensembles require a sequential
+// schedule and are rejected.
+//
+// Feature inputs are expected pre-scaled by the per-feature factors in
+// VerilogModule::input_scale (raw counter value / scale, then quantized to
+// the fixed-point format) — the same max-scaling quantized_agreement() uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hw/fixed_point.hpp"
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+struct VerilogModule {
+  std::string name;
+  std::string source;                 // the full module text
+  std::vector<double> input_scale;    // raw-counter divisor per input
+  FixedPointFormat format;
+};
+
+struct VerilogOptions {
+  FixedPointFormat format{10, 6};
+  /// Dataset used to derive the per-feature input scaling (max |value|).
+  /// Must match the classifier's training feature space.
+  const Dataset* scale_reference = nullptr;
+};
+
+/// Emit a combinational Verilog module for a trained classifier.
+/// Throws std::invalid_argument for unsupported classifier types or an
+/// untrained model.
+VerilogModule generate_verilog(const Classifier& c, const std::string& name,
+                               const VerilogOptions& options);
+
+/// Lightweight structural sanity check used by tests and callers that want
+/// to fail fast: balanced module/endmodule and begin/end, every input port
+/// referenced, non-empty body. Returns an empty string when OK, otherwise a
+/// description of the first problem.
+std::string verilog_lint(const VerilogModule& module);
+
+/// Emit a self-checking Verilog testbench for `module`: `vectors` instances
+/// from `probe` are quantized exactly as the hardware frontend would, the
+/// C++ model supplies the expected class per vector, and the testbench
+/// $display's PASS/FAIL per vector plus a summary. Runs under any Verilog
+/// simulator (iverilog, Verilator --binary, xsim).
+std::string generate_testbench(const VerilogModule& module,
+                               const Classifier& c, const Dataset& probe,
+                               std::size_t vectors = 16);
+
+}  // namespace smart2

@@ -1,0 +1,140 @@
+#include "ml/adaboost.hpp"
+
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/serialize.hpp"
+
+namespace smart2 {
+
+AdaBoost::AdaBoost(std::unique_ptr<Classifier> prototype)
+    : AdaBoost(std::move(prototype), Params{}) {}
+
+AdaBoost::AdaBoost(std::unique_ptr<Classifier> prototype, Params params)
+    : params_(params), prototype_(std::move(prototype)) {
+  if (!prototype_)
+    throw std::invalid_argument("AdaBoost: null base-learner prototype");
+}
+
+void AdaBoost::fit_weighted(const Dataset& train,
+                            std::span<const double> weights) {
+  if (train.empty())
+    throw std::invalid_argument("AdaBoost: empty training set");
+  if (weights.size() != train.size())
+    throw std::invalid_argument("AdaBoost: weight count mismatch");
+
+  const std::size_t n = train.size();
+  members_.clear();
+  Rng rng(params_.seed);
+
+  // Boosting weights start from the caller's weights, normalized.
+  std::vector<double> w(weights.begin(), weights.end());
+  double total = std::accumulate(w.begin(), w.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("AdaBoost: zero total weight");
+  for (double& x : w) x /= total;
+
+  const bool resample =
+      params_.force_resampling || !prototype_->supports_instance_weights();
+
+  // Base learners with absolute weight thresholds (J48's -M, OneR's -B)
+  // expect weights on the scale of instance counts, so hand them the
+  // distribution scaled back up to sum to n.
+  std::vector<double> scaled(n);
+
+  for (int t = 0; t < params_.rounds; ++t) {
+    auto model = prototype_->clone_untrained();
+    if (resample) {
+      Dataset sample = train.resample_weighted(w, n, rng);
+      model->fit(sample);
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        scaled[i] = w[i] * static_cast<double>(n);
+      model->fit_weighted(train, scaled);
+    }
+
+    // Weighted training error of this round's model.
+    double err = 0.0;
+    std::vector<bool> wrong(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      wrong[i] = model->predict(train.features(i)) != train.label(i);
+      if (wrong[i]) err += w[i];
+    }
+
+    if (err <= 1e-12) {
+      // Perfect member dominates; keep it with a large finite vote and stop.
+      members_.push_back({std::move(model), 10.0});
+      break;
+    }
+    if (err >= 0.5) {
+      // Worse than chance: stop boosting. Keep at least one member so the
+      // ensemble is usable.
+      if (members_.empty()) members_.push_back({std::move(model), 1.0});
+      break;
+    }
+
+    const double beta = err / (1.0 - err);
+    const double alpha = std::log(1.0 / beta);
+    // Down-weight correctly classified instances, then renormalize.
+    double new_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!wrong[i]) w[i] *= beta;
+      new_total += w[i];
+    }
+    for (double& x : w) x /= new_total;
+
+    members_.push_back({std::move(model), alpha});
+  }
+  mark_trained(train);
+}
+
+std::vector<double> AdaBoost::predict_proba(std::span<const double> x) const {
+  require_trained();
+  std::vector<double> proba(class_count(), 0.0);
+  double total_alpha = 0.0;
+  for (const auto& m : members_) {
+    const auto p = m.model->predict_proba(x);
+    for (std::size_t c = 0; c < proba.size(); ++c)
+      proba[c] += m.alpha * p[c];
+    total_alpha += m.alpha;
+  }
+  if (total_alpha > 0.0)
+    for (double& p : proba) p /= total_alpha;
+  else
+    for (double& p : proba) p = 1.0 / static_cast<double>(proba.size());
+  return proba;
+}
+
+std::unique_ptr<Classifier> AdaBoost::clone_untrained() const {
+  return std::make_unique<AdaBoost>(prototype_->clone_untrained(), params_);
+}
+
+std::string AdaBoost::name() const {
+  return "AdaBoost(" + prototype_->name() + ")";
+}
+
+void AdaBoost::save_body(std::ostream& out) const {
+  require_trained();
+  out << members_.size() << '\n';
+  for (const Member& m : members_) {
+    out << m.alpha << '\n';
+    serialize_classifier(*m.model, out);
+  }
+}
+
+void AdaBoost::load_body(std::istream& in) {
+  std::size_t count = 0;
+  if (!(in >> count)) throw std::runtime_error("AdaBoost: bad body");
+  members_.clear();
+  members_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Member m;
+    if (!(in >> m.alpha)) throw std::runtime_error("AdaBoost: bad member");
+    m.model = deserialize_classifier(in);
+    members_.push_back(std::move(m));
+  }
+}
+
+}  // namespace smart2

@@ -1,0 +1,48 @@
+// AdaBoost.M1 (Freund & Schapire) over an arbitrary base learner — the
+// "Boosted-HMD" component of 2SMaRT's second stage.
+//
+// Base learners that support instance weights are trained on the weighted
+// set directly; the rest are trained on a weighted resample (WEKA's
+// "resume by resampling" behaviour).
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+class AdaBoost final : public Classifier {
+ public:
+  struct Params {
+    int rounds = 10;                 // WEKA AdaBoostM1 default (-I 10)
+    bool force_resampling = false;   // resample even for weight-aware bases
+    std::uint64_t seed = 0xb0057;
+  };
+
+  /// `prototype` supplies untrained clones for every boosting round.
+  explicit AdaBoost(std::unique_ptr<Classifier> prototype);
+  AdaBoost(std::unique_ptr<Classifier> prototype, Params params);
+
+  void fit_weighted(const Dataset& train,
+                    std::span<const double> weights) override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  std::string name() const override;
+  void save_body(std::ostream& out) const override;
+  void load_body(std::istream& in) override;
+
+  std::size_t round_count() const { return members_.size(); }
+  const Classifier& member(std::size_t i) const { return *members_[i].model; }
+  double member_weight(std::size_t i) const { return members_[i].alpha; }
+
+ private:
+  struct Member {
+    std::unique_ptr<Classifier> model;
+    double alpha = 0.0;
+  };
+
+  Params params_;
+  std::unique_ptr<Classifier> prototype_;
+  std::vector<Member> members_;
+};
+
+}  // namespace smart2

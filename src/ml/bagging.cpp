@@ -1,0 +1,82 @@
+#include "ml/bagging.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/serialize.hpp"
+
+namespace smart2 {
+
+Bagging::Bagging(std::unique_ptr<Classifier> prototype)
+    : Bagging(std::move(prototype), Params{}) {}
+
+Bagging::Bagging(std::unique_ptr<Classifier> prototype, Params params)
+    : params_(params), prototype_(std::move(prototype)) {
+  if (!prototype_)
+    throw std::invalid_argument("Bagging: null base-learner prototype");
+  if (params_.bags <= 0)
+    throw std::invalid_argument("Bagging: need at least one bag");
+  if (params_.sample_fraction <= 0.0)
+    throw std::invalid_argument("Bagging: bad sample fraction");
+}
+
+void Bagging::fit_weighted(const Dataset& train,
+                           std::span<const double> weights) {
+  if (train.empty()) throw std::invalid_argument("Bagging: empty training set");
+  if (weights.size() != train.size())
+    throw std::invalid_argument("Bagging: weight count mismatch");
+
+  members_.clear();
+  Rng rng(params_.seed);
+  const auto sample_size = static_cast<std::size_t>(std::lround(
+      params_.sample_fraction * static_cast<double>(train.size())));
+
+  for (int b = 0; b < params_.bags; ++b) {
+    // Bootstrap respecting caller weights: sampling probability is the
+    // (normalized) instance weight.
+    Dataset bag = train.resample_weighted(
+        weights, std::max<std::size_t>(sample_size, 1), rng);
+    auto model = prototype_->clone_untrained();
+    model->fit(bag);
+    members_.push_back(std::move(model));
+  }
+  mark_trained(train);
+}
+
+std::vector<double> Bagging::predict_proba(std::span<const double> x) const {
+  require_trained();
+  std::vector<double> proba(class_count(), 0.0);
+  for (const auto& m : members_) {
+    const auto p = m->predict_proba(x);
+    for (std::size_t c = 0; c < proba.size(); ++c) proba[c] += p[c];
+  }
+  for (double& p : proba) p /= static_cast<double>(members_.size());
+  return proba;
+}
+
+std::unique_ptr<Classifier> Bagging::clone_untrained() const {
+  return std::make_unique<Bagging>(prototype_->clone_untrained(), params_);
+}
+
+std::string Bagging::name() const {
+  return "Bagging(" + prototype_->name() + ")";
+}
+
+void Bagging::save_body(std::ostream& out) const {
+  require_trained();
+  out << members_.size() << '\n';
+  for (const auto& m : members_) serialize_classifier(*m, out);
+}
+
+void Bagging::load_body(std::istream& in) {
+  std::size_t count = 0;
+  if (!(in >> count)) throw std::runtime_error("Bagging: bad body");
+  members_.clear();
+  members_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    members_.push_back(deserialize_classifier(in));
+}
+
+}  // namespace smart2

@@ -1,0 +1,39 @@
+// Bagging (bootstrap aggregating) — the second ensemble family discussed by
+// the HMD literature the paper cites (Sayadi et al. DAC'18 compare boosting
+// against bagging). Provided as an extension so the ablation bench can
+// contrast it with the paper's AdaBoost choice.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+class Bagging final : public Classifier {
+ public:
+  struct Params {
+    int bags = 10;              // WEKA Bagging default (-I 10)
+    double sample_fraction = 1.0;  // bootstrap size relative to train size
+    std::uint64_t seed = 0xba66;
+  };
+
+  explicit Bagging(std::unique_ptr<Classifier> prototype);
+  Bagging(std::unique_ptr<Classifier> prototype, Params params);
+
+  void fit_weighted(const Dataset& train,
+                    std::span<const double> weights) override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  std::string name() const override;
+  void save_body(std::ostream& out) const override;
+  void load_body(std::istream& in) override;
+
+  std::size_t bag_count() const { return members_.size(); }
+  const Classifier& member(std::size_t i) const { return *members_[i]; }
+
+ private:
+  Params params_;
+  std::unique_ptr<Classifier> prototype_;
+  std::vector<std::unique_ptr<Classifier>> members_;
+};
+
+}  // namespace smart2

@@ -1,0 +1,58 @@
+#include "ml/classifier.hpp"
+
+#include <stdexcept>
+
+namespace smart2 {
+
+void Classifier::fit(const Dataset& train) {
+  const std::vector<double> w(train.size(), 1.0);
+  fit_weighted(train, w);
+}
+
+int Classifier::predict(std::span<const double> x) const {
+  const auto proba = predict_proba(x);
+  int best = 0;
+  double best_p = proba.empty() ? 0.0 : proba[0];
+  for (std::size_t k = 1; k < proba.size(); ++k) {
+    if (proba[k] > best_p) {
+      best_p = proba[k];
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+void Classifier::mark_trained(const Dataset& train) {
+  trained_ = true;
+  class_count_ = train.class_count();
+  feature_count_ = train.feature_count();
+}
+
+void Classifier::restore_schema(std::size_t class_count,
+                                std::size_t feature_count) {
+  trained_ = true;
+  class_count_ = class_count;
+  feature_count_ = feature_count;
+}
+
+void Classifier::require_trained() const {
+  if (!trained_)
+    throw std::logic_error(name() + ": predict called before fit");
+}
+
+std::vector<int> predict_all(const Classifier& c, const Dataset& d) {
+  std::vector<int> out(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) out[i] = c.predict(d.features(i));
+  return out;
+}
+
+std::vector<double> scores_positive(const Classifier& c, const Dataset& d) {
+  std::vector<double> out(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto p = c.predict_proba(d.features(i));
+    out[i] = p.size() > 1 ? p[1] : 0.0;
+  }
+  return out;
+}
+
+}  // namespace smart2

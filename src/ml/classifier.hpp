@@ -1,0 +1,79 @@
+// Abstract classifier interface shared by every learner in the repository.
+//
+// The interface mirrors what the 2SMaRT pipeline needs: weighted training
+// (AdaBoost), probabilistic outputs (ROC/AUC, MLR class probabilities), and
+// untrained cloning (ensembles instantiate fresh base learners).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace smart2 {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train with uniform instance weights.
+  void fit(const Dataset& train);
+
+  /// Train with per-instance weights (non-negative, any scale). Learners
+  /// that cannot consume weights natively report it via
+  /// supports_instance_weights(); callers (AdaBoost) then resample instead.
+  virtual void fit_weighted(const Dataset& train,
+                            std::span<const double> weights) = 0;
+
+  /// Class-probability distribution for one instance. Size equals the class
+  /// count of the training set. Must sum to ~1.
+  virtual std::vector<double> predict_proba(
+      std::span<const double> x) const = 0;
+
+  /// Predicted label: argmax of predict_proba (ties -> lowest label).
+  virtual int predict(std::span<const double> x) const;
+
+  /// Fresh untrained copy with identical hyper-parameters.
+  virtual std::unique_ptr<Classifier> clone_untrained() const = 0;
+
+  virtual std::string name() const = 0;
+
+  virtual bool supports_instance_weights() const { return true; }
+
+  /// Serialize the trained model body (schema header handled by
+  /// serialize_classifier). Throws std::logic_error if untrained.
+  virtual void save_body(std::ostream& out) const = 0;
+  /// Restore a model body written by save_body. The caller has already
+  /// established class/feature counts via restore_schema().
+  virtual void load_body(std::istream& in) = 0;
+
+  bool trained() const noexcept { return trained_; }
+  std::size_t class_count() const noexcept { return class_count_; }
+  std::size_t feature_count() const noexcept { return feature_count_; }
+
+  /// Set schema + trained flag directly (deserialization path).
+  void restore_schema(std::size_t class_count, std::size_t feature_count);
+
+ protected:
+  /// Record schema + set trained; call at the end of fit_weighted.
+  void mark_trained(const Dataset& train);
+  /// Throw std::logic_error if predict* is called before training.
+  void require_trained() const;
+
+ private:
+  bool trained_ = false;
+  std::size_t class_count_ = 0;
+  std::size_t feature_count_ = 0;
+};
+
+/// Labels predicted for every instance of `d`.
+std::vector<int> predict_all(const Classifier& c, const Dataset& d);
+
+/// Positive-class (label 1) scores for every instance of a binary dataset.
+std::vector<double> scores_positive(const Classifier& c, const Dataset& d);
+
+}  // namespace smart2

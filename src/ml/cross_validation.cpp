@@ -1,0 +1,107 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smart2 {
+
+std::vector<Dataset> stratified_folds(const Dataset& d, std::size_t k,
+                                      Rng& rng) {
+  if (k < 2) throw std::invalid_argument("stratified_folds: need k >= 2");
+  if (d.size() < k)
+    throw std::invalid_argument("stratified_folds: fewer instances than folds");
+
+  std::vector<std::vector<std::size_t>> per_class(d.class_count());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    per_class[static_cast<std::size_t>(d.label(i))].push_back(i);
+
+  std::vector<Dataset> folds(
+      k, Dataset(d.feature_names(), d.class_names()));
+  for (auto& group : per_class) {
+    rng.shuffle(group);
+    // Deal the class's instances round-robin across folds.
+    for (std::size_t j = 0; j < group.size(); ++j)
+      folds[j % k].add(d.features(group[j]), d.label(group[j]));
+  }
+  return folds;
+}
+
+namespace {
+
+/// Everything except fold `hold_out`, merged.
+Dataset merge_except(const std::vector<Dataset>& folds,
+                     std::size_t hold_out) {
+  Dataset merged(folds[0].feature_names(), folds[0].class_names());
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    if (f == hold_out) continue;
+    merged.append(folds[f]);
+  }
+  return merged;
+}
+
+}  // namespace
+
+CrossValidationResult cross_validate_binary(const Classifier& prototype,
+                                            const Dataset& d, std::size_t k,
+                                            Rng& rng) {
+  if (d.class_count() != 2)
+    throw std::invalid_argument("cross_validate_binary: dataset not binary");
+  const auto folds = stratified_folds(d, k, rng);
+
+  CrossValidationResult out;
+  out.folds.reserve(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    const Dataset train = merge_except(folds, f);
+    auto model = prototype.clone_untrained();
+    model->fit(train);
+    out.folds.push_back(evaluate_binary(*model, folds[f]));
+  }
+
+  out.mean = BinaryEval{};
+  out.mean.auc = 0.0;  // BinaryEval defaults auc to 0.5; we accumulate
+  for (const BinaryEval& ev : out.folds) {
+    out.mean.accuracy += ev.accuracy;
+    out.mean.precision += ev.precision;
+    out.mean.recall += ev.recall;
+    out.mean.f_measure += ev.f_measure;
+    out.mean.auc += ev.auc;
+    out.mean.performance += ev.performance;
+  }
+  const double n = static_cast<double>(k);
+  out.mean.accuracy /= n;
+  out.mean.precision /= n;
+  out.mean.recall /= n;
+  out.mean.f_measure /= n;
+  out.mean.auc /= n;
+  out.mean.performance /= n;
+
+  double var = 0.0;
+  for (const BinaryEval& ev : out.folds) {
+    const double dmean = ev.f_measure - out.mean.f_measure;
+    var += dmean * dmean;
+  }
+  out.f_stddev = k > 1 ? std::sqrt(var / (n - 1.0)) : 0.0;
+  return out;
+}
+
+double cross_validate_accuracy(const Classifier& prototype, const Dataset& d,
+                               std::size_t k, Rng& rng) {
+  const auto folds = stratified_folds(d, k, rng);
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < k; ++f) {
+    const Dataset train = merge_except(folds, f);
+    auto model = prototype.clone_untrained();
+    model->fit(train);
+    for (std::size_t i = 0; i < folds[f].size(); ++i) {
+      if (model->predict(folds[f].features(i)) == folds[f].label(i))
+        ++correct;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+}  // namespace smart2

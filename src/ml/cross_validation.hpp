@@ -1,0 +1,35 @@
+// Stratified k-fold cross-validation.
+//
+// The paper validates with a single 60/40 split; cross-validation is the
+// robustness extension used by the ablation bench to report variance across
+// folds (WEKA's default evaluation protocol).
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace smart2 {
+
+/// Partition `d` into `k` stratified folds (class ratios preserved in each).
+std::vector<Dataset> stratified_folds(const Dataset& d, std::size_t k,
+                                      Rng& rng);
+
+struct CrossValidationResult {
+  std::vector<BinaryEval> folds;
+  BinaryEval mean;       // arithmetic mean of all fold metrics
+  double f_stddev = 0.0; // spread of the F-measure across folds
+};
+
+/// k-fold CV of a binary classifier (labels 0/1). `prototype` supplies a
+/// fresh untrained clone per fold.
+CrossValidationResult cross_validate_binary(const Classifier& prototype,
+                                            const Dataset& d, std::size_t k,
+                                            Rng& rng);
+
+/// k-fold CV accuracy of a multiclass classifier.
+double cross_validate_accuracy(const Classifier& prototype, const Dataset& d,
+                               std::size_t k, Rng& rng);
+
+}  // namespace smart2

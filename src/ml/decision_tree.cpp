@@ -1,0 +1,362 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace smart2 {
+
+namespace {
+
+double weighted_entropy(const std::vector<double>& class_weight) {
+  double total = 0.0;
+  for (double w : class_weight) total += w;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : class_weight) {
+    if (w <= 0.0) continue;
+    const double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+}  // namespace
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+  // Acklam's rational approximation (relative error < 1.15e-9).
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double dd[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                  2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1 - plow;
+
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((dd[0] * q + dd[1]) * q + dd[2]) * q + dd[3]) * q + 1.0);
+  }
+  if (p > phigh) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((dd[0] * q + dd[1]) * q + dd[2]) * q + dd[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double c45_added_errors(double total, double errors, double cf) {
+  // Port of WEKA's Stats.addErrs.
+  if (total <= 0.0) return 0.0;
+  if (errors < 1.0) {
+    const double base = total * (1.0 - std::pow(cf, 1.0 / total));
+    if (errors == 0.0) return base;
+    return base + errors * (c45_added_errors(total, 1.0, cf) - base);
+  }
+  if (errors + 0.5 >= total) return std::max(total - errors, 0.0);
+
+  const double z = normal_quantile(1.0 - cf);
+  const double f = (errors + 0.5) / total;
+  const double r =
+      (f + z * z / (2.0 * total) +
+       z * std::sqrt(f / total - f * f / total +
+                     z * z / (4.0 * total * total))) /
+      (1.0 + z * z / total);
+  return r * total - errors;
+}
+
+struct DecisionTree::Split {
+  bool valid = false;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double gain_ratio = 0.0;
+  double info_gain = 0.0;
+};
+
+void DecisionTree::fit_weighted(const Dataset& train,
+                                std::span<const double> weights) {
+  if (train.empty())
+    throw std::invalid_argument("DecisionTree: empty training set");
+  if (weights.size() != train.size())
+    throw std::invalid_argument("DecisionTree: weight count mismatch");
+
+  std::vector<std::size_t> rows(train.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  // Subspace sampling mixes the data into the seed so ensemble members
+  // trained on different bootstrap samples explore different subspaces
+  // while staying fully deterministic.
+  std::uint64_t seed = params_.seed;
+  const std::size_t stride = std::max<std::size_t>(1, train.size() / 16);
+  for (std::size_t i = 0; i < train.size(); i += stride) {
+    std::uint64_t bits;
+    const double v = train.features(i)[0];
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    seed = (seed ^ bits) * 0x100000001b3ULL;
+  }
+  Rng rng(seed);
+  root_ = build(train, rows, weights, 0, rng);
+  if (params_.prune) prune_node(*root_);
+  mark_trained(train);
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::build(
+    const Dataset& d, const std::vector<std::size_t>& rows,
+    std::span<const double> weights, int depth, Rng& rng) {
+  const std::size_t k = d.class_count();
+  auto node = std::make_unique<Node>();
+  node->class_weight.assign(k, 0.0);
+  for (std::size_t i : rows)
+    node->class_weight[static_cast<std::size_t>(d.label(i))] += weights[i];
+
+  const double total = sum(node->class_weight);
+  const double majority =
+      *std::max_element(node->class_weight.begin(), node->class_weight.end());
+  const bool pure = majority >= total - 1e-12;
+  const bool too_small = total < 2.0 * params_.min_leaf_weight;
+  const bool too_deep =
+      params_.max_depth > 0 && depth >= params_.max_depth;
+  if (pure || too_small || too_deep) return node;
+
+  // Find the best binary split across all features by gain ratio, requiring
+  // positive information gain and both children above the leaf minimum.
+  const double parent_entropy = weighted_entropy(node->class_weight);
+  Split best;
+
+  // Candidate features: all of them, or a random subspace per split.
+  std::vector<std::size_t> candidates(d.feature_count());
+  std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  if (params_.split_feature_sample > 0 &&
+      params_.split_feature_sample < candidates.size()) {
+    rng.shuffle(candidates);
+    candidates.resize(params_.split_feature_sample);
+  }
+
+  std::vector<std::size_t> sorted(rows);
+  std::vector<double> left_weight(k);
+  for (std::size_t f : candidates) {
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return d.features(a)[f] < d.features(b)[f];
+                     });
+    std::fill(left_weight.begin(), left_weight.end(), 0.0);
+    double left_total = 0.0;
+
+    for (std::size_t p = 0; p + 1 < sorted.size(); ++p) {
+      const std::size_t i = sorted[p];
+      left_weight[static_cast<std::size_t>(d.label(i))] += weights[i];
+      left_total += weights[i];
+      const double v = d.features(i)[f];
+      const double vn = d.features(sorted[p + 1])[f];
+      if (vn <= v) continue;  // not a value boundary
+      const double right_total = total - left_total;
+      if (left_total < params_.min_leaf_weight ||
+          right_total < params_.min_leaf_weight)
+        continue;
+
+      // Entropy of the right side from the complement of left counts.
+      double h_left = 0.0;
+      double h_right = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double wl = left_weight[c];
+        const double wr = node->class_weight[c] - wl;
+        if (wl > 0.0) {
+          const double pl = wl / left_total;
+          h_left -= pl * std::log2(pl);
+        }
+        if (wr > 0.0) {
+          const double pr = wr / right_total;
+          h_right -= pr * std::log2(pr);
+        }
+      }
+      const double cond = (left_total / total) * h_left +
+                          (right_total / total) * h_right;
+      const double gain = parent_entropy - cond;
+      if (gain <= 1e-9) continue;
+
+      const double pl = left_total / total;
+      const double pr = right_total / total;
+      const double split_info = -(pl * std::log2(pl) + pr * std::log2(pr));
+      if (split_info <= 1e-12) continue;
+      const double ratio = gain / split_info;
+      if (!best.valid || ratio > best.gain_ratio) {
+        best.valid = true;
+        best.feature = f;
+        best.threshold = 0.5 * (v + vn);
+        best.gain_ratio = ratio;
+        best.info_gain = gain;
+      }
+    }
+  }
+
+  if (!best.valid) return node;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t i : rows) {
+    if (d.features(i)[best.feature] <= best.threshold)
+      left_rows.push_back(i);
+    else
+      right_rows.push_back(i);
+  }
+  if (left_rows.empty() || right_rows.empty()) return node;
+
+  node->is_leaf = false;
+  node->feature = best.feature;
+  node->threshold = best.threshold;
+  node->left = build(d, left_rows, weights, depth + 1, rng);
+  node->right = build(d, right_rows, weights, depth + 1, rng);
+  return node;
+}
+
+double DecisionTree::prune_node(Node& node) {
+  const double total = sum(node.class_weight);
+  const double majority =
+      *std::max_element(node.class_weight.begin(), node.class_weight.end());
+  const double leaf_errors = total - majority;
+  const double leaf_estimate =
+      leaf_errors + c45_added_errors(total, leaf_errors,
+                                     params_.confidence_factor);
+  if (node.is_leaf) return leaf_estimate;
+
+  const double subtree_estimate =
+      prune_node(*node.left) + prune_node(*node.right);
+  // C4.5 replaces a subtree by a leaf when the leaf's pessimistic error
+  // estimate is no worse than the subtree's (plus a small slack, as in WEKA).
+  if (leaf_estimate <= subtree_estimate + 0.1) {
+    node.is_leaf = true;
+    node.left.reset();
+    node.right.reset();
+    return leaf_estimate;
+  }
+  return subtree_estimate;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> x) const {
+  require_trained();
+  const Node* node = root_.get();
+  while (!node->is_leaf)
+    node = x[node->feature] <= node->threshold ? node->left.get()
+                                               : node->right.get();
+  // Laplace-smoothed leaf distribution.
+  std::vector<double> proba(node->class_weight.size());
+  const double total = sum(node->class_weight) +
+                       static_cast<double>(proba.size());
+  for (std::size_t c = 0; c < proba.size(); ++c)
+    proba[c] = (node->class_weight[c] + 1.0) / total;
+  return proba;
+}
+
+std::unique_ptr<Classifier> DecisionTree::clone_untrained() const {
+  return std::make_unique<DecisionTree>(params_);
+}
+
+namespace {
+
+void walk(const DecisionTree::Node* n, std::size_t depth, std::size_t& nodes,
+          std::size_t& leaves, std::size_t& max_depth) {
+  if (n == nullptr) return;
+  ++nodes;
+  max_depth = std::max(max_depth, depth);
+  if (n->is_leaf) {
+    ++leaves;
+    return;
+  }
+  walk(n->left.get(), depth + 1, nodes, leaves, max_depth);
+  walk(n->right.get(), depth + 1, nodes, leaves, max_depth);
+}
+
+}  // namespace
+
+std::size_t DecisionTree::node_count() const {
+  std::size_t nodes = 0;
+  std::size_t leaves = 0;
+  std::size_t d = 0;
+  walk(root_.get(), 0, nodes, leaves, d);
+  return nodes;
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  std::size_t nodes = 0;
+  std::size_t leaves = 0;
+  std::size_t d = 0;
+  walk(root_.get(), 0, nodes, leaves, d);
+  return leaves;
+}
+
+std::size_t DecisionTree::depth() const {
+  std::size_t nodes = 0;
+  std::size_t leaves = 0;
+  std::size_t d = 0;
+  walk(root_.get(), 0, nodes, leaves, d);
+  return d;
+}
+
+namespace {
+
+void save_node(std::ostream& out, const DecisionTree::Node* node) {
+  out << (node->is_leaf ? 'L' : 'N') << ' ' << node->feature << ' '
+      << node->threshold << ' ' << node->class_weight.size();
+  for (double w : node->class_weight) out << ' ' << w;
+  out << '\n';
+  if (!node->is_leaf) {
+    save_node(out, node->left.get());
+    save_node(out, node->right.get());
+  }
+}
+
+std::unique_ptr<DecisionTree::Node> load_node(std::istream& in) {
+  char tag = 0;
+  auto node = std::make_unique<DecisionTree::Node>();
+  std::size_t k = 0;
+  if (!(in >> tag >> node->feature >> node->threshold >> k))
+    throw std::runtime_error("DecisionTree: bad node");
+  node->class_weight.assign(k, 0.0);
+  for (double& w : node->class_weight) in >> w;
+  node->is_leaf = tag == 'L';
+  if (!node->is_leaf) {
+    node->left = load_node(in);
+    node->right = load_node(in);
+  }
+  return node;
+}
+
+}  // namespace
+
+void DecisionTree::save_body(std::ostream& out) const {
+  require_trained();
+  save_node(out, root_.get());
+}
+
+void DecisionTree::load_body(std::istream& in) {
+  root_ = load_node(in);
+  if (!in) throw std::runtime_error("DecisionTree: truncated body");
+}
+
+}  // namespace smart2

@@ -1,0 +1,76 @@
+// J48: a C4.5-style decision tree (the WEKA classifier the paper uses).
+//
+// Numeric binary splits chosen by gain ratio, weighted instances, and
+// C4.5 pessimistic error pruning with the standard confidence factor 0.25.
+#pragma once
+
+#include <memory>
+
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+class DecisionTree final : public Classifier {
+ public:
+  struct Params {
+    double confidence_factor = 0.25;  // WEKA -C 0.25
+    double min_leaf_weight = 2.0;     // WEKA -M 2
+    int max_depth = 0;                // 0 = unlimited
+    bool prune = true;
+    /// Random-subspace splitting: consider only this many randomly chosen
+    /// features per split (0 = all). Bagging over such trees is a random
+    /// forest.
+    std::size_t split_feature_sample = 0;
+    std::uint64_t seed = 0x7ee5;      // only used when subsampling
+  };
+
+  DecisionTree() = default;
+  explicit DecisionTree(Params params) : params_(params) {}
+
+  void fit_weighted(const Dataset& train,
+                    std::span<const double> weights) override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  std::string name() const override { return "J48"; }
+  void save_body(std::ostream& out) const override;
+  void load_body(std::istream& in) override;
+
+  struct Node {
+    bool is_leaf = true;
+    std::size_t feature = 0;
+    double threshold = 0.0;  // left: x[feature] <= threshold
+    std::vector<double> class_weight;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  /// Structural statistics (consumed by the hardware cost model).
+  std::size_t node_count() const;
+  std::size_t leaf_count() const;
+  std::size_t depth() const;
+
+  const Node* root() const { return root_.get(); }
+
+ private:
+  struct Split;
+
+  std::unique_ptr<Node> build(const Dataset& d,
+                              const std::vector<std::size_t>& rows,
+                              std::span<const double> weights, int depth,
+                              Rng& rng);
+  /// Pessimistic pruning; returns estimated subtree errors after pruning.
+  double prune_node(Node& node);
+
+  Params params_;
+  std::unique_ptr<Node> root_;
+};
+
+/// C4.5 pessimistic added-error term (WEKA Stats.addErrs): the extra errors
+/// implied by the upper confidence bound of a binomial with `errors`
+/// failures out of `total` weight at confidence factor `cf`.
+double c45_added_errors(double total, double errors, double cf);
+
+/// Inverse standard-normal CDF (Acklam's rational approximation).
+double normal_quantile(double p);
+
+}  // namespace smart2

@@ -1,0 +1,156 @@
+#include "ml/feature_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/eigen.hpp"
+#include "common/stats.hpp"
+
+namespace smart2 {
+
+std::vector<RankedFeature> correlation_attribute_eval(const Dataset& d) {
+  if (d.empty())
+    throw std::invalid_argument("correlation_attribute_eval: empty dataset");
+
+  // WEKA's CorrelationAttributeEval with a nominal class: binarize the class
+  // one-vs-rest and average |Pearson r| weighted by class frequency. For a
+  // binary dataset this reduces to plain |corr(feature, label)|.
+  const std::size_t k = d.class_count();
+  const auto hist = d.class_histogram();
+
+  std::vector<std::vector<double>> indicators;
+  std::vector<double> class_weight;
+  if (k <= 2) {
+    std::vector<double> y(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i)
+      y[i] = static_cast<double>(d.label(i));
+    indicators.push_back(std::move(y));
+    class_weight.push_back(1.0);
+  } else {
+    for (std::size_t c = 0; c < k; ++c) {
+      if (hist[c] == 0) continue;
+      std::vector<double> y(d.size());
+      for (std::size_t i = 0; i < d.size(); ++i)
+        y[i] = d.label(i) == static_cast<int>(c) ? 1.0 : 0.0;
+      indicators.push_back(std::move(y));
+      class_weight.push_back(static_cast<double>(hist[c]) /
+                             static_cast<double>(d.size()));
+    }
+  }
+
+  std::vector<RankedFeature> ranked(d.feature_count());
+  for (std::size_t f = 0; f < d.feature_count(); ++f) {
+    const auto col = d.feature_column(f);
+    double score = 0.0;
+    for (std::size_t c = 0; c < indicators.size(); ++c)
+      score += class_weight[c] * std::abs(stats::pearson(col, indicators[c]));
+    ranked[f] = {f, score};
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedFeature& a, const RankedFeature& b) {
+                     return a.score > b.score;
+                   });
+  return ranked;
+}
+
+std::vector<std::size_t> select_top_correlated(const Dataset& d,
+                                               std::size_t k) {
+  const auto ranked = correlation_attribute_eval(d);
+  std::vector<std::size_t> out;
+  out.reserve(std::min(k, ranked.size()));
+  for (std::size_t i = 0; i < ranked.size() && i < k; ++i)
+    out.push_back(ranked[i].index);
+  return out;
+}
+
+PcaResult pca(const Dataset& d) {
+  if (d.size() < 2) throw std::invalid_argument("pca: need >= 2 instances");
+  Standardizer scaler;
+  scaler.fit(d);
+  const Dataset std_d = scaler.transform(d);
+
+  Matrix samples(std_d.size(), std_d.feature_count());
+  for (std::size_t i = 0; i < std_d.size(); ++i) {
+    const auto x = std_d.features(i);
+    for (std::size_t f = 0; f < x.size(); ++f) samples(i, f) = x[f];
+  }
+  const Matrix cov = Matrix::covariance(samples);
+  EigenResult eig = eigen_symmetric(cov);
+
+  PcaResult out;
+  out.eigenvalues = eig.values;
+  out.components = std::move(eig.vectors);
+  double total = 0.0;
+  for (double v : out.eigenvalues) total += std::max(v, 0.0);
+  out.explained_ratio.resize(out.eigenvalues.size());
+  for (std::size_t i = 0; i < out.eigenvalues.size(); ++i)
+    out.explained_ratio[i] =
+        total > 0.0 ? std::max(out.eigenvalues[i], 0.0) / total : 0.0;
+  return out;
+}
+
+std::vector<RankedFeature> pca_feature_ranking(const Dataset& d,
+                                               std::size_t num_components) {
+  const PcaResult p = pca(d);
+  const std::size_t use =
+      std::min(num_components, p.eigenvalues.size());
+
+  std::vector<RankedFeature> ranked(d.feature_count());
+  for (std::size_t f = 0; f < d.feature_count(); ++f) {
+    double score = 0.0;
+    for (std::size_t c = 0; c < use; ++c)
+      score += p.explained_ratio[c] * std::abs(p.components(f, c));
+    ranked[f] = {f, score};
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedFeature& a, const RankedFeature& b) {
+                     return a.score > b.score;
+                   });
+  return ranked;
+}
+
+std::vector<std::size_t> reduce_features(const Dataset& d,
+                                         std::size_t intermediate,
+                                         std::size_t final_count,
+                                         std::size_t num_components) {
+  const auto stage1 = select_top_correlated(d, intermediate);
+  const Dataset narrowed = d.select_features(stage1);
+  const auto ranked = pca_feature_ranking(narrowed, num_components);
+
+  // Walk the PCA ranking greedily, skipping features nearly collinear with
+  // an already-selected one (PCA's principal axes are uncorrelated; a
+  // feature set standing in for them should not spend two of its few slots
+  // on the same underlying signal, e.g. instructions vs iTLB-loads).
+  constexpr double kRedundancyCutoff = 0.95;
+  std::vector<std::size_t> picked;          // indices into `narrowed`
+  std::vector<std::vector<double>> picked_cols;
+  for (const RankedFeature& cand : ranked) {
+    if (picked.size() >= final_count) break;
+    auto col = narrowed.feature_column(cand.index);
+    bool redundant = false;
+    for (const auto& prev : picked_cols) {
+      if (std::abs(stats::pearson(col, prev)) > kRedundancyCutoff) {
+        redundant = true;
+        break;
+      }
+    }
+    if (redundant) continue;
+    picked.push_back(cand.index);
+    picked_cols.push_back(std::move(col));
+  }
+  // If the cutoff was too aggressive to fill the quota, top up in rank
+  // order with whatever was skipped.
+  for (const RankedFeature& cand : ranked) {
+    if (picked.size() >= final_count) break;
+    if (std::find(picked.begin(), picked.end(), cand.index) == picked.end())
+      picked.push_back(cand.index);
+  }
+
+  std::vector<std::size_t> out;
+  out.reserve(picked.size());
+  for (std::size_t idx : picked) out.push_back(stage1[idx]);
+  return out;
+}
+
+}  // namespace smart2

@@ -1,0 +1,56 @@
+// The paper's two-step feature-reduction pipeline:
+//  1. Correlation Attribute Evaluation (WEKA CorrelationAttributeEval):
+//     rank features by |Pearson correlation with the class| and keep the top
+//     16 of the 44 collected events.
+//  2. PCA-guided ranking: principal components of the reduced set; original
+//     features are scored by their variance-weighted loading magnitude and
+//     the top 8 per malware class are retained.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "data/dataset.hpp"
+
+namespace smart2 {
+
+struct RankedFeature {
+  std::size_t index = 0;  // index into the dataset's feature columns
+  double score = 0.0;
+};
+
+/// Rank all features by |Pearson r| between the feature column and the
+/// numeric class label. Descending by score; ties broken by index.
+std::vector<RankedFeature> correlation_attribute_eval(const Dataset& d);
+
+/// Indices (into `d`) of the `k` top-correlated features, ordered by rank.
+std::vector<std::size_t> select_top_correlated(const Dataset& d,
+                                               std::size_t k);
+
+/// Result of PCA over a (standardized) dataset.
+struct PcaResult {
+  std::vector<double> eigenvalues;        // descending
+  std::vector<double> explained_ratio;    // eigenvalue / total variance
+  Matrix components;                      // column i = i-th principal axis
+};
+
+/// PCA over the feature columns of `d` (standardized internally so event
+/// scales do not dominate).
+PcaResult pca(const Dataset& d);
+
+/// Score each feature by sum_i explained_ratio[i] * |loading on PC i| over
+/// the top `num_components` PCs, and return all features ranked descending.
+std::vector<RankedFeature> pca_feature_ranking(const Dataset& d,
+                                               std::size_t num_components);
+
+/// The paper's full reduction for one (sub)problem: correlation-select
+/// `intermediate` features, then PCA-rank them and keep `final_count`.
+/// Returned indices refer to the original dataset `d` and are ordered by
+/// final rank.
+std::vector<std::size_t> reduce_features(const Dataset& d,
+                                         std::size_t intermediate,
+                                         std::size_t final_count,
+                                         std::size_t num_components = 4);
+
+}  // namespace smart2

@@ -1,0 +1,134 @@
+#include "ml/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace smart2 {
+
+void LogisticRegression::fit_weighted(const Dataset& train,
+                                      std::span<const double> weights) {
+  if (train.empty())
+    throw std::invalid_argument("LogisticRegression: empty training set");
+  if (weights.size() != train.size())
+    throw std::invalid_argument("LogisticRegression: weight count mismatch");
+
+  const std::size_t n = train.size();
+  const std::size_t d = train.feature_count();
+  const std::size_t k = train.class_count();
+
+  scaler_.fit(train);
+  const Dataset std_train = scaler_.transform(train);
+
+  w_.assign(k, std::vector<double>(d, 0.0));
+  b_.assign(k, 0.0);
+
+  double weight_total = 0.0;
+  for (double w : weights) weight_total += w;
+  if (weight_total <= 0.0)
+    throw std::invalid_argument("LogisticRegression: zero total weight");
+
+  std::vector<std::vector<double>> grad_w(k, std::vector<double>(d));
+  std::vector<double> grad_b(k);
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    for (auto& g : grad_w) std::fill(g.begin(), g.end(), 0.0);
+    std::fill(grad_b.begin(), grad_b.end(), 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto x = std_train.features(i);
+      const auto p = softmax_raw(x);
+      const auto y = static_cast<std::size_t>(std_train.label(i));
+      const double wi = weights[i] / weight_total;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double delta = p[c] - (c == y ? 1.0 : 0.0);
+        if (delta == 0.0) continue;
+        const double coef = wi * delta;
+        auto& gw = grad_w[c];
+        for (std::size_t f = 0; f < d; ++f) gw[f] += coef * x[f];
+        grad_b[c] += coef;
+      }
+    }
+
+    double max_update = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t f = 0; f < d; ++f) {
+        const double g = grad_w[c][f] + params_.l2 * w_[c][f];
+        const double upd = params_.learning_rate * g;
+        w_[c][f] -= upd;
+        max_update = std::max(max_update, std::abs(upd));
+      }
+      const double upd = params_.learning_rate * grad_b[c];
+      b_[c] -= upd;
+      max_update = std::max(max_update, std::abs(upd));
+    }
+    if (max_update < params_.tolerance) break;
+  }
+  mark_trained(train);
+}
+
+std::vector<double> LogisticRegression::softmax_raw(
+    std::span<const double> xstd) const {
+  const std::size_t k = w_.size();
+  std::vector<double> z(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    double acc = b_[c];
+    const auto& wc = w_[c];
+    for (std::size_t f = 0; f < xstd.size(); ++f) acc += wc[f] * xstd[f];
+    z[c] = acc;
+  }
+  const double zmax = *std::max_element(z.begin(), z.end());
+  double sum = 0.0;
+  for (double& v : z) {
+    v = std::exp(v - zmax);
+    sum += v;
+  }
+  for (double& v : z) v /= sum;
+  return z;
+}
+
+std::vector<double> LogisticRegression::predict_proba(
+    std::span<const double> x) const {
+  require_trained();
+  return softmax_raw(scaler_.transform(x));
+}
+
+std::unique_ptr<Classifier> LogisticRegression::clone_untrained() const {
+  return std::make_unique<LogisticRegression>(params_);
+}
+
+void LogisticRegression::save_body(std::ostream& out) const {
+  require_trained();
+  out << w_.size() << ' ' << (w_.empty() ? 0 : w_[0].size()) << '\n';
+  for (double v : scaler_.mean()) out << v << ' ';
+  out << '\n';
+  for (double v : scaler_.stddev()) out << v << ' ';
+  out << '\n';
+  for (const auto& row : w_) {
+    for (double v : row) out << v << ' ';
+    out << '\n';
+  }
+  for (double v : b_) out << v << ' ';
+  out << '\n';
+}
+
+void LogisticRegression::load_body(std::istream& in) {
+  std::size_t k = 0;
+  std::size_t d = 0;
+  if (!(in >> k >> d)) throw std::runtime_error("LogisticRegression: bad body");
+  std::vector<double> mean(d);
+  std::vector<double> stddev(d);
+  for (double& v : mean) in >> v;
+  for (double& v : stddev) in >> v;
+  scaler_.restore(mean, stddev);
+  w_.assign(k, std::vector<double>(d));
+  for (auto& row : w_)
+    for (double& v : row) in >> v;
+  b_.assign(k, 0.0);
+  for (double& v : b_) in >> v;
+  if (!in) throw std::runtime_error("LogisticRegression: truncated body");
+}
+
+}  // namespace smart2

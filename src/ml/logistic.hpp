@@ -1,0 +1,53 @@
+// Multinomial Logistic Regression (MLR) — the Stage-1 classifier of 2SMaRT.
+//
+// Softmax regression trained by batch gradient descent with L2
+// regularization. Inputs are standardized internally (fit on the training
+// set) so the learning rate is scale-free. Works for any class count; with
+// two classes it reduces to ordinary logistic regression.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+class LogisticRegression final : public Classifier {
+ public:
+  struct Params {
+    double learning_rate = 0.5;
+    double l2 = 1e-4;
+    int epochs = 300;
+    /// Stop early when the max absolute weight update falls below this.
+    double tolerance = 1e-6;
+  };
+
+  LogisticRegression() = default;
+  explicit LogisticRegression(Params params) : params_(params) {}
+
+  void fit_weighted(const Dataset& train,
+                    std::span<const double> weights) override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  std::string name() const override { return "MLR"; }
+  void save_body(std::ostream& out) const override;
+  void load_body(std::istream& in) override;
+
+  /// Weight matrix (class x feature), excluding bias; for inspection and the
+  /// hardware cost model.
+  const std::vector<std::vector<double>>& coefficients() const {
+    return w_;
+  }
+  const std::vector<double>& bias() const { return b_; }
+  /// Input standardizer fitted during training (hardware generation folds
+  /// it into the weights).
+  const Standardizer& scaler() const { return scaler_; }
+
+ private:
+  std::vector<double> softmax_raw(std::span<const double> xstd) const;
+
+  Params params_;
+  Standardizer scaler_;
+  std::vector<std::vector<double>> w_;  // [class][feature]
+  std::vector<double> b_;               // [class]
+};
+
+}  // namespace smart2

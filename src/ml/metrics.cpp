@@ -1,0 +1,169 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace smart2 {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), cells_(num_classes * num_classes, 0) {
+  if (num_classes == 0)
+    throw std::invalid_argument("ConfusionMatrix: zero classes");
+}
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  if (actual < 0 || predicted < 0 ||
+      static_cast<std::size_t>(actual) >= n_ ||
+      static_cast<std::size_t>(predicted) >= n_)
+    throw std::out_of_range("ConfusionMatrix::add");
+  ++cells_[static_cast<std::size_t>(actual) * n_ +
+           static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int actual, int predicted) const {
+  if (actual < 0 || predicted < 0 ||
+      static_cast<std::size_t>(actual) >= n_ ||
+      static_cast<std::size_t>(predicted) >= n_)
+    throw std::out_of_range("ConfusionMatrix::count");
+  return cells_[static_cast<std::size_t>(actual) * n_ +
+                static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n_; ++i) correct += cells_[i * n_ + i];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int c) const {
+  const auto k = static_cast<std::size_t>(c);
+  std::size_t predicted_c = 0;
+  for (std::size_t a = 0; a < n_; ++a) predicted_c += cells_[a * n_ + k];
+  if (predicted_c == 0) return 0.0;
+  return static_cast<double>(cells_[k * n_ + k]) /
+         static_cast<double>(predicted_c);
+}
+
+double ConfusionMatrix::recall(int c) const {
+  const auto k = static_cast<std::size_t>(c);
+  std::size_t actual_c = 0;
+  for (std::size_t p = 0; p < n_; ++p) actual_c += cells_[k * n_ + p];
+  if (actual_c == 0) return 0.0;
+  return static_cast<double>(cells_[k * n_ + k]) /
+         static_cast<double>(actual_c);
+}
+
+double ConfusionMatrix::f_measure(int c) const {
+  const double p = precision(c);
+  const double r = recall(c);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f_measure() const {
+  double sum = 0.0;
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < n_; ++c) {
+    std::size_t actual_c = 0;
+    for (std::size_t p = 0; p < n_; ++p) actual_c += cells_[c * n_ + p];
+    if (actual_c == 0) continue;
+    sum += f_measure(static_cast<int>(c));
+    ++present;
+  }
+  return present == 0 ? 0.0 : sum / static_cast<double>(present);
+}
+
+ConfusionMatrix confusion(std::span<const int> actual,
+                          std::span<const int> predicted,
+                          std::size_t num_classes) {
+  if (actual.size() != predicted.size())
+    throw std::invalid_argument("confusion: size mismatch");
+  ConfusionMatrix cm(num_classes);
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    cm.add(actual[i], predicted[i]);
+  return cm;
+}
+
+double roc_auc(std::span<const int> labels, std::span<const double> scores) {
+  if (labels.size() != scores.size())
+    throw std::invalid_argument("roc_auc: size mismatch");
+  // Rank-sum formulation: AUC = (R_pos - n_pos(n_pos+1)/2) / (n_pos * n_neg)
+  // where R_pos is the sum of positive ranks with midranks for ties.
+  std::vector<std::size_t> idx(labels.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  double n_pos = 0.0;
+  double n_neg = 0.0;
+  for (int l : labels) (l == 1 ? n_pos : n_neg) += 1.0;
+  if (n_pos == 0.0 || n_neg == 0.0) return 0.5;
+
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j < idx.size() && scores[idx[j]] == scores[idx[i]]) ++j;
+    // Midrank of the tie group [i, j): ranks are 1-based.
+    const double midrank = 0.5 * (static_cast<double>(i + 1) +
+                                  static_cast<double>(j));
+    for (std::size_t k = i; k < j; ++k)
+      if (labels[idx[k]] == 1) rank_sum_pos += midrank;
+    i = j;
+  }
+  return (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg);
+}
+
+BinaryEval evaluate_binary(const Classifier& c, const Dataset& test) {
+  if (test.class_count() != 2)
+    throw std::invalid_argument("evaluate_binary: dataset is not binary");
+  const auto predicted = predict_all(c, test);
+  const auto cm = confusion(test.labels(), predicted, 2);
+  const auto scores = scores_positive(c, test);
+
+  BinaryEval out;
+  out.accuracy = cm.accuracy();
+  out.precision = cm.precision(1);
+  out.recall = cm.recall(1);
+  out.f_measure = cm.f_measure(1);
+  out.auc = roc_auc(test.labels(), scores);
+  out.performance = out.f_measure * out.auc;
+  return out;
+}
+
+std::vector<RocPoint> roc_curve(std::span<const int> labels,
+                                std::span<const double> scores) {
+  if (labels.size() != scores.size())
+    throw std::invalid_argument("roc_curve: size mismatch");
+  std::vector<std::size_t> idx(labels.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  double n_pos = 0.0;
+  double n_neg = 0.0;
+  for (int l : labels) (l == 1 ? n_pos : n_neg) += 1.0;
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, scores.empty() ? 0.0 : scores[idx[0]] + 1.0});
+  double tp = 0.0;
+  double fp = 0.0;
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    const double thr = scores[idx[i]];
+    while (i < idx.size() && scores[idx[i]] == thr) {
+      if (labels[idx[i]] == 1) tp += 1.0;
+      else fp += 1.0;
+      ++i;
+    }
+    curve.push_back({n_neg > 0.0 ? fp / n_neg : 0.0,
+                     n_pos > 0.0 ? tp / n_pos : 0.0, thr});
+  }
+  return curve;
+}
+
+}  // namespace smart2

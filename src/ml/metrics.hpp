@@ -1,0 +1,75 @@
+// Evaluation metrics used throughout the paper's analysis:
+// accuracy, per-class precision/recall/F-measure, ROC-AUC (robustness), and
+// the paper's combined "detection performance" metric F x AUC.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+/// Row = actual class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(int actual, int predicted);
+
+  std::size_t num_classes() const noexcept { return n_; }
+  std::size_t count(int actual, int predicted) const;
+  std::size_t total() const noexcept { return total_; }
+
+  double accuracy() const noexcept;
+  /// Precision of class `c` (0 when nothing predicted as c).
+  double precision(int c) const;
+  /// Recall of class `c` (0 when no instance of c exists).
+  double recall(int c) const;
+  /// F1 of class `c`.
+  double f_measure(int c) const;
+  /// Unweighted mean F1 over all classes present in the data.
+  double macro_f_measure() const;
+
+ private:
+  std::size_t n_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // n_ x n_
+};
+
+ConfusionMatrix confusion(std::span<const int> actual,
+                          std::span<const int> predicted,
+                          std::size_t num_classes);
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) statistic.
+/// `labels` are binary (0/1), `scores` are higher-is-more-positive. Ties in
+/// score contribute 0.5. Returns 0.5 if either class is absent.
+double roc_auc(std::span<const int> labels, std::span<const double> scores);
+
+/// Summary of a binary detector evaluated on a test set.
+struct BinaryEval {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;    // F1 of the positive class, as a fraction
+  double auc = 0.5;           // robustness
+  double performance = 0.0;   // f_measure * auc, the paper's metric
+};
+
+/// Evaluate a trained binary classifier (labels 0/1, positive = 1).
+BinaryEval evaluate_binary(const Classifier& c, const Dataset& test);
+
+/// One point of a ROC curve.
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+/// Full ROC curve (sorted by increasing FPR), endpoints included.
+std::vector<RocPoint> roc_curve(std::span<const int> labels,
+                                std::span<const double> scores);
+
+}  // namespace smart2

@@ -1,0 +1,224 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace smart2 {
+
+namespace {
+
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+void Mlp::fit_weighted(const Dataset& train,
+                       std::span<const double> weights) {
+  if (train.empty()) throw std::invalid_argument("Mlp: empty training set");
+  if (weights.size() != train.size())
+    throw std::invalid_argument("Mlp: weight count mismatch");
+
+  const std::size_t n = train.size();
+  const std::size_t d = train.feature_count();
+  const std::size_t k = train.class_count();
+  hidden_ = params_.hidden > 0 ? params_.hidden : (d + k) / 2 + 1;
+
+  scaler_.fit(train);
+  const Dataset std_train = scaler_.transform(train);
+
+  Rng rng(params_.seed);
+  const double init_scale = 1.0 / std::sqrt(static_cast<double>(d) + 1.0);
+  w1_.assign(hidden_, std::vector<double>(d));
+  b1_.assign(hidden_, 0.0);
+  for (auto& row : w1_)
+    for (double& w : row) w = rng.uniform(-init_scale, init_scale);
+  const double init2 =
+      1.0 / std::sqrt(static_cast<double>(hidden_) + 1.0);
+  w2_.assign(k, std::vector<double>(hidden_));
+  b2_.assign(k, 0.0);
+  for (auto& row : w2_)
+    for (double& w : row) w = rng.uniform(-init2, init2);
+
+  // Normalized sample weights (mean 1) so the learning rate is independent
+  // of the weight scale AdaBoost hands us.
+  std::vector<double> norm_w(weights.begin(), weights.end());
+  const double mean_w =
+      std::accumulate(norm_w.begin(), norm_w.end(), 0.0) /
+      static_cast<double>(n);
+  if (mean_w <= 0.0) throw std::invalid_argument("Mlp: zero total weight");
+  for (double& w : norm_w) w /= mean_w;
+
+  // Momentum buffers.
+  auto vw1 = std::vector<std::vector<double>>(hidden_,
+                                              std::vector<double>(d, 0.0));
+  auto vb1 = std::vector<double>(hidden_, 0.0);
+  auto vw2 =
+      std::vector<std::vector<double>>(k, std::vector<double>(hidden_, 0.0));
+  auto vb2 = std::vector<double>(k, 0.0);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::vector<double> h_act(hidden_);
+  std::vector<double> o_act(k);
+  std::vector<double> delta_out(k);
+  std::vector<double> delta_hidden(hidden_);
+
+  auto gw1 = std::vector<std::vector<double>>(hidden_,
+                                              std::vector<double>(d, 0.0));
+  auto gb1 = std::vector<double>(hidden_, 0.0);
+  auto gw2 =
+      std::vector<std::vector<double>>(k, std::vector<double>(hidden_, 0.0));
+  auto gb2 = std::vector<double>(k, 0.0);
+
+  const std::size_t batch = std::max<std::size_t>(1, params_.batch_size);
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(start + batch, n);
+      for (auto& g : gw1) std::fill(g.begin(), g.end(), 0.0);
+      std::fill(gb1.begin(), gb1.end(), 0.0);
+      for (auto& g : gw2) std::fill(g.begin(), g.end(), 0.0);
+      std::fill(gb2.begin(), gb2.end(), 0.0);
+
+      for (std::size_t p = start; p < end; ++p) {
+        const std::size_t i = order[p];
+        const auto x = std_train.features(i);
+        forward(x, h_act, o_act);
+        const auto y = static_cast<std::size_t>(std_train.label(i));
+        const double wi = norm_w[i];
+
+        for (std::size_t c = 0; c < k; ++c)
+          delta_out[c] = wi * (o_act[c] - (c == y ? 1.0 : 0.0));
+
+        for (std::size_t h = 0; h < hidden_; ++h) {
+          double acc = 0.0;
+          for (std::size_t c = 0; c < k; ++c) acc += delta_out[c] * w2_[c][h];
+          delta_hidden[h] = acc * h_act[h] * (1.0 - h_act[h]);
+        }
+
+        for (std::size_t c = 0; c < k; ++c) {
+          auto& g = gw2[c];
+          const double dc = delta_out[c];
+          for (std::size_t h = 0; h < hidden_; ++h) g[h] += dc * h_act[h];
+          gb2[c] += dc;
+        }
+        for (std::size_t h = 0; h < hidden_; ++h) {
+          auto& g = gw1[h];
+          const double dh = delta_hidden[h];
+          if (dh == 0.0) continue;
+          for (std::size_t f = 0; f < d; ++f) g[f] += dh * x[f];
+          gb1[h] += dh;
+        }
+      }
+
+      const double scale =
+          params_.learning_rate / static_cast<double>(end - start);
+      for (std::size_t h = 0; h < hidden_; ++h) {
+        for (std::size_t f = 0; f < d; ++f) {
+          vw1[h][f] = params_.momentum * vw1[h][f] -
+                      scale * (gw1[h][f] + params_.l2 * w1_[h][f]);
+          w1_[h][f] += vw1[h][f];
+        }
+        vb1[h] = params_.momentum * vb1[h] - scale * gb1[h];
+        b1_[h] += vb1[h];
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        for (std::size_t h = 0; h < hidden_; ++h) {
+          vw2[c][h] = params_.momentum * vw2[c][h] -
+                      scale * (gw2[c][h] + params_.l2 * w2_[c][h]);
+          w2_[c][h] += vw2[c][h];
+        }
+        vb2[c] = params_.momentum * vb2[c] - scale * gb2[c];
+        b2_[c] += vb2[c];
+      }
+    }
+  }
+  mark_trained(train);
+}
+
+void Mlp::forward(std::span<const double> xstd, std::vector<double>& hidden_act,
+                  std::vector<double>& out_act) const {
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    double acc = b1_[h];
+    const auto& wh = w1_[h];
+    for (std::size_t f = 0; f < xstd.size(); ++f) acc += wh[f] * xstd[f];
+    hidden_act[h] = sigmoid(acc);
+  }
+  const std::size_t k = w2_.size();
+  double zmax = -1e300;
+  for (std::size_t c = 0; c < k; ++c) {
+    double acc = b2_[c];
+    const auto& wc = w2_[c];
+    for (std::size_t h = 0; h < hidden_; ++h) acc += wc[h] * hidden_act[h];
+    out_act[c] = acc;
+    zmax = std::max(zmax, acc);
+  }
+  double sum = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    out_act[c] = std::exp(out_act[c] - zmax);
+    sum += out_act[c];
+  }
+  for (std::size_t c = 0; c < k; ++c) out_act[c] /= sum;
+}
+
+std::vector<double> Mlp::predict_proba(std::span<const double> x) const {
+  require_trained();
+  std::vector<double> h(hidden_);
+  std::vector<double> o(class_count());
+  forward(scaler_.transform(x), h, o);
+  return o;
+}
+
+std::unique_ptr<Classifier> Mlp::clone_untrained() const {
+  return std::make_unique<Mlp>(params_);
+}
+
+namespace {
+
+void save_vector(std::ostream& out, const std::vector<double>& v) {
+  out << v.size();
+  for (double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+std::vector<double> load_vector(std::istream& in) {
+  std::size_t n = 0;
+  if (!(in >> n)) throw std::runtime_error("Mlp: bad vector");
+  std::vector<double> v(n);
+  for (double& x : v) in >> x;
+  return v;
+}
+
+}  // namespace
+
+void Mlp::save_body(std::ostream& out) const {
+  require_trained();
+  out << hidden_ << ' ' << w2_.size() << '\n';
+  save_vector(out, scaler_.mean());
+  save_vector(out, scaler_.stddev());
+  for (const auto& row : w1_) save_vector(out, row);
+  save_vector(out, b1_);
+  for (const auto& row : w2_) save_vector(out, row);
+  save_vector(out, b2_);
+}
+
+void Mlp::load_body(std::istream& in) {
+  std::size_t outputs = 0;
+  if (!(in >> hidden_ >> outputs)) throw std::runtime_error("Mlp: bad body");
+  const auto mean = load_vector(in);
+  const auto stddev = load_vector(in);
+  scaler_.restore(mean, stddev);
+  w1_.assign(hidden_, {});
+  for (auto& row : w1_) row = load_vector(in);
+  b1_ = load_vector(in);
+  w2_.assign(outputs, {});
+  for (auto& row : w2_) row = load_vector(in);
+  b2_ = load_vector(in);
+  if (!in) throw std::runtime_error("Mlp: truncated body");
+}
+
+}  // namespace smart2

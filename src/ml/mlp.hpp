@@ -1,0 +1,52 @@
+// Multilayer perceptron, the paper's "heavy" classifier.
+//
+// One sigmoid hidden layer, softmax output, cross-entropy loss, mini-batch
+// SGD with momentum (WEKA MultilayerPerceptron-style defaults: learning rate
+// 0.3, momentum 0.2). Inputs are standardized internally; weights are
+// initialized from a seeded generator so training is reproducible.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+class Mlp final : public Classifier {
+ public:
+  struct Params {
+    std::size_t hidden = 0;       // 0 = WEKA's "a": (features + classes) / 2
+    double learning_rate = 0.3;
+    double momentum = 0.2;
+    int epochs = 200;
+    std::size_t batch_size = 16;
+    double l2 = 1e-5;
+    std::uint64_t seed = 0x317b0a5eULL;
+  };
+
+  Mlp() = default;
+  explicit Mlp(Params params) : params_(params) {}
+
+  void fit_weighted(const Dataset& train,
+                    std::span<const double> weights) override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  std::string name() const override { return "MLP"; }
+  void save_body(std::ostream& out) const override;
+  void load_body(std::istream& in) override;
+
+  std::size_t hidden_units() const { return hidden_; }
+
+ private:
+  void forward(std::span<const double> xstd, std::vector<double>& hidden_act,
+               std::vector<double>& out_act) const;
+
+  Params params_;
+  Standardizer scaler_;
+  std::size_t hidden_ = 0;
+  // w1_[h][f] hidden weights, b1_[h]; w2_[c][h] output weights, b2_[c].
+  std::vector<std::vector<double>> w1_;
+  std::vector<double> b1_;
+  std::vector<std::vector<double>> w2_;
+  std::vector<double> b2_;
+};
+
+}  // namespace smart2

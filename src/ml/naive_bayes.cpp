@@ -1,0 +1,127 @@
+#include "ml/naive_bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace smart2 {
+
+void NaiveBayes::fit_weighted(const Dataset& train,
+                              std::span<const double> weights) {
+  if (train.empty())
+    throw std::invalid_argument("NaiveBayes: empty training set");
+  if (weights.size() != train.size())
+    throw std::invalid_argument("NaiveBayes: weight count mismatch");
+
+  const std::size_t k = train.class_count();
+  const std::size_t d = train.feature_count();
+
+  prior_.assign(k, 0.0);
+  mean_.assign(k, std::vector<double>(d, 0.0));
+  variance_.assign(k, std::vector<double>(d, 0.0));
+
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto c = static_cast<std::size_t>(train.label(i));
+    prior_[c] += weights[i];
+    total_weight += weights[i];
+    const auto x = train.features(i);
+    for (std::size_t f = 0; f < d; ++f) mean_[c][f] += weights[i] * x[f];
+  }
+  if (total_weight <= 0.0)
+    throw std::invalid_argument("NaiveBayes: zero total weight");
+
+  for (std::size_t c = 0; c < k; ++c) {
+    if (prior_[c] <= 0.0) continue;
+    for (std::size_t f = 0; f < d; ++f) mean_[c][f] /= prior_[c];
+  }
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto c = static_cast<std::size_t>(train.label(i));
+    const auto x = train.features(i);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double dx = x[f] - mean_[c][f];
+      variance_[c][f] += weights[i] * dx * dx;
+    }
+  }
+
+  // Pooled per-feature variance supplies the floor that keeps degenerate
+  // (constant-within-class) features from producing infinite likelihoods.
+  std::vector<double> pooled(d, 0.0);
+  for (std::size_t c = 0; c < k; ++c)
+    for (std::size_t f = 0; f < d; ++f) pooled[f] += variance_[c][f];
+  for (std::size_t f = 0; f < d; ++f) pooled[f] /= total_weight;
+
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t f = 0; f < d; ++f) {
+      variance_[c][f] =
+          prior_[c] > 0.0 ? variance_[c][f] / prior_[c] : pooled[f];
+      const double floor =
+          std::max(params_.variance_floor * pooled[f], 1e-12);
+      variance_[c][f] = std::max(variance_[c][f], floor);
+    }
+  }
+  // Laplace-smoothed priors.
+  for (double& p : prior_)
+    p = (p + 1.0) / (total_weight + static_cast<double>(k));
+
+  mark_trained(train);
+}
+
+std::vector<double> NaiveBayes::predict_proba(
+    std::span<const double> x) const {
+  require_trained();
+  const std::size_t k = prior_.size();
+  std::vector<double> log_post(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    double lp = std::log(prior_[c]);
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      const double var = variance_[c][f];
+      const double dx = x[f] - mean_[c][f];
+      lp += -0.5 * (std::log(2.0 * 3.14159265358979323846 * var) +
+                    dx * dx / var);
+    }
+    log_post[c] = lp;
+  }
+  const double m = *std::max_element(log_post.begin(), log_post.end());
+  double sum = 0.0;
+  for (double& v : log_post) {
+    v = std::exp(v - m);
+    sum += v;
+  }
+  for (double& v : log_post) v /= sum;
+  return log_post;
+}
+
+std::unique_ptr<Classifier> NaiveBayes::clone_untrained() const {
+  return std::make_unique<NaiveBayes>(params_);
+}
+
+void NaiveBayes::save_body(std::ostream& out) const {
+  require_trained();
+  out << prior_.size() << ' ' << mean_[0].size() << '\n';
+  for (std::size_t c = 0; c < prior_.size(); ++c) {
+    out << prior_[c];
+    for (double v : mean_[c]) out << ' ' << v;
+    for (double v : variance_[c]) out << ' ' << v;
+    out << '\n';
+  }
+}
+
+void NaiveBayes::load_body(std::istream& in) {
+  std::size_t k = 0;
+  std::size_t d = 0;
+  if (!(in >> k >> d)) throw std::runtime_error("NaiveBayes: bad body");
+  prior_.assign(k, 0.0);
+  mean_.assign(k, std::vector<double>(d));
+  variance_.assign(k, std::vector<double>(d));
+  for (std::size_t c = 0; c < k; ++c) {
+    in >> prior_[c];
+    for (double& v : mean_[c]) in >> v;
+    for (double& v : variance_[c]) in >> v;
+  }
+  if (!in) throw std::runtime_error("NaiveBayes: truncated body");
+}
+
+}  // namespace smart2

@@ -1,0 +1,40 @@
+// Gaussian Naive Bayes — an extension classifier beyond the paper's four
+// (WEKA's NaiveBayes is a staple of the HMD literature the paper builds on,
+// e.g. Demme et al. ISCA'13).
+//
+// Class-conditional feature likelihoods are independent Gaussians fitted
+// with weighted moments; priors come from the weighted class frequencies.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+class NaiveBayes final : public Classifier {
+ public:
+  struct Params {
+    /// Variance floor, as a fraction of the pooled feature variance.
+    double variance_floor = 1e-3;
+  };
+
+  NaiveBayes() = default;
+  explicit NaiveBayes(Params params) : params_(params) {}
+
+  void fit_weighted(const Dataset& train,
+                    std::span<const double> weights) override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  std::string name() const override { return "NaiveBayes"; }
+  void save_body(std::ostream& out) const override;
+  void load_body(std::istream& in) override;
+
+  const std::vector<double>& priors() const { return prior_; }
+
+ private:
+  Params params_;
+  std::vector<double> prior_;                    // [class]
+  std::vector<std::vector<double>> mean_;        // [class][feature]
+  std::vector<std::vector<double>> variance_;    // [class][feature]
+};
+
+}  // namespace smart2

@@ -1,0 +1,178 @@
+#include "ml/onerule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace smart2 {
+
+namespace {
+
+int argmax(const std::vector<double>& v) {
+  return static_cast<int>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+void OneR::fit_weighted(const Dataset& train,
+                        std::span<const double> weights) {
+  if (train.empty()) throw std::invalid_argument("OneR: empty training set");
+  if (weights.size() != train.size())
+    throw std::invalid_argument("OneR: weight count mismatch");
+
+  const std::size_t d = train.feature_count();
+  const std::size_t k = train.class_count();
+
+  double best_error = std::numeric_limits<double>::infinity();
+  std::size_t best_feature = 0;
+  std::vector<Bucket> best_buckets;
+
+  for (std::size_t f = 0; f < d; ++f) {
+    // Sort instances by this feature's value.
+    std::vector<std::size_t> idx(train.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return train.features(a)[f] < train.features(b)[f];
+                     });
+
+    // Greedy discretization: extend the current bucket until its majority
+    // class holds at least min_bucket_size weight, then close it at the next
+    // distinct value (never split inside a run of equal values).
+    std::vector<Bucket> buckets;
+    Bucket cur;
+    cur.class_weight.assign(k, 0.0);
+    for (std::size_t p = 0; p < idx.size(); ++p) {
+      const std::size_t i = idx[p];
+      cur.class_weight[static_cast<std::size_t>(train.label(i))] +=
+          weights[i];
+      const double majority_w =
+          *std::max_element(cur.class_weight.begin(), cur.class_weight.end());
+      const bool at_value_boundary =
+          p + 1 < idx.size() &&
+          train.features(idx[p + 1])[f] > train.features(i)[f];
+      if (majority_w >= params_.min_bucket_size && at_value_boundary) {
+        cur.upper = 0.5 * (train.features(i)[f] +
+                           train.features(idx[p + 1])[f]);
+        cur.majority = argmax(cur.class_weight);
+        buckets.push_back(std::move(cur));
+        cur = Bucket{};
+        cur.class_weight.assign(k, 0.0);
+      }
+    }
+    // Flush the tail bucket (upper bound = +inf).
+    if (std::accumulate(cur.class_weight.begin(), cur.class_weight.end(),
+                        0.0) > 0.0) {
+      cur.upper = std::numeric_limits<double>::infinity();
+      cur.majority = argmax(cur.class_weight);
+      buckets.push_back(std::move(cur));
+    } else if (!buckets.empty()) {
+      buckets.back().upper = std::numeric_limits<double>::infinity();
+    }
+
+    // Merge adjacent buckets with the same majority class (WEKA does this
+    // implicitly; it shrinks the rule without changing predictions).
+    std::vector<Bucket> merged;
+    for (auto& b : buckets) {
+      if (!merged.empty() && merged.back().majority == b.majority) {
+        for (std::size_t c = 0; c < k; ++c)
+          merged.back().class_weight[c] += b.class_weight[c];
+        merged.back().upper = b.upper;
+      } else {
+        merged.push_back(std::move(b));
+      }
+    }
+
+    // Training error of this feature's rule.
+    double err = 0.0;
+    for (const auto& b : merged) {
+      const double total = std::accumulate(b.class_weight.begin(),
+                                           b.class_weight.end(), 0.0);
+      err += total - b.class_weight[static_cast<std::size_t>(b.majority)];
+    }
+    if (!merged.empty() && err < best_error) {
+      best_error = err;
+      best_feature = f;
+      best_buckets = std::move(merged);
+    }
+  }
+
+  feature_ = best_feature;
+  buckets_ = std::move(best_buckets);
+  if (buckets_.empty()) {
+    // Degenerate training set (all weight zero): single all-classes bucket.
+    Bucket b;
+    b.upper = std::numeric_limits<double>::infinity();
+    b.class_weight.assign(k, 1.0);
+    b.majority = 0;
+    buckets_.push_back(std::move(b));
+  }
+  mark_trained(train);
+}
+
+std::vector<double> OneR::predict_proba(std::span<const double> x) const {
+  require_trained();
+  const double v = x[feature_];
+  const Bucket* hit = &buckets_.back();
+  for (const auto& b : buckets_) {
+    if (v < b.upper) {
+      hit = &b;
+      break;
+    }
+  }
+  const double total = std::accumulate(hit->class_weight.begin(),
+                                       hit->class_weight.end(), 0.0);
+  std::vector<double> proba(class_count(), 0.0);
+  if (total > 0.0) {
+    for (std::size_t c = 0; c < proba.size(); ++c)
+      proba[c] = hit->class_weight[c] / total;
+  } else {
+    proba[static_cast<std::size_t>(hit->majority)] = 1.0;
+  }
+  return proba;
+}
+
+std::unique_ptr<Classifier> OneR::clone_untrained() const {
+  return std::make_unique<OneR>(params_);
+}
+
+void OneR::save_body(std::ostream& out) const {
+  require_trained();
+  out << feature_ << ' ' << buckets_.size() << '\n';
+  for (const Bucket& b : buckets_) {
+    // The final bucket's bound is +infinity, which istream cannot parse
+    // back; encode it as a token.
+    if (std::isinf(b.upper))
+      out << "INF";
+    else
+      out << b.upper;
+    out << ' ' << b.majority << ' ' << b.class_weight.size();
+    for (double w : b.class_weight) out << ' ' << w;
+    out << '\n';
+  }
+}
+
+void OneR::load_body(std::istream& in) {
+  std::size_t count = 0;
+  if (!(in >> feature_ >> count)) throw std::runtime_error("OneR: bad body");
+  buckets_.assign(count, Bucket{});
+  for (Bucket& b : buckets_) {
+    std::string upper;
+    std::size_t k = 0;
+    in >> upper >> b.majority >> k;
+    b.upper = upper == "INF" ? std::numeric_limits<double>::infinity()
+                             : std::strtod(upper.c_str(), nullptr);
+    b.class_weight.assign(k, 0.0);
+    for (double& w : b.class_weight) in >> w;
+  }
+  if (!in) throw std::runtime_error("OneR: truncated body");
+}
+
+}  // namespace smart2

@@ -1,0 +1,48 @@
+// OneR (Holte, 1993): the one-rule classifier WEKA ships as "OneR".
+//
+// For each feature, the value range is discretized into buckets (each bucket
+// must contain at least `min_bucket_size` weight of its majority class, as in
+// WEKA) and the feature whose bucket-majority rule misclassifies the least
+// training weight becomes the single rule. The paper notes OneR ends up
+// keyed on branch-instructions and is therefore insensitive to HPC-count
+// reduction.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+class OneR final : public Classifier {
+ public:
+  struct Params {
+    double min_bucket_size = 6.0;  // WEKA default (-B 6)
+  };
+
+  OneR() = default;
+  explicit OneR(Params params) : params_(params) {}
+
+  void fit_weighted(const Dataset& train,
+                    std::span<const double> weights) override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  std::string name() const override { return "OneR"; }
+  void save_body(std::ostream& out) const override;
+  void load_body(std::istream& in) override;
+
+  /// Feature index the trained rule is keyed on.
+  std::size_t rule_feature() const { return feature_; }
+
+  struct Bucket {
+    double upper = 0.0;  // values < upper fall in this bucket (last = +inf)
+    std::vector<double> class_weight;
+    int majority = 0;
+  };
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+ private:
+  Params params_;
+  std::size_t feature_ = 0;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace smart2

@@ -1,0 +1,42 @@
+// Random forest: Bagging over random-subspace C4.5 trees.
+//
+// Composed from the existing pieces (DecisionTree's per-split feature
+// subsampling + Bagging); provided as a convenience factory because it is
+// the de-facto baseline in the post-2SMaRT HMD literature.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "ml/bagging.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace smart2 {
+
+struct RandomForestParams {
+  int trees = 20;
+  /// Features considered per split; 0 = floor(sqrt(feature_count)) chosen
+  /// at fit time via the feature width of the training set... which the
+  /// factory cannot see, so 0 falls back to 2 (sensible for the 4-8 HPC
+  /// feature spaces this repository works in).
+  std::size_t split_feature_sample = 0;
+  bool prune = false;  // forests usually grow unpruned trees
+  std::uint64_t seed = 0xf02e57;
+};
+
+inline std::unique_ptr<Classifier> make_random_forest(
+    RandomForestParams params = RandomForestParams{}) {
+  DecisionTree::Params tree;
+  tree.prune = params.prune;
+  tree.min_leaf_weight = 1.0;
+  tree.split_feature_sample =
+      params.split_feature_sample > 0 ? params.split_feature_sample : 2;
+  tree.seed = params.seed ^ 0x9e3779b97f4a7c15ULL;
+
+  Bagging::Params bag;
+  bag.bags = params.trees;
+  bag.seed = params.seed;
+  return std::make_unique<Bagging>(std::make_unique<DecisionTree>(tree), bag);
+}
+
+}  // namespace smart2

@@ -1,0 +1,308 @@
+#include "ml/ripper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace smart2 {
+
+namespace {
+
+/// Positive/negative covered weight of a rule over a row subset.
+struct Coverage {
+  double pos = 0.0;
+  double neg = 0.0;
+};
+
+Coverage coverage_of(const Ripper::Rule& rule, const Dataset& d,
+                     const std::vector<std::size_t>& rows,
+                     std::span<const double> weights, int target) {
+  Coverage cov;
+  for (std::size_t i : rows) {
+    if (!rule.matches(d.features(i))) continue;
+    if (d.label(i) == target)
+      cov.pos += weights[i];
+    else
+      cov.neg += weights[i];
+  }
+  return cov;
+}
+
+double log2_safe(double x) { return x > 0.0 ? std::log2(x) : -60.0; }
+
+}  // namespace
+
+Ripper::Rule Ripper::grow_rule(const Dataset& d,
+                               const std::vector<std::size_t>& rows,
+                               std::span<const double> weights,
+                               int target) const {
+  Rule rule;
+  rule.predicted = target;
+
+  // Rows still covered by the partial rule.
+  std::vector<std::size_t> covered(rows);
+
+  for (;;) {
+    double pos = 0.0;
+    double neg = 0.0;
+    for (std::size_t i : covered)
+      (d.label(i) == target ? pos : neg) += weights[i];
+    if (neg <= 0.0 || pos <= 0.0) break;  // pure (or hopeless) already
+
+    // Try every (feature, boundary, direction) and keep the condition with
+    // the best FOIL gain: p * (log2(p/(p+n)) - log2(P/(P+N))).
+    const double base = log2_safe(pos / (pos + neg));
+    double best_gain = 0.0;
+    Condition best_cond;
+    bool found = false;
+
+    std::vector<std::size_t> sorted(covered);
+    for (std::size_t f = 0; f < d.feature_count(); ++f) {
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return d.features(a)[f] < d.features(b)[f];
+                       });
+      double left_pos = 0.0;
+      double left_neg = 0.0;
+      for (std::size_t p = 0; p + 1 < sorted.size(); ++p) {
+        const std::size_t i = sorted[p];
+        (d.label(i) == target ? left_pos : left_neg) += weights[i];
+        const double v = d.features(i)[f];
+        const double vn = d.features(sorted[p + 1])[f];
+        if (vn <= v) continue;
+        const double thr = 0.5 * (v + vn);
+
+        // Candidate: x <= thr.
+        if (left_pos > 0.0) {
+          const double gain =
+              left_pos * (log2_safe(left_pos / (left_pos + left_neg)) - base);
+          if (gain > best_gain + 1e-12) {
+            best_gain = gain;
+            best_cond = {f, true, thr};
+            found = true;
+          }
+        }
+        // Candidate: x > thr.
+        const double rpos = pos - left_pos;
+        const double rneg = neg - left_neg;
+        if (rpos > 0.0) {
+          const double gain =
+              rpos * (log2_safe(rpos / (rpos + rneg)) - base);
+          if (gain > best_gain + 1e-12) {
+            best_gain = gain;
+            best_cond = {f, false, thr};
+            found = true;
+          }
+        }
+      }
+    }
+    if (!found) break;
+
+    rule.conditions.push_back(best_cond);
+    std::vector<std::size_t> next;
+    next.reserve(covered.size());
+    for (std::size_t i : covered)
+      if (best_cond.matches(d.features(i))) next.push_back(i);
+    covered = std::move(next);
+    if (covered.empty()) break;
+  }
+  return rule;
+}
+
+void Ripper::prune_rule(Rule& rule, const Dataset& d,
+                        const std::vector<std::size_t>& rows,
+                        std::span<const double> weights, int target) const {
+  if (rule.conditions.empty() || rows.empty()) return;
+  // RIPPER prunes final conditions to maximize (p - n) / (p + n) on the
+  // prune set.
+  auto value_of = [&](std::size_t keep) {
+    Rule probe;
+    probe.predicted = target;
+    probe.conditions.assign(rule.conditions.begin(),
+                            rule.conditions.begin() +
+                                static_cast<std::ptrdiff_t>(keep));
+    const Coverage cov = coverage_of(probe, d, rows, weights, target);
+    if (cov.pos + cov.neg <= 0.0) return -1.0;
+    return (cov.pos - cov.neg) / (cov.pos + cov.neg);
+  };
+
+  std::size_t best_keep = rule.conditions.size();
+  double best_value = value_of(best_keep);
+  for (std::size_t keep = rule.conditions.size(); keep-- > 1;) {
+    const double v = value_of(keep);
+    if (v > best_value + 1e-12) {
+      best_value = v;
+      best_keep = keep;
+    }
+  }
+  rule.conditions.resize(best_keep);
+}
+
+void Ripper::fit_weighted(const Dataset& train,
+                          std::span<const double> weights) {
+  if (train.empty()) throw std::invalid_argument("Ripper: empty training set");
+  if (weights.size() != train.size())
+    throw std::invalid_argument("Ripper: weight count mismatch");
+
+  const std::size_t k = train.class_count();
+  rules_.clear();
+
+  // Class order: ascending total weight; the heaviest class is the default.
+  std::vector<double> class_total(k, 0.0);
+  for (std::size_t i = 0; i < train.size(); ++i)
+    class_total[static_cast<std::size_t>(train.label(i))] += weights[i];
+  std::vector<int> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return class_total[static_cast<std::size_t>(a)] <
+           class_total[static_cast<std::size_t>(b)];
+  });
+  default_class_ = order.back();
+  default_distribution_ = class_total;
+  const double total_weight =
+      std::accumulate(class_total.begin(), class_total.end(), 0.0);
+  if (total_weight > 0.0)
+    for (double& w : default_distribution_) w /= total_weight;
+
+  std::vector<std::size_t> remaining(train.size());
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+
+  Rng rng(params_.seed);
+  for (std::size_t oi = 0; oi + 1 < order.size(); ++oi) {
+    const int target = order[oi];
+    // Learn rules for `target` until its instances are exhausted or the next
+    // grown rule is worse than random on the prune set.
+    for (;;) {
+      double target_weight = 0.0;
+      for (std::size_t i : remaining)
+        if (train.label(i) == target) target_weight += weights[i];
+      if (target_weight < params_.min_rule_weight) break;
+
+      // Stratified-ish grow/prune split of the remaining rows.
+      std::vector<std::size_t> shuffled(remaining);
+      rng.shuffle(shuffled);
+      const auto cut = static_cast<std::size_t>(
+          params_.grow_fraction * static_cast<double>(shuffled.size()));
+      std::vector<std::size_t> grow(shuffled.begin(),
+                                    shuffled.begin() +
+                                        static_cast<std::ptrdiff_t>(cut));
+      std::vector<std::size_t> prune(shuffled.begin() +
+                                         static_cast<std::ptrdiff_t>(cut),
+                                     shuffled.end());
+
+      Rule rule = grow_rule(train, grow, weights, target);
+      if (rule.conditions.empty()) break;
+      for (int pass = 0; pass < std::max(1, params_.optimization_passes);
+           ++pass)
+        prune_rule(rule, train, prune, weights, target);
+      if (rule.conditions.empty()) break;
+
+      // Accept only if the rule is better than chance on all remaining rows.
+      const Coverage cov =
+          coverage_of(rule, train, remaining, weights, target);
+      if (cov.pos < params_.min_rule_weight || cov.pos <= cov.neg) break;
+
+      rule.class_weight.assign(k, 0.0);
+      for (std::size_t i : remaining)
+        if (rule.matches(train.features(i)))
+          rule.class_weight[static_cast<std::size_t>(train.label(i))] +=
+              weights[i];
+      rules_.push_back(rule);
+
+      std::vector<std::size_t> next;
+      next.reserve(remaining.size());
+      for (std::size_t i : remaining)
+        if (!rule.matches(train.features(i))) next.push_back(i);
+      if (next.size() == remaining.size()) break;  // no progress
+      remaining = std::move(next);
+    }
+  }
+
+  // Default distribution re-estimated on uncovered instances when possible.
+  std::vector<double> uncovered(k, 0.0);
+  double uncovered_total = 0.0;
+  for (std::size_t i : remaining) {
+    uncovered[static_cast<std::size_t>(train.label(i))] += weights[i];
+    uncovered_total += weights[i];
+  }
+  if (uncovered_total > 0.0) {
+    default_distribution_ = uncovered;
+    for (double& w : default_distribution_) w /= uncovered_total;
+    default_class_ = static_cast<int>(
+        std::max_element(uncovered.begin(), uncovered.end()) -
+        uncovered.begin());
+  }
+  mark_trained(train);
+}
+
+std::vector<double> Ripper::predict_proba(std::span<const double> x) const {
+  require_trained();
+  for (const auto& rule : rules_) {
+    if (!rule.matches(x)) continue;
+    // Laplace-smoothed coverage distribution of the first matching rule.
+    std::vector<double> proba(class_count());
+    double total = static_cast<double>(class_count());
+    for (double w : rule.class_weight) total += w;
+    for (std::size_t c = 0; c < proba.size(); ++c)
+      proba[c] = (rule.class_weight[c] + 1.0) / total;
+    return proba;
+  }
+  return default_distribution_;
+}
+
+std::unique_ptr<Classifier> Ripper::clone_untrained() const {
+  return std::make_unique<Ripper>(params_);
+}
+
+std::size_t Ripper::condition_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rules_) n += r.conditions.size();
+  return n;
+}
+
+void Ripper::save_body(std::ostream& out) const {
+  require_trained();
+  out << rules_.size() << ' ' << default_class_ << ' '
+      << default_distribution_.size();
+  for (double w : default_distribution_) out << ' ' << w;
+  out << '\n';
+  for (const Rule& r : rules_) {
+    out << r.predicted << ' ' << r.conditions.size() << ' '
+        << r.class_weight.size() << '\n';
+    for (const Condition& c : r.conditions)
+      out << c.feature << ' ' << (c.less_equal ? 1 : 0) << ' ' << c.threshold
+          << '\n';
+    for (double w : r.class_weight) out << w << ' ';
+    out << '\n';
+  }
+}
+
+void Ripper::load_body(std::istream& in) {
+  std::size_t rule_count = 0;
+  std::size_t dist = 0;
+  if (!(in >> rule_count >> default_class_ >> dist))
+    throw std::runtime_error("Ripper: bad body");
+  default_distribution_.assign(dist, 0.0);
+  for (double& w : default_distribution_) in >> w;
+  rules_.assign(rule_count, Rule{});
+  for (Rule& r : rules_) {
+    std::size_t conds = 0;
+    std::size_t k = 0;
+    in >> r.predicted >> conds >> k;
+    r.conditions.assign(conds, Condition{});
+    for (Condition& c : r.conditions) {
+      int le = 0;
+      in >> c.feature >> le >> c.threshold;
+      c.less_equal = le != 0;
+    }
+    r.class_weight.assign(k, 0.0);
+    for (double& w : r.class_weight) in >> w;
+  }
+  if (!in) throw std::runtime_error("Ripper: truncated body");
+}
+
+}  // namespace smart2

@@ -1,0 +1,78 @@
+// JRip: a RIPPER-style propositional rule learner (Cohen, 1995), the WEKA
+// classifier the paper uses as its rule-based detector.
+//
+// Classes are handled in order of increasing frequency; for each class a
+// ruleset is grown with FOIL-gain condition selection on a grow set and
+// pruned by coverage accuracy on a held-out prune set (2/3 - 1/3 split, as
+// in RIPPER). Instances matched by a ruleset are removed before the next
+// class is learned; the most frequent class becomes the default.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+class Ripper final : public Classifier {
+ public:
+  struct Params {
+    double min_rule_weight = 2.0;   // minimal covered weight for a rule
+    double grow_fraction = 2.0 / 3.0;
+    int optimization_passes = 1;    // RIPPER's k (we run rule re-pruning)
+    std::uint64_t seed = 0x5eed;    // grow/prune split shuffling
+  };
+
+  Ripper() = default;
+  explicit Ripper(Params params) : params_(params) {}
+
+  void fit_weighted(const Dataset& train,
+                    std::span<const double> weights) override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  std::string name() const override { return "JRip"; }
+  void save_body(std::ostream& out) const override;
+  void load_body(std::istream& in) override;
+
+  struct Condition {
+    std::size_t feature = 0;
+    bool less_equal = true;  // true: x[f] <= threshold, false: x[f] > threshold
+    double threshold = 0.0;
+
+    bool matches(std::span<const double> x) const noexcept {
+      return less_equal ? x[feature] <= threshold : x[feature] > threshold;
+    }
+  };
+
+  struct Rule {
+    std::vector<Condition> conditions;  // conjunction
+    int predicted = 0;
+    std::vector<double> class_weight;   // training coverage distribution
+
+    bool matches(std::span<const double> x) const noexcept {
+      for (const auto& c : conditions)
+        if (!c.matches(x)) return false;
+      return true;
+    }
+  };
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  int default_class() const { return default_class_; }
+
+  /// Total number of conditions across all rules (hardware cost input).
+  std::size_t condition_count() const;
+
+ private:
+  struct WorkingSet;
+
+  Rule grow_rule(const Dataset& d, const std::vector<std::size_t>& rows,
+                 std::span<const double> weights, int target) const;
+  void prune_rule(Rule& rule, const Dataset& d,
+                  const std::vector<std::size_t>& rows,
+                  std::span<const double> weights, int target) const;
+
+  Params params_;
+  std::vector<Rule> rules_;
+  int default_class_ = 0;
+  std::vector<double> default_distribution_;
+};
+
+}  // namespace smart2

@@ -1,0 +1,97 @@
+#include "ml/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+
+namespace smart2 {
+
+std::unique_ptr<Classifier> make_classifier_by_name(const std::string& name) {
+  if (name == "OneR") return std::make_unique<OneR>();
+  if (name == "J48") return std::make_unique<DecisionTree>();
+  if (name == "JRip") return std::make_unique<Ripper>();
+  if (name == "MLP") return std::make_unique<Mlp>();
+  if (name == "MLR") return std::make_unique<LogisticRegression>();
+  if (name == "NaiveBayes") return std::make_unique<NaiveBayes>();
+  // Composite spellings: AdaBoost(<base>) and Bagging(<base>).
+  for (const char* wrapper : {"AdaBoost", "Bagging"}) {
+    const std::string prefix = std::string(wrapper) + "(";
+    if (name.rfind(prefix, 0) == 0 && name.back() == ')') {
+      const std::string base =
+          name.substr(prefix.size(), name.size() - prefix.size() - 1);
+      auto proto = make_classifier_by_name(base);
+      if (prefix[0] == 'A')
+        return std::make_unique<AdaBoost>(std::move(proto));
+      return std::make_unique<Bagging>(std::move(proto));
+    }
+  }
+  throw std::runtime_error("make_classifier_by_name: unknown classifier " +
+                           name);
+}
+
+void serialize_classifier(const Classifier& c, std::ostream& out) {
+  if (!c.trained())
+    throw std::logic_error("serialize_classifier: classifier is not trained");
+  out << std::setprecision(17);
+  out << "smart2-model " << kModelFormatVersion << ' ' << c.name() << ' '
+      << c.class_count() << ' ' << c.feature_count() << '\n';
+  c.save_body(out);
+  if (!out) throw std::runtime_error("serialize_classifier: write failed");
+}
+
+std::string serialize_classifier(const Classifier& c) {
+  std::ostringstream out;
+  serialize_classifier(c, out);
+  return out.str();
+}
+
+std::unique_ptr<Classifier> deserialize_classifier(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  std::string name;
+  std::size_t classes = 0;
+  std::size_t features = 0;
+  if (!(in >> magic >> version >> name >> classes >> features) ||
+      magic != "smart2-model")
+    throw std::runtime_error("deserialize_classifier: bad header");
+  if (version != kModelFormatVersion)
+    throw std::runtime_error("deserialize_classifier: unsupported version " +
+                             std::to_string(version));
+
+  auto model = make_classifier_by_name(name);
+  model->load_body(in);
+  if (!in) throw std::runtime_error("deserialize_classifier: truncated body");
+  model->restore_schema(classes, features);
+  return model;
+}
+
+std::unique_ptr<Classifier> deserialize_classifier(const std::string& text) {
+  std::istringstream in(text);
+  return deserialize_classifier(in);
+}
+
+void save_classifier(const std::string& path, const Classifier& c) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("save_classifier: cannot open " + path);
+  serialize_classifier(c, out);
+}
+
+std::unique_ptr<Classifier> load_classifier(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("load_classifier: cannot open " + path);
+  return deserialize_classifier(in);
+}
+
+}  // namespace smart2

@@ -1,0 +1,38 @@
+// Model serialization: save trained classifiers to a portable text format
+// and restore them later (the train-offline / deploy-online workflow).
+//
+// Format: one header line `smart2-model <version> <name> <classes>
+// <features>` followed by a classifier-specific body of whitespace-separated
+// tokens. Doubles are written with 17 significant digits so round trips are
+// bit-exact.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "ml/classifier.hpp"
+
+namespace smart2 {
+
+inline constexpr int kModelFormatVersion = 1;
+
+/// Write a trained classifier. Throws std::logic_error if untrained.
+void serialize_classifier(const Classifier& c, std::ostream& out);
+std::string serialize_classifier(const Classifier& c);
+
+/// Restore a classifier written by serialize_classifier. Throws
+/// std::runtime_error on malformed input or unknown classifier names.
+std::unique_ptr<Classifier> deserialize_classifier(std::istream& in);
+std::unique_ptr<Classifier> deserialize_classifier(const std::string& text);
+
+/// File convenience wrappers.
+void save_classifier(const std::string& path, const Classifier& c);
+std::unique_ptr<Classifier> load_classifier(const std::string& path);
+
+/// Instantiate an untrained classifier from its serialized name, including
+/// the "AdaBoost(<base>)" composite spelling. (The ml-layer counterpart of
+/// core/model_zoo, used by deserialization.)
+std::unique_ptr<Classifier> make_classifier_by_name(const std::string& name);
+
+}  // namespace smart2

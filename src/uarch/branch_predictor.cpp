@@ -1,0 +1,63 @@
+#include "uarch/branch_predictor.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace smart2 {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig& config)
+    : config_(config) {
+  if (config.table_bits == 0 || config.table_bits > 24)
+    throw std::invalid_argument("BranchPredictor: bad table size");
+  if (config.history_bits > config.table_bits)
+    throw std::invalid_argument("BranchPredictor: history exceeds table");
+  if (config.btb_entries == 0 || !std::has_single_bit(config.btb_entries))
+    throw std::invalid_argument("BranchPredictor: BTB must be a power of two");
+  table_mask_ = (1u << config.table_bits) - 1;
+  history_mask_ = config.history_bits == 0
+                      ? 0
+                      : (1u << config.history_bits) - 1;
+  counters_.assign(std::size_t{1} << config.table_bits, 2);  // weak taken
+  btb_.assign(config.btb_entries, BtbEntry{});
+}
+
+BranchPredictor::Outcome BranchPredictor::access(std::uint64_t pc, bool taken,
+                                                 std::uint64_t target) noexcept {
+  ++lookups_;
+  const std::uint32_t idx = static_cast<std::uint32_t>(
+                                (pc >> 2) ^ (history_ & history_mask_)) &
+                            table_mask_;
+  std::uint8_t& ctr = counters_[idx];
+  const bool predicted_taken = ctr >= 2;
+
+  Outcome out;
+  out.direction_correct = predicted_taken == taken;
+  if (!out.direction_correct) ++direction_mispredicts_;
+
+  // Train the 2-bit counter.
+  if (taken && ctr < 3) ++ctr;
+  if (!taken && ctr > 0) --ctr;
+  history_ = (history_ << 1) | (taken ? 1 : 0);
+
+  // BTB lookup is only meaningful for taken branches (target fetch).
+  BtbEntry& entry = btb_[(pc >> 2) & (config_.btb_entries - 1)];
+  out.btb_hit = entry.valid && entry.pc == pc && entry.target == target;
+  if (taken) {
+    if (!out.btb_hit) ++btb_misses_;
+    entry.valid = true;
+    entry.pc = pc;
+    entry.target = target;
+  }
+  return out;
+}
+
+void BranchPredictor::reset() noexcept {
+  for (auto& c : counters_) c = 2;
+  for (auto& e : btb_) e = BtbEntry{};
+  history_ = 0;
+  lookups_ = 0;
+  direction_mispredicts_ = 0;
+  btb_misses_ = 0;
+}
+
+}  // namespace smart2

@@ -1,0 +1,57 @@
+// Gshare direction predictor with a direct-mapped BTB.
+//
+// Drives the branch-misses (direction mispredictions) and
+// branch-loads / branch-load-misses (BPU lookups / BTB misses) events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smart2 {
+
+struct BranchPredictorConfig {
+  std::uint32_t table_bits = 12;     // log2 of the 2-bit counter table size
+  std::uint32_t history_bits = 0;    // global history XORed into the index
+                                     // (0 = pure bimodal)
+  std::uint32_t btb_entries = 512;   // direct-mapped target buffer
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& config);
+
+  struct Outcome {
+    bool direction_correct = false;
+    bool btb_hit = false;
+  };
+
+  /// Predict + train on one dynamic branch.
+  Outcome access(std::uint64_t pc, bool taken,
+                 std::uint64_t target) noexcept;
+
+  void reset() noexcept;
+
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  std::uint64_t direction_mispredicts() const noexcept {
+    return direction_mispredicts_;
+  }
+  std::uint64_t btb_misses() const noexcept { return btb_misses_; }
+
+ private:
+  BranchPredictorConfig config_;
+  std::uint32_t table_mask_;
+  std::uint32_t history_mask_;
+  std::vector<std::uint8_t> counters_;  // 2-bit saturating
+  struct BtbEntry {
+    std::uint64_t pc = 0;
+    std::uint64_t target = 0;
+    bool valid = false;
+  };
+  std::vector<BtbEntry> btb_;
+  std::uint64_t history_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t direction_mispredicts_ = 0;
+  std::uint64_t btb_misses_ = 0;
+};
+
+}  // namespace smart2

@@ -1,0 +1,98 @@
+#include "uarch/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace smart2 {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (config.line_bytes == 0 || !std::has_single_bit(config.line_bytes))
+    throw std::invalid_argument("Cache: line size must be a power of two");
+  if (config.associativity == 0)
+    throw std::invalid_argument("Cache: associativity must be positive");
+  const std::uint64_t lines = config.size_bytes / config.line_bytes;
+  if (lines == 0 || lines % config.associativity != 0)
+    throw std::invalid_argument("Cache: size/assoc/line mismatch");
+  num_sets_ = static_cast<std::uint32_t>(lines / config.associativity);
+  if (!std::has_single_bit(num_sets_))
+    throw std::invalid_argument("Cache: set count must be a power of two");
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.line_bytes));
+  set_shift_ = static_cast<std::uint32_t>(std::countr_zero(num_sets_));
+  ways_.assign(static_cast<std::size_t>(num_sets_) * config.associativity,
+               Way{});
+}
+
+Cache::AccessResult Cache::access(std::uint64_t address,
+                                  bool is_store) noexcept {
+  ++accesses_;
+  ++stamp_;
+  const std::uint64_t line = address >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line & (num_sets_ - 1));
+  const std::uint64_t tag = line >> set_shift_;
+  Way* base = &ways_[static_cast<std::size_t>(set) * config_.associativity];
+
+  AccessResult result;
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = stamp_;
+      way.dirty = way.dirty || is_store;
+      result.hit = true;
+      return result;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++misses_;
+  if (victim->valid && victim->dirty) {
+    ++writebacks_;
+    result.writeback = true;
+    result.victim_address =
+        ((victim->tag << set_shift_) | set) << line_shift_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  victim->dirty = is_store;
+  return result;
+}
+
+bool Cache::mark_dirty_if_present(std::uint64_t address) noexcept {
+  const std::uint64_t line = address >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line & (num_sets_ - 1));
+  const std::uint64_t tag = line >> set_shift_;
+  Way* base = &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.dirty = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::probe(std::uint64_t address) const noexcept {
+  const std::uint64_t line = address >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line & (num_sets_ - 1));
+  const std::uint64_t tag = line >> set_shift_;
+  const Way* base =
+      &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::reset() noexcept {
+  for (Way& w : ways_) w = Way{};
+  stamp_ = 0;
+  accesses_ = 0;
+  misses_ = 0;
+  writebacks_ = 0;
+}
+
+}  // namespace smart2

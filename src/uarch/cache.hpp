@@ -1,0 +1,67 @@
+// Set-associative cache with true-LRU replacement and dirty-line tracking.
+//
+// Write-allocate, write-back: stores mark lines dirty and evictions of dirty
+// lines surface as writebacks so the memory-traffic events (LLC-stores,
+// node-stores) include them, as real counters do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smart2 {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t associativity = 8;
+  std::uint32_t line_bytes = 64;
+};
+
+class Cache {
+ public:
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;          // a dirty line was evicted
+    std::uint64_t victim_address = 0;  // line address of the writeback
+  };
+
+  explicit Cache(const CacheConfig& config);
+
+  /// Access one address; a miss installs the line (write-allocate).
+  /// `is_store` marks the line dirty.
+  AccessResult access(std::uint64_t address, bool is_store = false) noexcept;
+
+  /// Mark the line dirty if present (writeback arriving from an upper
+  /// level); returns true if the line was present. Never allocates.
+  bool mark_dirty_if_present(std::uint64_t address) noexcept;
+
+  /// Hit check without installing or touching LRU state.
+  bool probe(std::uint64_t address) const noexcept;
+
+  void reset() noexcept;
+
+  std::uint64_t accesses() const noexcept { return accesses_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t writebacks() const noexcept { return writebacks_; }
+  std::uint32_t num_sets() const noexcept { return num_sets_; }
+  const CacheConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // last-access stamp; larger = more recent
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  std::uint32_t num_sets_;
+  std::uint32_t line_shift_;
+  std::uint32_t set_shift_;
+  std::vector<Way> ways_;  // num_sets_ * associativity
+  std::uint64_t stamp_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace smart2

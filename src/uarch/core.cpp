@@ -1,0 +1,214 @@
+#include "uarch/core.hpp"
+
+namespace smart2 {
+
+CoreModel::CoreModel(const CoreConfig& config)
+    : config_(config),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2_(config.l2),
+      llc_(config.llc),
+      itlb_(config.itlb),
+      dtlb_(config.dtlb),
+      branch_(config.branch),
+      rng_(config.seed) {}
+
+void CoreModel::add_cycles(std::uint64_t n, bool frontend) noexcept {
+  bump(Event::kCycles, n);
+  bump(frontend ? Event::kStalledCyclesFrontend
+                : Event::kStalledCyclesBackend,
+       n);
+  cycles_since_switch_ += n;
+}
+
+void CoreModel::touch_page(std::uint64_t address, bool cold_major) noexcept {
+  const std::uint64_t page = address >> 12;
+  if (page == last_touched_page_) return;
+  last_touched_page_ = page;
+  if (resident_pages_.insert(page).second) {
+    bump(Event::kPageFaults);
+    if (cold_major) {
+      bump(Event::kMajorFaults);
+      add_cycles(config_.major_fault_penalty, /*frontend=*/false);
+    } else {
+      bump(Event::kMinorFaults);
+      add_cycles(config_.minor_fault_penalty, /*frontend=*/false);
+    }
+  }
+}
+
+void CoreModel::context_switch() noexcept {
+  bump(Event::kContextSwitches);
+  // The incoming context invalidates the translations; caches survive but
+  // the TLBs are flushed (no ASID modeled, matching the paper's Linux
+  // 4.4/LXC setup).
+  itlb_.reset();
+  dtlb_.reset();
+  if (rng_.bernoulli(config_.migration_probability)) {
+    bump(Event::kCpuMigrations);
+    // A migration lands on a cold core: caches and predictor start over.
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+    llc_.reset();
+    branch_.reset();
+  }
+}
+
+void CoreModel::issue_prefetch(std::uint64_t address, bool remote) noexcept {
+  bump(Event::kL1DcachePrefetches);
+  const auto l1r = l1d_.access(address, /*is_store=*/false);
+  if (l1r.hit) return;
+  bump(Event::kL1DcachePrefetchMisses);
+  if (l1r.writeback) llc_writeback(l1r.victim_address);
+  bump(Event::kLlcPrefetches);
+  bump(Event::kCacheReferences);
+  const auto llr = llc_.access(address, /*is_store=*/false);
+  if (llr.writeback) bump(Event::kNodeStores);
+  if (!llr.hit) {
+    bump(Event::kCacheMisses);
+    bump(Event::kLlcPrefetchMisses);
+    bump(Event::kNodePrefetches);
+    if (remote) bump(Event::kNodePrefetchMisses);
+    // Prefetch latency is off the critical path: no stall cycles.
+  }
+}
+
+void CoreModel::llc_writeback(std::uint64_t victim_address) noexcept {
+  // An L1 dirty eviction arrives at the LLC. If the line is still present it
+  // is merely marked dirty; otherwise the writeback goes straight to DRAM.
+  if (!llc_.mark_dirty_if_present(victim_address)) bump(Event::kNodeStores);
+}
+
+void CoreModel::llc_fill(std::uint64_t address, bool is_store, bool remote,
+                         bool frontend) noexcept {
+  // Optional mid-level cache: an L2 hit never reaches the LLC (and thus
+  // never counts toward cache-references, exactly as on real hardware).
+  if (config_.has_l2) {
+    const auto l2r = l2_.access(address, is_store);
+    if (l2r.writeback) {
+      if (!llc_.mark_dirty_if_present(l2r.victim_address))
+        bump(Event::kNodeStores);
+    }
+    if (l2r.hit) return;
+    add_cycles(config_.l2_miss_penalty, frontend);
+  }
+  bump(Event::kCacheReferences);
+  bump(is_store ? Event::kLlcStores : Event::kLlcLoads);
+  const auto r = llc_.access(address, is_store);
+  if (r.writeback) bump(Event::kNodeStores);  // dirty LLC line to DRAM
+  if (r.hit) return;
+
+  bump(Event::kCacheMisses);
+  if (is_store) {
+    bump(Event::kLlcStoreMisses);
+    bump(Event::kNodeStores);
+    if (remote) bump(Event::kNodeStoreMisses);
+  } else {
+    bump(Event::kLlcLoadMisses);
+    bump(Event::kNodeLoads);
+    if (remote) bump(Event::kNodeLoadMisses);
+  }
+  add_cycles(config_.llc_miss_penalty +
+                 (remote ? config_.remote_node_penalty : config_.node_penalty),
+             frontend);
+}
+
+void CoreModel::execute(const MicroOp& op) noexcept {
+  bump(Event::kInstructions);
+  // Baseline throughput: one cycle per op (the stall penalties model
+  // everything beyond that).
+  bump(Event::kCycles);
+  cycles_since_switch_ += 1;
+
+  // --- Frontend: iTLB + L1I fetch ---------------------------------------
+  bump(Event::kItlbLoads);
+  if (!itlb_.access(op.iaddr)) {
+    bump(Event::kItlbLoadMisses);
+    add_cycles(config_.tlb_miss_penalty, /*frontend=*/true);
+  }
+  touch_page(op.iaddr, /*cold_major=*/false);
+  bump(Event::kL1IcacheLoads);
+  if (!l1i_.access(op.iaddr).hit) {
+    bump(Event::kL1IcacheLoadMisses);
+    add_cycles(config_.l1_miss_penalty, /*frontend=*/true);
+    llc_fill(op.iaddr, /*is_store=*/false, /*remote=*/false,
+             /*frontend=*/true);
+  }
+
+  switch (op.kind) {
+    case MicroOp::Kind::kAlu:
+      break;
+
+    case MicroOp::Kind::kBranch: {
+      bump(Event::kBranchInstructions);
+      bump(Event::kBranchLoads);
+      const auto outcome = branch_.access(op.iaddr, op.taken, op.target);
+      if (!outcome.direction_correct) {
+        bump(Event::kBranchMisses);
+        add_cycles(config_.mispredict_penalty, /*frontend=*/true);
+      }
+      if (op.taken && !outcome.btb_hit) bump(Event::kBranchLoadMisses);
+      break;
+    }
+
+    case MicroOp::Kind::kLoad:
+    case MicroOp::Kind::kStore: {
+      const bool is_store = op.kind == MicroOp::Kind::kStore;
+      if (op.unaligned) bump(Event::kAlignmentFaults);
+      bump(is_store ? Event::kDtlbStores : Event::kDtlbLoads);
+      if (!dtlb_.access(op.daddr)) {
+        bump(is_store ? Event::kDtlbStoreMisses : Event::kDtlbLoadMisses);
+        add_cycles(config_.tlb_miss_penalty, /*frontend=*/false);
+      }
+      touch_page(op.daddr, op.cold_major);
+      bump(is_store ? Event::kL1DcacheStores : Event::kL1DcacheLoads);
+      const auto l1r = l1d_.access(op.daddr, is_store);
+      if (!l1r.hit) {
+        bump(is_store ? Event::kL1DcacheStoreMisses
+                      : Event::kL1DcacheLoadMisses);
+        add_cycles(config_.l1_miss_penalty, /*frontend=*/false);
+        if (l1r.writeback) llc_writeback(l1r.victim_address);
+        llc_fill(op.daddr, is_store, op.remote_node, /*frontend=*/false);
+        // A demand load miss trains the next-line prefetcher.
+        if (config_.next_line_prefetcher && !is_store)
+          issue_prefetch(op.daddr + config_.l1d.line_bytes, op.remote_node);
+      }
+      break;
+    }
+
+    case MicroOp::Kind::kPrefetch:
+      issue_prefetch(op.daddr, op.remote_node);
+      break;
+  }
+
+  // Derived clock-domain counters.
+  counters_[event_index(Event::kBusCycles)] =
+      counters_[event_index(Event::kCycles)] / config_.bus_ratio;
+  counters_[event_index(Event::kRefCycles)] =
+      counters_[event_index(Event::kCycles)];
+
+  if (cycles_since_switch_ >= config_.context_switch_quantum) {
+    cycles_since_switch_ = 0;
+    context_switch();
+  }
+}
+
+void CoreModel::clear_counters() noexcept { counters_.fill(0); }
+
+void CoreModel::reset() noexcept {
+  clear_counters();
+  l1i_.reset();
+  l1d_.reset();
+  l2_.reset();
+  llc_.reset();
+  itlb_.reset();
+  dtlb_.reset();
+  branch_.reset();
+  rng_ = Rng(config_.seed);
+  resident_pages_.clear();
+  last_touched_page_ = ~0ULL;
+  cycles_since_switch_ = 0;
+}
+
+}  // namespace smart2

@@ -1,0 +1,129 @@
+// The simulated Xeon-class core that produces the 44 perf events.
+//
+// The core consumes an abstract micro-op stream (see MicroOp) and models the
+// structures whose behaviour the events expose: split L1 caches, a shared
+// LLC, i/dTLBs, a gshare+BTB branch predictor, NUMA-node memory traffic,
+// page-fault residency, context switches, and frontend/backend stall
+// accounting. It is cycle-approximate: latencies are fixed per-structure
+// penalties, which is all the HPC feature vectors need.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "uarch/branch_predictor.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/events.hpp"
+#include "uarch/tlb.hpp"
+
+namespace smart2 {
+
+/// One abstract dynamic instruction.
+struct MicroOp {
+  enum class Kind : std::uint8_t {
+    kAlu,
+    kLoad,
+    kStore,
+    kBranch,
+    kPrefetch,
+  };
+
+  Kind kind = Kind::kAlu;
+  std::uint64_t iaddr = 0;   // instruction address (fetch/iTLB/BTB)
+  std::uint64_t daddr = 0;   // data address (loads/stores/prefetches)
+  bool taken = false;        // branch direction
+  std::uint64_t target = 0;  // branch target
+  bool remote_node = false;  // memory op homed on a remote NUMA node
+  bool unaligned = false;    // triggers an alignment fault
+  bool cold_major = false;   // first touch requires backing I/O (major fault)
+};
+
+// The default machine is a uniformly scaled-down Xeon-class core: cache and
+// TLB capacities are divided by ~32 and the workload working sets shrink
+// with them (see appmodels.cpp), which preserves hit/miss ratios while
+// letting a sampling window reach steady state within ~10^5 cycles.
+struct CoreConfig {
+  CacheConfig l1i{8 * 1024, 4, 64};
+  CacheConfig l1d{8 * 1024, 8, 64};
+  /// Optional private mid-level cache between the L1s and the LLC (the
+  /// X5550's 256 KB L2, scaled). Off by default: the 44 perf events carry
+  /// no L2 counters, so it only filters LLC traffic.
+  bool has_l2 = false;
+  CacheConfig l2{32 * 1024, 8, 64};
+  std::uint32_t l2_miss_penalty = 6;
+  CacheConfig llc{256 * 1024, 16, 64};
+  TlbConfig itlb{64, 4, 4096};
+  TlbConfig dtlb{32, 4, 4096};
+  BranchPredictorConfig branch{12, 0, 512};
+
+  // Fixed penalties (cycles).
+  std::uint32_t l1_miss_penalty = 8;
+  std::uint32_t llc_miss_penalty = 30;
+  std::uint32_t node_penalty = 60;         // local-node DRAM
+  std::uint32_t remote_node_penalty = 120; // remote-node DRAM
+  std::uint32_t mispredict_penalty = 12;
+  std::uint32_t tlb_miss_penalty = 20;
+  std::uint32_t minor_fault_penalty = 300;
+  std::uint32_t major_fault_penalty = 2000;
+
+  /// Next-line L1D hardware prefetcher (off by default to match the
+  /// calibrated event distributions; the ablation bench turns it on).
+  bool next_line_prefetcher = false;
+
+  std::uint64_t context_switch_quantum = 100'000;  // cycles per timeslice
+  double migration_probability = 0.02;             // per context switch
+  std::uint32_t bus_ratio = 16;                    // core:bus clock ratio
+  std::uint64_t seed = 0xc0de;                     // OS-noise randomness
+};
+
+class CoreModel {
+ public:
+  explicit CoreModel(const CoreConfig& config = CoreConfig{});
+
+  /// Execute one micro-op, updating all event counters.
+  void execute(const MicroOp& op) noexcept;
+
+  const EventCounts& counters() const noexcept { return counters_; }
+
+  /// Zero the counters but keep microarchitectural state (between sampling
+  /// windows of one run).
+  void clear_counters() noexcept;
+
+  /// Full machine reset — the "destroy the container after each run"
+  /// semantics from the paper's data-collection protocol.
+  void reset() noexcept;
+
+  std::uint64_t cycles() const noexcept {
+    return counters_[event_index(Event::kCycles)];
+  }
+  const CoreConfig& config() const noexcept { return config_; }
+
+ private:
+  void bump(Event e, std::uint64_t n = 1) noexcept {
+    counters_[event_index(e)] += n;
+  }
+  void add_cycles(std::uint64_t n, bool frontend) noexcept;
+  void touch_page(std::uint64_t address, bool cold_major) noexcept;
+  void context_switch() noexcept;
+  void llc_writeback(std::uint64_t victim_address) noexcept;
+  void issue_prefetch(std::uint64_t address, bool remote) noexcept;
+  void llc_fill(std::uint64_t address, bool is_store, bool remote,
+                bool frontend) noexcept;
+
+  CoreConfig config_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  Cache llc_;
+  Tlb itlb_;
+  Tlb dtlb_;
+  BranchPredictor branch_;
+  Rng rng_;
+  std::unordered_set<std::uint64_t> resident_pages_;
+  std::uint64_t last_touched_page_ = ~0ULL;  // fast path for touch_page
+  EventCounts counters_{};
+  std::uint64_t cycles_since_switch_ = 0;
+};
+
+}  // namespace smart2

@@ -1,0 +1,77 @@
+#include "uarch/events.hpp"
+
+namespace smart2 {
+
+namespace {
+
+struct EventNames {
+  std::string_view canonical;
+  std::string_view abbreviated;
+};
+
+constexpr std::array<EventNames, kNumEvents> kNames = {{
+    {"cycles", "cycles"},
+    {"instructions", "inst"},
+    {"branch-instructions", "branch-inst"},
+    {"branch-misses", "branch-miss"},
+    {"cache-references", "cache-ref"},
+    {"cache-misses", "cache-miss"},
+    {"bus-cycles", "bus-cycles"},
+    {"ref-cycles", "ref-cycles"},
+    {"stalled-cycles-frontend", "stall-fe"},
+    {"stalled-cycles-backend", "stall-be"},
+    {"L1-dcache-loads", "L1-dcache-lds"},
+    {"L1-dcache-load-misses", "L1-dcache-ld-miss"},
+    {"L1-dcache-stores", "L1-dcache-st"},
+    {"L1-dcache-store-misses", "L1-dcache-st-miss"},
+    {"L1-dcache-prefetches", "L1-dcache-pref"},
+    {"L1-dcache-prefetch-misses", "L1-dcache-pref-miss"},
+    {"L1-icache-loads", "L1-icache-lds"},
+    {"L1-icache-load-misses", "L1-icache-ld-miss"},
+    {"LLC-loads", "LLC-lds"},
+    {"LLC-load-misses", "LLC-ld-miss"},
+    {"LLC-stores", "LLC-st"},
+    {"LLC-store-misses", "LLC-st-miss"},
+    {"LLC-prefetches", "LLC-pref"},
+    {"LLC-prefetch-misses", "LLC-pref-miss"},
+    {"dTLB-loads", "dTLB-lds"},
+    {"dTLB-load-misses", "dTLB-ld-miss"},
+    {"dTLB-stores", "dTLB-st"},
+    {"dTLB-store-misses", "dTLB-st-miss"},
+    {"iTLB-loads", "iTLB-lds"},
+    {"iTLB-load-misses", "iTLB-ld-miss"},
+    {"branch-loads", "branch-lds"},
+    {"branch-load-misses", "branch-ld-miss"},
+    {"node-loads", "node-lds"},
+    {"node-load-misses", "node-ld-miss"},
+    {"node-stores", "node-st"},
+    {"node-store-misses", "node-st-miss"},
+    {"node-prefetches", "node-pref"},
+    {"node-prefetch-misses", "node-pref-miss"},
+    {"context-switches", "ctx-sw"},
+    {"cpu-migrations", "cpu-migr"},
+    {"page-faults", "page-faults"},
+    {"minor-faults", "minor-faults"},
+    {"major-faults", "major-faults"},
+    {"alignment-faults", "align-faults"},
+}};
+
+}  // namespace
+
+std::string_view event_name(Event e) noexcept {
+  return kNames[event_index(e)].canonical;
+}
+
+std::string_view event_short_name(Event e) noexcept {
+  return kNames[event_index(e)].abbreviated;
+}
+
+std::optional<Event> event_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    if (kNames[i].canonical == name || kNames[i].abbreviated == name)
+      return event_at(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace smart2

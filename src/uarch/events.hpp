@@ -1,0 +1,92 @@
+// The 44 perf-style hardware/software events the paper collects (§III-A:
+// "We extracted 44 CPU events available under Perf tool").
+//
+// Naming follows Linux perf; short_name() gives the abbreviated spelling the
+// paper uses in Table II (e.g. "branch-inst", "node-st").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace smart2 {
+
+enum class Event : std::uint8_t {
+  // Generic hardware events.
+  kCycles = 0,
+  kInstructions,
+  kBranchInstructions,
+  kBranchMisses,
+  kCacheReferences,
+  kCacheMisses,
+  kBusCycles,
+  kRefCycles,
+  kStalledCyclesFrontend,
+  kStalledCyclesBackend,
+  // L1 data cache.
+  kL1DcacheLoads,
+  kL1DcacheLoadMisses,
+  kL1DcacheStores,
+  kL1DcacheStoreMisses,
+  kL1DcachePrefetches,
+  kL1DcachePrefetchMisses,
+  // L1 instruction cache.
+  kL1IcacheLoads,
+  kL1IcacheLoadMisses,
+  // Last-level cache.
+  kLlcLoads,
+  kLlcLoadMisses,
+  kLlcStores,
+  kLlcStoreMisses,
+  kLlcPrefetches,
+  kLlcPrefetchMisses,
+  // TLBs.
+  kDtlbLoads,
+  kDtlbLoadMisses,
+  kDtlbStores,
+  kDtlbStoreMisses,
+  kItlbLoads,
+  kItlbLoadMisses,
+  // Branch prediction unit.
+  kBranchLoads,
+  kBranchLoadMisses,
+  // NUMA node (local memory) traffic.
+  kNodeLoads,
+  kNodeLoadMisses,
+  kNodeStores,
+  kNodeStoreMisses,
+  kNodePrefetches,
+  kNodePrefetchMisses,
+  // Software events.
+  kContextSwitches,
+  kCpuMigrations,
+  kPageFaults,
+  kMinorFaults,
+  kMajorFaults,
+  kAlignmentFaults,
+};
+
+inline constexpr std::size_t kNumEvents = 44;
+
+constexpr std::size_t event_index(Event e) noexcept {
+  return static_cast<std::size_t>(e);
+}
+
+constexpr Event event_at(std::size_t i) noexcept {
+  return static_cast<Event>(i);
+}
+
+/// Canonical perf spelling, e.g. "branch-instructions".
+std::string_view event_name(Event e) noexcept;
+
+/// Paper's abbreviated spelling (Table II), e.g. "branch-inst".
+std::string_view event_short_name(Event e) noexcept;
+
+/// Reverse lookup by canonical or short name.
+std::optional<Event> event_from_name(std::string_view name) noexcept;
+
+/// Per-event counter vector for one measurement window.
+using EventCounts = std::array<std::uint64_t, kNumEvents>;
+
+}  // namespace smart2

@@ -1,0 +1,62 @@
+#include "uarch/tlb.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace smart2 {
+
+Tlb::Tlb(const TlbConfig& config) : config_(config) {
+  if (config.entries == 0 || config.ways == 0)
+    throw std::invalid_argument("Tlb: entries/ways must be positive");
+  if (config.entries % config.ways != 0)
+    throw std::invalid_argument("Tlb: entries must be a multiple of ways");
+  if (config.page_bytes == 0 || !std::has_single_bit(config.page_bytes))
+    throw std::invalid_argument("Tlb: page size must be a power of two");
+  num_sets_ = config.entries / config.ways;
+  if (!std::has_single_bit(num_sets_))
+    throw std::invalid_argument("Tlb: set count must be a power of two");
+  page_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.page_bytes));
+  set_mask_ = num_sets_ - 1;
+  entries_.assign(config.entries, Entry{});
+}
+
+bool Tlb::access(std::uint64_t address) noexcept {
+  ++accesses_;
+  const std::uint64_t page = address >> page_shift_;
+  if (page == last_page_) return true;  // micro-TLB fast path
+
+  ++stamp_;
+  const std::uint32_t set = static_cast<std::uint32_t>(page) & set_mask_;
+  Entry* base = &entries_[static_cast<std::size_t>(set) * config_.ways];
+
+  Entry* victim = base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Entry& e = base[w];
+    if (e.valid && e.page == page) {
+      e.lru = stamp_;
+      last_page_ = page;
+      return true;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.lru < victim->lru) {
+      victim = &e;
+    }
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->page = page;
+  victim->lru = stamp_;
+  last_page_ = page;
+  return false;
+}
+
+void Tlb::reset() noexcept {
+  for (Entry& e : entries_) e = Entry{};
+  last_page_ = ~0ULL;
+  stamp_ = 0;
+  accesses_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace smart2

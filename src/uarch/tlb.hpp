@@ -1,0 +1,49 @@
+// Set-associative TLB with LRU replacement (page-granular address
+// translation for the iTLB/dTLB events). Real TLBs of this size are often
+// fully associative; a set-associative organization with a last-page fast
+// path behaves the same for our working sets and is far cheaper to model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smart2 {
+
+struct TlbConfig {
+  std::uint32_t entries = 64;
+  std::uint32_t ways = 4;
+  std::uint32_t page_bytes = 4096;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  /// Translate one address; returns true on TLB hit. Misses install.
+  bool access(std::uint64_t address) noexcept;
+
+  void reset() noexcept;
+
+  std::uint64_t accesses() const noexcept { return accesses_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  const TlbConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    std::uint64_t page = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  TlbConfig config_;
+  std::uint32_t page_shift_;
+  std::uint32_t num_sets_;
+  std::uint32_t set_mask_;
+  std::vector<Entry> entries_;  // num_sets_ * ways
+  std::uint64_t last_page_ = ~0ULL;  // fast path: repeat translation
+  std::uint64_t stamp_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace smart2

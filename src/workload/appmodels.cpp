@@ -1,0 +1,353 @@
+#include "workload/appmodels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace smart2 {
+
+namespace {
+
+/// Multiplicative jitter: value * lognormal(0, sigma).
+double jitter(Rng& rng, double value, double sigma) {
+  return value * rng.lognormal(0.0, sigma);
+}
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Clamp the instruction-mix fractions so they sum below 1.
+void normalize_mix(Phase& p) {
+  p.branch_frac = clamp01(p.branch_frac);
+  p.load_frac = clamp01(p.load_frac);
+  p.store_frac = clamp01(p.store_frac);
+  p.prefetch_frac = clamp01(p.prefetch_frac);
+  const double total =
+      p.branch_frac + p.load_frac + p.store_frac + p.prefetch_frac;
+  if (total > 0.92) {
+    const double s = 0.92 / total;
+    p.branch_frac *= s;
+    p.load_frac *= s;
+    p.store_frac *= s;
+    p.prefetch_frac *= s;
+  }
+  const double hw = p.hot_frac + p.warm_frac;
+  if (hw > 0.98) {
+    p.hot_frac *= 0.98 / hw;
+    p.warm_frac *= 0.98 / hw;
+  }
+}
+
+/// Shared per-sample noise level. A minority of samples are "atypical"
+/// (packed, throttled, or partially dormant specimens): their parameters are
+/// pulled toward the benign regime, which produces the class overlap that
+/// keeps detector F-scores below 100%.
+struct NoiseSpec {
+  double sigma = 0.18;
+  bool atypical = false;
+};
+
+NoiseSpec draw_noise(Rng& rng, const PopulationNoise& pop) {
+  NoiseSpec n;
+  n.sigma = pop.sigma;
+  if (rng.bernoulli(pop.atypical_fraction)) {
+    n.atypical = true;
+    n.sigma = pop.atypical_sigma;
+  }
+  return n;
+}
+
+/// Pull `value` a fraction `t` toward `toward` (for atypical samples).
+double pull(double value, double toward, double t) {
+  return value + (toward - value) * t;
+}
+
+Phase benign_like_phase(Rng& rng, double sigma) {
+  Phase p;
+  p.branch_frac = jitter(rng, 0.17, sigma);
+  p.load_frac = jitter(rng, 0.26, sigma);
+  p.store_frac = jitter(rng, 0.10, sigma);
+  p.prefetch_frac = jitter(rng, 0.01, sigma);
+  p.code_kb = static_cast<std::uint64_t>(jitter(rng, 12, sigma * 2));
+  p.hot_code_frac = clamp01(jitter(rng, 0.88, sigma * 0.3));
+  p.hot_loop_lines = 16;
+  p.branch_sites = 64;
+  p.branch_noise = clamp01(jitter(rng, 0.045, sigma));
+  p.branch_determinism = 0.90;
+  p.hot_data_kb = static_cast<std::uint64_t>(jitter(rng, 4, sigma));
+  p.warm_data_kb = static_cast<std::uint64_t>(jitter(rng, 64, sigma));
+  p.cold_data_mb = static_cast<std::uint64_t>(jitter(rng, 3, sigma));
+  p.hot_frac = 0.68;
+  p.warm_frac = 0.24;
+  p.cold_stride_frac = 0.75;
+  p.store_cold_bias = clamp01(jitter(rng, 0.08, sigma));
+  p.remote_frac = clamp01(jitter(rng, 0.04, sigma));
+  p.major_fault_frac = clamp01(jitter(rng, 0.015, sigma));
+  normalize_mix(p);
+  return p;
+}
+
+}  // namespace
+
+BehaviorProfile sample_benign(BenignArchetype archetype, Rng& rng) {
+  return sample_benign(archetype, rng, PopulationNoise{});
+}
+
+BehaviorProfile sample_benign(BenignArchetype archetype, Rng& rng,
+                              const PopulationNoise& pop) {
+  const NoiseSpec noise = draw_noise(rng, pop);
+  const double s = noise.sigma;
+
+  BehaviorProfile prof;
+  prof.app_class = AppClass::kBenign;
+  Phase p;
+
+  switch (archetype) {
+    case BenignArchetype::kComputeKernel: {
+      prof.name = "benign/compute";
+      p.branch_frac = jitter(rng, 0.14, s);
+      p.load_frac = jitter(rng, 0.27, s);
+      p.store_frac = jitter(rng, 0.09, s);
+      p.prefetch_frac = jitter(rng, 0.02, s);
+      p.code_kb = static_cast<std::uint64_t>(
+          std::max(2.0, jitter(rng, 3, s)));
+      p.hot_code_frac = clamp01(jitter(rng, 0.97, 0.02));
+      p.hot_loop_lines = static_cast<std::uint32_t>(
+          std::max(4.0, jitter(rng, 24, s)));
+      p.branch_sites = 32;
+      p.branch_noise = clamp01(jitter(rng, 0.02, s));
+      p.branch_determinism = 0.96;
+      p.hot_data_kb = static_cast<std::uint64_t>(
+          std::max(2.0, jitter(rng, 6, s)));
+      p.warm_data_kb = static_cast<std::uint64_t>(jitter(rng, 48, s));
+      p.cold_data_mb = static_cast<std::uint64_t>(
+          std::max(1.0, jitter(rng, 2, s)));
+      p.hot_frac = 0.80;
+      p.warm_frac = 0.16;
+      p.cold_stride_frac = 0.92;
+      p.store_cold_bias = clamp01(jitter(rng, 0.04, s));
+      p.remote_frac = clamp01(jitter(rng, 0.02, s));
+      p.major_fault_frac = clamp01(jitter(rng, 0.002, s));
+      break;
+    }
+    case BenignArchetype::kBrowser: {
+      prof.name = "benign/browser";
+      p.branch_frac = jitter(rng, 0.21, s);
+      p.load_frac = jitter(rng, 0.27, s);
+      p.store_frac = jitter(rng, 0.11, s);
+      p.code_kb = static_cast<std::uint64_t>(jitter(rng, 64, s));
+      p.hot_code_frac = clamp01(jitter(rng, 0.70, s * 0.4));
+      p.hot_loop_lines = 32;
+      p.branch_sites = 192;
+      p.branch_noise = clamp01(jitter(rng, 0.07, s));
+      p.branch_determinism = 0.85;
+      p.hot_data_kb = static_cast<std::uint64_t>(jitter(rng, 6, s));
+      p.warm_data_kb = static_cast<std::uint64_t>(jitter(rng, 192, s));
+      p.cold_data_mb = static_cast<std::uint64_t>(jitter(rng, 6, s));
+      p.hot_frac = 0.40;
+      p.warm_frac = 0.40;
+      p.cold_stride_frac = 0.50;
+      p.store_cold_bias = clamp01(jitter(rng, 0.07, s));
+      p.remote_frac = clamp01(jitter(rng, 0.06, s));
+      p.major_fault_frac = clamp01(jitter(rng, 0.012, s));
+      break;
+    }
+    case BenignArchetype::kEditor: {
+      prof.name = "benign/editor";
+      p.branch_frac = jitter(rng, 0.18, s);
+      p.load_frac = jitter(rng, 0.24, s);
+      p.store_frac = jitter(rng, 0.10, s);
+      p.code_kb = static_cast<std::uint64_t>(jitter(rng, 32, s));
+      p.hot_code_frac = clamp01(jitter(rng, 0.84, s * 0.3));
+      p.hot_loop_lines = 24;
+      p.branch_sites = 96;
+      p.branch_noise = clamp01(jitter(rng, 0.05, s));
+      p.branch_determinism = 0.92;
+      p.hot_data_kb = static_cast<std::uint64_t>(jitter(rng, 4, s));
+      p.warm_data_kb = static_cast<std::uint64_t>(jitter(rng, 96, s));
+      p.cold_data_mb = static_cast<std::uint64_t>(jitter(rng, 2, s));
+      p.hot_frac = 0.70;
+      p.warm_frac = 0.24;
+      p.cold_stride_frac = 0.70;
+      p.store_cold_bias = clamp01(jitter(rng, 0.07, s));
+      p.remote_frac = clamp01(jitter(rng, 0.03, s));
+      p.major_fault_frac = clamp01(jitter(rng, 0.004, s));
+      break;
+    }
+    case BenignArchetype::kStreamingUtility: {
+      prof.name = "benign/utility";
+      p.branch_frac = jitter(rng, 0.15, s);
+      p.load_frac = jitter(rng, 0.31, s);
+      p.store_frac = jitter(rng, 0.15, s);
+      p.code_kb = static_cast<std::uint64_t>(jitter(rng, 6, s));
+      p.hot_code_frac = clamp01(jitter(rng, 0.93, 0.03));
+      p.hot_loop_lines = 12;
+      p.branch_sites = 48;
+      p.branch_noise = clamp01(jitter(rng, 0.03, s));
+      p.branch_determinism = 0.95;
+      p.hot_data_kb = static_cast<std::uint64_t>(jitter(rng, 3, s));
+      p.warm_data_kb = static_cast<std::uint64_t>(jitter(rng, 32, s));
+      p.cold_data_mb = static_cast<std::uint64_t>(jitter(rng, 12, s));
+      p.hot_frac = 0.35;
+      p.warm_frac = 0.22;
+      p.cold_stride_frac = 0.94;
+      p.store_cold_bias = clamp01(jitter(rng, 0.10, s));
+      p.remote_frac = clamp01(jitter(rng, 0.04, s));
+      p.major_fault_frac = clamp01(jitter(rng, 0.008, s));
+      break;
+    }
+  }
+  normalize_mix(p);
+  prof.phases.push_back(p);
+
+  // Some benign applications have a secondary phase (startup / GC / IO).
+  if (rng.bernoulli(0.4)) {
+    Phase secondary = benign_like_phase(rng, s);
+    secondary.weight = 0.3;
+    prof.phases.front().weight = 0.7;
+    prof.phases.push_back(secondary);
+  }
+  return prof;
+}
+
+BehaviorProfile sample_profile(AppClass app_class, Rng& rng) {
+  return sample_profile(app_class, rng, PopulationNoise{});
+}
+
+BehaviorProfile sample_profile(AppClass app_class, Rng& rng,
+                               const PopulationNoise& pop) {
+  if (app_class == AppClass::kBenign) {
+    // Corpus mix: mostly interactive/compute programs, fewer pure streaming
+    // utilities (whose DRAM traffic otherwise dominates the benign profile).
+    const std::vector<double> weights = {0.30, 0.25, 0.30, 0.15};
+    const auto which = static_cast<BenignArchetype>(rng.weighted_index(weights));
+    return sample_benign(which, rng, pop);
+  }
+
+  const NoiseSpec noise = draw_noise(rng, pop);
+  const double s = noise.sigma;
+
+  BehaviorProfile prof;
+  prof.app_class = app_class;
+  Phase p;  // the payload phase
+
+  switch (app_class) {
+    case AppClass::kBackdoor: {
+      prof.name = "malware/backdoor";
+      p.branch_frac = jitter(rng, 0.30, s);
+      p.load_frac = jitter(rng, 0.25, s);
+      p.store_frac = jitter(rng, 0.15, s);
+      p.code_kb = static_cast<std::uint64_t>(jitter(rng, 144, s));
+      p.hot_code_frac = clamp01(jitter(rng, 0.56, s * 0.4));
+      p.hot_loop_lines = 48;
+      p.branch_sites = 384;
+      p.branch_noise = clamp01(jitter(rng, 0.16, s));
+      p.branch_determinism = 0.45;
+      p.hot_data_kb = static_cast<std::uint64_t>(jitter(rng, 4, s));
+      p.warm_data_kb = static_cast<std::uint64_t>(jitter(rng, 96, s));
+      p.cold_data_mb = static_cast<std::uint64_t>(jitter(rng, 2, s));
+      p.hot_frac = 0.52;
+      p.warm_frac = 0.30;
+      p.cold_stride_frac = 0.70;
+      p.store_cold_bias = clamp01(jitter(rng, 0.50, s));
+      p.remote_frac = clamp01(jitter(rng, 0.10, s));
+      p.major_fault_frac = clamp01(jitter(rng, 0.012, s));
+      break;
+    }
+    case AppClass::kTrojan: {
+      prof.name = "malware/trojan";
+      p.branch_frac = jitter(rng, 0.27, s);
+      p.load_frac = jitter(rng, 0.27, s);
+      p.store_frac = jitter(rng, 0.15, s);
+      p.code_kb = static_cast<std::uint64_t>(jitter(rng, 240, s));
+      p.hot_code_frac = clamp01(jitter(rng, 0.50, s * 0.4));
+      p.hot_loop_lines = 64;
+      p.branch_sites = 448;
+      p.branch_noise = clamp01(jitter(rng, 0.13, s));
+      p.branch_determinism = 0.55;
+      p.hot_data_kb = static_cast<std::uint64_t>(jitter(rng, 5, s));
+      p.warm_data_kb = static_cast<std::uint64_t>(jitter(rng, 160, s));
+      p.cold_data_mb = static_cast<std::uint64_t>(jitter(rng, 3, s));
+      p.hot_frac = 0.48;
+      p.warm_frac = 0.30;
+      p.cold_stride_frac = 0.60;
+      p.store_cold_bias = clamp01(jitter(rng, 0.55, s));
+      p.remote_frac = clamp01(jitter(rng, 0.09, s));
+      p.major_fault_frac = clamp01(jitter(rng, 0.014, s));
+      break;
+    }
+    case AppClass::kVirus: {
+      prof.name = "malware/virus";
+      p.branch_frac = jitter(rng, 0.24, s);
+      p.load_frac = jitter(rng, 0.38, s);   // scan/copy loops
+      p.store_frac = jitter(rng, 0.22, s);  // infected-file writes
+      p.code_kb = static_cast<std::uint64_t>(jitter(rng, 32, s));
+      p.hot_code_frac = clamp01(jitter(rng, 0.80, s * 0.3));
+      p.hot_loop_lines = 20;
+      p.branch_sites = 128;
+      p.branch_noise = clamp01(jitter(rng, 0.11, s));
+      p.branch_determinism = 0.60;
+      p.hot_data_kb = static_cast<std::uint64_t>(jitter(rng, 7, s));
+      p.warm_data_kb = static_cast<std::uint64_t>(jitter(rng, 96, s));
+      p.cold_data_mb = static_cast<std::uint64_t>(jitter(rng, 12, s));
+      p.hot_frac = 0.50;
+      p.warm_frac = 0.24;
+      p.cold_stride_frac = 0.96;  // sequential file scanning
+      p.store_cold_bias = clamp01(jitter(rng, 0.55, s));
+      p.remote_frac = clamp01(jitter(rng, 0.07, s));
+      p.major_fault_frac = clamp01(jitter(rng, 0.02, s));
+      break;
+    }
+    case AppClass::kRootkit: {
+      prof.name = "malware/rootkit";
+      p.branch_frac = jitter(rng, 0.28, s);
+      p.load_frac = jitter(rng, 0.33, s);   // pointer chasing
+      p.store_frac = jitter(rng, 0.17, s);  // hook writes
+      p.code_kb = static_cast<std::uint64_t>(jitter(rng, 48, s));
+      p.hot_code_frac = clamp01(jitter(rng, 0.74, s * 0.3));
+      p.hot_loop_lines = 24;
+      p.branch_sites = 256;
+      p.branch_noise = clamp01(jitter(rng, 0.19, s));
+      p.branch_determinism = 0.35;
+      p.hot_data_kb = static_cast<std::uint64_t>(jitter(rng, 3, s));
+      p.warm_data_kb = static_cast<std::uint64_t>(jitter(rng, 256, s));
+      p.cold_data_mb = static_cast<std::uint64_t>(jitter(rng, 1, s));
+      p.hot_frac = 0.45;
+      p.warm_frac = 0.40;          // pointer chasing lives in the warm set
+      p.cold_stride_frac = 0.35;
+      p.store_cold_bias = clamp01(jitter(rng, 0.35, s));
+      p.remote_frac = clamp01(jitter(rng, 0.15, s));
+      p.major_fault_frac = clamp01(jitter(rng, 0.004, s));
+      break;
+    }
+    case AppClass::kBenign:
+      break;  // handled above
+  }
+
+  if (noise.atypical) {
+    // Dormant/packed specimen: behaviour drifts toward benign.
+    const Phase b = benign_like_phase(rng, 0.2);
+    const double t = rng.uniform(0.35, 0.6);
+    p.branch_frac = pull(p.branch_frac, b.branch_frac, t);
+    p.branch_noise = pull(p.branch_noise, b.branch_noise, t);
+    p.store_cold_bias = pull(p.store_cold_bias, b.store_cold_bias, t);
+    p.hot_code_frac = pull(p.hot_code_frac, b.hot_code_frac, t);
+    p.load_frac = pull(p.load_frac, b.load_frac, t);
+    p.store_frac = pull(p.store_frac, b.store_frac, t);
+    p.cold_stride_frac = pull(p.cold_stride_frac, b.cold_stride_frac, t);
+    p.code_kb = static_cast<std::uint64_t>(
+        pull(static_cast<double>(p.code_kb),
+             static_cast<double>(b.code_kb), t));
+  }
+  normalize_mix(p);
+
+  // Every malware sample spends part of its time camouflaged as normal work
+  // (installers, host processes). Trojans camouflage the most.
+  Phase camo = benign_like_phase(rng, s);
+  camo.weight = app_class == AppClass::kTrojan ? 0.40 : 0.25;
+  p.weight = 1.0 - camo.weight;
+  prof.phases.push_back(p);
+  prof.phases.push_back(camo);
+  return prof;
+}
+
+}  // namespace smart2

@@ -1,0 +1,58 @@
+// Class-conditional application models.
+//
+// sample_profile() draws one application's BehaviorProfile from the
+// distribution of its class. Benign applications come from four archetypes
+// (compute kernel, browser, editor, streaming utility — mirroring the
+// paper's MiBench + Linux-programs + browsers + editors corpus); each
+// malware family encodes the microarchitectural signature the paper's
+// feature reduction surfaces for it (Table II):
+//
+//   Backdoor: dispatch/polling loops (branch-loads), sprawling injected code
+//             (L1-icache-load-misses, iTLB-load-misses, LLC-load-misses).
+//   Trojan:   large camouflage binary (icache/iTLB misses) plus random
+//             LLC-hostile data traffic (cache-misses, LLC-load-misses).
+//   Virus:    buffer copy/scan loops (L1-dcache-loads/stores, LLC-loads)
+//             and infected-file writes streaming to memory (node-stores).
+//   Rootkit:  pointer-chasing over kernel structures (cache-misses,
+//             LLC-load-misses), hook writes (L1-dcache-stores, branch-loads).
+//
+// All malware classes share elevated branch counts, branch-miss rates,
+// LLC traffic (cache-references) and cold-store traffic (node-stores) —
+// the four Common features.
+#pragma once
+
+#include "common/rng.hpp"
+#include "workload/profile.hpp"
+
+namespace smart2 {
+
+/// Population-level noise knobs. `atypical_fraction` is the share of
+/// specimens whose behaviour drifts toward benign (packed / dormant
+/// samples); `sigma` scales all per-sample parameter jitter. The defaults
+/// reproduce the calibrated corpus; drift studies raise them.
+struct PopulationNoise {
+  double atypical_fraction = 0.13;
+  double sigma = 0.18;
+  double atypical_sigma = 0.45;
+};
+
+/// Draw one application profile for the given class.
+BehaviorProfile sample_profile(AppClass app_class, Rng& rng);
+BehaviorProfile sample_profile(AppClass app_class, Rng& rng,
+                               const PopulationNoise& noise);
+
+/// Benign archetype ids (exposed for targeted tests/examples).
+enum class BenignArchetype {
+  kComputeKernel = 0,
+  kBrowser,
+  kEditor,
+  kStreamingUtility,
+};
+inline constexpr std::size_t kNumBenignArchetypes = 4;
+
+/// Draw a specific benign archetype.
+BehaviorProfile sample_benign(BenignArchetype archetype, Rng& rng);
+BehaviorProfile sample_benign(BenignArchetype archetype, Rng& rng,
+                              const PopulationNoise& noise);
+
+}  // namespace smart2

@@ -1,0 +1,43 @@
+#include "workload/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "workload/appmodels.hpp"
+
+namespace smart2 {
+
+std::size_t scaled_count(std::size_t count, double scale) {
+  const double scaled = static_cast<double>(count) * scale;
+  return std::max<std::size_t>(8, static_cast<std::size_t>(std::lround(scaled)));
+}
+
+std::vector<AppSpec> build_corpus(const CorpusConfig& config) {
+  Rng rng(config.seed);
+  std::vector<AppSpec> corpus;
+
+  const std::pair<AppClass, std::size_t> plan[] = {
+      {AppClass::kBenign, scaled_count(config.benign, config.scale)},
+      {AppClass::kBackdoor, scaled_count(config.backdoor, config.scale)},
+      {AppClass::kRootkit, scaled_count(config.rootkit, config.scale)},
+      {AppClass::kVirus, scaled_count(config.virus, config.scale)},
+      {AppClass::kTrojan, scaled_count(config.trojan, config.scale)},
+  };
+
+  std::size_t total = 0;
+  for (const auto& [cls, count] : plan) total += count;
+  corpus.reserve(total);
+
+  for (const auto& [cls, count] : plan) {
+    for (std::size_t i = 0; i < count; ++i) {
+      AppSpec spec;
+      spec.profile = sample_profile(cls, rng, config.noise);
+      spec.app_seed = rng.next_u64();
+      corpus.push_back(std::move(spec));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace smart2

@@ -1,0 +1,45 @@
+// Corpus builder: the simulated stand-in for the paper's application set
+// (>3000 benign + malware programs; 452 Backdoor / 350 Rootkit / 650 Virus /
+// 1169 Trojan).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/appmodels.hpp"
+#include "workload/profile.hpp"
+
+namespace smart2 {
+
+/// One application in the corpus: a behaviour profile plus the seed used to
+/// derive its per-run execution streams.
+struct AppSpec {
+  BehaviorProfile profile;
+  std::uint64_t app_seed = 0;
+};
+
+struct CorpusConfig {
+  // Paper's class counts (malware) plus a comparable benign population.
+  std::size_t benign = 1000;
+  std::size_t backdoor = 452;
+  std::size_t rootkit = 350;
+  std::size_t virus = 650;
+  std::size_t trojan = 1169;
+
+  /// Uniform scale on all counts (e.g. 0.1 for fast tests). Each class keeps
+  /// at least 8 samples.
+  double scale = 1.0;
+
+  std::uint64_t seed = 42;
+
+  /// Population noise (drift studies raise atypical_fraction / sigma).
+  PopulationNoise noise;
+};
+
+/// Build the corpus deterministically from config.seed.
+std::vector<AppSpec> build_corpus(const CorpusConfig& config);
+
+/// Scaled per-class count (used for reporting).
+std::size_t scaled_count(std::size_t count, double scale);
+
+}  // namespace smart2

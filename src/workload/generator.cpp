@@ -1,0 +1,163 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smart2 {
+
+namespace {
+
+// Address-space layout of a simulated process. All phases of one program
+// share the same code and data segments (they are the same binary and heap);
+// what changes across phases is the access *distribution* over them.
+constexpr std::uint64_t kCodeSegment = 0x0000'0000'0040'0000ULL;
+constexpr std::uint64_t kHeapSegment = 0x0000'0000'1000'0000ULL;
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const BehaviorProfile& profile,
+                                     std::uint64_t run_seed)
+    : profile_(profile), rng_(run_seed) {
+  if (profile_.phases.empty())
+    throw std::invalid_argument("WorkloadGenerator: profile has no phases");
+
+  states_.resize(profile_.phases.size());
+  for (std::size_t p = 0; p < profile_.phases.size(); ++p) {
+    const Phase& phase = profile_.phases[p];
+    PhaseState& s = states_[p];
+    s.code_base = kCodeSegment;
+    s.hot_base = kHeapSegment;
+    s.warm_base = s.hot_base + 0x0100'0000ULL;   // +16 MiB
+    s.cold_base = s.hot_base + 0x0200'0000ULL;   // +32 MiB
+    s.cold_cursor = 0;
+    // Each static branch has a stable taken bias. branch_determinism pulls
+    // the bias toward 0/1 (learnable); branch_noise adds per-instance flips.
+    s.branch_bias.resize(std::max<std::uint32_t>(phase.branch_sites, 1));
+    const double spread =
+        0.01 + 0.30 * (1.0 - std::clamp(phase.branch_determinism, 0.0, 1.0));
+    for (double& b : s.branch_bias) {
+      const double eps = rng_.uniform(0.005, spread);
+      b = rng_.bernoulli(0.5) ? 1.0 - eps : eps;
+    }
+  }
+
+  // Start in a weighted-random phase.
+  std::vector<double> weights;
+  weights.reserve(profile_.phases.size());
+  for (const Phase& p : profile_.phases) weights.push_back(p.weight);
+  phase_index_ = rng_.weighted_index(weights);
+  ops_until_switch_ = rng_.geometric(
+      static_cast<double>(profile_.phase_dwell_ops));
+}
+
+void WorkloadGenerator::switch_phase() {
+  std::vector<double> weights;
+  weights.reserve(profile_.phases.size());
+  for (const Phase& p : profile_.phases) weights.push_back(p.weight);
+  phase_index_ = rng_.weighted_index(weights);
+  ops_until_switch_ =
+      rng_.geometric(static_cast<double>(profile_.phase_dwell_ops));
+}
+
+std::uint64_t WorkloadGenerator::code_address(const Phase& p, PhaseState& s) {
+  if (rng_.bernoulli(p.hot_code_frac)) {
+    // Walk the hot loop sequentially, one cache line per op.
+    s.hot_fetch_line = (s.hot_fetch_line + 1) % p.hot_loop_lines;
+    return s.code_base + s.hot_fetch_line * 64;
+  }
+  // Jump somewhere in the full code footprint.
+  const std::uint64_t lines = (std::max<std::uint64_t>(p.code_kb, 1) * 1024) / 64;
+  return s.code_base + rng_.uniform_index(lines) * 64;
+}
+
+std::uint64_t WorkloadGenerator::data_address(const Phase& p, PhaseState& s,
+                                              bool is_store) {
+  double hot = p.hot_frac;
+  double warm = p.warm_frac;
+  if (is_store) {
+    // Stores are biased toward the cold region (payload drops, file writes,
+    // log appends) by shifting probability mass out of hot/warm.
+    hot *= (1.0 - p.store_cold_bias);
+    warm *= (1.0 - p.store_cold_bias);
+  }
+  const double u = rng_.uniform();
+  if (u < hot) {
+    const std::uint64_t bytes = std::max<std::uint64_t>(p.hot_data_kb, 1) * 1024;
+    return s.hot_base + rng_.uniform_index(bytes / 8) * 8;
+  }
+  if (u < hot + warm) {
+    const std::uint64_t bytes =
+        std::max<std::uint64_t>(p.warm_data_kb, 1) * 1024;
+    return s.warm_base + rng_.uniform_index(bytes / 8) * 8;
+  }
+  // Cold region: mostly streaming, sometimes random.
+  const std::uint64_t bytes =
+      std::max<std::uint64_t>(p.cold_data_mb, 1) * 1024 * 1024;
+  if (rng_.bernoulli(p.cold_stride_frac)) {
+    s.cold_cursor = (s.cold_cursor + 64) % bytes;
+    return s.cold_base + s.cold_cursor;
+  }
+  return s.cold_base + (rng_.uniform_index(bytes > 8 ? bytes / 8 : 1)) * 8;
+}
+
+MicroOp WorkloadGenerator::next() {
+  if (ops_until_switch_ == 0) switch_phase();
+  --ops_until_switch_;
+
+  const Phase& p = profile_.phases[phase_index_];
+  PhaseState& s = states_[phase_index_];
+
+  MicroOp op;
+  op.iaddr = code_address(p, s);
+
+  const double u = rng_.uniform();
+  if (u < p.branch_frac) {
+    op.kind = MicroOp::Kind::kBranch;
+    const std::size_t site = static_cast<std::size_t>(
+        rng_.uniform_index(s.branch_bias.size()));
+    // The branch instruction lives at a stable address so the predictor can
+    // learn its bias; noise makes part of the behaviour unlearnable. Sites
+    // of different phases are distinct static branches.
+    op.iaddr = s.code_base + 0x100 + phase_index_ * 0x8000 + site * 64;
+    bool taken = rng_.bernoulli(s.branch_bias[site]);
+    if (rng_.bernoulli(p.branch_noise)) taken = !taken;
+    op.taken = taken;
+    const std::uint64_t code_words =
+        std::max<std::uint64_t>(p.code_kb, 1) * 1024 / 4;
+    op.target = s.code_base + ((site * 7919) % code_words) * 4;
+    return op;
+  }
+  if (u < p.branch_frac + p.load_frac) {
+    op.kind = MicroOp::Kind::kLoad;
+    op.daddr = data_address(p, s, /*is_store=*/false);
+  } else if (u < p.branch_frac + p.load_frac + p.store_frac) {
+    op.kind = MicroOp::Kind::kStore;
+    op.daddr = data_address(p, s, /*is_store=*/true);
+  } else if (u < p.branch_frac + p.load_frac + p.store_frac +
+                     p.prefetch_frac) {
+    op.kind = MicroOp::Kind::kPrefetch;
+    op.daddr = data_address(p, s, /*is_store=*/false);
+  } else {
+    op.kind = MicroOp::Kind::kAlu;
+    return op;
+  }
+
+  const bool in_cold = op.daddr >= s.cold_base;
+  op.remote_node = in_cold && rng_.bernoulli(p.remote_frac);
+  op.unaligned =
+      p.unaligned_frac > 0.0 && rng_.bernoulli(p.unaligned_frac);
+  op.cold_major = in_cold && rng_.bernoulli(p.major_fault_frac);
+  return op;
+}
+
+void run_ops(WorkloadGenerator& gen, CoreModel& core, std::uint64_t ops) {
+  for (std::uint64_t i = 0; i < ops; ++i) core.execute(gen.next());
+}
+
+void run_cycles(WorkloadGenerator& gen, CoreModel& core,
+                std::uint64_t cycles) {
+  const std::uint64_t target = core.cycles() + cycles;
+  while (core.cycles() < target) core.execute(gen.next());
+}
+
+}  // namespace smart2

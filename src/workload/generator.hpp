@@ -1,0 +1,57 @@
+// Turns a BehaviorProfile into an infinite micro-op stream.
+//
+// Each run of an application constructs one generator with a run-specific
+// seed: the same profile re-run with a new seed produces a statistically
+// identical but not bit-identical stream, matching how the paper re-executes
+// each application once per 4-event batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "uarch/core.hpp"
+#include "workload/profile.hpp"
+
+namespace smart2 {
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const BehaviorProfile& profile, std::uint64_t run_seed);
+
+  /// Produce the next micro-op.
+  MicroOp next();
+
+  const BehaviorProfile& profile() const noexcept { return profile_; }
+  std::size_t current_phase() const noexcept { return phase_index_; }
+
+ private:
+  struct PhaseState {
+    std::uint64_t code_base = 0;
+    std::uint64_t hot_base = 0;
+    std::uint64_t warm_base = 0;
+    std::uint64_t cold_base = 0;
+    std::uint64_t cold_cursor = 0;
+    std::uint64_t hot_fetch_line = 0;
+    std::vector<double> branch_bias;  // taken-probability per branch site
+  };
+
+  void switch_phase();
+  std::uint64_t code_address(const Phase& p, PhaseState& s);
+  std::uint64_t data_address(const Phase& p, PhaseState& s, bool is_store);
+
+  BehaviorProfile profile_;
+  Rng rng_;
+  std::vector<PhaseState> states_;
+  std::size_t phase_index_ = 0;
+  std::uint64_t ops_until_switch_ = 0;
+};
+
+/// Drive `ops` micro-ops from `gen` through `core`.
+void run_ops(WorkloadGenerator& gen, CoreModel& core, std::uint64_t ops);
+
+/// Drive `gen` through `core` until at least `cycles` additional core cycles
+/// have elapsed (fixed-time windows, as with the paper's 10 ms sampling).
+void run_cycles(WorkloadGenerator& gen, CoreModel& core, std::uint64_t cycles);
+
+}  // namespace smart2

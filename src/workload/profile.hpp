@@ -1,0 +1,61 @@
+// Behavioural profiles: the generative model standing in for real benign
+// and malware binaries (see DESIGN.md "Substitutions").
+//
+// A profile is a set of phases; each phase fixes an instruction mix, a code
+// footprint/branch-behaviour model, and a three-level data working set
+// (hot ~ L1, warm ~ LLC, cold ~ DRAM). The per-class parameter
+// distributions in appmodels.cpp encode the microarchitectural signatures
+// the paper observes per malware family (Table II / Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/labels.hpp"
+
+namespace smart2 {
+
+struct Phase {
+  double weight = 1.0;  // relative probability of being in this phase
+
+  // Instruction mix; the remainder after branches/loads/stores/prefetches
+  // is plain ALU work. Fractions must sum to <= 1.
+  double branch_frac = 0.18;
+  double load_frac = 0.25;
+  double store_frac = 0.10;
+  double prefetch_frac = 0.01;
+
+  // Code behaviour.
+  std::uint64_t code_kb = 16;       // static code footprint
+  double hot_code_frac = 0.90;      // fetches served from the hot loop
+  std::uint32_t hot_loop_lines = 16;  // cache lines in the hot loop
+  std::uint32_t branch_sites = 64;  // distinct static branches
+  double branch_noise = 0.05;       // prob. a branch defies its bias
+  /// How deterministic the per-site taken biases are: 1.0 draws biases at
+  /// the 0/1 extremes (fully learnable), lower values widen them toward 0.5
+  /// (irreducible misprediction, e.g. data-dependent dispatch).
+  double branch_determinism = 0.90;
+
+  // Data behaviour: access distribution over the three working-set levels.
+  std::uint64_t hot_data_kb = 16;    // ~L1-resident
+  std::uint64_t warm_data_kb = 512;  // ~LLC-resident
+  std::uint64_t cold_data_mb = 16;   // streams through DRAM
+  double hot_frac = 0.70;
+  double warm_frac = 0.25;           // cold = 1 - hot - warm
+  double cold_stride_frac = 0.70;    // sequential share of cold accesses
+  double store_cold_bias = 0.10;     // extra tendency of stores to go cold
+  double remote_frac = 0.05;         // NUMA-remote share of DRAM traffic
+  double unaligned_frac = 0.0;
+  double major_fault_frac = 0.02;    // cold first-touches needing I/O
+};
+
+struct BehaviorProfile {
+  std::string name;
+  AppClass app_class = AppClass::kBenign;
+  std::vector<Phase> phases;
+  /// Mean ops between phase switches (geometric dwell time).
+  std::uint64_t phase_dwell_ops = 3'000;
+};
+
+}  // namespace smart2

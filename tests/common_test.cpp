@@ -1,0 +1,436 @@
+// Tests for src/common: RNG, matrix, statistics, eigensolver, CSV, tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/csv.hpp"
+#include "common/eigen.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace smart2 {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexCoversRangeUniformly) {
+  Rng rng(10);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 * 0.1);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(12);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GeometricMeanIsApproximatelyRequested) {
+  Rng rng(16);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(rng.geometric(8.0));
+  EXPECT_NEAR(sum / n, 8.0, 0.3);
+}
+
+TEST(RngTest, GeometricNeverBelowOne) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.geometric(0.2), 1u);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(18);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, WeightedIndexAllZeroWeights) {
+  Rng rng(19);
+  const std::vector<double> w = {0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(w), 2u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(20);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.fork();
+  // The fork must differ from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == child.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+// ------------------------------------------------------------- Matrix ----
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> v = {1.0, 1.0};
+  const auto r = a.multiply(v);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 7.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a = {{1.0, 2.0}};
+  Matrix b = {{3.0, 5.0}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((a * 4.0)(0, 1), 8.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, CovarianceOfKnownData) {
+  // Two perfectly correlated columns.
+  Matrix samples = {{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  Matrix cov = Matrix::covariance(samples);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 4.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(cov(1, 0), 2.0, 1e-12);
+}
+
+TEST(MatrixTest, CovarianceNeedsTwoRows) {
+  Matrix one(1, 3);
+  EXPECT_THROW(Matrix::covariance(one), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stats::mean(v), 5.0);
+  EXPECT_NEAR(stats::variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats::stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  const std::vector<double> v;
+  EXPECT_DOUBLE_EQ(stats::mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(stats::variance(v), 0.0);
+  EXPECT_DOUBLE_EQ(stats::min(v), 0.0);
+  EXPECT_DOUBLE_EQ(stats::max(v), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectAndInverse) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> z = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(stats::pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(stats::pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSideIsZero) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(stats::pearson(x, y), 0.0);
+}
+
+TEST(StatsTest, PearsonSizeMismatchThrows) {
+  const std::vector<double> x = {1.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(stats::pearson(x, y), std::invalid_argument);
+}
+
+TEST(StatsTest, WeightedMean) {
+  const std::vector<double> v = {1.0, 3.0};
+  const std::vector<double> w = {3.0, 1.0};
+  EXPECT_DOUBLE_EQ(stats::weighted_mean(v, w), 1.5);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(stats::quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(v, 0.5), 2.5);
+}
+
+TEST(StatsTest, EntropyBits) {
+  const std::vector<double> uniform = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(stats::entropy_bits(uniform), 2.0, 1e-12);
+  const std::vector<double> pure = {5.0, 0.0};
+  EXPECT_DOUBLE_EQ(stats::entropy_bits(pure), 0.0);
+}
+
+TEST(StatsTest, ArgsortStableAscending) {
+  const std::vector<double> v = {3.0, 1.0, 2.0, 1.0};
+  const auto idx = stats::argsort(v);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+// -------------------------------------------------------------- eigen ----
+
+TEST(EigenTest, IdentityMatrix) {
+  const auto result = eigen_symmetric(Matrix::identity(4));
+  for (double v : result.values) EXPECT_NEAR(v, 1.0, 1e-10);
+}
+
+TEST(EigenTest, Known2x2) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix m = {{2.0, 1.0}, {1.0, 2.0}};
+  const auto result = eigen_symmetric(m);
+  EXPECT_NEAR(result.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(result.values[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, ValuesSortedDescending) {
+  Matrix m = {{1.0, 0.0, 0.0}, {0.0, 5.0, 0.0}, {0.0, 0.0, 3.0}};
+  const auto result = eigen_symmetric(m);
+  EXPECT_NEAR(result.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(result.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(result.values[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, VectorsAreOrthonormal) {
+  Matrix m = {{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 2.0}};
+  const auto result = eigen_symmetric(m);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < 3; ++r)
+        dot += result.vectors(r, i) * result.vectors(r, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  Matrix m = {{4.0, 1.0}, {1.0, 3.0}};
+  const auto result = eigen_symmetric(m);
+  // A = V * diag(lambda) * V^T
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 2; ++k)
+        acc += result.vectors(r, k) * result.values[k] * result.vectors(c, k);
+      EXPECT_NEAR(acc, m(r, c), 1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, NonSquareThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(eigen_symmetric(m), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- csv ----
+
+TEST(CsvTest, ParseSimpleLine) {
+  const auto row = csv::parse_line("a,b,c");
+  EXPECT_EQ(row, (csv::Row{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseQuotedFieldWithComma) {
+  const auto row = csv::parse_line("a,\"b,c\",d");
+  EXPECT_EQ(row, (csv::Row{"a", "b,c", "d"}));
+}
+
+TEST(CsvTest, ParseDoubledQuotes) {
+  const auto row = csv::parse_line("\"he said \"\"hi\"\"\"");
+  EXPECT_EQ(row[0], "he said \"hi\"");
+}
+
+TEST(CsvTest, ParseToleratesCrLf) {
+  const auto row = csv::parse_line("a,b\r");
+  EXPECT_EQ(row, (csv::Row{"a", "b"}));
+}
+
+TEST(CsvTest, FormatEscapesWhenNeeded) {
+  EXPECT_EQ(csv::format_line({"a", "b,c"}), "a,\"b,c\"");
+  EXPECT_EQ(csv::format_line({"x\"y"}), "\"x\"\"y\"");
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "smart2_csv_test.csv")
+          .string();
+  const std::vector<csv::Row> rows = {
+      {"name", "value"}, {"alpha", "1,5"}, {"beta", "quote\"d"}};
+  csv::write_file(path, rows);
+  const auto read = csv::read_file(path);
+  EXPECT_EQ(read, rows);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(csv::read_file("/nonexistent/really/not.csv"),
+               std::runtime_error);
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(TableTest, RendersAlignedColumns) {
+  TableWriter t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | v |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2 |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  TableWriter t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace smart2

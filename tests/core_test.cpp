@@ -1,0 +1,381 @@
+// Tests for src/core: feature plan, model zoo, the two-stage pipeline, the
+// single-stage baseline, and the run-time monitor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "core/feature_plan.hpp"
+#include "core/model_zoo.hpp"
+#include "core/runtime_monitor.hpp"
+#include "core/single_stage.hpp"
+#include "core/two_stage.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "workload/appmodels.hpp"
+
+namespace smart2 {
+namespace {
+
+CollectorConfig fast_collector() {
+  CollectorConfig cfg;
+  cfg.cycles_per_sample = 20'000;
+  cfg.samples_per_run = 2;
+  cfg.warmup_cycles = 20'000;
+  return cfg;
+}
+
+/// Shared small profiled dataset (built once; profiling dominates runtime).
+const Dataset& small_dataset() {
+  static const Dataset d = [] {
+    CorpusConfig corpus;
+    corpus.scale = 0.04;  // ~145 apps
+    return cached_hpc_dataset(corpus, fast_collector(), /*cache_dir=*/"");
+  }();
+  return d;
+}
+
+// ----------------------------------------------------------- model zoo ---
+
+TEST(ModelZooTest, NamesAreThePapersFour) {
+  EXPECT_EQ(classifier_names(),
+            (std::vector<std::string>{"J48", "JRip", "MLP", "OneR"}));
+}
+
+TEST(ModelZooTest, MakesEveryKnownClassifier) {
+  for (const auto& name : classifier_names()) {
+    auto c = make_classifier(name);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->name(), name);
+  }
+  EXPECT_EQ(make_classifier("MLR")->name(), "MLR");
+}
+
+TEST(ModelZooTest, UnknownNameThrows) {
+  EXPECT_THROW(make_classifier("SVM"), std::invalid_argument);
+}
+
+TEST(ModelZooTest, BoostedWrapsBase) {
+  auto b = make_boosted("OneR", 5);
+  EXPECT_EQ(b->name(), "AdaBoost(OneR)");
+}
+
+// --------------------------------------------------------- feature plan --
+
+TEST(FeaturePlanTest, SizesMatchThePaper) {
+  const FeaturePlan plan = build_feature_plan(small_dataset());
+  EXPECT_EQ(plan.common.size(), kCommonFeatureCount);
+  EXPECT_EQ(plan.top16.size(), kIntermediateFeatureCount);
+  for (const auto& custom : plan.custom)
+    EXPECT_EQ(custom.size(), kCustomFeatureCount);
+}
+
+TEST(FeaturePlanTest, CustomSetsContainCommon) {
+  const FeaturePlan plan = build_feature_plan(small_dataset());
+  for (const auto& custom : plan.custom) {
+    for (std::size_t f : plan.common) {
+      EXPECT_NE(std::find(custom.begin(), custom.end(), f), custom.end());
+    }
+  }
+}
+
+TEST(FeaturePlanTest, IndicesAreValidAndUniquePerSet) {
+  const FeaturePlan plan = build_feature_plan(small_dataset());
+  auto check = [&](const std::vector<std::size_t>& set) {
+    for (std::size_t f : set) EXPECT_LT(f, kNumEvents);
+    auto sorted = set;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  };
+  check(plan.common);
+  check(plan.top16);
+  for (const auto& custom : plan.custom) check(custom);
+}
+
+TEST(FeaturePlanTest, FeatureNamesHelper) {
+  const FeaturePlan plan = build_feature_plan(small_dataset());
+  const auto names = feature_names_of(small_dataset(), plan.common);
+  ASSERT_EQ(names.size(), plan.common.size());
+  for (const auto& n : names) EXPECT_FALSE(n.empty());
+}
+
+// ------------------------------------------------------------ two-stage --
+
+TEST(TwoStageTest, TrainRejectsNonMulticlass) {
+  Dataset binary({"f"}, {"neg", "pos"});
+  binary.add(std::vector<double>{1.0}, 0);
+  TwoStageHmd hmd;
+  EXPECT_THROW(hmd.train(binary), std::invalid_argument);
+}
+
+TEST(TwoStageTest, DetectBeforeTrainThrows) {
+  TwoStageHmd hmd;
+  const std::vector<double> x(kNumEvents, 0.0);
+  EXPECT_THROW(hmd.detect(x), std::logic_error);
+}
+
+TEST(TwoStageTest, BadHoldoutThrows) {
+  TwoStageConfig cfg;
+  cfg.selection_holdout = 0.0;
+  EXPECT_THROW(TwoStageHmd{cfg}, std::invalid_argument);
+}
+
+TEST(TwoStageTest, EndToEndTrainsAndDetects) {
+  Rng rng(101);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";  // fixed model keeps the test fast
+  TwoStageHmd hmd(cfg);
+  hmd.train(train);
+  ASSERT_TRUE(hmd.trained());
+
+  const TwoStageEval eval = evaluate_two_stage(hmd, test);
+  // The pipeline must be much better than chance on every class.
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    EXPECT_GT(eval.per_class[m].f_measure, 0.5)
+        << to_string(kMalwareClasses[m]);
+    EXPECT_GT(eval.per_class[m].auc, 0.6);
+  }
+  EXPECT_GT(eval.multiclass_accuracy, 0.5);
+}
+
+TEST(TwoStageTest, AutoSelectionPicksAKnownModel) {
+  Rng rng(102);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  TwoStageConfig cfg;  // stage2_model empty = auto
+  TwoStageHmd hmd(cfg);
+  hmd.train(train);
+  const auto& names = classifier_names();
+  for (AppClass c : kMalwareClasses) {
+    const auto& picked = hmd.stage2_model_name(c);
+    EXPECT_NE(std::find(names.begin(), names.end(), picked), names.end())
+        << picked;
+  }
+}
+
+TEST(TwoStageTest, BoostedModeWrapsStage2) {
+  Rng rng(103);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  TwoStageConfig cfg;
+  cfg.stage2_model = "OneR";
+  cfg.boost = true;
+  cfg.boost_rounds = 5;
+  TwoStageHmd hmd(cfg);
+  hmd.train(train);
+  EXPECT_EQ(hmd.stage2(AppClass::kVirus).name(), "AdaBoost(OneR)");
+}
+
+TEST(TwoStageTest, FeatureModesChangeStage2Width) {
+  Rng rng(104);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  for (auto mode : {Stage2Features::kCommon4, Stage2Features::kCustom8,
+                    Stage2Features::kTop16}) {
+    TwoStageConfig cfg;
+    cfg.stage2_features = mode;
+    cfg.stage2_model = "OneR";
+    TwoStageHmd hmd(cfg);
+    hmd.train(train);
+    const std::size_t expect = mode == Stage2Features::kCommon4   ? 4u
+                               : mode == Stage2Features::kCustom8 ? 8u
+                                                                  : 16u;
+    EXPECT_EQ(hmd.stage2_feature_indices(AppClass::kTrojan).size(), expect);
+  }
+}
+
+TEST(TwoStageTest, BenignStage1ShortCircuits) {
+  Rng rng(105);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  TwoStageConfig cfg;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  hmd.train(train);
+  // Find a test instance stage 1 calls benign; its detection must be benign
+  // with stage2_score == 0.
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const Detection det = hmd.detect(test.features(i));
+    if (det.predicted_class == AppClass::kBenign && det.stage2_score == 0.0) {
+      EXPECT_FALSE(det.is_malware);
+      return;
+    }
+  }
+  FAIL() << "no benign stage-1 prediction found";
+}
+
+TEST(TwoStageTest, StageAccessorsRejectBenign) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  Rng rng(106);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  hmd.train(train);
+  EXPECT_THROW(hmd.stage2(AppClass::kBenign), std::invalid_argument);
+}
+
+TEST(TwoStageTest, ModeNamesMatchPaper) {
+  EXPECT_EQ(to_string(Stage2Features::kCommon4), "4HPC");
+  EXPECT_EQ(to_string(Stage2Features::kCustom8), "8HPC");
+  EXPECT_EQ(to_string(Stage2Features::kTop16), "16HPC");
+}
+
+// --------------------------------------------------------- single-stage --
+
+TEST(SingleStageTest, TrainsAndScores) {
+  Rng rng(111);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  SingleStageConfig cfg;
+  cfg.model = "J48";
+  cfg.num_features = 4;
+  SingleStageHmd hmd(cfg);
+  hmd.train(train);
+  EXPECT_EQ(hmd.features().size(), 4u);
+  const SingleStageEval eval = evaluate_single_stage(hmd, test);
+  EXPECT_GT(eval.overall.f_measure, 0.5);
+  EXPECT_GT(eval.overall.auc, 0.55);
+}
+
+TEST(SingleStageTest, ScoreBeforeTrainThrows) {
+  SingleStageHmd hmd;
+  const std::vector<double> x(kNumEvents, 0.0);
+  EXPECT_THROW(hmd.malware_score(x), std::logic_error);
+}
+
+TEST(SingleStageTest, ZeroFeaturesThrows) {
+  SingleStageConfig cfg;
+  cfg.num_features = 0;
+  EXPECT_THROW(SingleStageHmd{cfg}, std::invalid_argument);
+}
+
+TEST(SingleStageTest, BoostedVariantTrains) {
+  Rng rng(112);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  SingleStageConfig cfg;
+  cfg.model = "OneR";
+  cfg.boost = true;
+  cfg.boost_rounds = 3;
+  SingleStageHmd hmd(cfg);
+  hmd.train(train);
+  EXPECT_TRUE(hmd.trained());
+}
+
+// ---------------------------------------------------------- pipeline io --
+
+TEST(PipelineIoTest, SaveLoadRoundTripDetectsIdentically) {
+  Rng rng(131);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  TwoStageConfig cfg;
+  cfg.boost = true;
+  cfg.stage2_model = "J48";
+  TwoStageHmd original(cfg);
+  original.train(train);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "smart2_pipeline_test.txt")
+          .string();
+  original.save_file(path);
+  const TwoStageHmd restored = TwoStageHmd::load_file(path);
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(restored.plan().common, original.plan().common);
+  for (AppClass c : kMalwareClasses)
+    EXPECT_EQ(restored.stage2_model_name(c), original.stage2_model_name(c));
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const Detection a = original.detect(test.features(i));
+    const Detection b = restored.detect(test.features(i));
+    EXPECT_EQ(a.is_malware, b.is_malware);
+    EXPECT_EQ(a.predicted_class, b.predicted_class);
+    EXPECT_DOUBLE_EQ(a.stage2_score, b.stage2_score);
+  }
+}
+
+TEST(PipelineIoTest, SaveUntrainedThrows) {
+  TwoStageHmd hmd;
+  std::ostringstream out;
+  EXPECT_THROW(hmd.save(out), std::logic_error);
+}
+
+TEST(PipelineIoTest, LoadGarbageThrows) {
+  std::istringstream in("definitely not a pipeline");
+  EXPECT_THROW(TwoStageHmd::load(in), std::runtime_error);
+}
+
+// ------------------------------------------------------- runtime monitor --
+
+TEST(RuntimeMonitorTest, RejectsUntrainedPipeline) {
+  TwoStageHmd hmd;
+  EXPECT_THROW(RuntimeMonitor(hmd, HpcCollector(fast_collector())),
+               std::invalid_argument);
+}
+
+TEST(RuntimeMonitorTest, RejectsTop16Mode) {
+  Rng rng(121);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  TwoStageConfig cfg;
+  cfg.stage2_features = Stage2Features::kTop16;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  hmd.train(train);
+  EXPECT_THROW(RuntimeMonitor(hmd, HpcCollector(fast_collector())),
+               std::invalid_argument);
+}
+
+TEST(RuntimeMonitorTest, Common4ModeUsesOneRun) {
+  Rng rng(122);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  TwoStageConfig cfg;
+  cfg.stage2_features = Stage2Features::kCommon4;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  hmd.train(train);
+  const RuntimeMonitor monitor(hmd, HpcCollector(fast_collector()));
+
+  Rng app_rng(123);
+  AppSpec app;
+  app.profile = sample_profile(AppClass::kTrojan, app_rng);
+  app.app_seed = app_rng.next_u64();
+  const MonitorResult result = monitor.scan(app);
+  EXPECT_EQ(result.runs_used, 1u);
+  EXPECT_EQ(result.common_values.size(), kCommonFeatureCount);
+}
+
+TEST(RuntimeMonitorTest, Custom8ModeMayUseTwoRuns) {
+  Rng rng(124);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  TwoStageConfig cfg;
+  cfg.stage2_features = Stage2Features::kCustom8;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  hmd.train(train);
+  const RuntimeMonitor monitor(hmd, HpcCollector(fast_collector()));
+
+  // Scan several malware apps; whenever stage 1 flags one, the custom
+  // detector needs the second measurement run.
+  Rng app_rng(125);
+  bool saw_two_runs = false;
+  for (int i = 0; i < 10 && !saw_two_runs; ++i) {
+    AppSpec app;
+    app.profile = sample_profile(AppClass::kBackdoor, app_rng);
+    app.app_seed = app_rng.next_u64();
+    const MonitorResult result = monitor.scan(app);
+    EXPECT_LE(result.runs_used, 2u);
+    if (result.runs_used == 2) saw_two_runs = true;
+  }
+  EXPECT_TRUE(saw_two_runs);
+}
+
+TEST(RuntimeMonitorTest, CommonEventsMatchPlan) {
+  Rng rng(126);
+  auto [train, test] = small_dataset().stratified_split(0.6, rng);
+  TwoStageConfig cfg;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  hmd.train(train);
+  const RuntimeMonitor monitor(hmd, HpcCollector(fast_collector()));
+  const auto events = monitor.common_events();
+  ASSERT_EQ(events.size(), hmd.plan().common.size());
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(event_index(events[i]), hmd.plan().common[i]);
+}
+
+}  // namespace
+}  // namespace smart2

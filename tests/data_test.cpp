@@ -1,0 +1,223 @@
+// Tests for src/data: Dataset transformations and the standardizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "data/labels.hpp"
+
+namespace smart2 {
+namespace {
+
+Dataset make_small() {
+  Dataset d({"f0", "f1", "f2"}, {"neg", "pos"});
+  d.add(std::vector<double>{1.0, 10.0, 100.0}, 0);
+  d.add(std::vector<double>{2.0, 20.0, 200.0}, 1);
+  d.add(std::vector<double>{3.0, 30.0, 300.0}, 0);
+  d.add(std::vector<double>{4.0, 40.0, 400.0}, 1);
+  return d;
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.feature_count(), 3u);
+  EXPECT_EQ(d.class_count(), 2u);
+  EXPECT_DOUBLE_EQ(d.features(1)[2], 200.0);
+  EXPECT_EQ(d.label(3), 1);
+}
+
+TEST(DatasetTest, AddRejectsWrongWidth) {
+  Dataset d({"a", "b"}, {"x", "y"});
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, 0), std::invalid_argument);
+}
+
+TEST(DatasetTest, AddRejectsBadLabel) {
+  Dataset d({"a"}, {"x", "y"});
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, 2), std::invalid_argument);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, -1), std::invalid_argument);
+}
+
+TEST(DatasetTest, FeatureColumn) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.feature_column(1), (std::vector<double>{10.0, 20.0, 30.0, 40.0}));
+  EXPECT_THROW(d.feature_column(9), std::out_of_range);
+}
+
+TEST(DatasetTest, ClassHistogram) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.class_histogram(), (std::vector<std::size_t>{2, 2}));
+}
+
+TEST(DatasetTest, SelectFeaturesReordersColumns) {
+  const Dataset d = make_small();
+  const std::vector<std::size_t> pick = {2, 0};
+  const Dataset s = d.select_features(pick);
+  EXPECT_EQ(s.feature_count(), 2u);
+  EXPECT_EQ(s.feature_names()[0], "f2");
+  EXPECT_DOUBLE_EQ(s.features(1)[0], 200.0);
+  EXPECT_DOUBLE_EQ(s.features(1)[1], 2.0);
+}
+
+TEST(DatasetTest, SelectFeaturesOutOfRangeThrows) {
+  const Dataset d = make_small();
+  const std::vector<std::size_t> pick = {5};
+  EXPECT_THROW(d.select_features(pick), std::out_of_range);
+}
+
+TEST(DatasetTest, BinaryViewFiltersAndRelabels) {
+  Dataset d({"f"}, {"A", "B", "C"});
+  d.add(std::vector<double>{1.0}, 0);
+  d.add(std::vector<double>{2.0}, 1);
+  d.add(std::vector<double>{3.0}, 2);
+  d.add(std::vector<double>{4.0}, 1);
+  const Dataset b = d.binary_view(/*positive=*/1, /*negative=*/0);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.class_count(), 2u);
+  EXPECT_EQ(b.label(0), 0);
+  EXPECT_EQ(b.label(1), 1);
+  EXPECT_EQ(b.label(2), 1);
+}
+
+TEST(DatasetTest, BinaryViewAnyKeepsEverything) {
+  Dataset d({"f"}, {"A", "B", "C"});
+  d.add(std::vector<double>{1.0}, 0);
+  d.add(std::vector<double>{2.0}, 1);
+  d.add(std::vector<double>{3.0}, 2);
+  const std::vector<int> positives = {1, 2};
+  const Dataset b = d.binary_view_any(positives);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.label(0), 0);
+  EXPECT_EQ(b.label(1), 1);
+  EXPECT_EQ(b.label(2), 1);
+}
+
+TEST(DatasetTest, StratifiedSplitPreservesClassRatios) {
+  Dataset d({"f"}, {"neg", "pos"});
+  for (int i = 0; i < 100; ++i) d.add(std::vector<double>{double(i)}, 0);
+  for (int i = 0; i < 50; ++i) d.add(std::vector<double>{double(i)}, 1);
+  Rng rng(3);
+  const auto [train, test] = d.stratified_split(0.6, rng);
+  EXPECT_EQ(train.size(), 90u);
+  EXPECT_EQ(test.size(), 60u);
+  EXPECT_EQ(train.class_histogram(), (std::vector<std::size_t>{60, 30}));
+  EXPECT_EQ(test.class_histogram(), (std::vector<std::size_t>{40, 20}));
+}
+
+TEST(DatasetTest, StratifiedSplitIsDisjointAndComplete) {
+  Dataset d({"f"}, {"neg", "pos"});
+  for (int i = 0; i < 40; ++i)
+    d.add(std::vector<double>{double(i)}, i % 2);
+  Rng rng(4);
+  const auto [train, test] = d.stratified_split(0.5, rng);
+  std::vector<double> seen;
+  for (std::size_t i = 0; i < train.size(); ++i)
+    seen.push_back(train.features(i)[0]);
+  for (std::size_t i = 0; i < test.size(); ++i)
+    seen.push_back(test.features(i)[0]);
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 40; ++i) EXPECT_DOUBLE_EQ(seen[i], double(i));
+}
+
+TEST(DatasetTest, StratifiedSplitBadFractionThrows) {
+  const Dataset d = make_small();
+  Rng rng(5);
+  EXPECT_THROW(d.stratified_split(1.5, rng), std::invalid_argument);
+}
+
+TEST(DatasetTest, ResampleWeightedFollowsWeights) {
+  Dataset d({"f"}, {"neg", "pos"});
+  d.add(std::vector<double>{0.0}, 0);
+  d.add(std::vector<double>{1.0}, 1);
+  const std::vector<double> w = {0.0, 1.0};
+  Rng rng(6);
+  const Dataset r = d.resample_weighted(w, 50, rng);
+  EXPECT_EQ(r.size(), 50u);
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_EQ(r.label(i), 1);
+}
+
+TEST(DatasetTest, ResampleWeightedSizeMismatchThrows) {
+  const Dataset d = make_small();
+  const std::vector<double> w = {1.0};
+  Rng rng(7);
+  EXPECT_THROW(d.resample_weighted(w, 10, rng), std::invalid_argument);
+}
+
+TEST(DatasetTest, ShuffleKeepsRowsIntact) {
+  Dataset d = make_small();
+  Rng rng(8);
+  d.shuffle(rng);
+  // Every row must still pair feature f0=k with f1=10k, f2=100k.
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto x = d.features(i);
+    EXPECT_DOUBLE_EQ(x[1], 10.0 * x[0]);
+    EXPECT_DOUBLE_EQ(x[2], 100.0 * x[0]);
+  }
+}
+
+TEST(DatasetTest, AppendConcatenates) {
+  Dataset a = make_small();
+  const Dataset b = make_small();
+  a.append(b);
+  EXPECT_EQ(a.size(), 8u);
+}
+
+TEST(DatasetTest, AppendSchemaMismatchThrows) {
+  Dataset a = make_small();
+  Dataset b({"only"}, {"neg", "pos"});
+  EXPECT_THROW(a.append(b), std::invalid_argument);
+}
+
+TEST(StandardizerTest, TransformsToZeroMeanUnitVariance) {
+  Dataset d({"f0", "f1"}, {"x", "y"});
+  d.add(std::vector<double>{1.0, 100.0}, 0);
+  d.add(std::vector<double>{2.0, 200.0}, 0);
+  d.add(std::vector<double>{3.0, 300.0}, 1);
+  Standardizer s;
+  s.fit(d);
+  const Dataset t = s.transform(d);
+  for (std::size_t f = 0; f < 2; ++f) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i) mean += t.features(i)[f];
+    EXPECT_NEAR(mean / 3.0, 0.0, 1e-12);
+  }
+  EXPECT_NEAR(t.features(2)[0], 1.0, 1e-12);
+}
+
+TEST(StandardizerTest, ConstantFeatureMapsToZero) {
+  Dataset d({"c"}, {"x", "y"});
+  d.add(std::vector<double>{5.0}, 0);
+  d.add(std::vector<double>{5.0}, 1);
+  Standardizer s;
+  s.fit(d);
+  EXPECT_DOUBLE_EQ(s.transform(std::vector<double>{5.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.transform(std::vector<double>{99.0})[0], 0.0);
+}
+
+TEST(StandardizerTest, WidthMismatchThrows) {
+  Dataset d({"a", "b"}, {"x", "y"});
+  d.add(std::vector<double>{1.0, 2.0}, 0);
+  d.add(std::vector<double>{3.0, 4.0}, 1);
+  Standardizer s;
+  s.fit(d);
+  EXPECT_THROW(s.transform(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(LabelsTest, RoundTripNames) {
+  for (std::size_t c = 0; c < kNumAppClasses; ++c) {
+    const auto cls = static_cast<AppClass>(c);
+    const auto parsed = app_class_from_string(to_string(cls));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, cls);
+  }
+  EXPECT_FALSE(app_class_from_string("Wormhole").has_value());
+}
+
+TEST(LabelsTest, MalwareClassesExcludeBenign) {
+  for (AppClass c : kMalwareClasses) EXPECT_NE(c, AppClass::kBenign);
+  EXPECT_EQ(kMalwareClasses.size(), kNumMalwareClasses);
+}
+
+}  // namespace
+}  // namespace smart2

@@ -1,0 +1,451 @@
+// Tests for the extension features: stratified k-fold cross-validation,
+// the next-line hardware prefetcher, and Verilog generation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/stats.hpp"
+#include "core/online_detector.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "hw/verilog_gen.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+#include "uarch/core.hpp"
+#include "workload/appmodels.hpp"
+#include "workload/generator.hpp"
+
+namespace smart2 {
+namespace {
+
+Dataset make_blobs(std::size_t n_per_class, std::uint64_t seed,
+                   std::size_t dims = 3, std::size_t classes = 2) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < dims; ++f)
+    names.push_back("f" + std::to_string(f));
+  std::vector<std::string> class_names;
+  for (std::size_t c = 0; c < classes; ++c)
+    class_names.push_back("c" + std::to_string(c));
+  Dataset d(std::move(names), std::move(class_names));
+  Rng rng(seed);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (std::size_t cls = 0; cls < classes; ++cls) {
+      for (std::size_t f = 0; f < dims; ++f)
+        x[f] = rng.gaussian(f == 0 ? static_cast<double>(cls) * 5.0 : 0.0,
+                            1.0);
+      d.add(x, static_cast<int>(cls));
+    }
+  }
+  return d;
+}
+
+// ---------------------------------------------------- cross-validation ---
+
+TEST(CrossValidationTest, FoldsAreStratifiedAndComplete) {
+  const Dataset d = make_blobs(50, 0x21);
+  Rng rng(1);
+  const auto folds = stratified_folds(d, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& fold : folds) {
+    total += fold.size();
+    const auto hist = fold.class_histogram();
+    EXPECT_EQ(hist[0], hist[1]);  // balanced input stays balanced per fold
+  }
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(CrossValidationTest, InvalidArgumentsThrow) {
+  const Dataset d = make_blobs(10, 0x22);
+  Rng rng(2);
+  EXPECT_THROW(stratified_folds(d, 1, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_folds(d, 999, rng), std::invalid_argument);
+}
+
+TEST(CrossValidationTest, BinaryCvReportsPlausibleMetrics) {
+  const Dataset d = make_blobs(80, 0x23);
+  Rng rng(3);
+  DecisionTree proto;
+  const auto result = cross_validate_binary(proto, d, 5, rng);
+  ASSERT_EQ(result.folds.size(), 5u);
+  EXPECT_GT(result.mean.f_measure, 0.85);
+  EXPECT_GT(result.mean.auc, 0.85);
+  EXPECT_GE(result.f_stddev, 0.0);
+  EXPECT_LT(result.f_stddev, 0.2);
+}
+
+TEST(CrossValidationTest, MeanAucIsTheFoldAverage) {
+  // Regression: BinaryEval default-initializes auc to 0.5; the mean must
+  // not inherit that offset.
+  const Dataset d = make_blobs(60, 0x2A);
+  Rng rng(6);
+  OneR proto;
+  const auto result = cross_validate_binary(proto, d, 4, rng);
+  double expected = 0.0;
+  for (const auto& fold : result.folds) expected += fold.auc;
+  expected /= static_cast<double>(result.folds.size());
+  EXPECT_NEAR(result.mean.auc, expected, 1e-12);
+  EXPECT_LE(result.mean.auc, 1.0);
+}
+
+TEST(CrossValidationTest, BinaryCvRejectsMulticlass) {
+  const Dataset d = make_blobs(30, 0x24, 2, 3);
+  Rng rng(4);
+  OneR proto;
+  EXPECT_THROW(cross_validate_binary(proto, d, 3, rng),
+               std::invalid_argument);
+}
+
+TEST(CrossValidationTest, MulticlassAccuracy) {
+  const Dataset d = make_blobs(60, 0x25, 2, 3);
+  Rng rng(5);
+  LogisticRegression proto;
+  EXPECT_GT(cross_validate_accuracy(proto, d, 4, rng), 0.85);
+}
+
+// ----------------------------------------------------------- prefetcher --
+
+TEST(PrefetcherTest, NextLinePrefetchGeneratesPrefetchEvents) {
+  CoreConfig cfg;
+  cfg.next_line_prefetcher = true;
+  CoreModel core(cfg);
+  MicroOp ld;
+  ld.kind = MicroOp::Kind::kLoad;
+  ld.iaddr = 0x400000;
+  // Stream of loads at 64B stride: every demand miss prefetches the next
+  // line, so roughly every other line should hit thanks to the prefetcher.
+  for (int i = 0; i < 256; ++i) {
+    ld.daddr = 0x10000000 + static_cast<std::uint64_t>(i) * 64;
+    core.execute(ld);
+  }
+  const auto& c = core.counters();
+  EXPECT_GT(c[event_index(Event::kL1DcachePrefetches)], 100u);
+  // The prefetcher halves demand misses on a pure stream.
+  EXPECT_LT(c[event_index(Event::kL1DcacheLoadMisses)], 160u);
+}
+
+TEST(PrefetcherTest, DisabledByDefault) {
+  CoreModel core;
+  MicroOp ld;
+  ld.kind = MicroOp::Kind::kLoad;
+  ld.iaddr = 0x400000;
+  for (int i = 0; i < 64; ++i) {
+    ld.daddr = 0x20000000 + static_cast<std::uint64_t>(i) * 64;
+    core.execute(ld);
+  }
+  EXPECT_EQ(core.counters()[event_index(Event::kL1DcachePrefetches)], 0u);
+}
+
+TEST(PrefetcherTest, ImprovesStreamingIpc) {
+  Rng rng(0x26);
+  const auto profile = sample_benign(BenignArchetype::kStreamingUtility, rng);
+
+  auto instructions_in = [&](bool prefetch) {
+    CoreConfig cfg;
+    cfg.next_line_prefetcher = prefetch;
+    CoreModel core(cfg);
+    WorkloadGenerator gen(profile, 0x27);
+    run_cycles(gen, core, 200'000);
+    return core.counters()[event_index(Event::kInstructions)];
+  };
+  // More instructions complete in the same cycle budget with prefetching.
+  EXPECT_GT(instructions_in(true), instructions_in(false));
+}
+
+// -------------------------------------------------------------- verilog --
+
+VerilogOptions options_for(const Dataset& d) {
+  VerilogOptions opt;
+  opt.scale_reference = &d;
+  return opt;
+}
+
+TEST(VerilogTest, TreeModuleIsStructurallySound) {
+  const Dataset d = make_blobs(100, 0x31, 4);
+  DecisionTree tree;
+  tree.fit(d);
+  const auto module = generate_verilog(tree, "j48_detector", options_for(d));
+  EXPECT_EQ(verilog_lint(module), "");
+  EXPECT_NE(module.source.find("module j48_detector"), std::string::npos);
+  EXPECT_NE(module.source.find("assign class_out"), std::string::npos);
+  EXPECT_EQ(module.input_scale.size(), 4u);
+}
+
+TEST(VerilogTest, OneRModuleIsStructurallySound) {
+  const Dataset d = make_blobs(100, 0x32);
+  OneR oner;
+  oner.fit(d);
+  const auto module = generate_verilog(oner, "oner_detector", options_for(d));
+  EXPECT_EQ(verilog_lint(module), "");
+}
+
+TEST(VerilogTest, RipperModuleHasRuleWires) {
+  const Dataset d = make_blobs(120, 0x33);
+  Ripper rules;
+  rules.fit(d);
+  const auto module = generate_verilog(rules, "jrip_detector", options_for(d));
+  EXPECT_EQ(verilog_lint(module), "");
+  if (!rules.rules().empty()) {
+    EXPECT_NE(module.source.find("wire rule0"), std::string::npos);
+  }
+}
+
+TEST(VerilogTest, MlrModuleHasScoresAndArgmax) {
+  const Dataset d = make_blobs(80, 0x34, 3, 3);
+  LogisticRegression mlr;
+  mlr.fit(d);
+  const auto module = generate_verilog(mlr, "mlr_stage1", options_for(d));
+  EXPECT_EQ(verilog_lint(module), "");
+  EXPECT_NE(module.source.find("score0"), std::string::npos);
+  EXPECT_NE(module.source.find("score2"), std::string::npos);
+}
+
+TEST(VerilogTest, AdaBoostOfTreesEmitsVotingLogic) {
+  const Dataset d = make_blobs(120, 0x3A);
+  AdaBoost::Params bp;
+  bp.rounds = 5;
+  AdaBoost boosted(std::make_unique<DecisionTree>(), bp);
+  boosted.fit(d);
+  const auto module =
+      generate_verilog(boosted, "boosted_j48", options_for(d));
+  EXPECT_EQ(verilog_lint(module), "");
+  EXPECT_NE(module.source.find("member0_class"), std::string::npos);
+  EXPECT_NE(module.source.find("vote0"), std::string::npos);
+  EXPECT_NE(module.source.find("vote1"), std::string::npos);
+}
+
+TEST(VerilogTest, AdaBoostOfMlpIsRejected) {
+  const Dataset d = make_blobs(60, 0x3B);
+  Mlp::Params mp;
+  mp.epochs = 10;
+  AdaBoost boosted(std::make_unique<Mlp>(mp));
+  boosted.fit(d);
+  EXPECT_THROW(generate_verilog(boosted, "nope", options_for(d)),
+               std::invalid_argument);
+}
+
+TEST(VerilogTest, UnsupportedClassifierThrows) {
+  const Dataset d = make_blobs(40, 0x35);
+  Mlp::Params p;
+  p.epochs = 10;
+  Mlp mlp(p);
+  mlp.fit(d);
+  EXPECT_THROW(generate_verilog(mlp, "nope", options_for(d)),
+               std::invalid_argument);
+}
+
+TEST(VerilogTest, UntrainedAndBadOptionsThrow) {
+  const Dataset d = make_blobs(40, 0x36);
+  DecisionTree tree;
+  EXPECT_THROW(generate_verilog(tree, "x", options_for(d)),
+               std::invalid_argument);
+  tree.fit(d);
+  VerilogOptions no_ref;
+  EXPECT_THROW(generate_verilog(tree, "x", no_ref), std::invalid_argument);
+  const Dataset wrong = make_blobs(10, 0x37, 7);
+  EXPECT_THROW(generate_verilog(tree, "x", options_for(wrong)),
+               std::invalid_argument);
+}
+
+TEST(VerilogTest, LintCatchesCorruption) {
+  const Dataset d = make_blobs(60, 0x38);
+  DecisionTree tree;
+  tree.fit(d);
+  auto module = generate_verilog(tree, "victim", options_for(d));
+  module.source.replace(module.source.find("endmodule"), 9, "endmodul!");
+  EXPECT_NE(verilog_lint(module), "");
+}
+
+// ------------------------------------------------------ online detector --
+
+class OnlineDetectorTest : public ::testing::Test {
+ protected:
+  // Per-window detection needs full-length (80k-cycle) sampling windows;
+  // the short windows the other fixtures use are too noisy for meaningful
+  // single-window scores.
+  static const TwoStageHmd& pipeline() {
+    static const TwoStageHmd hmd = [] {
+      CorpusConfig corpus;
+      corpus.scale = 0.1;
+      const std::string cache =
+          (std::filesystem::temp_directory_path() / "smart2_test_cache")
+              .string();
+      const Dataset d = cached_hpc_dataset(corpus, CollectorConfig{}, cache);
+      Rng rng(55);
+      auto [train, test] = d.stratified_split(0.6, rng);
+      TwoStageConfig cfg;
+      cfg.stage2_features = Stage2Features::kCommon4;
+      cfg.boost = true;
+      TwoStageHmd h(cfg);
+      h.train(train);
+      return h;
+    }();
+    return hmd;
+  }
+
+  static std::vector<std::vector<double>> windows_of(AppClass cls,
+                                                     std::uint64_t seed,
+                                                     std::size_t count) {
+    Rng rng(seed);
+    AppSpec app;
+    app.profile = sample_profile(cls, rng);
+    app.app_seed = rng.next_u64();
+    const HpcCollector collector{CollectorConfig{}};
+    std::vector<Event> events;
+    for (std::size_t f : pipeline().plan().common)
+      events.push_back(event_at(f));
+    const auto trace = collector.trace(app, events, count);
+    std::vector<std::vector<double>> out;
+    for (const auto& row : trace)
+      out.emplace_back(row.begin(), row.end());
+    return out;
+  }
+};
+
+TEST_F(OnlineDetectorTest, RejectsBadConfigs) {
+  OnlineDetectorConfig bad;
+  bad.smoothing = 0.0;
+  EXPECT_THROW(OnlineDetector(pipeline(), bad), std::invalid_argument);
+  bad = OnlineDetectorConfig{};
+  bad.clear_threshold = 0.9;
+  EXPECT_THROW(OnlineDetector(pipeline(), bad), std::invalid_argument);
+  bad = OnlineDetectorConfig{};
+  bad.confirm_windows = 0;
+  EXPECT_THROW(OnlineDetector(pipeline(), bad), std::invalid_argument);
+}
+
+TEST_F(OnlineDetectorTest, RejectsUntrainedPipeline) {
+  TwoStageHmd untrained;
+  EXPECT_THROW(OnlineDetector{untrained}, std::invalid_argument);
+}
+
+TEST_F(OnlineDetectorTest, MalwareStreamRaisesAlarm) {
+  OnlineDetector detector(pipeline());
+  // Scan several trojan specimens; most streams should alarm.
+  int alarms = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    detector.reset();
+    for (const auto& w : windows_of(AppClass::kTrojan, seed + 4000, 12))
+      detector.observe(w);
+    if (detector.alarmed()) ++alarms;
+  }
+  EXPECT_GE(alarms, 4);
+}
+
+TEST_F(OnlineDetectorTest, BenignStreamMostlyStaysQuiet) {
+  OnlineDetector detector(pipeline());
+  int alarms = 0;
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    detector.reset();
+    for (const auto& w : windows_of(AppClass::kBenign, seed, 10))
+      detector.observe(w);
+    if (detector.alarmed()) ++alarms;
+  }
+  EXPECT_LE(alarms, 2);
+}
+
+TEST_F(OnlineDetectorTest, AlarmEdgeFiresOnce) {
+  OnlineDetector detector(pipeline());
+  int edges = 0;
+  for (const auto& w : windows_of(AppClass::kVirus, 21, 12)) {
+    const auto verdict = detector.observe(w);
+    if (verdict.alarm_edge) ++edges;
+  }
+  EXPECT_LE(edges, 2);  // hysteresis keeps the alarm from chattering
+}
+
+TEST_F(OnlineDetectorTest, ResetClearsState) {
+  OnlineDetector detector(pipeline());
+  for (const auto& w : windows_of(AppClass::kBackdoor, 31, 8))
+    detector.observe(w);
+  detector.reset();
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_EQ(detector.windows_observed(), 0u);
+  EXPECT_DOUBLE_EQ(detector.smoothed_score(), 0.0);
+}
+
+// ---------------------------------------------------- threshold tuning ---
+
+TEST(ThresholdTest, MeetsFprBudgetOnKnownScores) {
+  const std::vector<int> labels = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.3, 0.8, 0.6, 0.7, 0.9, 0.95};
+  // FPR budget 0.25 allows exactly one negative (0.8) above the cut.
+  const double thr = threshold_for_fpr(labels, scores, 0.25);
+  std::size_t fp = 0;
+  std::size_t tp = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (scores[i] < thr) continue;
+    (labels[i] == 1 ? tp : fp) += 1;
+  }
+  EXPECT_LE(fp, 1u);
+  EXPECT_GE(tp, 3u);
+}
+
+TEST(ThresholdTest, ZeroBudgetExcludesAllNegatives) {
+  const std::vector<int> labels = {0, 1, 0, 1};
+  const std::vector<double> scores = {0.4, 0.6, 0.5, 0.9};
+  const double thr = threshold_for_fpr(labels, scores, 0.0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 0) {
+      EXPECT_LT(scores[i], thr);
+    }
+  }
+}
+
+TEST(ThresholdTest, BadArgumentsThrow) {
+  const std::vector<int> labels = {0, 1};
+  const std::vector<double> scores = {0.1};
+  EXPECT_THROW(threshold_for_fpr(labels, scores, 0.1),
+               std::invalid_argument);
+  const std::vector<double> ok = {0.1, 0.2};
+  EXPECT_THROW(threshold_for_fpr(labels, ok, 1.5), std::invalid_argument);
+}
+
+// ----------------------------------------------------- population noise --
+
+TEST(PopulationNoiseTest, HigherNoiseWidensParameterSpread) {
+  PopulationNoise calm;
+  calm.sigma = 0.05;
+  calm.atypical_fraction = 0.0;
+  PopulationNoise wild;
+  wild.sigma = 0.6;
+  wild.atypical_fraction = 0.0;
+
+  auto spread_of = [](const PopulationNoise& noise) {
+    Rng rng(0x99);
+    std::vector<double> branch;
+    for (int i = 0; i < 200; ++i)
+      branch.push_back(
+          sample_profile(AppClass::kVirus, rng, noise).phases[0].branch_frac);
+    return stats::stddev(branch);
+  };
+  EXPECT_GT(spread_of(wild), spread_of(calm) * 2.0);
+}
+
+TEST(PopulationNoiseTest, CorpusConfigCarriesNoise) {
+  CorpusConfig a;
+  a.scale = 0.0;
+  CorpusConfig b = a;
+  b.noise.sigma = 0.6;
+  // Different noise -> different profiles (same seed).
+  const auto ca = build_corpus(a);
+  const auto cb = build_corpus(b);
+  ASSERT_EQ(ca.size(), cb.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < ca.size(); ++i)
+    if (ca[i].profile.phases[0].branch_frac !=
+        cb[i].profile.phases[0].branch_frac)
+      any_difference = true;
+  EXPECT_TRUE(any_difference);
+  // ... and a different dataset-cache fingerprint.
+  EXPECT_NE(dataset_fingerprint(a, CollectorConfig{}),
+            dataset_fingerprint(b, CollectorConfig{}));
+}
+
+}  // namespace
+}  // namespace smart2

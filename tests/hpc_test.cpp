@@ -1,0 +1,264 @@
+// Tests for src/hpc: the PMU register constraint, multiplexing, the
+// multi-run collector, and the dataset cache.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "hpc/collector.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "hpc/pmu.hpp"
+#include "workload/appmodels.hpp"
+
+namespace smart2 {
+namespace {
+
+CollectorConfig fast_config() {
+  CollectorConfig cfg;
+  cfg.cycles_per_sample = 20'000;
+  cfg.samples_per_run = 2;
+  cfg.warmup_cycles = 10'000;
+  return cfg;
+}
+
+AppSpec test_app(AppClass cls = AppClass::kBenign, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  AppSpec app;
+  app.profile = sample_profile(cls, rng);
+  app.app_seed = rng.next_u64();
+  return app;
+}
+
+// ----------------------------------------------------------------- pmu ---
+
+TEST(PmuTest, RejectsOversizedGroup) {
+  Pmu pmu(4);
+  std::vector<Event> five = {Event::kCycles, Event::kInstructions,
+                             Event::kBranchInstructions, Event::kBranchMisses,
+                             Event::kCacheReferences};
+  EXPECT_THROW(pmu.add_group(five), std::invalid_argument);
+}
+
+TEST(PmuTest, RejectsEmptyGroup) {
+  Pmu pmu(4);
+  EXPECT_THROW(pmu.add_group({}), std::invalid_argument);
+}
+
+TEST(PmuTest, ZeroRegistersThrows) {
+  EXPECT_THROW(Pmu(0), std::invalid_argument);
+}
+
+TEST(PmuTest, RunWithoutGroupsThrows) {
+  Pmu pmu(4);
+  Rng rng(1);
+  auto prof = sample_profile(AppClass::kBenign, rng);
+  WorkloadGenerator gen(prof, 2);
+  CoreModel core;
+  EXPECT_THROW(pmu.run(gen, core, 1000, 100), std::logic_error);
+}
+
+TEST(PmuTest, SingleGroupCountsExactly) {
+  Pmu pmu(4);
+  pmu.add_group({Event::kInstructions, Event::kBranchInstructions});
+  Rng rng(3);
+  auto prof = sample_profile(AppClass::kBenign, rng);
+  WorkloadGenerator gen(prof, 4);
+  CoreModel core;
+  pmu.run(gen, core, 20'000, 1'000);
+  // One group is always scheduled: raw == scaled == core truth.
+  EXPECT_EQ(pmu.raw_count(Event::kInstructions),
+            core.counters()[event_index(Event::kInstructions)]);
+  EXPECT_DOUBLE_EQ(pmu.scaled_count(Event::kInstructions),
+                   static_cast<double>(pmu.raw_count(Event::kInstructions)));
+  EXPECT_DOUBLE_EQ(pmu.running_fraction(Event::kInstructions), 1.0);
+}
+
+TEST(PmuTest, MultiplexedScalingApproximatesTruth) {
+  Pmu pmu(2);
+  pmu.add_group({Event::kInstructions});
+  pmu.add_group({Event::kBranchInstructions});
+  Rng rng(5);
+  auto prof = sample_profile(AppClass::kBenign, rng);
+  WorkloadGenerator gen(prof, 6);
+  CoreModel core;
+  pmu.run(gen, core, 200'000, 2'000);
+
+  const double truth = static_cast<double>(
+      core.counters()[event_index(Event::kInstructions)]);
+  const double scaled = pmu.scaled_count(Event::kInstructions);
+  EXPECT_NEAR(scaled / truth, 1.0, 0.15);
+  EXPECT_NEAR(pmu.running_fraction(Event::kInstructions), 0.5, 0.1);
+}
+
+TEST(PmuTest, UnprogrammedEventThrows) {
+  Pmu pmu(2);
+  pmu.add_group({Event::kInstructions});
+  EXPECT_THROW(pmu.raw_count(Event::kCycles), std::invalid_argument);
+  EXPECT_THROW(pmu.scaled_count(Event::kCycles), std::invalid_argument);
+}
+
+TEST(PmuTest, ResetClearsCounts) {
+  Pmu pmu(2);
+  pmu.add_group({Event::kInstructions});
+  Rng rng(7);
+  auto prof = sample_profile(AppClass::kBenign, rng);
+  WorkloadGenerator gen(prof, 8);
+  CoreModel core;
+  pmu.run(gen, core, 5'000, 1'000);
+  pmu.reset();
+  EXPECT_EQ(pmu.raw_count(Event::kInstructions), 0u);
+}
+
+// ----------------------------------------------------------- collector ---
+
+TEST(CollectorTest, BatchCountMatchesRegisters) {
+  CollectorConfig cfg = fast_config();
+  cfg.registers = 4;
+  EXPECT_EQ(HpcCollector(cfg).batches_for_all_events(), 11u);
+  cfg.registers = 8;
+  EXPECT_EQ(HpcCollector(cfg).batches_for_all_events(), 6u);
+  cfg.registers = 2;
+  EXPECT_EQ(HpcCollector(cfg).batches_for_all_events(), 22u);
+}
+
+TEST(CollectorTest, SingleRunRespectsRegisterLimit) {
+  const HpcCollector coll(fast_config());
+  const AppSpec app = test_app();
+  std::vector<Event> five = {Event::kCycles, Event::kInstructions,
+                             Event::kBranchInstructions, Event::kBranchMisses,
+                             Event::kCacheReferences};
+  EXPECT_THROW(coll.collect_single_run(app, five), std::invalid_argument);
+}
+
+TEST(CollectorTest, SingleRunIsDeterministic) {
+  const HpcCollector coll(fast_config());
+  const AppSpec app = test_app();
+  const std::vector<Event> events = {Event::kInstructions,
+                                     Event::kBranchInstructions};
+  const auto a = coll.collect_single_run(app, events, 0);
+  const auto b = coll.collect_single_run(app, events, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CollectorTest, DifferentRunsDiffer) {
+  const HpcCollector coll(fast_config());
+  const AppSpec app = test_app();
+  const std::vector<Event> events = {Event::kInstructions};
+  const auto a = coll.collect_single_run(app, events, 0);
+  const auto b = coll.collect_single_run(app, events, 1);
+  EXPECT_NE(a[0], b[0]);  // fresh container, fresh stream
+}
+
+TEST(CollectorTest, AllEventsProducesFullVector) {
+  const HpcCollector coll(fast_config());
+  const AppSpec app = test_app();
+  const auto features = coll.collect_all_events(app);
+  ASSERT_EQ(features.size(), kNumEvents);
+  EXPECT_GT(features[event_index(Event::kInstructions)], 0.0);
+  EXPECT_GT(features[event_index(Event::kCycles)], 0.0);
+}
+
+TEST(CollectorTest, MultiplexedApproximatesMultiRun) {
+  const HpcCollector coll(fast_config());
+  const AppSpec app = test_app(AppClass::kBenign, 21);
+  const auto multi = coll.collect_all_events(app);
+  const auto mux = coll.collect_multiplexed(app);
+  // Multiplexing introduces sampling error but instructions-per-window
+  // should agree within ~40%.
+  const double a = multi[event_index(Event::kInstructions)];
+  const double b = mux[event_index(Event::kInstructions)];
+  EXPECT_GT(b, 0.0);
+  EXPECT_NEAR(b / a, 1.0, 0.4);
+}
+
+TEST(CollectorTest, TraceHasRequestedShape) {
+  const HpcCollector coll(fast_config());
+  const AppSpec app = test_app();
+  const std::vector<Event> events = {Event::kBranchInstructions,
+                                     Event::kBranchMisses};
+  const auto trace = coll.trace(app, events, 7);
+  ASSERT_EQ(trace.size(), 7u);
+  for (const auto& row : trace) EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(CollectorTest, InvalidConfigThrows) {
+  CollectorConfig cfg = fast_config();
+  cfg.registers = 0;
+  EXPECT_THROW(HpcCollector{cfg}, std::invalid_argument);
+  cfg = fast_config();
+  cfg.samples_per_run = 0;
+  EXPECT_THROW(HpcCollector{cfg}, std::invalid_argument);
+}
+
+TEST(CollectorTest, DatasetHasLabelsAndNames) {
+  CorpusConfig corpus_cfg;
+  corpus_cfg.scale = 0.0;  // minimum: 8 per class
+  const auto corpus = build_corpus(corpus_cfg);
+  const HpcCollector coll(fast_config());
+  const Dataset d = build_hpc_dataset(corpus, coll);
+  EXPECT_EQ(d.size(), corpus.size());
+  EXPECT_EQ(d.feature_count(), kNumEvents);
+  EXPECT_EQ(d.class_count(), kNumAppClasses);
+  EXPECT_EQ(d.feature_names()[event_index(Event::kNodeStores)],
+            "node-stores");
+  const auto hist = d.class_histogram();
+  for (std::size_t c = 0; c < kNumAppClasses; ++c) EXPECT_GE(hist[c], 8u);
+}
+
+// -------------------------------------------------------- dataset cache --
+
+TEST(DatasetCacheTest, CsvRoundTrip) {
+  Dataset d({"a", "b"}, {"x", "y", "z"});
+  d.add(std::vector<double>{1.5, -2.25}, 0);
+  d.add(std::vector<double>{3.125, 4.0}, 2);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "smart2_ds_test.csv").string();
+  save_dataset_csv(path, d);
+  const Dataset back = load_dataset_csv(path);
+  ASSERT_EQ(back.size(), d.size());
+  EXPECT_EQ(back.feature_names(), d.feature_names());
+  EXPECT_EQ(back.class_names(), d.class_names());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(back.label(i), d.label(i));
+    for (std::size_t f = 0; f < d.feature_count(); ++f)
+      EXPECT_DOUBLE_EQ(back.features(i)[f], d.features(i)[f]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetCacheTest, LoadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "smart2_bad.csv").string();
+  csv::write_file(path, {{"not", "a", "dataset"}});
+  EXPECT_THROW(load_dataset_csv(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetCacheTest, FingerprintChangesWithConfig) {
+  CorpusConfig corpus;
+  CollectorConfig coll;
+  const auto base = dataset_fingerprint(corpus, coll);
+  corpus.scale = 0.5;
+  EXPECT_NE(dataset_fingerprint(corpus, coll), base);
+  corpus.scale = 1.0;
+  coll.registers = 8;
+  EXPECT_NE(dataset_fingerprint(corpus, coll), base);
+}
+
+TEST(DatasetCacheTest, CachedDatasetHitsDisk) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "smart2_cache_test").string();
+  std::filesystem::remove_all(dir);
+  CorpusConfig corpus;
+  corpus.scale = 0.0;  // minimal corpus
+  const CollectorConfig coll = fast_config();
+  const Dataset first = cached_hpc_dataset(corpus, coll, dir);
+  const Dataset second = cached_hpc_dataset(corpus, coll, dir);  // from disk
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(first.label(i), second.label(i));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace smart2

@@ -1,0 +1,228 @@
+// Tests for src/hw: fixed-point formats, resource accounting, and the
+// HLS-style classifier lowering (Table V's cost model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/fixed_point.hpp"
+#include "hw/resource_model.hpp"
+#include "hw/synth.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+
+namespace smart2 {
+namespace {
+
+Dataset blobs(std::size_t n_per_class, std::uint64_t seed,
+              std::size_t dims = 4) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < dims; ++f)
+    names.push_back("f" + std::to_string(f));
+  Dataset d(std::move(names), {"neg", "pos"});
+  Rng rng(seed);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 2; ++cls) {
+      for (std::size_t f = 0; f < dims; ++f)
+        x[f] = rng.gaussian(f == 0 ? cls * 5.0 : 0.0, 1.0);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+// --------------------------------------------------------- fixed point ---
+
+TEST(FixedPointTest, WidthAndRange) {
+  const FixedPointFormat q{10, 6};
+  EXPECT_EQ(q.width(), 16);
+  EXPECT_NEAR(q.max_value(), 512.0 - 1.0 / 64.0, 1e-12);
+  EXPECT_NEAR(q.min_value(), -512.0, 1e-12);
+}
+
+TEST(FixedPointTest, RoundTripErrorBounded) {
+  const FixedPointFormat q{10, 6};
+  Rng rng(9);
+  const double lsb = std::ldexp(1.0, -q.fraction_bits);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-500.0, 500.0);
+    EXPECT_NEAR(q.round_trip(v), v, lsb / 2.0 + 1e-12);
+  }
+}
+
+TEST(FixedPointTest, SaturatesOutOfRange) {
+  const FixedPointFormat q{4, 4};
+  EXPECT_DOUBLE_EQ(q.round_trip(1000.0), q.max_value());
+  EXPECT_DOUBLE_EQ(q.round_trip(-1000.0), q.min_value());
+}
+
+TEST(FixedPointTest, NanQuantizesToZero) {
+  const FixedPointFormat q{8, 8};
+  EXPECT_EQ(q.quantize(std::nan("")), 0);
+}
+
+// ----------------------------------------------------------- resources ---
+
+TEST(ResourcesTest, AdditionAndScaling) {
+  Resources a{10, 5, 1, 0};
+  const Resources b{20, 10, 0, 2};
+  a += b;
+  EXPECT_EQ(a.luts, 30u);
+  EXPECT_EQ(a.brams, 2u);
+  const Resources s = b.scaled(3);
+  EXPECT_EQ(s.luts, 60u);
+  EXPECT_EQ(s.brams, 6u);
+}
+
+TEST(ResourcesTest, LutEquivalentsWeighDspAndBram) {
+  const Resources only_dsp{0, 0, 1, 0};
+  const Resources only_lut{100, 0, 0, 0};
+  EXPECT_GT(lut_equivalents(only_dsp), lut_equivalents(only_lut));
+}
+
+TEST(ResourcesTest, RelativeAreaOfReferenceIs100) {
+  EXPECT_NEAR(relative_area_percent(kOpenSparcCore), 100.0, 1e-9);
+}
+
+TEST(ResourcesTest, ToStringContainsAllFields) {
+  const std::string s = to_string(Resources{1, 2, 3, 4});
+  EXPECT_NE(s.find("1 LUT"), std::string::npos);
+  EXPECT_NE(s.find("3 DSP"), std::string::npos);
+}
+
+// ----------------------------------------------------------- synthesis ---
+
+TEST(SynthTest, UntrainedClassifierThrows) {
+  const HlsEstimator hls;
+  OneR c;
+  EXPECT_THROW(hls.synthesize(c), std::invalid_argument);
+}
+
+TEST(SynthTest, OneRIsSingleCycle) {
+  const Dataset d = blobs(100, 31);
+  OneR c;
+  c.fit(d);
+  const HwDesign design = HlsEstimator().synthesize(c);
+  EXPECT_EQ(design.latency_cycles, 1u);
+  EXPECT_GT(design.resources.luts, 0u);
+  EXPECT_EQ(design.resources.dsps, 0u);
+}
+
+TEST(SynthTest, TreeLatencyEqualsDepth) {
+  const Dataset d = blobs(150, 32);
+  DecisionTree c;
+  c.fit(d);
+  const HwDesign design = HlsEstimator().synthesize(c);
+  EXPECT_EQ(design.latency_cycles, c.depth());
+}
+
+TEST(SynthTest, CostOrderingMatchesTableV) {
+  // OneR <= JRip <= J48 << MLP in both latency and area, and AdaBoost
+  // multiplies its base. This is the qualitative content of Table V.
+  const Dataset d = blobs(200, 33, 8);
+  OneR oner;
+  Ripper jrip;
+  DecisionTree j48;
+  Mlp::Params mp;
+  mp.epochs = 30;
+  Mlp mlp(mp);
+  oner.fit(d);
+  jrip.fit(d);
+  j48.fit(d);
+  mlp.fit(d);
+
+  const HlsEstimator hls;
+  const auto d_oner = hls.synthesize(oner);
+  const auto d_jrip = hls.synthesize(jrip);
+  const auto d_j48 = hls.synthesize(j48);
+  const auto d_mlp = hls.synthesize(mlp);
+
+  EXPECT_LE(d_oner.latency_cycles, d_jrip.latency_cycles);
+  EXPECT_GT(d_mlp.latency_cycles, d_j48.latency_cycles);
+  EXPECT_GT(d_mlp.area_percent, d_j48.area_percent);
+  EXPECT_GT(d_mlp.area_percent, d_oner.area_percent);
+  EXPECT_GT(d_mlp.resources.dsps, 0u);
+}
+
+TEST(SynthTest, BoostedDesignCostsMoreThanBase) {
+  const Dataset d = blobs(150, 34);
+  DecisionTree base;
+  base.fit(d);
+  AdaBoost::Params bp;
+  bp.rounds = 10;
+  AdaBoost boosted(std::make_unique<DecisionTree>(), bp);
+  boosted.fit(d);
+
+  const HlsEstimator hls;
+  const auto d_base = hls.synthesize(base);
+  const auto d_boost = hls.synthesize(boosted);
+  EXPECT_GT(d_boost.latency_cycles, d_base.latency_cycles);
+  EXPECT_GE(d_boost.area_percent, d_base.area_percent);
+}
+
+TEST(SynthTest, MlrHasMultipliersAndExpUnits) {
+  const Dataset d = blobs(100, 35);
+  LogisticRegression c;
+  c.fit(d);
+  const HwDesign design = HlsEstimator().synthesize(c);
+  EXPECT_GT(design.resources.dsps, 0u);
+  EXPECT_GT(design.latency_cycles, 1u);
+}
+
+TEST(SynthTest, FewerFeaturesShrinkTheDesign) {
+  const Dataset d8 = blobs(200, 36, 8);
+  std::vector<std::size_t> first4 = {0, 1, 2, 3};
+  const Dataset d4 = d8.select_features(first4);
+  Mlp::Params mp;
+  mp.epochs = 20;
+  Mlp wide(mp);
+  Mlp narrow(mp);
+  wide.fit(d8);
+  narrow.fit(d4);
+  const HlsEstimator hls;
+  EXPECT_LT(hls.synthesize(narrow).area_percent,
+            hls.synthesize(wide).area_percent);
+  EXPECT_LE(hls.synthesize(narrow).latency_cycles,
+            hls.synthesize(wide).latency_cycles);
+}
+
+TEST(SynthTest, InvalidMacColumnsThrows) {
+  HlsParams p;
+  p.mac_columns = 0;
+  EXPECT_THROW(HlsEstimator{p}, std::invalid_argument);
+}
+
+// --------------------------------------------------------- quantization --
+
+TEST(QuantizationTest, WideFormatPreservesDecisions) {
+  const Dataset d = blobs(150, 37);
+  DecisionTree c;
+  c.fit(d);
+  EXPECT_GT(quantized_agreement(c, d, FixedPointFormat{10, 12}), 0.98);
+}
+
+TEST(QuantizationTest, NarrowFormatDegrades) {
+  const Dataset d = blobs(150, 38);
+  Mlp::Params mp;
+  mp.epochs = 40;
+  Mlp c(mp);
+  c.fit(d);
+  const double wide = quantized_agreement(c, d, FixedPointFormat{8, 12});
+  const double narrow = quantized_agreement(c, d, FixedPointFormat{2, 1});
+  EXPECT_LE(narrow, wide + 1e-12);
+}
+
+TEST(QuantizationTest, EmptyDatasetIsPerfectAgreement) {
+  Dataset empty({"f"}, {"a", "b"});
+  OneR c;
+  // Untrained + empty: agreement defined as 1.0 without touching the model.
+  EXPECT_DOUBLE_EQ(quantized_agreement(c, empty, FixedPointFormat{8, 8}),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace smart2

@@ -1,0 +1,163 @@
+// End-to-end integration: corpus -> HPC profiling -> feature reduction ->
+// two-stage training -> evaluation -> hardware synthesis. Exercises the
+// same path the benches use, at a reduced scale.
+#include <gtest/gtest.h>
+
+#include "core/runtime_monitor.hpp"
+#include "core/single_stage.hpp"
+#include "core/two_stage.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "hw/synth.hpp"
+#include "workload/appmodels.hpp"
+
+namespace smart2 {
+namespace {
+
+struct Pipeline {
+  Dataset train;
+  Dataset test;
+};
+
+const Pipeline& pipeline() {
+  static const Pipeline p = [] {
+    CorpusConfig corpus;
+    corpus.scale = 0.06;  // ~220 apps
+    CollectorConfig coll;
+    coll.cycles_per_sample = 30'000;
+    coll.samples_per_run = 2;
+    coll.warmup_cycles = 30'000;
+    const Dataset d = cached_hpc_dataset(corpus, coll, /*cache_dir=*/"");
+    Rng rng(2026);
+    auto [train, test] = d.stratified_split(0.6, rng);
+    return Pipeline{std::move(train), std::move(test)};
+  }();
+  return p;
+}
+
+TEST(IntegrationTest, SplitFollowsPaperProtocol) {
+  const auto& p = pipeline();
+  const double frac = static_cast<double>(p.train.size()) /
+                      static_cast<double>(p.train.size() + p.test.size());
+  EXPECT_NEAR(frac, 0.6, 0.02);
+}
+
+TEST(IntegrationTest, TwoStageBeatsStage1Alone) {
+  const auto& p = pipeline();
+
+  TwoStageConfig cfg;
+  cfg.stage2_features = Stage2Features::kCommon4;
+  cfg.boost = true;
+  TwoStageHmd hmd(cfg);
+  hmd.train(p.train);
+  const TwoStageEval two = evaluate_two_stage(hmd, p.test);
+
+  // Stage-1-only baseline: MLR's binarized decision, scored per class on
+  // the same {Benign, class} subsets the two-stage numbers use (Fig. 5a).
+  const auto& stage1 = hmd.stage1();
+  double mean_two = 0.0;
+  double mean_stage1 = 0.0;
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    const int positive = label_of(kMalwareClasses[m]);
+    std::vector<int> labels;
+    std::vector<int> pred;
+    for (std::size_t i = 0; i < p.test.size(); ++i) {
+      if (p.test.label(i) != positive && p.test.label(i) != 0) continue;
+      std::vector<double> common;
+      for (std::size_t f : hmd.plan().common)
+        common.push_back(p.test.features(i)[f]);
+      labels.push_back(p.test.label(i) == positive ? 1 : 0);
+      pred.push_back(stage1.predict(common) == 0 ? 0 : 1);
+    }
+    const auto cm = confusion(labels, pred, 2);
+    mean_stage1 += cm.f_measure(1) / kNumMalwareClasses;
+    mean_two += two.per_class[m].f_measure / kNumMalwareClasses;
+  }
+
+  // The paper's Fig. 5a shape: specialized second stage raises per-class F
+  // over the stage-1-only detector (tolerance for the reduced corpus).
+  EXPECT_GT(mean_two, mean_stage1 - 0.03);
+}
+
+TEST(IntegrationTest, SpecializedBeatsGeneralSingleStage) {
+  const auto& p = pipeline();
+
+  TwoStageConfig cfg;
+  cfg.stage2_features = Stage2Features::kCommon4;
+  cfg.boost = true;
+  TwoStageHmd hmd(cfg);
+  hmd.train(p.train);
+  const TwoStageEval two = evaluate_two_stage(hmd, p.test);
+
+  SingleStageConfig scfg;
+  scfg.model = "J48";
+  scfg.num_features = 4;
+  SingleStageHmd single(scfg);
+  single.train(p.train);
+  const SingleStageEval sev = evaluate_single_stage(single, p.test);
+
+  double mean_two = 0.0;
+  double mean_single = 0.0;
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    mean_two += two.per_class[m].f_measure;
+    mean_single += sev.per_class[m].f_measure;
+  }
+  // Fig. 5b shape: 2SMaRT-4HPC >= general single-stage 4HPC (tolerance for
+  // the reduced corpus).
+  EXPECT_GT(mean_two, mean_single - 0.08);
+}
+
+TEST(IntegrationTest, TrainedDetectorsSynthesizeToHardware) {
+  const auto& p = pipeline();
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";
+  TwoStageHmd hmd(cfg);
+  hmd.train(p.train);
+
+  const HlsEstimator hls;
+  const HwDesign stage1 = hls.synthesize(hmd.stage1());
+  EXPECT_GT(stage1.area_percent, 0.0);
+  for (AppClass c : kMalwareClasses) {
+    const HwDesign d = hls.synthesize(hmd.stage2(c));
+    EXPECT_GT(d.latency_cycles, 0u);
+    EXPECT_GT(d.area_percent, 0.0);
+    EXPECT_LT(d.area_percent, 100.0);  // detectors are tiny vs a core
+  }
+}
+
+TEST(IntegrationTest, MonitorClassifiesFreshApps) {
+  const auto& p = pipeline();
+  TwoStageConfig cfg;
+  cfg.stage2_features = Stage2Features::kCommon4;
+  cfg.boost = true;
+  TwoStageHmd hmd(cfg);
+  hmd.train(p.train);
+
+  CollectorConfig coll;
+  coll.cycles_per_sample = 30'000;
+  coll.samples_per_run = 2;
+  coll.warmup_cycles = 30'000;
+  const RuntimeMonitor monitor(hmd, HpcCollector(coll));
+
+  // Fresh apps never seen during training.
+  Rng rng(777);
+  int malware_flagged = 0;
+  int benign_flagged = 0;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    AppSpec mal;
+    mal.profile = sample_profile(kMalwareClasses[i % 4], rng);
+    mal.app_seed = rng.next_u64();
+    if (monitor.scan(mal).detection.is_malware) ++malware_flagged;
+
+    AppSpec ben;
+    ben.profile = sample_profile(AppClass::kBenign, rng);
+    ben.app_seed = rng.next_u64();
+    if (monitor.scan(ben).detection.is_malware) ++benign_flagged;
+  }
+  // Better than chance on both sides.
+  EXPECT_GT(malware_flagged, n / 2);
+  EXPECT_LT(benign_flagged, n / 2);
+}
+
+}  // namespace
+}  // namespace smart2

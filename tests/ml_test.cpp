@@ -1,0 +1,614 @@
+// Tests for src/ml: metrics, the five classifiers, AdaBoost, and the
+// feature-reduction pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ml/adaboost.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/feature_selection.hpp"
+#include "ml/logistic.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+
+namespace smart2 {
+namespace {
+
+/// Two-class Gaussian blobs, linearly separable up to `noise`.
+Dataset make_blobs(std::size_t n_per_class, double separation, double noise,
+                   std::uint64_t seed, std::size_t dims = 3) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < dims; ++f)
+    names.push_back("f" + std::to_string(f));
+  Dataset d(std::move(names), {"neg", "pos"});
+  Rng rng(seed);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 2; ++cls) {
+      const double center = cls == 0 ? 0.0 : separation;
+      for (std::size_t f = 0; f < dims; ++f)
+        x[f] = rng.gaussian(f == 0 ? center : 0.0, f == 0 ? noise : 1.0);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+/// A 3-class dataset separable along feature 0.
+Dataset make_three_class(std::size_t n_per_class, std::uint64_t seed) {
+  Dataset d({"f0", "f1"}, {"a", "b", "c"});
+  Rng rng(seed);
+  std::vector<double> x(2);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 3; ++cls) {
+      x[0] = rng.gaussian(cls * 4.0, 0.7);
+      x[1] = rng.gaussian(0.0, 1.0);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+double accuracy_on(const Classifier& c, const Dataset& d) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i)
+    if (c.predict(d.features(i)) == d.label(i)) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+// ------------------------------------------------------------ metrics ----
+
+TEST(MetricsTest, ConfusionCountsAndAccuracy) {
+  ConfusionMatrix cm(2);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  EXPECT_EQ(cm.count(1, 1), 2u);
+  EXPECT_EQ(cm.count(1, 0), 1u);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+}
+
+TEST(MetricsTest, PrecisionRecallF) {
+  ConfusionMatrix cm(2);
+  // 3 TP, 1 FP, 2 FN, 4 TN.
+  for (int i = 0; i < 3; ++i) cm.add(1, 1);
+  cm.add(0, 1);
+  for (int i = 0; i < 2; ++i) cm.add(1, 0);
+  for (int i = 0; i < 4; ++i) cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 3.0 / 5.0);
+  const double f = 2.0 * (0.75 * 0.6) / (0.75 + 0.6);
+  EXPECT_NEAR(cm.f_measure(1), f, 1e-12);
+}
+
+TEST(MetricsTest, DegenerateClassesGiveZero) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f_measure(1), 0.0);
+}
+
+TEST(MetricsTest, OutOfRangeThrows) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+}
+
+TEST(MetricsTest, AucPerfectRanking) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 1.0);
+}
+
+TEST(MetricsTest, AucInvertedRanking) {
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.0);
+}
+
+TEST(MetricsTest, AucAllTiedIsHalf) {
+  const std::vector<int> labels = {0, 1, 0, 1};
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.5);
+}
+
+TEST(MetricsTest, AucSingleClassIsHalf) {
+  const std::vector<int> labels = {1, 1};
+  const std::vector<double> scores = {0.1, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.5);
+}
+
+TEST(MetricsTest, AucKnownMixedValue) {
+  // pos scores {0.8, 0.4}, neg {0.6, 0.2}: pairs won = 3 of 4.
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const std::vector<double> scores = {0.8, 0.6, 0.4, 0.2};
+  EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.75);
+}
+
+TEST(MetricsTest, RocCurveEndpoints) {
+  const std::vector<int> labels = {0, 1, 0, 1};
+  const std::vector<double> scores = {0.2, 0.9, 0.4, 0.7};
+  const auto curve = roc_curve(labels, scores);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(MetricsTest, MacroFSkipsAbsentClasses) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  // class 2 absent
+  EXPECT_NEAR(cm.macro_f_measure(), 1.0, 1e-12);
+}
+
+// --------------------------------------------- classifiers, shared -------
+
+struct ClassifierFactory {
+  const char* name;
+  std::unique_ptr<Classifier> (*make)();
+};
+
+std::unique_ptr<Classifier> make_j48() {
+  return std::make_unique<DecisionTree>();
+}
+std::unique_ptr<Classifier> make_jrip() { return std::make_unique<Ripper>(); }
+std::unique_ptr<Classifier> make_mlp() {
+  Mlp::Params p;
+  p.epochs = 60;
+  return std::make_unique<Mlp>(p);
+}
+std::unique_ptr<Classifier> make_oner() { return std::make_unique<OneR>(); }
+std::unique_ptr<Classifier> make_mlr() {
+  return std::make_unique<LogisticRegression>();
+}
+
+class AllClassifiersTest : public ::testing::TestWithParam<ClassifierFactory> {
+};
+
+TEST_P(AllClassifiersTest, LearnsSeparableBlobs) {
+  const Dataset train = make_blobs(120, 6.0, 1.0, 11);
+  const Dataset test = make_blobs(60, 6.0, 1.0, 12);
+  auto c = GetParam().make();
+  c->fit(train);
+  EXPECT_GT(accuracy_on(*c, test), 0.9) << GetParam().name;
+}
+
+TEST_P(AllClassifiersTest, ProbabilitiesFormDistribution) {
+  const Dataset train = make_blobs(60, 5.0, 1.0, 13);
+  auto c = GetParam().make();
+  c->fit(train);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto p = c->predict_proba(train.features(i));
+    ASSERT_EQ(p.size(), 2u);
+    double sum = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-9);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6) << GetParam().name;
+  }
+}
+
+TEST_P(AllClassifiersTest, PredictBeforeFitThrows) {
+  auto c = GetParam().make();
+  const std::vector<double> x = {0.0, 0.0, 0.0};
+  EXPECT_THROW((void)c->predict(x), std::logic_error);
+}
+
+TEST_P(AllClassifiersTest, CloneUntrainedIsFresh) {
+  const Dataset train = make_blobs(40, 5.0, 1.0, 14);
+  auto c = GetParam().make();
+  c->fit(train);
+  auto clone = c->clone_untrained();
+  EXPECT_FALSE(clone->trained());
+  EXPECT_EQ(clone->name(), c->name());
+  clone->fit(train);
+  EXPECT_TRUE(clone->trained());
+}
+
+TEST_P(AllClassifiersTest, EmptyTrainingSetThrows) {
+  Dataset empty({"f0", "f1", "f2"}, {"neg", "pos"});
+  auto c = GetParam().make();
+  EXPECT_THROW(c->fit(empty), std::invalid_argument);
+}
+
+TEST_P(AllClassifiersTest, WeightCountMismatchThrows) {
+  const Dataset train = make_blobs(10, 5.0, 1.0, 15);
+  auto c = GetParam().make();
+  const std::vector<double> w(3, 1.0);
+  EXPECT_THROW(c->fit_weighted(train, w), std::invalid_argument);
+}
+
+TEST_P(AllClassifiersTest, DeterministicAcrossRuns) {
+  const Dataset train = make_blobs(60, 4.0, 1.2, 16);
+  const Dataset test = make_blobs(30, 4.0, 1.2, 17);
+  auto a = GetParam().make();
+  auto b = GetParam().make();
+  a->fit(train);
+  b->fit(train);
+  for (std::size_t i = 0; i < test.size(); ++i)
+    EXPECT_EQ(a->predict(test.features(i)), b->predict(test.features(i)))
+        << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, AllClassifiersTest,
+    ::testing::Values(ClassifierFactory{"J48", &make_j48},
+                      ClassifierFactory{"JRip", &make_jrip},
+                      ClassifierFactory{"MLP", &make_mlp},
+                      ClassifierFactory{"OneR", &make_oner},
+                      ClassifierFactory{"MLR", &make_mlr}),
+    [](const ::testing::TestParamInfo<ClassifierFactory>& info) {
+      return info.param.name;
+    });
+
+// --------------------------------------------------- specific learners ---
+
+TEST(OneRTest, PicksTheInformativeFeature) {
+  // Feature 1 separates; features 0 and 2 are noise.
+  Dataset d({"noise0", "signal", "noise2"}, {"neg", "pos"});
+  Rng rng(21);
+  std::vector<double> x(3);
+  for (int i = 0; i < 200; ++i) {
+    const int cls = i % 2;
+    x[0] = rng.gaussian(0.0, 1.0);
+    x[1] = cls == 0 ? rng.gaussian(-3.0, 0.5) : rng.gaussian(3.0, 0.5);
+    x[2] = rng.gaussian(0.0, 1.0);
+    d.add(x, cls);
+  }
+  OneR c;
+  c.fit(d);
+  EXPECT_EQ(c.rule_feature(), 1u);
+}
+
+TEST(OneRTest, RespectsInstanceWeights) {
+  // Unweighted, feature 0 and 1 tie-ish; weighting flips the importance.
+  Dataset d({"f"}, {"neg", "pos"});
+  d.add(std::vector<double>{0.0}, 0);
+  d.add(std::vector<double>{1.0}, 0);
+  d.add(std::vector<double>{2.0}, 1);
+  d.add(std::vector<double>{3.0}, 1);
+  OneR c(OneR::Params{.min_bucket_size = 1.0});
+  const std::vector<double> w = {5.0, 5.0, 5.0, 5.0};
+  c.fit_weighted(d, w);
+  EXPECT_EQ(c.predict(std::vector<double>{0.0}), 0);
+  EXPECT_EQ(c.predict(std::vector<double>{3.0}), 1);
+}
+
+TEST(DecisionTreeTest, PureNodeIsLeaf) {
+  Dataset d({"f"}, {"neg", "pos"});
+  for (int i = 0; i < 10; ++i) d.add(std::vector<double>{double(i)}, 0);
+  DecisionTree t;
+  t.fit(d);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.depth(), 0u);
+}
+
+TEST(DecisionTreeTest, SplitsOnThreshold) {
+  Dataset d({"f"}, {"neg", "pos"});
+  for (int i = 0; i < 20; ++i) d.add(std::vector<double>{double(i)}, i < 10 ? 0 : 1);
+  DecisionTree t;
+  t.fit(d);
+  EXPECT_EQ(t.predict(std::vector<double>{2.0}), 0);
+  EXPECT_EQ(t.predict(std::vector<double>{17.0}), 1);
+  EXPECT_GE(t.depth(), 1u);
+}
+
+TEST(DecisionTreeTest, MaxDepthIsRespected) {
+  const Dataset d = make_blobs(100, 2.0, 2.0, 31, 4);
+  DecisionTree t(DecisionTree::Params{.max_depth = 2});
+  t.fit(d);
+  EXPECT_LE(t.depth(), 2u);
+}
+
+TEST(DecisionTreeTest, PruningShrinksTheTree) {
+  const Dataset d = make_blobs(150, 1.5, 2.0, 32, 4);  // noisy
+  DecisionTree pruned(DecisionTree::Params{.prune = true});
+  DecisionTree unpruned(DecisionTree::Params{.prune = false});
+  pruned.fit(d);
+  unpruned.fit(d);
+  EXPECT_LE(pruned.node_count(), unpruned.node_count());
+}
+
+TEST(DecisionTreeTest, C45AddedErrorsMatchesKnownValues) {
+  // addErrs(total, 0, 0.25) = total * (1 - 0.25^(1/total)).
+  EXPECT_NEAR(c45_added_errors(10.0, 0.0, 0.25),
+              10.0 * (1.0 - std::pow(0.25, 0.1)), 1e-9);
+  // Errors close to total saturate.
+  EXPECT_NEAR(c45_added_errors(10.0, 9.8, 0.25), 0.2, 1e-9);
+  // Monotone in errors.
+  EXPECT_LT(c45_added_errors(20.0, 1.0, 0.25),
+            c45_added_errors(20.0, 5.0, 0.25) + 4.0);
+}
+
+TEST(DecisionTreeTest, NormalQuantileMatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.75), 0.6744897502, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963985, 1e-6);
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(RipperTest, LearnsIntervalRule) {
+  // Positive class inside [10, 20].
+  Dataset d({"f"}, {"neg", "pos"});
+  Rng rng(41);
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.uniform(0.0, 30.0);
+    d.add(std::vector<double>{v}, v >= 10.0 && v <= 20.0 ? 1 : 0);
+  }
+  Ripper c;
+  c.fit(d);
+  EXPECT_EQ(c.predict(std::vector<double>{15.0}), 1);
+  EXPECT_EQ(c.predict(std::vector<double>{5.0}), 0);
+  EXPECT_EQ(c.predict(std::vector<double>{25.0}), 0);
+  EXPECT_GE(c.rules().size(), 1u);
+}
+
+TEST(RipperTest, DefaultClassIsMajority) {
+  Dataset d({"f"}, {"neg", "pos"});
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i)
+    d.add(std::vector<double>{rng.uniform(0.0, 1.0)}, 0);
+  for (int i = 0; i < 10; ++i)
+    d.add(std::vector<double>{rng.uniform(10.0, 11.0)}, 1);
+  Ripper c;
+  c.fit(d);
+  EXPECT_EQ(c.default_class(), 0);
+}
+
+TEST(RipperTest, ConditionCountMatchesRules) {
+  const Dataset d = make_blobs(100, 5.0, 1.0, 43);
+  Ripper c;
+  c.fit(d);
+  std::size_t total = 0;
+  for (const auto& r : c.rules()) total += r.conditions.size();
+  EXPECT_EQ(c.condition_count(), total);
+}
+
+TEST(MlpTest, LearnsNonLinearXor) {
+  // XOR-style problem no linear model can solve.
+  Dataset d({"a", "b"}, {"neg", "pos"});
+  Rng rng(51);
+  std::vector<double> x(2);
+  for (int i = 0; i < 400; ++i) {
+    const int a = static_cast<int>(rng.uniform_index(2));
+    const int b = static_cast<int>(rng.uniform_index(2));
+    x[0] = a + rng.gaussian(0.0, 0.1);
+    x[1] = b + rng.gaussian(0.0, 0.1);
+    d.add(x, a ^ b);
+  }
+  Mlp::Params p;
+  p.hidden = 8;
+  p.epochs = 300;
+  Mlp c(p);
+  c.fit(d);
+  EXPECT_GT(accuracy_on(c, d), 0.95);
+}
+
+TEST(MlpTest, HiddenDefaultsToWekaRule) {
+  const Dataset d = make_blobs(40, 5.0, 1.0, 52, 6);
+  Mlp c;
+  c.fit(d);
+  EXPECT_EQ(c.hidden_units(), (6 + 2) / 2 + 1);
+}
+
+TEST(MlrTest, MulticlassSoftmax) {
+  const Dataset train = make_three_class(150, 61);
+  const Dataset test = make_three_class(50, 62);
+  LogisticRegression c;
+  c.fit(train);
+  EXPECT_GT(accuracy_on(c, test), 0.9);
+  const auto p = c.predict_proba(test.features(0));
+  EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(MlrTest, CoefficientsExposedForHardware) {
+  const Dataset d = make_blobs(50, 5.0, 1.0, 63);
+  LogisticRegression c;
+  c.fit(d);
+  EXPECT_EQ(c.coefficients().size(), 2u);
+  EXPECT_EQ(c.coefficients()[0].size(), 3u);
+  EXPECT_EQ(c.bias().size(), 2u);
+}
+
+// ----------------------------------------------------------- AdaBoost ----
+
+TEST(AdaBoostTest, BoostsWeakStumps) {
+  // Depth-1 trees are weak on this 2-blob diagonal problem; boosting helps.
+  Dataset d({"a", "b"}, {"neg", "pos"});
+  Rng rng(71);
+  std::vector<double> x(2);
+  for (int i = 0; i < 400; ++i) {
+    const int cls = i % 2;
+    x[0] = rng.gaussian(cls ? 1.2 : -1.2, 1.0);
+    x[1] = rng.gaussian(cls ? 1.2 : -1.2, 1.0);
+    d.add(x, cls);
+  }
+  Rng split_rng(72);
+  auto [train, test] = d.stratified_split(0.7, split_rng);
+
+  DecisionTree::Params weak;
+  weak.max_depth = 1;
+  auto stump = std::make_unique<DecisionTree>(weak);
+  DecisionTree single(weak);
+  single.fit(train);
+
+  AdaBoost::Params bp;
+  bp.rounds = 20;
+  AdaBoost boosted(std::move(stump), bp);
+  boosted.fit(train);
+
+  EXPECT_GE(accuracy_on(boosted, test) + 1e-9, accuracy_on(single, test));
+  EXPECT_GT(boosted.round_count(), 1u);
+}
+
+TEST(AdaBoostTest, NullPrototypeThrows) {
+  EXPECT_THROW(AdaBoost(nullptr), std::invalid_argument);
+}
+
+TEST(AdaBoostTest, PerfectBaseStopsEarly) {
+  const Dataset d = make_blobs(100, 10.0, 0.3, 73);
+  AdaBoost::Params bp;
+  bp.rounds = 10;
+  AdaBoost boosted(std::make_unique<DecisionTree>(), bp);
+  boosted.fit(d);
+  EXPECT_LE(boosted.round_count(), 10u);
+  EXPECT_GT(accuracy_on(boosted, d), 0.98);
+}
+
+TEST(AdaBoostTest, NameIncludesBase) {
+  AdaBoost b(std::make_unique<OneR>());
+  EXPECT_EQ(b.name(), "AdaBoost(OneR)");
+}
+
+TEST(AdaBoostTest, ResamplingModeWorks) {
+  const Dataset d = make_blobs(80, 5.0, 1.0, 74);
+  AdaBoost::Params bp;
+  bp.rounds = 5;
+  bp.force_resampling = true;
+  AdaBoost boosted(std::make_unique<DecisionTree>(), bp);
+  boosted.fit(d);
+  EXPECT_GT(accuracy_on(boosted, d), 0.9);
+}
+
+TEST(AdaBoostTest, CloneUntrainedKeepsStructure) {
+  AdaBoost::Params bp;
+  bp.rounds = 7;
+  AdaBoost b(std::make_unique<OneR>(), bp);
+  auto clone = b.clone_untrained();
+  EXPECT_EQ(clone->name(), "AdaBoost(OneR)");
+  const Dataset d = make_blobs(40, 5.0, 1.0, 75);
+  clone->fit(d);
+  EXPECT_TRUE(clone->trained());
+}
+
+// -------------------------------------------------- feature selection ----
+
+/// Dataset where feature relevance is graded: f0 strong, f1 weak, f2 noise,
+/// f3 duplicates f0.
+Dataset make_graded(std::uint64_t seed) {
+  Dataset d({"strong", "weak", "noise", "dup"}, {"neg", "pos"});
+  Rng rng(seed);
+  std::vector<double> x(4);
+  for (int i = 0; i < 400; ++i) {
+    const int cls = i % 2;
+    x[0] = rng.gaussian(cls * 4.0, 1.0);
+    x[1] = rng.gaussian(cls * 1.0, 1.0);
+    x[2] = rng.gaussian(0.0, 1.0);
+    x[3] = x[0] * 2.0 + rng.gaussian(0.0, 0.01);
+    d.add(x, cls);
+  }
+  return d;
+}
+
+TEST(FeatureSelectionTest, CorrelationRanksStrongFirst) {
+  const Dataset d = make_graded(81);
+  const auto ranked = correlation_attribute_eval(d);
+  // strong (0) or its duplicate (3) must rank top; noise (2) last.
+  EXPECT_TRUE(ranked[0].index == 0 || ranked[0].index == 3);
+  EXPECT_EQ(ranked.back().index, 2u);
+}
+
+TEST(FeatureSelectionTest, SelectTopReturnsRequestedCount) {
+  const Dataset d = make_graded(82);
+  EXPECT_EQ(select_top_correlated(d, 2).size(), 2u);
+  EXPECT_EQ(select_top_correlated(d, 99).size(), 4u);
+}
+
+TEST(FeatureSelectionTest, MulticlassCorrelationFindsDiscriminator) {
+  const Dataset d = make_three_class(100, 83);
+  const auto ranked = correlation_attribute_eval(d);
+  EXPECT_EQ(ranked[0].index, 0u);  // f0 separates the three classes
+}
+
+TEST(FeatureSelectionTest, PcaExplainsVarianceInOrder) {
+  const Dataset d = make_graded(84);
+  const auto p = pca(d);
+  ASSERT_EQ(p.eigenvalues.size(), 4u);
+  for (std::size_t i = 1; i < p.eigenvalues.size(); ++i)
+    EXPECT_GE(p.eigenvalues[i - 1], p.eigenvalues[i] - 1e-9);
+  double total = 0.0;
+  for (double r : p.explained_ratio) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(FeatureSelectionTest, ReduceFiltersRedundantDuplicate) {
+  const Dataset d = make_graded(85);
+  // Ask for 2 features; the near-perfect duplicate pair (strong, dup) must
+  // not both be chosen.
+  const auto picked = reduce_features(d, 4, 2);
+  ASSERT_EQ(picked.size(), 2u);
+  const bool both_dup =
+      (picked[0] == 0 && picked[1] == 3) || (picked[0] == 3 && picked[1] == 0);
+  EXPECT_FALSE(both_dup);
+}
+
+TEST(FeatureSelectionTest, ReduceReturnsIndicesIntoOriginal) {
+  const Dataset d = make_graded(86);
+  const auto picked = reduce_features(d, 3, 3);
+  for (std::size_t f : picked) EXPECT_LT(f, d.feature_count());
+}
+
+TEST(FeatureSelectionTest, EmptyDatasetThrows) {
+  Dataset d({"f"}, {"a", "b"});
+  EXPECT_THROW(correlation_attribute_eval(d), std::invalid_argument);
+}
+
+// ------------------------------------ property sweep: weighted training --
+
+class WeightedTrainingTest
+    : public ::testing::TestWithParam<ClassifierFactory> {};
+
+TEST_P(WeightedTrainingTest, ZeroWeightInstancesAreIgnorable) {
+  // Class-1 cluster overlapping class 0, but all its instances have zero
+  // weight: the learner should behave as if trained on class 0's side only.
+  Dataset d({"f"}, {"neg", "pos"});
+  std::vector<double> w;
+  Rng rng(91);
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{rng.gaussian(0.0, 1.0)}, 0);
+    w.push_back(1.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{rng.gaussian(8.0, 1.0)}, 1);
+    w.push_back(1.0);
+  }
+  // Poisoned points: class 1 right on top of class 0, zero weight.
+  for (int i = 0; i < 50; ++i) {
+    d.add(std::vector<double>{rng.gaussian(0.0, 0.3)}, 1);
+    w.push_back(0.0);
+  }
+  auto c = GetParam().make();
+  c->fit_weighted(d, w);
+  // The region around 0 must still be classified as negative.
+  int neg = 0;
+  for (int i = 0; i < 20; ++i)
+    if (c->predict(std::vector<double>{rng.gaussian(0.0, 0.2)}) == 0) ++neg;
+  EXPECT_GE(neg, 16) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightAware, WeightedTrainingTest,
+    ::testing::Values(ClassifierFactory{"J48", &make_j48},
+                      ClassifierFactory{"OneR", &make_oner},
+                      ClassifierFactory{"MLR", &make_mlr},
+                      ClassifierFactory{"MLP", &make_mlp}),
+    [](const ::testing::TestParamInfo<ClassifierFactory>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace smart2

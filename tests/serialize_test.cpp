@@ -1,0 +1,273 @@
+// Tests for ml/serialize: round-tripping every classifier type and the
+// extension learners (NaiveBayes, Bagging).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+#include "ml/serialize.hpp"
+
+namespace smart2 {
+namespace {
+
+Dataset make_blobs(std::size_t n_per_class, std::uint64_t seed,
+                   std::size_t dims = 3) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < dims; ++f)
+    names.push_back("f" + std::to_string(f));
+  Dataset d(std::move(names), {"neg", "pos"});
+  Rng rng(seed);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 2; ++cls) {
+      for (std::size_t f = 0; f < dims; ++f)
+        x[f] = rng.gaussian(f == 0 ? cls * 5.0 : 0.0, 1.2);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+struct Factory {
+  const char* label;
+  std::unique_ptr<Classifier> (*make)();
+};
+
+std::unique_ptr<Classifier> f_oner() { return std::make_unique<OneR>(); }
+std::unique_ptr<Classifier> f_j48() {
+  return std::make_unique<DecisionTree>();
+}
+std::unique_ptr<Classifier> f_jrip() { return std::make_unique<Ripper>(); }
+std::unique_ptr<Classifier> f_mlp() {
+  Mlp::Params p;
+  p.epochs = 30;
+  return std::make_unique<Mlp>(p);
+}
+std::unique_ptr<Classifier> f_mlr() {
+  return std::make_unique<LogisticRegression>();
+}
+std::unique_ptr<Classifier> f_nb() { return std::make_unique<NaiveBayes>(); }
+std::unique_ptr<Classifier> f_boost() {
+  AdaBoost::Params p;
+  p.rounds = 4;
+  return std::make_unique<AdaBoost>(std::make_unique<DecisionTree>(), p);
+}
+std::unique_ptr<Classifier> f_bag() {
+  Bagging::Params p;
+  p.bags = 4;
+  return std::make_unique<Bagging>(std::make_unique<OneR>(), p);
+}
+
+class SerializeRoundTripTest : public ::testing::TestWithParam<Factory> {};
+
+TEST_P(SerializeRoundTripTest, PredictionsSurviveRoundTrip) {
+  const Dataset train = make_blobs(80, 0xAA);
+  const Dataset probe = make_blobs(40, 0xBB);
+
+  auto original = GetParam().make();
+  original->fit(train);
+
+  const std::string text = serialize_classifier(*original);
+  const auto restored = deserialize_classifier(text);
+
+  EXPECT_EQ(restored->name(), original->name());
+  EXPECT_TRUE(restored->trained());
+  EXPECT_EQ(restored->class_count(), original->class_count());
+  EXPECT_EQ(restored->feature_count(), original->feature_count());
+
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const auto x = probe.features(i);
+    EXPECT_EQ(restored->predict(x), original->predict(x));
+    const auto pa = original->predict_proba(x);
+    const auto pb = restored->predict_proba(x);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t c = 0; c < pa.size(); ++c)
+      EXPECT_DOUBLE_EQ(pa[c], pb[c]) << GetParam().label;
+  }
+}
+
+TEST_P(SerializeRoundTripTest, SecondRoundTripIsIdentical) {
+  const Dataset train = make_blobs(50, 0xCC);
+  auto original = GetParam().make();
+  original->fit(train);
+  const std::string once = serialize_classifier(*original);
+  const std::string twice =
+      serialize_classifier(*deserialize_classifier(once));
+  EXPECT_EQ(once, twice) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, SerializeRoundTripTest,
+    ::testing::Values(Factory{"OneR", &f_oner}, Factory{"J48", &f_j48},
+                      Factory{"JRip", &f_jrip}, Factory{"MLP", &f_mlp},
+                      Factory{"MLR", &f_mlr}, Factory{"NaiveBayes", &f_nb},
+                      Factory{"AdaBoostJ48", &f_boost},
+                      Factory{"BaggingOneR", &f_bag}),
+    [](const ::testing::TestParamInfo<Factory>& info) {
+      return info.param.label;
+    });
+
+TEST(SerializeTest, UntrainedModelThrows) {
+  OneR c;
+  EXPECT_THROW(serialize_classifier(c), std::logic_error);
+}
+
+TEST(SerializeTest, BadHeaderThrows) {
+  EXPECT_THROW(deserialize_classifier(std::string("not-a-model 1 X 2 3")),
+               std::runtime_error);
+}
+
+TEST(SerializeTest, UnsupportedVersionThrows) {
+  EXPECT_THROW(deserialize_classifier(std::string("smart2-model 99 OneR 2 3")),
+               std::runtime_error);
+}
+
+TEST(SerializeTest, UnknownClassifierNameThrows) {
+  EXPECT_THROW(
+      deserialize_classifier(std::string("smart2-model 1 Quantum 2 3")),
+      std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedBodyThrows) {
+  const Dataset train = make_blobs(30, 0xDD);
+  DecisionTree tree;
+  tree.fit(train);
+  std::string text = serialize_classifier(tree);
+  text.resize(text.size() / 2);
+  EXPECT_THROW(deserialize_classifier(text), std::runtime_error);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const Dataset train = make_blobs(40, 0xEE);
+  Ripper model;
+  model.fit(train);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "smart2_model_test.txt")
+          .string();
+  save_classifier(path, model);
+  const auto restored = load_classifier(path);
+  EXPECT_EQ(restored->name(), "JRip");
+  for (std::size_t i = 0; i < train.size(); ++i)
+    EXPECT_EQ(restored->predict(train.features(i)),
+              model.predict(train.features(i)));
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, CompositeNameParsing) {
+  EXPECT_EQ(make_classifier_by_name("AdaBoost(J48)")->name(), "AdaBoost(J48)");
+  EXPECT_EQ(make_classifier_by_name("Bagging(MLR)")->name(), "Bagging(MLR)");
+  EXPECT_EQ(make_classifier_by_name("AdaBoost(Bagging(OneR))")->name(),
+            "AdaBoost(Bagging(OneR))");
+  EXPECT_THROW(make_classifier_by_name("AdaBoost(Quantum)"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------- extension learners ----
+
+TEST(NaiveBayesTest, LearnsBlobsAndExposesPriors) {
+  const Dataset train = make_blobs(100, 0x11);
+  const Dataset test = make_blobs(50, 0x12);
+  NaiveBayes nb;
+  nb.fit(train);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if (nb.predict(test.features(i)) == test.label(i)) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+  ASSERT_EQ(nb.priors().size(), 2u);
+  EXPECT_NEAR(nb.priors()[0], 0.5, 0.05);
+}
+
+TEST(NaiveBayesTest, SurvivesConstantFeature) {
+  Dataset d({"c", "f"}, {"neg", "pos"});
+  Rng rng(0x13);
+  for (int i = 0; i < 60; ++i) {
+    const int cls = i % 2;
+    d.add(std::vector<double>{5.0, rng.gaussian(cls * 4.0, 1.0)}, cls);
+  }
+  NaiveBayes nb;
+  nb.fit(d);
+  const auto p = nb.predict_proba(std::vector<double>{5.0, 4.0});
+  EXPECT_GT(p[1], 0.5);
+}
+
+TEST(NaiveBayesTest, RespectsWeights) {
+  Dataset d({"f"}, {"neg", "pos"});
+  std::vector<double> w;
+  Rng rng(0x14);
+  for (int i = 0; i < 50; ++i) {
+    d.add(std::vector<double>{rng.gaussian(0.0, 1.0)}, 0);
+    w.push_back(1.0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    d.add(std::vector<double>{rng.gaussian(6.0, 1.0)}, 1);
+    w.push_back(1.0);
+  }
+  // Poison: positive instances at 0, weight zero.
+  for (int i = 0; i < 30; ++i) {
+    d.add(std::vector<double>{rng.gaussian(0.0, 0.2)}, 1);
+    w.push_back(0.0);
+  }
+  NaiveBayes nb;
+  nb.fit_weighted(d, w);
+  EXPECT_EQ(nb.predict(std::vector<double>{0.0}), 0);
+}
+
+TEST(BaggingTest, ImprovesOverSingleUnstableBase) {
+  // Deep unpruned trees are high-variance; bagging stabilizes them.
+  Dataset d({"a", "b"}, {"neg", "pos"});
+  Rng rng(0x15);
+  std::vector<double> x(2);
+  for (int i = 0; i < 300; ++i) {
+    const int cls = i % 2;
+    x[0] = rng.gaussian(cls ? 1.0 : -1.0, 1.1);
+    x[1] = rng.gaussian(cls ? 1.0 : -1.0, 1.1);
+    d.add(x, cls);
+  }
+  Rng split_rng(0x16);
+  auto [train, test] = d.stratified_split(0.7, split_rng);
+
+  DecisionTree::Params unstable;
+  unstable.prune = false;
+  unstable.min_leaf_weight = 1.0;
+  DecisionTree single(unstable);
+  single.fit(train);
+
+  Bagging::Params bp;
+  bp.bags = 15;
+  Bagging bagged(std::make_unique<DecisionTree>(unstable), bp);
+  bagged.fit(train);
+
+  auto acc = [&](const Classifier& c) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i)
+      if (c.predict(test.features(i)) == test.label(i)) ++correct;
+    return static_cast<double>(correct) / test.size();
+  };
+  EXPECT_GE(acc(bagged) + 0.02, acc(single));
+  EXPECT_EQ(bagged.bag_count(), 15u);
+}
+
+TEST(BaggingTest, InvalidParamsThrow) {
+  EXPECT_THROW(Bagging(nullptr), std::invalid_argument);
+  Bagging::Params p;
+  p.bags = 0;
+  EXPECT_THROW(Bagging(std::make_unique<OneR>(), p), std::invalid_argument);
+  p.bags = 3;
+  p.sample_fraction = 0.0;
+  EXPECT_THROW(Bagging(std::make_unique<OneR>(), p), std::invalid_argument);
+}
+
+TEST(BaggingTest, NameReflectsBase) {
+  Bagging b(std::make_unique<Ripper>());
+  EXPECT_EQ(b.name(), "Bagging(JRip)");
+}
+
+}  // namespace
+}  // namespace smart2

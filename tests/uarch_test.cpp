@@ -1,0 +1,421 @@
+// Tests for src/uarch: caches, TLB, branch predictor, core event semantics.
+#include <gtest/gtest.h>
+
+#include "uarch/branch_predictor.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/core.hpp"
+#include "uarch/events.hpp"
+#include "uarch/tlb.hpp"
+
+namespace smart2 {
+namespace {
+
+// -------------------------------------------------------------- events ---
+
+TEST(EventsTest, CountIs44) { EXPECT_EQ(kNumEvents, 44u); }
+
+TEST(EventsTest, NamesAreUniqueAndRoundTrip) {
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    const Event e = event_at(i);
+    const auto back = event_from_name(event_name(e));
+    ASSERT_TRUE(back.has_value()) << event_name(e);
+    EXPECT_EQ(*back, e);
+  }
+}
+
+TEST(EventsTest, ShortNamesResolve) {
+  EXPECT_EQ(event_from_name("branch-inst"), Event::kBranchInstructions);
+  EXPECT_EQ(event_from_name("node-st"), Event::kNodeStores);
+  EXPECT_EQ(event_from_name("cache-ref"), Event::kCacheReferences);
+  EXPECT_FALSE(event_from_name("flux-capacitor").has_value());
+}
+
+TEST(EventsTest, PaperTableIIEventsExist) {
+  // Every event name appearing in the paper's Table II must resolve.
+  for (const char* name :
+       {"branch-inst", "cache-ref", "branch-miss", "node-st", "branch-lds",
+        "L1-icache-ld-miss", "LLC-ld-miss", "iTLB-ld-miss", "cache-miss",
+        "LLC-lds", "L1-dcache-lds", "L1-dcache-st"}) {
+    EXPECT_TRUE(event_from_name(name).has_value()) << name;
+  }
+}
+
+// --------------------------------------------------------------- cache ---
+
+TEST(CacheTest, MissThenHitSameLine) {
+  Cache c({1024, 2, 64});
+  EXPECT_FALSE(c.access(0x1000).hit);
+  EXPECT_TRUE(c.access(0x1000).hit);
+  EXPECT_TRUE(c.access(0x1038).hit);  // same 64B line
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.accesses(), 3u);
+}
+
+TEST(CacheTest, LruEvictionOrder) {
+  // 2-way, line 64 -> sets = 1024/64/2 = 8. Addresses with the same set
+  // index differ by 8*64 = 512.
+  Cache c({1024, 2, 64});
+  EXPECT_FALSE(c.access(0x0000).hit);
+  EXPECT_FALSE(c.access(0x0200).hit);   // same set, second way
+  EXPECT_TRUE(c.access(0x0000).hit);    // touch A -> B becomes LRU
+  EXPECT_FALSE(c.access(0x0400).hit);   // evicts B
+  EXPECT_TRUE(c.access(0x0000).hit);    // A survives
+  EXPECT_FALSE(c.access(0x0200).hit);   // B was evicted
+}
+
+TEST(CacheTest, DirtyEvictionReportsWriteback) {
+  Cache c({128, 1, 64});  // 2 sets, direct-mapped
+  EXPECT_FALSE(c.access(0x0000, /*is_store=*/true).hit);
+  const auto r = c.access(0x0080, /*is_store=*/false);  // same set 0
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.victim_address, 0x0000u);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(CacheTest, CleanEvictionHasNoWriteback) {
+  Cache c({128, 1, 64});
+  c.access(0x0000, /*is_store=*/false);
+  const auto r = c.access(0x0080, /*is_store=*/false);
+  EXPECT_FALSE(r.writeback);
+}
+
+TEST(CacheTest, MarkDirtyIfPresent) {
+  Cache c({128, 2, 64});
+  c.access(0x0000, false);
+  EXPECT_TRUE(c.mark_dirty_if_present(0x0000));
+  EXPECT_FALSE(c.mark_dirty_if_present(0x4000));
+  // The marked line writes back on eviction.
+  c.access(0x0100, false);
+  const auto r = c.access(0x0200, false);
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(CacheTest, ProbeDoesNotInstall) {
+  Cache c({128, 2, 64});
+  EXPECT_FALSE(c.probe(0x0000));
+  EXPECT_FALSE(c.access(0x0000).hit);
+  EXPECT_TRUE(c.probe(0x0000));
+  EXPECT_EQ(c.accesses(), 1u);  // probe did not count
+}
+
+TEST(CacheTest, ResetClearsEverything) {
+  Cache c({128, 2, 64});
+  c.access(0x0000, true);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.probe(0x0000));
+}
+
+TEST(CacheTest, InvalidConfigThrows) {
+  EXPECT_THROW(Cache({1024, 2, 60}), std::invalid_argument);   // non-pow2 line
+  EXPECT_THROW(Cache({1024, 0, 64}), std::invalid_argument);   // zero ways
+  EXPECT_THROW(Cache({1000, 2, 64}), std::invalid_argument);   // bad ratio
+}
+
+class CacheInvariantTest
+    : public ::testing::TestWithParam<CacheConfig> {};
+
+TEST_P(CacheInvariantTest, MissesNeverExceedAccesses) {
+  Cache c(GetParam());
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i)
+    c.access(rng.uniform_index(1u << 20) * 8, rng.bernoulli(0.3));
+  EXPECT_LE(c.misses(), c.accesses());
+  EXPECT_EQ(c.accesses(), 20000u);
+  EXPECT_LE(c.writebacks(), c.misses());
+}
+
+TEST_P(CacheInvariantTest, WorkingSetSmallerThanCacheEventuallyAllHits) {
+  Cache c(GetParam());
+  const std::uint64_t lines = GetParam().size_bytes / GetParam().line_bytes;
+  const std::uint64_t ws = lines / 2;  // half the capacity
+  for (std::uint64_t pass = 0; pass < 3; ++pass)
+    for (std::uint64_t i = 0; i < ws; ++i)
+      c.access(i * GetParam().line_bytes);
+  // After the first pass everything fits: misses == ws exactly.
+  EXPECT_EQ(c.misses(), ws);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheInvariantTest,
+    ::testing::Values(CacheConfig{4096, 1, 64}, CacheConfig{8192, 4, 64},
+                      CacheConfig{32768, 8, 64}, CacheConfig{65536, 16, 32}));
+
+// ----------------------------------------------------------------- tlb ---
+
+TEST(TlbTest, MissThenHitSamePage) {
+  Tlb t({16, 4, 4096});
+  EXPECT_FALSE(t.access(0x1000));
+  EXPECT_TRUE(t.access(0x1FFF));  // same page
+  EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(TlbTest, CapacityEviction) {
+  Tlb t({4, 4, 4096});  // fully associative with 4 entries
+  for (std::uint64_t p = 0; p < 5; ++p) t.access(p * 4096);
+  EXPECT_EQ(t.misses(), 5u);
+  // Page 0 was LRU -> evicted.
+  EXPECT_FALSE(t.access(0));
+}
+
+TEST(TlbTest, ResetFlushes) {
+  Tlb t({8, 4, 4096});
+  t.access(0x1000);
+  t.reset();
+  EXPECT_FALSE(t.access(0x1000));
+}
+
+TEST(TlbTest, InvalidConfigThrows) {
+  EXPECT_THROW(Tlb({0, 1, 4096}), std::invalid_argument);
+  EXPECT_THROW(Tlb({7, 2, 4096}), std::invalid_argument);
+  EXPECT_THROW(Tlb({8, 2, 1000}), std::invalid_argument);
+}
+
+// ---------------------------------------------------- branch predictor ---
+
+TEST(BranchPredictorTest, LearnsStronglyBiasedBranch) {
+  BranchPredictor bp({12, 0, 512});
+  int mispredicts = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto o = bp.access(0x4000, true, 0x5000);
+    if (!o.direction_correct) ++mispredicts;
+  }
+  EXPECT_LE(mispredicts, 2);  // warm-up only
+}
+
+TEST(BranchPredictorTest, AlternatingBranchWithoutHistoryIsHard) {
+  BranchPredictor bimodal({12, 0, 512});
+  int mispredicts = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (!bimodal.access(0x4000, i % 2 == 0, 0x5000).direction_correct)
+      ++mispredicts;
+  EXPECT_GT(mispredicts, 400);  // bimodal cannot learn alternation
+}
+
+TEST(BranchPredictorTest, HistoryCapturesAlternation) {
+  BranchPredictor gshare({12, 4, 512});
+  int late_mispredicts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const bool taken = i % 2 == 0;
+    const auto o = gshare.access(0x4000, taken, 0x5000);
+    if (i >= 1000 && !o.direction_correct) ++late_mispredicts;
+  }
+  EXPECT_LE(late_mispredicts, 10);  // gshare learns the pattern
+}
+
+TEST(BranchPredictorTest, BtbMissOnFirstTakenBranch) {
+  BranchPredictor bp({12, 0, 512});
+  const auto first = bp.access(0x4000, true, 0x9000);
+  EXPECT_FALSE(first.btb_hit);
+  const auto second = bp.access(0x4000, true, 0x9000);
+  EXPECT_TRUE(second.btb_hit);
+  EXPECT_EQ(bp.btb_misses(), 1u);
+}
+
+TEST(BranchPredictorTest, TargetChangeMissesBtb) {
+  BranchPredictor bp({12, 0, 512});
+  bp.access(0x4000, true, 0x9000);
+  const auto o = bp.access(0x4000, true, 0xA000);  // new target
+  EXPECT_FALSE(o.btb_hit);
+}
+
+TEST(BranchPredictorTest, InvalidConfigThrows) {
+  EXPECT_THROW(BranchPredictor({0, 0, 512}), std::invalid_argument);
+  EXPECT_THROW(BranchPredictor({12, 13, 512}), std::invalid_argument);
+  EXPECT_THROW(BranchPredictor({12, 0, 100}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- core ---
+
+MicroOp alu_at(std::uint64_t iaddr) {
+  MicroOp op;
+  op.kind = MicroOp::Kind::kAlu;
+  op.iaddr = iaddr;
+  return op;
+}
+
+TEST(CoreTest, CountsInstructionsAndCycles) {
+  CoreModel core;
+  for (int i = 0; i < 100; ++i) core.execute(alu_at(0x400000));
+  EXPECT_EQ(core.counters()[event_index(Event::kInstructions)], 100u);
+  EXPECT_GE(core.cycles(), 100u);
+}
+
+TEST(CoreTest, BranchEventsCounted) {
+  CoreModel core;
+  MicroOp br;
+  br.kind = MicroOp::Kind::kBranch;
+  br.iaddr = 0x400100;
+  br.taken = true;
+  br.target = 0x400200;
+  for (int i = 0; i < 50; ++i) core.execute(br);
+  const auto& c = core.counters();
+  EXPECT_EQ(c[event_index(Event::kBranchInstructions)], 50u);
+  EXPECT_EQ(c[event_index(Event::kBranchLoads)], 50u);
+  EXPECT_LE(c[event_index(Event::kBranchMisses)], 3u);  // learned quickly
+}
+
+TEST(CoreTest, LoadMissHierarchy) {
+  CoreModel core;
+  MicroOp ld;
+  ld.kind = MicroOp::Kind::kLoad;
+  ld.iaddr = 0x400000;
+  ld.daddr = 0x10000000;
+  core.execute(ld);
+  const auto& c = core.counters();
+  EXPECT_EQ(c[event_index(Event::kL1DcacheLoads)], 1u);
+  EXPECT_EQ(c[event_index(Event::kL1DcacheLoadMisses)], 1u);
+  // Two LLC loads: the cold instruction fetch fill plus the data fill.
+  EXPECT_EQ(c[event_index(Event::kLlcLoads)], 2u);
+  EXPECT_EQ(c[event_index(Event::kLlcLoadMisses)], 2u);
+  EXPECT_EQ(c[event_index(Event::kNodeLoads)], 2u);
+  // Second access to the same line hits L1: LLC traffic unchanged.
+  core.execute(ld);
+  EXPECT_EQ(c[event_index(Event::kL1DcacheLoadMisses)], 1u);
+}
+
+TEST(CoreTest, StoreMissCountsNodeStore) {
+  CoreModel core;
+  MicroOp st;
+  st.kind = MicroOp::Kind::kStore;
+  st.iaddr = 0x400000;
+  st.daddr = 0x20000000;
+  core.execute(st);
+  const auto& c = core.counters();
+  EXPECT_EQ(c[event_index(Event::kL1DcacheStores)], 1u);
+  EXPECT_EQ(c[event_index(Event::kLlcStores)], 1u);
+  EXPECT_EQ(c[event_index(Event::kNodeStores)], 1u);
+}
+
+TEST(CoreTest, RemoteNodeAccessCountsNodeMiss) {
+  CoreModel core;
+  MicroOp ld;
+  ld.kind = MicroOp::Kind::kLoad;
+  ld.iaddr = 0x400000;
+  ld.daddr = 0x30000000;
+  ld.remote_node = true;
+  core.execute(ld);
+  EXPECT_EQ(core.counters()[event_index(Event::kNodeLoadMisses)], 1u);
+}
+
+TEST(CoreTest, PageFaultOncePerPage) {
+  CoreModel core;
+  MicroOp ld;
+  ld.kind = MicroOp::Kind::kLoad;
+  ld.iaddr = 0x400000;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int page = 0; page < 5; ++page) {
+      ld.daddr = 0x40000000 + static_cast<std::uint64_t>(page) * 4096;
+      core.execute(ld);
+    }
+  }
+  // 5 data pages + 1 code page.
+  EXPECT_EQ(core.counters()[event_index(Event::kPageFaults)], 6u);
+}
+
+TEST(CoreTest, MajorFaultFlagged) {
+  CoreModel core;
+  MicroOp ld;
+  ld.kind = MicroOp::Kind::kLoad;
+  ld.iaddr = 0x400000;
+  ld.daddr = 0x50000000;
+  ld.cold_major = true;
+  core.execute(ld);
+  const auto& c = core.counters();
+  EXPECT_EQ(c[event_index(Event::kMajorFaults)], 1u);
+  EXPECT_EQ(c[event_index(Event::kPageFaults)], 2u);  // + code page (minor)
+  EXPECT_EQ(c[event_index(Event::kMinorFaults)], 1u);
+}
+
+TEST(CoreTest, AlignmentFaultCounted) {
+  CoreModel core;
+  MicroOp ld;
+  ld.kind = MicroOp::Kind::kLoad;
+  ld.iaddr = 0x400000;
+  ld.daddr = 0x60000001;
+  ld.unaligned = true;
+  core.execute(ld);
+  EXPECT_EQ(core.counters()[event_index(Event::kAlignmentFaults)], 1u);
+}
+
+TEST(CoreTest, ContextSwitchAfterQuantum) {
+  CoreConfig cfg;
+  cfg.context_switch_quantum = 1000;
+  CoreModel core(cfg);
+  for (int i = 0; i < 3000; ++i) core.execute(alu_at(0x400000));
+  EXPECT_GE(core.counters()[event_index(Event::kContextSwitches)], 2u);
+}
+
+TEST(CoreTest, DerivedClockCounters) {
+  CoreModel core;
+  for (int i = 0; i < 64; ++i) core.execute(alu_at(0x400000));
+  const auto& c = core.counters();
+  EXPECT_EQ(c[event_index(Event::kRefCycles)],
+            c[event_index(Event::kCycles)]);
+  EXPECT_EQ(c[event_index(Event::kBusCycles)],
+            c[event_index(Event::kCycles)] / core.config().bus_ratio);
+}
+
+TEST(CoreTest, StallAccountingSplitsFrontendBackend) {
+  CoreModel core;
+  MicroOp ld;
+  ld.kind = MicroOp::Kind::kLoad;
+  ld.iaddr = 0x400000;
+  ld.daddr = 0x70000000;
+  core.execute(ld);  // icache miss (frontend) + dcache chain (backend)
+  const auto& c = core.counters();
+  EXPECT_GT(c[event_index(Event::kStalledCyclesFrontend)], 0u);
+  EXPECT_GT(c[event_index(Event::kStalledCyclesBackend)], 0u);
+  EXPECT_LE(c[event_index(Event::kStalledCyclesFrontend)] +
+                c[event_index(Event::kStalledCyclesBackend)],
+            c[event_index(Event::kCycles)]);
+}
+
+TEST(CoreTest, ClearCountersKeepsState) {
+  CoreModel core;
+  MicroOp ld;
+  ld.kind = MicroOp::Kind::kLoad;
+  ld.iaddr = 0x400000;
+  ld.daddr = 0x80000000;
+  core.execute(ld);
+  core.clear_counters();
+  EXPECT_EQ(core.counters()[event_index(Event::kInstructions)], 0u);
+  // Same line again: still a cache hit (state survived).
+  core.execute(ld);
+  EXPECT_EQ(core.counters()[event_index(Event::kL1DcacheLoadMisses)], 0u);
+}
+
+TEST(CoreTest, ResetIsColdMachine) {
+  CoreModel core;
+  MicroOp ld;
+  ld.kind = MicroOp::Kind::kLoad;
+  ld.iaddr = 0x400000;
+  ld.daddr = 0x90000000;
+  core.execute(ld);
+  core.reset();
+  core.execute(ld);
+  EXPECT_EQ(core.counters()[event_index(Event::kL1DcacheLoadMisses)], 1u);
+  EXPECT_EQ(core.counters()[event_index(Event::kPageFaults)], 2u);
+}
+
+TEST(CoreTest, PrefetchCountsNoStallCycles) {
+  CoreModel core;
+  MicroOp pf;
+  pf.kind = MicroOp::Kind::kPrefetch;
+  pf.iaddr = 0x400000;
+  pf.daddr = 0xA0000000;
+  core.execute(pf);
+  const auto before = core.cycles();
+  pf.daddr = 0xA0010000;
+  core.execute(pf);
+  const auto& c = core.counters();
+  EXPECT_EQ(c[event_index(Event::kL1DcachePrefetches)], 2u);
+  EXPECT_EQ(c[event_index(Event::kNodePrefetches)], 2u);
+  // Second prefetch (code page warm): only the base cycle.
+  EXPECT_EQ(core.cycles() - before, 1u);
+}
+
+}  // namespace
+}  // namespace smart2

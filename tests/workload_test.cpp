@@ -1,0 +1,213 @@
+// Tests for src/workload: the generator, class models, and corpus builder.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "uarch/core.hpp"
+#include "workload/appmodels.hpp"
+#include "workload/corpus.hpp"
+#include "workload/generator.hpp"
+
+namespace smart2 {
+namespace {
+
+BehaviorProfile simple_profile() {
+  BehaviorProfile prof;
+  prof.name = "test";
+  prof.app_class = AppClass::kBenign;
+  Phase p;
+  p.branch_frac = 0.2;
+  p.load_frac = 0.3;
+  p.store_frac = 0.1;
+  p.prefetch_frac = 0.05;
+  prof.phases.push_back(p);
+  return prof;
+}
+
+TEST(GeneratorTest, EmptyProfileThrows) {
+  BehaviorProfile empty;
+  EXPECT_THROW(WorkloadGenerator(empty, 1), std::invalid_argument);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const auto prof = simple_profile();
+  WorkloadGenerator a(prof, 42);
+  WorkloadGenerator b(prof, 42);
+  for (int i = 0; i < 1000; ++i) {
+    const MicroOp oa = a.next();
+    const MicroOp ob = b.next();
+    EXPECT_EQ(static_cast<int>(oa.kind), static_cast<int>(ob.kind));
+    EXPECT_EQ(oa.iaddr, ob.iaddr);
+    EXPECT_EQ(oa.daddr, ob.daddr);
+    EXPECT_EQ(oa.taken, ob.taken);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentStreams) {
+  const auto prof = simple_profile();
+  WorkloadGenerator a(prof, 1);
+  WorkloadGenerator b(prof, 2);
+  int differences = 0;
+  for (int i = 0; i < 200; ++i)
+    if (a.next().daddr != b.next().daddr) ++differences;
+  EXPECT_GT(differences, 10);
+}
+
+TEST(GeneratorTest, InstructionMixMatchesProfile) {
+  const auto prof = simple_profile();
+  WorkloadGenerator gen(prof, 7);
+  std::map<MicroOp::Kind, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[gen.next().kind];
+  EXPECT_NEAR(counts[MicroOp::Kind::kBranch] / double(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[MicroOp::Kind::kLoad] / double(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[MicroOp::Kind::kStore] / double(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[MicroOp::Kind::kPrefetch] / double(n), 0.05, 0.01);
+}
+
+TEST(GeneratorTest, MemoryOpsCarryDataAddresses) {
+  const auto prof = simple_profile();
+  WorkloadGenerator gen(prof, 8);
+  for (int i = 0; i < 1000; ++i) {
+    const MicroOp op = gen.next();
+    if (op.kind == MicroOp::Kind::kLoad ||
+        op.kind == MicroOp::Kind::kStore) {
+      EXPECT_NE(op.daddr, 0u);
+    }
+    EXPECT_NE(op.iaddr, 0u);
+  }
+}
+
+TEST(GeneratorTest, RunCyclesAdvancesAtLeastRequested) {
+  const auto prof = simple_profile();
+  WorkloadGenerator gen(prof, 9);
+  CoreModel core;
+  const auto before = core.cycles();
+  run_cycles(gen, core, 5000);
+  EXPECT_GE(core.cycles() - before, 5000u);
+}
+
+TEST(GeneratorTest, RunOpsExecutesExactCount) {
+  const auto prof = simple_profile();
+  WorkloadGenerator gen(prof, 10);
+  CoreModel core;
+  run_ops(gen, core, 1234);
+  EXPECT_EQ(core.counters()[event_index(Event::kInstructions)], 1234u);
+}
+
+// ----------------------------------------------------------- appmodels ---
+
+class AppModelTest : public ::testing::TestWithParam<AppClass> {};
+
+TEST_P(AppModelTest, ProfilesAreWellFormed) {
+  Rng rng(55);
+  for (int i = 0; i < 50; ++i) {
+    const BehaviorProfile prof = sample_profile(GetParam(), rng);
+    EXPECT_EQ(prof.app_class, GetParam());
+    ASSERT_FALSE(prof.phases.empty());
+    for (const Phase& p : prof.phases) {
+      const double mix =
+          p.branch_frac + p.load_frac + p.store_frac + p.prefetch_frac;
+      EXPECT_GE(p.branch_frac, 0.0);
+      EXPECT_LE(mix, 1.0);
+      EXPECT_LE(p.hot_frac + p.warm_frac, 1.0);
+      EXPECT_GE(p.hot_code_frac, 0.0);
+      EXPECT_LE(p.hot_code_frac, 1.0);
+      EXPECT_GE(p.branch_noise, 0.0);
+      EXPECT_LE(p.branch_noise, 1.0);
+      EXPECT_GT(p.weight, 0.0);
+    }
+  }
+}
+
+TEST_P(AppModelTest, ProfilesExecuteWithoutIncident) {
+  Rng rng(56);
+  const BehaviorProfile prof = sample_profile(GetParam(), rng);
+  WorkloadGenerator gen(prof, 77);
+  CoreModel core;
+  run_ops(gen, core, 20000);
+  const auto& c = core.counters();
+  EXPECT_EQ(c[event_index(Event::kInstructions)], 20000u);
+  EXPECT_GT(c[event_index(Event::kBranchInstructions)], 0u);
+  EXPECT_GT(c[event_index(Event::kL1DcacheLoads)], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, AppModelTest,
+                         ::testing::Values(AppClass::kBenign,
+                                           AppClass::kBackdoor,
+                                           AppClass::kRootkit,
+                                           AppClass::kVirus,
+                                           AppClass::kTrojan),
+                         [](const ::testing::TestParamInfo<AppClass>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(AppModelTest, MalwareHasCamouflagePhase) {
+  Rng rng(57);
+  const auto prof = sample_profile(AppClass::kTrojan, rng);
+  EXPECT_EQ(prof.phases.size(), 2u);
+}
+
+TEST(AppModelTest, BenignArchetypesDiffer) {
+  Rng rng(58);
+  const auto compute = sample_benign(BenignArchetype::kComputeKernel, rng);
+  const auto browser = sample_benign(BenignArchetype::kBrowser, rng);
+  // Browsers have a much larger code footprint than compute kernels.
+  EXPECT_GT(browser.phases[0].code_kb, compute.phases[0].code_kb);
+}
+
+// -------------------------------------------------------------- corpus ---
+
+TEST(CorpusTest, PaperClassCountsAtFullScale) {
+  CorpusConfig cfg;
+  cfg.scale = 1.0;
+  const auto corpus = build_corpus(cfg);
+  std::map<AppClass, std::size_t> counts;
+  for (const auto& app : corpus) ++counts[app.profile.app_class];
+  EXPECT_EQ(counts[AppClass::kBackdoor], 452u);
+  EXPECT_EQ(counts[AppClass::kRootkit], 350u);
+  EXPECT_EQ(counts[AppClass::kVirus], 650u);
+  EXPECT_EQ(counts[AppClass::kTrojan], 1169u);
+  EXPECT_EQ(counts[AppClass::kBenign], 1000u);
+  EXPECT_GT(corpus.size(), 3000u);  // ">3000 applications"
+}
+
+TEST(CorpusTest, ScaleShrinksButKeepsMinimum) {
+  CorpusConfig cfg;
+  cfg.scale = 0.01;
+  const auto corpus = build_corpus(cfg);
+  std::map<AppClass, std::size_t> counts;
+  for (const auto& app : corpus) ++counts[app.profile.app_class];
+  for (const auto& [cls, n] : counts) EXPECT_GE(n, 8u) << to_string(cls);
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  CorpusConfig cfg;
+  cfg.scale = 0.02;
+  const auto a = build_corpus(cfg);
+  const auto b = build_corpus(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].app_seed, b[i].app_seed);
+    EXPECT_EQ(a[i].profile.app_class, b[i].profile.app_class);
+  }
+}
+
+TEST(CorpusTest, DifferentSeedDifferentApps) {
+  CorpusConfig a_cfg;
+  a_cfg.scale = 0.02;
+  CorpusConfig b_cfg = a_cfg;
+  b_cfg.seed = 777;
+  const auto a = build_corpus(a_cfg);
+  const auto b = build_corpus(b_cfg);
+  EXPECT_NE(a[0].app_seed, b[0].app_seed);
+}
+
+TEST(CorpusTest, ScaledCountHelper) {
+  EXPECT_EQ(scaled_count(100, 1.0), 100u);
+  EXPECT_EQ(scaled_count(100, 0.5), 50u);
+  EXPECT_EQ(scaled_count(100, 0.0), 8u);  // floor
+}
+
+}  // namespace
+}  // namespace smart2

@@ -1,0 +1,279 @@
+// smart2 — command-line front end for the 2SMaRT reproduction.
+//
+//   smart2 profile  --out data.csv [--scale 0.25] [--seed 42]
+//   smart2 train    --data data.csv --out pipeline.smart2
+//                   [--features common4|custom8|top16] [--boost]
+//                   [--model J48|JRip|MLP|OneR] [--split 0.6] [--seed 42]
+//   smart2 evaluate --data data.csv --pipeline pipeline.smart2
+//                   [--split 0.6] [--seed 42]
+//   smart2 detect   --data data.csv --pipeline pipeline.smart2 --row N
+//   smart2 crossval --data data.csv --model J48 [--folds 5] [--class Trojan]
+//                   [--boost] [--seed 42]
+//   smart2 info     --pipeline pipeline.smart2
+//   smart2 export-verilog --data data.csv --pipeline pipeline.smart2
+//                   --out dir
+//
+// `profile` simulates the paper's data-collection protocol and writes the
+// 44-event dataset as CSV; every other subcommand consumes that CSV.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/two_stage.hpp"
+#include "ml/cross_validation.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "hw/verilog_gen.hpp"
+#include "uarch/events.hpp"
+
+using namespace smart2;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double num(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::string require(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) {
+      std::fprintf(stderr, "error: missing --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    if (token == "boost") {
+      args.options["boost"] = "1";
+    } else if (i + 1 < argc) {
+      args.options[token] = argv[++i];
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: smart2 "
+      "<profile|train|evaluate|detect|crossval|info|export-verilog> "
+      "[options]\n"
+      "run `smart2 <command>` without required options for details\n");
+  return 2;
+}
+
+std::pair<Dataset, Dataset> split_of(const Dataset& d, const Args& args) {
+  Rng rng(static_cast<std::uint64_t>(args.num("seed", 42)));
+  return d.stratified_split(args.num("split", 0.6), rng);
+}
+
+TwoStageConfig config_of(const Args& args) {
+  TwoStageConfig cfg;
+  const std::string features = args.get("features", "common4");
+  if (features == "common4") cfg.stage2_features = Stage2Features::kCommon4;
+  else if (features == "custom8") cfg.stage2_features = Stage2Features::kCustom8;
+  else if (features == "top16") cfg.stage2_features = Stage2Features::kTop16;
+  else {
+    std::fprintf(stderr, "error: unknown --features %s\n", features.c_str());
+    std::exit(2);
+  }
+  cfg.boost = args.has("boost");
+  cfg.stage2_model = args.get("model");
+  return cfg;
+}
+
+int cmd_profile(const Args& args) {
+  const std::string out = args.require("out");
+  CorpusConfig corpus;
+  corpus.scale = args.num("scale", 0.25);
+  corpus.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  CollectorConfig coll;
+  coll.registers = static_cast<std::size_t>(args.num("registers", 4));
+
+  std::printf("profiling %zu-ish applications (scale %.2f, %zu HPC "
+              "registers, %zu runs per app)...\n",
+              build_corpus(corpus).size(), corpus.scale, coll.registers,
+              HpcCollector(coll).batches_for_all_events());
+  const Dataset d = cached_hpc_dataset(corpus, coll, /*cache_dir=*/"");
+  save_dataset_csv(out, d);
+  std::printf("wrote %s (%zu rows x %zu events)\n", out.c_str(), d.size(),
+              d.feature_count());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const Dataset d = load_dataset_csv(args.require("data"));
+  const auto [train, test] = split_of(d, args);
+  TwoStageHmd hmd(config_of(args));
+  std::printf("training on %zu applications...\n", train.size());
+  hmd.train(train);
+
+  const std::string out = args.require("out");
+  hmd.save_file(out);
+  std::printf("pipeline saved to %s\n", out.c_str());
+
+  const TwoStageEval eval = evaluate_two_stage(hmd, test);
+  std::printf("held-out check (%zu apps): 5-way accuracy %.1f%%\n",
+              test.size(), 100.0 * eval.multiclass_accuracy);
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const Dataset d = load_dataset_csv(args.require("data"));
+  const auto [train, test] = split_of(d, args);
+  const TwoStageHmd hmd = TwoStageHmd::load_file(args.require("pipeline"));
+
+  const TwoStageEval eval = evaluate_two_stage(hmd, test);
+  std::printf("%-10s %8s %8s %8s %8s\n", "class", "F", "AUC", "perf",
+              "recall");
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    const auto& ev = eval.per_class[m];
+    std::printf("%-10s %7.1f%% %8.3f %7.1f%% %7.1f%%\n",
+                to_string(kMalwareClasses[m]).data(), 100.0 * ev.f_measure,
+                ev.auc, 100.0 * ev.performance, 100.0 * ev.recall);
+  }
+  std::printf("5-way accuracy: %.1f%% on %zu held-out applications\n",
+              100.0 * eval.multiclass_accuracy, test.size());
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  const Dataset d = load_dataset_csv(args.require("data"));
+  const TwoStageHmd hmd = TwoStageHmd::load_file(args.require("pipeline"));
+  const auto row = static_cast<std::size_t>(args.num("row", 0));
+  if (row >= d.size()) {
+    std::fprintf(stderr, "error: row %zu out of range (%zu rows)\n", row,
+                 d.size());
+    return 2;
+  }
+  const Detection det = hmd.detect(d.features(row));
+  std::printf("row %zu: actual=%s\n", row,
+              d.class_names().at(static_cast<std::size_t>(d.label(row)))
+                  .c_str());
+  std::printf("verdict: %s", det.is_malware ? "MALWARE" : "benign");
+  if (det.is_malware)
+    std::printf(" (%s)", to_string(det.predicted_class).data());
+  std::printf("\nstage-1 confidence %.3f, stage-2 score %.3f\n",
+              det.stage1_confidence, det.stage2_score);
+  return det.is_malware ? 1 : 0;
+}
+
+int cmd_crossval(const Args& args) {
+  const Dataset d = load_dataset_csv(args.require("data"));
+  const std::string model_name = args.get("model", "J48");
+  const auto folds = static_cast<std::size_t>(args.num("folds", 5));
+  Rng rng(static_cast<std::uint64_t>(args.num("seed", 42)));
+
+  const auto cls = app_class_from_string(args.get("class", "Trojan"));
+  if (!cls || *cls == AppClass::kBenign) {
+    std::fprintf(stderr, "error: --class must name a malware class\n");
+    return 2;
+  }
+  const FeaturePlan plan = paper_feature_plan(d);
+  const Dataset binary = d.binary_view(label_of(*cls), 0)
+                             .select_features(plan.common);
+  auto proto = args.has("boost") ? make_boosted(model_name)
+                                 : make_classifier(model_name);
+  const auto cv = cross_validate_binary(*proto, binary, folds, rng);
+  std::printf("%zu-fold CV of %s%s on %s (4 Common HPCs, %zu apps):\n",
+              folds, model_name.c_str(), args.has("boost") ? "+AdaBoost" : "",
+              to_string(*cls).data(), binary.size());
+  std::printf("  F = %.1f%% +- %.1f   AUC = %.3f   F x AUC = %.1f%%\n",
+              100.0 * cv.mean.f_measure, 100.0 * cv.f_stddev, cv.mean.auc,
+              100.0 * cv.mean.performance);
+  for (std::size_t f = 0; f < cv.folds.size(); ++f)
+    std::printf("  fold %zu: F=%.1f%% AUC=%.3f\n", f + 1,
+                100.0 * cv.folds[f].f_measure, cv.folds[f].auc);
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const TwoStageHmd hmd = TwoStageHmd::load_file(args.require("pipeline"));
+  std::printf("2SMaRT pipeline\n");
+  std::printf("  stage-2 features: %s%s\n",
+              to_string(hmd.config().stage2_features).data(),
+              hmd.config().boost ? " + AdaBoost" : "");
+  std::printf("  common events:");
+  for (std::size_t f : hmd.plan().common)
+    std::printf(" %s", event_short_name(event_at(f)).data());
+  std::printf("\n  stage-2 detectors:\n");
+  for (AppClass c : kMalwareClasses) {
+    std::printf("    %-8s %s, events:", to_string(c).data(),
+                hmd.stage2_model_name(c).c_str());
+    for (std::size_t f : hmd.stage2_feature_indices(c))
+      std::printf(" %s", event_short_name(event_at(f)).data());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_export_verilog(const Args& args) {
+  const Dataset d = load_dataset_csv(args.require("data"));
+  const TwoStageHmd hmd = TwoStageHmd::load_file(args.require("pipeline"));
+  const std::string out_dir = args.require("out");
+  std::filesystem::create_directories(out_dir);
+
+  const Dataset common_ref = d.select_features(hmd.plan().common);
+  VerilogOptions opt;
+  opt.scale_reference = &common_ref;
+
+  auto emit = [&](const Classifier& model, const std::string& name,
+                  const Dataset& ref) {
+    VerilogOptions local = opt;
+    local.scale_reference = &ref;
+    try {
+      const VerilogModule module = generate_verilog(model, name, local);
+      const std::string problem = verilog_lint(module);
+      if (!problem.empty()) {
+        std::printf("  %-24s lint failed: %s\n", name.c_str(),
+                    problem.c_str());
+        return;
+      }
+      std::ofstream(out_dir + "/" + name + ".v") << module.source;
+      std::printf("  %-24s -> %s/%s.v\n", name.c_str(), out_dir.c_str(),
+                  name.c_str());
+    } catch (const std::invalid_argument& e) {
+      std::printf("  %-24s skipped (%s)\n", name.c_str(), e.what());
+    }
+  };
+
+  emit(hmd.stage1(), "stage1_mlr", common_ref);
+  for (AppClass c : kMalwareClasses) {
+    const Dataset ref = d.select_features(hmd.stage2_feature_indices(c));
+    emit(hmd.stage2(c), "stage2_" + std::string(to_string(c)), ref);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command == "profile") return cmd_profile(args);
+  if (args.command == "train") return cmd_train(args);
+  if (args.command == "evaluate") return cmd_evaluate(args);
+  if (args.command == "detect") return cmd_detect(args);
+  if (args.command == "crossval") return cmd_crossval(args);
+  if (args.command == "info") return cmd_info(args);
+  if (args.command == "export-verilog") return cmd_export_verilog(args);
+  return usage();
+}
