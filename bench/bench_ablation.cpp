@@ -26,29 +26,37 @@ namespace {
 using namespace smart2;
 
 double boosted_mean_perf(int rounds) {
+  // The four per-class detectors are independent; train them across the
+  // pool and reduce serially in class order.
+  const std::vector<double> perfs = parallel::parallel_map<double>(
+      kNumMalwareClasses, [&](std::size_t m) {
+        const int positive = label_of(kMalwareClasses[m]);
+        const Dataset btr =
+            bench::train()
+                .binary_view(positive, label_of(AppClass::kBenign))
+                .select_features(bench::plan().common);
+        const Dataset bte =
+            bench::test()
+                .binary_view(positive, label_of(AppClass::kBenign))
+                .select_features(bench::plan().common);
+        auto model = make_boosted("J48", rounds);
+        model->fit(btr);
+        return evaluate_binary(*model, bte).performance;
+      });
   double sum = 0.0;
-  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
-    const int positive = label_of(kMalwareClasses[m]);
-    const Dataset btr =
-        bench::train()
-            .binary_view(positive, label_of(AppClass::kBenign))
-            .select_features(bench::plan().common);
-    const Dataset bte =
-        bench::test()
-            .binary_view(positive, label_of(AppClass::kBenign))
-            .select_features(bench::plan().common);
-    auto model = make_boosted("J48", rounds);
-    model->fit(btr);
-    sum += evaluate_binary(*model, bte).performance;
-  }
+  for (double p : perfs) sum += p;
   return sum / static_cast<double>(kNumMalwareClasses);
 }
 
 void ablate_boost_rounds() {
   std::printf("Ablation 1: AdaBoost rounds (J48 base, 4 Common HPCs)\n");
+  constexpr int kRounds[] = {1, 2, 5, 10, 20, 40};
+  const std::vector<double> perfs = parallel::parallel_map<double>(
+      std::size(kRounds),
+      [&](std::size_t i) { return boosted_mean_perf(kRounds[i]); });
   TableWriter t({"rounds", "mean F x AUC"});
-  for (int rounds : {1, 2, 5, 10, 20, 40})
-    t.add_row({std::to_string(rounds), bench::pct(boosted_mean_perf(rounds))});
+  for (std::size_t i = 0; i < std::size(kRounds); ++i)
+    t.add_row({std::to_string(kRounds[i]), bench::pct(perfs[i])});
   std::printf("%s\n", t.render().c_str());
 }
 
@@ -152,27 +160,42 @@ void ablate_ensemble_family() {
       "4 Common HPCs, 10 members each)\n");
   TableWriter t({"class", "single J48", "AdaBoost", "Bagging", "RandomForest",
                  "NaiveBayes"});
+  // Each (class, family) cell trains its own model on its own binary view;
+  // fan the whole grid across the pool.
+  constexpr std::size_t kFamilies = 5;
+  const std::vector<double> cells = parallel::parallel_map<double>(
+      kNumMalwareClasses * kFamilies, [&](std::size_t cell) {
+        const std::size_t m = cell / kFamilies;
+        const std::size_t fam = cell % kFamilies;
+        const int positive = label_of(kMalwareClasses[m]);
+        const Dataset btr =
+            bench::train()
+                .binary_view(positive, label_of(AppClass::kBenign))
+                .select_features(bench::plan().common);
+        const Dataset bte =
+            bench::test()
+                .binary_view(positive, label_of(AppClass::kBenign))
+                .select_features(bench::plan().common);
+        std::unique_ptr<Classifier> model;
+        switch (fam) {
+          case 0: model = std::make_unique<DecisionTree>(); break;
+          case 1:
+            model = std::make_unique<AdaBoost>(std::make_unique<DecisionTree>());
+            break;
+          case 2:
+            model = std::make_unique<Bagging>(std::make_unique<DecisionTree>());
+            break;
+          case 3: model = make_random_forest(); break;
+          default: model = std::make_unique<NaiveBayes>(); break;
+        }
+        model->fit(btr);
+        return evaluate_binary(*model, bte).performance;
+      });
   for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
-    const int positive = label_of(kMalwareClasses[m]);
-    const Dataset btr = bench::train()
-                            .binary_view(positive, label_of(AppClass::kBenign))
-                            .select_features(bench::plan().common);
-    const Dataset bte = bench::test()
-                            .binary_view(positive, label_of(AppClass::kBenign))
-                            .select_features(bench::plan().common);
-    auto eval_of = [&](Classifier& c) {
-      c.fit(btr);
-      return evaluate_binary(c, bte).performance;
-    };
-    DecisionTree single;
-    AdaBoost boosted(std::make_unique<DecisionTree>());
-    Bagging bagged(std::make_unique<DecisionTree>());
-    auto forest = make_random_forest();
-    NaiveBayes bayes;
-    t.add_row({std::string(to_string(kMalwareClasses[m])),
-               bench::pct(eval_of(single)), bench::pct(eval_of(boosted)),
-               bench::pct(eval_of(bagged)), bench::pct(eval_of(*forest)),
-               bench::pct(eval_of(bayes))});
+    std::vector<std::string> row = {std::string(to_string(kMalwareClasses[m]))};
+    for (std::size_t fam = 0; fam < kFamilies; ++fam)
+      row.push_back(bench::pct(cells[m * kFamilies + fam]));
+    t.add_row(std::move(row));
   }
   std::printf("%s\n", t.render().c_str());
 }
@@ -264,7 +287,9 @@ BENCHMARK(BM_BoostRounds)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("ablation");
   smart2::bench::print_banner("Ablations");
+  smart2::bench::warm_shared_state();
   ablate_boost_rounds();
   ablate_mlp_width();
   ablate_plan_source();

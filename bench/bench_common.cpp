@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <utility>
 
 namespace smart2::bench {
 
@@ -86,6 +88,37 @@ void print_banner(const std::string& experiment) {
       "corpus: %zu apps (Benign %zu, Backdoor %zu, Rootkit %zu, Virus %zu, "
       "Trojan %zu), 44 events via 11 runs x 4 HPCs, 60/40 split\n\n",
       d.size(), hist[0], hist[1], hist[2], hist[3], hist[4]);
+}
+
+void warm_shared_state() {
+  (void)dataset();
+  (void)split();
+  (void)plan();
+}
+
+ScopedTiming::ScopedTiming(std::string bench_name)
+    : name_(std::move(bench_name)), start_(std::chrono::steady_clock::now()) {}
+
+double ScopedTiming::elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+ScopedTiming::~ScopedTiming() {
+  const double wall = elapsed();
+  const char* path = std::getenv("SMART2_BENCH_JSON");
+  if (path == nullptr) path = "bench_timings.json";
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "[bench] cannot append timing ledger %s\n", path);
+    return;
+  }
+  out << "{\"bench\": \"" << name_ << "\", \"threads\": "
+      << parallel::thread_count() << ", \"scale\": " << corpus_config().scale
+      << ", \"wall_seconds\": " << wall << "}\n";
+  std::fprintf(stderr, "[bench] %s: %.3f s wall (threads=%zu) -> %s\n",
+               name_.c_str(), wall, parallel::thread_count(), path);
 }
 
 }  // namespace smart2::bench

@@ -5,14 +5,22 @@
 // cached on disk (./.smart2_cache) so the suite profiles it only once.
 //
 // Environment knobs:
-//   SMART2_SCALE   corpus scale factor (default 0.25; 1.0 = the paper's
-//                  full >3600-application corpus)
-//   SMART2_SEED    corpus/split seed (default 42)
+//   SMART2_SCALE      corpus scale factor (default 0.25; 1.0 = the paper's
+//                     full >3600-application corpus)
+//   SMART2_SEED       corpus/split seed (default 42)
+//   SMART2_THREADS    execution lanes for the parallel hot paths (default
+//                     hardware concurrency; 1 = fully serial). Outputs are
+//                     bit-identical for every value.
+//   SMART2_BENCH_JSON timing-ledger path (default "bench_timings.json");
+//                     every bench appends one JSON line of wall-clock data
+//                     so successive PRs accumulate a perf trajectory.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <utility>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/feature_plan.hpp"
 #include "core/model_zoo.hpp"
@@ -63,5 +71,29 @@ std::string pct(double fraction, int precision = 1);
 
 /// Print a header naming the experiment and the corpus in use.
 void print_banner(const std::string& experiment);
+
+/// Force the shared dataset / split / feature plan statics to initialize on
+/// the calling thread. Call before fanning table cells across the pool so
+/// workers never contend on first-use initialization.
+void warm_shared_state();
+
+/// Shared wall-clock harness: times the enclosing bench binary and appends
+/// one JSON line ({"bench", "threads", "scale", "wall_seconds"}) to the
+/// SMART2_BENCH_JSON ledger on destruction.
+class ScopedTiming {
+ public:
+  explicit ScopedTiming(std::string bench_name);
+  ~ScopedTiming();
+
+  ScopedTiming(const ScopedTiming&) = delete;
+  ScopedTiming& operator=(const ScopedTiming&) = delete;
+
+  /// Seconds elapsed so far.
+  double elapsed() const;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace smart2::bench

@@ -63,6 +63,7 @@ BENCHMARK(BM_TraceCollection)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("fig1_traces");
   print_traces();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -87,6 +87,7 @@ BENCHMARK(BM_EvaluateDetector)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("fig4_performance");
   print_fig4();
   print_roc_series();
   benchmark::Initialize(&argc, argv);

@@ -74,6 +74,7 @@ BENCHMARK(BM_TwoStageDetect);
 }  // namespace
 
 int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("fig5a_two_stage");
   print_fig5a();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

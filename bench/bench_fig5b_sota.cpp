@@ -96,6 +96,7 @@ BENCHMARK(BM_SingleStageTrain)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("fig5b_sota");
   print_fig5b();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -94,6 +94,7 @@ BENCHMARK(BM_MlrPredict);
 }  // namespace
 
 int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("stage1_mlr");
   print_stage1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -15,21 +15,38 @@ constexpr bench::FeatureMode kModes[] = {
 
 void print_table1() {
   bench::print_banner("Table I: best classifier per malware class");
+  bench::warm_shared_state();
+
+  // Every (class, mode, classifier) cell is an independent train+evaluate
+  // job; fan the flat list across the pool, then pick winners serially in
+  // candidate order (ties keep the earliest name, as before).
+  const auto& names = classifier_names();
+  const std::size_t cells =
+      kNumMalwareClasses * std::size(kModes) * names.size();
+  const std::vector<BinaryEval> evals =
+      parallel::parallel_map<BinaryEval>(cells, [&](std::size_t cell) {
+        const std::size_t m = cell / (std::size(kModes) * names.size());
+        const std::size_t rest = cell % (std::size(kModes) * names.size());
+        const std::size_t mode = rest / names.size();
+        const std::size_t n = rest % names.size();
+        return bench::eval_specialized(
+            names[n], m, bench::features_for(kModes[mode], m),
+            /*boosted=*/false);
+      });
 
   TableWriter t({"Malware Class", "16HPCs", "8HPCs", "4HPCs"});
   for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
     std::vector<std::string> row = {
         std::string(to_string(kMalwareClasses[m]))};
-    for (const auto& mode : kModes) {
-      const auto features = bench::features_for(mode, m);
+    for (std::size_t mode = 0; mode < std::size(kModes); ++mode) {
       double best_f = -1.0;
       std::string best_name;
-      for (const auto& name : classifier_names()) {
-        const BinaryEval ev =
-            bench::eval_specialized(name, m, features, /*boosted=*/false);
+      for (std::size_t n = 0; n < names.size(); ++n) {
+        const BinaryEval& ev =
+            evals[(m * std::size(kModes) + mode) * names.size() + n];
         if (ev.f_measure > best_f) {
           best_f = ev.f_measure;
-          best_name = name;
+          best_name = names[n];
         }
       }
       row.push_back(best_name + " (F=" + bench::pct(best_f) + ")");
@@ -54,6 +71,7 @@ BENCHMARK(BM_TrainAllCandidates)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ScopedTiming timing("table1_best_classifier");
   print_table1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

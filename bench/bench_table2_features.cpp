@@ -83,6 +83,7 @@ BENCHMARK(BM_Pca)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("table2_features");
   print_table2();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -52,6 +52,7 @@ BENCHMARK(BM_PerformanceMetric);
 }  // namespace
 
 int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("table4_improvement");
   print_table4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

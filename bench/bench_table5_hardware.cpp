@@ -96,6 +96,7 @@ BENCHMARK(BM_Synthesize);
 }  // namespace
 
 int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("table5_hardware");
   print_table5();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -46,12 +46,33 @@ Matrix Matrix::multiply(const Matrix& rhs) const {
     throw std::invalid_argument("Matrix::multiply: dimension mismatch");
   Matrix out(rows_, rhs.cols_);
   for (std::size_t i = 0; i < rows_; ++i) {
+    double* orow = out.row_data(i);
+    const double* arow = row_data(i);
     for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
+      const double a = arow[k];
       if (a == 0.0) continue;
       const double* rrow = rhs.row_data(k);
-      double* orow = out.row_data(i);
       for (std::size_t j = 0; j < rhs.cols_; ++j) orow[j] += a * rrow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::multiply_transposed(const Matrix& rhs) const {
+  if (cols_ != rhs.cols_)
+    throw std::invalid_argument(
+        "Matrix::multiply_transposed: dimension mismatch");
+  // this * rhs^T as row-by-row dot products: both operands stream through
+  // contiguous rows, so no transposed copy of rhs is ever materialized.
+  Matrix out(rows_, rhs.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = row_data(i);
+    double* orow = out.row_data(i);
+    for (std::size_t j = 0; j < rhs.rows_; ++j) {
+      const double* brow = rhs.row_data(j);
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < cols_; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
     }
   }
   return out;

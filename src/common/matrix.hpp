@@ -47,6 +47,9 @@ class Matrix {
 
   Matrix transpose() const;
   Matrix multiply(const Matrix& rhs) const;
+  /// this * rhs^T without materializing the transpose (both operands are
+  /// walked row-contiguously). Requires cols() == rhs.cols().
+  Matrix multiply_transposed(const Matrix& rhs) const;
   std::vector<double> multiply(const std::vector<double>& v) const;
 
   Matrix& operator+=(const Matrix& rhs);

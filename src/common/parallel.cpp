@@ -1,0 +1,183 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace smart2::parallel {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+std::size_t env_thread_count() {
+  if (const char* env = std::getenv("SMART2_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+/// One parallel_for invocation: a chunked index range claimed lane-by-lane
+/// through an atomic cursor. Results are deterministic regardless of which
+/// lane runs which chunk because chunks are disjoint and slot-addressed.
+struct ThreadPool::Task {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t chunk_count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> chunks_left{0};
+
+  std::mutex m;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::exception_ptr first_error;
+};
+
+struct ThreadPool::Impl {
+  std::mutex m;
+  std::condition_variable work_cv;
+  std::deque<std::shared_ptr<Task>> queue;
+  std::vector<std::thread> workers;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(std::size_t lanes)
+    : lanes_(lanes == 0 ? 1 : lanes), impl_(new Impl) {
+  for (std::size_t w = 0; w + 1 < lanes_; ++w)
+    impl_->workers.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
+void ThreadPool::run_chunks(Task& task) {
+  for (;;) {
+    const std::size_t c =
+        task.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= task.chunk_count) return;
+    const std::size_t lo = task.begin + c * task.grain;
+    const std::size_t hi = std::min(task.end, lo + task.grain);
+    try {
+      for (std::size_t i = lo; i < hi; ++i) (*task.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(task.m);
+      if (!task.first_error) task.first_error = std::current_exception();
+    }
+    if (task.chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(task.m);
+      task.done = true;
+      task.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lk(impl_->m);
+      impl_->work_cv.wait(
+          lk, [this] { return impl_->stop || !impl_->queue.empty(); });
+      if (impl_->queue.empty()) {
+        if (impl_->stop) return;
+        continue;
+      }
+      task = impl_->queue.front();
+    }
+    run_chunks(*task);
+    // This task has no unclaimed chunks left; retire it from the queue so
+    // the next wait picks up fresh work.
+    {
+      std::lock_guard<std::mutex> lk(impl_->m);
+      if (!impl_->queue.empty() && impl_->queue.front() == task)
+        impl_->queue.pop_front();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  // Serial paths: one lane, trivial range, or nested inside a pool worker
+  // (blocking on a fixed-size pool from one of its own lanes can deadlock).
+  if (lanes_ <= 1 || n == 1 || t_on_worker) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto task = std::make_shared<Task>();
+  task->begin = begin;
+  task->end = end;
+  // ~4 chunks per lane balances load without shredding cache locality;
+  // small ranges (folds, bags) get one index per chunk.
+  task->grain = std::max<std::size_t>(1, n / (lanes_ * 4));
+  task->chunk_count = (n + task->grain - 1) / task->grain;
+  task->chunks_left.store(task->chunk_count, std::memory_order_relaxed);
+  task->fn = &fn;
+
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->queue.push_back(task);
+  }
+  impl_->work_cv.notify_all();
+
+  // The calling thread is a lane too.
+  run_chunks(*task);
+
+  std::unique_lock<std::mutex> lk(task->m);
+  task->done_cv.wait(lk, [&] { return task->done; });
+  if (task->first_error) std::rethrow_exception(task->first_error);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool> g_pool;
+std::once_flag g_pool_once;
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::call_once(g_pool_once,
+                 [] { g_pool = std::make_unique<ThreadPool>(env_thread_count()); });
+  return *g_pool;
+}
+
+std::size_t thread_count() { return global_pool().lanes(); }
+
+void set_thread_count(std::size_t lanes) {
+  global_pool();  // ensure the once-flag has fired before swapping
+  g_pool = std::make_unique<ThreadPool>(lanes == 0 ? env_thread_count()
+                                                   : lanes);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  global_pool().parallel_for(begin, end, fn);
+}
+
+}  // namespace smart2::parallel

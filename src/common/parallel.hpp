@@ -1,0 +1,95 @@
+// Deterministic thread-pool parallelism for the hot paths.
+//
+// A fixed-size pool of persistent worker threads with a chunked
+// parallel_for / parallel_map on top. The design rules:
+//
+//  - Determinism first. parallel_for guarantees every index is executed
+//    exactly once; callers write results into pre-sized, index-addressed
+//    slots and any reduction happens serially in index order afterwards.
+//    Combined with per-unit Rng::fork substreams this makes every parallel
+//    algorithm in the repository produce bit-identical results for any
+//    thread count (SMART2_THREADS=1 and =64 agree to the last bit).
+//  - No work stealing, no task futures, no allocation on the worker path
+//    beyond the one shared task record per parallel_for call.
+//  - Nested calls degrade gracefully: a parallel_for issued from inside a
+//    pool worker runs serially in that worker (the pool is fixed-size and
+//    blocking there could deadlock). Outer-level parallelism wins, which is
+//    the right granularity for fold-level / bag-level fan-out.
+//
+// Thread count resolution (global_pool()):
+//    SMART2_THREADS env var if set and >= 1, else hardware concurrency.
+//    SMART2_THREADS=1 bypasses the pool entirely - the exact serial code
+//    path runs on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace smart2::parallel {
+
+/// Fixed-size pool of `lanes - 1` worker threads; the caller of
+/// parallel_for is always the remaining lane.
+class ThreadPool {
+ public:
+  /// `lanes` >= 1. One lane means "serial": no threads are spawned.
+  explicit ThreadPool(std::size_t lanes);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (worker threads + the calling thread).
+  std::size_t lanes() const noexcept { return lanes_; }
+
+  /// Invoke fn(i) for every i in [begin, end), distributing contiguous
+  /// chunks across the lanes. Blocks until every index has run. The first
+  /// exception thrown by fn is rethrown on the calling thread (remaining
+  /// chunks still run to completion). Runs serially when the range is
+  /// empty/singleton, the pool has one lane, or the call is nested inside
+  /// a pool worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// True when the current thread is one of this process's pool workers
+  /// (any pool). Nested parallel_for calls use this to fall back to serial.
+  static bool on_worker_thread() noexcept;
+
+ private:
+  struct Task;
+
+  void worker_loop();
+  static void run_chunks(Task& task);
+
+  std::size_t lanes_;
+  struct Impl;
+  Impl* impl_;  // pimpl keeps <thread>/<mutex> out of this widely-used header
+};
+
+/// The process-wide pool, sized from SMART2_THREADS / hardware concurrency
+/// on first use.
+ThreadPool& global_pool();
+
+/// Lanes of the global pool (after env resolution).
+std::size_t thread_count();
+
+/// Re-size the global pool (tests and tools; not thread-safe against
+/// concurrent parallel_for calls). `lanes` = 0 re-reads SMART2_THREADS /
+/// hardware concurrency.
+void set_thread_count(std::size_t lanes);
+
+/// parallel_for on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Map [0, n) through fn into a pre-sized vector, in parallel. fn must be
+/// callable as fn(i) -> T. Results are slot-addressed, so the output is
+/// identical for every thread count.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace smart2::parallel

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "ml/metrics.hpp"
 
 namespace smart2 {
@@ -73,6 +74,40 @@ void OnlineDetector::reset() noexcept {
   consecutive_high_ = 0;
   windows_ = 0;
   alarmed_ = false;
+}
+
+OnlineDetectorBank::OnlineDetectorBank(const TwoStageHmd& hmd,
+                                       std::size_t streams,
+                                       OnlineDetectorConfig config) {
+  if (streams == 0)
+    throw std::invalid_argument("OnlineDetectorBank: need >= 1 stream");
+  streams_.reserve(streams);
+  for (std::size_t s = 0; s < streams; ++s) streams_.emplace_back(hmd, config);
+}
+
+std::vector<OnlineDetector::WindowVerdict> OnlineDetectorBank::observe_batch(
+    std::span<const std::vector<double>> windows) {
+  if (windows.size() != streams_.size())
+    throw std::invalid_argument(
+        "OnlineDetectorBank: one window per stream required");
+  // Streams own disjoint EWMA/hysteresis state, so the tick fans out
+  // across the pool with each stream writing its own verdict slot.
+  std::vector<OnlineDetector::WindowVerdict> verdicts(streams_.size());
+  parallel::parallel_for(0, streams_.size(), [&](std::size_t s) {
+    verdicts[s] = streams_[s].observe(windows[s]);
+  });
+  return verdicts;
+}
+
+std::size_t OnlineDetectorBank::alarmed_count() const noexcept {
+  std::size_t count = 0;
+  for (const OnlineDetector& s : streams_)
+    if (s.alarmed()) ++count;
+  return count;
+}
+
+void OnlineDetectorBank::reset() noexcept {
+  for (OnlineDetector& s : streams_) s.reset();
 }
 
 double threshold_for_fpr(std::span<const int> labels,

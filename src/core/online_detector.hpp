@@ -63,6 +63,35 @@ class OnlineDetector {
   bool alarmed_ = false;
 };
 
+/// A bank of independent per-process detector streams sharing one trained
+/// pipeline — the production-monitor shape: one stream per container /
+/// process, one Common-feature window per stream per sampling tick, all
+/// scored across the thread pool in a single call.
+class OnlineDetectorBank {
+ public:
+  OnlineDetectorBank(const TwoStageHmd& hmd, std::size_t streams,
+                     OnlineDetectorConfig config = OnlineDetectorConfig{});
+
+  /// Feed one sampling window per stream (`windows.size()` must equal
+  /// stream_count()). Stream i's verdict lands in slot i and equals what a
+  /// lone OnlineDetector fed the same window sequence would produce, for
+  /// any SMART2_THREADS value.
+  std::vector<OnlineDetector::WindowVerdict> observe_batch(
+      std::span<const std::vector<double>> windows);
+
+  std::size_t stream_count() const noexcept { return streams_.size(); }
+  const OnlineDetector& stream(std::size_t i) const { return streams_[i]; }
+
+  /// Streams currently holding a raised alarm.
+  std::size_t alarmed_count() const noexcept;
+
+  /// Forget all per-stream state (e.g. after a container fleet restart).
+  void reset() noexcept;
+
+ private:
+  std::vector<OnlineDetector> streams_;
+};
+
 /// Pick the decision threshold achieving at most `target_fpr` false-positive
 /// rate on a labeled score set (highest-recall threshold within the budget).
 /// Falls back to a threshold above every score if even the strictest cut

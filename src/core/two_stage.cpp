@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "ml/logistic.hpp"
 #include "ml/serialize.hpp"
 
@@ -180,6 +181,17 @@ Detection TwoStageHmd::detect(std::span<const double> features44) const {
   return out;
 }
 
+std::vector<Detection> TwoStageHmd::predict_batch(const Dataset& samples) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  // Rows are independent and detect() is const/stateless, so each row
+  // writes its verdict into its own slot.
+  std::vector<Detection> out(samples.size());
+  parallel::parallel_for(0, samples.size(), [&](std::size_t i) {
+    out[i] = detect(samples.features(i));
+  });
+  return out;
+}
+
 namespace {
 
 void save_indices(std::ostream& out, const std::vector<std::size_t>& v) {
@@ -262,13 +274,12 @@ TwoStageHmd TwoStageHmd::load_file(const std::string& path) {
 TwoStageEval evaluate_two_stage(const TwoStageHmd& hmd, const Dataset& test) {
   TwoStageEval out;
 
-  // 5-way accuracy of the end-to-end labels.
+  // 5-way accuracy of the end-to-end labels (detections fan out across the
+  // pool; the accuracy count reduces serially in row order).
+  const std::vector<Detection> detections = hmd.predict_batch(test);
   std::size_t correct = 0;
-  std::vector<Detection> detections(test.size());
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    detections[i] = hmd.detect(test.features(i));
+  for (std::size_t i = 0; i < test.size(); ++i)
     if (label_of(detections[i].predicted_class) == test.label(i)) ++correct;
-  }
   out.multiclass_accuracy =
       test.empty() ? 0.0
                    : static_cast<double>(correct) /

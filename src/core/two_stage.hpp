@@ -82,6 +82,12 @@ class TwoStageHmd {
   /// Classify one application from its full 44-event feature vector.
   Detection detect(std::span<const double> features44) const;
 
+  /// Batched inference: classify every row of `samples` (full 44-event
+  /// vectors) across the thread pool — the shape a production monitor
+  /// serving many containers needs. Element i equals detect(features(i))
+  /// exactly, for any SMART2_THREADS value.
+  std::vector<Detection> predict_batch(const Dataset& samples) const;
+
   /// Run-time Stage 1: predict the application class from the 4 Common
   /// feature values (in plan().common order).
   AppClass predict_class(std::span<const double> common4) const;

@@ -150,8 +150,12 @@ void Dataset::append(const Dataset& other) {
   if (other.feature_count() != feature_count() ||
       other.class_count() != class_count())
     throw std::invalid_argument("Dataset::append: schema mismatch");
-  for (std::size_t i = 0; i < other.size(); ++i)
-    add(other.features(i), other.label(i));
+  // Bulk copy: one pre-sized insert per block instead of per-row adds (the
+  // k-fold merge path appends k-1 folds back to back).
+  x_.reserve(x_.size() + other.x_.size());
+  labels_.reserve(labels_.size() + other.labels_.size());
+  x_.insert(x_.end(), other.x_.begin(), other.x_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
 }
 
 void Standardizer::fit(const Dataset& train) {

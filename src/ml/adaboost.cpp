@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "ml/serialize.hpp"
 
 namespace smart2 {
@@ -55,13 +56,17 @@ void AdaBoost::fit_weighted(const Dataset& train,
       model->fit_weighted(train, scaled);
     }
 
-    // Weighted training error of this round's model.
+    // Weighted training error of this round's model. The per-instance
+    // predictions fan out across the pool (byte slots, not vector<bool>,
+    // so concurrent writes are safe); the weighted sum reduces serially in
+    // index order so the error is bit-identical for any thread count.
+    std::vector<unsigned char> wrong(n, 0);
+    parallel::parallel_for(0, n, [&](std::size_t i) {
+      wrong[i] = model->predict(train.features(i)) != train.label(i) ? 1 : 0;
+    });
     double err = 0.0;
-    std::vector<bool> wrong(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      wrong[i] = model->predict(train.features(i)) != train.label(i);
+    for (std::size_t i = 0; i < n; ++i)
       if (wrong[i]) err += w[i];
-    }
 
     if (err <= 1e-12) {
       // Perfect member dominates; keep it with a large finite vote and stop.

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "ml/serialize.hpp"
 
 namespace smart2 {
@@ -28,20 +29,29 @@ void Bagging::fit_weighted(const Dataset& train,
   if (weights.size() != train.size())
     throw std::invalid_argument("Bagging: weight count mismatch");
 
-  members_.clear();
-  Rng rng(params_.seed);
+  const auto bags = static_cast<std::size_t>(params_.bags);
   const auto sample_size = static_cast<std::size_t>(std::lround(
       params_.sample_fraction * static_cast<double>(train.size())));
 
-  for (int b = 0; b < params_.bags; ++b) {
+  // Every bag draws from its own Rng::fork substream, assigned serially in
+  // bag order, so the bootstrap samples do not depend on which thread runs
+  // which bag: SMART2_THREADS=1 and =N grow identical ensembles.
+  Rng rng(params_.seed);
+  std::vector<Rng> bag_rng;
+  bag_rng.reserve(bags);
+  for (std::size_t b = 0; b < bags; ++b) bag_rng.push_back(rng.fork());
+
+  members_.clear();
+  members_.resize(bags);
+  parallel::parallel_for(0, bags, [&](std::size_t b) {
     // Bootstrap respecting caller weights: sampling probability is the
     // (normalized) instance weight.
     Dataset bag = train.resample_weighted(
-        weights, std::max<std::size_t>(sample_size, 1), rng);
+        weights, std::max<std::size_t>(sample_size, 1), bag_rng[b]);
     auto model = prototype_->clone_untrained();
     model->fit(bag);
-    members_.push_back(std::move(model));
-  }
+    members_[b] = std::move(model);
+  });
   mark_trained(train);
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace smart2 {
 
 std::vector<Dataset> stratified_folds(const Dataset& d, std::size_t k,
@@ -28,10 +30,15 @@ std::vector<Dataset> stratified_folds(const Dataset& d, std::size_t k,
 
 namespace {
 
-/// Everything except fold `hold_out`, merged.
+/// Everything except fold `hold_out`, merged. Pre-sized once so the k-1
+/// appends never reallocate.
 Dataset merge_except(const std::vector<Dataset>& folds,
                      std::size_t hold_out) {
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < folds.size(); ++f)
+    if (f != hold_out) total += folds[f].size();
   Dataset merged(folds[0].feature_names(), folds[0].class_names());
+  merged.reserve(total);
   for (std::size_t f = 0; f < folds.size(); ++f) {
     if (f == hold_out) continue;
     merged.append(folds[f]);
@@ -48,14 +55,17 @@ CrossValidationResult cross_validate_binary(const Classifier& prototype,
     throw std::invalid_argument("cross_validate_binary: dataset not binary");
   const auto folds = stratified_folds(d, k, rng);
 
+  // Folds are independent: each trains a fresh clone on its own merged
+  // training set and writes its evaluation into its own slot, so the fold
+  // fan-out is bit-identical for any thread count.
   CrossValidationResult out;
-  out.folds.reserve(k);
-  for (std::size_t f = 0; f < k; ++f) {
+  out.folds.resize(k);
+  parallel::parallel_for(0, k, [&](std::size_t f) {
     const Dataset train = merge_except(folds, f);
     auto model = prototype.clone_untrained();
     model->fit(train);
-    out.folds.push_back(evaluate_binary(*model, folds[f]));
-  }
+    out.folds[f] = evaluate_binary(*model, folds[f]);
+  });
 
   out.mean = BinaryEval{};
   out.mean.auc = 0.0;  // BinaryEval defaults auc to 0.5; we accumulate
@@ -87,17 +97,22 @@ CrossValidationResult cross_validate_binary(const Classifier& prototype,
 double cross_validate_accuracy(const Classifier& prototype, const Dataset& d,
                                std::size_t k, Rng& rng) {
   const auto folds = stratified_folds(d, k, rng);
-  std::size_t correct = 0;
-  std::size_t total = 0;
-  for (std::size_t f = 0; f < k; ++f) {
+  // Per-fold counts land in per-fold slots; the reduction below runs
+  // serially in fold order, so the result is thread-count independent.
+  std::vector<std::size_t> fold_correct(k, 0);
+  parallel::parallel_for(0, k, [&](std::size_t f) {
     const Dataset train = merge_except(folds, f);
     auto model = prototype.clone_untrained();
     model->fit(train);
-    for (std::size_t i = 0; i < folds[f].size(); ++i) {
+    for (std::size_t i = 0; i < folds[f].size(); ++i)
       if (model->predict(folds[f].features(i)) == folds[f].label(i))
-        ++correct;
-      ++total;
-    }
+        ++fold_correct[f];
+  });
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < k; ++f) {
+    correct += fold_correct[f];
+    total += folds[f].size();
   }
   return total == 0 ? 0.0
                     : static_cast<double>(correct) /

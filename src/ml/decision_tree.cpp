@@ -9,6 +9,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace smart2 {
 
 namespace {
@@ -146,7 +148,6 @@ std::unique_ptr<DecisionTree::Node> DecisionTree::build(
   // Find the best binary split across all features by gain ratio, requiring
   // positive information gain and both children above the leaf minimum.
   const double parent_entropy = weighted_entropy(node->class_weight);
-  Split best;
 
   // Candidate features: all of them, or a random subspace per split.
   std::vector<std::size_t> candidates(d.feature_count());
@@ -157,14 +158,19 @@ std::unique_ptr<DecisionTree::Node> DecisionTree::build(
     candidates.resize(params_.split_feature_sample);
   }
 
-  std::vector<std::size_t> sorted(rows);
-  std::vector<double> left_weight(k);
-  for (std::size_t f : candidates) {
+  // Each candidate feature is scanned independently (own sort of the node's
+  // rows, own class-weight buffer) and writes its best split into its own
+  // slot; the reduction below runs serially in candidate order. This is the
+  // dominant training cost for J48 / bagging / RandomForest and is what the
+  // thread pool fans out.
+  auto best_for_feature = [&](std::size_t f) {
+    Split best;
+    std::vector<std::size_t> sorted(rows);
     std::stable_sort(sorted.begin(), sorted.end(),
                      [&](std::size_t a, std::size_t b) {
                        return d.features(a)[f] < d.features(b)[f];
                      });
-    std::fill(left_weight.begin(), left_weight.end(), 0.0);
+    std::vector<double> left_weight(k, 0.0);
     double left_total = 0.0;
 
     for (std::size_t p = 0; p + 1 < sorted.size(); ++p) {
@@ -212,6 +218,28 @@ std::unique_ptr<DecisionTree::Node> DecisionTree::build(
         best.info_gain = gain;
       }
     }
+    return best;
+  };
+
+  std::vector<Split> per_feature(candidates.size());
+  // Fan out only when the scan is worth a task record; tiny nodes near the
+  // leaves stay on the calling thread. Either way every feature runs
+  // best_for_feature, so the chosen split is identical.
+  if (rows.size() >= 128 && candidates.size() > 1) {
+    parallel::parallel_for(0, candidates.size(), [&](std::size_t c) {
+      per_feature[c] = best_for_feature(candidates[c]);
+    });
+  } else {
+    for (std::size_t c = 0; c < candidates.size(); ++c)
+      per_feature[c] = best_for_feature(candidates[c]);
+  }
+
+  // Serial reduction in candidate order: strict > keeps the earliest
+  // candidate on ties, matching a sequential scan.
+  Split best;
+  for (const Split& s : per_feature) {
+    if (!s.valid) continue;
+    if (!best.valid || s.gain_ratio > best.gain_ratio) best = s;
   }
 
   if (!best.valid) return node;

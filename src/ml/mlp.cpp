@@ -31,16 +31,18 @@ void Mlp::fit_weighted(const Dataset& train,
 
   Rng rng(params_.seed);
   const double init_scale = 1.0 / std::sqrt(static_cast<double>(d) + 1.0);
-  w1_.assign(hidden_, std::vector<double>(d));
+  w1_ = Matrix(hidden_, d);
   b1_.assign(hidden_, 0.0);
-  for (auto& row : w1_)
-    for (double& w : row) w = rng.uniform(-init_scale, init_scale);
+  for (std::size_t h = 0; h < hidden_; ++h)
+    for (std::size_t f = 0; f < d; ++f)
+      w1_(h, f) = rng.uniform(-init_scale, init_scale);
   const double init2 =
       1.0 / std::sqrt(static_cast<double>(hidden_) + 1.0);
-  w2_.assign(k, std::vector<double>(hidden_));
+  w2_ = Matrix(k, hidden_);
   b2_.assign(k, 0.0);
-  for (auto& row : w2_)
-    for (double& w : row) w = rng.uniform(-init2, init2);
+  for (std::size_t c = 0; c < k; ++c)
+    for (std::size_t h = 0; h < hidden_; ++h)
+      w2_(c, h) = rng.uniform(-init2, init2);
 
   // Normalized sample weights (mean 1) so the learning rate is independent
   // of the weight scale AdaBoost hands us.
@@ -52,85 +54,122 @@ void Mlp::fit_weighted(const Dataset& train,
   for (double& w : norm_w) w /= mean_w;
 
   // Momentum buffers.
-  auto vw1 = std::vector<std::vector<double>>(hidden_,
-                                              std::vector<double>(d, 0.0));
-  auto vb1 = std::vector<double>(hidden_, 0.0);
-  auto vw2 =
-      std::vector<std::vector<double>>(k, std::vector<double>(hidden_, 0.0));
-  auto vb2 = std::vector<double>(k, 0.0);
+  Matrix vw1(hidden_, d);
+  std::vector<double> vb1(hidden_, 0.0);
+  Matrix vw2(k, hidden_);
+  std::vector<double> vb2(k, 0.0);
 
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
 
-  std::vector<double> h_act(hidden_);
-  std::vector<double> o_act(k);
-  std::vector<double> delta_out(k);
-  std::vector<double> delta_hidden(hidden_);
+  const std::size_t max_batch = std::max<std::size_t>(1, params_.batch_size);
+  Matrix xb(max_batch, d);
 
-  auto gw1 = std::vector<std::vector<double>>(hidden_,
-                                              std::vector<double>(d, 0.0));
-  auto gb1 = std::vector<double>(hidden_, 0.0);
-  auto gw2 =
-      std::vector<std::vector<double>>(k, std::vector<double>(hidden_, 0.0));
-  auto gb2 = std::vector<double>(k, 0.0);
-
-  const std::size_t batch = std::max<std::size_t>(1, params_.batch_size);
   for (int epoch = 0; epoch < params_.epochs; ++epoch) {
     rng.shuffle(order);
-    for (std::size_t start = 0; start < n; start += batch) {
-      const std::size_t end = std::min(start + batch, n);
-      for (auto& g : gw1) std::fill(g.begin(), g.end(), 0.0);
-      std::fill(gb1.begin(), gb1.end(), 0.0);
-      for (auto& g : gw2) std::fill(g.begin(), g.end(), 0.0);
-      std::fill(gb2.begin(), gb2.end(), 0.0);
+    for (std::size_t start = 0; start < n; start += max_batch) {
+      const std::size_t end = std::min(start + max_batch, n);
+      const std::size_t b = end - start;
 
-      for (std::size_t p = start; p < end; ++p) {
-        const std::size_t i = order[p];
-        const auto x = std_train.features(i);
-        forward(x, h_act, o_act);
-        const auto y = static_cast<std::size_t>(std_train.label(i));
-        const double wi = norm_w[i];
+      // Gather the mini-batch into a dense row-major block.
+      if (xb.rows() != b) xb = Matrix(b, d);
+      for (std::size_t r = 0; r < b; ++r) {
+        const auto x = std_train.features(order[start + r]);
+        std::copy(x.begin(), x.end(), xb.row_data(r));
+      }
 
+      // Forward for the whole batch: H = sigmoid(X W1^T + b1),
+      // O = softmax(H W2^T + b2). multiply_transposed keeps the weight
+      // matrices in their natural (unit, input) layout.
+      Matrix h_act = xb.multiply_transposed(w1_);
+      for (std::size_t r = 0; r < b; ++r) {
+        double* hrow = h_act.row_data(r);
+        for (std::size_t h = 0; h < hidden_; ++h)
+          hrow[h] = sigmoid(hrow[h] + b1_[h]);
+      }
+      Matrix delta_out = h_act.multiply_transposed(w2_);
+      for (std::size_t r = 0; r < b; ++r) {
+        double* orow = delta_out.row_data(r);
+        double zmax = -1e300;
         for (std::size_t c = 0; c < k; ++c)
-          delta_out[c] = wi * (o_act[c] - (c == y ? 1.0 : 0.0));
-
-        for (std::size_t h = 0; h < hidden_; ++h) {
-          double acc = 0.0;
-          for (std::size_t c = 0; c < k; ++c) acc += delta_out[c] * w2_[c][h];
-          delta_hidden[h] = acc * h_act[h] * (1.0 - h_act[h]);
-        }
-
+          zmax = std::max(zmax, orow[c] + b2_[c]);
+        double sum = 0.0;
         for (std::size_t c = 0; c < k; ++c) {
-          auto& g = gw2[c];
-          const double dc = delta_out[c];
-          for (std::size_t h = 0; h < hidden_; ++h) g[h] += dc * h_act[h];
+          orow[c] = std::exp(orow[c] + b2_[c] - zmax);
+          sum += orow[c];
+        }
+        // Cross-entropy + softmax: the output delta is w * (p - onehot).
+        const auto y =
+            static_cast<std::size_t>(std_train.label(order[start + r]));
+        const double wi = norm_w[order[start + r]];
+        for (std::size_t c = 0; c < k; ++c) {
+          const double p = orow[c] / sum;
+          orow[c] = wi * (p - (c == y ? 1.0 : 0.0));
+        }
+      }
+
+      // Back-propagate: dH = (dO W2) ⊙ H(1-H). Plain multiply — W2 already
+      // has the (class, hidden) layout the chain rule wants here.
+      Matrix delta_hidden = delta_out.multiply(w2_);
+      for (std::size_t r = 0; r < b; ++r) {
+        double* drow = delta_hidden.row_data(r);
+        const double* hrow = h_act.row_data(r);
+        for (std::size_t h = 0; h < hidden_; ++h)
+          drow[h] *= hrow[h] * (1.0 - hrow[h]);
+      }
+
+      // Weight gradients: gW2 = dO^T H, gW1 = dH^T X, accumulated row by
+      // row (each sample rank-1 updates the gradient) — again without
+      // materializing any transpose.
+      Matrix gw2(k, hidden_);
+      std::vector<double> gb2(k, 0.0);
+      for (std::size_t r = 0; r < b; ++r) {
+        const double* dorow = delta_out.row_data(r);
+        const double* hrow = h_act.row_data(r);
+        for (std::size_t c = 0; c < k; ++c) {
+          const double dc = dorow[c];
+          if (dc == 0.0) continue;
+          double* grow = gw2.row_data(c);
+          for (std::size_t h = 0; h < hidden_; ++h) grow[h] += dc * hrow[h];
           gb2[c] += dc;
         }
+      }
+      Matrix gw1(hidden_, d);
+      std::vector<double> gb1(hidden_, 0.0);
+      for (std::size_t r = 0; r < b; ++r) {
+        const double* dhrow = delta_hidden.row_data(r);
+        const double* xrow = xb.row_data(r);
         for (std::size_t h = 0; h < hidden_; ++h) {
-          auto& g = gw1[h];
-          const double dh = delta_hidden[h];
+          const double dh = dhrow[h];
           if (dh == 0.0) continue;
-          for (std::size_t f = 0; f < d; ++f) g[f] += dh * x[f];
+          double* grow = gw1.row_data(h);
+          for (std::size_t f = 0; f < d; ++f) grow[f] += dh * xrow[f];
           gb1[h] += dh;
         }
       }
 
       const double scale =
-          params_.learning_rate / static_cast<double>(end - start);
+          params_.learning_rate / static_cast<double>(b);
       for (std::size_t h = 0; h < hidden_; ++h) {
+        double* vrow = vw1.row_data(h);
+        double* wrow = w1_.row_data(h);
+        const double* grow = gw1.row_data(h);
         for (std::size_t f = 0; f < d; ++f) {
-          vw1[h][f] = params_.momentum * vw1[h][f] -
-                      scale * (gw1[h][f] + params_.l2 * w1_[h][f]);
-          w1_[h][f] += vw1[h][f];
+          vrow[f] = params_.momentum * vrow[f] -
+                    scale * (grow[f] + params_.l2 * wrow[f]);
+          wrow[f] += vrow[f];
         }
         vb1[h] = params_.momentum * vb1[h] - scale * gb1[h];
         b1_[h] += vb1[h];
       }
       for (std::size_t c = 0; c < k; ++c) {
+        double* vrow = vw2.row_data(c);
+        double* wrow = w2_.row_data(c);
+        const double* grow = gw2.row_data(c);
         for (std::size_t h = 0; h < hidden_; ++h) {
-          vw2[c][h] = params_.momentum * vw2[c][h] -
-                      scale * (gw2[c][h] + params_.l2 * w2_[c][h]);
-          w2_[c][h] += vw2[c][h];
+          vrow[h] = params_.momentum * vrow[h] -
+                    scale * (grow[h] + params_.l2 * wrow[h]);
+          wrow[h] += vrow[h];
         }
         vb2[c] = params_.momentum * vb2[c] - scale * gb2[c];
         b2_[c] += vb2[c];
@@ -144,15 +183,15 @@ void Mlp::forward(std::span<const double> xstd, std::vector<double>& hidden_act,
                   std::vector<double>& out_act) const {
   for (std::size_t h = 0; h < hidden_; ++h) {
     double acc = b1_[h];
-    const auto& wh = w1_[h];
+    const double* wh = w1_.row_data(h);
     for (std::size_t f = 0; f < xstd.size(); ++f) acc += wh[f] * xstd[f];
     hidden_act[h] = sigmoid(acc);
   }
-  const std::size_t k = w2_.size();
+  const std::size_t k = w2_.rows();
   double zmax = -1e300;
   for (std::size_t c = 0; c < k; ++c) {
     double acc = b2_[c];
-    const auto& wc = w2_[c];
+    const double* wc = w2_.row_data(c);
     for (std::size_t h = 0; h < hidden_; ++h) acc += wc[h] * hidden_act[h];
     out_act[c] = acc;
     zmax = std::max(zmax, acc);
@@ -179,7 +218,7 @@ std::unique_ptr<Classifier> Mlp::clone_untrained() const {
 
 namespace {
 
-void save_vector(std::ostream& out, const std::vector<double>& v) {
+void save_vector(std::ostream& out, std::span<const double> v) {
   out << v.size();
   for (double x : v) out << ' ' << x;
   out << '\n';
@@ -193,16 +232,29 @@ std::vector<double> load_vector(std::istream& in) {
   return v;
 }
 
+Matrix load_matrix_rows(std::istream& in, std::size_t rows) {
+  Matrix m;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = load_vector(in);
+    if (r == 0) m = Matrix(rows, row.size());
+    if (row.size() != m.cols()) throw std::runtime_error("Mlp: ragged matrix");
+    std::copy(row.begin(), row.end(), m.row_data(r));
+  }
+  return m;
+}
+
 }  // namespace
 
 void Mlp::save_body(std::ostream& out) const {
   require_trained();
-  out << hidden_ << ' ' << w2_.size() << '\n';
+  out << hidden_ << ' ' << w2_.rows() << '\n';
   save_vector(out, scaler_.mean());
   save_vector(out, scaler_.stddev());
-  for (const auto& row : w1_) save_vector(out, row);
+  for (std::size_t h = 0; h < w1_.rows(); ++h)
+    save_vector(out, {w1_.row_data(h), w1_.cols()});
   save_vector(out, b1_);
-  for (const auto& row : w2_) save_vector(out, row);
+  for (std::size_t c = 0; c < w2_.rows(); ++c)
+    save_vector(out, {w2_.row_data(c), w2_.cols()});
   save_vector(out, b2_);
 }
 
@@ -212,11 +264,9 @@ void Mlp::load_body(std::istream& in) {
   const auto mean = load_vector(in);
   const auto stddev = load_vector(in);
   scaler_.restore(mean, stddev);
-  w1_.assign(hidden_, {});
-  for (auto& row : w1_) row = load_vector(in);
+  w1_ = load_matrix_rows(in, hidden_);
   b1_ = load_vector(in);
-  w2_.assign(outputs, {});
-  for (auto& row : w2_) row = load_vector(in);
+  w2_ = load_matrix_rows(in, outputs);
   b2_ = load_vector(in);
   if (!in) throw std::runtime_error("Mlp: truncated body");
 }

@@ -4,8 +4,14 @@
 // SGD with momentum (WEKA MultilayerPerceptron-style defaults: learning rate
 // 0.3, momentum 0.2). Inputs are standardized internally; weights are
 // initialized from a seeded generator so training is reproducible.
+//
+// Training runs the whole mini-batch through dense Matrix products
+// (multiply_transposed streams the weight matrices row-contiguously, so no
+// transposed copy is ever materialized); inference keeps a scalar per-sample
+// forward path.
 #pragma once
 
+#include "common/matrix.hpp"
 #include "ml/classifier.hpp"
 
 namespace smart2 {
@@ -42,10 +48,10 @@ class Mlp final : public Classifier {
   Params params_;
   Standardizer scaler_;
   std::size_t hidden_ = 0;
-  // w1_[h][f] hidden weights, b1_[h]; w2_[c][h] output weights, b2_[c].
-  std::vector<std::vector<double>> w1_;
+  // w1_(h, f) hidden weights, b1_[h]; w2_(c, h) output weights, b2_[c].
+  Matrix w1_;
   std::vector<double> b1_;
-  std::vector<std::vector<double>> w2_;
+  Matrix w2_;
   std::vector<double> b2_;
 };
 

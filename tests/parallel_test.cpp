@@ -1,0 +1,310 @@
+// Tests for src/common/parallel: thread-pool mechanics, and the bit-exact
+// determinism contract — every parallel hot path (cross-validation, tree
+// split search, ensembles, batched two-stage inference) must produce the
+// same bytes for SMART2_THREADS=1 and SMART2_THREADS=8.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/online_detector.hpp"
+#include "core/two_stage.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/serialize.hpp"
+
+namespace smart2 {
+namespace {
+
+/// Restores the env-derived lane count when a test overrides it.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { parallel::set_thread_count(0); }
+};
+
+/// Two-class Gaussian blobs, linearly separable up to `noise`.
+Dataset make_blobs(std::size_t n_per_class, double separation, double noise,
+                   std::uint64_t seed, std::size_t dims = 3) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < dims; ++f)
+    names.push_back("f" + std::to_string(f));
+  Dataset d(std::move(names), {"neg", "pos"});
+  Rng rng(seed);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 2; ++cls) {
+      const double center = cls == 0 ? 0.0 : separation;
+      for (std::size_t f = 0; f < dims; ++f)
+        x[f] = rng.gaussian(f == 0 ? center : 0.0, f == 0 ? noise : 1.0);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+void expect_eval_eq(const BinaryEval& a, const BinaryEval& b) {
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.precision, b.precision);
+  EXPECT_EQ(a.recall, b.recall);
+  EXPECT_EQ(a.f_measure, b.f_measure);
+  EXPECT_EQ(a.auc, b.auc);
+  EXPECT_EQ(a.performance, b.performance);
+}
+
+// ----------------------------------------------------- pool mechanics ---
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(4);
+  std::atomic<int> calls{0};
+  parallel::parallel_for(0, 0, [&](std::size_t) { ++calls; });
+  parallel::parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel::parallel_for(0, kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, HonorsNonZeroBegin) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(4);
+  std::atomic<std::size_t> sum{0};
+  parallel::parallel_for(100, 200, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(ThreadPoolTest, PropagatesException) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(4);
+  EXPECT_THROW(parallel::parallel_for(0, 1000,
+                                      [&](std::size_t i) {
+                                        if (i == 637)
+                                          throw std::runtime_error("boom");
+                                      }),
+               std::runtime_error);
+  // The pool must stay usable after an exceptional task.
+  std::atomic<int> calls{0};
+  parallel::parallel_for(0, 64, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedCallsComplete) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(4);
+  std::atomic<int> calls{0};
+  parallel::parallel_for(0, 8, [&](std::size_t) {
+    parallel::parallel_for(0, 16, [&](std::size_t) { ++calls; });
+  });
+  EXPECT_EQ(calls.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, ParallelMapKeepsIndexOrder) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(4);
+  const auto squares = parallel::parallel_map<std::size_t>(
+      512, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 512u);
+  for (std::size_t i = 0; i < squares.size(); ++i)
+    ASSERT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPoolTest, SetThreadCountControlsLanes) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(1);
+  EXPECT_EQ(parallel::thread_count(), 1u);
+  parallel::set_thread_count(8);
+  EXPECT_EQ(parallel::thread_count(), 8u);
+}
+
+TEST(ThreadPoolTest, SerialLaneStillRunsEverything) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(1);
+  std::size_t calls = 0;  // no atomics needed: single lane
+  parallel::parallel_for(0, 1000, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1000u);
+}
+
+// ------------------------------------------- determinism across lanes ---
+
+TEST(ParallelDeterminismTest, CrossValidationIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const Dataset d = make_blobs(120, 2.0, 0.8, 0xC401);
+
+  parallel::set_thread_count(1);
+  Rng rng_serial(7);
+  DecisionTree proto_serial;
+  const auto serial = cross_validate_binary(proto_serial, d, 5, rng_serial);
+
+  parallel::set_thread_count(8);
+  Rng rng_pool(7);
+  DecisionTree proto_pool;
+  const auto pooled = cross_validate_binary(proto_pool, d, 5, rng_pool);
+
+  ASSERT_EQ(serial.folds.size(), pooled.folds.size());
+  for (std::size_t f = 0; f < serial.folds.size(); ++f)
+    expect_eval_eq(serial.folds[f], pooled.folds[f]);
+  expect_eval_eq(serial.mean, pooled.mean);
+  EXPECT_EQ(serial.f_stddev, pooled.f_stddev);
+}
+
+TEST(ParallelDeterminismTest, TreeStructureIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  // Enough rows to cross the parallel split-search threshold.
+  const Dataset d = make_blobs(300, 1.5, 1.0, 0x7EE, 6);
+
+  parallel::set_thread_count(1);
+  DecisionTree serial;
+  serial.fit(d);
+
+  parallel::set_thread_count(8);
+  DecisionTree pooled;
+  pooled.fit(d);
+
+  EXPECT_EQ(serial.node_count(), pooled.node_count());
+  EXPECT_EQ(serial.depth(), pooled.depth());
+  EXPECT_EQ(serialize_classifier(serial), serialize_classifier(pooled));
+}
+
+TEST(ParallelDeterminismTest, EnsemblesAreThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const Dataset d = make_blobs(200, 1.2, 1.0, 0xB00);
+
+  parallel::set_thread_count(1);
+  AdaBoost ada_serial(std::make_unique<DecisionTree>());
+  Bagging bag_serial(std::make_unique<DecisionTree>());
+  ada_serial.fit(d);
+  bag_serial.fit(d);
+
+  parallel::set_thread_count(8);
+  AdaBoost ada_pooled(std::make_unique<DecisionTree>());
+  Bagging bag_pooled(std::make_unique<DecisionTree>());
+  ada_pooled.fit(d);
+  bag_pooled.fit(d);
+
+  EXPECT_EQ(serialize_classifier(ada_serial), serialize_classifier(ada_pooled));
+  EXPECT_EQ(serialize_classifier(bag_serial), serialize_classifier(bag_pooled));
+}
+
+// -------------------------------------------- two-stage batched paths ---
+
+CollectorConfig fast_collector() {
+  CollectorConfig cfg;
+  cfg.cycles_per_sample = 20'000;
+  cfg.samples_per_run = 2;
+  cfg.warmup_cycles = 20'000;
+  return cfg;
+}
+
+/// Shared small profiled dataset (built once; profiling dominates runtime).
+const Dataset& small_dataset() {
+  static const Dataset d = [] {
+    CorpusConfig corpus;
+    corpus.scale = 0.04;  // ~145 apps
+    return cached_hpc_dataset(corpus, fast_collector(), /*cache_dir=*/"");
+  }();
+  return d;
+}
+
+const TwoStageHmd& trained_hmd() {
+  static const TwoStageHmd hmd = [] {
+    Rng rng(101);
+    auto [train, test] = small_dataset().stratified_split(0.6, rng);
+    TwoStageConfig cfg;
+    cfg.stage2_model = "J48";  // fixed model keeps the test fast
+    TwoStageHmd h(cfg);
+    h.train(train);
+    return h;
+  }();
+  return hmd;
+}
+
+void expect_detection_eq(const Detection& a, const Detection& b) {
+  EXPECT_EQ(a.is_malware, b.is_malware);
+  EXPECT_EQ(a.predicted_class, b.predicted_class);
+  EXPECT_EQ(a.stage1_confidence, b.stage1_confidence);
+  EXPECT_EQ(a.stage2_score, b.stage2_score);
+}
+
+TEST(PredictBatchTest, MatchesSerialDetectForAnyThreadCount) {
+  ThreadCountGuard guard;
+  const TwoStageHmd& hmd = trained_hmd();
+  const Dataset& d = small_dataset();
+
+  parallel::set_thread_count(1);
+  const auto serial = hmd.predict_batch(d);
+  parallel::set_thread_count(8);
+  const auto pooled = hmd.predict_batch(d);
+
+  ASSERT_EQ(serial.size(), d.size());
+  ASSERT_EQ(pooled.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const Detection one = hmd.detect(d.features(i));
+    expect_detection_eq(serial[i], one);
+    expect_detection_eq(pooled[i], one);
+  }
+}
+
+TEST(PredictBatchTest, RejectsUntrainedPipeline) {
+  TwoStageHmd hmd;
+  EXPECT_THROW(hmd.predict_batch(small_dataset()), std::logic_error);
+}
+
+TEST(OnlineDetectorBankTest, StreamsMatchLoneDetectors) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(8);
+  const TwoStageHmd& hmd = trained_hmd();
+  const Dataset& d = small_dataset();
+  const auto& common = hmd.plan().common;
+
+  constexpr std::size_t kStreams = 3;
+  OnlineDetectorBank bank(hmd, kStreams);
+  std::vector<OnlineDetector> lone;
+  lone.reserve(kStreams);
+  for (std::size_t s = 0; s < kStreams; ++s) lone.emplace_back(hmd);
+
+  for (std::size_t tick = 0; tick < 8; ++tick) {
+    std::vector<std::vector<double>> windows(kStreams);
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      const auto row = d.features((tick * kStreams + s) % d.size());
+      for (std::size_t f : common) windows[s].push_back(row[f]);
+    }
+    const auto verdicts = bank.observe_batch(windows);
+    ASSERT_EQ(verdicts.size(), kStreams);
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      const auto expected = lone[s].observe(windows[s]);
+      EXPECT_EQ(verdicts[s].window_score, expected.window_score);
+      EXPECT_EQ(verdicts[s].smoothed_score, expected.smoothed_score);
+      EXPECT_EQ(verdicts[s].alarmed, expected.alarmed);
+      EXPECT_EQ(verdicts[s].alarm_edge, expected.alarm_edge);
+      EXPECT_EQ(verdicts[s].suspected_class, expected.suspected_class);
+    }
+  }
+  EXPECT_EQ(bank.stream_count(), kStreams);
+
+  bank.reset();
+  EXPECT_EQ(bank.alarmed_count(), 0u);
+  for (std::size_t s = 0; s < kStreams; ++s)
+    EXPECT_EQ(bank.stream(s).windows_observed(), 0u);
+}
+
+TEST(OnlineDetectorBankTest, RejectsMismatchedBatch) {
+  OnlineDetectorBank bank(trained_hmd(), 2);
+  std::vector<std::vector<double>> one_window(1);
+  EXPECT_THROW(bank.observe_batch(one_window), std::invalid_argument);
+  EXPECT_THROW(OnlineDetectorBank(trained_hmd(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smart2
