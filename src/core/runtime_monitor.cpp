@@ -1,7 +1,7 @@
 #include "core/runtime_monitor.hpp"
 
+#include <map>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace smart2 {
 
@@ -54,8 +54,10 @@ MonitorResult RuntimeMonitor::scan(const AppSpec& app) const {
   // Stage 2 feature vector. Common4 mode reuses the first run's counters;
   // Custom8 mode re-programs the registers with the class's extra events and
   // measures again (the second "run" of the paper's protocol).
+  // Ordered map: feature indices enumerate in sorted order on every
+  // platform, so monitor output never depends on hash-bucket layout.
   const auto& wanted = hmd_.stage2_feature_indices(cls);
-  std::unordered_map<std::size_t, double> known;
+  std::map<std::size_t, double> known;
   for (std::size_t i = 0; i < hmd_.plan().common.size(); ++i)
     known[hmd_.plan().common[i]] = out.common_values[i];
 

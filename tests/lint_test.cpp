@@ -1,0 +1,304 @@
+// smart2_lint rule-engine tests: inline good/bad fixture snippets run
+// through lint_text(), asserting rule IDs, locations, and NOLINT
+// suppression. Fixtures live in raw strings, which doubles as a lexer
+// regression test: when the linter self-scans this file, none of the
+// deliberately bad code below may produce a finding, because all of it is
+// string-literal content.
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "smart2_lint/diagnostics.hpp"
+#include "smart2_lint/rules.hpp"
+
+namespace smart2::lint {
+namespace {
+
+std::vector<Finding> active(std::string_view path, std::string_view src) {
+  std::vector<Finding> out;
+  for (Finding& f : lint_text(path, src))
+    if (!f.suppressed) out.push_back(std::move(f));
+  return out;
+}
+
+std::size_t count_rule(const std::vector<Finding>& fs, std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(LintBanRand, FlagsStdRandAndSrand) {
+  const auto fs = active("a.cpp", R"cpp(int f() {
+  srand(42);
+  return std::rand();
+}
+)cpp");
+  ASSERT_EQ(count_rule(fs, "smart2-ban-rand"), 2u);
+  EXPECT_EQ(fs[0].line, 2u);
+  EXPECT_EQ(fs[0].col, 3u);
+  EXPECT_EQ(fs[1].line, 3u);
+}
+
+TEST(LintBanRand, IgnoresVariablesAndMembersNamedRand) {
+  const auto fs = active("a.cpp", R"cpp(struct G { int rand() { return 4; } };
+int f(G& g) {
+  int rand = g.rand();
+  return rand;
+}
+)cpp");
+  // g.rand() is a member call; `int rand` is a variable; the struct's own
+  // declaration is neither called nor std-qualified at its site... except
+  // `int rand()` inside the struct *is* an identifier followed by '(' --
+  // a known, documented over-approximation handled via NOLINT in real
+  // code. Assert only that the member call and variable are clean.
+  for (const Finding& f : fs) EXPECT_NE(f.line, 3u) << render_text(f);
+}
+
+TEST(LintSeedEntropy, FlagsRandomDeviceAndWallClock) {
+  const auto fs = active("a.cpp", R"cpp(#include <random>
+unsigned f() {
+  std::random_device rd;
+  unsigned long t = static_cast<unsigned long>(time(nullptr));
+  unsigned long u = static_cast<unsigned long>(time(0));
+  return rd() + static_cast<unsigned>(t + u);
+}
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-seed-entropy"), 3u);
+}
+
+TEST(LintSeedEntropy, IgnoresMemberNamedTime) {
+  const auto fs = active("a.cpp", R"cpp(struct Clock { long time(void* p); };
+long f(Clock& c) { return c.time(nullptr); }
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-seed-entropy"), 0u);
+}
+
+TEST(LintRawEngine, FlagsMt19937OutsideRngImpl) {
+  const std::string_view src = R"cpp(#include <random>
+std::mt19937 gen(42);
+)cpp";
+  const auto outside = active("src/ml/foo.cpp", src);
+  ASSERT_EQ(count_rule(outside, "smart2-raw-mt19937"), 1u);
+  EXPECT_EQ(outside[0].line, 2u);
+  // The implementation files of the audited facility are exempt.
+  const auto inside = active("src/common/rng.cpp", src);
+  EXPECT_EQ(count_rule(inside, "smart2-raw-mt19937"), 0u);
+}
+
+TEST(LintUnorderedIteration, FlagsRangeForOverUnordered) {
+  const auto fs = active("a.cpp", R"cpp(#include <unordered_map>
+#include <map>
+double f() {
+  std::unordered_map<int, double> u;
+  std::map<int, double> o;
+  double s = 0;
+  for (const auto& kv : u) s += kv.second;
+  for (const auto& kv : o) s += kv.second;
+  for (std::size_t i = 0; i < u.size(); ++i) s += 1;
+  return s;
+}
+)cpp");
+  ASSERT_EQ(count_rule(fs, "smart2-unordered-iteration"), 1u);
+  EXPECT_EQ(fs[0].line, 7u);
+}
+
+// ------------------------------------------------------------ parallel
+
+TEST(LintRawThread, FlagsThreadAndAsyncOutsidePool) {
+  const std::string_view src = R"cpp(#include <thread>
+#include <future>
+void f() {
+  std::thread t([] {});
+  auto r = std::async([] { return 1; });
+  t.join();
+  (void)r;
+}
+)cpp";
+  const auto outside = active("src/core/foo.cpp", src);
+  EXPECT_EQ(count_rule(outside, "smart2-raw-thread"), 2u);
+  const auto inside = active("src/common/parallel.cpp", src);
+  EXPECT_EQ(count_rule(inside, "smart2-raw-thread"), 0u);
+}
+
+TEST(LintRawThread, AllowsHardwareConcurrencyQuery) {
+  const auto fs = active("src/core/foo.cpp", R"cpp(#include <thread>
+unsigned f() { return std::thread::hardware_concurrency(); }
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-raw-thread"), 0u);
+}
+
+TEST(LintParallelMutation, FlagsGrowthOfByRefCapture) {
+  const auto fs = active("a.cpp", R"cpp(void f(std::vector<int>& out) {
+  smart2::parallel::parallel_for(0, 8, [&](std::size_t i) {
+    out.push_back(static_cast<int>(i));
+  });
+}
+)cpp");
+  ASSERT_EQ(count_rule(fs, "smart2-parallel-mutation"), 1u);
+  EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(LintParallelMutation, AllowsIndexAddressedWritesAndLocals) {
+  const auto fs = active("a.cpp", R"cpp(void f(std::vector<int>& out,
+       std::vector<std::vector<int>>& rows) {
+  smart2::parallel::parallel_for(0, 8, [&](std::size_t i) {
+    out[i] = static_cast<int>(i);
+    std::vector<int> scratch;
+    scratch.push_back(1);
+    rows[i].push_back(2);
+  });
+}
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-parallel-mutation"), 0u);
+}
+
+TEST(LintParallelMutation, IgnoresValueCaptures) {
+  const auto fs = active("a.cpp", R"cpp(void f(std::vector<int> out) {
+  smart2::parallel::parallel_for(0, 8, [out](std::size_t i) mutable {
+    out.push_back(static_cast<int>(i));
+  });
+}
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-parallel-mutation"), 0u);
+}
+
+TEST(LintSharedRng, FlagsSharedRngInParallelBody) {
+  const auto fs = active("a.cpp", R"cpp(void f(Rng& rng, std::vector<double>& v) {
+  smart2::parallel::parallel_for(0, v.size(), [&](std::size_t i) {
+    v[i] = rng.uniform();
+  });
+}
+)cpp");
+  ASSERT_EQ(count_rule(fs, "smart2-shared-rng"), 1u);
+  EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(LintSharedRng, AllowsPreForkedSubstreams) {
+  const auto fs = active("a.cpp", R"cpp(void f(Rng& rng, std::vector<double>& v) {
+  std::vector<Rng> sub;
+  for (std::size_t i = 0; i < v.size(); ++i) sub.push_back(rng.fork());
+  smart2::parallel::parallel_for(0, v.size(), [&](std::size_t i) {
+    v[i] = sub[i].uniform();
+  });
+}
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-shared-rng"), 0u);
+}
+
+// ------------------------------------------------------------ hygiene
+
+TEST(LintHeaderGuard, FlagsUnguardedHeaderOnly) {
+  const std::string_view unguarded = R"cpp(int answer();
+)cpp";
+  const auto hpp = active("src/x.hpp", unguarded);
+  ASSERT_EQ(count_rule(hpp, "smart2-header-guard"), 1u);
+  EXPECT_EQ(hpp[0].line, 1u);
+  EXPECT_EQ(hpp[0].col, 1u);
+  EXPECT_EQ(count_rule(active("src/x.cpp", unguarded),
+                       "smart2-header-guard"),
+            0u);
+  EXPECT_EQ(count_rule(active("src/x.hpp", "#pragma once\nint answer();\n"),
+                       "smart2-header-guard"),
+            0u);
+  EXPECT_EQ(count_rule(active("src/x.hpp",
+                              "#ifndef X_HPP\n#define X_HPP\n#endif\n"),
+                       "smart2-header-guard"),
+            0u);
+}
+
+TEST(LintUsingNamespace, FlagsHeadersOnly) {
+  const std::string_view src = "#pragma once\nusing namespace std;\n";
+  const auto hpp = active("src/x.hpp", src);
+  ASSERT_EQ(count_rule(hpp, "smart2-using-namespace-header"), 1u);
+  EXPECT_EQ(hpp[0].line, 2u);
+  EXPECT_EQ(count_rule(active("src/x.cpp", src),
+                       "smart2-using-namespace-header"),
+            0u);
+}
+
+// ------------------------------------------------------------ suppression
+
+TEST(LintNolint, SameLineSuppressesNamedRule) {
+  const auto all = lint_text("a.cpp",
+                             "int f() { return std::rand(); }  // "
+                             "NOLINT(smart2-ban-rand)\n");
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0].suppressed);
+}
+
+TEST(LintNolint, BareNolintSuppressesEverything) {
+  const auto fs = active(
+      "a.cpp", "int f() { srand(7); return std::rand(); }  // NOLINT\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintNolint, WrongRuleDoesNotSuppress) {
+  const auto fs = active("a.cpp",
+                         "int f() { return std::rand(); }  // "
+                         "NOLINT(smart2-raw-thread)\n");
+  EXPECT_EQ(count_rule(fs, "smart2-ban-rand"), 1u);
+}
+
+TEST(LintNolint, NextLineSuppressesTheLineBelow) {
+  const auto fs = active("a.cpp",
+                         "// NOLINTNEXTLINE(smart2-ban-rand)\n"
+                         "int f() { return std::rand(); }\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ------------------------------------------------------------ lexer
+
+TEST(LintLexer, LiteralsAndCommentsAreNotCode) {
+  const auto fs = active("a.cpp", R"cpp(// std::rand() in a comment
+/* std::mt19937 in a block comment */
+const char* s = "std::rand() in a string";
+const char* r = "raw: std::random_device inside quotes";
+char c = '"';
+const char* after = "fine";
+)cpp");
+  EXPECT_TRUE(fs.empty()) << render_text(fs[0]);
+}
+
+TEST(LintLexer, RawStringsSwallowBadCode) {
+  // The fixture embeds an entire bad snippet in a raw string, exactly like
+  // this test file does; none of it may surface as findings.
+  const auto fs = active("a.cpp",
+                         "const char* f = R\"(int g(){return std::rand();} "
+                         "std::mt19937 m(1);)\";\n");
+  EXPECT_TRUE(fs.empty()) << render_text(fs[0]);
+}
+
+// ------------------------------------------------------------ reporting
+
+TEST(LintReport, JsonCarriesFindingsAndCounts) {
+  LintSummary summary;
+  summary.files_scanned = 3;
+  summary.findings = lint_text("a.cpp", "int f() { return std::rand(); }\n");
+  ASSERT_EQ(summary.findings.size(), 1u);
+  const std::string json = to_json(summary);
+  EXPECT_NE(json.find("\"files_scanned\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"unsuppressed_findings\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"smart2-ban-rand\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": false"), std::string::npos);
+}
+
+TEST(LintReport, CatalogCoversEveryEmittedRule) {
+  // Every rule id the engine can emit must be documented in the catalog
+  // (seeded with one violation per category).
+  const char* bad = R"cpp(#include <random>
+std::mt19937 g(std::random_device{}());
+int f() { return std::rand(); }
+)cpp";
+  for (const Finding& f : lint_text("src/ml/x.cpp", bad))
+    EXPECT_TRUE(is_known_rule(f.rule)) << f.rule;
+  EXPECT_EQ(rule_catalog().size(), 9u);
+}
+
+}  // namespace
+}  // namespace smart2::lint

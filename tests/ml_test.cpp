@@ -249,8 +249,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ClassifierFactory{"MLP", &make_mlp},
                       ClassifierFactory{"OneR", &make_oner},
                       ClassifierFactory{"MLR", &make_mlr}),
-    [](const ::testing::TestParamInfo<ClassifierFactory>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<ClassifierFactory>& param_info) {
+      return param_info.param.name;
     });
 
 // --------------------------------------------------- specific learners ---
@@ -606,8 +606,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ClassifierFactory{"OneR", &make_oner},
                       ClassifierFactory{"MLR", &make_mlr},
                       ClassifierFactory{"MLP", &make_mlp}),
-    [](const ::testing::TestParamInfo<ClassifierFactory>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<ClassifierFactory>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

@@ -217,7 +217,7 @@ TEST(RandomForestTest, BeatsASingleUnprunedTree) {
     std::size_t correct = 0;
     for (std::size_t i = 0; i < test.size(); ++i)
       if (c.predict(test.features(i)) == test.label(i)) ++correct;
-    return static_cast<double>(correct) / test.size();
+    return static_cast<double>(correct) / static_cast<double>(test.size());
   };
   EXPECT_GE(acc(*forest) + 0.02, acc(single));
   EXPECT_GT(acc(*forest), 0.7);

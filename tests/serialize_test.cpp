@@ -110,8 +110,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Factory{"MLR", &f_mlr}, Factory{"NaiveBayes", &f_nb},
                       Factory{"AdaBoostJ48", &f_boost},
                       Factory{"BaggingOneR", &f_bag}),
-    [](const ::testing::TestParamInfo<Factory>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<Factory>& param_info) {
+      return param_info.param.label;
     });
 
 TEST(SerializeTest, UntrainedModelThrows) {
@@ -179,7 +179,7 @@ TEST(NaiveBayesTest, LearnsBlobsAndExposesPriors) {
   std::size_t correct = 0;
   for (std::size_t i = 0; i < test.size(); ++i)
     if (nb.predict(test.features(i)) == test.label(i)) ++correct;
-  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()), 0.9);
   ASSERT_EQ(nb.priors().size(), 2u);
   EXPECT_NEAR(nb.priors()[0], 0.5, 0.05);
 }
@@ -248,7 +248,7 @@ TEST(BaggingTest, ImprovesOverSingleUnstableBase) {
     std::size_t correct = 0;
     for (std::size_t i = 0; i < test.size(); ++i)
       if (c.predict(test.features(i)) == test.label(i)) ++correct;
-    return static_cast<double>(correct) / test.size();
+    return static_cast<double>(correct) / static_cast<double>(test.size());
   };
   EXPECT_GE(acc(bagged) + 0.02, acc(single));
   EXPECT_EQ(bagged.bag_count(), 15u);

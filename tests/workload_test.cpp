@@ -138,8 +138,8 @@ INSTANTIATE_TEST_SUITE_P(AllClasses, AppModelTest,
                                            AppClass::kRootkit,
                                            AppClass::kVirus,
                                            AppClass::kTrojan),
-                         [](const ::testing::TestParamInfo<AppClass>& info) {
-                           return std::string(to_string(info.param));
+                         [](const ::testing::TestParamInfo<AppClass>& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 TEST(AppModelTest, MalwareHasCamouflagePhase) {

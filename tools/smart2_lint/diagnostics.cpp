@@ -1,0 +1,148 @@
+#include "smart2_lint/diagnostics.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace smart2::lint {
+
+const std::vector<RuleInfo>& rule_catalog() {
+  // Determinism, then parallel-safety, then hygiene. IDs are the NOLINT
+  // spelling: // NOLINT(smart2-<rule>).
+  static const std::vector<RuleInfo> kCatalog = {
+      {"smart2-ban-rand",
+       "std::rand/srand: implementation-defined stream, hidden global state",
+       "draw numbers from a seeded smart2::Rng instead"},
+      {"smart2-seed-entropy",
+       "entropy-based seeding (std::random_device, time(nullptr)) makes runs "
+       "unrepeatable",
+       "seed smart2::Rng from an explicit constant or a CLI/env parameter"},
+      {"smart2-raw-mt19937",
+       "raw <random> engine constructed outside src/common/rng.*; stream and "
+       "distributions are not bit-stable across standard libraries",
+       "use smart2::Rng (xoshiro256**) and its distribution helpers"},
+      {"smart2-unordered-iteration",
+       "range-for over an unordered container: iteration order is "
+       "implementation-defined and can leak into output",
+       "iterate a sorted copy of the keys, or use std::map/std::set when "
+       "order reaches any output or accumulation"},
+      {"smart2-raw-thread",
+       "raw std::thread/std::async outside src/common/parallel.*; ad-hoc "
+       "threads bypass the deterministic fixed-lane pool",
+       "use smart2::parallel::parallel_for / parallel_map on the global pool"},
+      {"smart2-parallel-mutation",
+       "growth mutation (push_back/insert/emplace) of a by-reference capture "
+       "inside a parallel body: racy, and element order depends on thread "
+       "interleaving",
+       "pre-size the container and write index-addressed slots (out[i] = "
+       "...); reduce serially after the loop"},
+      {"smart2-shared-rng",
+       "shared Rng captured by reference in a parallel body: draws race and "
+       "their order depends on thread interleaving",
+       "fork one substream per work unit before the loop (e.g. "
+       "std::vector<Rng> sub = rng-per-unit via Rng::fork()) and index it by "
+       "the unit id"},
+      {"smart2-header-guard",
+       "header without #pragma once or an #ifndef include guard",
+       "add #pragma once as the first non-comment line"},
+      {"smart2-using-namespace-header",
+       "using namespace in a header leaks the namespace into every includer",
+       "qualify names, or move the using-directive into a .cpp file"},
+  };
+  return kCatalog;
+}
+
+bool is_known_rule(std::string_view id) {
+  for (const RuleInfo& r : rule_catalog())
+    if (r.id == id) return true;
+  return false;
+}
+
+std::string render_text(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ':' << f.line << ':' << f.col << ": [" << f.rule << "] "
+     << f.message;
+  return os.str();
+}
+
+std::size_t LintSummary::unsuppressed_count() const {
+  std::size_t n = 0;
+  for (const Finding& f : findings)
+    if (!f.suppressed) ++n;
+  return n;
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_json(const LintSummary& summary) {
+  std::string out;
+  out += "{\n";
+  out += "  \"tool\": \"smart2_lint\",\n";
+  out += "  \"files_scanned\": " + std::to_string(summary.files_scanned) + ",\n";
+  out += "  \"total_findings\": " + std::to_string(summary.findings.size()) +
+         ",\n";
+  out += "  \"unsuppressed_findings\": " +
+         std::to_string(summary.unsuppressed_count()) + ",\n";
+
+  // Per-rule counts of unsuppressed findings, sorted by rule id.
+  std::map<std::string, std::size_t> counts;
+  for (const Finding& f : summary.findings)
+    if (!f.suppressed) ++counts[f.rule];
+  out += "  \"counts\": {";
+  bool first = true;
+  for (const auto& [rule, n] : counts) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, rule);
+    out += ": " + std::to_string(n);
+  }
+  out += "},\n";
+
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < summary.findings.size(); ++i) {
+    const Finding& f = summary.findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": ";
+    append_json_string(out, f.file);
+    out += ", \"line\": " + std::to_string(f.line);
+    out += ", \"col\": " + std::to_string(f.col);
+    out += ", \"rule\": ";
+    append_json_string(out, f.rule);
+    out += ", \"message\": ";
+    append_json_string(out, f.message);
+    out += ", \"fixit\": ";
+    append_json_string(out, f.fixit);
+    out += ", \"suppressed\": ";
+    out += f.suppressed ? "true" : "false";
+    out += "}";
+  }
+  out += summary.findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace smart2::lint

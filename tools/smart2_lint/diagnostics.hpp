@@ -1,0 +1,53 @@
+// Findings, the rule catalog, and report rendering for smart2_lint.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smart2::lint {
+
+/// One rule violation at a source location. `suppressed` is true when the
+/// line carries a matching NOLINT marker; suppressed findings are kept in
+/// the JSON report (so suppressions stay auditable) but do not affect the
+/// exit code.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::string rule;     // e.g. "smart2-ban-rand"
+  std::string message;  // what is wrong at this site
+  std::string fixit;    // how to repair it
+  bool suppressed = false;
+};
+
+/// Static description of a rule, for --list-rules and the docs.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+  std::string_view fixit;
+};
+
+/// The full rule catalog, in stable (documentation) order.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True if `id` names a known rule.
+bool is_known_rule(std::string_view id);
+
+/// Render one finding as "file:line:col: [rule] message".
+std::string render_text(const Finding& f);
+
+/// Aggregate result of a lint run.
+struct LintSummary {
+  std::size_t files_scanned = 0;
+  std::vector<Finding> findings;  // suppressed and unsuppressed, file order
+
+  std::size_t unsuppressed_count() const;
+};
+
+/// Serialize a summary as a JSON document (stable key order, findings in
+/// input order, per-rule counts sorted by rule id).
+std::string to_json(const LintSummary& summary);
+
+}  // namespace smart2::lint

@@ -1,0 +1,65 @@
+#include "smart2_lint/driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "smart2_lint/rules.hpp"
+
+namespace smart2::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".hxx";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("smart2_lint: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::vector<std::string> discover_files(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    const fs::path root(p);
+    if (fs::is_regular_file(root)) {
+      files.push_back(root.generic_string());
+      continue;
+    }
+    if (!fs::is_directory(root))
+      throw std::runtime_error("smart2_lint: no such file or directory: " + p);
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      if (!lintable_extension(entry.path())) continue;
+      files.push_back(entry.path().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+LintSummary lint_paths(const std::vector<std::string>& paths) {
+  LintSummary summary;
+  for (const std::string& file : discover_files(paths)) {
+    const std::string content = read_file(file);
+    ++summary.files_scanned;
+    for (Finding& f : lint_text(file, content))
+      summary.findings.push_back(std::move(f));
+  }
+  return summary;
+}
+
+}  // namespace smart2::lint

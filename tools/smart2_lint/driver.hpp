@@ -1,0 +1,19 @@
+// File discovery and whole-tree linting for smart2_lint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smart2_lint/diagnostics.hpp"
+
+namespace smart2::lint {
+
+/// C++ translation units and headers under `paths` (files are taken as
+/// given, directories are walked recursively), lexicographically sorted so
+/// report order is independent of filesystem enumeration order.
+std::vector<std::string> discover_files(const std::vector<std::string>& paths);
+
+/// Lint every discovered file. Unreadable files raise std::runtime_error.
+LintSummary lint_paths(const std::vector<std::string>& paths);
+
+}  // namespace smart2::lint

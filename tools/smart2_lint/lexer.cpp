@@ -1,0 +1,261 @@
+#include "smart2_lint/lexer.hpp"
+
+#include <cctype>
+#include <string_view>
+
+namespace smart2::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Identifier prefixes that turn a following '"' into a raw string literal.
+bool is_raw_string_prefix(std::string_view id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) scan_one();
+    return std::move(out_);
+  }
+
+ private:
+  std::string_view src_;
+  LexResult out_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+  bool at_line_start_ = true;  // nothing but whitespace on this line so far
+
+  char peek(std::size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+
+  std::size_t col_of(std::size_t p) const { return p - line_start_ + 1; }
+
+  void bump_line(std::size_t newline_pos) {
+    ++line_;
+    line_start_ = newline_pos + 1;
+  }
+
+  Token make(TokKind kind, std::size_t start, std::size_t start_line,
+             std::size_t start_col) const {
+    return Token{kind, src_.substr(start, pos_ - start), start_line, start_col};
+  }
+
+  void scan_one() {
+    const char c = peek();
+    if (c == '\n') {
+      bump_line(pos_);
+      ++pos_;
+      at_line_start_ = true;
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++pos_;
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      scan_preprocessor();
+      return;
+    }
+    at_line_start_ = false;
+    if (c == '/' && peek(1) == '/') {
+      scan_line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      scan_block_comment();
+      return;
+    }
+    if (c == '"') {
+      scan_string();
+      return;
+    }
+    if (c == '\'') {
+      scan_char_literal();
+      return;
+    }
+    if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+      scan_number();
+      return;
+    }
+    if (is_ident_start(c)) {
+      scan_identifier_or_raw_string();
+      return;
+    }
+    scan_punct();
+  }
+
+  // #directive up to the end of the logical line. Backslash continuations
+  // are merged; a trailing // or /* comment is left for the normal scanners
+  // so NOLINT on an #include line still works.
+  void scan_preprocessor() {
+    const std::size_t start = pos_, sline = line_, scol = col_of(pos_);
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (c == '/' && (peek(1) == '/' || peek(1) == '*')) break;
+      if (c == '\n') {
+        // Continuation if the last non-blank char before the newline is '\'.
+        std::size_t j = pos_;
+        bool cont = false;
+        while (j > start) {
+          --j;
+          const char p = src_[j];
+          if (p == '\\') { cont = true; break; }
+          if (p != ' ' && p != '\t' && p != '\r') break;
+        }
+        if (!cont) break;
+        bump_line(pos_);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+    out_.preproc.push_back(make(TokKind::kPreprocessor, start, sline, scol));
+  }
+
+  void scan_line_comment() {
+    const std::size_t start = pos_, sline = line_, scol = col_of(pos_);
+    while (pos_ < src_.size() && peek() != '\n') ++pos_;
+    out_.comments.push_back(make(TokKind::kComment, start, sline, scol));
+  }
+
+  void scan_block_comment() {
+    const std::size_t start = pos_, sline = line_, scol = col_of(pos_);
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (peek() == '*' && peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (peek() == '\n') bump_line(pos_);
+      ++pos_;
+    }
+    out_.comments.push_back(make(TokKind::kComment, start, sline, scol));
+  }
+
+  void scan_string() {
+    const std::size_t start = pos_, sline = line_, scol = col_of(pos_);
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') {  // ill-formed, but recover at the line break
+        break;
+      }
+      ++pos_;
+      if (c == '"') break;
+    }
+    out_.code.push_back(make(TokKind::kString, start, sline, scol));
+  }
+
+  void scan_char_literal() {
+    const std::size_t start = pos_, sline = line_, scol = col_of(pos_);
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') break;
+      ++pos_;
+      if (c == '\'') break;
+    }
+    out_.code.push_back(make(TokKind::kCharLit, start, sline, scol));
+  }
+
+  void scan_number() {
+    const std::size_t start = pos_, sline = line_, scol = col_of(pos_);
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      // Exponent sign: 1e+3, 0x1p-4.
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    out_.code.push_back(make(TokKind::kNumber, start, sline, scol));
+  }
+
+  void scan_identifier_or_raw_string() {
+    const std::size_t start = pos_, sline = line_, scol = col_of(pos_);
+    while (pos_ < src_.size() && is_ident_char(peek())) ++pos_;
+    const std::string_view id = src_.substr(start, pos_ - start);
+    if (is_raw_string_prefix(id) && peek() == '"') {
+      scan_raw_string_tail(start, sline, scol);
+      return;
+    }
+    out_.code.push_back(make(TokKind::kIdentifier, start, sline, scol));
+  }
+
+  // Called with pos_ on the '"' of R"delim( ... )delim".
+  void scan_raw_string_tail(std::size_t start, std::size_t sline,
+                            std::size_t scol) {
+    ++pos_;  // opening quote
+    const std::size_t delim_start = pos_;
+    while (pos_ < src_.size() && peek() != '(' && peek() != '\n') ++pos_;
+    const std::string_view delim = src_.substr(delim_start, pos_ - delim_start);
+    if (pos_ < src_.size()) ++pos_;  // '('
+    // Terminator is )delim"
+    while (pos_ < src_.size()) {
+      if (peek() == '\n') {
+        bump_line(pos_);
+        ++pos_;
+        continue;
+      }
+      if (peek() == ')' &&
+          src_.compare(pos_ + 1, delim.size(), delim) == 0 &&
+          pos_ + 1 + delim.size() < src_.size() &&
+          src_[pos_ + 1 + delim.size()] == '"') {
+        pos_ += delim.size() + 2;
+        break;
+      }
+      ++pos_;
+    }
+    out_.code.push_back(make(TokKind::kString, start, sline, scol));
+  }
+
+  void scan_punct() {
+    const std::size_t start = pos_, sline = line_, scol = col_of(pos_);
+    const char c = peek();
+    // "::" and "->" are the only multi-char operators the rules care about.
+    if (c == ':' && peek(1) == ':') {
+      pos_ += 2;
+    } else if (c == '-' && peek(1) == '>') {
+      pos_ += 2;
+    } else {
+      ++pos_;
+    }
+    out_.code.push_back(make(TokKind::kPunct, start, sline, scol));
+  }
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace smart2::lint

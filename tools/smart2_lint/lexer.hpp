@@ -1,0 +1,27 @@
+// Lightweight C++ tokenizer for smart2_lint.
+//
+// Not a full C++ lexer: it only needs to be exact about what is *code*
+// versus what is a comment, string, or preprocessor directive, so the rule
+// engine never matches identifiers inside literals (test fixtures embed
+// whole "bad" translation units in raw strings) and NOLINT comments can be
+// attributed to the right line. Raw strings, digit separators, escape
+// sequences and backslash line continuations are handled.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "smart2_lint/token.hpp"
+
+namespace smart2::lint {
+
+struct LexResult {
+  std::vector<Token> code;     // identifiers / numbers / literals / punct
+  std::vector<Token> comments;  // for NOLINT extraction
+  std::vector<Token> preproc;   // one per directive (continuations merged)
+};
+
+/// Tokenize a source buffer. The buffer must outlive the result.
+LexResult lex(std::string_view src);
+
+}  // namespace smart2::lint

@@ -1,0 +1,111 @@
+// smart2_lint — determinism / parallel-safety / hygiene linter for the
+// 2SMaRT tree. See DESIGN.md "Correctness tooling" for the rule catalog.
+//
+// Usage:
+//   smart2_lint [--json FILE] [--list-rules] [--quiet] [PATH...]
+//
+// PATHs may be files or directories (walked recursively for C++ sources);
+// with no PATH the standard project directories that exist under the
+// current working directory are scanned. Exit status: 0 clean, 1 when
+// unsuppressed findings exist, 2 on usage or I/O errors.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "smart2_lint/diagnostics.hpp"
+#include "smart2_lint/driver.hpp"
+
+namespace {
+
+constexpr const char* kDefaultDirs[] = {"src", "bench", "tools", "examples",
+                                        "tests"};
+
+int usage(std::ostream& os, int code) {
+  os << "usage: smart2_lint [--json FILE] [--list-rules] [--quiet] [PATH...]\n"
+     << "  --json FILE   also write a machine-readable report to FILE\n"
+     << "  --list-rules  print the rule catalog and exit\n"
+     << "  --quiet       suppress per-finding fix-it hints\n"
+     << "Suppress a finding in source with // NOLINT(smart2-<rule>) on the\n"
+     << "offending line or // NOLINTNEXTLINE(smart2-<rule>) above it.\n";
+  return code;
+}
+
+void list_rules() {
+  for (const smart2::lint::RuleInfo& r : smart2::lint::rule_catalog()) {
+    std::cout << r.id << "\n    " << r.summary << "\n    fix-it: " << r.fixit
+              << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string json_path;
+  bool quiet = false;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if (arg == "--json") {
+      if (a + 1 >= argc) return usage(std::cerr, 2);
+      json_path = argv[++a];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') return usage(std::cerr, 2);
+    paths.push_back(arg);
+  }
+
+  if (paths.empty())
+    for (const char* dir : kDefaultDirs)
+      if (std::filesystem::is_directory(dir)) paths.emplace_back(dir);
+  if (paths.empty()) {
+    std::cerr << "smart2_lint: nothing to scan (no PATH given and no project "
+                 "directories here)\n";
+    return 2;
+  }
+
+  smart2::lint::LintSummary summary;
+  try {
+    summary = smart2::lint::lint_paths(paths);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  std::size_t suppressed = 0;
+  for (const smart2::lint::Finding& f : summary.findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    std::cout << smart2::lint::render_text(f) << "\n";
+    if (!quiet) std::cout << "    fix-it: " << f.fixit << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "smart2_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << smart2::lint::to_json(summary);
+  }
+
+  const std::size_t bad = summary.unsuppressed_count();
+  std::cout << "smart2_lint: scanned " << summary.files_scanned << " files, "
+            << bad << " finding" << (bad == 1 ? "" : "s") << " (" << suppressed
+            << " suppressed)\n";
+  return bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,541 @@
+#include "smart2_lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <string>
+
+#include "smart2_lint/lexer.hpp"
+
+namespace smart2::lint {
+namespace {
+
+// ------------------------------------------------------------ token utils
+
+using Tokens = std::vector<Token>;
+
+bool id_is(const Tokens& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kIdentifier && t[i].text == s;
+}
+
+bool is_id(const Tokens& t, std::size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdentifier;
+}
+
+bool punct_is(const Tokens& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == s;
+}
+
+/// Index of the closer matching the opener at `open`, or t.size().
+std::size_t match_pair(const Tokens& t, std::size_t open, std::string_view o,
+                       std::string_view c) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    if (t[i].text == o) {
+      ++depth;
+    } else if (t[i].text == c) {
+      if (--depth == 0) return i;
+    }
+  }
+  return t.size();
+}
+
+/// Like match_pair for template argument lists; bails at tokens that cannot
+/// appear inside one, so a stray comparison `a < b;` never swallows the file.
+std::size_t match_angle(const Tokens& t, std::size_t open) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    if (t[i].text == ";" || t[i].text == "{" || t[i].text == "}")
+      return t.size();
+    if (t[i].text == "<") {
+      ++depth;
+    } else if (t[i].text == ">") {
+      if (--depth == 0) return i;
+    }
+  }
+  return t.size();
+}
+
+/// True when token i reads as a std-or-global reference: not a member
+/// access (x.foo / x->foo) and not qualified by a namespace other than std.
+bool stdish_reference(const Tokens& t, std::size_t i) {
+  if (i == 0) return true;
+  if (punct_is(t, i - 1, ".") || punct_is(t, i - 1, "->")) return false;
+  if (punct_is(t, i - 1, "::") && i >= 2 && is_id(t, i - 2) &&
+      t[i - 2].text != "std")
+    return false;
+  return true;
+}
+
+// ------------------------------------------------------------ context
+
+struct Ctx {
+  std::string path;  // '/'-normalized
+  bool is_header = false;
+  const Tokens* code = nullptr;
+  std::vector<Finding>* out = nullptr;
+
+  bool in_rng_impl() const {
+    return path.find("src/common/rng.") != std::string::npos;
+  }
+  bool in_parallel_impl() const {
+    return path.find("src/common/parallel.") != std::string::npos;
+  }
+
+  void add(std::string_view rule, const Token& at, std::string message) const {
+    std::string fixit;
+    for (const RuleInfo& r : rule_catalog())
+      if (r.id == rule) fixit = std::string(r.fixit);
+    out->push_back(Finding{path, at.line, at.col, std::string(rule),
+                           std::move(message), std::move(fixit), false});
+  }
+};
+
+// ------------------------------------------------------------ determinism
+
+// smart2-ban-rand: std::rand / srand (or unqualified calls of either).
+void rule_ban_rand(const Ctx& ctx) {
+  const Tokens& t = *ctx.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!(id_is(t, i, "rand") || id_is(t, i, "srand"))) continue;
+    if (!stdish_reference(t, i)) continue;
+    const bool qualified = i >= 1 && punct_is(t, i - 1, "::");
+    const bool called = punct_is(t, i + 1, "(");
+    if (!qualified && !called) continue;  // a variable merely named rand
+    ctx.add("smart2-ban-rand", t[i],
+            "use of " + std::string(t[i].text) +
+                ": C rand() has an implementation-defined stream and hidden "
+                "global state");
+  }
+}
+
+// smart2-seed-entropy: std::random_device, time(nullptr)-style seeding.
+void rule_seed_entropy(const Ctx& ctx) {
+  const Tokens& t = *ctx.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (id_is(t, i, "random_device") && stdish_reference(t, i)) {
+      ctx.add("smart2-seed-entropy", t[i],
+              "std::random_device makes every run unrepeatable");
+      continue;
+    }
+    if (id_is(t, i, "time") && stdish_reference(t, i) &&
+        punct_is(t, i + 1, "(") && punct_is(t, i + 3, ")") &&
+        (id_is(t, i + 2, "nullptr") || id_is(t, i + 2, "NULL") ||
+         (i + 2 < t.size() && t[i + 2].kind == TokKind::kNumber &&
+          t[i + 2].text == "0"))) {
+      ctx.add("smart2-seed-entropy", t[i],
+              "wall-clock seeding (time(...)) makes every run unrepeatable");
+    }
+  }
+}
+
+// smart2-raw-mt19937: <random> engines outside src/common/rng.*.
+void rule_raw_engine(const Ctx& ctx) {
+  if (ctx.in_rng_impl()) return;
+  static const std::array<std::string_view, 10> kEngines = {
+      "mt19937",      "mt19937_64",    "minstd_rand",   "minstd_rand0",
+      "default_random_engine",         "knuth_b",       "ranlux24",
+      "ranlux24_base", "ranlux48",     "ranlux48_base"};
+  const Tokens& t = *ctx.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_id(t, i)) continue;
+    if (std::find(kEngines.begin(), kEngines.end(), t[i].text) ==
+        kEngines.end())
+      continue;
+    if (!stdish_reference(t, i)) continue;
+    ctx.add("smart2-raw-mt19937", t[i],
+            "raw std::" + std::string(t[i].text) +
+                " outside src/common/rng.*: stream is not bit-stable across "
+                "standard libraries");
+  }
+}
+
+// smart2-unordered-iteration: range-for over a variable declared as an
+// unordered container in the same file.
+void rule_unordered_iteration(const Ctx& ctx) {
+  const Tokens& t = *ctx.code;
+  static const std::array<std::string_view, 4> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+
+  // Pass 1: names declared with an unordered container type. The pattern is
+  // unordered_xxx<...> [&*const] name — good enough for this codebase's
+  // declaration style; type aliases are out of scope.
+  std::set<std::string_view> vars;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_id(t, i)) continue;
+    if (std::find(kUnordered.begin(), kUnordered.end(), t[i].text) ==
+        kUnordered.end())
+      continue;
+    if (!punct_is(t, i + 1, "<")) continue;
+    std::size_t j = match_angle(t, i + 1);
+    if (j == t.size()) continue;
+    ++j;
+    while (punct_is(t, j, "&") || punct_is(t, j, "*") || id_is(t, j, "const"))
+      ++j;
+    if (is_id(t, j)) vars.insert(t[j].text);
+  }
+  if (vars.empty()) return;
+
+  // Pass 2: range-for whose range expression mentions one of those names.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!id_is(t, i, "for") || !punct_is(t, i + 1, "(")) continue;
+    const std::size_t close = match_pair(t, i + 1, "(", ")");
+    if (close == t.size()) continue;
+    std::size_t depth = 0, colon = t.size();
+    bool classic = false;
+    for (std::size_t k = i + 1; k <= close; ++k) {
+      if (t[k].kind != TokKind::kPunct) continue;
+      if (t[k].text == "(") ++depth;
+      if (t[k].text == ")") --depth;
+      if (depth == 1 && t[k].text == ";") classic = true;
+      if (depth == 1 && t[k].text == ":" && colon == t.size()) colon = k;
+    }
+    if (classic || colon == t.size()) continue;
+    for (std::size_t k = colon + 1; k < close; ++k) {
+      if (is_id(t, k) && vars.count(t[k].text) != 0) {
+        ctx.add("smart2-unordered-iteration", t[i],
+                "range-for over unordered container '" +
+                    std::string(t[k].text) +
+                    "': iteration order is implementation-defined");
+        break;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ parallel
+
+// smart2-raw-thread: std::thread / std::jthread / std::async /
+// pthread_create outside src/common/parallel.*.
+void rule_raw_thread(const Ctx& ctx) {
+  if (ctx.in_parallel_impl()) return;
+  const Tokens& t = *ctx.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (id_is(t, i, "pthread_create") && stdish_reference(t, i)) {
+      ctx.add("smart2-raw-thread", t[i],
+              "raw pthread_create outside src/common/parallel.*");
+      continue;
+    }
+    if (!(id_is(t, i, "thread") || id_is(t, i, "jthread") ||
+          id_is(t, i, "async")))
+      continue;
+    // Require explicit std:: qualification: "thread" alone is a common
+    // variable name, and hardware_concurrency() queries are fine.
+    if (!(i >= 2 && punct_is(t, i - 1, "::") && id_is(t, i - 2, "std")))
+      continue;
+    if (id_is(t, i, "thread") && punct_is(t, i + 1, "::")) continue;  // traits
+    ctx.add("smart2-raw-thread", t[i],
+            "raw std::" + std::string(t[i].text) +
+                " outside src/common/parallel.*: bypasses the deterministic "
+                "fixed-lane pool");
+  }
+}
+
+/// A lambda literal inside a parallel_for/parallel_map argument list.
+struct LambdaSpan {
+  std::size_t cap_begin = 0, cap_end = 0;    // tokens inside [ ... ]
+  std::size_t param_begin = 0, param_end = 0;  // tokens inside ( ... ), may be empty
+  std::size_t body_begin = 0, body_end = 0;  // tokens inside { ... }
+};
+
+/// Mutating members whose call on a shared capture inside a parallel body
+/// is order-dependent (and racy).
+bool is_growth_mutator(std::string_view name) {
+  return name == "push_back" || name == "emplace_back" || name == "insert" ||
+         name == "emplace" || name == "push_front" || name == "emplace_front";
+}
+
+/// Names that look declared inside [from, to): lambda parameters plus
+/// body-local declarations (`Type name =`, `auto name =`, `Type name;`...).
+std::set<std::string_view> collect_locals(const Tokens& t,
+                                          const LambdaSpan& l) {
+  std::set<std::string_view> locals;
+  for (std::size_t q = l.param_begin; q < l.param_end; ++q)
+    if (is_id(t, q)) locals.insert(t[q].text);
+  for (std::size_t q = l.body_begin; q < l.body_end; ++q) {
+    if (!is_id(t, q) || q == 0) continue;
+    const Token& prev = t[q - 1];
+    const bool prev_ok =
+        prev.kind == TokKind::kIdentifier ||
+        (prev.kind == TokKind::kPunct &&
+         (prev.text == ">" || prev.text == "&" || prev.text == "*"));
+    const bool next_ok = punct_is(t, q + 1, "=") || punct_is(t, q + 1, ";") ||
+                         punct_is(t, q + 1, "{") || punct_is(t, q + 1, ":");
+    if (prev_ok && next_ok) locals.insert(t[q].text);
+  }
+  return locals;
+}
+
+struct CaptureInfo {
+  bool all_by_ref = false;
+  std::set<std::string_view> by_ref;
+
+  bool ref_captured(std::string_view name) const {
+    return all_by_ref || by_ref.count(name) != 0;
+  }
+};
+
+CaptureInfo parse_captures(const Tokens& t, const LambdaSpan& l) {
+  CaptureInfo info;
+  for (std::size_t c = l.cap_begin; c < l.cap_end; ++c) {
+    if (!punct_is(t, c, "&")) continue;
+    if (is_id(t, c + 1) && c + 1 < l.cap_end)
+      info.by_ref.insert(t[c + 1].text);
+    else
+      info.all_by_ref = true;  // lone & ( "[&]" or "[&, x]" )
+  }
+  return info;
+}
+
+/// Find every lambda literal between tokens (open, close) of a call's
+/// argument list.
+std::vector<LambdaSpan> find_lambdas(const Tokens& t, std::size_t open,
+                                     std::size_t close) {
+  std::vector<LambdaSpan> lambdas;
+  for (std::size_t k = open + 1; k < close; ++k) {
+    if (!punct_is(t, k, "[")) continue;
+    // Argument position only: a '[' after '(' or ',' starts a capture list,
+    // a '[' after an identifier or ']' is a subscript.
+    if (!(punct_is(t, k - 1, "(") || punct_is(t, k - 1, ","))) continue;
+    const std::size_t cap_close = match_pair(t, k, "[", "]");
+    if (cap_close >= close) continue;
+    LambdaSpan l;
+    l.cap_begin = k + 1;
+    l.cap_end = cap_close;
+    std::size_t b = cap_close + 1;
+    if (punct_is(t, b, "(")) {
+      const std::size_t pclose = match_pair(t, b, "(", ")");
+      if (pclose >= close) continue;
+      l.param_begin = b + 1;
+      l.param_end = pclose;
+      b = pclose + 1;
+    }
+    while (b < close && !punct_is(t, b, "{")) ++b;  // mutable / noexcept / ->
+    if (b >= close) continue;
+    const std::size_t body_close = match_pair(t, b, "{", "}");
+    if (body_close == t.size()) continue;
+    l.body_begin = b + 1;
+    l.body_end = body_close;
+    lambdas.push_back(l);
+    k = body_close;
+  }
+  return lambdas;
+}
+
+// smart2-parallel-mutation + smart2-shared-rng, both scoped to the lambda
+// bodies handed to parallel_for / parallel_map.
+void rule_parallel_bodies(const Ctx& ctx) {
+  const Tokens& t = *ctx.code;
+
+  // File-level names declared with type Rng (values, references, params).
+  std::set<std::string_view> rng_vars;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!id_is(t, i, "Rng")) continue;
+    if (i >= 1 && (punct_is(t, i - 1, ".") || punct_is(t, i - 1, "->")))
+      continue;
+    std::size_t j = i + 1;
+    if (punct_is(t, j, "&")) ++j;
+    if (is_id(t, j) && !punct_is(t, j + 1, "::")) rng_vars.insert(t[j].text);
+  }
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!(id_is(t, i, "parallel_for") || id_is(t, i, "parallel_map")))
+      continue;
+    std::size_t j = i + 1;
+    if (punct_is(t, j, "<")) {
+      j = match_angle(t, j);
+      if (j == t.size()) continue;
+      ++j;
+    }
+    if (!punct_is(t, j, "(")) continue;
+    const std::size_t close = match_pair(t, j, "(", ")");
+    if (close == t.size()) continue;
+
+    for (const LambdaSpan& l : find_lambdas(t, j, close)) {
+      const CaptureInfo caps = parse_captures(t, l);
+      if (!caps.all_by_ref && caps.by_ref.empty()) continue;
+      const std::set<std::string_view> locals = collect_locals(t, l);
+
+      // Growth mutations of by-ref captures: recv.push_back(...) etc.
+      for (std::size_t m = l.body_begin + 1; m + 2 < l.body_end; ++m) {
+        if (!(punct_is(t, m, ".") || punct_is(t, m, "->"))) continue;
+        if (!is_id(t, m - 1) || !is_id(t, m + 1)) continue;
+        if (!is_growth_mutator(t[m + 1].text)) continue;
+        if (!punct_is(t, m + 2, "(")) continue;
+        // Chained or index-addressed receivers (out[i].push_back) are the
+        // sanctioned pattern; only a bare captured name is a finding.
+        if (m >= 2 && t[m - 2].kind == TokKind::kPunct &&
+            (t[m - 2].text == "." || t[m - 2].text == "->" ||
+             t[m - 2].text == "::" || t[m - 2].text == "]" ||
+             t[m - 2].text == ")"))
+          continue;
+        const std::string_view recv = t[m - 1].text;
+        if (locals.count(recv) != 0) continue;
+        if (!caps.ref_captured(recv)) continue;
+        ctx.add("smart2-parallel-mutation", t[m - 1],
+                "'" + std::string(recv) + "." + std::string(t[m + 1].text) +
+                    "' on a by-reference capture inside a parallel body is "
+                    "racy and order-dependent");
+      }
+
+      // Shared Rng drawn inside the body instead of a pre-forked substream.
+      std::set<std::string_view> flagged;
+      for (std::size_t m = l.body_begin; m < l.body_end; ++m) {
+        if (!is_id(t, m) || rng_vars.count(t[m].text) == 0) continue;
+        if (m >= 1 && (punct_is(t, m - 1, ".") || punct_is(t, m - 1, "->") ||
+                       punct_is(t, m - 1, "::")))
+          continue;
+        if (punct_is(t, m + 1, "[")) continue;    // element of a forked pool
+        if (m >= 1 && id_is(t, m - 1, "Rng")) continue;  // fresh local decl
+        if (locals.count(t[m].text) != 0) continue;
+        if (!caps.ref_captured(t[m].text)) continue;
+        if (!flagged.insert(t[m].text).second) continue;
+        ctx.add("smart2-shared-rng", t[m],
+                "shared Rng '" + std::string(t[m].text) +
+                    "' captured by reference in a parallel body: draw order "
+                    "depends on thread interleaving");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ hygiene
+
+// smart2-header-guard: headers need #pragma once or an #ifndef guard.
+void rule_header_guard(const Ctx& ctx, const LexResult& lexed,
+                       std::string_view content) {
+  if (!ctx.is_header || content.empty()) return;
+  for (const Token& pp : lexed.preproc) {
+    std::string squished;
+    for (const char c : pp.text)
+      if (c != ' ' && c != '\t') squished += c;
+    if (squished.rfind("#pragmaonce", 0) == 0 ||
+        squished.rfind("#ifndef", 0) == 0)
+      return;
+  }
+  Token origin{TokKind::kPreprocessor, {}, 1, 1};
+  ctx.add("smart2-header-guard", origin,
+          "header has neither #pragma once nor an #ifndef include guard");
+}
+
+// smart2-using-namespace-header.
+void rule_using_namespace(const Ctx& ctx) {
+  if (!ctx.is_header) return;
+  const Tokens& t = *ctx.code;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i)
+    if (id_is(t, i, "using") && id_is(t, i + 1, "namespace"))
+      ctx.add("smart2-using-namespace-header", t[i],
+              "using-directive in a header leaks into every includer");
+}
+
+// ------------------------------------------------------------ NOLINT
+
+/// line -> rule ids suppressed there ("*" = every rule).
+std::map<std::size_t, std::set<std::string>> collect_nolint(
+    const LexResult& lexed) {
+  std::map<std::size_t, std::set<std::string>> out;
+  constexpr std::string_view kNext = "NOLINTNEXTLINE";
+  constexpr std::string_view kBase = "NOLINT";
+  for (const Token& c : lexed.comments) {
+    const std::string_view text = c.text;
+    std::size_t pos = 0;
+    while ((pos = text.find(kBase, pos)) != std::string_view::npos) {
+      const bool nextline = text.compare(pos, kNext.size(), kNext) == 0;
+      // Line of this occurrence inside a (possibly multi-line) comment.
+      std::size_t line = c.line;
+      for (std::size_t q = 0; q < pos; ++q)
+        if (text[q] == '\n') ++line;
+      if (nextline) ++line;
+      std::size_t after = pos + (nextline ? kNext.size() : kBase.size());
+      std::set<std::string>& rules = out[line];
+      if (after < text.size() && text[after] == '(') {
+        const std::size_t close = text.find(')', after);
+        std::string_view list =
+            text.substr(after + 1, close == std::string_view::npos
+                                       ? std::string_view::npos
+                                       : close - after - 1);
+        bool any = false;
+        std::size_t start = 0;
+        while (start <= list.size()) {
+          std::size_t comma = list.find(',', start);
+          if (comma == std::string_view::npos) comma = list.size();
+          std::string_view item = list.substr(start, comma - start);
+          while (!item.empty() && (item.front() == ' ' || item.front() == '\t'))
+            item.remove_prefix(1);
+          while (!item.empty() && (item.back() == ' ' || item.back() == '\t'))
+            item.remove_suffix(1);
+          if (!item.empty()) {
+            rules.insert(std::string(item));
+            any = true;
+          }
+          start = comma + 1;
+        }
+        if (!any) rules.insert("*");
+        after = close == std::string_view::npos ? text.size() : close + 1;
+      } else {
+        rules.insert("*");
+      }
+      pos = after;
+    }
+  }
+  return out;
+}
+
+std::string normalize_path(std::string_view path) {
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool is_header_path(std::string_view path) {
+  for (const std::string_view ext : {".hpp", ".h", ".hh", ".hxx"})
+    if (path.size() >= ext.size() &&
+        path.compare(path.size() - ext.size(), ext.size(), ext) == 0)
+      return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_text(std::string_view path,
+                               std::string_view content) {
+  const LexResult lexed = lex(content);
+
+  std::vector<Finding> findings;
+  Ctx ctx;
+  ctx.path = normalize_path(path);
+  ctx.is_header = is_header_path(ctx.path);
+  ctx.code = &lexed.code;
+  ctx.out = &findings;
+
+  rule_ban_rand(ctx);
+  rule_seed_entropy(ctx);
+  rule_raw_engine(ctx);
+  rule_unordered_iteration(ctx);
+  rule_raw_thread(ctx);
+  rule_parallel_bodies(ctx);
+  rule_header_guard(ctx, lexed, content);
+  rule_using_namespace(ctx);
+
+  const auto nolint = collect_nolint(lexed);
+  for (Finding& f : findings) {
+    const auto it = nolint.find(f.line);
+    if (it == nolint.end()) continue;
+    if (it->second.count("*") != 0 || it->second.count(f.rule) != 0)
+      f.suppressed = true;
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.col != b.col) return a.col < b.col;
+                     return a.rule < b.rule;
+                   });
+  return findings;
+}
+
+}  // namespace smart2::lint

@@ -1,0 +1,25 @@
+// The smart2_lint rule engine.
+//
+// lint_text() is the whole analysis for one translation unit: lex, run
+// every rule, then mark findings whose line carries a matching
+// // NOLINT(smart2-<rule>) (or // NOLINTNEXTLINE(...) on the previous
+// line) as suppressed. The path is part of the contract: some rules are
+// exempt inside the files that *implement* the audited facility
+// (src/common/rng.* may touch <random>, src/common/parallel.* may touch
+// std::thread), and hygiene rules only apply to headers.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "smart2_lint/diagnostics.hpp"
+
+namespace smart2::lint {
+
+/// Lint one in-memory source buffer. `path` is used for rule exemptions and
+/// header detection only; it is copied into each finding verbatim.
+/// Returns all findings (suppressed ones included) ordered by line, col,
+/// then rule id.
+std::vector<Finding> lint_text(std::string_view path, std::string_view content);
+
+}  // namespace smart2::lint

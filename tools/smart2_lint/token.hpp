@@ -1,0 +1,31 @@
+// Token model for the smart2_lint lexer.
+//
+// The lexer reduces C++ source to a flat token stream that is just rich
+// enough for the rule engine: identifiers, numbers, literals, punctuation,
+// comments (kept for NOLINT handling) and whole preprocessor directives.
+// Tokens hold views into the original buffer, which must outlive them.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace smart2::lint {
+
+enum class TokKind {
+  kIdentifier,    // foo, std, parallel_for
+  kNumber,        // 42, 0x2535'1b5a, 1.5e-3
+  kString,        // "..." including raw strings R"(...)"
+  kCharLit,       // 'x'
+  kPunct,         // single chars plus the combined "::" and "->"
+  kComment,       // // ... and /* ... */ (text includes the delimiters)
+  kPreprocessor,  // one token per #-directive logical line
+};
+
+struct Token {
+  TokKind kind;
+  std::string_view text;
+  std::size_t line;  // 1-based
+  std::size_t col;   // 1-based, in bytes
+};
+
+}  // namespace smart2::lint
