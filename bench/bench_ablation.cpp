@@ -40,7 +40,11 @@ double boosted_mean_perf(int rounds) {
                 .binary_view(positive, label_of(AppClass::kBenign))
                 .select_features(bench::plan().common);
         auto model = make_boosted("J48", rounds);
-        model->fit(btr);
+        {
+          const bench::Phase phase(bench::Phase::kTrain);
+          model->fit(btr);
+        }
+        const bench::Phase phase(bench::Phase::kPredict);
         return evaluate_binary(*model, bte).performance;
       });
   double sum = 0.0;
@@ -75,8 +79,14 @@ void ablate_mlp_width() {
     p.hidden = hidden;
     p.epochs = 100;
     Mlp mlp(p);
-    mlp.fit(btr);
-    const auto ev = evaluate_binary(mlp, bte);
+    {
+      const bench::Phase phase(bench::Phase::kTrain);
+      mlp.fit(btr);
+    }
+    const auto ev = [&] {
+      const bench::Phase phase(bench::Phase::kPredict);
+      return evaluate_binary(mlp, bte);
+    }();
     t.add_row({std::to_string(hidden), bench::pct(ev.f_measure),
                TableWriter::num(ev.auc, 3)});
   }
@@ -92,8 +102,14 @@ void ablate_plan_source() {
     cfg.boost = true;
     cfg.use_paper_features = use_paper;
     TwoStageHmd hmd(cfg);
-    hmd.train(bench::train());
-    const TwoStageEval ev = evaluate_two_stage(hmd, bench::test());
+    {
+      const bench::Phase phase(bench::Phase::kTrain);
+      hmd.train(bench::train());
+    }
+    const TwoStageEval ev = [&] {
+      const bench::Phase phase(bench::Phase::kPredict);
+      return evaluate_two_stage(hmd, bench::test());
+    }();
     double mean = 0.0;
     for (const auto& c : ev.per_class) mean += c.f_measure;
     mean /= static_cast<double>(kNumMalwareClasses);
@@ -111,8 +127,14 @@ void ablate_benign_confidence() {
     cfg.boost = true;
     cfg.benign_confidence = thr;
     TwoStageHmd hmd(cfg);
-    hmd.train(bench::train());
-    const TwoStageEval ev = evaluate_two_stage(hmd, bench::test());
+    {
+      const bench::Phase phase(bench::Phase::kTrain);
+      hmd.train(bench::train());
+    }
+    const TwoStageEval ev = [&] {
+      const bench::Phase phase(bench::Phase::kPredict);
+      return evaluate_two_stage(hmd, bench::test());
+    }();
     double f = 0.0;
     double p = 0.0;
     double r = 0.0;
@@ -188,7 +210,11 @@ void ablate_ensemble_family() {
           case 3: model = make_random_forest(); break;
           default: model = std::make_unique<NaiveBayes>(); break;
         }
-        model->fit(btr);
+        {
+          const bench::Phase phase(bench::Phase::kTrain);
+          model->fit(btr);
+        }
+        const bench::Phase phase(bench::Phase::kPredict);
         return evaluate_binary(*model, bte).performance;
       });
   for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {

@@ -3,11 +3,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <string>
+#include <string_view>
 #include <utility>
 
 namespace smart2::bench {
 
 namespace {
+
+// Index-aligned with Phase::Kind. Elements are literals so span names keep
+// the [a-z0-9_.]+ grammar smart2-span-literal expects.
+constexpr const char* kPhaseLabels[] = {"load", "featurize", "train",
+                                        "predict"};
+constexpr const char* kPhaseSpans[] = {"phase.load", "phase.featurize",
+                                       "phase.train", "phase.predict"};
 
 double env_double(const char* name, double fallback) {
   const char* value = std::getenv(name);
@@ -30,6 +39,7 @@ CollectorConfig collector_config() { return CollectorConfig{}; }
 
 const Dataset& dataset() {
   static const Dataset d = [] {
+    const Phase phase(Phase::kLoad);
     std::fprintf(stderr,
                  "[bench] profiling corpus (scale=%.2f, cached in "
                  "./.smart2_cache)...\n",
@@ -42,6 +52,8 @@ const Dataset& dataset() {
 
 const std::pair<Dataset, Dataset>& split() {
   static const std::pair<Dataset, Dataset> s = [] {
+    (void)dataset();  // charge corpus profiling to phase.load, not here
+    const Phase phase(Phase::kFeaturize);
     Rng rng(corpus_config().seed ^ 0x517ULL);
     return dataset().stratified_split(0.6, rng);
   }();
@@ -49,7 +61,11 @@ const std::pair<Dataset, Dataset>& split() {
 }
 
 const FeaturePlan& plan() {
-  static const FeaturePlan p = paper_feature_plan(train());
+  static const FeaturePlan p = [] {
+    (void)split();  // ditto: the split charges itself before we time the plan
+    const Phase phase(Phase::kFeaturize);
+    return paper_feature_plan(train());
+  }();
   return p;
 }
 
@@ -72,7 +88,11 @@ BinaryEval eval_specialized(const std::string& model_name,
                           .binary_view(positive, label_of(AppClass::kBenign))
                           .select_features(features);
   auto model = boosted ? make_boosted(model_name) : make_classifier(model_name);
-  model->fit(btr);
+  {
+    const Phase phase(Phase::kTrain);
+    model->fit(btr);
+  }
+  const Phase phase(Phase::kPredict);
   return evaluate_binary(*model, bte);
 }
 
@@ -96,8 +116,26 @@ void warm_shared_state() {
   (void)plan();
 }
 
+Phase::Phase(Kind kind) : span_(span_name(kind)) {}
+
+const char* Phase::label(Kind kind) noexcept {
+  return kPhaseLabels[static_cast<std::size_t>(kind)];
+}
+
+const char* Phase::span_name(Kind kind) noexcept {
+  return kPhaseSpans[static_cast<std::size_t>(kind)];
+}
+
 ScopedTiming::ScopedTiming(std::string bench_name)
-    : name_(std::move(bench_name)), start_(std::chrono::steady_clock::now()) {}
+    : name_(std::move(bench_name)), start_(std::chrono::steady_clock::now()) {
+  // The ledger's per-phase breakdown needs the metrics registry even when
+  // no obs env var is set; tracing stays opt-in.
+  obs::Config cfg = obs::config();
+  if (!cfg.metrics) {
+    cfg.metrics = true;
+    obs::configure(cfg);
+  }
+}
 
 double ScopedTiming::elapsed() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -116,7 +154,25 @@ ScopedTiming::~ScopedTiming() {
   }
   out << "{\"bench\": \"" << name_ << "\", \"threads\": "
       << parallel::thread_count() << ", \"scale\": " << corpus_config().scale
-      << ", \"wall_seconds\": " << wall << "}\n";
+      << ", \"wall_seconds\": " << wall;
+  // Per-phase totals from the obs histograms, in their fixed catalog order
+  // (phase.load, phase.featurize, phase.train, phase.predict).
+  bool any_phase = false;
+  std::string phases;
+  for (const obs::HistogramView& h : obs::histograms()) {
+    const std::string_view name(h.name);
+    if (!name.starts_with("phase.")) continue;
+    if (h.histogram->count() == 0) continue;
+    if (any_phase) phases += ", ";
+    any_phase = true;
+    char cell[64];
+    std::snprintf(cell, sizeof(cell), "\"%s\": %.3f",
+                  std::string(name.substr(6)).c_str(),
+                  static_cast<double>(h.histogram->sum_ns()) / 1e9);
+    phases += cell;
+  }
+  if (any_phase) out << ", \"phases\": {" << phases << "}";
+  out << "}\n";
   std::fprintf(stderr, "[bench] %s: %.3f s wall (threads=%zu) -> %s\n",
                name_.c_str(), wall, parallel::thread_count(), path);
 }

@@ -20,6 +20,7 @@
 #include <string>
 #include <utility>
 
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/feature_plan.hpp"
@@ -77,9 +78,32 @@ void print_banner(const std::string& experiment);
 /// workers never contend on first-use initialization.
 void warm_shared_state();
 
+/// Scoped marker for the coarse phases every bench shares. Each phase opens
+/// an obs span (and thus a latency histogram) named "phase.load",
+/// "phase.featurize", "phase.train", or "phase.predict"; ScopedTiming folds
+/// the per-phase totals into its ledger line, so every bench gets a
+/// load/featurize/train/predict breakdown for free.
+class Phase {
+ public:
+  enum Kind { kLoad = 0, kFeaturize, kTrain, kPredict };
+
+  explicit Phase(Kind kind);
+
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+
+  /// Ledger key ("load") and span name ("phase.load") for `kind`.
+  static const char* label(Kind kind) noexcept;
+  static const char* span_name(Kind kind) noexcept;
+
+ private:
+  obs::Span span_;
+};
+
 /// Shared wall-clock harness: times the enclosing bench binary and appends
-/// one JSON line ({"bench", "threads", "scale", "wall_seconds"}) to the
-/// SMART2_BENCH_JSON ledger on destruction.
+/// one JSON line ({"bench", "threads", "scale", "wall_seconds", "phases"})
+/// to the SMART2_BENCH_JSON ledger on destruction. Construction force-
+/// enables obs metrics so the Phase breakdown is always collected.
 class ScopedTiming {
  public:
   explicit ScopedTiming(std::string bench_name);

@@ -30,6 +30,7 @@ void print_traces() {
 
   const AppSpec benign = sample_app(AppClass::kBenign, 1001);
   const AppSpec malware = sample_app(AppClass::kTrojan, 2002);
+  const bench::Phase phase(bench::Phase::kLoad);
   const auto benign_trace = collector.trace(benign, events, kWindows);
   const auto malware_trace = collector.trace(malware, events, kWindows);
 

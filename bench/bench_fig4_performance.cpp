@@ -65,7 +65,11 @@ void print_roc_series() {
                           .binary_view(positive, label_of(AppClass::kBenign))
                           .select_features(bench::plan().common);
   auto model = make_classifier("J48");
-  model->fit(btr);
+  {
+    const bench::Phase phase(bench::Phase::kTrain);
+    model->fit(btr);
+  }
+  const bench::Phase phase(bench::Phase::kPredict);
   const auto scores = scores_positive(*model, bte);
   const auto curve = roc_curve(bte.labels(), scores);
   for (std::size_t i = 0; i < curve.size(); ++i) {

@@ -17,8 +17,14 @@ void print_fig5a() {
   cfg.stage2_features = Stage2Features::kCommon4;
   cfg.boost = true;
   TwoStageHmd hmd(cfg);
-  hmd.train(bench::train());
-  const TwoStageEval two = evaluate_two_stage(hmd, bench::test());
+  {
+    const bench::Phase phase(bench::Phase::kTrain);
+    hmd.train(bench::train());
+  }
+  const TwoStageEval two = [&] {
+    const bench::Phase phase(bench::Phase::kPredict);
+    return evaluate_two_stage(hmd, bench::test());
+  }();
 
   TableWriter t({"Class", "Stage1-MLR F", "2SMaRT F", "improvement"});
   double max_gain = 0.0;

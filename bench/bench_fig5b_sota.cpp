@@ -26,7 +26,11 @@ void print_fig5b() {
     cfg.stage2_features = Stage2Features::kCommon4;
     cfg.boost = boost;
     TwoStageHmd hmd(cfg);
-    hmd.train(bench::train());
+    {
+      const bench::Phase phase(bench::Phase::kTrain);
+      hmd.train(bench::train());
+    }
+    const bench::Phase phase(bench::Phase::kPredict);
     return evaluate_two_stage(hmd, bench::test());
   };
   const TwoStageEval two_plain = run_two_stage(false);
@@ -42,7 +46,11 @@ void print_fig5b() {
       cfg.model = name;
       cfg.num_features = num_features;
       SingleStageHmd hmd(cfg);
-      hmd.train(bench::train());
+      {
+        const bench::Phase phase(bench::Phase::kTrain);
+        hmd.train(bench::train());
+      }
+      const bench::Phase phase(bench::Phase::kPredict);
       const SingleStageEval ev = evaluate_single_stage(hmd, bench::test());
       if (mean_f(ev.per_class) > best_mean) {
         best_mean = mean_f(ev.per_class);

@@ -15,7 +15,11 @@ double mlr_accuracy(const std::vector<std::size_t>& features) {
   const Dataset tr = bench::train().select_features(features);
   const Dataset te = bench::test().select_features(features);
   LogisticRegression mlr;
-  mlr.fit(tr);
+  {
+    const bench::Phase phase(bench::Phase::kTrain);
+    mlr.fit(tr);
+  }
+  const bench::Phase phase(bench::Phase::kPredict);
   const auto pred = predict_all(mlr, te);
   return confusion(te.labels(), pred, kNumAppClasses).accuracy();
 }
@@ -47,8 +51,14 @@ void print_stage1() {
     const Dataset tr = bench::train().select_features(plan.common);
     const Dataset te = bench::test().select_features(plan.common);
     LogisticRegression mlr;
-    mlr.fit(tr);
-    const auto pred = predict_all(mlr, te);
+    {
+      const bench::Phase phase(bench::Phase::kTrain);
+      mlr.fit(tr);
+    }
+    const auto pred = [&] {
+      const bench::Phase phase(bench::Phase::kPredict);
+      return predict_all(mlr, te);
+    }();
     const auto cm = confusion(te.labels(), pred, kNumAppClasses);
     TableWriter ct({"actual \\ predicted", "Benign", "Backdoor", "Rootkit",
                     "Virus", "Trojan"});

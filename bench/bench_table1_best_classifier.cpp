@@ -59,6 +59,30 @@ void print_table1() {
       "every class, and the winner shifts as the HPC budget shrinks.\n\n");
 }
 
+/// Latency-profile epilogue: train the full pipeline with a fixed stage-2
+/// model and run the batched detector, so the obs histograms separate the
+/// stage-1 MLR cost from the per-class stage-2 dispatches (the
+/// SMART2_OBS_SUMMARY=1 walkthrough in OBSERVABILITY.md).
+void profile_two_stage_latency() {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";
+  TwoStageHmd hmd(cfg);
+  {
+    const bench::Phase phase(bench::Phase::kTrain);
+    hmd.train(bench::train());
+  }
+  const bench::Phase phase(bench::Phase::kPredict);
+  const std::vector<Detection> detections = hmd.predict_batch(bench::test());
+  std::size_t flagged = 0;
+  for (const Detection& det : detections)
+    if (det.is_malware) ++flagged;
+  std::printf(
+      "Latency profile: scored %zu test apps end-to-end (%zu flagged as\n"
+      "malware); stage1.mlr.predict vs stage2.<class>.predict timings land\n"
+      "in the obs histograms (run with SMART2_OBS_SUMMARY=1 to print them).\n\n",
+      detections.size(), flagged);
+}
+
 void BM_TrainAllCandidates(benchmark::State& state) {
   for (auto _ : state) {
     const auto ev = bench::eval_specialized("J48", 0, bench::plan().common,
@@ -73,6 +97,7 @@ BENCHMARK(BM_TrainAllCandidates)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   bench::ScopedTiming timing("table1_best_classifier");
   print_table1();
+  profile_two_stage_latency();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

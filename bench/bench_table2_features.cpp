@@ -29,7 +29,10 @@ void print_table2() {
   bench::print_banner("Table II: top-8 HPC features per malware class");
 
   const FeaturePlan paper = bench::plan();
-  const FeaturePlan data_driven = build_feature_plan(bench::train());
+  const FeaturePlan data_driven = [] {
+    const bench::Phase phase(bench::Phase::kFeaturize);
+    return build_feature_plan(bench::train());
+  }();
 
   std::printf("Paper's published plan (repository default):\n");
   TableWriter tp({"set", "events"});

@@ -23,6 +23,7 @@ void print_table3() {
       "Table III: F-measure of 2SMaRT detectors with and without boosting");
   bench::warm_shared_state();
 
+  SMART2_SPAN("bench.table3.grid");
   const auto& names = classifier_names();
   const std::size_t cols = std::size(kModes) + 1;  // 3 modes + boosted
   const std::size_t cells = kNumMalwareClasses * names.size() * cols;

@@ -13,6 +13,7 @@ using namespace smart2;
 void print_table4() {
   bench::print_banner("Table IV: average performance improvement of 2SMaRT");
 
+  SMART2_SPAN("bench.table4.grid");
   TableWriter t({"ML Classifier", "8HPC->4HPC-Boosted", "4HPC->4HPC-Boosted"});
   for (const auto& name : classifier_names()) {
     double sum_8 = 0.0;

@@ -22,6 +22,7 @@ std::unique_ptr<Classifier> trained(const std::string& name,
                           .binary_view(positive, label_of(AppClass::kBenign))
                           .select_features(features);
   auto model = boosted ? make_boosted(name) : make_classifier(name);
+  const bench::Phase phase(bench::Phase::kTrain);
   model->fit(btr);
   return model;
 }
@@ -55,7 +56,10 @@ void print_table5() {
   TwoStageConfig cfg;
   cfg.stage2_model = "OneR";
   TwoStageHmd hmd(cfg);
-  hmd.train(bench::train());
+  {
+    const bench::Phase phase(bench::Phase::kTrain);
+    hmd.train(bench::train());
+  }
   const auto mlr = hls.synthesize(hmd.stage1());
   std::printf("Stage-1 MLR (4 Common HPCs): latency %u cycles, area %s%%\n\n",
               mlr.latency_cycles,
@@ -74,6 +78,7 @@ void print_table5() {
                           .binary_view(positive, label_of(AppClass::kBenign))
                           .select_features(bench::plan().common);
   TableWriter q({"fixed-point format", "prediction agreement"});
+  const bench::Phase phase(bench::Phase::kPredict);
   for (int frac : {2, 4, 6, 10}) {
     const FixedPointFormat fmt{10, frac};
     q.add_row({"Q10." + std::to_string(frac),

@@ -1,0 +1,364 @@
+#include "common/obs.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#if defined(__linux__)
+#include <ctime>
+#endif
+
+#include "common/obs_sink.hpp"
+
+namespace smart2::obs {
+
+namespace {
+
+// ------------------------------------------------------------ global state
+
+struct GlobalState {
+  Config config;
+  std::atomic<bool> trace{false};
+  std::atomic<bool> metrics{false};
+
+  // Registry storage. Deques keep references stable across registration;
+  // the lookup maps index into them. Iteration always walks the deques —
+  // insertion order — never the maps.
+  std::shared_mutex registry_mutex;
+  std::deque<std::pair<std::string, Counter>> counter_entries;
+  std::deque<std::pair<std::string, Histogram>> histogram_entries;
+  std::map<std::string_view, std::size_t> counter_index;
+  std::map<std::string_view, std::size_t> histogram_index;
+
+  // Root span buffers, one per tracing thread, in first-use order. In
+  // practice only the main thread opens spans outside a ParallelRegion, so
+  // this list has one entry and the trace order is deterministic.
+  std::mutex roots_mutex;
+  std::vector<std::shared_ptr<SpanBuffer>> root_buffers;
+
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+GlobalState& state() {
+  static GlobalState* g = new GlobalState;  // never destroyed: spans and
+  return *g;  // atexit sinks may outlive static-destruction order
+}
+
+/// Instrumentation names known at build time, pre-registered so their
+/// registry insertion order never depends on which parallel lane touches
+/// them first. Keep in sync with the naming table in OBSERVABILITY.md.
+constexpr const char* kCatalogCounters[] = {
+    "stage1.benign_shortcircuit", "stage2.dispatch", "adaboost.rounds",
+    "cv.folds",                   "online.alarms",
+};
+constexpr const char* kCatalogHistograms[] = {
+    "phase.load",           "phase.featurize",
+    "phase.train",          "phase.predict",
+    "two_stage.train",      "two_stage.predict_batch",
+    "stage1.mlr.train",     "stage1.mlr.predict",
+    "stage2.backdoor.train", "stage2.rootkit.train",
+    "stage2.virus.train",    "stage2.trojan.train",
+    "stage2.backdoor.predict", "stage2.rootkit.predict",
+    "stage2.virus.predict",    "stage2.trojan.predict",
+    "ml.mlr.fit",           "ml.j48.fit",
+    "ml.jrip.fit",          "ml.mlp.fit",
+    "ml.oner.fit",          "ml.nb.fit",
+    "ml.bagging.fit",       "adaboost.fit",
+    "adaboost.round",       "cv.run",
+    "cv.fold",              "online.observe",
+    "online.observe_batch", "monitor.scan",
+};
+
+void register_catalog_locked(GlobalState& g) {
+  for (const char* name : kCatalogCounters) {
+    g.counter_entries.emplace_back(std::piecewise_construct,
+                                   std::forward_as_tuple(name),
+                                   std::forward_as_tuple());
+    g.counter_index.emplace(g.counter_entries.back().first,
+                            g.counter_entries.size() - 1);
+  }
+  for (const char* name : kCatalogHistograms) {
+    g.histogram_entries.emplace_back(std::piecewise_construct,
+                                     std::forward_as_tuple(name),
+                                     std::forward_as_tuple());
+    g.histogram_index.emplace(g.histogram_entries.back().first,
+                              g.histogram_entries.size() - 1);
+  }
+}
+
+std::once_flag g_init_once;
+
+void init_from_env() {
+  GlobalState& g = state();
+  {
+    std::unique_lock<std::shared_mutex> lock(g.registry_mutex);
+    if (g.counter_entries.empty()) register_catalog_locked(g);
+  }
+  Config cfg;
+  const char* trace_path = std::getenv("SMART2_TRACE_JSON");
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    cfg.trace = true;
+    cfg.metrics = true;  // the trace file carries the metrics sections too
+  }
+  const char* summary = std::getenv("SMART2_OBS_SUMMARY");
+  if (summary != nullptr && summary[0] == '1') cfg.metrics = true;
+  const char* cpu = std::getenv("SMART2_OBS_CPU");
+  if (cpu != nullptr && cpu[0] == '1') cfg.cpu_time = true;
+  g.config = cfg;
+  g.trace.store(cfg.trace, std::memory_order_release);
+  g.metrics.store(cfg.metrics, std::memory_order_release);
+  if (cfg.trace || cfg.metrics) install_exit_sinks();
+}
+
+void ensure_init() { std::call_once(g_init_once, init_from_env); }
+
+// ------------------------------------------------------------ thread state
+
+/// Per-thread span state: where new records go (the thread's root buffer,
+/// or a ParallelRegion slot while inside an IndexScope) plus the stack of
+/// open span indices within that buffer.
+struct ThreadLog {
+  std::shared_ptr<SpanBuffer> root;  // shared with the registry: survives
+  SpanBuffer* buf = nullptr;         // the thread so flush can read it
+  std::vector<std::size_t> stack;
+};
+
+thread_local ThreadLog t_log;
+
+SpanBuffer& current_buffer() {
+  if (t_log.buf == nullptr) {
+    t_log.root = std::make_shared<SpanBuffer>();
+    t_log.buf = t_log.root.get();
+    GlobalState& g = state();
+    std::lock_guard<std::mutex> lock(g.roots_mutex);
+    g.root_buffers.push_back(t_log.root);
+  }
+  return *t_log.buf;
+}
+
+std::uint64_t thread_cpu_ns() noexcept {
+#if defined(__linux__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ configuration
+
+void configure(const Config& config) {
+  ensure_init();
+  GlobalState& g = state();
+  g.config = config;
+  g.trace.store(config.trace, std::memory_order_release);
+  g.metrics.store(config.metrics, std::memory_order_release);
+}
+
+const Config& config() {
+  ensure_init();
+  return state().config;
+}
+
+bool trace_enabled() noexcept {
+  return state().trace.load(std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+  return state().metrics.load(std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return trace_enabled() || metrics_enabled(); }
+
+void reset() {
+  ensure_init();
+  GlobalState& g = state();
+  {
+    std::lock_guard<std::mutex> lock(g.roots_mutex);
+    for (const auto& root : g.root_buffers) root->clear();
+  }
+  t_log.stack.clear();
+  std::unique_lock<std::shared_mutex> lock(g.registry_mutex);
+  for (auto& [name, c] : g.counter_entries) c.clear();
+  for (auto& [name, h] : g.histogram_entries) h.clear();
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - state().epoch)
+          .count());
+}
+
+// ------------------------------------------------------------ metrics
+
+Counter& counter(const char* name) {
+  ensure_init();
+  GlobalState& g = state();
+  const std::string_view key(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(g.registry_mutex);
+    const auto it = g.counter_index.find(key);
+    if (it != g.counter_index.end()) return g.counter_entries[it->second].second;
+  }
+  std::unique_lock<std::shared_mutex> lock(g.registry_mutex);
+  const auto it = g.counter_index.find(key);
+  if (it != g.counter_index.end()) return g.counter_entries[it->second].second;
+  g.counter_entries.emplace_back(std::piecewise_construct,
+                                 std::forward_as_tuple(key),
+                                 std::forward_as_tuple());
+  g.counter_index.emplace(g.counter_entries.back().first,
+                          g.counter_entries.size() - 1);
+  return g.counter_entries.back().second;
+}
+
+Histogram& histogram(const char* name) {
+  ensure_init();
+  GlobalState& g = state();
+  const std::string_view key(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(g.registry_mutex);
+    const auto it = g.histogram_index.find(key);
+    if (it != g.histogram_index.end())
+      return g.histogram_entries[it->second].second;
+  }
+  std::unique_lock<std::shared_mutex> lock(g.registry_mutex);
+  const auto it = g.histogram_index.find(key);
+  if (it != g.histogram_index.end())
+    return g.histogram_entries[it->second].second;
+  g.histogram_entries.emplace_back(std::piecewise_construct,
+                                   std::forward_as_tuple(key),
+                                   std::forward_as_tuple());
+  g.histogram_index.emplace(g.histogram_entries.back().first,
+                            g.histogram_entries.size() - 1);
+  return g.histogram_entries.back().second;
+}
+
+std::vector<CounterView> counters() {
+  ensure_init();
+  GlobalState& g = state();
+  std::shared_lock<std::shared_mutex> lock(g.registry_mutex);
+  std::vector<CounterView> out;
+  out.reserve(g.counter_entries.size());
+  for (const auto& [name, c] : g.counter_entries)
+    out.push_back({name.c_str(), &c});
+  return out;
+}
+
+std::vector<HistogramView> histograms() {
+  ensure_init();
+  GlobalState& g = state();
+  std::shared_lock<std::shared_mutex> lock(g.registry_mutex);
+  std::vector<HistogramView> out;
+  out.reserve(g.histogram_entries.size());
+  for (const auto& [name, h] : g.histogram_entries)
+    out.push_back({name.c_str(), &h});
+  return out;
+}
+
+// ------------------------------------------------------------ spans
+
+Span::Span(const char* name) noexcept {
+  ensure_init();
+  if (!enabled()) return;
+  name_ = name;
+  start_ns_ = now_ns();
+  if (state().config.cpu_time) cpu_start_ns_ = thread_cpu_ns();
+  if (!trace_enabled()) return;
+  SpanBuffer& buf = current_buffer();
+  index_ = buf.size();
+  SpanRecord rec;
+  rec.name = name;
+  rec.parent = t_log.stack.empty()
+                   ? -1
+                   : static_cast<std::int64_t>(t_log.stack.back());
+  rec.start_ns = start_ns_;
+  buf.push_back(rec);
+  t_log.stack.push_back(index_);
+  buf_ = &buf;
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  const std::uint64_t dur = now_ns() - start_ns_;
+  if (buf_ != nullptr) {
+    SpanRecord& rec = (*buf_)[index_];
+    rec.dur_ns = dur;
+    if (state().config.cpu_time) rec.cpu_ns = thread_cpu_ns() - cpu_start_ns_;
+    t_log.stack.pop_back();
+  }
+  if (metrics_enabled()) histogram(name_).observe_ns(dur);
+}
+
+// ------------------------------------------------------ parallel awareness
+
+ParallelRegion::ParallelRegion(std::size_t n) {
+  if (!trace_enabled()) return;
+  active_ = true;
+  slots_.resize(n);
+}
+
+void ParallelRegion::flush() {
+  if (!active_) return;
+  SpanBuffer& dest = current_buffer();
+  const std::int64_t ambient =
+      t_log.stack.empty() ? -1 : static_cast<std::int64_t>(t_log.stack.back());
+  for (SpanBuffer& slot : slots_) {
+    const std::int64_t base = static_cast<std::int64_t>(dest.size());
+    for (SpanRecord& rec : slot) {
+      rec.parent = rec.parent < 0 ? ambient : rec.parent + base;
+      dest.push_back(rec);
+    }
+    slot.clear();
+  }
+  active_ = false;
+}
+
+ParallelRegion::IndexScope::IndexScope(ParallelRegion* region,
+                                       std::size_t i) noexcept {
+  if (region == nullptr || !region->active_) return;
+  active_ = true;
+  saved_buf_ = t_log.buf;
+  saved_stack_ = std::move(t_log.stack);
+  t_log.buf = &region->slots_[i];
+  t_log.stack.clear();
+}
+
+ParallelRegion::IndexScope::~IndexScope() {
+  if (!active_) return;
+  t_log.buf = saved_buf_;
+  t_log.stack = std::move(saved_stack_);
+}
+
+// ------------------------------------------------------------ sink access
+
+namespace detail {
+
+/// Concatenated snapshot of every root buffer, in registration order (the
+/// flushed, deterministic view obs_sink renders). Offsets let the sink
+/// resolve intra-buffer parent indices to global ids.
+std::vector<SpanBuffer*> root_span_buffers() {
+  GlobalState& g = state();
+  std::lock_guard<std::mutex> lock(g.roots_mutex);
+  std::vector<SpanBuffer*> out;
+  out.reserve(g.root_buffers.size());
+  for (const auto& root : g.root_buffers) out.push_back(root.get());
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace smart2::obs

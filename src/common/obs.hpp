@@ -1,0 +1,237 @@
+// Observability for the 2SMaRT runtime: tracing spans, a metrics registry,
+// and per-stage latency histograms.
+//
+// Three coordinated facilities (see OBSERVABILITY.md for naming
+// conventions, env vars, and the JSON schemas):
+//
+//  - Spans. SMART2_SPAN("stage1.mlr.predict") opens a scoped span; spans
+//    nest into a parent/child tree via a per-thread stack and time their
+//    enclosing scope with the monotonic clock (optionally thread CPU time).
+//    Every span also observes its duration into the latency histogram of
+//    the same name, so instrumenting a code path yields both the trace
+//    tree and the per-stage distribution.
+//  - Metrics. A process-wide registry of named counters and fixed-bucket
+//    latency histograms. Iteration is strictly insertion-order — never
+//    hash-order — so every rendered output is bit-stable across runs and
+//    platforms. The well-known instrumentation names are pre-registered in
+//    a fixed catalog order; ad-hoc names should be registered from the
+//    main thread before any parallel fan-out.
+//  - Determinism under the thread pool. Span records opened inside a
+//    smart2::parallel lane are buffered per loop index (ParallelRegion)
+//    and merged in index order at the barrier, so the trace byte stream is
+//    identical for SMART2_THREADS=1/2/4/... modulo the designated timing
+//    fields. Counter/histogram updates are commutative integer atomics,
+//    so their totals are thread-count independent too.
+//
+// Everything is disabled (one relaxed atomic load per probe) until either
+// SMART2_TRACE_JSON / SMART2_OBS_SUMMARY is set or configure() is called.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smart2::obs {
+
+// ------------------------------------------------------------ configuration
+
+struct Config {
+  /// Buffer span records for the JSON-lines trace sink.
+  bool trace = false;
+  /// Collect counters and latency histograms.
+  bool metrics = false;
+  /// Also sample per-thread CPU time for each span (Linux only; 0 elsewhere).
+  bool cpu_time = false;
+};
+
+/// Override the env-derived defaults (tests and embedders). Does not clear
+/// already-collected data; call reset() for that.
+void configure(const Config& config);
+const Config& config();
+
+bool trace_enabled() noexcept;
+bool metrics_enabled() noexcept;
+/// Either facility active.
+bool enabled() noexcept;
+
+/// Drop all buffered span records and every registered metric (tests).
+void reset();
+
+/// Nanoseconds of monotonic time since the process obs epoch.
+std::uint64_t now_ns() noexcept;
+
+// ------------------------------------------------------------ metrics
+
+/// Monotonic event counter. Updates are commutative, so totals are
+/// identical for every thread count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void clear() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Latency histogram with fixed decade bucket edges (1us .. 10s). The
+/// edges are compile-time constants so bucket boundaries never depend on
+/// observed data, and all state is integer atomics so totals are exact and
+/// thread-count independent.
+class Histogram {
+ public:
+  /// Upper edges in nanoseconds; values >= the last edge land in the
+  /// overflow bucket, so there are kEdges.size() + 1 buckets.
+  static constexpr std::array<std::uint64_t, 8> kEdges = {
+      1'000ULL,          10'000ULL,        100'000ULL,
+      1'000'000ULL,      10'000'000ULL,    100'000'000ULL,
+      1'000'000'000ULL,  10'000'000'000ULL};
+  static constexpr std::size_t kBucketCount = kEdges.size() + 1;
+
+  void observe_ns(std::uint64_t ns) noexcept {
+    std::size_t b = 0;
+    while (b < kEdges.size() && ns >= kEdges[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum_ns() const noexcept {
+    return sum_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void clear() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Look up (registering on first use) a named counter / histogram in the
+/// process registry. Returned references stay valid for the process
+/// lifetime. Names must be [a-z0-9_.]+ string literals at the call site —
+/// enforced by smart2_lint's smart2-span-literal rule — so trace output
+/// stays greppable and schema-stable.
+Counter& counter(const char* name);
+Histogram& histogram(const char* name);
+
+/// Insertion-order snapshot of the registry (never hash-order; rendering
+/// from these is bit-stable).
+struct CounterView {
+  const char* name;
+  const Counter* counter;
+};
+struct HistogramView {
+  const char* name;
+  const Histogram* histogram;
+};
+std::vector<CounterView> counters();
+std::vector<HistogramView> histograms();
+
+// ------------------------------------------------------------ spans
+
+/// One closed-or-open span in a buffer. `parent` is an index into the same
+/// buffer, or -1 for a buffer-root span (re-parented to the ambient span
+/// when a ParallelRegion slot is merged).
+struct SpanRecord {
+  const char* name = nullptr;
+  std::int64_t parent = -1;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t cpu_ns = 0;
+};
+using SpanBuffer = std::vector<SpanRecord>;
+
+/// Scoped tracing span. Construct with a string literal; prefer the
+/// SMART2_SPAN macro. For families of related names (one span name per
+/// malware class / bench phase), index a constexpr array of literals and
+/// pass the element to this constructor directly.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null = obs disabled at construction
+  SpanBuffer* buf_ = nullptr;   // null = metrics-only span
+  std::size_t index_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t cpu_start_ns_ = 0;
+};
+
+#define SMART2_OBS_CONCAT_IMPL(a, b) a##b
+#define SMART2_OBS_CONCAT(a, b) SMART2_OBS_CONCAT_IMPL(a, b)
+/// Open a span covering the rest of the enclosing scope. `name` must be a
+/// [a-z0-9_.]+ string literal (smart2-span-literal).
+#define SMART2_SPAN(name) \
+  ::smart2::obs::Span SMART2_OBS_CONCAT(smart2_obs_span_, __LINE__)(name)
+
+// ------------------------------------------------------ parallel awareness
+
+/// Deterministic span collection across a parallel_for: the issuing thread
+/// creates one region per pooled call; every lane buffers the spans of
+/// loop index i into slot i (IndexScope), and flush() — called on the
+/// issuing thread after the barrier — appends the slots to the issuing
+/// thread's buffer in index order, re-parenting slot roots to the span
+/// that was open at the parallel_for call. The merged stream is byte-equal
+/// to what the serial path would have produced.
+///
+/// Only src/common/parallel.cpp should need this type.
+class ParallelRegion {
+ public:
+  explicit ParallelRegion(std::size_t n);
+  ~ParallelRegion() = default;
+
+  ParallelRegion(const ParallelRegion&) = delete;
+  ParallelRegion& operator=(const ParallelRegion&) = delete;
+
+  /// False when tracing was off at construction; IndexScope and flush()
+  /// are then no-ops.
+  bool active() const noexcept { return active_; }
+
+  /// Merge all slots, in index order, into the issuing thread's current
+  /// buffer. Call exactly once, after every index has run.
+  void flush();
+
+  /// RAII redirect of the calling thread's span buffer to slot `i` for the
+  /// duration of fn(i). Pass region == nullptr for the serial paths.
+  class IndexScope {
+   public:
+    IndexScope(ParallelRegion* region, std::size_t i) noexcept;
+    ~IndexScope();
+
+    IndexScope(const IndexScope&) = delete;
+    IndexScope& operator=(const IndexScope&) = delete;
+
+   private:
+    bool active_ = false;
+    SpanBuffer* saved_buf_ = nullptr;
+    std::vector<std::size_t> saved_stack_;
+  };
+
+ private:
+  bool active_ = false;
+  std::vector<SpanBuffer> slots_;
+};
+
+}  // namespace smart2::obs

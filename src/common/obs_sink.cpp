@@ -1,0 +1,201 @@
+#include "common/obs_sink.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+
+namespace smart2::obs {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+/// Human label for histogram bucket `i` ("<1ms", ">=10s").
+std::string bucket_label(std::size_t i) {
+  static const char* kLabels[] = {"1us",   "10us", "100us", "1ms", "10ms",
+                                  "100ms", "1s",   "10s"};
+  if (i < Histogram::kEdges.size()) return std::string("<") + kLabels[i];
+  return std::string(">=") + kLabels[Histogram::kEdges.size() - 1];
+}
+
+/// Upper-edge label of the bucket containing the p-quantile.
+std::string quantile_label(const Histogram& h, double p) {
+  const std::uint64_t total = h.count();
+  if (total == 0) return "-";
+  const double target = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+    cumulative += h.bucket(b);
+    if (static_cast<double>(cumulative) >= target) return bucket_label(b);
+  }
+  return bucket_label(Histogram::kBucketCount - 1);
+}
+
+}  // namespace
+
+std::string trace_to_json() {
+  std::string out;
+  out += "{\"type\": \"meta\", \"tool\": \"smart2_obs\", \"version\": 1, "
+         "\"env\": {\"threads\": " +
+         std::to_string(parallel::thread_count()) +
+         ", \"cpu_time\": " + (config().cpu_time ? "1" : "0") + "}}\n";
+
+  // Spans: every root buffer in registration order; ids are 1-based trace
+  // positions, so they are identical for every thread count.
+  std::uint64_t offset = 0;
+  for (const SpanBuffer* buf : detail::root_span_buffers()) {
+    for (std::size_t i = 0; i < buf->size(); ++i) {
+      const SpanRecord& rec = (*buf)[i];
+      out += "{\"type\": \"span\", \"id\": " + std::to_string(offset + i + 1);
+      out += ", \"parent\": " +
+             std::to_string(rec.parent < 0
+                                ? 0
+                                : offset + static_cast<std::uint64_t>(
+                                               rec.parent) + 1);
+      out += ", \"name\": ";
+      append_json_string(out, rec.name);
+      out += ", \"timing\": {\"start_ns\": " + std::to_string(rec.start_ns);
+      out += ", \"dur_ns\": " + std::to_string(rec.dur_ns);
+      out += ", \"cpu_ns\": " + std::to_string(rec.cpu_ns) + "}}\n";
+    }
+    offset += buf->size();
+  }
+
+  // Metrics in registry insertion order (bit-stable; never hash-order).
+  // Counter values and histogram observation counts are deterministic;
+  // everything timing-derived sits inside "timing".
+  for (const CounterView& c : counters()) {
+    if (c.counter->value() == 0) continue;
+    out += "{\"type\": \"counter\", \"name\": ";
+    append_json_string(out, c.name);
+    out += ", \"value\": " + std::to_string(c.counter->value()) + "}\n";
+  }
+  for (const HistogramView& h : histograms()) {
+    if (h.histogram->count() == 0) continue;
+    out += "{\"type\": \"hist\", \"name\": ";
+    append_json_string(out, h.name);
+    out += ", \"count\": " + std::to_string(h.histogram->count());
+    out += ", \"timing\": {\"sum_ns\": " +
+           std::to_string(h.histogram->sum_ns());
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      if (b != 0) out += ", ";
+      out += std::to_string(h.histogram->bucket(b));
+    }
+    out += "]}}\n";
+  }
+  return out;
+}
+
+std::string strip_volatile(std::string_view trace_json) {
+  std::string out;
+  out.reserve(trace_json.size());
+  std::size_t i = 0;
+  while (i < trace_json.size()) {
+    static constexpr std::string_view kTiming = ", \"timing\": {";
+    static constexpr std::string_view kEnv = ", \"env\": {";
+    std::string_view rest = trace_json.substr(i);
+    std::size_t skip = 0;
+    if (rest.rfind(kTiming, 0) == 0) skip = kTiming.size();
+    if (rest.rfind(kEnv, 0) == 0) skip = kEnv.size();
+    if (skip != 0) {
+      // Skip to the matching close brace; the sub-objects hold only
+      // numbers and arrays, never nested objects or strings.
+      std::size_t depth = 1;
+      std::size_t j = i + skip;
+      while (j < trace_json.size() && depth > 0) {
+        if (trace_json[j] == '{') ++depth;
+        if (trace_json[j] == '}') --depth;
+        ++j;
+      }
+      i = j;
+      continue;
+    }
+    out += trace_json[i];
+    ++i;
+  }
+  return out;
+}
+
+std::string render_summary() {
+  std::string out = "== smart2 obs summary ==\n";
+
+  bool any_counter = false;
+  TableWriter counter_table({"counter", "value"});
+  for (const CounterView& c : counters()) {
+    if (c.counter->value() == 0) continue;
+    any_counter = true;
+    counter_table.add_row({c.name, std::to_string(c.counter->value())});
+  }
+  if (any_counter) out += counter_table.render();
+
+  bool any_hist = false;
+  TableWriter hist_table(
+      {"span / phase", "count", "total ms", "mean us", "p95"});
+  for (const HistogramView& h : histograms()) {
+    const std::uint64_t count = h.histogram->count();
+    if (count == 0) continue;
+    any_hist = true;
+    const double total_ms =
+        static_cast<double>(h.histogram->sum_ns()) / 1e6;
+    const double mean_us = static_cast<double>(h.histogram->sum_ns()) /
+                           (1e3 * static_cast<double>(count));
+    hist_table.add_row({h.name, std::to_string(count),
+                        TableWriter::num(total_ms, 3),
+                        TableWriter::num(mean_us, 1),
+                        quantile_label(*h.histogram, 0.95)});
+  }
+  if (any_hist) out += hist_table.render();
+  if (!any_counter && !any_hist) out += "(no observations)\n";
+  return out;
+}
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << trace_to_json();
+  return static_cast<bool>(file);
+}
+
+namespace {
+
+void exit_sink() {
+  const char* trace_path = std::getenv("SMART2_TRACE_JSON");
+  if (trace_path != nullptr && trace_path[0] != '\0' && trace_enabled()) {
+    if (!write_trace_file(trace_path))
+      std::fprintf(stderr, "[obs] cannot write trace %s\n", trace_path);
+    else
+      std::fprintf(stderr, "[obs] trace written to %s\n", trace_path);
+  }
+  const char* summary = std::getenv("SMART2_OBS_SUMMARY");
+  if (summary != nullptr && summary[0] == '1' && metrics_enabled())
+    std::fprintf(stderr, "%s", render_summary().c_str());
+}
+
+bool g_sinks_installed = false;
+
+}  // namespace
+
+void install_exit_sinks() {
+  if (g_sinks_installed) return;
+  g_sinks_installed = true;
+  std::atexit(exit_sink);
+}
+
+}  // namespace smart2::obs

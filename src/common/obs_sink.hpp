@@ -1,0 +1,46 @@
+// Output sinks for smart2::obs: the JSON-lines trace, the volatile-field
+// stripper used to compare traces across thread counts, and the human
+// summary table. Formats are documented (with schemas and a worked
+// example) in OBSERVABILITY.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/obs.hpp"
+
+namespace smart2::obs {
+
+/// Render every buffered span plus the metrics registry as JSON lines:
+/// one meta line, then one line per span (trace order = deterministic
+/// merge order), then counters and histograms in registry insertion
+/// order. All volatile values (wall-clock, CPU time, bucket tallies,
+/// thread count) live inside "timing"/"env" sub-objects so byte
+/// comparison after strip_volatile() is exact.
+std::string trace_to_json();
+
+/// Comparison mode: drop the "timing" and "env" sub-objects from a trace
+/// produced by trace_to_json(). Two runs of the same workload — any
+/// SMART2_THREADS values — strip to byte-identical strings.
+std::string strip_volatile(std::string_view trace_json);
+
+/// Render the metrics registry as a fixed-layout summary table (counters,
+/// then per-name latency histograms with count / total / mean / p95).
+std::string render_summary();
+
+/// Write trace_to_json() to `path`. Returns false if the file cannot be
+/// opened.
+bool write_trace_file(const std::string& path);
+
+/// Register the atexit hook honoring SMART2_TRACE_JSON (trace file) and
+/// SMART2_OBS_SUMMARY (summary table on stderr). Idempotent; called
+/// automatically when either env var enables obs.
+void install_exit_sinks();
+
+namespace detail {
+/// Internal: the root span buffers in registration order (obs.cpp).
+std::vector<SpanBuffer*> root_span_buffers();
+}  // namespace detail
+
+}  // namespace smart2::obs

@@ -10,6 +10,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/obs.hpp"
+
 namespace smart2::parallel {
 
 namespace {
@@ -37,6 +39,7 @@ struct ThreadPool::Task {
   std::size_t grain = 1;
   std::size_t chunk_count = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
+  obs::ParallelRegion* region = nullptr;  // span collection; null = trace off
 
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<std::size_t> chunks_left{0};
@@ -81,7 +84,12 @@ void ThreadPool::run_chunks(Task& task) {
     const std::size_t lo = task.begin + c * task.grain;
     const std::size_t hi = std::min(task.end, lo + task.grain);
     try {
-      for (std::size_t i = lo; i < hi; ++i) (*task.fn)(i);
+      for (std::size_t i = lo; i < hi; ++i) {
+        // Buffer any spans fn(i) opens into the region's slot i, so the
+        // trace merges deterministically at the barrier.
+        obs::ParallelRegion::IndexScope obs_scope(task.region, i);
+        (*task.fn)(i);
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lk(task.m);
       if (!task.first_error) task.first_error = std::current_exception();
@@ -130,6 +138,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
 
+  // Per-index span buffers, merged in index order at the barrier below, so
+  // trace output is identical to the serial path's. Inactive (and free)
+  // unless tracing is on.
+  obs::ParallelRegion region(n);
+
   auto task = std::make_shared<Task>();
   task->begin = begin;
   task->end = end;
@@ -139,6 +152,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   task->chunk_count = (n + task->grain - 1) / task->grain;
   task->chunks_left.store(task->chunk_count, std::memory_order_relaxed);
   task->fn = &fn;
+  if (region.active()) task->region = &region;
 
   {
     std::lock_guard<std::mutex> lk(impl_->m);
@@ -151,6 +165,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
   std::unique_lock<std::mutex> lk(task->m);
   task->done_cv.wait(lk, [&] { return task->done; });
+  region.flush();
   if (task->first_error) std::rethrow_exception(task->first_error);
 }
 

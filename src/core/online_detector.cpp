@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "ml/metrics.hpp"
 
@@ -27,6 +28,7 @@ OnlineDetector::OnlineDetector(const TwoStageHmd& hmd,
 
 OnlineDetector::WindowVerdict OnlineDetector::observe(
     std::span<const double> common4) {
+  SMART2_SPAN("online.observe");
   WindowVerdict verdict;
 
   // Per-window score: the stage-2 malware probability of the class stage 1
@@ -66,6 +68,8 @@ OnlineDetector::WindowVerdict OnlineDetector::observe(
   }
   verdict.alarmed = alarmed_;
   verdict.alarm_edge = alarmed_ && !was_alarmed;
+  if (verdict.alarm_edge && obs::metrics_enabled())
+    obs::counter("online.alarms").add();
   return verdict;
 }
 
@@ -90,6 +94,7 @@ std::vector<OnlineDetector::WindowVerdict> OnlineDetectorBank::observe_batch(
   if (windows.size() != streams_.size())
     throw std::invalid_argument(
         "OnlineDetectorBank: one window per stream required");
+  SMART2_SPAN("online.observe_batch");
   // Streams own disjoint EWMA/hysteresis state, so the tick fans out
   // across the pool with each stream writing its own verdict slot.
   std::vector<OnlineDetector::WindowVerdict> verdicts(streams_.size());

@@ -3,6 +3,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/obs.hpp"
+
 namespace smart2 {
 
 RuntimeMonitor::RuntimeMonitor(const TwoStageHmd& hmd, HpcCollector collector)
@@ -35,6 +37,7 @@ std::vector<Event> RuntimeMonitor::common_events() const {
 }
 
 MonitorResult RuntimeMonitor::scan(const AppSpec& app) const {
+  SMART2_SPAN("monitor.scan");
   MonitorResult out;
 
   // Run 1: the Common events, programmed into the real registers.

@@ -6,11 +6,26 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "ml/logistic.hpp"
 #include "ml/serialize.hpp"
 
 namespace smart2 {
+
+namespace {
+
+// One span name per malware class, index-aligned with kMalwareClasses.
+// Families of related names index a constexpr array of literals; the
+// elements still satisfy smart2-span-literal's [a-z0-9_.]+ grammar.
+constexpr const char* kStage2TrainSpans[kNumMalwareClasses] = {
+    "stage2.backdoor.train", "stage2.rootkit.train", "stage2.virus.train",
+    "stage2.trojan.train"};
+constexpr const char* kStage2PredictSpans[kNumMalwareClasses] = {
+    "stage2.backdoor.predict", "stage2.rootkit.predict",
+    "stage2.virus.predict", "stage2.trojan.predict"};
+
+}  // namespace
 
 std::string_view to_string(Stage2Features mode) noexcept {
   switch (mode) {
@@ -43,6 +58,7 @@ std::vector<std::size_t> TwoStageHmd::features_for(std::size_t slot) const {
 
 TwoStageHmd::Specialized TwoStageHmd::train_specialized(
     const Dataset& multiclass_train, std::size_t slot, Rng& rng) const {
+  const obs::Span span(kStage2TrainSpans[slot]);
   const AppClass cls = kMalwareClasses[slot];
   Specialized out;
   out.features = features_for(slot);
@@ -86,6 +102,7 @@ void TwoStageHmd::train(const Dataset& multiclass_train) {
   if (multiclass_train.class_count() != kNumAppClasses)
     throw std::invalid_argument(
         "TwoStageHmd::train: expected the 5-class application dataset");
+  SMART2_SPAN("two_stage.train");
 
   plan_ = config_.use_paper_features
               ? paper_feature_plan(multiclass_train)
@@ -93,8 +110,11 @@ void TwoStageHmd::train(const Dataset& multiclass_train) {
   Rng rng(config_.seed);
 
   // Stage 1: MLR over the Common features.
-  stage1_ = make_classifier("MLR");
-  stage1_->fit(multiclass_train.select_features(plan_.common));
+  {
+    SMART2_SPAN("stage1.mlr.train");
+    stage1_ = make_classifier("MLR");
+    stage1_->fit(multiclass_train.select_features(plan_.common));
+  }
 
   // Stage 2: one specialized detector per malware class.
   for (std::size_t m = 0; m < kNumMalwareClasses; ++m)
@@ -145,7 +165,11 @@ Detection TwoStageHmd::detect(std::span<const double> features44) const {
   for (std::size_t f : plan_.common) common.push_back(features44[f]);
 
   Detection out;
-  const auto proba = stage1_->predict_proba(common);
+  std::vector<double> proba;
+  {
+    SMART2_SPAN("stage1.mlr.predict");
+    proba = stage1_->predict_proba(common);
+  }
   int best = 0;
   for (std::size_t k = 1; k < proba.size(); ++k)
     if (proba[k] > proba[static_cast<std::size_t>(best)])
@@ -157,8 +181,11 @@ Detection TwoStageHmd::detect(std::span<const double> features44) const {
   // which makes the final benign/malware decision (Fig. 3).
   auto cls = static_cast<AppClass>(best);
   if (cls == AppClass::kBenign) {
-    if (proba[label_of(AppClass::kBenign)] >= config_.benign_confidence)
+    if (proba[label_of(AppClass::kBenign)] >= config_.benign_confidence) {
+      if (obs::metrics_enabled())
+        obs::counter("stage1.benign_shortcircuit").add();
       return out;
+    }
     int best_malware = label_of(kMalwareClasses[0]);
     for (AppClass m : kMalwareClasses)
       if (proba[static_cast<std::size_t>(label_of(m))] >
@@ -167,7 +194,10 @@ Detection TwoStageHmd::detect(std::span<const double> features44) const {
     cls = static_cast<AppClass>(best_malware);
   }
 
-  const Specialized& spec = stage2_[malware_slot(cls)];
+  const std::size_t slot = malware_slot(cls);
+  if (obs::metrics_enabled()) obs::counter("stage2.dispatch").add();
+  const obs::Span stage2_span(kStage2PredictSpans[slot]);
+  const Specialized& spec = stage2_[slot];
   std::vector<double> class_features;
   class_features.reserve(spec.features.size());
   for (std::size_t f : spec.features) class_features.push_back(features44[f]);
@@ -183,6 +213,7 @@ Detection TwoStageHmd::detect(std::span<const double> features44) const {
 
 std::vector<Detection> TwoStageHmd::predict_batch(const Dataset& samples) const {
   if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  SMART2_SPAN("two_stage.predict_batch");
   // Rows are independent and detect() is const/stateless, so each row
   // writes its verdict into its own slot.
   std::vector<Detection> out(samples.size());

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "ml/serialize.hpp"
 
@@ -26,6 +27,7 @@ void AdaBoost::fit_weighted(const Dataset& train,
     throw std::invalid_argument("AdaBoost: empty training set");
   if (weights.size() != train.size())
     throw std::invalid_argument("AdaBoost: weight count mismatch");
+  SMART2_SPAN("adaboost.fit");
 
   const std::size_t n = train.size();
   members_.clear();
@@ -46,6 +48,8 @@ void AdaBoost::fit_weighted(const Dataset& train,
   std::vector<double> scaled(n);
 
   for (int t = 0; t < params_.rounds; ++t) {
+    SMART2_SPAN("adaboost.round");
+    if (obs::metrics_enabled()) obs::counter("adaboost.rounds").add();
     auto model = prototype_->clone_untrained();
     if (resample) {
       Dataset sample = train.resample_weighted(w, n, rng);

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "ml/serialize.hpp"
 
@@ -25,6 +26,7 @@ Bagging::Bagging(std::unique_ptr<Classifier> prototype, Params params)
 
 void Bagging::fit_weighted(const Dataset& train,
                            std::span<const double> weights) {
+  SMART2_SPAN("ml.bagging.fit");
   if (train.empty()) throw std::invalid_argument("Bagging: empty training set");
   if (weights.size() != train.size())
     throw std::invalid_argument("Bagging: weight count mismatch");

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace smart2 {
@@ -53,6 +54,7 @@ CrossValidationResult cross_validate_binary(const Classifier& prototype,
                                             Rng& rng) {
   if (d.class_count() != 2)
     throw std::invalid_argument("cross_validate_binary: dataset not binary");
+  SMART2_SPAN("cv.run");
   const auto folds = stratified_folds(d, k, rng);
 
   // Folds are independent: each trains a fresh clone on its own merged
@@ -61,6 +63,8 @@ CrossValidationResult cross_validate_binary(const Classifier& prototype,
   CrossValidationResult out;
   out.folds.resize(k);
   parallel::parallel_for(0, k, [&](std::size_t f) {
+    SMART2_SPAN("cv.fold");
+    if (obs::metrics_enabled()) obs::counter("cv.folds").add();
     const Dataset train = merge_except(folds, f);
     auto model = prototype.clone_untrained();
     model->fit(train);
@@ -96,11 +100,14 @@ CrossValidationResult cross_validate_binary(const Classifier& prototype,
 
 double cross_validate_accuracy(const Classifier& prototype, const Dataset& d,
                                std::size_t k, Rng& rng) {
+  SMART2_SPAN("cv.run");
   const auto folds = stratified_folds(d, k, rng);
   // Per-fold counts land in per-fold slots; the reduction below runs
   // serially in fold order, so the result is thread-count independent.
   std::vector<std::size_t> fold_correct(k, 0);
   parallel::parallel_for(0, k, [&](std::size_t f) {
+    SMART2_SPAN("cv.fold");
+    if (obs::metrics_enabled()) obs::counter("cv.folds").add();
     const Dataset train = merge_except(folds, f);
     auto model = prototype.clone_untrained();
     model->fit(train);

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace smart2 {
@@ -102,6 +103,7 @@ struct DecisionTree::Split {
 
 void DecisionTree::fit_weighted(const Dataset& train,
                                 std::span<const double> weights) {
+  SMART2_SPAN("ml.j48.fit");
   if (train.empty())
     throw std::invalid_argument("DecisionTree: empty training set");
   if (weights.size() != train.size())

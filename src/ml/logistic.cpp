@@ -6,10 +6,13 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/obs.hpp"
+
 namespace smart2 {
 
 void LogisticRegression::fit_weighted(const Dataset& train,
                                       std::span<const double> weights) {
+  SMART2_SPAN("ml.mlr.fit");
   if (train.empty())
     throw std::invalid_argument("LogisticRegression: empty training set");
   if (weights.size() != train.size())

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/obs.hpp"
+
 namespace smart2 {
 
 namespace {
@@ -17,6 +19,7 @@ double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
 
 void Mlp::fit_weighted(const Dataset& train,
                        std::span<const double> weights) {
+  SMART2_SPAN("ml.mlp.fit");
   if (train.empty()) throw std::invalid_argument("Mlp: empty training set");
   if (weights.size() != train.size())
     throw std::invalid_argument("Mlp: weight count mismatch");

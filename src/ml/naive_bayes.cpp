@@ -6,10 +6,13 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/obs.hpp"
+
 namespace smart2 {
 
 void NaiveBayes::fit_weighted(const Dataset& train,
                               std::span<const double> weights) {
+  SMART2_SPAN("ml.nb.fit");
   if (train.empty())
     throw std::invalid_argument("NaiveBayes: empty training set");
   if (weights.size() != train.size())

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/obs.hpp"
+
 namespace smart2 {
 
 namespace {
@@ -23,6 +25,7 @@ int argmax(const std::vector<double>& v) {
 
 void OneR::fit_weighted(const Dataset& train,
                         std::span<const double> weights) {
+  SMART2_SPAN("ml.oner.fit");
   if (train.empty()) throw std::invalid_argument("OneR: empty training set");
   if (weights.size() != train.size())
     throw std::invalid_argument("OneR: weight count mismatch");

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/obs.hpp"
+
 namespace smart2 {
 
 namespace {
@@ -144,6 +146,7 @@ void Ripper::prune_rule(Rule& rule, const Dataset& d,
 
 void Ripper::fit_weighted(const Dataset& train,
                           std::span<const double> weights) {
+  SMART2_SPAN("ml.jrip.fit");
   if (train.empty()) throw std::invalid_argument("Ripper: empty training set");
   if (weights.size() != train.size())
     throw std::invalid_argument("Ripper: weight count mismatch");

@@ -191,6 +191,52 @@ TEST(LintSharedRng, AllowsPreForkedSubstreams) {
   EXPECT_EQ(count_rule(fs, "smart2-shared-rng"), 0u);
 }
 
+// ------------------------------------------------------------ observability
+
+TEST(LintSpanLiteral, FlagsComputedAndIllFormedNames) {
+  const auto fs = active("src/core/x.cpp", R"cpp(void f(const char* dyn) {
+  SMART2_SPAN(dyn);
+  SMART2_SPAN("Stage1.Predict");
+  smart2::obs::counter(dyn).add();
+  smart2::obs::histogram(name_for(3)).observe_ns(1);
+}
+)cpp");
+  ASSERT_EQ(count_rule(fs, "smart2-span-literal"), 4u);
+  EXPECT_EQ(fs[0].line, 2u);  // computed macro arg
+  EXPECT_EQ(fs[1].line, 3u);  // uppercase letters break the grammar
+}
+
+TEST(LintSpanLiteral, AllowsWellFormedLiterals) {
+  const auto fs = active("src/core/x.cpp", R"cpp(void f() {
+  SMART2_SPAN("stage1.mlr.predict");
+  smart2::obs::counter("stage2.dispatch").add();
+  smart2::obs::histogram("two_stage.predict_batch").observe_ns(42);
+}
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-span-literal"), 0u);
+}
+
+TEST(LintSpanLiteral, IgnoresUnqualifiedAndMemberNames) {
+  // Only the obs:: registry entry points are audited: other functions that
+  // happen to be called counter()/histogram() are out of scope.
+  const auto fs = active("src/core/x.cpp", R"cpp(void f(Widget& w, int k) {
+  w.counter(k);
+  histogram(k);
+  stats::histogram(k);
+}
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-span-literal"), 0u);
+}
+
+TEST(LintSpanLiteral, NolintSuppressesRegistryLookup) {
+  const auto all = lint_text(
+      "src/core/x.cpp",
+      "void f(const char* n) { smart2::obs::histogram(n).observe_ns(1); }  "
+      "// NOLINT(smart2-span-literal)\n");
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0].suppressed);
+}
+
 // ------------------------------------------------------------ hygiene
 
 TEST(LintHeaderGuard, FlagsUnguardedHeaderOnly) {
@@ -297,7 +343,7 @@ int f() { return std::rand(); }
 )cpp";
   for (const Finding& f : lint_text("src/ml/x.cpp", bad))
     EXPECT_TRUE(is_known_rule(f.rule)) << f.rule;
-  EXPECT_EQ(rule_catalog().size(), 9u);
+  EXPECT_EQ(rule_catalog().size(), 10u);
 }
 
 }  // namespace

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Smoke-check a smart2 obs trace and the bench phase ledger.
+
+Usage: check_trace.py TRACE_JSONL [BENCH_TIMINGS_JSON]
+
+Asserts the JSON-lines schema documented in OBSERVABILITY.md: a meta line,
+span lines whose volatile fields sit inside "timing", counter and hist
+lines, span names from the stage1./stage2. families, and (optionally) a
+"phases" breakdown in at least one bench ledger line. Exits nonzero with
+an explanatory assertion on any mismatch. Used by the CI build-test job.
+"""
+import json
+import sys
+
+
+def check_trace(path):
+    types = set()
+    names = set()
+    with open(path) as f:
+        for line in f:
+            rec = json.loads(line)
+            types.add(rec["type"])
+            if rec["type"] == "meta":
+                assert set(rec["env"]) == {"threads", "cpu_time"}, rec
+            if rec["type"] == "span":
+                assert set(rec) >= {"id", "parent", "name", "timing"}, rec
+                assert set(rec["timing"]) == {"start_ns", "dur_ns", "cpu_ns"}, rec
+                names.add(rec["name"])
+            if rec["type"] == "counter":
+                assert rec["value"] > 0, rec
+            if rec["type"] == "hist":
+                assert len(rec["timing"]["buckets"]) == 9, rec
+                assert rec["count"] == sum(rec["timing"]["buckets"]), rec
+    assert types == {"meta", "span", "counter", "hist"}, types
+    assert any(n.startswith("stage1.") for n in names), names
+    assert any(n.startswith("stage2.") for n in names), names
+    return names
+
+
+def check_ledger(path):
+    with open(path) as f:
+        ledger = [json.loads(line) for line in f]
+    assert any("phases" in rec for rec in ledger), ledger
+    phases = next(rec["phases"] for rec in ledger if "phases" in rec)
+    assert all(secs >= 0.0 for secs in phases.values()), phases
+    return phases
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    names = check_trace(argv[1])
+    msg = f"obs smoke OK: {len(names)} distinct span names"
+    if len(argv) == 3:
+        phases = check_ledger(argv[2])
+        msg += f", phases: {sorted(phases)}"
+    print(msg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

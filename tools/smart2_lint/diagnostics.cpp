@@ -41,6 +41,15 @@ const std::vector<RuleInfo>& rule_catalog() {
        "fork one substream per work unit before the loop (e.g. "
        "std::vector<Rng> sub = rng-per-unit via Rng::fork()) and index it by "
        "the unit id"},
+      {"smart2-span-literal",
+       "SMART2_SPAN / obs::counter / obs::histogram called with a computed "
+       "or ill-formed name: instrumentation names must be greppable string "
+       "literals matching [a-z0-9_.]+ so the trace schema and registry "
+       "order never depend on run-time values",
+       "pass a single [a-z0-9_.]+ string literal; for a family of related "
+       "names, index a constexpr array of literals and construct obs::Span "
+       "directly, or suppress one registry lookup with // "
+       "NOLINT(smart2-span-literal)"},
       {"smart2-header-guard",
        "header without #pragma once or an #ifndef include guard",
        "add #pragma once as the first non-comment line"},

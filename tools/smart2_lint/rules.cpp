@@ -403,6 +403,55 @@ void rule_parallel_bodies(const Ctx& ctx) {
   }
 }
 
+// ------------------------------------------------------------ observability
+
+/// Well-formed span/metric name: one or more of [a-z0-9_.].
+bool valid_span_name(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+          c == '.'))
+      return false;
+  return true;
+}
+
+// smart2-span-literal: SMART2_SPAN / obs::counter / obs::histogram must be
+// handed a single [a-z0-9_.]+ string literal, so every instrumentation name
+// is greppable in the source and the registry's insertion order can never
+// depend on run-time values.
+void rule_span_literal(const Ctx& ctx) {
+  const Tokens& t = *ctx.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool span_macro = id_is(t, i, "SMART2_SPAN");
+    const bool registry_call =
+        (id_is(t, i, "counter") || id_is(t, i, "histogram")) && i >= 2 &&
+        punct_is(t, i - 1, "::") && id_is(t, i - 2, "obs");
+    if (!(span_macro || registry_call) || !punct_is(t, i + 1, "(")) continue;
+    const std::string site =
+        span_macro ? "SMART2_SPAN" : "obs::" + std::string(t[i].text);
+    if (i + 2 >= t.size() || t[i + 2].kind != TokKind::kString) {
+      ctx.add("smart2-span-literal", t[i],
+              site + " name must be a string literal, not a computed "
+                     "expression");
+      continue;
+    }
+    std::string_view lit = t[i + 2].text;
+    if (lit.size() >= 2 && lit.front() == '"' && lit.back() == '"') {
+      lit.remove_prefix(1);
+      lit.remove_suffix(1);
+    }
+    if (!valid_span_name(lit)) {
+      ctx.add("smart2-span-literal", t[i],
+              site + " name \"" + std::string(lit) +
+                  "\" must match [a-z0-9_.]+");
+    } else if (!punct_is(t, i + 3, ")")) {
+      // "a" "b" concatenation or a trailing expression is still computed.
+      ctx.add("smart2-span-literal", t[i],
+              site + " name must be a single string literal");
+    }
+  }
+}
+
 // ------------------------------------------------------------ hygiene
 
 // smart2-header-guard: headers need #pragma once or an #ifndef guard.
@@ -518,6 +567,7 @@ std::vector<Finding> lint_text(std::string_view path,
   rule_unordered_iteration(ctx);
   rule_raw_thread(ctx);
   rule_parallel_bodies(ctx);
+  rule_span_literal(ctx);
   rule_header_guard(ctx, lexed, content);
   rule_using_namespace(ctx);
 
