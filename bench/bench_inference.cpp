@@ -1,0 +1,261 @@
+// Compiled vs interpreted inference microbenchmark.
+//
+// For every lowerable classifier (trained on the {Benign, Backdoor} binary
+// view, 16 HPC features; the Stage-1 MLR on the 4 Common features) and for
+// the full two-stage pipeline, measures single-thread ns/sample on the test
+// split over both paths. Prints a table, appends the usual ScopedTiming
+// ledger line, and writes a BENCH_inference.json summary that the CI perf
+// smoke (tools/check_inference.py) gates on: the compiled path must not be
+// slower than the interpreted one on the tree-based models.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/compiled.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+
+namespace {
+
+using namespace smart2;
+
+struct ModelResult {
+  std::string model;
+  /// The seed's API shape: predict_proba() returning a fresh std::vector.
+  double allocating_ns = 0.0;
+  /// The interpreted model driven through the zero-allocation
+  /// predict_proba_into() API.
+  double interpreted_ns = 0.0;
+  double compiled_ns = 0.0;
+
+  double speedup() const {
+    return compiled_ns > 0.0 ? interpreted_ns / compiled_ns : 0.0;
+  }
+  double speedup_vs_allocating() const {
+    return compiled_ns > 0.0 ? allocating_ns / compiled_ns : 0.0;
+  }
+  double compiled_samples_per_sec() const {
+    return compiled_ns > 0.0 ? 1e9 / compiled_ns : 0.0;
+  }
+};
+
+/// Best-of-N ns/sample for one full pass over the test rows.
+template <typename Pass>
+double time_ns_per_sample(std::size_t rows, Pass&& pass, int reps = 30) {
+  pass();  // warm caches and the thread-local scratch arena
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pass();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    best = std::min(best, ns / static_cast<double>(rows));
+  }
+  return best;
+}
+
+ModelResult bench_model(std::string label, const Classifier& model,
+                        const Dataset& te) {
+  const auto lowered = compiled::compile(model);
+  std::vector<double> proba(model.class_count());
+
+  ModelResult out;
+  out.model = std::move(label);
+  out.allocating_ns = time_ns_per_sample(te.size(), [&] {
+    for (std::size_t i = 0; i < te.size(); ++i)
+      benchmark::DoNotOptimize(model.predict_proba(te.features(i)).data());
+  });
+  out.interpreted_ns = time_ns_per_sample(te.size(), [&] {
+    for (std::size_t i = 0; i < te.size(); ++i) {
+      model.predict_proba_into(te.features(i), proba);
+      benchmark::DoNotOptimize(proba.data());
+    }
+  });
+  out.compiled_ns = time_ns_per_sample(te.size(), [&] {
+    for (std::size_t i = 0; i < te.size(); ++i) {
+      lowered->predict_proba_into(te.features(i), proba);
+      benchmark::DoNotOptimize(proba.data());
+    }
+  });
+  return out;
+}
+
+std::vector<ModelResult> run_inference_bench() {
+  std::vector<ModelResult> results;
+
+  // Stage-2 shaped problem: {Benign, Backdoor}, the 16 top HPC features.
+  const int positive = label_of(kMalwareClasses[0]);
+  const int negative = label_of(AppClass::kBenign);
+  const Dataset btr = bench::train()
+                          .binary_view(positive, negative)
+                          .select_features(bench::plan().top16);
+  const Dataset bte = bench::test()
+                          .binary_view(positive, negative)
+                          .select_features(bench::plan().top16);
+
+  const auto add = [&](std::string label, Classifier& model) {
+    {
+      const bench::Phase phase(bench::Phase::kTrain);
+      model.fit(btr);
+    }
+    const bench::Phase phase(bench::Phase::kPredict);
+    results.push_back(bench_model(std::move(label), model, bte));
+  };
+
+  DecisionTree j48;
+  add("J48", j48);
+  Ripper jrip;
+  add("JRip", jrip);
+  Mlp mlp;
+  add("MLP", mlp);
+  OneR oner;
+  add("OneR", oner);
+  NaiveBayes nb;
+  add("NaiveBayes", nb);
+  Bagging bagging(std::make_unique<DecisionTree>());
+  add("Bagging(J48)", bagging);
+  AdaBoost boosted(std::make_unique<OneR>());
+  add("AdaBoost(OneR)", boosted);
+
+  // Stage-1 shaped problem: 5-way MLR on the 4 Common features.
+  {
+    const Dataset mtr = bench::train().select_features(bench::plan().common);
+    const Dataset mte = bench::test().select_features(bench::plan().common);
+    LogisticRegression mlr;
+    {
+      const bench::Phase phase(bench::Phase::kTrain);
+      mlr.fit(mtr);
+    }
+    const bench::Phase phase(bench::Phase::kPredict);
+    results.push_back(bench_model("MLR", mlr, mte));
+  }
+
+  // The full pipeline on raw 44-event vectors: detect() (compiled) vs
+  // detect_interpreted().
+  {
+    TwoStageConfig cfg;
+    cfg.stage2_model = "J48";
+    TwoStageHmd hmd(cfg);
+    {
+      const bench::Phase phase(bench::Phase::kTrain);
+      hmd.train(bench::train());
+    }
+    const bench::Phase phase(bench::Phase::kPredict);
+    const Dataset& te = bench::test();
+    ModelResult pipeline;
+    pipeline.model = "TwoStageHmd";
+    pipeline.allocating_ns = 0.0;  // the pipeline never had an allocating API
+    pipeline.interpreted_ns = time_ns_per_sample(te.size(), [&] {
+      for (std::size_t i = 0; i < te.size(); ++i) {
+        const auto d = hmd.detect_interpreted(te.features(i));
+        benchmark::DoNotOptimize(d.stage2_score);
+      }
+    });
+    pipeline.compiled_ns = time_ns_per_sample(te.size(), [&] {
+      for (std::size_t i = 0; i < te.size(); ++i) {
+        const auto d = hmd.detect(te.features(i));
+        benchmark::DoNotOptimize(d.stage2_score);
+      }
+    });
+    results.push_back(pipeline);
+  }
+  return results;
+}
+
+void write_summary_json(const std::vector<ModelResult>& results) {
+  std::ofstream out("BENCH_inference.json", std::ios::trunc);
+  out << "{\"bench\": \"inference\", \"threads\": "
+      << parallel::thread_count() << ", \"models\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ModelResult& r = results[i];
+    if (i != 0) out << ", ";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"model\": \"%s\", \"allocating_ns\": %.1f, "
+                  "\"interpreted_ns\": %.1f, \"compiled_ns\": %.1f, "
+                  "\"speedup\": %.2f}",
+                  r.model.c_str(), r.allocating_ns, r.interpreted_ns,
+                  r.compiled_ns, r.speedup());
+    out << buf;
+  }
+  out << "]}\n";
+}
+
+void print_results(const std::vector<ModelResult>& results) {
+  bench::print_banner(
+      "Compiled vs interpreted inference (single sample, one thread)");
+  TableWriter t({"model", "alloc ns", "interp ns", "compiled ns", "speedup",
+                 "vs alloc", "compiled samples/s"});
+  for (const ModelResult& r : results)
+    t.add_row({r.model,
+               r.allocating_ns > 0.0 ? TableWriter::num(r.allocating_ns, 0)
+                                     : "-",
+               TableWriter::num(r.interpreted_ns, 0),
+               TableWriter::num(r.compiled_ns, 0),
+               TableWriter::num(r.speedup(), 2) + "x",
+               r.allocating_ns > 0.0
+                   ? TableWriter::num(r.speedup_vs_allocating(), 2) + "x"
+                   : "-",
+               TableWriter::num(r.compiled_samples_per_sec(), 0)});
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Both paths are bit-identical (compiled_test asserts it); the compiled\n"
+      "path additionally performs zero heap allocations per sample\n"
+      "(alloc_test asserts that). Summary written to BENCH_inference.json.\n\n");
+}
+
+// Steady-state pipeline latency under the google-benchmark harness too, so
+// --benchmark_filter selects it like any other bench.
+void BM_DetectCompiled(benchmark::State& state) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";
+  TwoStageHmd hmd(cfg);
+  hmd.train(bench::train());
+  const Dataset& te = bench::test();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmd.detect(te.features(i)).stage2_score);
+    i = (i + 1) % te.size();
+  }
+}
+BENCHMARK(BM_DetectCompiled);
+
+void BM_DetectInterpreted(benchmark::State& state) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";
+  TwoStageHmd hmd(cfg);
+  hmd.train(bench::train());
+  const Dataset& te = bench::test();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hmd.detect_interpreted(te.features(i)).stage2_score);
+    i = (i + 1) % te.size();
+  }
+}
+BENCHMARK(BM_DetectInterpreted);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("inference");
+  const auto results = run_inference_bench();
+  print_results(results);
+  write_summary_json(results);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

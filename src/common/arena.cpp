@@ -1,0 +1,72 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+
+namespace smart2 {
+
+ScratchStack& ScratchStack::current() noexcept {
+  thread_local ScratchStack stack;
+  return stack;
+}
+
+double* ScratchStack::push(std::size_t n) {
+  if (frames_.capacity() == 0) frames_.reserve(16);
+  if (n == 0) {
+    // Zero-size borrows still get a frame so pop() stays balanced; point at
+    // the active block's end (or a fresh minimal block if none exists yet).
+    if (blocks_.empty()) blocks_.push_back(Block{std::make_unique<double[]>(64), 64, 0});
+    frames_.push_back(Frame{active_, blocks_[active_].used});
+    return blocks_[active_].data.get() + blocks_[active_].used;
+  }
+
+  // Fit into the active block, else scan later blocks (earlier blocks below
+  // active_ hold live frames and may not be reused out of order).
+  std::size_t target = blocks_.size();
+  for (std::size_t b = blocks_.empty() ? 0 : active_; b < blocks_.size(); ++b) {
+    if (blocks_[b].cap - blocks_[b].used >= n) {
+      target = b;
+      break;
+    }
+  }
+  if (target == blocks_.size()) {
+    const std::size_t last_cap = blocks_.empty() ? 0 : blocks_.back().cap;
+    const std::size_t cap = std::max({std::size_t{64}, 2 * last_cap, n});
+    blocks_.push_back(Block{std::make_unique<double[]>(cap), cap, 0});
+  }
+
+  Block& blk = blocks_[target];
+  frames_.push_back(Frame{target, blk.used});
+  double* p = blk.data.get() + blk.used;
+  blk.used += n;
+  if (target > active_) active_ = target;
+  in_use_ += n;
+  return p;
+}
+
+void ScratchStack::pop() noexcept {
+  const Frame f = frames_.back();
+  frames_.pop_back();
+  Block& blk = blocks_[f.block];
+  in_use_ -= blk.used - f.prev_used;
+  blk.used = f.prev_used;
+  // Retreat active_ to the deepest block still holding live data so future
+  // pushes refill freed blocks instead of growing past them.
+  while (active_ > 0 && blocks_[active_].used == 0) --active_;
+}
+
+void ScratchStack::reserve(std::size_t n) {
+  std::size_t free_cap = 0;
+  for (const Block& b : blocks_) free_cap += b.cap - b.used;
+  if (free_cap >= n) return;
+  const std::size_t last_cap = blocks_.empty() ? 0 : blocks_.back().cap;
+  const std::size_t cap = std::max({std::size_t{64}, 2 * last_cap, n - free_cap});
+  blocks_.push_back(Block{std::make_unique<double[]>(cap), cap, 0});
+}
+
+std::size_t ScratchStack::capacity() const noexcept {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.cap;
+  return total;
+}
+
+}  // namespace smart2

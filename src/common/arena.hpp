@@ -1,0 +1,87 @@
+// Thread-local scratch arena for the allocation-free inference hot paths.
+//
+// ScratchStack is a per-thread LIFO bump allocator of doubles. Hot-path code
+// (Classifier::predict_proba_into, the smart2::compiled lowerings) borrows
+// its temporaries from the stack instead of constructing std::vector per
+// call: the first calls on a thread grow the backing blocks, after which the
+// steady state performs zero heap allocations per sample.
+//
+// Design rules:
+//  - Block-stable memory. The stack grows by appending new blocks; existing
+//    blocks never move, so nested borrows (AdaBoost -> member -> scratch)
+//    stay valid while an outer ScratchSpan is alive.
+//  - Strict LIFO. ScratchSpan is the only client-facing handle; its
+//    destructor releases exactly the frame its constructor pushed.
+//  - Per-thread, no sharing. Every pool lane (and the issuing thread) owns
+//    its own stack, so parallel predict_batch fan-outs never contend and
+//    TSan sees no cross-thread traffic.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace smart2 {
+
+class ScratchStack {
+ public:
+  /// The calling thread's stack (constructed on first use).
+  static ScratchStack& current() noexcept;
+
+  /// Borrow `n` doubles (uninitialized). Allocates a new block only when
+  /// the warmed capacity is insufficient; the returned pointer stays valid
+  /// until the matching pop() even if later pushes grow the stack.
+  double* push(std::size_t n);
+
+  /// Release the most recent outstanding push (strict LIFO).
+  void pop() noexcept;
+
+  /// Pre-size the stack so a subsequent burst of pushes totalling up to
+  /// `n` doubles needs no allocation (model lowering calls this once).
+  void reserve(std::size_t n);
+
+  /// Doubles currently borrowed (outstanding pushes).
+  std::size_t in_use() const noexcept { return in_use_; }
+  /// Total doubles the blocks can hold.
+  std::size_t capacity() const noexcept;
+
+ private:
+  struct Block {
+    std::unique_ptr<double[]> data;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+  struct Frame {
+    std::size_t block = 0;
+    std::size_t prev_used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::vector<Frame> frames_;
+  std::size_t active_ = 0;  // index of the block currently being filled
+  std::size_t in_use_ = 0;
+};
+
+/// RAII frame over ScratchStack::current(): borrows `n` doubles for the
+/// enclosing scope. Frames must be destroyed in reverse construction order
+/// (automatic with block-scoped locals).
+class ScratchSpan {
+ public:
+  explicit ScratchSpan(std::size_t n)
+      : size_(n), data_(ScratchStack::current().push(n)) {}
+  ~ScratchSpan() { ScratchStack::current().pop(); }
+
+  ScratchSpan(const ScratchSpan&) = delete;
+  ScratchSpan& operator=(const ScratchSpan&) = delete;
+
+  double* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  std::span<double> span() const noexcept { return {data_, size_}; }
+
+ private:
+  std::size_t size_;
+  double* data_;
+};
+
+}  // namespace smart2

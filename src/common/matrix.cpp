@@ -64,11 +64,34 @@ Matrix Matrix::multiply_transposed(const Matrix& rhs) const {
         "Matrix::multiply_transposed: dimension mismatch");
   // this * rhs^T as row-by-row dot products: both operands stream through
   // contiguous rows, so no transposed copy of rhs is ever materialized.
+  // Register-tiled 4-wide over j: each load of arow[kk] feeds four dot
+  // products. Every (i, j) output still has its own accumulator summing k
+  // in ascending order, so results are bit-identical to the untiled loop.
   Matrix out(rows_, rhs.rows_);
+  const std::size_t jtiles = rhs.rows_ / 4 * 4;
   for (std::size_t i = 0; i < rows_; ++i) {
     const double* arow = row_data(i);
     double* orow = out.row_data(i);
-    for (std::size_t j = 0; j < rhs.rows_; ++j) {
+    std::size_t j = 0;
+    for (; j < jtiles; j += 4) {
+      const double* b0 = rhs.row_data(j);
+      const double* b1 = rhs.row_data(j + 1);
+      const double* b2 = rhs.row_data(j + 2);
+      const double* b3 = rhs.row_data(j + 3);
+      double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+      for (std::size_t kk = 0; kk < cols_; ++kk) {
+        const double a = arow[kk];
+        a0 += a * b0[kk];
+        a1 += a * b1[kk];
+        a2 += a * b2[kk];
+        a3 += a * b3[kk];
+      }
+      orow[j] = a0;
+      orow[j + 1] = a1;
+      orow[j + 2] = a2;
+      orow[j + 3] = a3;
+    }
+    for (; j < rhs.rows_; ++j) {
       const double* brow = rhs.row_data(j);
       double acc = 0.0;
       for (std::size_t kk = 0; kk < cols_; ++kk) acc += arow[kk] * brow[kk];
@@ -146,5 +169,40 @@ Matrix Matrix::covariance(const Matrix& samples) {
 Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
 Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
 Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+
+// SMART2_HOT
+void gemv_bias_rowmajor(const double* w, std::size_t rows, std::size_t cols,
+                        std::size_t stride, const double* bias, const double* x,
+                        double* out) noexcept {
+  const std::size_t rtiles = rows / 4 * 4;
+  std::size_t r = 0;
+  for (; r < rtiles; r += 4) {
+    const double* w0 = w + r * stride;
+    const double* w1 = w0 + stride;
+    const double* w2 = w1 + stride;
+    const double* w3 = w2 + stride;
+    double a0 = bias[r];
+    double a1 = bias[r + 1];
+    double a2 = bias[r + 2];
+    double a3 = bias[r + 3];
+    for (std::size_t f = 0; f < cols; ++f) {
+      const double xf = x[f];
+      a0 += w0[f] * xf;
+      a1 += w1[f] * xf;
+      a2 += w2[f] * xf;
+      a3 += w3[f] * xf;
+    }
+    out[r] = a0;
+    out[r + 1] = a1;
+    out[r + 2] = a2;
+    out[r + 3] = a3;
+  }
+  for (; r < rows; ++r) {
+    const double* wr = w + r * stride;
+    double acc = bias[r];
+    for (std::size_t f = 0; f < cols; ++f) acc += wr[f] * x[f];
+    out[r] = acc;
+  }
+}
 
 }  // namespace smart2

@@ -74,4 +74,16 @@ Matrix operator+(Matrix lhs, const Matrix& rhs);
 Matrix operator-(Matrix lhs, const Matrix& rhs);
 Matrix operator*(Matrix lhs, double s);
 
+/// out[r] = bias[r] + sum_f w[r*stride + f] * x[f], for r in [0, rows).
+///
+/// Register-tiled dense matrix-vector kernel for the compiled MLP/MLR path:
+/// rows are processed four at a time so each load of x[f] feeds four
+/// accumulators, but every output keeps exactly one accumulator summing
+/// features in ascending index order — the per-element FP result is
+/// bit-identical to the naive one-row-at-a-time loop. `stride` is the
+/// allocated row pitch of `w` (>= cols; padding beyond cols is never read).
+void gemv_bias_rowmajor(const double* w, std::size_t rows, std::size_t cols,
+                        std::size_t stride, const double* bias, const double* x,
+                        double* out) noexcept;
+
 }  // namespace smart2

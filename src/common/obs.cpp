@@ -76,6 +76,10 @@ constexpr const char* kCatalogHistograms[] = {
     "adaboost.round",       "cv.run",
     "cv.fold",              "online.observe",
     "online.observe_batch", "monitor.scan",
+    "stage1.mlr.predict_compiled",  "stage2.backdoor.predict_compiled",
+    "stage2.rootkit.predict_compiled", "stage2.virus.predict_compiled",
+    "stage2.trojan.predict_compiled",  "compile.two_stage",
+    "compile.model",
 };
 
 void register_catalog_locked(GlobalState& g) {

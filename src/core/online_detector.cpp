@@ -1,6 +1,7 @@
 #include "core/online_detector.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "common/obs.hpp"
@@ -26,6 +27,7 @@ OnlineDetector::OnlineDetector(const TwoStageHmd& hmd,
     throw std::invalid_argument("OnlineDetector: need >= 1 confirm window");
 }
 
+// SMART2_HOT
 OnlineDetector::WindowVerdict OnlineDetector::observe(
     std::span<const double> common4) {
   SMART2_SPAN("online.observe");
@@ -33,7 +35,10 @@ OnlineDetector::WindowVerdict OnlineDetector::observe(
 
   // Per-window score: the stage-2 malware probability of the class stage 1
   // suspects; a confident benign window scores its residual malware mass.
-  const auto proba = hmd_.stage1_proba(common4);
+  // Stack buffer + compiled models keep the steady-state tick free of heap
+  // allocations.
+  std::array<double, kNumAppClasses> proba;
+  hmd_.stage1_proba_into(common4, proba);
   int best_malware = label_of(kMalwareClasses[0]);
   for (AppClass m : kMalwareClasses)
     if (proba[static_cast<std::size_t>(label_of(m))] >

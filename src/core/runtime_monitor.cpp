@@ -1,6 +1,5 @@
 #include "core/runtime_monitor.hpp"
 
-#include <map>
 #include <stdexcept>
 
 #include "common/obs.hpp"
@@ -18,6 +17,42 @@ RuntimeMonitor::RuntimeMonitor(const TwoStageHmd& hmd, HpcCollector collector)
   if (hmd_.plan().common.size() > collector_.config().registers)
     throw std::invalid_argument(
         "RuntimeMonitor: more Common features than HPC registers");
+
+  common_events_ = events_of(hmd_.plan().common);
+
+  // Pre-gather each malware class's Stage-2 fetch plan: features already in
+  // the Common run read from it, the rest queue an event for the second run.
+  const auto& common = hmd_.plan().common;
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    Stage2Fetch& fetch = fetch_[m];
+    std::vector<std::size_t> missing;  // feature index per extra-run slot
+    for (std::size_t f : hmd_.stage2_feature_indices(kMalwareClasses[m])) {
+      bool found = false;
+      for (std::size_t i = 0; i < common.size(); ++i) {
+        if (common[i] == f) {
+          fetch.gather.emplace_back(std::uint8_t{0},
+                                    static_cast<std::uint32_t>(i));
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      for (std::size_t i = 0; i < missing.size() && !found; ++i) {
+        if (missing[i] == f) {
+          fetch.gather.emplace_back(std::uint8_t{1},
+                                    static_cast<std::uint32_t>(i));
+          found = true;
+        }
+      }
+      if (found) continue;
+      if (f >= kNumEvents)
+        throw std::out_of_range("RuntimeMonitor: feature is not an HPC event");
+      fetch.gather.emplace_back(std::uint8_t{1},
+                                static_cast<std::uint32_t>(missing.size()));
+      missing.push_back(f);
+      fetch.extra_events.push_back(event_at(f));
+    }
+  }
 }
 
 std::vector<Event> RuntimeMonitor::events_of(
@@ -33,7 +68,7 @@ std::vector<Event> RuntimeMonitor::events_of(
 }
 
 std::vector<Event> RuntimeMonitor::common_events() const {
-  return events_of(hmd_.plan().common);
+  return common_events_;
 }
 
 MonitorResult RuntimeMonitor::scan(const AppSpec& app) const {
@@ -41,11 +76,11 @@ MonitorResult RuntimeMonitor::scan(const AppSpec& app) const {
   MonitorResult out;
 
   // Run 1: the Common events, programmed into the real registers.
-  const auto common_ev = common_events();
-  out.common_values = collector_.collect_single_run(app, common_ev, 0);
+  out.common_values = collector_.collect_single_run(app, common_events_, 0);
   out.runs_used = 1;
 
-  const auto proba = hmd_.stage1_proba(out.common_values);
+  std::array<double, kNumAppClasses> proba;
+  hmd_.stage1_proba_into(out.common_values, proba);
   int best = 0;
   for (std::size_t k = 1; k < proba.size(); ++k)
     if (proba[k] > proba[static_cast<std::size_t>(best)])
@@ -54,34 +89,29 @@ MonitorResult RuntimeMonitor::scan(const AppSpec& app) const {
   const auto cls = static_cast<AppClass>(best);
   if (cls == AppClass::kBenign) return out;
 
-  // Stage 2 feature vector. Common4 mode reuses the first run's counters;
-  // Custom8 mode re-programs the registers with the class's extra events and
-  // measures again (the second "run" of the paper's protocol).
-  // Ordered map: feature indices enumerate in sorted order on every
-  // platform, so monitor output never depends on hash-bucket layout.
-  const auto& wanted = hmd_.stage2_feature_indices(cls);
-  std::map<std::size_t, double> known;
-  for (std::size_t i = 0; i < hmd_.plan().common.size(); ++i)
-    known[hmd_.plan().common[i]] = out.common_values[i];
+  // Stage 2 feature vector, assembled from the pre-gathered fetch plan.
+  // Common4 mode reuses the first run's counters; Custom8 mode re-programs
+  // the registers with the class's extra events and measures again (the
+  // second "run" of the paper's protocol).
+  std::size_t slot = 0;
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m)
+    if (kMalwareClasses[m] == cls) slot = m;
+  const Stage2Fetch& fetch = fetch_[slot];
 
-  std::vector<std::size_t> missing;
-  for (std::size_t f : wanted)
-    if (known.find(f) == known.end()) missing.push_back(f);
-
-  if (!missing.empty()) {
-    if (missing.size() > collector_.config().registers)
+  std::vector<double> extra;
+  if (!fetch.extra_events.empty()) {
+    if (fetch.extra_events.size() > collector_.config().registers)
       throw std::logic_error(
           "RuntimeMonitor: custom feature set exceeds one extra run");
-    const auto extra_ev = events_of(missing);
-    const auto extra = collector_.collect_single_run(app, extra_ev, 1);
-    for (std::size_t i = 0; i < missing.size(); ++i)
-      known[missing[i]] = extra[i];
+    extra = collector_.collect_single_run(app, fetch.extra_events, 1);
     out.runs_used = 2;
   }
 
   std::vector<double> class_features;
-  class_features.reserve(wanted.size());
-  for (std::size_t f : wanted) class_features.push_back(known.at(f));
+  class_features.reserve(fetch.gather.size());
+  for (const auto& [source, pos] : fetch.gather)
+    class_features.push_back(source == 0 ? out.common_values[pos]
+                                         : extra[pos]);
 
   out.detection.stage2_score = hmd_.stage2_score(cls, class_features);
   if (out.detection.stage2_score > 0.5) {

@@ -9,6 +9,10 @@
 // throws for them.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <utility>
+
 #include "core/two_stage.hpp"
 #include "hpc/collector.hpp"
 
@@ -34,10 +38,24 @@ class RuntimeMonitor {
   std::vector<Event> common_events() const;
 
  private:
+  /// Pre-gathered per-class Stage-2 fetch plan, built once at construction:
+  /// which events the second measurement run must program, and where each
+  /// Stage-2 feature comes from (first run's Common counters or that extra
+  /// run). scan() then assembles the feature vector with table lookups
+  /// instead of a per-scan std::map.
+  struct Stage2Fetch {
+    std::vector<Event> extra_events;
+    /// gather[i] = {source, position}: source 0 reads common_values[pos],
+    /// source 1 reads the extra run's counters[pos].
+    std::vector<std::pair<std::uint8_t, std::uint32_t>> gather;
+  };
+
   std::vector<Event> events_of(const std::vector<std::size_t>& features) const;
 
   const TwoStageHmd& hmd_;
   HpcCollector collector_;
+  std::vector<Event> common_events_;
+  std::array<Stage2Fetch, kNumMalwareClasses> fetch_;
 };
 
 }  // namespace smart2

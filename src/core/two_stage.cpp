@@ -24,6 +24,9 @@ constexpr const char* kStage2TrainSpans[kNumMalwareClasses] = {
 constexpr const char* kStage2PredictSpans[kNumMalwareClasses] = {
     "stage2.backdoor.predict", "stage2.rootkit.predict",
     "stage2.virus.predict", "stage2.trojan.predict"};
+constexpr const char* kStage2PredictCompiledSpans[kNumMalwareClasses] = {
+    "stage2.backdoor.predict_compiled", "stage2.rootkit.predict_compiled",
+    "stage2.virus.predict_compiled", "stage2.trojan.predict_compiled"};
 
 }  // namespace
 
@@ -121,6 +124,38 @@ void TwoStageHmd::train(const Dataset& multiclass_train) {
     stage2_[m] = train_specialized(multiclass_train, m, rng);
 
   trained_ = true;
+  compile();
+}
+
+void TwoStageHmd::compile() {
+  if (!trained_) throw std::logic_error("TwoStageHmd::compile: not trained");
+  SMART2_SPAN("compile.two_stage");
+
+  compiled_stage1_ = compiled::compile(*stage1_);
+  if (compiled_stage1_->class_count() != kNumAppClasses)
+    throw std::logic_error("TwoStageHmd::compile: bad stage-1 class count");
+  if (plan_.common.size() > kMaxPlanFeatures)
+    throw std::logic_error("TwoStageHmd::compile: common plan too wide");
+  cplan_.common_count = plan_.common.size();
+  for (std::size_t i = 0; i < plan_.common.size(); ++i)
+    cplan_.common[i] = static_cast<std::uint32_t>(plan_.common[i]);
+
+  std::size_t scratch = compiled_stage1_->scratch_doubles() + kNumAppClasses;
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    compiled_stage2_[m] = compiled::compile(*stage2_[m].model);
+    if (compiled_stage2_[m]->class_count() != 2)
+      throw std::logic_error("TwoStageHmd::compile: bad stage-2 class count");
+    const auto& features = stage2_[m].features;
+    if (features.size() > kMaxPlanFeatures)
+      throw std::logic_error("TwoStageHmd::compile: stage-2 plan too wide");
+    cplan_.stage2_count[m] = features.size();
+    for (std::size_t i = 0; i < features.size(); ++i)
+      cplan_.stage2[m][i] = static_cast<std::uint32_t>(features[i]);
+    scratch = std::max(scratch, compiled_stage2_[m]->scratch_doubles() + 2);
+  }
+  // Warm the calling thread's scratch stack; pool lanes warm themselves on
+  // their first sample and stay allocation-free afterwards.
+  ScratchStack::current().reserve(scratch);
 }
 
 AppClass TwoStageHmd::predict_class(std::span<const double> common4) const {
@@ -130,14 +165,32 @@ AppClass TwoStageHmd::predict_class(std::span<const double> common4) const {
 
 std::vector<double> TwoStageHmd::stage1_proba(
     std::span<const double> common4) const {
-  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
-  return stage1_->predict_proba(common4);
+  std::vector<double> out(stage1_->class_count());
+  stage1_proba_into(common4, out);
+  return out;
 }
 
+// SMART2_HOT
+void TwoStageHmd::stage1_proba_into(std::span<const double> common4,
+                                    std::span<double> out) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  if (compiled_stage1_)
+    compiled_stage1_->predict_proba_into(common4, out);
+  else
+    stage1_->predict_proba_into(common4, out);
+}
+
+// SMART2_HOT
 double TwoStageHmd::stage2_score(AppClass c,
                                  std::span<const double> class_features) const {
   if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
-  const auto proba = stage2_[malware_slot(c)].model->predict_proba(class_features);
+  const std::size_t slot = malware_slot(c);
+  if (compiled_stage2_[slot]) {
+    std::array<double, 2> sp{};
+    compiled_stage2_[slot]->predict_proba_into(class_features, sp);
+    return sp[1];
+  }
+  const auto proba = stage2_[slot].model->predict_proba(class_features);
   return proba.size() > 1 ? proba[1] : 0.0;
 }
 
@@ -157,7 +210,66 @@ const Classifier& TwoStageHmd::stage2(AppClass c) const {
   return *stage2_[malware_slot(c)].model;
 }
 
+// SMART2_HOT
 Detection TwoStageHmd::detect(std::span<const double> features44) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  if (!compiled_stage1_) return detect_interpreted(features44);
+
+  // Pre-gathered feature plan: fixed-width index tables, stack buffers, and
+  // compiled models — zero heap allocations per sample in steady state.
+  double common[kMaxPlanFeatures];
+  const std::size_t nc = cplan_.common_count;
+  for (std::size_t i = 0; i < nc; ++i)
+    common[i] = features44[cplan_.common[i]];
+
+  Detection out;
+  std::array<double, kNumAppClasses> proba;
+  {
+    SMART2_SPAN("stage1.mlr.predict_compiled");
+    compiled_stage1_->predict_proba_into({common, nc}, proba);
+  }
+  int best = 0;
+  for (std::size_t k = 1; k < proba.size(); ++k)
+    if (proba[k] > proba[static_cast<std::size_t>(best)])
+      best = static_cast<int>(k);
+  out.stage1_confidence = proba[static_cast<std::size_t>(best)];
+
+  // Route to Stage 2 exactly as the interpreted path does.
+  auto cls = static_cast<AppClass>(best);
+  if (cls == AppClass::kBenign) {
+    if (proba[label_of(AppClass::kBenign)] >= config_.benign_confidence) {
+      if (obs::metrics_enabled())
+        obs::counter("stage1.benign_shortcircuit").add();
+      return out;
+    }
+    int best_malware = label_of(kMalwareClasses[0]);
+    for (AppClass m : kMalwareClasses)
+      if (proba[static_cast<std::size_t>(label_of(m))] >
+          proba[static_cast<std::size_t>(best_malware)])
+        best_malware = label_of(m);
+    cls = static_cast<AppClass>(best_malware);
+  }
+
+  const std::size_t slot = malware_slot(cls);
+  if (obs::metrics_enabled()) obs::counter("stage2.dispatch").add();
+  const obs::Span stage2_span(kStage2PredictCompiledSpans[slot]);
+  double class_features[kMaxPlanFeatures];
+  const std::size_t ncf = cplan_.stage2_count[slot];
+  for (std::size_t i = 0; i < ncf; ++i)
+    class_features[i] = features44[cplan_.stage2[slot][i]];
+
+  std::array<double, 2> sp{};
+  compiled_stage2_[slot]->predict_proba_into({class_features, ncf}, sp);
+  out.stage2_score = sp[1];
+  if (out.stage2_score > config_.stage2_threshold) {
+    out.is_malware = true;
+    out.predicted_class = cls;
+  }
+  return out;
+}
+
+Detection TwoStageHmd::detect_interpreted(
+    std::span<const double> features44) const {
   if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
 
   std::vector<double> common;
@@ -285,6 +397,7 @@ TwoStageHmd TwoStageHmd::load(std::istream& in) {
   }
   if (!in) throw std::runtime_error("TwoStageHmd::load: truncated");
   hmd.trained_ = true;
+  hmd.compile();
   return hmd;
 }
 

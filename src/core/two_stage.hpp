@@ -20,6 +20,7 @@
 #include "core/model_zoo.hpp"
 #include "data/dataset.hpp"
 #include "data/labels.hpp"
+#include "ml/compiled.hpp"
 #include "ml/metrics.hpp"
 
 namespace smart2 {
@@ -79,8 +80,21 @@ class TwoStageHmd {
 
   bool trained() const noexcept { return trained_; }
 
-  /// Classify one application from its full 44-event feature vector.
+  /// Classify one application from its full 44-event feature vector. Runs
+  /// the compiled zero-allocation path when compile() has been called
+  /// (train() and load() both call it); otherwise falls back to the
+  /// interpreted models. Both paths produce bit-identical Detections.
   Detection detect(std::span<const double> features44) const;
+
+  /// detect() forced onto the interpreted (per-call-allocating) models.
+  /// Kept for equivalence testing and benchmarking against the compiled
+  /// path.
+  Detection detect_interpreted(std::span<const double> features44) const;
+
+  /// Lower the trained Stage-1/Stage-2 models into their compiled form and
+  /// build the pre-gathered feature-plan index tables. Idempotent.
+  void compile();
+  bool compiled() const noexcept { return compiled_stage1_ != nullptr; }
 
   /// Batched inference: classify every row of `samples` (full 44-event
   /// vectors) across the thread pool — the shape a production monitor
@@ -94,6 +108,11 @@ class TwoStageHmd {
 
   /// Stage-1 class-probability vector (size kNumAppClasses).
   std::vector<double> stage1_proba(std::span<const double> common4) const;
+
+  /// Allocation-free Stage-1 probabilities into a caller buffer of size
+  /// kNumAppClasses. Runs on the compiled model when available.
+  void stage1_proba_into(std::span<const double> common4,
+                         std::span<double> out) const;
 
   /// Run-time Stage 2: malware probability from the specialized detector of
   /// class `c`. `class_features` must follow stage2_feature_indices(c).
@@ -131,6 +150,21 @@ class TwoStageHmd {
     std::vector<std::size_t> features;
   };
 
+  /// Widest Stage-1/Stage-2 feature subset (top16 is the largest plan).
+  static constexpr std::size_t kMaxPlanFeatures = 16;
+
+  /// Feature-plan index tables pre-gathered at compile() time so the
+  /// steady-state detect loop indexes fixed arrays instead of walking
+  /// std::vector<std::size_t> plans.
+  struct CompiledPlan {
+    std::array<std::uint32_t, kMaxPlanFeatures> common{};
+    std::size_t common_count = 0;
+    std::array<std::array<std::uint32_t, kMaxPlanFeatures>,
+               kNumMalwareClasses>
+        stage2{};
+    std::array<std::size_t, kNumMalwareClasses> stage2_count{};
+  };
+
   std::size_t malware_slot(AppClass c) const;
   std::vector<std::size_t> features_for(std::size_t slot) const;
   Specialized train_specialized(const Dataset& multiclass_train,
@@ -141,6 +175,10 @@ class TwoStageHmd {
   FeaturePlan plan_;
   std::unique_ptr<Classifier> stage1_;
   std::array<Specialized, kNumMalwareClasses> stage2_;
+  std::unique_ptr<compiled::CompiledModel> compiled_stage1_;
+  std::array<std::unique_ptr<compiled::CompiledModel>, kNumMalwareClasses>
+      compiled_stage2_;
+  CompiledPlan cplan_;
 };
 
 /// Per-class evaluation of a trained pipeline on a multiclass test set:

@@ -192,9 +192,17 @@ std::vector<double> Standardizer::transform(std::span<const double> x) const {
   if (x.size() != mean_.size())
     throw std::invalid_argument("Standardizer::transform: width mismatch");
   std::vector<double> out(x.size());
+  transform_into(x, out);
+  return out;
+}
+
+// SMART2_HOT
+void Standardizer::transform_into(std::span<const double> x,
+                                  std::span<double> out) const {
+  if (x.size() != mean_.size() || out.size() != mean_.size())
+    throw std::invalid_argument("Standardizer::transform_into: width mismatch");
   for (std::size_t f = 0; f < x.size(); ++f)
     out[f] = stddev_[f] > 1e-12 ? (x[f] - mean_[f]) / stddev_[f] : 0.0;
-  return out;
 }
 
 Dataset Standardizer::transform(const Dataset& d) const {

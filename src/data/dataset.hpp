@@ -108,6 +108,8 @@ class Standardizer {
   std::size_t feature_count() const noexcept { return mean_.size(); }
 
   std::vector<double> transform(std::span<const double> x) const;
+  /// Allocation-free transform into a caller-provided buffer of equal width.
+  void transform_into(std::span<const double> x, std::span<double> out) const;
   Dataset transform(const Dataset& d) const;
 
   const std::vector<double>& mean() const noexcept { return mean_; }

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "ml/serialize.hpp"
@@ -99,21 +100,23 @@ void AdaBoost::fit_weighted(const Dataset& train,
   mark_trained(train);
 }
 
-std::vector<double> AdaBoost::predict_proba(std::span<const double> x) const {
+// SMART2_HOT
+void AdaBoost::predict_proba_into(std::span<const double> x,
+                                  std::span<double> out) const {
   require_trained();
-  std::vector<double> proba(class_count(), 0.0);
+  const ScratchSpan member_p(class_count());
+  for (double& p : out) p = 0.0;
   double total_alpha = 0.0;
   for (const auto& m : members_) {
-    const auto p = m.model->predict_proba(x);
-    for (std::size_t c = 0; c < proba.size(); ++c)
-      proba[c] += m.alpha * p[c];
+    m.model->predict_proba_into(x, member_p.span());
+    for (std::size_t c = 0; c < out.size(); ++c)
+      out[c] += m.alpha * member_p.data()[c];
     total_alpha += m.alpha;
   }
   if (total_alpha > 0.0)
-    for (double& p : proba) p /= total_alpha;
+    for (double& p : out) p /= total_alpha;
   else
-    for (double& p : proba) p = 1.0 / static_cast<double>(proba.size());
-  return proba;
+    for (double& p : out) p = 1.0 / static_cast<double>(out.size());
 }
 
 std::unique_ptr<Classifier> AdaBoost::clone_untrained() const {

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "ml/serialize.hpp"
@@ -57,15 +58,18 @@ void Bagging::fit_weighted(const Dataset& train,
   mark_trained(train);
 }
 
-std::vector<double> Bagging::predict_proba(std::span<const double> x) const {
+// SMART2_HOT
+void Bagging::predict_proba_into(std::span<const double> x,
+                                 std::span<double> out) const {
   require_trained();
-  std::vector<double> proba(class_count(), 0.0);
+  const ScratchSpan member_p(class_count());
+  for (double& p : out) p = 0.0;
   for (const auto& m : members_) {
-    const auto p = m->predict_proba(x);
-    for (std::size_t c = 0; c < proba.size(); ++c) proba[c] += p[c];
+    m->predict_proba_into(x, member_p.span());
+    for (std::size_t c = 0; c < out.size(); ++c)
+      out[c] += member_p.data()[c];
   }
-  for (double& p : proba) p /= static_cast<double>(members_.size());
-  return proba;
+  for (double& p : out) p /= static_cast<double>(members_.size());
 }
 
 std::unique_ptr<Classifier> Bagging::clone_untrained() const {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/arena.hpp"
+
 namespace smart2 {
 
 void Classifier::fit(const Dataset& train) {
@@ -9,13 +11,22 @@ void Classifier::fit(const Dataset& train) {
   fit_weighted(train, w);
 }
 
+std::vector<double> Classifier::predict_proba(
+    std::span<const double> x) const {
+  std::vector<double> out(class_count());
+  predict_proba_into(x, out);
+  return out;
+}
+
+// SMART2_HOT
 int Classifier::predict(std::span<const double> x) const {
-  const auto proba = predict_proba(x);
+  const ScratchSpan proba(class_count());
+  predict_proba_into(x, proba.span());
   int best = 0;
-  double best_p = proba.empty() ? 0.0 : proba[0];
+  double best_p = proba.size() == 0 ? 0.0 : proba.data()[0];
   for (std::size_t k = 1; k < proba.size(); ++k) {
-    if (proba[k] > best_p) {
-      best_p = proba[k];
+    if (proba.data()[k] > best_p) {
+      best_p = proba.data()[k];
       best = static_cast<int>(k);
     }
   }
@@ -48,8 +59,9 @@ std::vector<int> predict_all(const Classifier& c, const Dataset& d) {
 
 std::vector<double> scores_positive(const Classifier& c, const Dataset& d) {
   std::vector<double> out(d.size());
+  std::vector<double> p(c.class_count());
   for (std::size_t i = 0; i < d.size(); ++i) {
-    const auto p = c.predict_proba(d.features(i));
+    c.predict_proba_into(d.features(i), p);
     out[i] = p.size() > 1 ? p[1] : 0.0;
   }
   return out;

@@ -30,9 +30,16 @@ class Classifier {
                             std::span<const double> weights) = 0;
 
   /// Class-probability distribution for one instance. Size equals the class
-  /// count of the training set. Must sum to ~1.
-  virtual std::vector<double> predict_proba(
-      std::span<const double> x) const = 0;
+  /// count of the training set. Must sum to ~1. Convenience wrapper around
+  /// predict_proba_into; hot paths should call the _into form directly.
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// Allocation-free probability prediction: writes the distribution into
+  /// `out`, whose size must equal class_count(). Learners draw any
+  /// temporaries from the thread-local ScratchStack, so the steady state
+  /// performs zero heap allocations per call.
+  virtual void predict_proba_into(std::span<const double> x,
+                                  std::span<double> out) const = 0;
 
   /// Predicted label: argmax of predict_proba (ties -> lowest label).
   virtual int predict(std::span<const double> x) const;

@@ -1,0 +1,541 @@
+#include "ml/compiled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/matrix.hpp"
+#include "common/obs.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+
+namespace smart2::compiled {
+
+namespace {
+
+/// Row pitch for padded weight blocks: rows start on 32-byte boundaries.
+/// Kernels only ever read the first `cols` entries of a row, so padding has
+/// no effect on results.
+std::size_t padded_stride(std::size_t cols) { return (cols + 3) / 4 * 4; }
+
+}  // namespace
+
+// SMART2_HOT
+int CompiledModel::predict(std::span<const double> x) const {
+  const ScratchSpan s(classes_ + scratch_);
+  const std::span<double> proba(s.data(), classes_);
+  eval(x, proba, s.data() + classes_);
+  int best = 0;
+  double best_p = proba.empty() ? 0.0 : proba[0];
+  for (std::size_t k = 1; k < proba.size(); ++k) {
+    if (proba[k] > best_p) {
+      best_p = proba[k];
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// FlatTree
+
+FlatTree::FlatTree(std::size_t classes, std::size_t features,
+                   std::vector<std::uint32_t> feature,
+                   std::vector<double> threshold,
+                   std::vector<std::int32_t> left,
+                   std::vector<std::int32_t> right,
+                   std::vector<double> leaf_proba)
+    : CompiledModel(classes, features, 0),
+      feature_(std::move(feature)),
+      threshold_(std::move(threshold)),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      leaf_proba_(std::move(leaf_proba)) {}
+
+// SMART2_HOT
+void FlatTree::eval(std::span<const double> x, std::span<double> out,
+                    double* scratch) const {
+  (void)scratch;
+  std::int32_t idx = 0;
+  std::int32_t l = left_[0];
+  while (l >= 0) {
+    idx = x[feature_[static_cast<std::size_t>(idx)]] <=
+                  threshold_[static_cast<std::size_t>(idx)]
+              ? l
+              : right_[static_cast<std::size_t>(idx)];
+    l = left_[static_cast<std::size_t>(idx)];
+  }
+  const double* dist =
+      leaf_proba_.data() + static_cast<std::size_t>(-1 - l) * classes_;
+  for (std::size_t c = 0; c < out.size(); ++c) out[c] = dist[c];
+}
+
+// ---------------------------------------------------------------------------
+// FlatRuleList
+
+FlatRuleList::FlatRuleList(std::size_t classes, std::size_t features,
+                           std::vector<Pred> preds,
+                           std::vector<std::uint32_t> pred_begin,
+                           std::vector<double> proba)
+    : CompiledModel(classes, features, 0),
+      preds_(std::move(preds)),
+      pred_begin_(std::move(pred_begin)),
+      proba_(std::move(proba)) {}
+
+// SMART2_HOT
+void FlatRuleList::eval(std::span<const double> x, std::span<double> out,
+                        double* scratch) const {
+  (void)scratch;
+  const std::size_t rule_count = pred_begin_.size() - 1;
+  std::size_t hit = rule_count;  // final row = default distribution
+  for (std::size_t r = 0; r < rule_count; ++r) {
+    bool match = true;
+    for (std::uint32_t p = pred_begin_[r]; p < pred_begin_[r + 1]; ++p) {
+      const Pred& pred = preds_[p];
+      const double v = x[pred.feature];
+      if (pred.less_equal ? v > pred.threshold : v <= pred.threshold) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      hit = r;
+      break;
+    }
+  }
+  const double* dist = proba_.data() + hit * classes_;
+  for (std::size_t c = 0; c < out.size(); ++c) out[c] = dist[c];
+}
+
+// ---------------------------------------------------------------------------
+// FlatOneR
+
+FlatOneR::FlatOneR(std::size_t classes, std::size_t features,
+                   std::uint32_t feature, std::vector<double> upper,
+                   std::vector<double> proba)
+    : CompiledModel(classes, features, 0),
+      feature_(feature),
+      upper_(std::move(upper)),
+      proba_(std::move(proba)) {}
+
+// SMART2_HOT
+void FlatOneR::eval(std::span<const double> x, std::span<double> out,
+                    double* scratch) const {
+  (void)scratch;
+  const double v = x[feature_];
+  std::size_t hit = upper_.size() - 1;
+  for (std::size_t b = 0; b < upper_.size(); ++b) {
+    if (v < upper_[b]) {
+      hit = b;
+      break;
+    }
+  }
+  const double* dist = proba_.data() + hit * classes_;
+  for (std::size_t c = 0; c < out.size(); ++c) out[c] = dist[c];
+}
+
+// ---------------------------------------------------------------------------
+// FlatNaiveBayes
+
+FlatNaiveBayes::FlatNaiveBayes(std::size_t classes, std::size_t features,
+                               std::vector<double> log_prior,
+                               std::vector<double> mean,
+                               std::vector<double> variance,
+                               std::vector<double> log_norm)
+    : CompiledModel(classes, features, 0),
+      log_prior_(std::move(log_prior)),
+      mean_(std::move(mean)),
+      variance_(std::move(variance)),
+      log_norm_(std::move(log_norm)) {}
+
+// SMART2_HOT
+void FlatNaiveBayes::eval(std::span<const double> x, std::span<double> out,
+                          double* scratch) const {
+  (void)scratch;
+  const std::size_t d = features_;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    double lp = log_prior_[c];
+    const double* mean = mean_.data() + c * d;
+    const double* var = variance_.data() + c * d;
+    const double* ln = log_norm_.data() + c * d;
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      const double dx = x[f] - mean[f];
+      lp += -0.5 * (ln[f] + dx * dx / var[f]);
+    }
+    out[c] = lp;
+  }
+  const double m = *std::max_element(out.begin(), out.end());
+  double total = 0.0;
+  for (double& v : out) {
+    v = std::exp(v - m);
+    total += v;
+  }
+  for (double& v : out) v /= total;
+}
+
+// ---------------------------------------------------------------------------
+// DenseLinear
+
+DenseLinear::DenseLinear(std::size_t classes, std::size_t features,
+                         std::size_t stride, std::vector<double> w,
+                         std::vector<double> b, std::vector<double> scale_mean,
+                         std::vector<double> scale_stddev)
+    : CompiledModel(classes, features, features),
+      stride_(stride),
+      w_(std::move(w)),
+      b_(std::move(b)),
+      scale_mean_(std::move(scale_mean)),
+      scale_stddev_(std::move(scale_stddev)) {}
+
+// SMART2_HOT
+void DenseLinear::eval(std::span<const double> x, std::span<double> out,
+                       double* scratch) const {
+  double* xstd = scratch;
+  for (std::size_t f = 0; f < features_; ++f)
+    xstd[f] = scale_stddev_[f] > 1e-12
+                  ? (x[f] - scale_mean_[f]) / scale_stddev_[f]
+                  : 0.0;
+  gemv_bias_rowmajor(w_.data(), classes_, features_, stride_, b_.data(), xstd,
+                     out.data());
+  const double zmax = *std::max_element(out.begin(), out.end());
+  double total = 0.0;
+  for (double& v : out) {
+    v = std::exp(v - zmax);
+    total += v;
+  }
+  for (double& v : out) v /= total;
+}
+
+// ---------------------------------------------------------------------------
+// DenseMlp
+
+DenseMlp::DenseMlp(std::size_t classes, std::size_t features,
+                   std::size_t hidden, std::size_t stride1,
+                   std::vector<double> w1, std::vector<double> b1,
+                   std::size_t stride2, std::vector<double> w2,
+                   std::vector<double> b2, std::vector<double> scale_mean,
+                   std::vector<double> scale_stddev)
+    : CompiledModel(classes, features, features + hidden),
+      hidden_(hidden),
+      stride1_(stride1),
+      w1_(std::move(w1)),
+      b1_(std::move(b1)),
+      stride2_(stride2),
+      w2_(std::move(w2)),
+      b2_(std::move(b2)),
+      scale_mean_(std::move(scale_mean)),
+      scale_stddev_(std::move(scale_stddev)) {}
+
+// SMART2_HOT
+void DenseMlp::eval(std::span<const double> x, std::span<double> out,
+                    double* scratch) const {
+  double* xstd = scratch;
+  double* hidden = scratch + features_;
+  for (std::size_t f = 0; f < features_; ++f)
+    xstd[f] = scale_stddev_[f] > 1e-12
+                  ? (x[f] - scale_mean_[f]) / scale_stddev_[f]
+                  : 0.0;
+  gemv_bias_rowmajor(w1_.data(), hidden_, features_, stride1_, b1_.data(),
+                     xstd, hidden);
+  for (std::size_t h = 0; h < hidden_; ++h)
+    hidden[h] = 1.0 / (1.0 + std::exp(-hidden[h]));
+  gemv_bias_rowmajor(w2_.data(), classes_, hidden_, stride2_, b2_.data(),
+                     hidden, out.data());
+  double zmax = -1e300;
+  for (std::size_t c = 0; c < classes_; ++c) zmax = std::max(zmax, out[c]);
+  double total = 0.0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    out[c] = std::exp(out[c] - zmax);
+    total += out[c];
+  }
+  for (std::size_t c = 0; c < classes_; ++c) out[c] /= total;
+}
+
+// ---------------------------------------------------------------------------
+// CompiledVote / CompiledAverage
+
+namespace {
+
+std::size_t member_scratch(
+    const std::vector<std::unique_ptr<CompiledModel>>& members,
+    std::size_t classes) {
+  std::size_t deepest = 0;
+  for (const auto& m : members)
+    deepest = std::max(deepest, m->scratch_doubles());
+  return classes + deepest;
+}
+
+}  // namespace
+
+CompiledVote::CompiledVote(std::size_t classes, std::size_t features,
+                           std::vector<std::unique_ptr<CompiledModel>> members,
+                           std::vector<double> alphas)
+    : CompiledModel(classes, features, member_scratch(members, classes)),
+      members_(std::move(members)),
+      alphas_(std::move(alphas)) {
+  // Same summation order as the interpreted per-call loop -> same double.
+  for (double a : alphas_) total_alpha_ += a;
+}
+
+// SMART2_HOT
+void CompiledVote::eval(std::span<const double> x, std::span<double> out,
+                        double* scratch) const {
+  double* member_p = scratch;
+  double* inner = scratch + classes_;
+  for (double& p : out) p = 0.0;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    members_[m]->eval(x, {member_p, classes_}, inner);
+    const double alpha = alphas_[m];
+    for (std::size_t c = 0; c < out.size(); ++c)
+      out[c] += alpha * member_p[c];
+  }
+  if (total_alpha_ > 0.0)
+    for (double& p : out) p /= total_alpha_;
+  else
+    for (double& p : out) p = 1.0 / static_cast<double>(out.size());
+}
+
+CompiledAverage::CompiledAverage(
+    std::size_t classes, std::size_t features,
+    std::vector<std::unique_ptr<CompiledModel>> members)
+    : CompiledModel(classes, features, member_scratch(members, classes)),
+      members_(std::move(members)) {}
+
+// SMART2_HOT
+void CompiledAverage::eval(std::span<const double> x, std::span<double> out,
+                           double* scratch) const {
+  double* member_p = scratch;
+  double* inner = scratch + classes_;
+  for (double& p : out) p = 0.0;
+  for (const auto& m : members_) {
+    m->eval(x, {member_p, classes_}, inner);
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += member_p[c];
+  }
+  for (double& p : out) p /= static_cast<double>(members_.size());
+}
+
+// ---------------------------------------------------------------------------
+// compile()
+
+namespace {
+
+std::unique_ptr<CompiledModel> lower_tree(const DecisionTree& tree) {
+  const std::size_t k = tree.class_count();
+  std::vector<std::uint32_t> feature;
+  std::vector<double> threshold;
+  std::vector<std::int32_t> left;
+  std::vector<std::int32_t> right;
+  std::vector<double> leaf_proba;
+
+  // Preorder walk assigning contiguous node indices; children always end up
+  // at higher indices so traversal moves forward through the arrays.
+  struct Walker {
+    std::vector<std::uint32_t>& feature;
+    std::vector<double>& threshold;
+    std::vector<std::int32_t>& left;
+    std::vector<std::int32_t>& right;
+    std::vector<double>& leaf_proba;
+    std::size_t k;
+
+    std::int32_t walk(const DecisionTree::Node* n) {
+      const auto idx = static_cast<std::int32_t>(feature.size());
+      feature.push_back(static_cast<std::uint32_t>(n->feature));
+      threshold.push_back(n->threshold);
+      left.push_back(0);
+      right.push_back(0);
+      if (n->is_leaf) {
+        const auto slot =
+            static_cast<std::int32_t>(leaf_proba.size() / k);
+        // Laplace smoothing precomputed with the exact expression the
+        // interpreted DecisionTree::predict_proba_into evaluates.
+        const double total =
+            std::accumulate(n->class_weight.begin(), n->class_weight.end(),
+                            0.0) +
+            static_cast<double>(k);
+        for (std::size_t c = 0; c < k; ++c)
+          leaf_proba.push_back((n->class_weight[c] + 1.0) / total);
+        left[static_cast<std::size_t>(idx)] = -1 - slot;
+        right[static_cast<std::size_t>(idx)] = -1 - slot;
+        return idx;
+      }
+      left[static_cast<std::size_t>(idx)] = walk(n->left.get());
+      right[static_cast<std::size_t>(idx)] = walk(n->right.get());
+      return idx;
+    }
+  };
+  Walker w{feature, threshold, left, right, leaf_proba, k};
+  w.walk(tree.root());
+
+  return std::make_unique<FlatTree>(k, tree.feature_count(),
+                                    std::move(feature), std::move(threshold),
+                                    std::move(left), std::move(right),
+                                    std::move(leaf_proba));
+}
+
+std::unique_ptr<CompiledModel> lower_ripper(const Ripper& jrip) {
+  const std::size_t k = jrip.class_count();
+  std::vector<FlatRuleList::Pred> preds;
+  std::vector<std::uint32_t> pred_begin;
+  std::vector<double> proba;
+  for (const auto& rule : jrip.rules()) {
+    pred_begin.push_back(static_cast<std::uint32_t>(preds.size()));
+    for (const auto& cond : rule.conditions)
+      preds.push_back({static_cast<std::uint32_t>(cond.feature),
+                       cond.less_equal, cond.threshold});
+    // Laplace smoothing, exactly as Ripper::predict_proba_into computes it.
+    double total = static_cast<double>(k);
+    for (double cw : rule.class_weight) total += cw;
+    for (std::size_t c = 0; c < k; ++c)
+      proba.push_back((rule.class_weight[c] + 1.0) / total);
+  }
+  pred_begin.push_back(static_cast<std::uint32_t>(preds.size()));
+  // Default row: the stored default distribution, zero-filled when the rules
+  // covered all training weight (matching the interpreted fallback).
+  const auto& def = jrip.default_distribution();
+  for (std::size_t c = 0; c < k; ++c)
+    proba.push_back(c < def.size() ? def[c] : 0.0);
+
+  return std::make_unique<FlatRuleList>(k, jrip.feature_count(),
+                                        std::move(preds),
+                                        std::move(pred_begin),
+                                        std::move(proba));
+}
+
+std::unique_ptr<CompiledModel> lower_oner(const OneR& oner) {
+  const std::size_t k = oner.class_count();
+  std::vector<double> upper;
+  std::vector<double> proba;
+  for (const auto& b : oner.buckets()) {
+    upper.push_back(b.upper);
+    const double total =
+        std::accumulate(b.class_weight.begin(), b.class_weight.end(), 0.0);
+    if (total > 0.0) {
+      for (std::size_t c = 0; c < k; ++c)
+        proba.push_back(b.class_weight[c] / total);
+    } else {
+      for (std::size_t c = 0; c < k; ++c)
+        proba.push_back(
+            c == static_cast<std::size_t>(b.majority) ? 1.0 : 0.0);
+    }
+  }
+  return std::make_unique<FlatOneR>(
+      k, oner.feature_count(), static_cast<std::uint32_t>(oner.rule_feature()),
+      std::move(upper), std::move(proba));
+}
+
+std::unique_ptr<CompiledModel> lower_naive_bayes(const NaiveBayes& nb) {
+  const std::size_t k = nb.class_count();
+  const std::size_t d = nb.feature_count();
+  std::vector<double> log_prior(k);
+  std::vector<double> mean(k * d);
+  std::vector<double> variance(k * d);
+  std::vector<double> log_norm(k * d);
+  for (std::size_t c = 0; c < k; ++c) {
+    log_prior[c] = std::log(nb.priors()[c]);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double var = nb.variances()[c][f];
+      mean[c * d + f] = nb.means()[c][f];
+      variance[c * d + f] = var;
+      log_norm[c * d + f] = std::log(2.0 * 3.14159265358979323846 * var);
+    }
+  }
+  return std::make_unique<FlatNaiveBayes>(k, d, std::move(log_prior),
+                                          std::move(mean), std::move(variance),
+                                          std::move(log_norm));
+}
+
+std::unique_ptr<CompiledModel> lower_logistic(const LogisticRegression& mlr) {
+  const std::size_t k = mlr.class_count();
+  const std::size_t d = mlr.feature_count();
+  const std::size_t stride = padded_stride(d);
+  std::vector<double> w(k * stride, 0.0);
+  for (std::size_t c = 0; c < k; ++c)
+    for (std::size_t f = 0; f < d; ++f)
+      w[c * stride + f] = mlr.coefficients()[c][f];
+  return std::make_unique<DenseLinear>(k, d, stride, std::move(w), mlr.bias(),
+                                       mlr.scaler().mean(),
+                                       mlr.scaler().stddev());
+}
+
+std::unique_ptr<CompiledModel> lower_mlp(const Mlp& mlp) {
+  const std::size_t k = mlp.class_count();
+  const std::size_t d = mlp.feature_count();
+  const std::size_t h = mlp.hidden_units();
+  const std::size_t stride1 = padded_stride(d);
+  const std::size_t stride2 = padded_stride(h);
+  std::vector<double> w1(h * stride1, 0.0);
+  for (std::size_t r = 0; r < h; ++r)
+    for (std::size_t f = 0; f < d; ++f)
+      w1[r * stride1 + f] = mlp.hidden_weights()(r, f);
+  std::vector<double> w2(k * stride2, 0.0);
+  for (std::size_t c = 0; c < k; ++c)
+    for (std::size_t r = 0; r < h; ++r)
+      w2[c * stride2 + r] = mlp.output_weights()(c, r);
+  return std::make_unique<DenseMlp>(k, d, h, stride1, std::move(w1),
+                                    mlp.hidden_bias(), stride2, std::move(w2),
+                                    mlp.output_bias(), mlp.scaler().mean(),
+                                    mlp.scaler().stddev());
+}
+
+std::unique_ptr<CompiledModel> compile_impl(const Classifier& model);
+
+std::unique_ptr<CompiledModel> lower_adaboost(const AdaBoost& boost) {
+  std::vector<std::unique_ptr<CompiledModel>> members;
+  std::vector<double> alphas;
+  members.reserve(boost.round_count());
+  alphas.reserve(boost.round_count());
+  for (std::size_t i = 0; i < boost.round_count(); ++i) {
+    members.push_back(compile_impl(boost.member(i)));
+    alphas.push_back(boost.member_weight(i));
+  }
+  return std::make_unique<CompiledVote>(boost.class_count(),
+                                        boost.feature_count(),
+                                        std::move(members), std::move(alphas));
+}
+
+std::unique_ptr<CompiledModel> lower_bagging(const Bagging& bag) {
+  std::vector<std::unique_ptr<CompiledModel>> members;
+  members.reserve(bag.bag_count());
+  for (std::size_t i = 0; i < bag.bag_count(); ++i)
+    members.push_back(compile_impl(bag.member(i)));
+  return std::make_unique<CompiledAverage>(
+      bag.class_count(), bag.feature_count(), std::move(members));
+}
+
+std::unique_ptr<CompiledModel> compile_impl(const Classifier& model) {
+  if (const auto* tree = dynamic_cast<const DecisionTree*>(&model))
+    return lower_tree(*tree);
+  if (const auto* jrip = dynamic_cast<const Ripper*>(&model))
+    return lower_ripper(*jrip);
+  if (const auto* oner = dynamic_cast<const OneR*>(&model))
+    return lower_oner(*oner);
+  if (const auto* nb = dynamic_cast<const NaiveBayes*>(&model))
+    return lower_naive_bayes(*nb);
+  if (const auto* mlr = dynamic_cast<const LogisticRegression*>(&model))
+    return lower_logistic(*mlr);
+  if (const auto* mlp = dynamic_cast<const Mlp*>(&model))
+    return lower_mlp(*mlp);
+  if (const auto* boost = dynamic_cast<const AdaBoost*>(&model))
+    return lower_adaboost(*boost);
+  if (const auto* bag = dynamic_cast<const Bagging*>(&model))
+    return lower_bagging(*bag);
+  throw std::invalid_argument("compile: no lowering for " + model.name());
+}
+
+}  // namespace
+
+std::unique_ptr<CompiledModel> compile(const Classifier& model) {
+  if (!model.trained())
+    throw std::invalid_argument("compile: model is not trained");
+  SMART2_SPAN("compile.model");
+  return compile_impl(model);
+}
+
+}  // namespace smart2::compiled

@@ -1,0 +1,238 @@
+// smart2::compiled — the lowered, cache-friendly inference layer.
+//
+// compile() turns a trained Classifier into a CompiledModel whose eval loop
+// is allocation-free and pointer-chase-free:
+//   - DecisionTree      -> FlatTree: contiguous SoA node arrays (feature /
+//                          threshold / child index) with Laplace-smoothed
+//                          leaf distributions precomputed into one block
+//   - Ripper (JRip)     -> FlatRuleList: flat predicate table + per-rule
+//                          precomputed coverage distributions
+//   - OneR              -> FlatOneR: bucket bound array + distribution block
+//   - NaiveBayes        -> FlatNaiveBayes: flattened moments with the
+//                          log-likelihood constants precomputed per (c, f)
+//   - LogisticRegression-> DenseLinear: padded row-major weight block driven
+//                          by the register-tiled gemv kernel
+//   - Mlp               -> DenseMlp: two padded weight blocks + gemv
+//   - AdaBoost          -> CompiledVote over compiled members
+//   - Bagging           -> CompiledAverage over compiled members
+//
+// Every lowering is bit-identical to the interpreted predict_proba of the
+// source model: distributions precomputed at lower time are pure functions
+// of stored values, and the dense kernels keep one accumulator per output
+// summing features in ascending index order (see gemv_bias_rowmajor).
+//
+// Temporaries come from the thread-local ScratchStack; scratch_doubles()
+// reports the requirement so callers can pre-warm the stack once and run
+// with zero steady-state heap allocations per sample.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "ml/classifier.hpp"
+
+namespace smart2::compiled {
+
+class CompiledModel {
+ public:
+  virtual ~CompiledModel() = default;
+
+  std::size_t class_count() const noexcept { return classes_; }
+  std::size_t feature_count() const noexcept { return features_; }
+  /// Doubles of thread-local scratch one eval() needs (members included).
+  std::size_t scratch_doubles() const noexcept { return scratch_; }
+
+  /// Allocation-free probability prediction (steady state; the calling
+  /// thread's ScratchStack grows on first use unless pre-warmed).
+  void predict_proba_into(std::span<const double> x,
+                          std::span<double> out) const {
+    // The flat tree/rule/bucket/NB lowerings need no temporaries; skip the
+    // thread-local arena bookkeeping entirely for them — it would otherwise
+    // dominate their few-ns eval loops.
+    if (scratch_ == 0) {
+      eval(x, out, nullptr);
+      return;
+    }
+    const ScratchSpan scratch(scratch_);
+    eval(x, out, scratch.data());
+  }
+
+  /// Argmax of predict_proba_into (ties -> lowest label), allocation-free.
+  int predict(std::span<const double> x) const;
+
+  /// Raw evaluation into `out` with caller-provided scratch of at least
+  /// scratch_doubles() doubles. Public so ensemble lowerings can drive
+  /// member models with partitions of their own scratch block.
+  virtual void eval(std::span<const double> x, std::span<double> out,
+                    double* scratch) const = 0;
+
+ protected:
+  CompiledModel(std::size_t classes, std::size_t features, std::size_t scratch)
+      : classes_(classes), features_(features), scratch_(scratch) {}
+
+  std::size_t classes_;
+  std::size_t features_;
+  std::size_t scratch_;
+};
+
+/// Decision tree flattened into SoA node arrays. Internal node i splits on
+/// feature_[i] at threshold_[i]; left_[i]/right_[i] are child node indices.
+/// A leaf stores `-1 - slot` in left_[i], where slot indexes its
+/// distribution at leaf_proba_[slot * class_count()].
+class FlatTree final : public CompiledModel {
+ public:
+  FlatTree(std::size_t classes, std::size_t features,
+           std::vector<std::uint32_t> feature, std::vector<double> threshold,
+           std::vector<std::int32_t> left, std::vector<std::int32_t> right,
+           std::vector<double> leaf_proba);
+
+  void eval(std::span<const double> x, std::span<double> out,
+            double* scratch) const override;
+
+  std::size_t node_count() const noexcept { return feature_.size(); }
+
+ private:
+  std::vector<std::uint32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<double> leaf_proba_;  // one k-stride row per leaf slot
+};
+
+/// JRip rule list lowered to a flat predicate table. Rule r owns predicates
+/// [pred_begin_[r], pred_begin_[r + 1]) and distribution row r of proba_;
+/// the final row of proba_ is the default distribution.
+class FlatRuleList final : public CompiledModel {
+ public:
+  struct Pred {
+    std::uint32_t feature = 0;
+    bool less_equal = true;
+    double threshold = 0.0;
+  };
+
+  FlatRuleList(std::size_t classes, std::size_t features,
+               std::vector<Pred> preds, std::vector<std::uint32_t> pred_begin,
+               std::vector<double> proba);
+
+  void eval(std::span<const double> x, std::span<double> out,
+            double* scratch) const override;
+
+ private:
+  std::vector<Pred> preds_;
+  std::vector<std::uint32_t> pred_begin_;  // rule_count + 1 offsets
+  std::vector<double> proba_;              // (rule_count + 1) x k
+};
+
+/// OneR lowered to bucket upper bounds + one distribution row per bucket.
+class FlatOneR final : public CompiledModel {
+ public:
+  FlatOneR(std::size_t classes, std::size_t features, std::uint32_t feature,
+           std::vector<double> upper, std::vector<double> proba);
+
+  void eval(std::span<const double> x, std::span<double> out,
+            double* scratch) const override;
+
+ private:
+  std::uint32_t feature_;
+  std::vector<double> upper_;
+  std::vector<double> proba_;  // bucket_count x k
+};
+
+/// Gaussian Naive Bayes with flattened moments and the per-(class, feature)
+/// constant log(2*pi*var) precomputed at lower time.
+class FlatNaiveBayes final : public CompiledModel {
+ public:
+  FlatNaiveBayes(std::size_t classes, std::size_t features,
+                 std::vector<double> log_prior, std::vector<double> mean,
+                 std::vector<double> variance, std::vector<double> log_norm);
+
+  void eval(std::span<const double> x, std::span<double> out,
+            double* scratch) const override;
+
+ private:
+  std::vector<double> log_prior_;  // [class]
+  std::vector<double> mean_;       // [class * d + f]
+  std::vector<double> variance_;   // [class * d + f]
+  std::vector<double> log_norm_;   // [class * d + f] = log(2*pi*var)
+};
+
+/// Multinomial logistic regression lowered to one padded row-major weight
+/// block (stride rounded up for row alignment) + folded standardizer.
+class DenseLinear final : public CompiledModel {
+ public:
+  DenseLinear(std::size_t classes, std::size_t features, std::size_t stride,
+              std::vector<double> w, std::vector<double> b,
+              std::vector<double> scale_mean, std::vector<double> scale_stddev);
+
+  void eval(std::span<const double> x, std::span<double> out,
+            double* scratch) const override;
+
+ private:
+  std::size_t stride_;
+  std::vector<double> w_;  // k rows of `stride_` doubles (cols = features_)
+  std::vector<double> b_;
+  std::vector<double> scale_mean_;
+  std::vector<double> scale_stddev_;
+};
+
+/// MLP lowered to two padded weight blocks evaluated with the tiled gemv.
+class DenseMlp final : public CompiledModel {
+ public:
+  DenseMlp(std::size_t classes, std::size_t features, std::size_t hidden,
+           std::size_t stride1, std::vector<double> w1, std::vector<double> b1,
+           std::size_t stride2, std::vector<double> w2, std::vector<double> b2,
+           std::vector<double> scale_mean, std::vector<double> scale_stddev);
+
+  void eval(std::span<const double> x, std::span<double> out,
+            double* scratch) const override;
+
+ private:
+  std::size_t hidden_;
+  std::size_t stride1_;
+  std::vector<double> w1_;  // hidden x stride1 (cols = features_)
+  std::vector<double> b1_;
+  std::size_t stride2_;
+  std::vector<double> w2_;  // k x stride2 (cols = hidden_)
+  std::vector<double> b2_;
+  std::vector<double> scale_mean_;
+  std::vector<double> scale_stddev_;
+};
+
+/// AdaBoost lowered to an alpha-weighted vote over compiled members.
+class CompiledVote final : public CompiledModel {
+ public:
+  CompiledVote(std::size_t classes, std::size_t features,
+               std::vector<std::unique_ptr<CompiledModel>> members,
+               std::vector<double> alphas);
+
+  void eval(std::span<const double> x, std::span<double> out,
+            double* scratch) const override;
+
+ private:
+  std::vector<std::unique_ptr<CompiledModel>> members_;
+  std::vector<double> alphas_;
+  double total_alpha_ = 0.0;  // summed in member order at lower time
+};
+
+/// Bagging lowered to a uniform average over compiled members.
+class CompiledAverage final : public CompiledModel {
+ public:
+  CompiledAverage(std::size_t classes, std::size_t features,
+                  std::vector<std::unique_ptr<CompiledModel>> members);
+
+  void eval(std::span<const double> x, std::span<double> out,
+            double* scratch) const override;
+
+ private:
+  std::vector<std::unique_ptr<CompiledModel>> members_;
+};
+
+/// Lower a trained classifier into its compiled form. Throws
+/// std::invalid_argument for untrained models and for classifier types
+/// without a lowering.
+std::unique_ptr<CompiledModel> compile(const Classifier& model);
+
+}  // namespace smart2::compiled

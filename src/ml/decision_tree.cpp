@@ -287,20 +287,19 @@ double DecisionTree::prune_node(Node& node) {
   return subtree_estimate;
 }
 
-std::vector<double> DecisionTree::predict_proba(
-    std::span<const double> x) const {
+// SMART2_HOT
+void DecisionTree::predict_proba_into(std::span<const double> x,
+                                      std::span<double> out) const {
   require_trained();
   const Node* node = root_.get();
   while (!node->is_leaf)
     node = x[node->feature] <= node->threshold ? node->left.get()
                                                : node->right.get();
   // Laplace-smoothed leaf distribution.
-  std::vector<double> proba(node->class_weight.size());
   const double total = sum(node->class_weight) +
-                       static_cast<double>(proba.size());
-  for (std::size_t c = 0; c < proba.size(); ++c)
-    proba[c] = (node->class_weight[c] + 1.0) / total;
-  return proba;
+                       static_cast<double>(out.size());
+  for (std::size_t c = 0; c < out.size(); ++c)
+    out[c] = (node->class_weight[c] + 1.0) / total;
 }
 
 std::unique_ptr<Classifier> DecisionTree::clone_untrained() const {

@@ -29,7 +29,8 @@ class DecisionTree final : public Classifier {
 
   void fit_weighted(const Dataset& train,
                     std::span<const double> weights) override;
-  std::vector<double> predict_proba(std::span<const double> x) const override;
+  void predict_proba_into(std::span<const double> x,
+                          std::span<double> out) const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
   std::string name() const override { return "J48"; }
   void save_body(std::ostream& out) const override;

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "common/obs.hpp"
 
 namespace smart2 {
@@ -35,6 +36,7 @@ void LogisticRegression::fit_weighted(const Dataset& train,
 
   std::vector<std::vector<double>> grad_w(k, std::vector<double>(d));
   std::vector<double> grad_b(k);
+  std::vector<double> p(k);  // hoisted softmax output, reused every sample
 
   for (int epoch = 0; epoch < params_.epochs; ++epoch) {
     for (auto& g : grad_w) std::fill(g.begin(), g.end(), 0.0);
@@ -42,7 +44,7 @@ void LogisticRegression::fit_weighted(const Dataset& train,
 
     for (std::size_t i = 0; i < n; ++i) {
       const auto x = std_train.features(i);
-      const auto p = softmax_raw(x);
+      softmax_into(x, p);
       const auto y = static_cast<std::size_t>(std_train.label(i));
       const double wi = weights[i] / weight_total;
       for (std::size_t c = 0; c < k; ++c) {
@@ -72,30 +74,32 @@ void LogisticRegression::fit_weighted(const Dataset& train,
   mark_trained(train);
 }
 
-std::vector<double> LogisticRegression::softmax_raw(
-    std::span<const double> xstd) const {
+// SMART2_HOT
+void LogisticRegression::softmax_into(std::span<const double> xstd,
+                                      std::span<double> out) const {
   const std::size_t k = w_.size();
-  std::vector<double> z(k, 0.0);
   for (std::size_t c = 0; c < k; ++c) {
     double acc = b_[c];
     const auto& wc = w_[c];
     for (std::size_t f = 0; f < xstd.size(); ++f) acc += wc[f] * xstd[f];
-    z[c] = acc;
+    out[c] = acc;
   }
-  const double zmax = *std::max_element(z.begin(), z.end());
+  const double zmax = *std::max_element(out.begin(), out.end());
   double sum = 0.0;
-  for (double& v : z) {
+  for (double& v : out) {
     v = std::exp(v - zmax);
     sum += v;
   }
-  for (double& v : z) v /= sum;
-  return z;
+  for (double& v : out) v /= sum;
 }
 
-std::vector<double> LogisticRegression::predict_proba(
-    std::span<const double> x) const {
+// SMART2_HOT
+void LogisticRegression::predict_proba_into(std::span<const double> x,
+                                            std::span<double> out) const {
   require_trained();
-  return softmax_raw(scaler_.transform(x));
+  const ScratchSpan xstd(x.size());
+  scaler_.transform_into(x, xstd.span());
+  softmax_into(xstd.span(), out);
 }
 
 std::unique_ptr<Classifier> LogisticRegression::clone_untrained() const {

@@ -25,7 +25,8 @@ class LogisticRegression final : public Classifier {
 
   void fit_weighted(const Dataset& train,
                     std::span<const double> weights) override;
-  std::vector<double> predict_proba(std::span<const double> x) const override;
+  void predict_proba_into(std::span<const double> x,
+                          std::span<double> out) const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
   std::string name() const override { return "MLR"; }
   void save_body(std::ostream& out) const override;
@@ -42,7 +43,7 @@ class LogisticRegression final : public Classifier {
   const Standardizer& scaler() const { return scaler_; }
 
  private:
-  std::vector<double> softmax_raw(std::span<const double> xstd) const;
+  void softmax_into(std::span<const double> xstd, std::span<double> out) const;
 
   Params params_;
   Standardizer scaler_;

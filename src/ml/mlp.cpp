@@ -7,6 +7,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "common/obs.hpp"
 
 namespace smart2 {
@@ -182,8 +183,9 @@ void Mlp::fit_weighted(const Dataset& train,
   mark_trained(train);
 }
 
-void Mlp::forward(std::span<const double> xstd, std::vector<double>& hidden_act,
-                  std::vector<double>& out_act) const {
+// SMART2_HOT
+void Mlp::forward(std::span<const double> xstd, std::span<double> hidden_act,
+                  std::span<double> out_act) const {
   for (std::size_t h = 0; h < hidden_; ++h) {
     double acc = b1_[h];
     const double* wh = w1_.row_data(h);
@@ -207,12 +209,15 @@ void Mlp::forward(std::span<const double> xstd, std::vector<double>& hidden_act,
   for (std::size_t c = 0; c < k; ++c) out_act[c] /= sum;
 }
 
-std::vector<double> Mlp::predict_proba(std::span<const double> x) const {
+// SMART2_HOT
+void Mlp::predict_proba_into(std::span<const double> x,
+                             std::span<double> out) const {
   require_trained();
-  std::vector<double> h(hidden_);
-  std::vector<double> o(class_count());
-  forward(scaler_.transform(x), h, o);
-  return o;
+  const ScratchSpan scratch(x.size() + hidden_);
+  const std::span<double> xstd(scratch.data(), x.size());
+  const std::span<double> h(scratch.data() + x.size(), hidden_);
+  scaler_.transform_into(x, xstd);
+  forward(xstd, h, out);
 }
 
 std::unique_ptr<Classifier> Mlp::clone_untrained() const {

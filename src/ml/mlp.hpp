@@ -33,7 +33,8 @@ class Mlp final : public Classifier {
 
   void fit_weighted(const Dataset& train,
                     std::span<const double> weights) override;
-  std::vector<double> predict_proba(std::span<const double> x) const override;
+  void predict_proba_into(std::span<const double> x,
+                          std::span<double> out) const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
   std::string name() const override { return "MLP"; }
   void save_body(std::ostream& out) const override;
@@ -41,9 +42,16 @@ class Mlp final : public Classifier {
 
   std::size_t hidden_units() const { return hidden_; }
 
+  /// Trained weights (for the compiled lowering and the hardware model).
+  const Matrix& hidden_weights() const { return w1_; }
+  const std::vector<double>& hidden_bias() const { return b1_; }
+  const Matrix& output_weights() const { return w2_; }
+  const std::vector<double>& output_bias() const { return b2_; }
+  const Standardizer& scaler() const { return scaler_; }
+
  private:
-  void forward(std::span<const double> xstd, std::vector<double>& hidden_act,
-               std::vector<double>& out_act) const;
+  void forward(std::span<const double> xstd, std::span<double> hidden_act,
+               std::span<double> out_act) const;
 
   Params params_;
   Standardizer scaler_;

@@ -72,11 +72,11 @@ void NaiveBayes::fit_weighted(const Dataset& train,
   mark_trained(train);
 }
 
-std::vector<double> NaiveBayes::predict_proba(
-    std::span<const double> x) const {
+// SMART2_HOT
+void NaiveBayes::predict_proba_into(std::span<const double> x,
+                                    std::span<double> out) const {
   require_trained();
   const std::size_t k = prior_.size();
-  std::vector<double> log_post(k);
   for (std::size_t c = 0; c < k; ++c) {
     double lp = std::log(prior_[c]);
     for (std::size_t f = 0; f < x.size(); ++f) {
@@ -85,16 +85,15 @@ std::vector<double> NaiveBayes::predict_proba(
       lp += -0.5 * (std::log(2.0 * 3.14159265358979323846 * var) +
                     dx * dx / var);
     }
-    log_post[c] = lp;
+    out[c] = lp;
   }
-  const double m = *std::max_element(log_post.begin(), log_post.end());
+  const double m = *std::max_element(out.begin(), out.end());
   double sum = 0.0;
-  for (double& v : log_post) {
+  for (double& v : out) {
     v = std::exp(v - m);
     sum += v;
   }
-  for (double& v : log_post) v /= sum;
-  return log_post;
+  for (double& v : out) v /= sum;
 }
 
 std::unique_ptr<Classifier> NaiveBayes::clone_untrained() const {

@@ -22,13 +22,18 @@ class NaiveBayes final : public Classifier {
 
   void fit_weighted(const Dataset& train,
                     std::span<const double> weights) override;
-  std::vector<double> predict_proba(std::span<const double> x) const override;
+  void predict_proba_into(std::span<const double> x,
+                          std::span<double> out) const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
   std::string name() const override { return "NaiveBayes"; }
   void save_body(std::ostream& out) const override;
   void load_body(std::istream& in) override;
 
   const std::vector<double>& priors() const { return prior_; }
+  const std::vector<std::vector<double>>& means() const { return mean_; }
+  const std::vector<std::vector<double>>& variances() const {
+    return variance_;
+  }
 
  private:
   Params params_;

@@ -120,7 +120,9 @@ void OneR::fit_weighted(const Dataset& train,
   mark_trained(train);
 }
 
-std::vector<double> OneR::predict_proba(std::span<const double> x) const {
+// SMART2_HOT
+void OneR::predict_proba_into(std::span<const double> x,
+                              std::span<double> out) const {
   require_trained();
   const double v = x[feature_];
   const Bucket* hit = &buckets_.back();
@@ -132,14 +134,13 @@ std::vector<double> OneR::predict_proba(std::span<const double> x) const {
   }
   const double total = std::accumulate(hit->class_weight.begin(),
                                        hit->class_weight.end(), 0.0);
-  std::vector<double> proba(class_count(), 0.0);
   if (total > 0.0) {
-    for (std::size_t c = 0; c < proba.size(); ++c)
-      proba[c] = hit->class_weight[c] / total;
+    for (std::size_t c = 0; c < out.size(); ++c)
+      out[c] = hit->class_weight[c] / total;
   } else {
-    proba[static_cast<std::size_t>(hit->majority)] = 1.0;
+    for (double& p : out) p = 0.0;
+    out[static_cast<std::size_t>(hit->majority)] = 1.0;
   }
-  return proba;
 }
 
 std::unique_ptr<Classifier> OneR::clone_untrained() const {

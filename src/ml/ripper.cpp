@@ -242,19 +242,23 @@ void Ripper::fit_weighted(const Dataset& train,
   mark_trained(train);
 }
 
-std::vector<double> Ripper::predict_proba(std::span<const double> x) const {
+// SMART2_HOT
+void Ripper::predict_proba_into(std::span<const double> x,
+                                std::span<double> out) const {
   require_trained();
   for (const auto& rule : rules_) {
     if (!rule.matches(x)) continue;
     // Laplace-smoothed coverage distribution of the first matching rule.
-    std::vector<double> proba(class_count());
     double total = static_cast<double>(class_count());
     for (double w : rule.class_weight) total += w;
-    for (std::size_t c = 0; c < proba.size(); ++c)
-      proba[c] = (rule.class_weight[c] + 1.0) / total;
-    return proba;
+    for (std::size_t c = 0; c < out.size(); ++c)
+      out[c] = (rule.class_weight[c] + 1.0) / total;
+    return;
   }
-  return default_distribution_;
+  // default_distribution_ is empty when the rules covered all training
+  // weight; report an all-zero (uninformative) distribution in that case.
+  for (std::size_t c = 0; c < out.size(); ++c)
+    out[c] = c < default_distribution_.size() ? default_distribution_[c] : 0.0;
 }
 
 std::unique_ptr<Classifier> Ripper::clone_untrained() const {

@@ -26,7 +26,8 @@ class Ripper final : public Classifier {
 
   void fit_weighted(const Dataset& train,
                     std::span<const double> weights) override;
-  std::vector<double> predict_proba(std::span<const double> x) const override;
+  void predict_proba_into(std::span<const double> x,
+                          std::span<double> out) const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
   std::string name() const override { return "JRip"; }
   void save_body(std::ostream& out) const override;
@@ -56,6 +57,11 @@ class Ripper final : public Classifier {
 
   const std::vector<Rule>& rules() const { return rules_; }
   int default_class() const { return default_class_; }
+  /// Class distribution of training weight no rule covered (may be empty
+  /// when the rules cover all training weight).
+  const std::vector<double>& default_distribution() const {
+    return default_distribution_;
+  }
 
   /// Total number of conditions across all rules (hardware cost input).
   std::size_t condition_count() const;

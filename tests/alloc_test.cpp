@@ -1,0 +1,183 @@
+// Zero-allocation guarantee for the steady-state inference loops.
+//
+// This binary replaces global operator new/delete with counting wrappers
+// that delegate to malloc/free, warms each hot loop once (thread-local
+// ScratchStack blocks grow on first use), and then asserts the warm loop
+// performs no heap allocations per sample.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "core/online_detector.hpp"
+#include "core/two_stage.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "workload/appmodels.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n != 0 ? n : 1) == 0) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_nothrow(std::size_t n) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace smart2 {
+namespace {
+
+CollectorConfig fast_collector() {
+  CollectorConfig cfg;
+  cfg.cycles_per_sample = 20'000;
+  cfg.samples_per_run = 2;
+  cfg.warmup_cycles = 20'000;
+  return cfg;
+}
+
+/// Shared small profiled dataset (built once; profiling dominates runtime).
+const Dataset& small_dataset() {
+  static const Dataset d = [] {
+    CorpusConfig corpus;
+    corpus.scale = 0.04;  // ~145 apps
+    return cached_hpc_dataset(corpus, fast_collector(), /*cache_dir=*/"");
+  }();
+  return d;
+}
+
+// ------------------------------------------------------- scratch arena ---
+
+TEST(AllocTest, ScratchStackSteadyStateDoesNotAllocate) {
+  ScratchStack& stack = ScratchStack::current();
+  stack.reserve(1024);
+  {  // warm the frame bookkeeping
+    const ScratchSpan warm(128);
+    (void)warm;
+  }
+  const std::uint64_t before = allocation_count();
+  for (int iter = 0; iter < 1000; ++iter) {
+    const ScratchSpan outer(256);
+    const ScratchSpan inner(128);
+    outer.data()[0] = 1.0;
+    inner.data()[0] = 2.0;
+  }
+  EXPECT_EQ(allocation_count(), before);
+}
+
+TEST(AllocTest, NestedBorrowsKeepBlocksStable) {
+  const ScratchSpan outer(64);
+  double* const outer_ptr = outer.data();
+  outer_ptr[0] = 42.0;
+  {
+    // Force growth past the current block: the outer span must not move.
+    const ScratchSpan inner(1 << 16);
+    inner.data()[0] = 7.0;
+    EXPECT_EQ(outer.data(), outer_ptr);
+    EXPECT_EQ(outer_ptr[0], 42.0);
+  }
+  EXPECT_EQ(outer_ptr[0], 42.0);
+}
+
+// ------------------------------------------------- steady-state detect ---
+
+TEST(AllocTest, DetectSteadyStateIsAllocationFree) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+  ASSERT_TRUE(hmd.compiled());
+
+  // Warm-up pass: first use grows the thread-local ScratchStack.
+  for (std::size_t i = 0; i < small_dataset().size(); ++i)
+    (void)hmd.detect(small_dataset().features(i));
+
+  const std::uint64_t before = allocation_count();
+  std::size_t malware = 0;
+  for (std::size_t i = 0; i < small_dataset().size(); ++i)
+    if (hmd.detect(small_dataset().features(i)).is_malware) ++malware;
+  EXPECT_EQ(allocation_count(), before) << "detect() allocated on the hot path";
+  EXPECT_GT(malware, 0u);  // the loop exercised the stage-2 branch
+}
+
+TEST(AllocTest, OnlineObserveSteadyStateIsAllocationFree) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+
+  // Pre-gather the Common-4 windows outside the measured loop.
+  std::vector<std::vector<double>> windows;
+  windows.reserve(small_dataset().size());
+  for (std::size_t i = 0; i < small_dataset().size(); ++i) {
+    std::vector<double> common;
+    common.reserve(hmd.plan().common.size());
+    for (std::size_t f : hmd.plan().common)
+      common.push_back(small_dataset().features(i)[f]);
+    windows.push_back(std::move(common));
+  }
+
+  OnlineDetector detector(hmd, OnlineDetectorConfig{});
+  for (const auto& w : windows) (void)detector.observe(w);  // warm up
+  detector.reset();
+
+  const std::uint64_t before = allocation_count();
+  for (const auto& w : windows) (void)detector.observe(w);
+  EXPECT_EQ(allocation_count(), before)
+      << "observe() allocated on the hot path";
+}
+
+}  // namespace
+}  // namespace smart2

@@ -1,0 +1,292 @@
+// Equivalence tests for smart2::compiled: the lowered inference path must be
+// bit-identical to the interpreted Classifier::predict_proba for every
+// lowerable model, through serialization round trips, and through the
+// two-stage pipeline at any thread count.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/two_stage.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/compiled.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+#include "ml/serialize.hpp"
+#include "workload/appmodels.hpp"
+
+namespace smart2 {
+namespace {
+
+/// Two-class Gaussian blobs, linearly separable up to `noise`.
+Dataset make_blobs(std::size_t n_per_class, double separation, double noise,
+                   std::uint64_t seed, std::size_t dims = 5) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < dims; ++f)
+    names.push_back("f" + std::to_string(f));
+  Dataset d(std::move(names), {"neg", "pos"});
+  Rng rng(seed);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 2; ++cls) {
+      const double center = cls == 0 ? 0.0 : separation;
+      for (std::size_t f = 0; f < dims; ++f)
+        x[f] = rng.gaussian(f == 0 ? center : 0.0, f == 0 ? noise : 1.0);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+/// A 3-class dataset separable along feature 0 (exercises k > 2 lowering).
+Dataset make_three_class(std::size_t n_per_class, std::uint64_t seed) {
+  Dataset d({"f0", "f1", "f2"}, {"a", "b", "c"});
+  Rng rng(seed);
+  std::vector<double> x(3);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 3; ++cls) {
+      x[0] = rng.gaussian(cls * 4.0, 0.7);
+      x[1] = rng.gaussian(0.0, 1.0);
+      x[2] = rng.gaussian(0.0, 2.0);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+void expect_bits_equal(std::span<const double> a, std::span<const double> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << "element " << i << ": " << a[i] << " vs " << b[i];
+}
+
+/// The core contract: the compiled lowering of `c` produces bitwise the same
+/// probability vector and the same argmax as the interpreted model on every
+/// row of `test`.
+void expect_compiled_matches(const Classifier& c, const Dataset& test) {
+  const auto lowered = compiled::compile(c);
+  ASSERT_NE(lowered, nullptr);
+  ASSERT_EQ(lowered->class_count(), c.class_count());
+  ASSERT_EQ(lowered->feature_count(), c.feature_count());
+
+  std::vector<double> interp(c.class_count());
+  std::vector<double> fast(c.class_count());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    c.predict_proba_into(test.features(i), interp);
+    lowered->predict_proba_into(test.features(i), fast);
+    expect_bits_equal(interp, fast);
+    EXPECT_EQ(lowered->predict(test.features(i)), c.predict(test.features(i)));
+  }
+}
+
+/// Serialize -> deserialize -> compile must match the original interpreted
+/// model too (save/load is bit-exact, so the chain stays bit-identical).
+void expect_roundtrip_matches(const Classifier& c, const Dataset& test) {
+  std::stringstream stream;
+  serialize_classifier(c, stream);
+  const auto restored = deserialize_classifier(stream);
+  ASSERT_NE(restored, nullptr);
+  expect_compiled_matches(*restored, test);
+}
+
+// --------------------------------------------------- per-model lowering --
+
+TEST(CompiledTest, DecisionTreeBitIdentical) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 11);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 12);
+  DecisionTree c;
+  c.fit(train);
+  expect_compiled_matches(c, test);
+  expect_roundtrip_matches(c, test);
+}
+
+TEST(CompiledTest, DecisionTreeThreeClassBitIdentical) {
+  const Dataset train = make_three_class(50, 21);
+  const Dataset test = make_three_class(30, 22);
+  DecisionTree c;
+  c.fit(train);
+  expect_compiled_matches(c, test);
+}
+
+TEST(CompiledTest, RipperBitIdentical) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 31);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 32);
+  Ripper c;
+  c.fit(train);
+  expect_compiled_matches(c, test);
+  expect_roundtrip_matches(c, test);
+}
+
+TEST(CompiledTest, OneRBitIdentical) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 41);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 42);
+  OneR c;
+  c.fit(train);
+  expect_compiled_matches(c, test);
+  expect_roundtrip_matches(c, test);
+}
+
+TEST(CompiledTest, NaiveBayesBitIdentical) {
+  const Dataset train = make_three_class(50, 51);
+  const Dataset test = make_three_class(30, 52);
+  NaiveBayes c;
+  c.fit(train);
+  expect_compiled_matches(c, test);
+  expect_roundtrip_matches(c, test);
+}
+
+TEST(CompiledTest, LogisticRegressionBitIdentical) {
+  const Dataset train = make_three_class(50, 61);
+  const Dataset test = make_three_class(30, 62);
+  LogisticRegression c;
+  c.fit(train);
+  expect_compiled_matches(c, test);
+  expect_roundtrip_matches(c, test);
+}
+
+TEST(CompiledTest, MlpBitIdentical) {
+  // 5 features exercises both the 4-wide gemv row tile and its tail.
+  const Dataset train = make_blobs(60, 3.0, 1.0, 71);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 72);
+  Mlp::Params params;
+  params.epochs = 30;
+  Mlp c(params);
+  c.fit(train);
+  expect_compiled_matches(c, test);
+  expect_roundtrip_matches(c, test);
+}
+
+TEST(CompiledTest, AdaBoostOfOneRBitIdentical) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 81);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 82);
+  AdaBoost c(std::make_unique<OneR>());
+  c.fit(train);
+  expect_compiled_matches(c, test);
+  expect_roundtrip_matches(c, test);
+}
+
+TEST(CompiledTest, BaggingOfTreesBitIdentical) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 91);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 92);
+  Bagging c(std::make_unique<DecisionTree>());
+  c.fit(train);
+  expect_compiled_matches(c, test);
+  expect_roundtrip_matches(c, test);
+}
+
+TEST(CompiledTest, UntrainedModelThrows) {
+  const DecisionTree c;
+  EXPECT_THROW((void)compiled::compile(c), std::invalid_argument);
+}
+
+// --------------------------------------------------- two-stage pipeline --
+
+CollectorConfig fast_collector() {
+  CollectorConfig cfg;
+  cfg.cycles_per_sample = 20'000;
+  cfg.samples_per_run = 2;
+  cfg.warmup_cycles = 20'000;
+  return cfg;
+}
+
+/// Shared small profiled dataset (built once; profiling dominates runtime).
+const Dataset& small_dataset() {
+  static const Dataset d = [] {
+    CorpusConfig corpus;
+    corpus.scale = 0.04;  // ~145 apps
+    return cached_hpc_dataset(corpus, fast_collector(), /*cache_dir=*/"");
+  }();
+  return d;
+}
+
+void expect_detections_equal(const Detection& a, const Detection& b) {
+  EXPECT_EQ(a.is_malware, b.is_malware);
+  EXPECT_EQ(a.predicted_class, b.predicted_class);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.stage1_confidence),
+            std::bit_cast<std::uint64_t>(b.stage1_confidence));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.stage2_score),
+            std::bit_cast<std::uint64_t>(b.stage2_score));
+}
+
+TEST(CompiledTwoStageTest, DetectMatchesInterpretedBitwise) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+  ASSERT_TRUE(hmd.compiled());
+
+  for (std::size_t i = 0; i < small_dataset().size(); ++i) {
+    const auto fast = hmd.detect(small_dataset().features(i));
+    const auto interp = hmd.detect_interpreted(small_dataset().features(i));
+    expect_detections_equal(fast, interp);
+  }
+}
+
+TEST(CompiledTwoStageTest, AutoSelectedStage2MatchesInterpreted) {
+  TwoStageConfig cfg;  // empty stage2_model: per-class winner by F x AUC
+  cfg.boost = true;
+  cfg.boost_rounds = 3;
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+  ASSERT_TRUE(hmd.compiled());
+
+  for (std::size_t i = 0; i < small_dataset().size(); ++i)
+    expect_detections_equal(hmd.detect(small_dataset().features(i)),
+                            hmd.detect_interpreted(small_dataset().features(i)));
+}
+
+TEST(CompiledTwoStageTest, PredictBatchBitIdenticalAcrossThreadCounts) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+
+  parallel::set_thread_count(1);
+  const auto one = hmd.predict_batch(small_dataset());
+  parallel::set_thread_count(2);
+  const auto two = hmd.predict_batch(small_dataset());
+  parallel::set_thread_count(4);
+  const auto four = hmd.predict_batch(small_dataset());
+  parallel::set_thread_count(0);
+
+  ASSERT_EQ(one.size(), small_dataset().size());
+  ASSERT_EQ(two.size(), one.size());
+  ASSERT_EQ(four.size(), one.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    expect_detections_equal(one[i], two[i]);
+    expect_detections_equal(one[i], four[i]);
+    // Worker-lane arenas must reproduce the single-sample path exactly.
+    expect_detections_equal(one[i], hmd.detect(small_dataset().features(i)));
+  }
+}
+
+TEST(CompiledTwoStageTest, SaveLoadRecompilesIdentically) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "JRip";
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+
+  std::stringstream stream;
+  hmd.save(stream);
+  const TwoStageHmd restored = TwoStageHmd::load(stream);
+  ASSERT_TRUE(restored.compiled());
+
+  for (std::size_t i = 0; i < small_dataset().size(); ++i)
+    expect_detections_equal(hmd.detect(small_dataset().features(i)),
+                            restored.detect(small_dataset().features(i)));
+}
+
+}  // namespace
+}  // namespace smart2

@@ -268,6 +268,68 @@ TEST(LintUsingNamespace, FlagsHeadersOnly) {
             0u);
 }
 
+// ------------------------------------------------------------ hot paths
+
+TEST(LintHotPathAlloc, FlagsNewAndMakeUniqueInMarkedFunction) {
+  const auto fs = active("a.cpp", R"cpp(// SMART2_HOT
+void eval(double* out) {
+  auto* p = new double[4];
+  auto q = std::make_unique<int>(3);
+  out[0] = p[0];
+}
+)cpp");
+  ASSERT_EQ(count_rule(fs, "smart2-hot-path-alloc"), 2u);
+  EXPECT_EQ(fs[0].line, 3u);
+  EXPECT_EQ(fs[1].line, 4u);
+}
+
+TEST(LintHotPathAlloc, FlagsPushBackWithoutReserve) {
+  const auto fs = active("a.cpp", R"cpp(// SMART2_HOT
+void gather(std::vector<double>& out) {
+  out.push_back(1.0);
+}
+)cpp");
+  ASSERT_EQ(count_rule(fs, "smart2-hot-path-alloc"), 1u);
+  EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(LintHotPathAlloc, ReserveSanctionsGrowth) {
+  const auto fs = active("a.cpp", R"cpp(// SMART2_HOT
+void gather(std::vector<double>& out, std::size_t n) {
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(0.0);
+}
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-hot-path-alloc"), 0u);
+}
+
+TEST(LintHotPathAlloc, UnmarkedFunctionsAreExempt) {
+  const auto fs = active("a.cpp", R"cpp(void setup(std::vector<int>& v) {
+  v.push_back(1);
+  auto p = std::make_unique<int>(2);
+  (void)p;
+}
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-hot-path-alloc"), 0u);
+}
+
+TEST(LintHotPathAlloc, MarkerOnDeclarationDoesNotLeakToNextBody) {
+  const auto fs = active("a.cpp", R"cpp(// SMART2_HOT
+void eval(double* out);
+void setup(std::vector<int>& v) { v.push_back(1); }
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-hot-path-alloc"), 0u);
+}
+
+TEST(LintHotPathAlloc, IndexedReceiversAreSanctioned) {
+  const auto fs = active("a.cpp", R"cpp(// SMART2_HOT
+void scatter(std::vector<std::vector<int>>& out, std::size_t i) {
+  out[i].push_back(1);
+}
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-hot-path-alloc"), 0u);
+}
+
 // ------------------------------------------------------------ suppression
 
 TEST(LintNolint, SameLineSuppressesNamedRule) {
@@ -343,7 +405,7 @@ int f() { return std::rand(); }
 )cpp";
   for (const Finding& f : lint_text("src/ml/x.cpp", bad))
     EXPECT_TRUE(is_known_rule(f.rule)) << f.rule;
-  EXPECT_EQ(rule_catalog().size(), 10u);
+  EXPECT_EQ(rule_catalog().size(), 11u);
 }
 
 }  // namespace

@@ -214,7 +214,7 @@ TEST(ObsParallelTest, TwoStagePipelineTraceIsThreadCountIndependent) {
   parallel::set_thread_count(0);
   EXPECT_EQ(serial, four);
   EXPECT_NE(serial.find("\"name\": \"two_stage.train\""), std::string::npos);
-  EXPECT_NE(serial.find("\"name\": \"stage1.mlr.predict\""),
+  EXPECT_NE(serial.find("\"name\": \"stage1.mlr.predict_compiled\""),
             std::string::npos);
 }
 
@@ -255,11 +255,12 @@ TEST(ObsTwoStageTest, OneStage2SpanPerNonBenignStage1Verdict) {
   const std::string trace = obs::trace_to_json();
   std::size_t stage2_spans = 0;
   for (const char* name :
-       {"stage2.backdoor.predict", "stage2.rootkit.predict",
-        "stage2.virus.predict", "stage2.trojan.predict"})
+       {"stage2.backdoor.predict_compiled", "stage2.rootkit.predict_compiled",
+        "stage2.virus.predict_compiled", "stage2.trojan.predict_compiled"})
     stage2_spans += count_spans(trace, name);
   EXPECT_EQ(stage2_spans, expected_dispatches);
-  EXPECT_EQ(count_spans(trace, "stage1.mlr.predict"), small_dataset().size());
+  EXPECT_EQ(count_spans(trace, "stage1.mlr.predict_compiled"),
+            small_dataset().size());
 }
 
 // ------------------------------------------------------------ summary ----

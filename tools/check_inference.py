@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Gate the compiled-inference perf smoke.
+
+Usage: check_inference.py BENCH_INFERENCE_JSON
+
+Reads the summary bench_inference writes (one JSON object with a "models"
+list of {model, allocating_ns, interpreted_ns, compiled_ns, speedup}) and
+fails when the compiled path is slower than the interpreted path on any of
+the tree-based models the lowering targets first (J48, Bagging(J48),
+AdaBoost(OneR)) — a regression there means the flattened layouts stopped
+paying for themselves. Exits nonzero with an explanatory assertion on any
+mismatch. Used by the CI build-test job.
+"""
+import json
+import sys
+
+GATED_TREE_MODELS = {"J48", "Bagging(J48)", "AdaBoost(OneR)"}
+
+
+def check(path):
+    with open(path) as f:
+        summary = json.load(f)
+    by_name = {m["model"]: m for m in summary["models"]}
+    missing = GATED_TREE_MODELS - set(by_name)
+    assert not missing, f"bench_inference summary lacks models: {missing}"
+    for name in sorted(GATED_TREE_MODELS):
+        m = by_name[name]
+        assert m["compiled_ns"] > 0, m
+        assert m["compiled_ns"] <= m["interpreted_ns"], (
+            f"{name}: compiled path ({m['compiled_ns']} ns/sample) is slower "
+            f"than interpreted ({m['interpreted_ns']} ns/sample)"
+        )
+        print(
+            f"ok: {name}: compiled {m['compiled_ns']} ns <= "
+            f"interpreted {m['interpreted_ns']} ns "
+            f"({m['speedup']:.2f}x)"
+        )
+    print(f"checked {len(GATED_TREE_MODELS)} gated models: OK")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    check(sys.argv[1])

@@ -56,6 +56,10 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"smart2-using-namespace-header",
        "using namespace in a header leaks the namespace into every includer",
        "qualify names, or move the using-directive into a .cpp file"},
+      {"smart2-hot-path-alloc",
+       "heap allocation inside a function marked // SMART2_HOT",
+       "borrow from the thread-local ScratchStack, hoist the container out "
+       "of the hot loop, or reserve() it up front"},
   };
   return kCatalog;
 }

@@ -452,6 +452,81 @@ void rule_span_literal(const Ctx& ctx) {
   }
 }
 
+// ------------------------------------------------------------ hot paths
+
+// smart2-hot-path-alloc: a `// SMART2_HOT` comment on its own line marks the
+// function that starts below it as steady-state inference code. Inside that
+// function's body, heap allocation is a finding: `new` expressions,
+// std::make_unique / std::make_shared, and push_back / emplace_back on a
+// bare local container that the body never reserve()s. The rule is lexical
+// by design — it catches the allocation idioms this codebase actually uses,
+// and the alloc_test binary backstops it with a run-time counter.
+void rule_hot_path_alloc(const Ctx& ctx, const LexResult& lexed) {
+  const Tokens& t = *ctx.code;
+  for (const Token& c : lexed.comments) {
+    const std::size_t pos = c.text.find("SMART2_HOT");
+    if (pos == std::string_view::npos) continue;
+    std::size_t marker_line = c.line;
+    for (std::size_t q = 0; q < pos; ++q)
+      if (c.text[q] == '\n') ++marker_line;
+
+    // First code token below the marker starts the function signature; its
+    // first '{' opens the body. A ';' first means a mere declaration.
+    std::size_t i = 0;
+    while (i < t.size() && t[i].line <= marker_line) ++i;
+    std::size_t open = i;
+    while (open < t.size() && !punct_is(t, open, "{") &&
+           !punct_is(t, open, ";"))
+      ++open;
+    if (open >= t.size() || !punct_is(t, open, "{")) continue;
+    const std::size_t close = match_pair(t, open, "{", "}");
+    if (close == t.size()) continue;
+
+    // Containers the body reserve()s up front are amortized-allocation-free
+    // in steady state; growth calls on them are sanctioned.
+    std::set<std::string_view> reserved;
+    for (std::size_t m = open + 2; m + 2 < close; ++m)
+      if ((punct_is(t, m, ".") || punct_is(t, m, "->")) &&
+          id_is(t, m + 1, "reserve") && punct_is(t, m + 2, "(") &&
+          is_id(t, m - 1))
+        reserved.insert(t[m - 1].text);
+
+    for (std::size_t m = open + 1; m < close; ++m) {
+      if (id_is(t, m, "new")) {
+        ctx.add("smart2-hot-path-alloc", t[m],
+                "new expression inside a // SMART2_HOT function");
+        continue;
+      }
+      if ((id_is(t, m, "make_unique") || id_is(t, m, "make_shared")) &&
+          stdish_reference(t, m) &&
+          (punct_is(t, m + 1, "(") || punct_is(t, m + 1, "<"))) {
+        ctx.add("smart2-hot-path-alloc", t[m],
+                "std::" + std::string(t[m].text) +
+                    " inside a // SMART2_HOT function");
+        continue;
+      }
+      if ((punct_is(t, m, ".") || punct_is(t, m, "->")) && m >= 1 &&
+          (id_is(t, m + 1, "push_back") || id_is(t, m + 1, "emplace_back")) &&
+          punct_is(t, m + 2, "(") && is_id(t, m - 1)) {
+        // Only a bare named receiver: chained/indexed receivers
+        // (out[i].push_back, f().push_back) address pre-sized storage in
+        // this codebase's idiom.
+        if (m >= 2 && t[m - 2].kind == TokKind::kPunct &&
+            (t[m - 2].text == "." || t[m - 2].text == "->" ||
+             t[m - 2].text == "::" || t[m - 2].text == "]" ||
+             t[m - 2].text == ")"))
+          continue;
+        if (reserved.count(t[m - 1].text) != 0) continue;
+        ctx.add("smart2-hot-path-alloc", t[m - 1],
+                "'" + std::string(t[m - 1].text) + "." +
+                    std::string(t[m + 1].text) +
+                    "' without a prior reserve() inside a // SMART2_HOT "
+                    "function");
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------ hygiene
 
 // smart2-header-guard: headers need #pragma once or an #ifndef guard.
@@ -568,6 +643,7 @@ std::vector<Finding> lint_text(std::string_view path,
   rule_raw_thread(ctx);
   rule_parallel_bodies(ctx);
   rule_span_literal(ctx);
+  rule_hot_path_alloc(ctx, lexed);
   rule_header_guard(ctx, lexed, content);
   rule_using_namespace(ctx);
 
