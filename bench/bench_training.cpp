@@ -1,0 +1,184 @@
+// Presorted vs legacy training-engine microbenchmark.
+//
+// For every axis-aligned learner and ensemble the presorted columnar engine
+// accelerates (J48, JRip, OneR, Bagging(J48), AdaBoost(J48)), measures
+// ns-per-fit on the Stage-2 shaped problem under both engines at 1 and 4
+// lanes. Before timing, each (model, engine) pair is fitted once at one
+// lane and the serialized bodies are compared — the bench aborts if the
+// engines ever diverge, so a perf number can never hide a correctness bug.
+// Prints a table, appends the usual ScopedTiming ledger line, and writes a
+// BENCH_training.json summary that the CI perf smoke
+// (tools/check_training.py) gates on: presorted must not be slower than
+// legacy on the tree-based fits.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+#include "ml/serialize.hpp"
+#include "ml/train_view.hpp"
+
+namespace {
+
+using namespace smart2;
+
+struct TrainResult {
+  std::string model;
+  std::size_t threads = 1;
+  double legacy_ns = 0.0;
+  double presorted_ns = 0.0;
+
+  double speedup() const {
+    return presorted_ns > 0.0 ? legacy_ns / presorted_ns : 0.0;
+  }
+};
+
+/// Best-of-N wall time of one full fit, in nanoseconds.
+template <typename Fit>
+double time_ns_per_fit(int reps, Fit&& fit) {
+  fit();  // warm the scratch arenas and the pool
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fit();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  return best;
+}
+
+using Factory = std::function<std::unique_ptr<Classifier>()>;
+
+std::vector<TrainResult> run_training_bench() {
+  const bench::Phase phase(bench::Phase::kTrain);
+
+  // Stage-2 shaped problem: {Benign, Backdoor}, the 16 top HPC features —
+  // the same fits the paper's per-class detectors pay for.
+  const int positive = label_of(kMalwareClasses[0]);
+  const int negative = label_of(AppClass::kBenign);
+  const Dataset btr = bench::train()
+                          .binary_view(positive, negative)
+                          .select_features(bench::plan().top16);
+
+  struct Case {
+    const char* label;
+    Factory make;
+    int reps;
+  };
+  const std::vector<Case> cases = {
+      {"J48", [] { return std::unique_ptr<Classifier>(
+                       std::make_unique<DecisionTree>()); }, 5},
+      {"JRip", [] { return std::unique_ptr<Classifier>(
+                        std::make_unique<Ripper>()); }, 5},
+      {"OneR", [] { return std::unique_ptr<Classifier>(
+                        std::make_unique<OneR>()); }, 5},
+      {"Bagging(J48)",
+       [] { return std::unique_ptr<Classifier>(std::make_unique<Bagging>(
+                std::make_unique<DecisionTree>())); }, 3},
+      {"AdaBoost(J48)",
+       [] { return std::unique_ptr<Classifier>(std::make_unique<AdaBoost>(
+                std::make_unique<DecisionTree>())); }, 3},
+  };
+
+  std::vector<TrainResult> results;
+  for (const Case& c : cases) {
+    // Equivalence guard: both engines must serialize identically before
+    // either is worth timing.
+    parallel::set_thread_count(1);
+    set_train_engine(TrainEngine::kLegacy);
+    auto legacy_model = c.make();
+    legacy_model->fit(btr);
+    set_train_engine(TrainEngine::kPresorted);
+    auto presorted_model = c.make();
+    presorted_model->fit(btr);
+    if (serialize_classifier(*legacy_model) !=
+        serialize_classifier(*presorted_model)) {
+      std::fprintf(stderr,
+                   "FATAL: %s: presorted engine diverged from legacy\n",
+                   c.label);
+      std::exit(1);
+    }
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      parallel::set_thread_count(threads);
+      TrainResult r;
+      r.model = c.label;
+      r.threads = threads;
+      set_train_engine(TrainEngine::kLegacy);
+      r.legacy_ns = time_ns_per_fit(c.reps, [&] {
+        auto model = c.make();
+        model->fit(btr);
+        benchmark::DoNotOptimize(model);
+      });
+      set_train_engine(TrainEngine::kPresorted);
+      r.presorted_ns = time_ns_per_fit(c.reps, [&] {
+        auto model = c.make();
+        model->fit(btr);
+        benchmark::DoNotOptimize(model);
+      });
+      results.push_back(std::move(r));
+    }
+  }
+  set_train_engine(TrainEngine::kPresorted);
+  return results;
+}
+
+void write_summary_json(const std::vector<TrainResult>& results) {
+  std::ofstream out("BENCH_training.json", std::ios::trunc);
+  out << "{\"bench\": \"training\", \"scale\": " << bench::corpus_config().scale
+      << ", \"models\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TrainResult& r = results[i];
+    if (i != 0) out << ", ";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"model\": \"%s\", \"threads\": %zu, "
+                  "\"legacy_ns\": %.0f, \"presorted_ns\": %.0f, "
+                  "\"speedup\": %.2f}",
+                  r.model.c_str(), r.threads, r.legacy_ns, r.presorted_ns,
+                  r.speedup());
+    out << buf;
+  }
+  out << "]}\n";
+}
+
+void print_results(const std::vector<TrainResult>& results) {
+  bench::print_banner("Presorted vs legacy training engine (ns per fit)");
+  TableWriter t({"model", "threads", "legacy ms", "presorted ms", "speedup"});
+  for (const TrainResult& r : results)
+    t.add_row({r.model, std::to_string(r.threads),
+               TableWriter::num(r.legacy_ns / 1e6, 2),
+               TableWriter::num(r.presorted_ns / 1e6, 2),
+               TableWriter::num(r.speedup(), 2) + "x"});
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Both engines produce byte-identical models (train_view_test and the\n"
+      "equivalence guard above assert it). Summary written to\n"
+      "BENCH_training.json.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("training");
+  const auto results = run_training_bench();
+  print_results(results);
+  write_summary_json(results);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

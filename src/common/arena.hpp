@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 namespace smart2 {
@@ -33,6 +34,15 @@ class ScratchStack {
   /// the warmed capacity is insufficient; the returned pointer stays valid
   /// until the matching pop() even if later pushes grow the stack.
   double* push(std::size_t n);
+
+  /// Borrow `bytes` bytes of 8-byte-aligned storage (uninitialized). Shares
+  /// the double-block backing store: the frame is released by the same
+  /// pop() discipline as push(). The presorted training engine borrows its
+  /// index / mask arrays this way.
+  void* push_bytes(std::size_t bytes) {
+    return static_cast<void*>(push((bytes + sizeof(double) - 1) /
+                                   sizeof(double)));
+  }
 
   /// Release the most recent outstanding push (strict LIFO).
   void pop() noexcept;
@@ -82,6 +92,37 @@ class ScratchSpan {
  private:
   std::size_t size_;
   double* data_;
+};
+
+/// RAII frame of `n` uninitialized elements of a trivial type T borrowed
+/// from ScratchStack::current() (the training engine's index / mask / label
+/// scratch). Same strict-LIFO discipline as ScratchSpan.
+template <typename T>
+class ScratchArray {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "ScratchArray holds trivial element types only");
+  static_assert(alignof(T) <= alignof(double),
+                "ScratchArray elements must fit double alignment");
+
+ public:
+  explicit ScratchArray(std::size_t n)
+      : size_(n),
+        data_(static_cast<T*>(
+            ScratchStack::current().push_bytes(n * sizeof(T)))) {}
+  ~ScratchArray() { ScratchStack::current().pop(); }
+
+  ScratchArray(const ScratchArray&) = delete;
+  ScratchArray& operator=(const ScratchArray&) = delete;
+
+  T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  std::span<T> span() const noexcept { return {data_, size_}; }
+
+ private:
+  std::size_t size_;
+  T* data_;
 };
 
 }  // namespace smart2

@@ -59,6 +59,8 @@ GlobalState& state() {
 constexpr const char* kCatalogCounters[] = {
     "stage1.benign_shortcircuit", "stage2.dispatch", "adaboost.rounds",
     "cv.folds",                   "online.alarms",
+    "train.presort_builds",       "train.bootstrap_views",
+    "train.ensemble_reuse",
 };
 constexpr const char* kCatalogHistograms[] = {
     "phase.load",           "phase.featurize",
@@ -79,7 +81,8 @@ constexpr const char* kCatalogHistograms[] = {
     "stage1.mlr.predict_compiled",  "stage2.backdoor.predict_compiled",
     "stage2.rootkit.predict_compiled", "stage2.virus.predict_compiled",
     "stage2.trojan.predict_compiled",  "compile.two_stage",
-    "compile.model",
+    "compile.model",        "train.presort",
+    "train.split_scan",
 };
 
 void register_catalog_locked(GlobalState& g) {

@@ -158,6 +158,17 @@ void Dataset::append(const Dataset& other) {
   labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
 }
 
+ColumnStore::ColumnStore(const Dataset& d)
+    : rows_(d.size()), cols_(d.feature_count()), data_(rows_ * cols_) {
+  // One pass over the row-major matrix, scattering into columns: the writes
+  // stride but each source row is read once, which is the cache-friendly
+  // direction for wide matrices.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const auto row = d.features(i);
+    for (std::size_t f = 0; f < cols_; ++f) data_[f * rows_ + i] = row[f];
+  }
+}
+
 void Standardizer::fit(const Dataset& train) {
   const std::size_t d = train.feature_count();
   const std::size_t n = train.size();

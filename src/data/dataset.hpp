@@ -93,6 +93,37 @@ class Dataset {
   std::vector<int> labels_;
 };
 
+/// Column-major (SoA) snapshot of a Dataset's feature matrix. The training
+/// engine scans one feature across every row at a time; gathering those
+/// scans from the row-major matrix strides feature_count() doubles per
+/// step, so fit-time code transposes once and reads contiguously after.
+/// The snapshot is immutable and holds exactly the values of the source
+/// matrix (bit-identical doubles, no transformation).
+class ColumnStore {
+ public:
+  ColumnStore() = default;
+  explicit ColumnStore(const Dataset& d);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return rows_ == 0; }
+
+  /// Feature `f` over all rows, contiguous.
+  std::span<const double> column(std::size_t f) const noexcept {
+    return {data_.data() + f * rows_, rows_};
+  }
+  /// Value of feature `f` at row `i` (same double as
+  /// Dataset::features(i)[f]).
+  double at(std::size_t f, std::size_t i) const noexcept {
+    return data_[f * rows_ + i];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;  // [f * rows_ + i]
+};
+
 /// Z-score standardizer fitted on a training set and applied to any
 /// compatible feature vector. Constant features map to 0.
 class Standardizer {

@@ -1,8 +1,10 @@
 #include "ml/adaboost.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <istream>
 #include <numeric>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
@@ -10,6 +12,7 @@
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "ml/serialize.hpp"
+#include "ml/train_view.hpp"
 
 namespace smart2 {
 
@@ -43,6 +46,17 @@ void AdaBoost::fit_weighted(const Dataset& train,
   const bool resample =
       params_.force_resampling || !prototype_->supports_instance_weights();
 
+  // Presort sharing: weight-aware rounds retrain on the SAME view — only
+  // the entry weights change — so the whole boost pays for one presort.
+  // Resampling rounds derive each sample's tables from the shared view by
+  // a linear expansion of draws taken from the legacy Rng stream.
+  const bool share_view =
+      train_presorted() && prototype_->supports_train_view();
+  std::optional<TrainView> view;
+  if (share_view) view.emplace(train);
+  std::vector<double> ones;
+  if (share_view && resample) ones.assign(n, 1.0);
+
   // Base learners with absolute weight thresholds (J48's -M, OneR's -B)
   // expect weights on the scale of instance counts, so hand them the
   // distribution scaled back up to sum to n.
@@ -53,12 +67,27 @@ void AdaBoost::fit_weighted(const Dataset& train,
     if (obs::metrics_enabled()) obs::counter("adaboost.rounds").add();
     auto model = prototype_->clone_untrained();
     if (resample) {
-      Dataset sample = train.resample_weighted(w, n, rng);
-      model->fit(sample);
+      if (share_view) {
+        const std::vector<std::uint32_t> drawn =
+            TrainView::draw_bootstrap(w, n, rng);
+        const TrainView sample(*view, drawn);
+        if (obs::metrics_enabled())
+          obs::counter("train.ensemble_reuse").add();
+        model->fit_view(sample, ones);
+      } else {
+        Dataset sample = train.resample_weighted(w, n, rng);
+        model->fit(sample);
+      }
     } else {
       for (std::size_t i = 0; i < n; ++i)
         scaled[i] = w[i] * static_cast<double>(n);
-      model->fit_weighted(train, scaled);
+      if (share_view) {
+        if (obs::metrics_enabled())
+          obs::counter("train.ensemble_reuse").add();
+        model->fit_view(*view, scaled);
+      } else {
+        model->fit_weighted(train, scaled);
+      }
     }
 
     // Weighted training error of this round's model. The per-instance

@@ -1,6 +1,7 @@
 #include "ml/bagging.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "ml/serialize.hpp"
+#include "ml/train_view.hpp"
 
 namespace smart2 {
 
@@ -46,6 +48,27 @@ void Bagging::fit_weighted(const Dataset& train,
 
   members_.clear();
   members_.resize(bags);
+  if (train_presorted() && prototype_->supports_train_view()) {
+    // Presort sharing: sort the training set once, then derive every bag's
+    // sorted tables from the shared view by a linear expansion of its
+    // bootstrap draws (same Rng stream as resample_weighted, so the
+    // ensemble is bit-identical to the legacy per-bag path). Members train
+    // with unit entry weights, exactly like fit() on a materialized bag.
+    const TrainView shared(train);
+    const std::size_t ssize = std::max<std::size_t>(sample_size, 1);
+    const std::vector<double> ones(ssize, 1.0);
+    parallel::parallel_for(0, bags, [&](std::size_t b) {
+      const std::vector<std::uint32_t> drawn =
+          TrainView::draw_bootstrap(weights, ssize, bag_rng[b]);
+      const TrainView bag(shared, drawn);
+      if (obs::metrics_enabled()) obs::counter("train.ensemble_reuse").add();
+      auto model = prototype_->clone_untrained();
+      model->fit_view(bag, ones);
+      members_[b] = std::move(model);
+    });
+    mark_trained(train);
+    return;
+  }
   parallel::parallel_for(0, bags, [&](std::size_t b) {
     // Bootstrap respecting caller weights: sampling probability is the
     // (normalized) instance weight.

@@ -3,12 +3,25 @@
 #include <stdexcept>
 
 #include "common/arena.hpp"
+#include "ml/train_view.hpp"
 
 namespace smart2 {
 
 void Classifier::fit(const Dataset& train) {
   const std::vector<double> w(train.size(), 1.0);
   fit_weighted(train, w);
+}
+
+void Classifier::fit_view(const TrainView& view,
+                          std::span<const double> entry_weights) {
+  if (!view.bootstrap()) {
+    fit_weighted(view.data(), entry_weights);
+    return;
+  }
+  // Bootstrap entries materialize in draw order, reproducing the legacy
+  // bootstrap Dataset byte for byte.
+  const Dataset sample = view.materialize();
+  fit_weighted(sample, entry_weights);
 }
 
 std::vector<double> Classifier::predict_proba(

@@ -16,6 +16,8 @@
 
 namespace smart2 {
 
+class TrainView;
+
 class Classifier {
  public:
   virtual ~Classifier() = default;
@@ -28,6 +30,20 @@ class Classifier {
   /// supports_instance_weights(); callers (AdaBoost) then resample instead.
   virtual void fit_weighted(const Dataset& train,
                             std::span<const double> weights) = 0;
+
+  /// Train from a presorted columnar TrainView with per-entry weights.
+  /// Learners that consume the view natively (the axis-aligned family:
+  /// trees, rules, OneR) override this and report it via
+  /// supports_train_view(); ensembles then share one fit-level presort
+  /// across all members. The default materializes the view's entries back
+  /// into a Dataset and defers to fit_weighted, so any learner accepts a
+  /// view with unchanged semantics.
+  virtual void fit_view(const TrainView& view,
+                        std::span<const double> entry_weights);
+
+  /// True when fit_view consumes the presorted tables directly instead of
+  /// re-materializing a Dataset (ensembles key presort sharing off this).
+  virtual bool supports_train_view() const { return false; }
 
   /// Class-probability distribution for one instance. Size equals the class
   /// count of the training set. Must sum to ~1. Convenience wrapper around

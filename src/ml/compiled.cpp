@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -85,27 +86,42 @@ FlatRuleList::FlatRuleList(std::size_t classes, std::size_t features,
                            std::vector<std::uint32_t> pred_begin,
                            std::vector<double> proba)
     : CompiledModel(classes, features, 0),
-      preds_(std::move(preds)),
       pred_begin_(std::move(pred_begin)),
-      proba_(std::move(proba)) {}
+      proba_(std::move(proba)) {
+  // Convert each directional comparison to its closed interval. The open
+  // side of `x > thr` snaps to the next representable double, which is
+  // exact: no double lies strictly between thr and nextafter(thr, +inf).
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  pred_feature_.reserve(preds.size());
+  pred_lo_.reserve(preds.size());
+  pred_hi_.reserve(preds.size());
+  for (const Pred& p : preds) {
+    pred_feature_.push_back(p.feature);
+    pred_lo_.push_back(p.less_equal ? -inf
+                                    : std::nextafter(p.threshold, inf));
+    pred_hi_.push_back(p.less_equal ? p.threshold : inf);
+  }
+}
 
 // SMART2_HOT
 void FlatRuleList::eval(std::span<const double> x, std::span<double> out,
                         double* scratch) const {
   (void)scratch;
   const std::size_t rule_count = pred_begin_.size() - 1;
+  const std::uint32_t* pf = pred_feature_.data();
+  const double* lo = pred_lo_.data();
+  const double* hi = pred_hi_.data();
   std::size_t hit = rule_count;  // final row = default distribution
   for (std::size_t r = 0; r < rule_count; ++r) {
-    bool match = true;
+    // Rules are short conjunctions: evaluating every predicate branch-free
+    // beats per-predicate early exits, whose branches mispredict.
+    unsigned match = 1;
     for (std::uint32_t p = pred_begin_[r]; p < pred_begin_[r + 1]; ++p) {
-      const Pred& pred = preds_[p];
-      const double v = x[pred.feature];
-      if (pred.less_equal ? v > pred.threshold : v <= pred.threshold) {
-        match = false;
-        break;
-      }
+      const double v = x[pf[p]];
+      match &= static_cast<unsigned>(v >= lo[p]) &
+               static_cast<unsigned>(v <= hi[p]);
     }
-    if (match) {
+    if (match != 0) {
       hit = r;
       break;
     }

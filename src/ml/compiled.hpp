@@ -102,11 +102,20 @@ class FlatTree final : public CompiledModel {
   std::vector<double> leaf_proba_;  // one k-stride row per leaf slot
 };
 
-/// JRip rule list lowered to a flat predicate table. Rule r owns predicates
-/// [pred_begin_[r], pred_begin_[r + 1]) and distribution row r of proba_;
-/// the final row of proba_ is the default distribution.
+/// JRip rule list lowered to an SoA predicate table in interval form. Rule
+/// r owns predicates [pred_begin_[r], pred_begin_[r + 1]) and distribution
+/// row r of proba_; the final row of proba_ is the default distribution.
+///
+/// Each predicate stores the closed interval [lo, hi] its feature value
+/// must fall in: `x <= thr` becomes (-inf, thr] and `x > thr` becomes
+/// [nextafter(thr, +inf), +inf) — exact for the finite midpoint thresholds
+/// RIPPER produces. The match test `(v >= lo) & (v <= hi)` is direction-
+/// agnostic and branch-free (NaN matches nothing, like the interpreted
+/// Rule::matches), so the inner loop runs without per-predicate branching.
 class FlatRuleList final : public CompiledModel {
  public:
+  /// Lowering-facing predicate (AoS); the constructor converts to SoA
+  /// interval form.
   struct Pred {
     std::uint32_t feature = 0;
     bool less_equal = true;
@@ -121,7 +130,9 @@ class FlatRuleList final : public CompiledModel {
             double* scratch) const override;
 
  private:
-  std::vector<Pred> preds_;
+  std::vector<std::uint32_t> pred_feature_;
+  std::vector<double> pred_lo_;
+  std::vector<double> pred_hi_;
   std::vector<std::uint32_t> pred_begin_;  // rule_count + 1 offsets
   std::vector<double> proba_;              // (rule_count + 1) x k
 };

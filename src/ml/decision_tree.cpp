@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <istream>
@@ -9,8 +10,10 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "ml/train_view.hpp"
 
 namespace smart2 {
 
@@ -101,6 +104,23 @@ struct DecisionTree::Split {
   double info_gain = 0.0;
 };
 
+// Builder state of the presorted engine, all arena-backed. ord/val hold, per
+// feature, the node's entries in ascending value order (stable, ties keep
+// ascending entry id) together with the gathered values; both are stably
+// partitioned in place as the tree recurses, so no node ever sorts.
+struct DecisionTree::Presort {
+  const TrainView& view;
+  std::span<const double> weights;
+  std::size_t n;        // total entries
+  std::size_t features;
+  std::size_t classes;
+  std::uint32_t* ord;   // [f * n + pos] entry ids
+  double* val;          // [f * n + pos] gathered values, same order as ord
+  std::uint32_t* entries;  // node segments in ascending entry order
+  std::uint8_t* side;   // per entry: 1 = left of the current split
+  std::int32_t* lbl;    // per entry: cached label
+};
+
 void DecisionTree::fit_weighted(const Dataset& train,
                                 std::span<const double> weights) {
   SMART2_SPAN("ml.j48.fit");
@@ -108,6 +128,11 @@ void DecisionTree::fit_weighted(const Dataset& train,
     throw std::invalid_argument("DecisionTree: empty training set");
   if (weights.size() != train.size())
     throw std::invalid_argument("DecisionTree: weight count mismatch");
+  if (train_presorted()) {
+    const TrainView view(train);
+    fit_view_impl(view, weights);
+    return;
+  }
 
   std::vector<std::size_t> rows(train.size());
   std::iota(rows.begin(), rows.end(), std::size_t{0});
@@ -261,6 +286,264 @@ std::unique_ptr<DecisionTree::Node> DecisionTree::build(
   node->threshold = best.threshold;
   node->left = build(d, left_rows, weights, depth + 1, rng);
   node->right = build(d, right_rows, weights, depth + 1, rng);
+  return node;
+}
+
+void DecisionTree::fit_view(const TrainView& view,
+                            std::span<const double> entry_weights) {
+  SMART2_SPAN("ml.j48.fit");
+  fit_view_impl(view, entry_weights);
+}
+
+void DecisionTree::fit_view_impl(const TrainView& view,
+                                 std::span<const double> weights) {
+  const std::size_t n = view.entry_count();
+  const std::size_t nf = view.feature_count();
+  if (n == 0)
+    throw std::invalid_argument("DecisionTree: empty training set");
+  if (weights.size() != n)
+    throw std::invalid_argument("DecisionTree: weight count mismatch");
+
+  // Same data-dependent seed mixing as the legacy engine. View entries
+  // enumerate the training rows (draw order for bootstrap views), so the
+  // sampled feature-0 values match the legacy materialized sample's.
+  std::uint64_t seed = params_.seed;
+  const std::size_t stride = std::max<std::size_t>(1, n / 16);
+  for (std::size_t i = 0; i < n; i += stride) {
+    std::uint64_t bits;
+    const double v = view.value(0, i);
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    seed = (seed ^ bits) * 0x100000001b3ULL;
+  }
+
+  // One O(F * n) arena reservation per fit; every node below borrows only
+  // O(classes) per scan lane plus the partition temporaries.
+  ScratchArray<std::uint32_t> ord(nf * n);
+  ScratchArray<double> val(nf * n);
+  ScratchArray<std::uint32_t> entries(n);
+  ScratchArray<std::uint8_t> side(n);
+  ScratchArray<std::int32_t> lbl(n);
+  std::iota(entries.data(), entries.data() + n, std::uint32_t{0});
+  for (std::size_t e = 0; e < n; ++e)
+    lbl[e] = static_cast<std::int32_t>(view.label(e));
+  parallel::parallel_for(0, nf, [&](std::size_t f) {
+    const std::span<const std::uint32_t> src = view.sorted(f);
+    std::uint32_t* of = ord.data() + f * n;
+    double* vf = val.data() + f * n;
+    std::copy(src.begin(), src.end(), of);
+    for (std::size_t p = 0; p < n; ++p) vf[p] = view.value(f, of[p]);
+  });
+
+  Presort ps{view,       weights,     n,
+             nf,         view.class_count(), ord.data(),
+             val.data(), entries.data(),     side.data(),
+             lbl.data()};
+  Rng rng(seed);
+  root_ = build_presorted(ps, 0, n, 0, rng);
+  if (params_.prune) prune_node(*root_);
+  mark_trained(view.data());
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::build_presorted(
+    Presort& p, std::size_t lo, std::size_t hi, int depth, Rng& rng) {
+  const std::size_t k = p.classes;
+  auto node = std::make_unique<Node>();
+  node->class_weight.assign(k, 0.0);
+  // Ascending entry order — the same accumulation order as the legacy
+  // engine's row list, so the sums round identically.
+  for (std::size_t q = lo; q < hi; ++q) {
+    const std::uint32_t e = p.entries[q];
+    node->class_weight[static_cast<std::size_t>(p.lbl[e])] += p.weights[e];
+  }
+
+  const double total = sum(node->class_weight);
+  const double majority =
+      *std::max_element(node->class_weight.begin(), node->class_weight.end());
+  const bool pure = majority >= total - 1e-12;
+  const bool too_small = total < 2.0 * params_.min_leaf_weight;
+  const bool too_deep =
+      params_.max_depth > 0 && depth >= params_.max_depth;
+  if (pure || too_small || too_deep) return node;
+
+  const double parent_entropy = weighted_entropy(node->class_weight);
+  const std::size_t m = hi - lo;
+
+  // Candidate features: all of them, or a random subspace per split. The
+  // inline Fisher-Yates consumes the Rng exactly like Rng::shuffle over a
+  // full-length vector, keeping subspace choices identical to the legacy
+  // engine's.
+  ScratchArray<std::size_t> candidates(p.features);
+  std::iota(candidates.data(), candidates.data() + p.features,
+            std::size_t{0});
+  std::size_t cand_count = p.features;
+  if (params_.split_feature_sample > 0 &&
+      params_.split_feature_sample < cand_count) {
+    for (std::size_t i = cand_count; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.uniform_index(i));
+      std::swap(candidates[i - 1], candidates[j]);
+    }
+    cand_count = params_.split_feature_sample;
+  }
+
+  // SMART2_HOT
+  // Presorted split scan: walk the feature's sorted segment directly — no
+  // per-node sort — with the legacy engine's arithmetic, statement for
+  // statement.
+  auto best_for_feature = [&](std::size_t f) {
+    Split best;
+    const std::uint32_t* of = p.ord + f * p.n + lo;
+    const double* vf = p.val + f * p.n + lo;
+    const ScratchSpan left_weight(k);
+    double* lw = left_weight.data();
+    std::fill(lw, lw + k, 0.0);
+    double left_total = 0.0;
+
+    for (std::size_t q = 0; q + 1 < m; ++q) {
+      const std::uint32_t e = of[q];
+      lw[static_cast<std::size_t>(p.lbl[e])] += p.weights[e];
+      left_total += p.weights[e];
+      const double v = vf[q];
+      const double vn = vf[q + 1];
+      if (vn <= v) continue;  // not a value boundary
+      const double right_total = total - left_total;
+      if (left_total < params_.min_leaf_weight ||
+          right_total < params_.min_leaf_weight)
+        continue;
+
+      double h_left = 0.0;
+      double h_right = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double wl = lw[c];
+        const double wr = node->class_weight[c] - wl;
+        if (wl > 0.0) {
+          const double pl = wl / left_total;
+          h_left -= pl * std::log2(pl);
+        }
+        if (wr > 0.0) {
+          const double pr = wr / right_total;
+          h_right -= pr * std::log2(pr);
+        }
+      }
+      const double cond = (left_total / total) * h_left +
+                          (right_total / total) * h_right;
+      const double gain = parent_entropy - cond;
+      if (gain <= 1e-9) continue;
+
+      const double pl = left_total / total;
+      const double pr = right_total / total;
+      const double split_info = -(pl * std::log2(pl) + pr * std::log2(pr));
+      if (split_info <= 1e-12) continue;
+      const double ratio = gain / split_info;
+      if (!best.valid || ratio > best.gain_ratio) {
+        best.valid = true;
+        best.feature = f;
+        best.threshold = 0.5 * (v + vn);
+        best.gain_ratio = ratio;
+        best.info_gain = gain;
+      }
+    }
+    return best;
+  };
+
+  Split best;
+  {
+    SMART2_SPAN("train.split_scan");
+    ScratchArray<Split> per_feature(cand_count);
+    // Same fan-out policy and serial candidate-order reduction as the
+    // legacy engine.
+    if (m >= 128 && cand_count > 1) {
+      parallel::parallel_for(0, cand_count, [&](std::size_t c) {
+        per_feature[c] = best_for_feature(candidates[c]);
+      });
+    } else {
+      for (std::size_t c = 0; c < cand_count; ++c)
+        per_feature[c] = best_for_feature(candidates[c]);
+    }
+    for (std::size_t c = 0; c < cand_count; ++c) {
+      const Split& s = per_feature[c];
+      if (!s.valid) continue;
+      if (!best.valid || s.gain_ratio > best.gain_ratio) best = s;
+    }
+  }
+
+  if (!best.valid) return node;
+
+  // Mark each entry's side off the split feature's own sorted segment (one
+  // branch-predictable pass; the segment is the threshold's source so the
+  // left entries are exactly its prefix).
+  const std::uint32_t* bord = p.ord + best.feature * p.n;
+  const double* bval = p.val + best.feature * p.n;
+  std::size_t nl = 0;
+  for (std::size_t q = lo; q < hi; ++q) {
+    const bool left = bval[q] <= best.threshold;
+    p.side[bord[q]] = left ? 1 : 0;
+    nl += left ? 1 : 0;
+  }
+  if (nl == 0 || nl == m) return node;
+
+  // SMART2_HOT
+  // Stable two-buffer partition of one feature's ord/val segment: left
+  // entries compact to the front, right entries stage in arena temporaries
+  // and copy behind them. Order inside each side is preserved, which is the
+  // presort invariant.
+  auto partition_feature = [&](std::size_t g) {
+    std::uint32_t* og = p.ord + g * p.n;
+    double* vg = p.val + g * p.n;
+    const std::size_t nr = m - nl;
+    ScratchArray<std::uint32_t> tmp_ord(nr);
+    ScratchSpan tmp_val(nr);
+    std::size_t w = lo;
+    std::size_t t = 0;
+    for (std::size_t q = lo; q < hi; ++q) {
+      const std::uint32_t e = og[q];
+      if (p.side[e] != 0) {
+        og[w] = e;
+        vg[w] = vg[q];
+        ++w;
+      } else {
+        tmp_ord[t] = e;
+        tmp_val.data()[t] = vg[q];
+        ++t;
+      }
+    }
+    std::copy(tmp_ord.data(), tmp_ord.data() + t, og + w);
+    std::copy(tmp_val.data(), tmp_val.data() + t, vg + w);
+  };
+  auto partition_entries = [&] {
+    const std::size_t nr = m - nl;
+    ScratchArray<std::uint32_t> tmp(nr);
+    std::size_t w = lo;
+    std::size_t t = 0;
+    for (std::size_t q = lo; q < hi; ++q) {
+      const std::uint32_t e = p.entries[q];
+      if (p.side[e] != 0)
+        p.entries[w++] = e;
+      else
+        tmp[t++] = e;
+    }
+    std::copy(tmp.data(), tmp.data() + t, p.entries + w);
+  };
+  // The split feature's segment is sorted by value, so its stable partition
+  // is the identity — skip it. The final index partitions the entry list.
+  if (m >= 128 && p.features > 1) {
+    parallel::parallel_for(0, p.features + 1, [&](std::size_t g) {
+      if (g == p.features)
+        partition_entries();
+      else if (g != best.feature)
+        partition_feature(g);
+    });
+  } else {
+    for (std::size_t g = 0; g < p.features; ++g)
+      if (g != best.feature) partition_feature(g);
+    partition_entries();
+  }
+
+  node->is_leaf = false;
+  node->feature = best.feature;
+  node->threshold = best.threshold;
+  node->left = build_presorted(p, lo, lo + nl, depth + 1, rng);
+  node->right = build_presorted(p, lo + nl, hi, depth + 1, rng);
   return node;
 }
 

@@ -29,6 +29,12 @@ class DecisionTree final : public Classifier {
 
   void fit_weighted(const Dataset& train,
                     std::span<const double> weights) override;
+  /// Presorted columnar training: consumes the view's per-feature sorted
+  /// tables directly (no per-node sorting) and grows a tree bit-identical
+  /// to the legacy engine's. Ensembles share one view across members.
+  void fit_view(const TrainView& view,
+                std::span<const double> entry_weights) override;
+  bool supports_train_view() const override { return true; }
   void predict_proba_into(std::span<const double> x,
                           std::span<double> out) const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
@@ -54,11 +60,19 @@ class DecisionTree final : public Classifier {
 
  private:
   struct Split;
+  struct Presort;
 
   std::unique_ptr<Node> build(const Dataset& d,
                               const std::vector<std::size_t>& rows,
                               std::span<const double> weights, int depth,
                               Rng& rng);
+  /// Shared body of fit_weighted (presorted engine) and fit_view.
+  void fit_view_impl(const TrainView& view,
+                     std::span<const double> weights);
+  /// Presort-CART recursion over the entry segment [lo, hi) of the builder
+  /// state's per-feature sorted tables.
+  std::unique_ptr<Node> build_presorted(Presort& p, std::size_t lo,
+                                        std::size_t hi, int depth, Rng& rng);
   /// Pessimistic pruning; returns estimated subtree errors after pruning.
   double prune_node(Node& node);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
 #include <istream>
@@ -10,7 +11,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/arena.hpp"
 #include "common/obs.hpp"
+#include "common/parallel.hpp"
+#include "ml/train_view.hpp"
 
 namespace smart2 {
 
@@ -29,6 +33,11 @@ void OneR::fit_weighted(const Dataset& train,
   if (train.empty()) throw std::invalid_argument("OneR: empty training set");
   if (weights.size() != train.size())
     throw std::invalid_argument("OneR: weight count mismatch");
+  if (train_presorted()) {
+    const TrainView view(train);
+    fit_view_impl(view, weights);
+    return;
+  }
 
   const std::size_t d = train.feature_count();
   const std::size_t k = train.class_count();
@@ -118,6 +127,110 @@ void OneR::fit_weighted(const Dataset& train,
     buckets_.push_back(std::move(b));
   }
   mark_trained(train);
+}
+
+void OneR::fit_view(const TrainView& view,
+                    std::span<const double> entry_weights) {
+  SMART2_SPAN("ml.oner.fit");
+  fit_view_impl(view, entry_weights);
+}
+
+void OneR::fit_view_impl(const TrainView& view,
+                         std::span<const double> weights) {
+  const std::size_t n = view.entry_count();
+  if (n == 0) throw std::invalid_argument("OneR: empty training set");
+  if (weights.size() != n)
+    throw std::invalid_argument("OneR: weight count mismatch");
+
+  const std::size_t d = view.feature_count();
+  const std::size_t k = view.class_count();
+
+  // Per-feature rules are independent, so each feature builds its buckets
+  // from the view's presorted table into its own slot and the winner is
+  // picked by a serial scan in ascending feature order — the identical
+  // comparison sequence (strict <) to the legacy serial loop.
+  struct FeatureRule {
+    std::vector<Bucket> merged;
+    double err = 0.0;
+  };
+  std::vector<FeatureRule> rules(d);
+
+  auto build_feature = [&](std::size_t f) {
+    const std::span<const std::uint32_t> idx = view.sorted(f);
+    // Gather the column once so boundary checks scan contiguously.
+    const ScratchSpan vals(n);
+    double* v = vals.data();
+    for (std::size_t p = 0; p < n; ++p) v[p] = view.value(f, idx[p]);
+
+    std::vector<Bucket> buckets;
+    Bucket cur;
+    cur.class_weight.assign(k, 0.0);
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::uint32_t e = idx[p];
+      cur.class_weight[static_cast<std::size_t>(view.label(e))] += weights[e];
+      const double majority_w =
+          *std::max_element(cur.class_weight.begin(), cur.class_weight.end());
+      const bool at_value_boundary = p + 1 < n && v[p + 1] > v[p];
+      if (majority_w >= params_.min_bucket_size && at_value_boundary) {
+        cur.upper = 0.5 * (v[p] + v[p + 1]);
+        cur.majority = argmax(cur.class_weight);
+        buckets.push_back(std::move(cur));
+        cur = Bucket{};
+        cur.class_weight.assign(k, 0.0);
+      }
+    }
+    if (std::accumulate(cur.class_weight.begin(), cur.class_weight.end(),
+                        0.0) > 0.0) {
+      cur.upper = std::numeric_limits<double>::infinity();
+      cur.majority = argmax(cur.class_weight);
+      buckets.push_back(std::move(cur));
+    } else if (!buckets.empty()) {
+      buckets.back().upper = std::numeric_limits<double>::infinity();
+    }
+
+    FeatureRule& out = rules[f];
+    for (auto& b : buckets) {
+      if (!out.merged.empty() && out.merged.back().majority == b.majority) {
+        for (std::size_t c = 0; c < k; ++c)
+          out.merged.back().class_weight[c] += b.class_weight[c];
+        out.merged.back().upper = b.upper;
+      } else {
+        out.merged.push_back(std::move(b));
+      }
+    }
+    for (const auto& b : out.merged) {
+      const double total = std::accumulate(b.class_weight.begin(),
+                                           b.class_weight.end(), 0.0);
+      out.err += total - b.class_weight[static_cast<std::size_t>(b.majority)];
+    }
+  };
+  if (d > 1 && n >= 128) {
+    parallel::parallel_for(0, d, build_feature);
+  } else {
+    for (std::size_t f = 0; f < d; ++f) build_feature(f);
+  }
+
+  double best_error = std::numeric_limits<double>::infinity();
+  std::size_t best_feature = 0;
+  std::vector<Bucket> best_buckets;
+  for (std::size_t f = 0; f < d; ++f) {
+    if (!rules[f].merged.empty() && rules[f].err < best_error) {
+      best_error = rules[f].err;
+      best_feature = f;
+      best_buckets = std::move(rules[f].merged);
+    }
+  }
+
+  feature_ = best_feature;
+  buckets_ = std::move(best_buckets);
+  if (buckets_.empty()) {
+    Bucket b;
+    b.upper = std::numeric_limits<double>::infinity();
+    b.class_weight.assign(k, 1.0);
+    b.majority = 0;
+    buckets_.push_back(std::move(b));
+  }
+  mark_trained(view.data());
 }
 
 // SMART2_HOT

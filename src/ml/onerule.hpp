@@ -23,6 +23,11 @@ class OneR final : public Classifier {
 
   void fit_weighted(const Dataset& train,
                     std::span<const double> weights) override;
+  /// Presorted columnar training: per-feature bucket builds walk the view's
+  /// sorted tables (no per-feature sort) and fan out across the pool.
+  void fit_view(const TrainView& view,
+                std::span<const double> entry_weights) override;
+  bool supports_train_view() const override { return true; }
   void predict_proba_into(std::span<const double> x,
                           std::span<double> out) const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
@@ -41,6 +46,9 @@ class OneR final : public Classifier {
   const std::vector<Bucket>& buckets() const { return buckets_; }
 
  private:
+  /// Shared body of fit_weighted (presorted engine) and fit_view.
+  void fit_view_impl(const TrainView& view, std::span<const double> weights);
+
   Params params_;
   std::size_t feature_ = 0;
   std::vector<Bucket> buckets_;

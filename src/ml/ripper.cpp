@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <istream>
 #include <numeric>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "common/obs.hpp"
+#include "common/parallel.hpp"
+#include "ml/train_view.hpp"
 
 namespace smart2 {
 
@@ -115,6 +120,131 @@ Ripper::Rule Ripper::grow_rule(const Dataset& d,
   return rule;
 }
 
+Ripper::Rule Ripper::grow_rule_presorted(const Dataset& d,
+                                         const ColumnStore& cols,
+                                         const std::vector<std::size_t>& rows,
+                                         std::span<const double> weights,
+                                         int target) const {
+  Rule rule;
+  rule.predicted = target;
+  const std::size_t nf = d.feature_count();
+  const std::size_t g = rows.size();
+  if (g == 0) return rule;
+
+  // The legacy engine re-sorts the covered rows feature by feature at EVERY
+  // grow step, so feature f's scan order is a cascade: stable sort by f on
+  // top of the orders of features 0..f-1. Restricting rows to a coverage
+  // subset commutes with stable sorting, so the cascade computed once over
+  // the grow set and compacted per accepted condition yields the exact
+  // per-step orders (hence bit-identical FOIL accumulation).
+  ScratchArray<std::uint32_t> ord(nf * g);
+  ScratchArray<std::uint32_t> cov(g);
+  {
+    SMART2_SPAN("train.presort");
+    ScratchArray<std::uint32_t> cur(g);
+    for (std::size_t q = 0; q < g; ++q)
+      cur[q] = static_cast<std::uint32_t>(rows[q]);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const std::span<const double> col = cols.column(f);
+      std::stable_sort(cur.data(), cur.data() + g,
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return col[a] < col[b];
+                       });
+      std::copy(cur.data(), cur.data() + g, ord.data() + f * g);
+    }
+    for (std::size_t q = 0; q < g; ++q)
+      cov[q] = static_cast<std::uint32_t>(rows[q]);
+  }
+  std::size_t csize = g;
+
+  for (;;) {
+    double pos = 0.0;
+    double neg = 0.0;
+    for (std::size_t q = 0; q < csize; ++q) {
+      const std::uint32_t i = cov[q];
+      (d.label(i) == target ? pos : neg) += weights[i];
+    }
+    if (neg <= 0.0 || pos <= 0.0) break;
+
+    const double base = log2_safe(pos / (pos + neg));
+    double best_gain = 0.0;
+    Condition best_cond;
+    bool found = false;
+
+    // The running best_gain epsilon-chain spans features, so the scan stays
+    // serial in feature order like the legacy loop — but walks the
+    // presorted slices instead of sorting.
+    SMART2_SPAN("train.split_scan");
+    for (std::size_t f = 0; f < nf; ++f) {
+      const std::uint32_t* of = ord.data() + f * g;
+      const std::span<const double> col = cols.column(f);
+      double left_pos = 0.0;
+      double left_neg = 0.0;
+      for (std::size_t q = 0; q + 1 < csize; ++q) {
+        const std::uint32_t i = of[q];
+        (d.label(i) == target ? left_pos : left_neg) += weights[i];
+        const double v = col[i];
+        const double vn = col[of[q + 1]];
+        if (vn <= v) continue;
+        const double thr = 0.5 * (v + vn);
+
+        // Candidate: x <= thr.
+        if (left_pos > 0.0) {
+          const double gain =
+              left_pos * (log2_safe(left_pos / (left_pos + left_neg)) - base);
+          if (gain > best_gain + 1e-12) {
+            best_gain = gain;
+            best_cond = {f, true, thr};
+            found = true;
+          }
+        }
+        // Candidate: x > thr.
+        const double rpos = pos - left_pos;
+        const double rneg = neg - left_neg;
+        if (rpos > 0.0) {
+          const double gain =
+              rpos * (log2_safe(rpos / (rpos + rneg)) - base);
+          if (gain > best_gain + 1e-12) {
+            best_gain = gain;
+            best_cond = {f, false, thr};
+            found = true;
+          }
+        }
+      }
+    }
+    if (!found) break;
+
+    rule.conditions.push_back(best_cond);
+
+    // Compact every cascade slice and the coverage list by the accepted
+    // condition (forward, in place — order-preserving). Slices are
+    // independent, so they fan out across the pool.
+    const std::span<const double> ccol = cols.column(best_cond.feature);
+    const bool le = best_cond.less_equal;
+    const double thr = best_cond.threshold;
+    auto keeps = [&](std::uint32_t i) {
+      return le ? ccol[i] <= thr : ccol[i] > thr;
+    };
+    auto compact_slice = [&](std::size_t f) {
+      std::uint32_t* of = ord.data() + f * g;
+      std::size_t w = 0;
+      for (std::size_t q = 0; q < csize; ++q)
+        if (keeps(of[q])) of[w++] = of[q];
+    };
+    if (csize >= 128 && nf > 1) {
+      parallel::parallel_for(0, nf, compact_slice);
+    } else {
+      for (std::size_t f = 0; f < nf; ++f) compact_slice(f);
+    }
+    std::size_t w = 0;
+    for (std::size_t q = 0; q < csize; ++q)
+      if (keeps(cov[q])) cov[w++] = cov[q];
+    csize = w;
+    if (csize == 0) break;
+  }
+  return rule;
+}
+
 void Ripper::prune_rule(Rule& rule, const Dataset& d,
                         const std::vector<std::size_t>& rows,
                         std::span<const double> weights, int target) const {
@@ -153,6 +283,11 @@ void Ripper::fit_weighted(const Dataset& train,
 
   const std::size_t k = train.class_count();
   rules_.clear();
+
+  // Presorted engine: one columnar snapshot per fit; every grow call then
+  // sorts its grow set once (cascade) instead of once per grow step.
+  std::optional<ColumnStore> cols;
+  if (train_presorted()) cols.emplace(train);
 
   // Class order: ascending total weight; the heaviest class is the default.
   std::vector<double> class_total(k, 0.0);
@@ -197,7 +332,10 @@ void Ripper::fit_weighted(const Dataset& train,
                                          static_cast<std::ptrdiff_t>(cut),
                                      shuffled.end());
 
-      Rule rule = grow_rule(train, grow, weights, target);
+      Rule rule = cols.has_value()
+                      ? grow_rule_presorted(train, *cols, grow, weights,
+                                            target)
+                      : grow_rule(train, grow, weights, target);
       if (rule.conditions.empty()) break;
       for (int pass = 0; pass < std::max(1, params_.optimization_passes);
            ++pass)

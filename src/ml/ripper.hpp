@@ -71,6 +71,13 @@ class Ripper final : public Classifier {
 
   Rule grow_rule(const Dataset& d, const std::vector<std::size_t>& rows,
                  std::span<const double> weights, int target) const;
+  /// Presorted grow: the per-feature sort cascade is built once per grow
+  /// call and compacted per accepted condition, instead of re-sorting at
+  /// every grow step. Bit-identical to grow_rule (stable sorts commute with
+  /// the order-preserving coverage filter).
+  Rule grow_rule_presorted(const Dataset& d, const ColumnStore& cols,
+                           const std::vector<std::size_t>& rows,
+                           std::span<const double> weights, int target) const;
   void prune_rule(Rule& rule, const Dataset& d,
                   const std::vector<std::size_t>& rows,
                   std::span<const double> weights, int target) const;

@@ -1,0 +1,129 @@
+#include "ml/train_view.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/obs.hpp"
+#include "common/parallel.hpp"
+
+namespace smart2 {
+
+namespace {
+
+// 0 = unresolved, 1 = presorted, 2 = legacy.
+std::atomic<int> g_engine{0};
+
+int resolve_engine_from_env() {
+  const char* env = std::getenv("SMART2_TRAIN_PRESORT");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') return 2;
+  return 1;
+}
+
+}  // namespace
+
+TrainEngine train_engine() noexcept {
+  int v = g_engine.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = resolve_engine_from_env();
+    int expected = 0;
+    g_engine.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+    v = g_engine.load(std::memory_order_relaxed);
+  }
+  return v == 2 ? TrainEngine::kLegacy : TrainEngine::kPresorted;
+}
+
+void set_train_engine(TrainEngine engine) noexcept {
+  g_engine.store(engine == TrainEngine::kLegacy ? 2 : 1,
+                 std::memory_order_relaxed);
+}
+
+bool train_presorted() noexcept {
+  return train_engine() == TrainEngine::kPresorted;
+}
+
+TrainView::TrainView(const Dataset& d)
+    : data_(&d),
+      owned_columns_(d),
+      entries_(d.size()),
+      features_(d.feature_count()) {
+  SMART2_SPAN("train.presort");
+  if (obs::metrics_enabled()) obs::counter("train.presort_builds").add();
+  columns_ = &owned_columns_;
+  sorted_.resize(features_ * entries_);
+  // One stable sort per feature for the whole fit. Each feature's table is
+  // an independent output slot, so the fan-out is deterministic for any
+  // thread count.
+  const std::size_t n = entries_;
+  parallel::parallel_for(0, features_, [&](std::size_t f) {
+    std::uint32_t* out = sorted_.data() + f * n;
+    std::iota(out, out + n, std::uint32_t{0});
+    const std::span<const double> col = columns_->column(f);
+    std::stable_sort(out, out + n, [&](std::uint32_t a, std::uint32_t b) {
+      return col[a] < col[b];
+    });
+  });
+}
+
+TrainView::TrainView(const TrainView& base,
+                     std::span<const std::uint32_t> drawn)
+    : data_(base.data_),
+      columns_(base.columns_),
+      entry_row_(drawn.begin(), drawn.end()),
+      entries_(drawn.size()),
+      features_(base.features_) {
+  if (base.bootstrap())
+    throw std::invalid_argument("TrainView: base view must not be bootstrap");
+  if (obs::metrics_enabled()) obs::counter("train.bootstrap_views").add();
+  const std::size_t base_n = base.entries_;
+  const std::size_t n = entries_;
+
+  // Counting-sort of the draws by dataset row: positions_by_row lists, for
+  // every base row, the entry ids that drew it in ascending entry order.
+  std::vector<std::uint32_t> start(base_n + 1, 0);
+  for (std::uint32_t r : entry_row_) ++start[r + 1];
+  for (std::size_t r = 0; r < base_n; ++r) start[r + 1] += start[r];
+  std::vector<std::uint32_t> positions(n);
+  {
+    std::vector<std::uint32_t> cursor(start.begin(), start.end() - 1);
+    for (std::size_t e = 0; e < n; ++e) positions[cursor[entry_row_[e]]++] = static_cast<std::uint32_t>(e);
+  }
+
+  // Derive each feature's sorted table by expanding the base's: walking the
+  // base order and emitting every entry that drew the row keeps the value
+  // order and yields a stable, linear-time sort of the bootstrap sample.
+  sorted_.resize(features_ * n);
+  parallel::parallel_for(0, features_, [&](std::size_t f) {
+    const std::span<const std::uint32_t> base_sorted = base.sorted(f);
+    std::uint32_t* out = sorted_.data() + f * n;
+    std::size_t w = 0;
+    for (std::uint32_t r : base_sorted) {
+      for (std::uint32_t p = start[r]; p < start[r + 1]; ++p)
+        out[w++] = positions[p];
+    }
+  });
+}
+
+Dataset TrainView::materialize() const {
+  Dataset out(data_->feature_names(), data_->class_names());
+  out.reserve(entries_);
+  for (std::size_t e = 0; e < entries_; ++e)
+    out.add(data_->features(row(e)), data_->label(row(e)));
+  return out;
+}
+
+std::vector<std::uint32_t> TrainView::draw_bootstrap(
+    std::span<const double> weights, std::size_t n, Rng& rng) {
+  // Mirror Dataset::resample_weighted exactly: one weighted_index call per
+  // draw over a materialized weight vector, so the Rng stream (and hence
+  // every downstream model) matches the legacy engine draw for draw.
+  const std::vector<double> w(weights.begin(), weights.end());
+  std::vector<std::uint32_t> drawn(n);
+  for (std::size_t k = 0; k < n; ++k)
+    drawn[k] = static_cast<std::uint32_t>(rng.weighted_index(w));
+  return drawn;
+}
+
+}  // namespace smart2

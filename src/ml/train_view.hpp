@@ -1,0 +1,130 @@
+// smart2::train — the presorted columnar training engine.
+//
+// Every axis-aligned learner in this repository (J48, JRip, OneR and the
+// ensembles over them) spends its training time answering the same query:
+// "walk this subset of rows in ascending order of feature f". The legacy
+// engine answered it by allocating-and-sorting the subset per tree node /
+// per RIPPER grow step — an O(F · n log n) cost paid at every node. The
+// TrainView answers it once: at fit() entry each feature's row indices are
+// stable-sorted into a per-feature sorted-index table, and every consumer
+// walks node subsets in presorted order via stable partitions / membership
+// filters of those tables (classic presort CART, SLIQ/SPRINT style).
+//
+// Determinism contract (the reason this is bit-identical to the legacy
+// per-node-sort engine):
+//  - A node's row set is always an order-preserving subset of its parent's,
+//    and the root is ascending row order. Stable-sorting such a subset by
+//    value ties-breaks by ascending row index — exactly the order obtained
+//    by filtering the fit-level sorted table down to the subset. The two
+//    engines therefore visit identical (row, weight) sequences and every
+//    floating-point accumulation rounds identically.
+//  - Bootstrap views (ensemble members) replicate the legacy bootstrap
+//    Dataset draw-for-draw from the same Rng stream; member training runs
+//    with unit entry weights, whose sums are exact in double precision, so
+//    tie-order differences inside runs of equal feature values cannot
+//    change any computed statistic.
+//
+// Ensemble sharing: Bagging / AdaBoost-with-resampling build ONE base
+// TrainView per fit and derive each member's sorted tables by a linear
+// counting-sort expansion (O(F · n) per member, no re-sorting); AdaBoost
+// over weight-aware learners reuses the base view verbatim across rounds,
+// since only the sample weights change. Ensemble training drops from
+// R × (sort-heavy) to one presort plus R linear scans.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace smart2 {
+
+/// Which training engine fits run through. kPresorted is the default;
+/// kLegacy re-enables the per-node / per-grow-step sorting paths (kept for
+/// the equivalence tests and the training bench). SMART2_TRAIN_PRESORT=0
+/// selects kLegacy at process start.
+enum class TrainEngine { kPresorted, kLegacy };
+
+/// Current engine (first call reads SMART2_TRAIN_PRESORT).
+TrainEngine train_engine() noexcept;
+/// Override the engine (tests / benches; takes effect for subsequent fits).
+void set_train_engine(TrainEngine engine) noexcept;
+/// Convenience: train_engine() == TrainEngine::kPresorted.
+bool train_presorted() noexcept;
+
+/// A presorted, columnar view of a training set.
+///
+/// A view's unit is the *entry*: base views have one entry per dataset row
+/// (entry id == row id); bootstrap views have one entry per bootstrap draw
+/// (entry id == draw position, mapping to dataset row row(entry)). All
+/// per-entry orderings the learners need are precomputed:
+///   sorted(f)  — entry ids in ascending order of feature f, stable
+///                (ties keep ascending entry id).
+///   columns()  — the dataset's features transposed to SoA so value scans
+///                are contiguous.
+class TrainView {
+ public:
+  /// Base view: entries are the dataset's rows. Sorts each feature once
+  /// (O(F n log n), parallel across features).
+  explicit TrainView(const Dataset& d);
+
+  /// Bootstrap view: entries are `drawn` (dataset row per draw, in draw
+  /// order), sharing the base view's columns and deriving each sorted
+  /// table from the base's by a linear counting-sort expansion — no
+  /// re-sorting. `base` must outlive this view and must itself be a base
+  /// view.
+  TrainView(const TrainView& base, std::span<const std::uint32_t> drawn);
+
+  TrainView(const TrainView&) = delete;
+  TrainView& operator=(const TrainView&) = delete;
+
+  const Dataset& data() const noexcept { return *data_; }
+  const ColumnStore& columns() const noexcept { return *columns_; }
+  bool bootstrap() const noexcept { return !entry_row_.empty(); }
+
+  std::size_t entry_count() const noexcept { return entries_; }
+  std::size_t feature_count() const noexcept { return features_; }
+  std::size_t class_count() const noexcept { return data_->class_count(); }
+
+  /// Dataset row backing entry `e`.
+  std::uint32_t row(std::size_t e) const noexcept {
+    return entry_row_.empty() ? static_cast<std::uint32_t>(e) : entry_row_[e];
+  }
+  int label(std::size_t e) const noexcept { return data_->label(row(e)); }
+  double value(std::size_t f, std::size_t e) const noexcept {
+    return columns_->at(f, row(e));
+  }
+
+  /// Entry ids in ascending order of feature `f` (stable; ties keep
+  /// ascending entry id).
+  std::span<const std::uint32_t> sorted(std::size_t f) const noexcept {
+    return {sorted_.data() + f * entries_, entries_};
+  }
+
+  /// Entries materialized back into a Dataset, in entry order. For a
+  /// bootstrap view this reproduces the legacy bootstrap sample byte for
+  /// byte (rows in draw order); learners without a native fit_view consume
+  /// this.
+  Dataset materialize() const;
+
+  /// Replicate Dataset::resample_weighted's draw stream: `n` indices drawn
+  /// i.i.d. proportional to `weights` from the same Rng calls, returned
+  /// instead of materialized. Ensembles use this to keep their bootstrap
+  /// samples bit-identical to the legacy engine's while sharing one
+  /// presort.
+  static std::vector<std::uint32_t> draw_bootstrap(
+      std::span<const double> weights, std::size_t n, Rng& rng);
+
+ private:
+  const Dataset* data_;
+  const ColumnStore* columns_;        // owned_columns_ or the base view's
+  ColumnStore owned_columns_;         // base views only
+  std::vector<std::uint32_t> entry_row_;  // bootstrap views only
+  std::vector<std::uint32_t> sorted_;     // [f * entries_ + pos]
+  std::size_t entries_ = 0;
+  std::size_t features_ = 0;
+};
+
+}  // namespace smart2

@@ -15,6 +15,8 @@
 #include "core/online_detector.hpp"
 #include "core/two_stage.hpp"
 #include "hpc/dataset_cache.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/train_view.hpp"
 #include "workload/appmodels.hpp"
 
 namespace {
@@ -177,6 +179,52 @@ TEST(AllocTest, OnlineObserveSteadyStateIsAllocationFree) {
   for (const auto& w : windows) (void)detector.observe(w);
   EXPECT_EQ(allocation_count(), before)
       << "observe() allocated on the hot path";
+}
+
+// --------------------------------------------- presorted training engine ---
+
+/// Warm fit + counted second fit under the given engine.
+std::uint64_t warm_fit_allocations(const Dataset& d,
+                                   std::span<const double> w,
+                                   TrainEngine engine,
+                                   std::size_t* nodes_out) {
+  set_train_engine(engine);
+  DecisionTree warm;
+  warm.fit_weighted(d, w);  // grows the thread-local ScratchStack
+  const std::uint64_t before = allocation_count();
+  DecisionTree tree;
+  tree.fit_weighted(d, w);
+  const std::uint64_t allocs = allocation_count() - before;
+  if (nodes_out != nullptr) *nodes_out = tree.node_count();
+  return allocs;
+}
+
+TEST(AllocTest, PresortedSplitSearchSteadyStateDoesNotAllocatePerRow) {
+  const Dataset& d = small_dataset();
+  const std::vector<double> w(d.size(), 1.0);
+  const TrainEngine saved = train_engine();
+
+  std::size_t nodes = 0;
+  const std::uint64_t presorted = warm_fit_allocations(
+      d, w, TrainEngine::kPresorted, &nodes);
+  const std::uint64_t legacy = warm_fit_allocations(
+      d, w, TrainEngine::kLegacy, nullptr);
+  set_train_engine(saved);
+
+  // A warm presorted fit allocates only per fit (the view's column store,
+  // the sorted-index table, one stable_sort temp per feature) and per tree
+  // node (the Node itself and its class_weight vector). The split search
+  // and the stable partitions run entirely out of the scratch arena, so a
+  // generous per-feature / per-node budget bounds the total independent of
+  // the row count.
+  const std::uint64_t budget = 32 + 8 * d.feature_count() + 8 * nodes;
+  EXPECT_LE(presorted, budget)
+      << "presorted fit allocated per row inside the split search";
+  ASSERT_GT(nodes, 1u);  // the fit actually grew a tree
+
+  // The legacy engine allocates per node per feature (subset + sort
+  // buffers); the presorted engine must allocate strictly less.
+  EXPECT_LT(presorted, legacy);
 }
 
 }  // namespace

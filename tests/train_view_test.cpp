@@ -1,0 +1,359 @@
+// Tests for the presorted columnar training engine (src/ml/train_view).
+//
+// The engine's contract is strict: models trained through the presorted
+// path must serialize BYTE-IDENTICAL to the legacy per-node-sort path, for
+// every learner, any thread count, uniform and non-uniform weights, and
+// bootstrap ensembles. These tests fit each model under both engines and
+// compare the serialized bodies as strings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/onerule.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/ripper.hpp"
+#include "ml/serialize.hpp"
+#include "ml/train_view.hpp"
+
+namespace smart2 {
+namespace {
+
+/// Restores the training engine and pool width on scope exit, so a failing
+/// assertion cannot leak a legacy/1-thread configuration into later tests.
+class EngineGuard {
+ public:
+  EngineGuard() : threads_(parallel::thread_count()) {}
+  ~EngineGuard() {
+    set_train_engine(TrainEngine::kPresorted);
+    parallel::set_thread_count(threads_);
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+/// Two-class blobs with heavy value duplication (quantized features), which
+/// exercises the tie-handling that presort correctness hinges on.
+Dataset make_quantized(std::size_t n, std::uint64_t seed,
+                       std::size_t dims = 4) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < dims; ++f)
+    names.push_back("f" + std::to_string(f));
+  Dataset d(std::move(names), {"neg", "pos"});
+  Rng rng(seed);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    for (std::size_t f = 0; f < dims; ++f) {
+      const double raw = rng.gaussian(cls == 0 ? 0.0 : 1.5, 1.0);
+      // Snap to a coarse grid: many exact duplicates per column.
+      x[f] = std::round(raw * 4.0) / 4.0;
+    }
+    d.add(x, cls);
+  }
+  return d;
+}
+
+/// Pathological columns: one all-equal feature, one two-valued feature.
+Dataset make_degenerate(std::size_t n) {
+  Dataset d({"const", "binary", "ramp"}, {"a", "b"});
+  std::vector<double> x(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[0] = 7.0;
+    x[1] = static_cast<double>(i % 2);
+    x[2] = static_cast<double>(i / 3);
+    d.add(x, static_cast<int>((i / 2) % 2));
+  }
+  return d;
+}
+
+std::vector<double> uniform_weights(std::size_t n) {
+  return std::vector<double>(n, 1.0);
+}
+
+std::vector<double> ragged_weights(std::size_t n) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = 0.25 + static_cast<double>(i % 7) * 0.375;
+  return w;
+}
+
+using Factory = std::unique_ptr<Classifier> (*)();
+
+std::string fit_serialized(const Factory& make, const Dataset& train,
+                           const std::vector<double>& weights,
+                           TrainEngine engine, std::size_t threads) {
+  set_train_engine(engine);
+  parallel::set_thread_count(threads);
+  auto model = make();
+  model->fit_weighted(train, weights);
+  return serialize_classifier(*model);
+}
+
+/// The core assertion: legacy@1 thread is the reference; the presorted
+/// engine must reproduce it byte for byte at 1, 2, and 4 threads (and
+/// legacy itself must be thread-count invariant).
+void expect_engines_identical(const Factory& make, const Dataset& train,
+                              const std::vector<double>& weights) {
+  const EngineGuard guard;
+  const std::string reference =
+      fit_serialized(make, train, weights, TrainEngine::kLegacy, 1);
+  EXPECT_EQ(reference,
+            fit_serialized(make, train, weights, TrainEngine::kLegacy, 4));
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    EXPECT_EQ(reference, fit_serialized(make, train, weights,
+                                        TrainEngine::kPresorted, threads))
+        << "presorted engine diverged at " << threads << " threads";
+  }
+}
+
+// ------------------------------------------------------ view mechanics ---
+
+TEST(TrainViewTest, SortedTablesAreStableAscending) {
+  const Dataset d = make_quantized(64, 0xabc1);
+  const TrainView view(d);
+  ASSERT_EQ(view.entry_count(), d.size());
+  for (std::size_t f = 0; f < d.feature_count(); ++f) {
+    const auto idx = view.sorted(f);
+    for (std::size_t p = 0; p + 1 < idx.size(); ++p) {
+      const double a = view.value(f, idx[p]);
+      const double b = view.value(f, idx[p + 1]);
+      EXPECT_LE(a, b);
+      if (a == b) {
+        EXPECT_LT(idx[p], idx[p + 1]) << "tie must keep row order";
+      }
+    }
+  }
+}
+
+TEST(TrainViewTest, BootstrapMaterializeMatchesLegacyResample) {
+  const Dataset d = make_quantized(48, 0xabc2);
+  const std::vector<double> w = ragged_weights(d.size());
+
+  Rng legacy_rng(0x5eed);
+  const Dataset legacy = d.resample_weighted(w, d.size(), legacy_rng);
+
+  Rng view_rng(0x5eed);
+  const auto drawn = TrainView::draw_bootstrap(w, d.size(), view_rng);
+  const TrainView base(d);
+  const TrainView boot(base, drawn);
+  const Dataset materialized = boot.materialize();
+
+  ASSERT_EQ(materialized.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(materialized.label(i), legacy.label(i));
+    const auto a = materialized.features(i);
+    const auto b = legacy.features(i);
+    for (std::size_t f = 0; f < d.feature_count(); ++f)
+      EXPECT_EQ(a[f], b[f]);
+  }
+}
+
+TEST(TrainViewTest, BootstrapSortedTablesAreValueOrdered) {
+  const Dataset d = make_quantized(40, 0xabc3);
+  const TrainView base(d);
+  Rng rng(0x77);
+  const auto drawn =
+      TrainView::draw_bootstrap(uniform_weights(d.size()), 55, rng);
+  const TrainView boot(base, drawn);
+  ASSERT_EQ(boot.entry_count(), 55u);
+  for (std::size_t f = 0; f < d.feature_count(); ++f) {
+    const auto idx = boot.sorted(f);
+    for (std::size_t p = 0; p + 1 < idx.size(); ++p)
+      EXPECT_LE(boot.value(f, idx[p]), boot.value(f, idx[p + 1]));
+  }
+}
+
+TEST(TrainViewTest, EngineSwitchRoundTrips) {
+  const EngineGuard guard;
+  set_train_engine(TrainEngine::kLegacy);
+  EXPECT_FALSE(train_presorted());
+  set_train_engine(TrainEngine::kPresorted);
+  EXPECT_TRUE(train_presorted());
+}
+
+// -------------------------------------------------- engine equivalence ---
+
+TEST(TrainEquivalenceTest, J48UniformWeights) {
+  const Dataset d = make_quantized(160, 0xd0);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(std::make_unique<DecisionTree>());
+      },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, J48NonUniformWeights) {
+  const Dataset d = make_quantized(160, 0xd1);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(std::make_unique<DecisionTree>());
+      },
+      d, ragged_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, J48UnprunedDeepTree) {
+  const Dataset d = make_quantized(200, 0xd2);
+  expect_engines_identical(
+      [] {
+        DecisionTree::Params p;
+        p.prune = false;
+        p.min_leaf_weight = 1.0;
+        return std::unique_ptr<Classifier>(
+            std::make_unique<DecisionTree>(p));
+      },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, J48DegenerateColumns) {
+  const Dataset d = make_degenerate(37);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(std::make_unique<DecisionTree>());
+      },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, J48SingleRow) {
+  Dataset d({"f0"}, {"a", "b"});
+  d.add(std::vector<double>{1.0}, 0);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(std::make_unique<DecisionTree>());
+      },
+      d, uniform_weights(1));
+}
+
+TEST(TrainEquivalenceTest, JRipUniformWeights) {
+  const Dataset d = make_quantized(150, 0xd3);
+  expect_engines_identical(
+      [] { return std::unique_ptr<Classifier>(std::make_unique<Ripper>()); },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, JRipNonUniformWeights) {
+  const Dataset d = make_quantized(150, 0xd4);
+  expect_engines_identical(
+      [] { return std::unique_ptr<Classifier>(std::make_unique<Ripper>()); },
+      d, ragged_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, OneRUniformAndRaggedWeights) {
+  const Dataset d = make_quantized(140, 0xd5);
+  const Factory make = [] {
+    return std::unique_ptr<Classifier>(std::make_unique<OneR>());
+  };
+  expect_engines_identical(make, d, uniform_weights(d.size()));
+  expect_engines_identical(make, d, ragged_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, OneRDegenerateColumns) {
+  const Dataset d = make_degenerate(30);
+  expect_engines_identical(
+      [] { return std::unique_ptr<Classifier>(std::make_unique<OneR>()); },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, BaggingJ48SharesOnePresort) {
+  const Dataset d = make_quantized(120, 0xd6);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(std::make_unique<Bagging>(
+            std::make_unique<DecisionTree>()));
+      },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, BaggingOneR) {
+  const Dataset d = make_quantized(110, 0xd7);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(
+            std::make_unique<Bagging>(std::make_unique<OneR>()));
+      },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, BaggingJRipMaterializesPerBag) {
+  // JRip has no native fit_view: Bagging must fall back to materialized
+  // bootstrap samples and still match the legacy ensemble exactly.
+  const Dataset d = make_quantized(90, 0xd8);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(
+            std::make_unique<Bagging>(std::make_unique<Ripper>()));
+      },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, RandomForestSubspaceTrees) {
+  const Dataset d = make_quantized(130, 0xd9, 6);
+  expect_engines_identical([] { return make_random_forest(); }, d,
+                           uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, AdaBoostJ48EvolvingWeights) {
+  // Boost rounds reuse the shared view verbatim while the entry weights
+  // evolve: the non-uniform-weight stress case for the presorted scan.
+  const Dataset d = make_quantized(140, 0xda);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(std::make_unique<AdaBoost>(
+            std::make_unique<DecisionTree>()));
+      },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, AdaBoostJ48ForcedResampling) {
+  const Dataset d = make_quantized(120, 0xdb);
+  expect_engines_identical(
+      [] {
+        AdaBoost::Params p;
+        p.force_resampling = true;
+        return std::unique_ptr<Classifier>(std::make_unique<AdaBoost>(
+            std::make_unique<DecisionTree>(), p));
+      },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, AdaBoostJRip) {
+  const Dataset d = make_quantized(100, 0xdc);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(
+            std::make_unique<AdaBoost>(std::make_unique<Ripper>()));
+      },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, AdaBoostOneR) {
+  const Dataset d = make_quantized(100, 0xdd);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(
+            std::make_unique<AdaBoost>(std::make_unique<OneR>()));
+      },
+      d, uniform_weights(d.size()));
+}
+
+TEST(TrainEquivalenceTest, AdaBoostJ48CalledWithRaggedOuterWeights) {
+  // Outer callers (e.g. a boosted ensemble nested in CV folds) may hand
+  // AdaBoost non-uniform weights directly.
+  const Dataset d = make_quantized(120, 0xde);
+  expect_engines_identical(
+      [] {
+        return std::unique_ptr<Classifier>(std::make_unique<AdaBoost>(
+            std::make_unique<DecisionTree>()));
+      },
+      d, ragged_weights(d.size()));
+}
+
+}  // namespace
+}  // namespace smart2

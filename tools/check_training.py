@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Gate the training-engine perf smoke.
+
+Usage: check_training.py BENCH_TRAINING_JSON
+
+Reads the summary bench_training writes (one JSON object with a "models"
+list of {model, threads, legacy_ns, presorted_ns, speedup}) and fails when
+the presorted columnar engine is slower than the legacy per-node-sort
+engine on any of the sort-heavy fits it exists to accelerate (J48,
+Bagging(J48), AdaBoost(J48)), at any measured thread count. Exits nonzero
+with an explanatory assertion on any regression. Used by the CI build-test
+job.
+"""
+import json
+import sys
+
+GATED_TRAIN_MODELS = {"J48", "Bagging(J48)", "AdaBoost(J48)"}
+
+
+def check(path):
+    with open(path) as f:
+        summary = json.load(f)
+    rows = [m for m in summary["models"] if m["model"] in GATED_TRAIN_MODELS]
+    seen = {m["model"] for m in rows}
+    missing = GATED_TRAIN_MODELS - seen
+    assert not missing, f"bench_training summary lacks models: {missing}"
+    for m in sorted(rows, key=lambda m: (m["model"], m["threads"])):
+        assert m["presorted_ns"] > 0, m
+        assert m["presorted_ns"] <= m["legacy_ns"], (
+            f"{m['model']} @ {m['threads']} threads: presorted engine "
+            f"({m['presorted_ns']} ns/fit) is slower than legacy "
+            f"({m['legacy_ns']} ns/fit)"
+        )
+        print(
+            f"ok: {m['model']} @ {m['threads']} threads: presorted "
+            f"{m['presorted_ns']} ns <= legacy {m['legacy_ns']} ns "
+            f"({m['speedup']:.2f}x)"
+        )
+    print(f"checked {len(rows)} gated rows: OK")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    check(sys.argv[1])
