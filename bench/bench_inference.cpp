@@ -9,6 +9,7 @@
 // slower than the interpreted one on the tree-based models.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/simd.hpp"
 #include "ml/adaboost.hpp"
 #include "ml/bagging.hpp"
 #include "ml/compiled.hpp"
@@ -31,6 +33,15 @@ namespace {
 
 using namespace smart2;
 
+/// One point of the batch-size sweep: ns/sample through the batch API with
+/// the SIMD kernels forced off (scalar) and on (simd). Identical outputs,
+/// only throughput differs.
+struct BatchPoint {
+  std::size_t n = 0;
+  double scalar_ns = 0.0;
+  double simd_ns = 0.0;
+};
+
 struct ModelResult {
   std::string model;
   /// The seed's API shape: predict_proba() returning a fresh std::vector.
@@ -39,6 +50,7 @@ struct ModelResult {
   /// predict_proba_into() API.
   double interpreted_ns = 0.0;
   double compiled_ns = 0.0;
+  std::vector<BatchPoint> batch;
 
   double speedup() const {
     return compiled_ns > 0.0 ? interpreted_ns / compiled_ns : 0.0;
@@ -67,6 +79,85 @@ double time_ns_per_sample(std::size_t rows, Pass&& pass, int reps = 30) {
   return best;
 }
 
+constexpr std::size_t kBatchSizes[] = {1, 16, 64, 256, 1024};
+
+/// Best-of-N ns/sample for a batch-API pass; small batches loop enough
+/// calls per rep that the measured interval stays well above timer
+/// granularity.
+template <typename Pass>
+double time_batch_ns_per_sample(std::size_t n, Pass&& pass, int reps = 30) {
+  const std::size_t calls = std::max<std::size_t>(1, 4096 / n);
+  pass();  // warm caches and the thread-local scratch arena
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < calls; ++c) pass();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    best = std::min(best, ns / static_cast<double>(n * calls));
+  }
+  return best;
+}
+
+/// Batch-size sweep over predict_proba_batch_into, scalar-forced vs native
+/// SIMD. Rows are cyclic copies of the test set into one contiguous block.
+std::vector<BatchPoint> batch_sweep_model(const compiled::CompiledModel& m,
+                                          const Dataset& te) {
+  const std::size_t stride = te.feature_count();
+  const std::size_t k = m.class_count();
+  const bool saved = simd::scalar_forced();
+  std::vector<BatchPoint> points;
+  for (const std::size_t n : kBatchSizes) {
+    std::vector<double> x(n * stride);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = te.features(i % te.size());
+      std::copy(row.begin(), row.end(), x.begin() + i * stride);
+    }
+    std::vector<double> out(n * k);
+    BatchPoint p;
+    p.n = n;
+    const auto pass = [&] {
+      m.predict_proba_batch_into(x.data(), n, stride, out.data(), k);
+      benchmark::DoNotOptimize(out.data());
+    };
+    simd::force_scalar(true);
+    p.scalar_ns = time_batch_ns_per_sample(n, pass);
+    simd::force_scalar(false);
+    p.simd_ns = time_batch_ns_per_sample(n, pass);
+    points.push_back(p);
+  }
+  simd::force_scalar(saved);
+  return points;
+}
+
+/// Same sweep over the whole pipeline's predict_batch_into.
+std::vector<BatchPoint> batch_sweep_pipeline(const TwoStageHmd& hmd,
+                                             const Dataset& te) {
+  const bool saved = simd::scalar_forced();
+  std::vector<BatchPoint> points;
+  for (const std::size_t n : kBatchSizes) {
+    Dataset big(te.feature_names(), te.class_names());
+    big.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      big.add(te.features(i % te.size()), te.label(i % te.size()));
+    std::vector<Detection> out(n);
+    BatchPoint p;
+    p.n = n;
+    const auto pass = [&] {
+      hmd.predict_batch_into(big, out);
+      benchmark::DoNotOptimize(out.data());
+    };
+    simd::force_scalar(true);
+    p.scalar_ns = time_batch_ns_per_sample(n, pass);
+    simd::force_scalar(false);
+    p.simd_ns = time_batch_ns_per_sample(n, pass);
+    points.push_back(p);
+  }
+  simd::force_scalar(saved);
+  return points;
+}
+
 ModelResult bench_model(std::string label, const Classifier& model,
                         const Dataset& te) {
   const auto lowered = compiled::compile(model);
@@ -90,6 +181,7 @@ ModelResult bench_model(std::string label, const Classifier& model,
       benchmark::DoNotOptimize(proba.data());
     }
   });
+  out.batch = batch_sweep_model(*lowered, te);
   return out;
 }
 
@@ -170,6 +262,7 @@ std::vector<ModelResult> run_inference_bench() {
         benchmark::DoNotOptimize(d.stage2_score);
       }
     });
+    pipeline.batch = batch_sweep_pipeline(hmd, te);
     results.push_back(pipeline);
   }
   return results;
@@ -178,7 +271,8 @@ std::vector<ModelResult> run_inference_bench() {
 void write_summary_json(const std::vector<ModelResult>& results) {
   std::ofstream out("BENCH_inference.json", std::ios::trunc);
   out << "{\"bench\": \"inference\", \"threads\": "
-      << parallel::thread_count() << ", \"models\": [";
+      << parallel::thread_count() << ", \"simd_isa\": \"" << simd::kIsa
+      << "\", \"simd_lanes\": " << simd::kLanes << ", \"models\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ModelResult& r = results[i];
     if (i != 0) out << ", ";
@@ -186,10 +280,19 @@ void write_summary_json(const std::vector<ModelResult>& results) {
     std::snprintf(buf, sizeof(buf),
                   "{\"model\": \"%s\", \"allocating_ns\": %.1f, "
                   "\"interpreted_ns\": %.1f, \"compiled_ns\": %.1f, "
-                  "\"speedup\": %.2f}",
+                  "\"speedup\": %.2f, \"batch\": [",
                   r.model.c_str(), r.allocating_ns, r.interpreted_ns,
                   r.compiled_ns, r.speedup());
     out << buf;
+    for (std::size_t b = 0; b < r.batch.size(); ++b) {
+      const BatchPoint& p = r.batch[b];
+      if (b != 0) out << ", ";
+      std::snprintf(buf, sizeof(buf),
+                    "{\"n\": %zu, \"scalar_ns\": %.1f, \"simd_ns\": %.1f}",
+                    p.n, p.scalar_ns, p.simd_ns);
+      out << buf;
+    }
+    out << "]}";
   }
   out << "]}\n";
 }
@@ -211,9 +314,32 @@ void print_results(const std::vector<ModelResult>& results) {
                    : "-",
                TableWriter::num(r.compiled_samples_per_sec(), 0)});
   std::printf("%s\n", t.render().c_str());
+
+  bench::print_banner(std::string("Batch inference sweep (") + simd::kIsa +
+                      ", " + std::to_string(simd::kLanes) +
+                      " lanes; ns/sample, scalar-forced vs SIMD)");
+  TableWriter bt({"model", "scalar@1", "scalar@16", "scalar@64", "scalar@256",
+                  "scalar@1024", "simd@256", "speedup@256"});
+  for (const ModelResult& r : results) {
+    std::vector<std::string> row{r.model};
+    double scalar256 = 0.0, simd256 = 0.0;
+    for (const BatchPoint& p : r.batch) {
+      row.push_back(TableWriter::num(p.scalar_ns, 0));
+      if (p.n == 256) {
+        scalar256 = p.scalar_ns;
+        simd256 = p.simd_ns;
+      }
+    }
+    row.push_back(TableWriter::num(simd256, 0));
+    row.push_back(simd256 > 0.0
+                      ? TableWriter::num(scalar256 / simd256, 2) + "x"
+                      : "-");
+    bt.add_row(std::move(row));
+  }
+  std::printf("%s\n", bt.render().c_str());
   std::printf(
-      "Both paths are bit-identical (compiled_test asserts it); the compiled\n"
-      "path additionally performs zero heap allocations per sample\n"
+      "All paths are bit-identical (compiled_test / simd_test assert it); the\n"
+      "compiled paths additionally perform zero heap allocations per sample\n"
       "(alloc_test asserts that). Summary written to BENCH_inference.json.\n\n");
 }
 

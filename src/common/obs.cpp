@@ -60,7 +60,7 @@ constexpr const char* kCatalogCounters[] = {
     "stage1.benign_shortcircuit", "stage2.dispatch", "adaboost.rounds",
     "cv.folds",                   "online.alarms",
     "train.presort_builds",       "train.bootstrap_views",
-    "train.ensemble_reuse",
+    "train.ensemble_reuse",       "pipeline.batch_lanes",
 };
 constexpr const char* kCatalogHistograms[] = {
     "phase.load",           "phase.featurize",
@@ -83,6 +83,9 @@ constexpr const char* kCatalogHistograms[] = {
     "stage2.trojan.predict_compiled",  "compile.two_stage",
     "compile.model",        "train.presort",
     "train.split_scan",
+    "stage1.mlr.predict_simd",      "stage2.backdoor.predict_simd",
+    "stage2.rootkit.predict_simd",  "stage2.virus.predict_simd",
+    "stage2.trojan.predict_simd",
 };
 
 void register_catalog_locked(GlobalState& g) {

@@ -1,0 +1,37 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace smart2::simd {
+
+namespace {
+
+/// Process-wide runtime override, initialized from SMART2_SIMD on first
+/// probe (function-local static: no init-order dependence on other TUs).
+std::atomic<bool>& scalar_flag() noexcept {
+  static std::atomic<bool> forced{[] {
+    const char* env = std::getenv("SMART2_SIMD");
+    return env != nullptr && std::strcmp(env, "scalar") == 0;
+  }()};
+  return forced;
+}
+
+}  // namespace
+
+bool scalar_forced() noexcept {
+  return scalar_flag().load(std::memory_order_relaxed);
+}
+
+void force_scalar(bool forced) noexcept {
+  scalar_flag().store(forced, std::memory_order_relaxed);
+}
+
+std::size_t active_lanes() noexcept { return scalar_forced() ? 1 : kLanes; }
+
+const char* active_isa() noexcept {
+  return scalar_forced() ? "scalar" : kIsa;
+}
+
+}  // namespace smart2::simd

@@ -1,0 +1,311 @@
+// smart2::simd — one portable vector-of-doubles abstraction for the batch
+// inference kernels (smart2::compiled eval_batch and the two-stage epoch
+// path).
+//
+// The ISA is chosen at compile time: AVX2 (4 lanes) when the TU is built
+// with -mavx2, else SSE2 (2 lanes) on x86-64, else NEON (2 lanes) on
+// aarch64, else a 1-lane scalar fallback. Building with
+// -DSMART2_SIMD_SCALAR (CMake: -DSMART2_SIMD_ISA=scalar) forces the scalar
+// fallback regardless of host ISA. On top of the compile-time choice, the
+// SMART2_SIMD=scalar environment variable (or force_scalar()) disables the
+// vector kernels at run time, turning every eval_batch into the per-sample
+// scalar loop — the equivalence oracle the SIMD paths are tested against.
+//
+// Bit-identity discipline: kernels built on these wrappers vectorize
+// ACROSS SAMPLES, never across features. Lane l of every vector holds
+// sample l's value, each per-sample accumulator sums features in the same
+// ascending order as the scalar code, and every lane op (add/sub/mul/div/
+// compare/blend) is the IEEE-754 scalar operation applied lane-wise — so a
+// vectorized kernel produces byte-for-byte the scalar kernel's output. The
+// repo builds without -ffast-math and without FMA codegen (-mavx2 alone
+// does not enable -mfma), so no contraction can fuse the mul+add pairs.
+//
+// Masks are represented as VecD whose lanes are all-ones / all-zero bit
+// patterns (the native form AVX2/SSE2 compares produce); compares return
+// false for NaN operands, matching the scalar `<=` / `>=` semantics the
+// interpreted models rely on.
+//
+// Integer indices (tree node ids, rule numbers, row offsets) are carried
+// in the double domain: they are small non-negative integers, exact in a
+// double's 53-bit mantissa, which keeps blend/compare/select in one
+// register file and lets gathers convert lanes with a simple truncation.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(SMART2_SIMD_SCALAR)
+#if defined(__AVX2__)
+#define SMART2_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64)
+#define SMART2_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define SMART2_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace smart2::simd {
+
+// ------------------------------------------------------------ ISA selection
+
+#if defined(SMART2_SIMD_AVX2)
+inline constexpr std::size_t kLanes = 4;
+inline constexpr const char* kIsa = "avx2";
+struct VecD {
+  __m256d v;
+};
+#elif defined(SMART2_SIMD_SSE2)
+inline constexpr std::size_t kLanes = 2;
+inline constexpr const char* kIsa = "sse2";
+struct VecD {
+  __m128d v;
+};
+#elif defined(SMART2_SIMD_NEON)
+inline constexpr std::size_t kLanes = 2;
+inline constexpr const char* kIsa = "neon";
+struct VecD {
+  float64x2_t v;
+};
+#else
+inline constexpr std::size_t kLanes = 1;
+inline constexpr const char* kIsa = "scalar";
+struct VecD {
+  double v;
+};
+#endif
+
+// ------------------------------------------------------------ runtime mode
+
+/// True when SMART2_SIMD=scalar (or force_scalar(true)) has disabled the
+/// vector kernels for this process; eval_batch then runs the per-sample
+/// scalar loop. One relaxed atomic load per batch call.
+bool scalar_forced() noexcept;
+
+/// Override the env-derived mode (benchmarks and tests flip this to time /
+/// compare both paths in one process).
+void force_scalar(bool forced) noexcept;
+
+/// Lanes the active mode processes per step: kLanes, or 1 when scalar is
+/// forced.
+std::size_t active_lanes() noexcept;
+
+/// "avx2" / "sse2" / "neon" / "scalar"; reflects the runtime override.
+const char* active_isa() noexcept;
+
+// ------------------------------------------------------------ lane ops
+
+#if defined(SMART2_SIMD_AVX2)
+
+inline VecD vzero() noexcept { return {_mm256_setzero_pd()}; }
+inline VecD vbroadcast(double x) noexcept { return {_mm256_set1_pd(x)}; }
+inline VecD vload(const double* p) noexcept { return {_mm256_loadu_pd(p)}; }
+inline void vstore(double* p, VecD a) noexcept { _mm256_storeu_pd(p, a.v); }
+inline VecD vadd(VecD a, VecD b) noexcept {
+  return {_mm256_add_pd(a.v, b.v)};
+}
+inline VecD vsub(VecD a, VecD b) noexcept {
+  return {_mm256_sub_pd(a.v, b.v)};
+}
+inline VecD vmul(VecD a, VecD b) noexcept {
+  return {_mm256_mul_pd(a.v, b.v)};
+}
+inline VecD vdiv(VecD a, VecD b) noexcept {
+  return {_mm256_div_pd(a.v, b.v)};
+}
+inline VecD vle(VecD a, VecD b) noexcept {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+}
+inline VecD vge(VecD a, VecD b) noexcept {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+}
+inline VecD veq(VecD a, VecD b) noexcept {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ)};
+}
+inline VecD vand(VecD a, VecD b) noexcept {
+  return {_mm256_and_pd(a.v, b.v)};
+}
+inline VecD vor(VecD a, VecD b) noexcept { return {_mm256_or_pd(a.v, b.v)}; }
+/// ~a & b (lanes of b where the mask a is clear).
+inline VecD vandnot(VecD a, VecD b) noexcept {
+  return {_mm256_andnot_pd(a.v, b.v)};
+}
+/// Lane-wise select: mask lane set -> a, clear -> b. Masks are compare
+/// results (all-ones / all-zero), whose sign bit drives blendv.
+inline VecD vblend(VecD mask, VecD a, VecD b) noexcept {
+  return {_mm256_blendv_pd(b.v, a.v, mask.v)};
+}
+/// One bit per lane (bit l = lane l's sign bit).
+inline int vmovemask(VecD mask) noexcept {
+  return _mm256_movemask_pd(mask.v);
+}
+/// Gather base[(int)idx[l]] per lane; idx lanes are exact small
+/// non-negative integers in the double domain. The masked form with an
+/// explicit zero source and all-ones mask is the same vgatherdpd the plain
+/// intrinsic emits, without its uninitialized source operand (which trips
+/// -Wmaybe-uninitialized under -Werror).
+inline VecD vgather(const double* base, VecD idx) noexcept {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d all = _mm256_cmp_pd(zero, zero, _CMP_EQ_OQ);
+  return {_mm256_mask_i32gather_pd(zero, base, _mm256_cvttpd_epi32(idx.v),
+                                   all, 8)};
+}
+/// Lanes {0, stride, 2*stride, 3*stride}: per-lane row offsets into a
+/// row-major batch block.
+inline VecD vrow_offsets(double stride) noexcept {
+  return {_mm256_set_pd(3.0 * stride, 2.0 * stride, stride, 0.0)};
+}
+
+#elif defined(SMART2_SIMD_SSE2)
+
+inline VecD vzero() noexcept { return {_mm_setzero_pd()}; }
+inline VecD vbroadcast(double x) noexcept { return {_mm_set1_pd(x)}; }
+inline VecD vload(const double* p) noexcept { return {_mm_loadu_pd(p)}; }
+inline void vstore(double* p, VecD a) noexcept { _mm_storeu_pd(p, a.v); }
+inline VecD vadd(VecD a, VecD b) noexcept { return {_mm_add_pd(a.v, b.v)}; }
+inline VecD vsub(VecD a, VecD b) noexcept { return {_mm_sub_pd(a.v, b.v)}; }
+inline VecD vmul(VecD a, VecD b) noexcept { return {_mm_mul_pd(a.v, b.v)}; }
+inline VecD vdiv(VecD a, VecD b) noexcept { return {_mm_div_pd(a.v, b.v)}; }
+inline VecD vle(VecD a, VecD b) noexcept { return {_mm_cmple_pd(a.v, b.v)}; }
+inline VecD vge(VecD a, VecD b) noexcept { return {_mm_cmpge_pd(a.v, b.v)}; }
+inline VecD veq(VecD a, VecD b) noexcept { return {_mm_cmpeq_pd(a.v, b.v)}; }
+inline VecD vand(VecD a, VecD b) noexcept { return {_mm_and_pd(a.v, b.v)}; }
+inline VecD vor(VecD a, VecD b) noexcept { return {_mm_or_pd(a.v, b.v)}; }
+inline VecD vandnot(VecD a, VecD b) noexcept {
+  return {_mm_andnot_pd(a.v, b.v)};
+}
+inline VecD vblend(VecD mask, VecD a, VecD b) noexcept {
+  // SSE2 has no blendv: select through the mask bits (all-ones/all-zero).
+  return {_mm_or_pd(_mm_and_pd(mask.v, a.v), _mm_andnot_pd(mask.v, b.v))};
+}
+inline int vmovemask(VecD mask) noexcept { return _mm_movemask_pd(mask.v); }
+inline VecD vgather(const double* base, VecD idx) noexcept {
+  double lanes[2];
+  _mm_storeu_pd(lanes, idx.v);
+  return {_mm_set_pd(base[static_cast<std::size_t>(lanes[1])],
+                     base[static_cast<std::size_t>(lanes[0])])};
+}
+inline VecD vrow_offsets(double stride) noexcept {
+  return {_mm_set_pd(stride, 0.0)};
+}
+
+#elif defined(SMART2_SIMD_NEON)
+
+inline VecD vzero() noexcept { return {vdupq_n_f64(0.0)}; }
+inline VecD vbroadcast(double x) noexcept { return {vdupq_n_f64(x)}; }
+inline VecD vload(const double* p) noexcept { return {vld1q_f64(p)}; }
+inline void vstore(double* p, VecD a) noexcept { vst1q_f64(p, a.v); }
+inline VecD vadd(VecD a, VecD b) noexcept { return {vaddq_f64(a.v, b.v)}; }
+inline VecD vsub(VecD a, VecD b) noexcept { return {vsubq_f64(a.v, b.v)}; }
+inline VecD vmul(VecD a, VecD b) noexcept { return {vmulq_f64(a.v, b.v)}; }
+inline VecD vdiv(VecD a, VecD b) noexcept { return {vdivq_f64(a.v, b.v)}; }
+inline VecD vle(VecD a, VecD b) noexcept {
+  return {vreinterpretq_f64_u64(vcleq_f64(a.v, b.v))};
+}
+inline VecD vge(VecD a, VecD b) noexcept {
+  return {vreinterpretq_f64_u64(vcgeq_f64(a.v, b.v))};
+}
+inline VecD veq(VecD a, VecD b) noexcept {
+  return {vreinterpretq_f64_u64(vceqq_f64(a.v, b.v))};
+}
+inline VecD vand(VecD a, VecD b) noexcept {
+  return {vreinterpretq_f64_u64(vandq_u64(vreinterpretq_u64_f64(a.v),
+                                          vreinterpretq_u64_f64(b.v)))};
+}
+inline VecD vor(VecD a, VecD b) noexcept {
+  return {vreinterpretq_f64_u64(vorrq_u64(vreinterpretq_u64_f64(a.v),
+                                          vreinterpretq_u64_f64(b.v)))};
+}
+inline VecD vandnot(VecD a, VecD b) noexcept {
+  return {vreinterpretq_f64_u64(vbicq_u64(vreinterpretq_u64_f64(b.v),
+                                          vreinterpretq_u64_f64(a.v)))};
+}
+inline VecD vblend(VecD mask, VecD a, VecD b) noexcept {
+  return {vbslq_f64(vreinterpretq_u64_f64(mask.v), a.v, b.v)};
+}
+inline int vmovemask(VecD mask) noexcept {
+  const uint64x2_t m = vreinterpretq_u64_f64(mask.v);
+  return static_cast<int>(vgetq_lane_u64(m, 0) >> 63) |
+         (static_cast<int>(vgetq_lane_u64(m, 1) >> 63) << 1);
+}
+inline VecD vgather(const double* base, VecD idx) noexcept {
+  double lanes[2];
+  vst1q_f64(lanes, idx.v);
+  double out[2] = {base[static_cast<std::size_t>(lanes[0])],
+                   base[static_cast<std::size_t>(lanes[1])]};
+  return {vld1q_f64(out)};
+}
+inline VecD vrow_offsets(double stride) noexcept {
+  double lanes[2] = {0.0, stride};
+  return {vld1q_f64(lanes)};
+}
+
+#else  // scalar fallback (1 lane); masks are all-ones/all-zero bit patterns
+
+namespace detail {
+inline double mask_of(bool b) noexcept {
+  return std::bit_cast<double>(b ? ~std::uint64_t{0} : std::uint64_t{0});
+}
+inline std::uint64_t bits(double x) noexcept {
+  return std::bit_cast<std::uint64_t>(x);
+}
+inline double from_bits(std::uint64_t b) noexcept {
+  return std::bit_cast<double>(b);
+}
+}  // namespace detail
+
+inline VecD vzero() noexcept { return {0.0}; }
+inline VecD vbroadcast(double x) noexcept { return {x}; }
+inline VecD vload(const double* p) noexcept { return {*p}; }
+inline void vstore(double* p, VecD a) noexcept { *p = a.v; }
+inline VecD vadd(VecD a, VecD b) noexcept { return {a.v + b.v}; }
+inline VecD vsub(VecD a, VecD b) noexcept { return {a.v - b.v}; }
+inline VecD vmul(VecD a, VecD b) noexcept { return {a.v * b.v}; }
+inline VecD vdiv(VecD a, VecD b) noexcept { return {a.v / b.v}; }
+inline VecD vle(VecD a, VecD b) noexcept {
+  return {detail::mask_of(a.v <= b.v)};
+}
+inline VecD vge(VecD a, VecD b) noexcept {
+  return {detail::mask_of(a.v >= b.v)};
+}
+inline VecD veq(VecD a, VecD b) noexcept {
+  return {detail::mask_of(a.v == b.v)};
+}
+inline VecD vand(VecD a, VecD b) noexcept {
+  return {detail::from_bits(detail::bits(a.v) & detail::bits(b.v))};
+}
+inline VecD vor(VecD a, VecD b) noexcept {
+  return {detail::from_bits(detail::bits(a.v) | detail::bits(b.v))};
+}
+inline VecD vandnot(VecD a, VecD b) noexcept {
+  return {detail::from_bits(~detail::bits(a.v) & detail::bits(b.v))};
+}
+inline VecD vblend(VecD mask, VecD a, VecD b) noexcept {
+  const std::uint64_t m = detail::bits(mask.v);
+  return {detail::from_bits((m & detail::bits(a.v)) |
+                            (~m & detail::bits(b.v)))};
+}
+inline int vmovemask(VecD mask) noexcept {
+  return static_cast<int>(detail::bits(mask.v) >> 63);
+}
+inline VecD vgather(const double* base, VecD idx) noexcept {
+  return {base[static_cast<std::size_t>(idx.v)]};
+}
+inline VecD vrow_offsets(double stride) noexcept {
+  (void)stride;
+  return {0.0};
+}
+
+#endif
+
+/// Every lane's mask bit set.
+inline bool vall(VecD mask) noexcept {
+  return vmovemask(mask) == (1 << kLanes) - 1;
+}
+/// Any lane's mask bit set.
+inline bool vany(VecD mask) noexcept { return vmovemask(mask) != 0; }
+
+}  // namespace smart2::simd

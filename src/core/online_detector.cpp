@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "ml/metrics.hpp"
@@ -31,7 +33,6 @@ OnlineDetector::OnlineDetector(const TwoStageHmd& hmd,
 OnlineDetector::WindowVerdict OnlineDetector::observe(
     std::span<const double> common4) {
   SMART2_SPAN("online.observe");
-  WindowVerdict verdict;
 
   // Per-window score: the stage-2 malware probability of the class stage 1
   // suspects; a confident benign window scores its residual malware mass.
@@ -48,11 +49,16 @@ OnlineDetector::WindowVerdict OnlineDetector::observe(
 
   const double benign_p =
       proba[static_cast<std::size_t>(label_of(AppClass::kBenign))];
-  if (benign_p >= 0.95) {
-    verdict.window_score = 1.0 - benign_p;
-  } else {
-    verdict.window_score = hmd_.stage2_score(suspected, common4);
-  }
+  const double window_score =
+      benign_p >= 0.95 ? 1.0 - benign_p : hmd_.stage2_score(suspected, common4);
+  return apply_window(window_score, suspected);
+}
+
+// SMART2_HOT
+OnlineDetector::WindowVerdict OnlineDetector::apply_window(
+    double window_score, AppClass suspected) {
+  WindowVerdict verdict;
+  verdict.window_score = window_score;
   verdict.suspected_class = suspected;
 
   // EWMA + hysteresis.
@@ -87,11 +93,84 @@ void OnlineDetector::reset() noexcept {
 
 OnlineDetectorBank::OnlineDetectorBank(const TwoStageHmd& hmd,
                                        std::size_t streams,
-                                       OnlineDetectorConfig config) {
+                                       OnlineDetectorConfig config)
+    : hmd_(&hmd) {
   if (streams == 0)
     throw std::invalid_argument("OnlineDetectorBank: need >= 1 stream");
   streams_.reserve(streams);
   for (std::size_t s = 0; s < streams; ++s) streams_.emplace_back(hmd, config);
+}
+
+// One epoch of the batched tick. The whole block runs stage 1 through the
+// SIMD batch kernel; the low-benign-confidence subset is then gathered per
+// suspected class and scored by that class's stage-2 detector in slot
+// order (for Common4 detectors the window itself is the stage-2 feature
+// vector). Finally each stream's EWMA / hysteresis state advances via the
+// same apply_window() the lone observe() uses, so verdicts are
+// bit-identical to feeding each stream individually.
+// SMART2_HOT
+void OnlineDetectorBank::observe_epoch(
+    std::span<const std::vector<double>> windows, std::size_t begin,
+    std::size_t end, OnlineDetector::WindowVerdict* out) {
+  const std::size_t m = end - begin;
+  const std::size_t nc = hmd_->plan().common.size();
+
+  const ScratchSpan common_s(m * nc);
+  double* common = common_s.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<double>& w = windows[begin + i];
+    for (std::size_t j = 0; j < nc; ++j) common[i * nc + j] = w[j];
+  }
+  const ScratchSpan proba_s(m * kNumAppClasses);
+  double* proba = proba_s.data();
+  hmd_->stage1_proba_batch_into(common, m, nc, proba);
+
+  // Score each window: confident-benign rows keep their residual malware
+  // mass, the rest queue for their suspected class's stage-2 detector.
+  const ScratchSpan scores_s(m);
+  double* scores = scores_s.data();
+  ScratchArray<std::uint8_t> slot_of(m);
+  ScratchArray<std::uint8_t> suspected_of(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* p = proba + i * kNumAppClasses;
+    std::size_t best_slot = 0;
+    for (std::size_t s = 1; s < kNumMalwareClasses; ++s)
+      if (p[static_cast<std::size_t>(label_of(kMalwareClasses[s]))] >
+          p[static_cast<std::size_t>(label_of(kMalwareClasses[best_slot]))])
+        best_slot = s;
+    suspected_of[i] = static_cast<std::uint8_t>(best_slot);
+    const double benign_p =
+        p[static_cast<std::size_t>(label_of(AppClass::kBenign))];
+    if (benign_p >= 0.95) {
+      scores[i] = 1.0 - benign_p;
+      slot_of[i] = static_cast<std::uint8_t>(kNumMalwareClasses);
+    } else {
+      slot_of[i] = suspected_of[i];
+    }
+  }
+
+  const ScratchSpan feats_s(m * nc);
+  const ScratchSpan sub_scores_s(m);
+  ScratchArray<std::uint32_t> rows(m);
+  for (std::size_t s = 0; s < kNumMalwareClasses; ++s) {
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < m; ++i)
+      if (slot_of[i] == s) rows[cnt++] = static_cast<std::uint32_t>(i);
+    if (cnt == 0) continue;
+    double* feats = feats_s.data();
+    for (std::size_t j = 0; j < cnt; ++j) {
+      const double* src = common + rows[j] * nc;
+      std::copy(src, src + nc, feats + j * nc);
+    }
+    hmd_->stage2_score_batch_into(kMalwareClasses[s], feats, cnt, nc,
+                                  {sub_scores_s.data(), cnt});
+    for (std::size_t j = 0; j < cnt; ++j)
+      scores[rows[j]] = sub_scores_s.data()[j];
+  }
+
+  for (std::size_t i = 0; i < m; ++i)
+    out[begin + i] = streams_[begin + i].apply_window(
+        scores[i], kMalwareClasses[suspected_of[i]]);
 }
 
 std::vector<OnlineDetector::WindowVerdict> OnlineDetectorBank::observe_batch(
@@ -100,12 +179,30 @@ std::vector<OnlineDetector::WindowVerdict> OnlineDetectorBank::observe_batch(
     throw std::invalid_argument(
         "OnlineDetectorBank: one window per stream required");
   SMART2_SPAN("online.observe_batch");
-  // Streams own disjoint EWMA/hysteresis state, so the tick fans out
-  // across the pool with each stream writing its own verdict slot.
   std::vector<OnlineDetector::WindowVerdict> verdicts(streams_.size());
-  parallel::parallel_for(0, streams_.size(), [&](std::size_t s) {
-    verdicts[s] = streams_[s].observe(windows[s]);
-  });
+  if (!hmd_->compiled()) {
+    // Interpreted fallback: streams own disjoint EWMA/hysteresis state, so
+    // the tick fans out across the pool per stream.
+    parallel::parallel_for(0, streams_.size(), [&](std::size_t s) {
+      verdicts[s] = streams_[s].observe(windows[s]);
+    });
+    return verdicts;
+  }
+  // Batched tick: epochs of kDetectEpoch streams through the SIMD batch
+  // kernels. Each stream belongs to exactly one epoch, so parallel epochs
+  // never touch the same EWMA state.
+  const std::size_t n = streams_.size();
+  constexpr std::size_t kEpoch = TwoStageHmd::kDetectEpoch;
+  const std::size_t epochs = (n + kEpoch - 1) / kEpoch;
+  auto run = [&](std::size_t e) {
+    observe_epoch(windows, e * kEpoch, std::min(n, (e + 1) * kEpoch),
+                  verdicts.data());
+  };
+  if (parallel::thread_count() == 1 || epochs == 1) {
+    for (std::size_t e = 0; e < epochs; ++e) run(e);
+  } else {
+    parallel::parallel_for(0, epochs, run);
+  }
   return verdicts;
 }
 

@@ -55,6 +55,13 @@ class OnlineDetector {
   std::size_t windows_observed() const noexcept { return windows_; }
 
  private:
+  friend class OnlineDetectorBank;
+
+  /// Fold one window's raw score into the EWMA / hysteresis state and
+  /// produce the verdict. Shared by observe() and the bank's batched tick,
+  /// so both paths run the identical state update.
+  WindowVerdict apply_window(double window_score, AppClass suspected);
+
   const TwoStageHmd& hmd_;
   OnlineDetectorConfig config_;
   double score_ = 0.0;
@@ -89,6 +96,14 @@ class OnlineDetectorBank {
   void reset() noexcept;
 
  private:
+  /// One epoch of the batched tick: streams [begin, end) scored through
+  /// the pipeline's SIMD batch kernels, then each stream's EWMA state
+  /// advanced in stream order. Requires a compiled pipeline.
+  void observe_epoch(std::span<const std::vector<double>> windows,
+                     std::size_t begin, std::size_t end,
+                     OnlineDetector::WindowVerdict* out);
+
+  const TwoStageHmd* hmd_;
   std::vector<OnlineDetector> streams_;
 };
 

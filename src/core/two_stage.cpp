@@ -1,13 +1,16 @@
 #include "core/two_stage.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "ml/logistic.hpp"
 #include "ml/serialize.hpp"
 
@@ -27,6 +30,9 @@ constexpr const char* kStage2PredictSpans[kNumMalwareClasses] = {
 constexpr const char* kStage2PredictCompiledSpans[kNumMalwareClasses] = {
     "stage2.backdoor.predict_compiled", "stage2.rootkit.predict_compiled",
     "stage2.virus.predict_compiled", "stage2.trojan.predict_compiled"};
+constexpr const char* kStage2PredictSimdSpans[kNumMalwareClasses] = {
+    "stage2.backdoor.predict_simd", "stage2.rootkit.predict_simd",
+    "stage2.virus.predict_simd", "stage2.trojan.predict_simd"};
 
 }  // namespace
 
@@ -153,6 +159,19 @@ void TwoStageHmd::compile() {
       cplan_.stage2[m][i] = static_cast<std::uint32_t>(features[i]);
     scratch = std::max(scratch, compiled_stage2_[m]->scratch_doubles() + 2);
   }
+  // Batch-path worst case: one epoch's gather / proba / dispatch blocks
+  // plus the widest model batch scratch. The trailing 2 * kDetectEpoch
+  // covers the score vector and the (whole-double-rounded) slot / row
+  // index frames.
+  std::size_t batch_deep = compiled_stage1_->batch_scratch_doubles();
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m)
+    batch_deep =
+        std::max(batch_deep, compiled_stage2_[m]->batch_scratch_doubles() +
+                                 2 * kDetectEpoch);
+  scratch = std::max(
+      scratch, kDetectEpoch * (cplan_.common_count + kNumAppClasses +
+                               kMaxPlanFeatures + 2) +
+                   batch_deep);
   // Warm the calling thread's scratch stack; pool lanes warm themselves on
   // their first sample and stay allocation-free afterwards.
   ScratchStack::current().reserve(scratch);
@@ -178,6 +197,48 @@ void TwoStageHmd::stage1_proba_into(std::span<const double> common4,
     compiled_stage1_->predict_proba_into(common4, out);
   else
     stage1_->predict_proba_into(common4, out);
+}
+
+// SMART2_HOT
+void TwoStageHmd::stage1_proba_batch_into(const double* common, std::size_t n,
+                                          std::size_t stride,
+                                          double* out) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  if (n == 0) return;
+  if (!compiled_stage1_) {
+    for (std::size_t i = 0; i < n; ++i)
+      stage1_->predict_proba_into({common + i * stride, stride},
+                                  {out + i * kNumAppClasses, kNumAppClasses});
+    return;
+  }
+  SMART2_SPAN("stage1.mlr.predict_simd");
+  if (obs::metrics_enabled())
+    obs::counter("pipeline.batch_lanes").add(simd::active_lanes());
+  compiled_stage1_->predict_proba_batch_into(common, n, stride, out,
+                                             kNumAppClasses);
+}
+
+// SMART2_HOT
+void TwoStageHmd::stage2_score_batch_into(AppClass c, const double* feats,
+                                          std::size_t n, std::size_t stride,
+                                          std::span<double> scores) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  if (n == 0) return;
+  const std::size_t slot = malware_slot(c);
+  if (obs::metrics_enabled()) obs::counter("stage2.dispatch").add(n);
+  const obs::Span span(kStage2PredictSimdSpans[slot]);
+  if (compiled_stage2_[slot]) {
+    const ScratchSpan sp(n * 2);
+    compiled_stage2_[slot]->predict_proba_batch_into(feats, n, stride,
+                                                     sp.data(), 2);
+    for (std::size_t i = 0; i < n; ++i) scores[i] = sp.data()[i * 2 + 1];
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto proba = stage2_[slot].model->predict_proba(
+        {feats + i * stride, stride});
+    scores[i] = proba.size() > 1 ? proba[1] : 0.0;
+  }
 }
 
 // SMART2_HOT
@@ -323,15 +384,128 @@ Detection TwoStageHmd::detect_interpreted(
   return out;
 }
 
+// One epoch of the batched compiled path. Stage 1 runs over the whole
+// block through the SIMD kernels; the routing scan then replicates
+// detect()'s per-sample decisions exactly (argmax, benign short-circuit,
+// best-malware fallback), and the non-benign subset is gathered and
+// dispatched to each stage-2 detector in slot order. All temporaries come
+// from the thread-local ScratchStack (compile() pre-reserves the worst
+// case), so a warm epoch performs zero heap allocations.
+// SMART2_HOT
+void TwoStageHmd::detect_epoch(const Dataset& samples, std::size_t begin,
+                               std::size_t end, Detection* out) const {
+  const std::size_t m = end - begin;
+  const std::size_t nc = cplan_.common_count;
+
+  // Gather the Common features for the whole block, batch Stage 1.
+  const ScratchSpan common_s(m * nc);
+  double* common = common_s.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = samples.features(begin + i).data();
+    for (std::size_t j = 0; j < nc; ++j)
+      common[i * nc + j] = row[cplan_.common[j]];
+  }
+  const ScratchSpan proba_s(m * kNumAppClasses);
+  double* proba = proba_s.data();
+  stage1_proba_batch_into(common, m, nc, proba);
+
+  // Route each row exactly as detect() does. slot_of holds the stage-2
+  // slot a row dispatches to, or kNumMalwareClasses for the benign
+  // short-circuit.
+  ScratchArray<std::uint8_t> slot_of(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* p = proba + i * kNumAppClasses;
+    int best = 0;
+    for (std::size_t k = 1; k < kNumAppClasses; ++k)
+      if (p[k] > p[static_cast<std::size_t>(best)]) best = static_cast<int>(k);
+    Detection det;
+    det.stage1_confidence = p[static_cast<std::size_t>(best)];
+    auto cls = static_cast<AppClass>(best);
+    if (cls == AppClass::kBenign &&
+        p[label_of(AppClass::kBenign)] >= config_.benign_confidence) {
+      if (obs::metrics_enabled())
+        obs::counter("stage1.benign_shortcircuit").add();
+      out[begin + i] = det;
+      slot_of[i] = static_cast<std::uint8_t>(kNumMalwareClasses);
+      continue;
+    }
+    if (cls == AppClass::kBenign) {
+      int best_malware = label_of(kMalwareClasses[0]);
+      for (AppClass mw : kMalwareClasses)
+        if (p[static_cast<std::size_t>(label_of(mw))] >
+            p[static_cast<std::size_t>(best_malware)])
+          best_malware = label_of(mw);
+      cls = static_cast<AppClass>(best_malware);
+    }
+    slot_of[i] = static_cast<std::uint8_t>(malware_slot(cls));
+    out[begin + i] = det;
+  }
+
+  // Dispatch the non-benign subset per stage-2 detector, in slot order so
+  // the span sequence is deterministic.
+  const ScratchSpan feats_s(m * kMaxPlanFeatures);
+  const ScratchSpan scores_s(m);
+  ScratchArray<std::uint32_t> rows(m);
+  for (std::size_t s = 0; s < kNumMalwareClasses; ++s) {
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < m; ++i)
+      if (slot_of[i] == s) rows[cnt++] = static_cast<std::uint32_t>(i);
+    if (cnt == 0) continue;
+    const std::size_t ncf = cplan_.stage2_count[s];
+    double* feats = feats_s.data();
+    for (std::size_t j = 0; j < cnt; ++j) {
+      const double* row = samples.features(begin + rows[j]).data();
+      for (std::size_t q = 0; q < ncf; ++q)
+        feats[j * ncf + q] = row[cplan_.stage2[s][q]];
+    }
+    stage2_score_batch_into(kMalwareClasses[s], feats, cnt, ncf,
+                            {scores_s.data(), cnt});
+    for (std::size_t j = 0; j < cnt; ++j) {
+      Detection& det = out[begin + rows[j]];
+      det.stage2_score = scores_s.data()[j];
+      if (det.stage2_score > config_.stage2_threshold) {
+        det.is_malware = true;
+        det.predicted_class = kMalwareClasses[s];
+      }
+    }
+  }
+}
+
+void TwoStageHmd::predict_batch_into(const Dataset& samples,
+                                     std::span<Detection> out) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  if (out.size() != samples.size())
+    throw std::invalid_argument(
+        "TwoStageHmd::predict_batch_into: output size mismatch");
+  if (samples.empty()) return;
+  if (!compiled_stage1_) {
+    // Interpreted fallback: rows are independent, fan out per sample.
+    parallel::parallel_for(0, samples.size(), [&](std::size_t i) {
+      out[i] = detect_interpreted(samples.features(i));
+    });
+    return;
+  }
+  const std::size_t epochs =
+      (samples.size() + kDetectEpoch - 1) / kDetectEpoch;
+  auto run = [&](std::size_t e) {
+    detect_epoch(samples, e * kDetectEpoch,
+                 std::min(samples.size(), (e + 1) * kDetectEpoch),
+                 out.data());
+  };
+  // The single-thread / single-epoch path calls the epochs directly: no
+  // std::function is materialized, keeping the warm loop allocation-free.
+  if (parallel::thread_count() == 1 || epochs == 1) {
+    for (std::size_t e = 0; e < epochs; ++e) run(e);
+  } else {
+    parallel::parallel_for(0, epochs, run);
+  }
+}
+
 std::vector<Detection> TwoStageHmd::predict_batch(const Dataset& samples) const {
   if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
   SMART2_SPAN("two_stage.predict_batch");
-  // Rows are independent and detect() is const/stateless, so each row
-  // writes its verdict into its own slot.
   std::vector<Detection> out(samples.size());
-  parallel::parallel_for(0, samples.size(), [&](std::size_t i) {
-    out[i] = detect(samples.features(i));
-  });
+  predict_batch_into(samples, out);
   return out;
 }
 

@@ -96,11 +96,25 @@ class TwoStageHmd {
   void compile();
   bool compiled() const noexcept { return compiled_stage1_ != nullptr; }
 
+  /// Rows per batch epoch: the fixed block width of the batched detect
+  /// path. Each epoch runs stage 1 over the whole block, then dispatches
+  /// the non-benign subset to each stage-2 detector in slot order. Fixed
+  /// (never derived from the thread count) so batch results and traces are
+  /// identical for every SMART2_THREADS value.
+  static constexpr std::size_t kDetectEpoch = 256;
+
   /// Batched inference: classify every row of `samples` (full 44-event
   /// vectors) across the thread pool — the shape a production monitor
   /// serving many containers needs. Element i equals detect(features(i))
-  /// exactly, for any SMART2_THREADS value.
+  /// exactly, for any SMART2_THREADS value and any SMART2_SIMD mode.
   std::vector<Detection> predict_batch(const Dataset& samples) const;
+
+  /// predict_batch into a caller buffer (out.size() == samples.size()):
+  /// the allocation-free form — epochs of kDetectEpoch rows through the
+  /// SIMD batch kernels, all temporaries from the thread-local
+  /// ScratchStack.
+  void predict_batch_into(const Dataset& samples,
+                          std::span<Detection> out) const;
 
   /// Run-time Stage 1: predict the application class from the 4 Common
   /// feature values (in plan().common order).
@@ -113,6 +127,21 @@ class TwoStageHmd {
   /// kNumAppClasses. Runs on the compiled model when available.
   void stage1_proba_into(std::span<const double> common4,
                          std::span<double> out) const;
+
+  /// Batched Stage 1: probabilities for `n` samples laid out row-major in
+  /// `common` (one sample per row of `stride` doubles, plan().common
+  /// order) into `out` (row i at out + i * kNumAppClasses). Row i equals
+  /// stage1_proba_into on that row bit for bit; SIMD only changes speed.
+  void stage1_proba_batch_into(const double* common, std::size_t n,
+                               std::size_t stride, double* out) const;
+
+  /// Batched Stage 2: malware probabilities from class `c`'s specialized
+  /// detector for `n` samples row-major in `feats` (stage2_feature_indices
+  /// order, `stride` doubles per row). scores[i] equals stage2_score on
+  /// row i bit for bit.
+  void stage2_score_batch_into(AppClass c, const double* feats,
+                               std::size_t n, std::size_t stride,
+                               std::span<double> scores) const;
 
   /// Run-time Stage 2: malware probability from the specialized detector of
   /// class `c`. `class_features` must follow stage2_feature_indices(c).
@@ -167,6 +196,11 @@ class TwoStageHmd {
 
   std::size_t malware_slot(AppClass c) const;
   std::vector<std::size_t> features_for(std::size_t slot) const;
+  /// One epoch of the batched compiled path: rows [begin, end) of
+  /// `samples` into out[begin..end). Requires compile() and
+  /// end - begin <= kDetectEpoch.
+  void detect_epoch(const Dataset& samples, std::size_t begin,
+                    std::size_t end, Detection* out) const;
   Specialized train_specialized(const Dataset& multiclass_train,
                                 std::size_t slot, Rng& rng) const;
 

@@ -1,13 +1,17 @@
 #include "ml/compiled.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "common/matrix.hpp"
 #include "common/obs.hpp"
+#include "common/simd.hpp"
 #include "ml/adaboost.hpp"
 #include "ml/bagging.hpp"
 #include "ml/decision_tree.hpp"
@@ -21,12 +25,133 @@ namespace smart2::compiled {
 
 namespace {
 
+std::atomic<bool>& tree_lockstep_flag() noexcept {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("SMART2_TREE_LOCKSTEP");
+    return env != nullptr && std::strcmp(env, "1") == 0;
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool tree_lockstep_enabled() noexcept {
+  return tree_lockstep_flag().load(std::memory_order_relaxed);
+}
+
+void set_tree_lockstep(bool on) noexcept {
+  tree_lockstep_flag().store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
 /// Row pitch for padded weight blocks: rows start on 32-byte boundaries.
 /// Kernels only ever read the first `cols` entries of a row, so padding has
 /// no effect on results.
 std::size_t padded_stride(std::size_t cols) { return (cols + 3) / 4 * 4; }
 
+/// Samples per ensemble batch block: bounds the member_p scratch block
+/// while amortizing the per-member virtual dispatch. Always a multiple of
+/// simd::kLanes so member kernels see full vectors.
+constexpr std::size_t kEnsembleBlock = 32;
+
+/// Register-blocked GEMM micro-kernel over one simd::kLanes-sample block.
+/// xT is the SoA transpose (xT[f * kLanes + lane] = sample lane's feature
+/// f); zT receives outputs in the same SoA layout. Each (sample, row)
+/// output keeps ONE accumulator summing `acc = bias; acc += w[f] * x[f]`
+/// over ascending f — the lane-wise image of gemv_bias_rowmajor, so every
+/// lane reproduces the scalar gemv result bit-for-bit.
+// SMART2_HOT
+void gemm_block_rowmajor(const double* w, std::size_t rows, std::size_t cols,
+                         std::size_t stride, const double* bias,
+                         const double* xT, double* zT) noexcept {
+  constexpr std::size_t W = simd::kLanes;
+  const std::size_t rtiles = rows / 4 * 4;
+  std::size_t r = 0;
+  for (; r < rtiles; r += 4) {
+    const double* w0 = w + r * stride;
+    const double* w1 = w0 + stride;
+    const double* w2 = w1 + stride;
+    const double* w3 = w2 + stride;
+    simd::VecD a0 = simd::vbroadcast(bias[r]);
+    simd::VecD a1 = simd::vbroadcast(bias[r + 1]);
+    simd::VecD a2 = simd::vbroadcast(bias[r + 2]);
+    simd::VecD a3 = simd::vbroadcast(bias[r + 3]);
+    for (std::size_t f = 0; f < cols; ++f) {
+      const simd::VecD xf = simd::vload(xT + f * W);
+      a0 = simd::vadd(a0, simd::vmul(simd::vbroadcast(w0[f]), xf));
+      a1 = simd::vadd(a1, simd::vmul(simd::vbroadcast(w1[f]), xf));
+      a2 = simd::vadd(a2, simd::vmul(simd::vbroadcast(w2[f]), xf));
+      a3 = simd::vadd(a3, simd::vmul(simd::vbroadcast(w3[f]), xf));
+    }
+    simd::vstore(zT + r * W, a0);
+    simd::vstore(zT + (r + 1) * W, a1);
+    simd::vstore(zT + (r + 2) * W, a2);
+    simd::vstore(zT + (r + 3) * W, a3);
+  }
+  for (; r < rows; ++r) {
+    const double* wr = w + r * stride;
+    simd::VecD acc = simd::vbroadcast(bias[r]);
+    for (std::size_t f = 0; f < cols; ++f)
+      acc = simd::vadd(acc,
+                       simd::vmul(simd::vbroadcast(wr[f]), simd::vload(xT + f * W)));
+    simd::vstore(zT + r * W, acc);
+  }
+}
+
+/// Standardize one simd::kLanes-sample block into SoA form: lane-wise
+/// (x - mean) / stddev, the same two IEEE ops the scalar eval applies.
+// SMART2_HOT
+void standardize_block(const double* xb, std::size_t x_stride,
+                       std::size_t features, const double* mean,
+                       const double* stddev, double* xT) noexcept {
+  constexpr std::size_t W = simd::kLanes;
+  const simd::VecD off =
+      simd::vrow_offsets(static_cast<double>(x_stride));
+  for (std::size_t f = 0; f < features; ++f) {
+    if (stddev[f] > 1e-12) {
+      const simd::VecD v = simd::vgather(xb + f, off);
+      simd::vstore(xT + f * W,
+                   simd::vdiv(simd::vsub(v, simd::vbroadcast(mean[f])),
+                              simd::vbroadcast(stddev[f])));
+    } else {
+      simd::vstore(xT + f * W, simd::vzero());
+    }
+  }
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// CompiledModel batch entry points
+
+// SMART2_HOT
+void CompiledModel::eval_rows(const double* x, std::size_t begin,
+                              std::size_t n, std::size_t x_stride, double* out,
+                              std::size_t out_stride, double* scratch) const {
+  for (std::size_t i = begin; i < n; ++i)
+    eval({x + i * x_stride, features_}, {out + i * out_stride, classes_},
+         scratch);
+}
+
+void CompiledModel::eval_batch(const double* x, std::size_t n,
+                               std::size_t x_stride, double* out,
+                               std::size_t out_stride, double* scratch) const {
+  eval_rows(x, 0, n, x_stride, out, out_stride, scratch);
+}
+
+// SMART2_HOT
+void CompiledModel::predict_proba_batch_into(const double* x, std::size_t n,
+                                             std::size_t x_stride, double* out,
+                                             std::size_t out_stride) const {
+  if (n == 0) return;
+  if (batch_scratch_ == 0) {
+    eval_batch(x, n, x_stride, out, out_stride, nullptr);
+    return;
+  }
+  const ScratchSpan scratch(batch_scratch_);
+  eval_batch(x, n, x_stride, out, out_stride, scratch.data());
+}
 
 // SMART2_HOT
 int CompiledModel::predict(std::span<const double> x) const {
@@ -58,7 +183,52 @@ FlatTree::FlatTree(std::size_t classes, std::size_t features,
       threshold_(std::move(threshold)),
       left_(std::move(left)),
       right_(std::move(right)),
-      leaf_proba_(std::move(leaf_proba)) {}
+      leaf_proba_(std::move(leaf_proba)) {
+  // Levelize: renumber nodes breadth-first so one level's nodes are
+  // contiguous, then store the descent fields in the double domain (node
+  // ids and feature indices are small integers, exact in a 53-bit
+  // mantissa). Leaves become self-loops so parked lanes keep re-selecting
+  // themselves; a child's BFS id always exceeds its parent's, so
+  // next == idx in every lane means every lane sits on a leaf.
+  const std::size_t nodes = feature_.size();
+  desc_feature_.resize(nodes);
+  desc_threshold_.resize(nodes);
+  desc_left_.resize(nodes);
+  desc_right_.resize(nodes);
+  desc_leaf_slot_.assign(nodes, 0);
+  std::vector<std::uint32_t> bfs_of(nodes, 0);
+  std::vector<std::uint32_t> order;
+  order.reserve(nodes);
+  order.push_back(0);
+  for (std::size_t q = 0; q < order.size(); ++q) {
+    const auto old = static_cast<std::size_t>(order[q]);
+    if (left_[old] >= 0) {
+      bfs_of[static_cast<std::size_t>(left_[old])] =
+          static_cast<std::uint32_t>(order.size());
+      order.push_back(static_cast<std::uint32_t>(left_[old]));
+      bfs_of[static_cast<std::size_t>(right_[old])] =
+          static_cast<std::uint32_t>(order.size());
+      order.push_back(static_cast<std::uint32_t>(right_[old]));
+    }
+  }
+  for (std::size_t q = 0; q < nodes; ++q) {
+    const auto old = static_cast<std::size_t>(order[q]);
+    if (left_[old] >= 0) {
+      desc_feature_[q] = static_cast<double>(feature_[old]);
+      desc_threshold_[q] = threshold_[old];
+      desc_left_[q] =
+          static_cast<double>(bfs_of[static_cast<std::size_t>(left_[old])]);
+      desc_right_[q] =
+          static_cast<double>(bfs_of[static_cast<std::size_t>(right_[old])]);
+    } else {
+      desc_feature_[q] = 0.0;  // harmless gather; both children self-loop
+      desc_threshold_[q] = 0.0;
+      desc_left_[q] = static_cast<double>(q);
+      desc_right_[q] = static_cast<double>(q);
+      desc_leaf_slot_[q] = static_cast<std::uint32_t>(-1 - left_[old]);
+    }
+  }
+}
 
 // SMART2_HOT
 void FlatTree::eval(std::span<const double> x, std::span<double> out,
@@ -76,6 +246,51 @@ void FlatTree::eval(std::span<const double> x, std::span<double> out,
   const double* dist =
       leaf_proba_.data() + static_cast<std::size_t>(-1 - l) * classes_;
   for (std::size_t c = 0; c < out.size(); ++c) out[c] = dist[c];
+}
+
+// SMART2_HOT
+void FlatTree::eval_batch(const double* x, std::size_t n,
+                          std::size_t x_stride, double* out,
+                          std::size_t out_stride, double* scratch) const {
+  std::size_t i = 0;
+  if constexpr (simd::kLanes > 1) {
+    if (!simd::scalar_forced() && tree_lockstep_enabled()) {
+      constexpr std::size_t W = simd::kLanes;
+      const double* df = desc_feature_.data();
+      const double* dt = desc_threshold_.data();
+      const double* dl = desc_left_.data();
+      const double* dr = desc_right_.data();
+      const simd::VecD off =
+          simd::vrow_offsets(static_cast<double>(x_stride));
+      for (; i + W <= n; i += W) {
+        const double* xb = x + i * x_stride;
+        simd::VecD idx = simd::vzero();
+        for (;;) {
+          // Lockstep level step: every lane compares its own feature value
+          // against its node's threshold and blend-selects a child; lanes
+          // already parked on a leaf self-select (left == right == self).
+          const simd::VecD f = simd::vgather(df, idx);
+          const simd::VecD t = simd::vgather(dt, idx);
+          const simd::VecD v = simd::vgather(xb, simd::vadd(off, f));
+          const simd::VecD m = simd::vle(v, t);  // NaN -> right, like eval()
+          const simd::VecD next =
+              simd::vblend(m, simd::vgather(dl, idx), simd::vgather(dr, idx));
+          if (simd::vall(simd::veq(next, idx))) break;
+          idx = next;
+        }
+        double lanes[W];
+        simd::vstore(lanes, idx);
+        for (std::size_t l = 0; l < W; ++l) {
+          const double* dist =
+              leaf_proba_.data() +
+              desc_leaf_slot_[static_cast<std::size_t>(lanes[l])] * classes_;
+          double* o = out + (i + l) * out_stride;
+          for (std::size_t c = 0; c < classes_; ++c) o[c] = dist[c];
+        }
+      }
+    }
+  }
+  eval_rows(x, i, n, x_stride, out, out_stride, scratch);
 }
 
 // ---------------------------------------------------------------------------
@@ -128,6 +343,59 @@ void FlatRuleList::eval(std::span<const double> x, std::span<double> out,
   }
   const double* dist = proba_.data() + hit * classes_;
   for (std::size_t c = 0; c < out.size(); ++c) out[c] = dist[c];
+}
+
+// SMART2_HOT
+void FlatRuleList::eval_batch(const double* x, std::size_t n,
+                              std::size_t x_stride, double* out,
+                              std::size_t out_stride, double* scratch) const {
+  std::size_t i = 0;
+  if constexpr (simd::kLanes > 1) {
+    if (!simd::scalar_forced()) {
+      constexpr std::size_t W = simd::kLanes;
+      const std::size_t rule_count = pred_begin_.size() - 1;
+      const std::uint32_t* pf = pred_feature_.data();
+      const double* lo = pred_lo_.data();
+      const double* hi = pred_hi_.data();
+      const simd::VecD off =
+          simd::vrow_offsets(static_cast<double>(x_stride));
+      const simd::VecD def =
+          simd::vbroadcast(static_cast<double>(rule_count));
+      for (; i + W <= n; i += W) {
+        const double* xb = x + i * x_stride;
+        simd::VecD hit = def;  // default-distribution row
+        simd::VecD undecided = simd::veq(def, def);  // all-ones
+        for (std::size_t r = 0; r < rule_count; ++r) {
+          // Lane-wise conjunction of the rule's closed-interval predicates;
+          // starting from `undecided` makes the result "newly matched here"
+          // directly (first-match-wins, like the scalar early exit). The
+          // compares return false on NaN, matching eval().
+          simd::VecD match = undecided;
+          for (std::uint32_t p = pred_begin_[r]; p < pred_begin_[r + 1];
+               ++p) {
+            const simd::VecD v = simd::vgather(xb + pf[p], off);
+            match = simd::vand(
+                match,
+                simd::vand(simd::vge(v, simd::vbroadcast(lo[p])),
+                           simd::vle(v, simd::vbroadcast(hi[p]))));
+          }
+          hit = simd::vblend(match, simd::vbroadcast(static_cast<double>(r)),
+                             hit);
+          undecided = simd::vandnot(match, undecided);
+          if (!simd::vany(undecided)) break;
+        }
+        double lanes[W];
+        simd::vstore(lanes, hit);
+        for (std::size_t l = 0; l < W; ++l) {
+          const double* dist =
+              proba_.data() + static_cast<std::size_t>(lanes[l]) * classes_;
+          double* o = out + (i + l) * out_stride;
+          for (std::size_t c = 0; c < classes_; ++c) o[c] = dist[c];
+        }
+      }
+    }
+  }
+  eval_rows(x, i, n, x_stride, out, out_stride, scratch);
 }
 
 // ---------------------------------------------------------------------------
@@ -208,7 +476,11 @@ DenseLinear::DenseLinear(std::size_t classes, std::size_t features,
       w_(std::move(w)),
       b_(std::move(b)),
       scale_mean_(std::move(scale_mean)),
-      scale_stddev_(std::move(scale_stddev)) {}
+      scale_stddev_(std::move(scale_stddev)) {
+  // SoA transpose + logit block for one kLanes-sample step (covers the
+  // per-row fallback too: features_ <= kLanes * (features_ + classes_)).
+  set_batch_scratch(simd::kLanes * (features_ + classes_));
+}
 
 // SMART2_HOT
 void DenseLinear::eval(std::span<const double> x, std::span<double> out,
@@ -229,6 +501,41 @@ void DenseLinear::eval(std::span<const double> x, std::span<double> out,
   for (double& v : out) v /= total;
 }
 
+// SMART2_HOT
+void DenseLinear::eval_batch(const double* x, std::size_t n,
+                             std::size_t x_stride, double* out,
+                             std::size_t out_stride, double* scratch) const {
+  std::size_t i = 0;
+  if constexpr (simd::kLanes > 1) {
+    if (!simd::scalar_forced()) {
+      constexpr std::size_t W = simd::kLanes;
+      double* xT = scratch;                  // features_ x W (SoA)
+      double* zT = scratch + features_ * W;  // classes_ x W (SoA logits)
+      for (; i + W <= n; i += W) {
+        const double* xb = x + i * x_stride;
+        standardize_block(xb, x_stride, features_, scale_mean_.data(),
+                          scale_stddev_.data(), xT);
+        gemm_block_rowmajor(w_.data(), classes_, features_, stride_,
+                            b_.data(), xT, zT);
+        // Softmax stays scalar per sample: exp() has no bit-identical
+        // vector form. Same statement sequence as eval().
+        for (std::size_t l = 0; l < W; ++l) {
+          double* o = out + (i + l) * out_stride;
+          for (std::size_t c = 0; c < classes_; ++c) o[c] = zT[c * W + l];
+          const double zmax = *std::max_element(o, o + classes_);
+          double total = 0.0;
+          for (std::size_t c = 0; c < classes_; ++c) {
+            o[c] = std::exp(o[c] - zmax);
+            total += o[c];
+          }
+          for (std::size_t c = 0; c < classes_; ++c) o[c] /= total;
+        }
+      }
+    }
+  }
+  eval_rows(x, i, n, x_stride, out, out_stride, scratch);
+}
+
 // ---------------------------------------------------------------------------
 // DenseMlp
 
@@ -247,7 +554,9 @@ DenseMlp::DenseMlp(std::size_t classes, std::size_t features,
       w2_(std::move(w2)),
       b2_(std::move(b2)),
       scale_mean_(std::move(scale_mean)),
-      scale_stddev_(std::move(scale_stddev)) {}
+      scale_stddev_(std::move(scale_stddev)) {
+  set_batch_scratch(simd::kLanes * (features_ + hidden_ + classes_));
+}
 
 // SMART2_HOT
 void DenseMlp::eval(std::span<const double> x, std::span<double> out,
@@ -274,6 +583,49 @@ void DenseMlp::eval(std::span<const double> x, std::span<double> out,
   for (std::size_t c = 0; c < classes_; ++c) out[c] /= total;
 }
 
+// SMART2_HOT
+void DenseMlp::eval_batch(const double* x, std::size_t n,
+                          std::size_t x_stride, double* out,
+                          std::size_t out_stride, double* scratch) const {
+  std::size_t i = 0;
+  if constexpr (simd::kLanes > 1) {
+    if (!simd::scalar_forced()) {
+      constexpr std::size_t W = simd::kLanes;
+      double* xT = scratch;                  // features_ x W (SoA)
+      double* hT = xT + features_ * W;       // hidden_ x W (SoA)
+      double* zT = hT + hidden_ * W;         // classes_ x W (SoA logits)
+      for (; i + W <= n; i += W) {
+        const double* xb = x + i * x_stride;
+        standardize_block(xb, x_stride, features_, scale_mean_.data(),
+                          scale_stddev_.data(), xT);
+        gemm_block_rowmajor(w1_.data(), hidden_, features_, stride1_,
+                            b1_.data(), xT, hT);
+        // Element-wise sigmoid: each element gets exactly the scalar
+        // expression (exp is scalar; element order cannot change values).
+        for (std::size_t e = 0; e < hidden_ * W; ++e)
+          hT[e] = 1.0 / (1.0 + std::exp(-hT[e]));
+        gemm_block_rowmajor(w2_.data(), classes_, hidden_, stride2_,
+                            b2_.data(), hT, zT);
+        // Same softmax statement sequence as eval().
+        for (std::size_t l = 0; l < W; ++l) {
+          double* o = out + (i + l) * out_stride;
+          for (std::size_t c = 0; c < classes_; ++c) o[c] = zT[c * W + l];
+          double zmax = -1e300;
+          for (std::size_t c = 0; c < classes_; ++c)
+            zmax = std::max(zmax, o[c]);
+          double total = 0.0;
+          for (std::size_t c = 0; c < classes_; ++c) {
+            o[c] = std::exp(o[c] - zmax);
+            total += o[c];
+          }
+          for (std::size_t c = 0; c < classes_; ++c) o[c] /= total;
+        }
+      }
+    }
+  }
+  eval_rows(x, i, n, x_stride, out, out_stride, scratch);
+}
+
 // ---------------------------------------------------------------------------
 // CompiledVote / CompiledAverage
 
@@ -288,6 +640,17 @@ std::size_t member_scratch(
   return classes + deepest;
 }
 
+/// Batch analogue: one kEnsembleBlock x classes member_p block plus the
+/// deepest member's own batch scratch.
+std::size_t member_batch_scratch(
+    const std::vector<std::unique_ptr<CompiledModel>>& members,
+    std::size_t classes) {
+  std::size_t deepest = 0;
+  for (const auto& m : members)
+    deepest = std::max(deepest, m->batch_scratch_doubles());
+  return kEnsembleBlock * classes + deepest;
+}
+
 }  // namespace
 
 CompiledVote::CompiledVote(std::size_t classes, std::size_t features,
@@ -298,6 +661,7 @@ CompiledVote::CompiledVote(std::size_t classes, std::size_t features,
       alphas_(std::move(alphas)) {
   // Same summation order as the interpreted per-call loop -> same double.
   for (double a : alphas_) total_alpha_ += a;
+  set_batch_scratch(member_batch_scratch(members_, classes_));
 }
 
 // SMART2_HOT
@@ -318,11 +682,50 @@ void CompiledVote::eval(std::span<const double> x, std::span<double> out,
     for (double& p : out) p = 1.0 / static_cast<double>(out.size());
 }
 
+// SMART2_HOT
+void CompiledVote::eval_batch(const double* x, std::size_t n,
+                              std::size_t x_stride, double* out,
+                              std::size_t out_stride, double* scratch) const {
+  // Block over the batch so the member_p scratch stays fixed-width; the
+  // members' own batch kernels vectorize inside each block. Per (row, c)
+  // the accumulation runs in member order then divides, exactly the
+  // per-sample eval() sequence.
+  double* member_p = scratch;
+  double* inner = scratch + kEnsembleBlock * classes_;
+  for (std::size_t i = 0; i < n; i += kEnsembleBlock) {
+    const std::size_t m = std::min(kEnsembleBlock, n - i);
+    for (std::size_t j = 0; j < m; ++j) {
+      double* o = out + (i + j) * out_stride;
+      for (std::size_t c = 0; c < classes_; ++c) o[c] = 0.0;
+    }
+    for (std::size_t k = 0; k < members_.size(); ++k) {
+      members_[k]->eval_batch(x + i * x_stride, m, x_stride, member_p,
+                              classes_, inner);
+      const double alpha = alphas_[k];
+      for (std::size_t j = 0; j < m; ++j) {
+        double* o = out + (i + j) * out_stride;
+        const double* p = member_p + j * classes_;
+        for (std::size_t c = 0; c < classes_; ++c) o[c] += alpha * p[c];
+      }
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      double* o = out + (i + j) * out_stride;
+      if (total_alpha_ > 0.0)
+        for (std::size_t c = 0; c < classes_; ++c) o[c] /= total_alpha_;
+      else
+        for (std::size_t c = 0; c < classes_; ++c)
+          o[c] = 1.0 / static_cast<double>(classes_);
+    }
+  }
+}
+
 CompiledAverage::CompiledAverage(
     std::size_t classes, std::size_t features,
     std::vector<std::unique_ptr<CompiledModel>> members)
     : CompiledModel(classes, features, member_scratch(members, classes)),
-      members_(std::move(members)) {}
+      members_(std::move(members)) {
+  set_batch_scratch(member_batch_scratch(members_, classes_));
+}
 
 // SMART2_HOT
 void CompiledAverage::eval(std::span<const double> x, std::span<double> out,
@@ -335,6 +738,36 @@ void CompiledAverage::eval(std::span<const double> x, std::span<double> out,
     for (std::size_t c = 0; c < out.size(); ++c) out[c] += member_p[c];
   }
   for (double& p : out) p /= static_cast<double>(members_.size());
+}
+
+// SMART2_HOT
+void CompiledAverage::eval_batch(const double* x, std::size_t n,
+                                 std::size_t x_stride, double* out,
+                                 std::size_t out_stride,
+                                 double* scratch) const {
+  double* member_p = scratch;
+  double* inner = scratch + kEnsembleBlock * classes_;
+  for (std::size_t i = 0; i < n; i += kEnsembleBlock) {
+    const std::size_t m = std::min(kEnsembleBlock, n - i);
+    for (std::size_t j = 0; j < m; ++j) {
+      double* o = out + (i + j) * out_stride;
+      for (std::size_t c = 0; c < classes_; ++c) o[c] = 0.0;
+    }
+    for (const auto& member : members_) {
+      member->eval_batch(x + i * x_stride, m, x_stride, member_p, classes_,
+                         inner);
+      for (std::size_t j = 0; j < m; ++j) {
+        double* o = out + (i + j) * out_stride;
+        const double* p = member_p + j * classes_;
+        for (std::size_t c = 0; c < classes_; ++c) o[c] += p[c];
+      }
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      double* o = out + (i + j) * out_stride;
+      for (std::size_t c = 0; c < classes_; ++c)
+        o[c] /= static_cast<double>(members_.size());
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,16 @@
 // Temporaries come from the thread-local ScratchStack; scratch_doubles()
 // reports the requirement so callers can pre-warm the stack once and run
 // with zero steady-state heap allocations per sample.
+//
+// Batch path: predict_proba_batch_into() / eval_batch() evaluate a
+// row-major block of samples. FlatTree, FlatRuleList, DenseLinear,
+// DenseMlp, and the ensemble lowerings override eval_batch with SIMD
+// kernels (src/common/simd.hpp) that vectorize across samples — lane l of
+// every vector holds sample l — so batch output row i is byte-for-byte
+// predict_proba_into(row i). SMART2_SIMD=scalar drops every override back
+// to the per-sample loop (the equivalence oracle simd_test drives). Batch
+// temporaries are fixed-size blocks (independent of n) from the same
+// ScratchStack, keeping the zero-steady-state-allocation invariant.
 #pragma once
 
 #include <cstdint>
@@ -63,25 +73,79 @@ class CompiledModel {
   /// Argmax of predict_proba_into (ties -> lowest label), allocation-free.
   int predict(std::span<const double> x) const;
 
+  /// Doubles of thread-local scratch one eval_batch() call needs. Block
+  /// temporaries are fixed-width, so this is independent of n.
+  std::size_t batch_scratch_doubles() const noexcept { return batch_scratch_; }
+
+  /// Batched predict_proba_into over `n` row-major samples: sample i reads
+  /// x[i * x_stride .. +feature_count()) and writes
+  /// out[i * out_stride .. +class_count()). Output row i is bit-identical
+  /// to predict_proba_into on row i for every SMART2_SIMD mode.
+  void predict_proba_batch_into(const double* x, std::size_t n,
+                                std::size_t x_stride, double* out,
+                                std::size_t out_stride) const;
+
   /// Raw evaluation into `out` with caller-provided scratch of at least
   /// scratch_doubles() doubles. Public so ensemble lowerings can drive
   /// member models with partitions of their own scratch block.
   virtual void eval(std::span<const double> x, std::span<double> out,
                     double* scratch) const = 0;
 
+  /// Raw batch evaluation with caller-provided scratch of at least
+  /// batch_scratch_doubles() doubles. The base implementation loops eval()
+  /// per row; SIMD lowerings override it with lane-parallel kernels that
+  /// fall back to the same loop when simd::scalar_forced().
+  virtual void eval_batch(const double* x, std::size_t n,
+                          std::size_t x_stride, double* out,
+                          std::size_t out_stride, double* scratch) const;
+
  protected:
   CompiledModel(std::size_t classes, std::size_t features, std::size_t scratch)
-      : classes_(classes), features_(features), scratch_(scratch) {}
+      : classes_(classes),
+        features_(features),
+        scratch_(scratch),
+        batch_scratch_(scratch) {}
+
+  /// Per-row eval() over [begin, n) — the scalar tail every batch kernel
+  /// shares with the scalar-forced mode.
+  void eval_rows(const double* x, std::size_t begin, std::size_t n,
+                 std::size_t x_stride, double* out, std::size_t out_stride,
+                 double* scratch) const;
+
+  void set_batch_scratch(std::size_t n) noexcept { batch_scratch_ = n; }
 
   std::size_t classes_;
   std::size_t features_;
   std::size_t scratch_;
+  std::size_t batch_scratch_;
 };
+
+/// Dispatch knob for FlatTree's lockstep batch kernel. Default off: on
+/// AVX2 the lockstep descent measures 0.15-0.28x the per-row loop across
+/// 63..262143-node trees (the row loop's independent descents already
+/// overlap through out-of-order execution on ~5-cycle L1 loads, while
+/// lockstep serializes on ~15-cycle vgatherdpd chains and must walk to the
+/// deepest lane's depth). The kernel stays available — SMART2_TREE_LOCKSTEP=1
+/// or set_tree_lockstep(true) routes tree batches through it — because the
+/// crossover is a microarchitecture property, not an algorithmic one, and
+/// simd_test pins its bit-identity either way.
+bool tree_lockstep_enabled() noexcept;
+void set_tree_lockstep(bool on) noexcept;
 
 /// Decision tree flattened into SoA node arrays. Internal node i splits on
 /// feature_[i] at threshold_[i]; left_[i]/right_[i] are child node indices.
 /// A leaf stores `-1 - slot` in left_[i], where slot indexes its
 /// distribution at leaf_proba_[slot * class_count()].
+///
+/// For the batch kernel the constructor additionally builds a *levelized*
+/// descent table: nodes renumbered breadth-first (one level's nodes are
+/// contiguous, so lockstep descent gathers stay cache-local near the
+/// root), all fields in the double domain, and leaves turned into
+/// self-loops (left = right = self). simd::kLanes samples descend in
+/// lockstep with masked blend-selects; a lane parked on a leaf keeps
+/// re-selecting itself until every lane has parked. eval_batch() routes
+/// through the lockstep kernel only when tree_lockstep_enabled() — see the
+/// knob's comment for the measured dispatch rationale.
 class FlatTree final : public CompiledModel {
  public:
   FlatTree(std::size_t classes, std::size_t features,
@@ -91,6 +155,9 @@ class FlatTree final : public CompiledModel {
 
   void eval(std::span<const double> x, std::span<double> out,
             double* scratch) const override;
+  void eval_batch(const double* x, std::size_t n, std::size_t x_stride,
+                  double* out, std::size_t out_stride,
+                  double* scratch) const override;
 
   std::size_t node_count() const noexcept { return feature_.size(); }
 
@@ -100,6 +167,15 @@ class FlatTree final : public CompiledModel {
   std::vector<std::int32_t> left_;
   std::vector<std::int32_t> right_;
   std::vector<double> leaf_proba_;  // one k-stride row per leaf slot
+
+  // Levelized (BFS-numbered) lockstep descent tables; see class comment.
+  // Leaves: desc_feature_ = 0 (a harmless gather), children = self, and
+  // desc_leaf_slot_ holds the leaf_proba_ row.
+  std::vector<double> desc_feature_;
+  std::vector<double> desc_threshold_;
+  std::vector<double> desc_left_;
+  std::vector<double> desc_right_;
+  std::vector<std::uint32_t> desc_leaf_slot_;
 };
 
 /// JRip rule list lowered to an SoA predicate table in interval form. Rule
@@ -128,6 +204,9 @@ class FlatRuleList final : public CompiledModel {
 
   void eval(std::span<const double> x, std::span<double> out,
             double* scratch) const override;
+  void eval_batch(const double* x, std::size_t n, std::size_t x_stride,
+                  double* out, std::size_t out_stride,
+                  double* scratch) const override;
 
  private:
   std::vector<std::uint32_t> pred_feature_;
@@ -180,6 +259,9 @@ class DenseLinear final : public CompiledModel {
 
   void eval(std::span<const double> x, std::span<double> out,
             double* scratch) const override;
+  void eval_batch(const double* x, std::size_t n, std::size_t x_stride,
+                  double* out, std::size_t out_stride,
+                  double* scratch) const override;
 
  private:
   std::size_t stride_;
@@ -199,6 +281,9 @@ class DenseMlp final : public CompiledModel {
 
   void eval(std::span<const double> x, std::span<double> out,
             double* scratch) const override;
+  void eval_batch(const double* x, std::size_t n, std::size_t x_stride,
+                  double* out, std::size_t out_stride,
+                  double* scratch) const override;
 
  private:
   std::size_t hidden_;
@@ -221,6 +306,9 @@ class CompiledVote final : public CompiledModel {
 
   void eval(std::span<const double> x, std::span<double> out,
             double* scratch) const override;
+  void eval_batch(const double* x, std::size_t n, std::size_t x_stride,
+                  double* out, std::size_t out_stride,
+                  double* scratch) const override;
 
  private:
   std::vector<std::unique_ptr<CompiledModel>> members_;
@@ -236,6 +324,9 @@ class CompiledAverage final : public CompiledModel {
 
   void eval(std::span<const double> x, std::span<double> out,
             double* scratch) const override;
+  void eval_batch(const double* x, std::size_t n, std::size_t x_stride,
+                  double* out, std::size_t out_stride,
+                  double* scratch) const override;
 
  private:
   std::vector<std::unique_ptr<CompiledModel>> members_;

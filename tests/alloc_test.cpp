@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/arena.hpp"
+#include "common/parallel.hpp"
 #include "core/online_detector.hpp"
 #include "core/two_stage.hpp"
 #include "hpc/dataset_cache.hpp"
@@ -152,6 +153,40 @@ TEST(AllocTest, DetectSteadyStateIsAllocationFree) {
     if (hmd.detect(small_dataset().features(i)).is_malware) ++malware;
   EXPECT_EQ(allocation_count(), before) << "detect() allocated on the hot path";
   EXPECT_GT(malware, 0u);  // the loop exercised the stage-2 branch
+}
+
+TEST(AllocTest, PredictBatchSteadyStateIsAllocationFree) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+  ASSERT_TRUE(hmd.compiled());
+
+  // Cyclic-extend past several kDetectEpoch blocks so the measured loop
+  // crosses epoch boundaries and stage-2 sub-batches.
+  Dataset big(small_dataset().feature_names(), small_dataset().class_names());
+  const std::size_t target = 2 * TwoStageHmd::kDetectEpoch + 37;
+  big.reserve(target);
+  for (std::size_t i = 0; i < target; ++i) {
+    const std::size_t src = i % small_dataset().size();
+    big.add(small_dataset().features(src), small_dataset().label(src));
+  }
+  std::vector<Detection> out(big.size());
+
+  // Serial epochs (the pool fan-out builds per-call task state); warm once.
+  parallel::set_thread_count(1);
+  hmd.predict_batch_into(big, out);
+
+  const std::uint64_t before = allocation_count();
+  for (int iter = 0; iter < 10; ++iter) hmd.predict_batch_into(big, out);
+  EXPECT_EQ(allocation_count(), before)
+      << "predict_batch_into allocated on the warm batch path";
+  parallel::set_thread_count(0);
+
+  std::size_t malware = 0;
+  for (const Detection& det : out)
+    if (det.is_malware) ++malware;
+  EXPECT_GT(malware, 0u);  // the loop exercised the stage-2 batch branch
 }
 
 TEST(AllocTest, OnlineObserveSteadyStateIsAllocationFree) {

@@ -214,8 +214,49 @@ TEST(ObsParallelTest, TwoStagePipelineTraceIsThreadCountIndependent) {
   parallel::set_thread_count(0);
   EXPECT_EQ(serial, four);
   EXPECT_NE(serial.find("\"name\": \"two_stage.train\""), std::string::npos);
-  EXPECT_NE(serial.find("\"name\": \"stage1.mlr.predict_compiled\""),
+  // predict_batch runs the epoch-batched SIMD path on a compiled pipeline.
+  EXPECT_NE(serial.find("\"name\": \"stage1.mlr.predict_simd\""),
             std::string::npos);
+}
+
+TEST(ObsParallelTest, BatchDetectTraceIsThreadCountIndependent) {
+  (void)small_dataset();  // profile before tracing
+  const ObsGuard guard(/*trace=*/true, /*metrics=*/true);
+
+  TwoStageConfig cfg;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+
+  // Cyclic-extend the profiled rows past several kDetectEpoch blocks so the
+  // batched path actually fans epochs across the pool.
+  Dataset big(small_dataset().feature_names(), small_dataset().class_names());
+  const std::size_t target = 3 * TwoStageHmd::kDetectEpoch + 17;
+  big.reserve(target);
+  for (std::size_t i = 0; i < target; ++i) {
+    const std::size_t src = i % small_dataset().size();
+    big.add(small_dataset().features(src), small_dataset().label(src));
+  }
+  const std::size_t epochs =
+      (big.size() + TwoStageHmd::kDetectEpoch - 1) / TwoStageHmd::kDetectEpoch;
+
+  const auto run = [&] {
+    obs::reset();
+    (void)hmd.predict_batch(big);
+    return obs::strip_volatile(obs::trace_to_json());
+  };
+
+  parallel::set_thread_count(1);
+  const std::string serial = run();
+  parallel::set_thread_count(2);
+  const std::string two = run();
+  parallel::set_thread_count(4);
+  const std::string four = run();
+  parallel::set_thread_count(0);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, four);
+  // One stage-1 batch span per epoch, merged in epoch order.
+  EXPECT_EQ(count_spans(serial, "stage1.mlr.predict_simd"), epochs);
 }
 
 // ---------------------------------------------- stage-2 span regression --
@@ -229,8 +270,12 @@ TEST(ObsTwoStageTest, OneStage2SpanPerNonBenignStage1Verdict) {
   TwoStageHmd hmd(cfg);
   hmd.train(small_dataset());
 
-  obs::reset();  // drop the training spans; audit only the batch
-  const auto detections = hmd.predict_batch(small_dataset());
+  obs::reset();  // drop the training spans; audit only the detect loop
+  // Per-sample detect() so each stage-2 dispatch opens its own span (the
+  // batched predict_batch path amortizes spans per epoch instead).
+  std::vector<Detection> detections;
+  for (std::size_t i = 0; i < small_dataset().size(); ++i)
+    detections.push_back(hmd.detect(small_dataset().features(i)));
   ASSERT_EQ(detections.size(), small_dataset().size());
 
   // Recompute the expected routing from the model itself: a stage-2 span

@@ -1,0 +1,467 @@
+// Tests for smart2::simd and the eval_batch kernels built on it.
+//
+// Two layers: (1) the portable VecD wrappers must equal the scalar IEEE-754
+// operation lane by lane (including NaN compare semantics and the bit
+// layout of masks); (2) predict_proba_batch_into must be bit-identical to
+// the per-sample predict_proba_into for every compiled model, at every
+// batch size that exercises a remainder tail, in both the native-ISA and
+// the runtime-forced scalar mode, through special values (NaN / ±inf) and
+// through serialize -> load -> compile round trips.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/simd.hpp"
+#include "data/dataset.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/compiled.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+#include "ml/serialize.hpp"
+
+namespace smart2 {
+namespace {
+
+/// Restore the runtime SIMD mode (which the env may have forced) on exit.
+class ScalarModeGuard {
+ public:
+  ScalarModeGuard() : saved_(simd::scalar_forced()) {}
+  ~ScalarModeGuard() { simd::force_scalar(saved_); }
+
+  ScalarModeGuard(const ScalarModeGuard&) = delete;
+  ScalarModeGuard& operator=(const ScalarModeGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+/// Route FlatTree batches through the lockstep kernel for the guarded
+/// scope (default dispatch picks the per-row loop; see compiled.hpp).
+class TreeLockstepGuard {
+ public:
+  TreeLockstepGuard() : saved_(compiled::tree_lockstep_enabled()) {
+    compiled::set_tree_lockstep(true);
+  }
+  ~TreeLockstepGuard() { compiled::set_tree_lockstep(saved_); }
+
+  TreeLockstepGuard(const TreeLockstepGuard&) = delete;
+  TreeLockstepGuard& operator=(const TreeLockstepGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+// ------------------------------------------------------ wrapper lane ops --
+
+/// Lane inputs covering signs, magnitudes, denormals, and exact zero.
+const double kLaneA[4] = {1.5, -2.25, 5e-324, 0.0};
+const double kLaneB[4] = {-0.5, 3.75, 1e308, -0.0};
+
+TEST(SimdWrapperTest, ArithmeticMatchesScalarLanewise) {
+  const simd::VecD a = simd::vload(kLaneA);
+  const simd::VecD b = simd::vload(kLaneB);
+  double add[simd::kLanes], sub[simd::kLanes];
+  double mul[simd::kLanes], div[simd::kLanes];
+  simd::vstore(add, simd::vadd(a, b));
+  simd::vstore(sub, simd::vsub(a, b));
+  simd::vstore(mul, simd::vmul(a, b));
+  simd::vstore(div, simd::vdiv(a, b));
+  for (std::size_t l = 0; l < simd::kLanes; ++l) {
+    EXPECT_EQ(bits(add[l]), bits(kLaneA[l] + kLaneB[l])) << "lane " << l;
+    EXPECT_EQ(bits(sub[l]), bits(kLaneA[l] - kLaneB[l])) << "lane " << l;
+    EXPECT_EQ(bits(mul[l]), bits(kLaneA[l] * kLaneB[l])) << "lane " << l;
+    EXPECT_EQ(bits(div[l]), bits(kLaneA[l] / kLaneB[l])) << "lane " << l;
+  }
+}
+
+TEST(SimdWrapperTest, BroadcastAndZeroFillEveryLane) {
+  double bc[simd::kLanes], z[simd::kLanes];
+  simd::vstore(bc, simd::vbroadcast(-7.5));
+  simd::vstore(z, simd::vzero());
+  for (std::size_t l = 0; l < simd::kLanes; ++l) {
+    EXPECT_EQ(bits(bc[l]), bits(-7.5));
+    EXPECT_EQ(bits(z[l]), bits(0.0));
+  }
+}
+
+TEST(SimdWrapperTest, ComparesProduceAllOnesOrAllZeroMasks) {
+  const simd::VecD a = simd::vload(kLaneA);
+  const simd::VecD b = simd::vload(kLaneB);
+  double le[simd::kLanes], ge[simd::kLanes], eq[simd::kLanes];
+  simd::vstore(le, simd::vle(a, b));
+  simd::vstore(ge, simd::vge(a, b));
+  simd::vstore(eq, simd::veq(a, a));
+  const std::uint64_t ones = ~std::uint64_t{0};
+  for (std::size_t l = 0; l < simd::kLanes; ++l) {
+    EXPECT_EQ(bits(le[l]), kLaneA[l] <= kLaneB[l] ? ones : 0u) << "lane " << l;
+    EXPECT_EQ(bits(ge[l]), kLaneA[l] >= kLaneB[l] ? ones : 0u) << "lane " << l;
+    EXPECT_EQ(bits(eq[l]), ones);
+  }
+}
+
+TEST(SimdWrapperTest, ComparesAreFalseForNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const simd::VecD a = simd::vbroadcast(nan);
+  const simd::VecD b = simd::vbroadcast(1.0);
+  double le[simd::kLanes], ge[simd::kLanes], eq[simd::kLanes];
+  simd::vstore(le, simd::vle(a, b));
+  simd::vstore(ge, simd::vge(a, b));
+  simd::vstore(eq, simd::veq(a, a));
+  for (std::size_t l = 0; l < simd::kLanes; ++l) {
+    EXPECT_EQ(bits(le[l]), 0u);  // NaN <= x is false, like the scalar op
+    EXPECT_EQ(bits(ge[l]), 0u);
+    EXPECT_EQ(bits(eq[l]), 0u);  // NaN != NaN
+  }
+}
+
+TEST(SimdWrapperTest, MaskLogicAndBlendSelectLanes) {
+  const simd::VecD a = simd::vload(kLaneA);
+  const simd::VecD b = simd::vload(kLaneB);
+  const simd::VecD mask = simd::vle(a, b);  // lane-dependent mask
+  double blend[simd::kLanes];
+  simd::vstore(blend, simd::vblend(mask, a, b));
+  for (std::size_t l = 0; l < simd::kLanes; ++l)
+    EXPECT_EQ(bits(blend[l]),
+              kLaneA[l] <= kLaneB[l] ? bits(kLaneA[l]) : bits(kLaneB[l]))
+        << "lane " << l;
+
+  const std::uint64_t ones = ~std::uint64_t{0};
+  double band[simd::kLanes], bor[simd::kLanes], bandnot[simd::kLanes];
+  const simd::VecD all = simd::veq(a, a);
+  simd::vstore(band, simd::vand(mask, all));
+  simd::vstore(bor, simd::vor(mask, all));
+  simd::vstore(bandnot, simd::vandnot(mask, all));
+  for (std::size_t l = 0; l < simd::kLanes; ++l) {
+    const std::uint64_t m = kLaneA[l] <= kLaneB[l] ? ones : 0u;
+    EXPECT_EQ(bits(band[l]), m);
+    EXPECT_EQ(bits(bor[l]), ones);
+    EXPECT_EQ(bits(bandnot[l]), ~m);
+  }
+}
+
+TEST(SimdWrapperTest, MovemaskAllAnyReflectLaneMasks) {
+  const simd::VecD a = simd::vload(kLaneA);
+  const simd::VecD all = simd::veq(a, a);
+  const simd::VecD none = simd::vzero();
+  EXPECT_EQ(simd::vmovemask(all),
+            (1 << simd::kLanes) - 1);
+  EXPECT_EQ(simd::vmovemask(none), 0);
+  EXPECT_TRUE(simd::vall(all));
+  EXPECT_TRUE(simd::vany(all));
+  EXPECT_FALSE(simd::vall(none));
+  EXPECT_FALSE(simd::vany(none));
+
+  const simd::VecD mixed = simd::vle(a, simd::vload(kLaneB));
+  int expected = 0;
+  for (std::size_t l = 0; l < simd::kLanes; ++l)
+    if (kLaneA[l] <= kLaneB[l]) expected |= 1 << l;
+  EXPECT_EQ(simd::vmovemask(mixed), expected);
+}
+
+TEST(SimdWrapperTest, GatherReadsDoubleDomainIndices) {
+  const double table[8] = {10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0};
+  double idx[simd::kLanes];
+  for (std::size_t l = 0; l < simd::kLanes; ++l)
+    idx[l] = static_cast<double>((3 * l + 1) % 8);
+  double got[simd::kLanes];
+  simd::vstore(got, simd::vgather(table, simd::vload(idx)));
+  for (std::size_t l = 0; l < simd::kLanes; ++l)
+    EXPECT_EQ(bits(got[l]), bits(table[(3 * l + 1) % 8])) << "lane " << l;
+}
+
+TEST(SimdWrapperTest, RowOffsetsAreLaneTimesStride) {
+  double off[simd::kLanes];
+  simd::vstore(off, simd::vrow_offsets(16.0));
+  for (std::size_t l = 0; l < simd::kLanes; ++l)
+    EXPECT_EQ(bits(off[l]), bits(static_cast<double>(l) * 16.0));
+}
+
+// ----------------------------------------------------- runtime override --
+
+TEST(SimdModeTest, ForceScalarSwitchesActiveLanesAndIsa) {
+  const ScalarModeGuard guard;
+  simd::force_scalar(true);
+  EXPECT_TRUE(simd::scalar_forced());
+  EXPECT_EQ(simd::active_lanes(), 1u);
+  EXPECT_STREQ(simd::active_isa(), "scalar");
+  simd::force_scalar(false);
+  EXPECT_FALSE(simd::scalar_forced());
+  EXPECT_EQ(simd::active_lanes(), simd::kLanes);
+  EXPECT_STREQ(simd::active_isa(), simd::kIsa);
+}
+
+// ------------------------------------------------- batch kernel oracle --
+
+/// Two-class Gaussian blobs, linearly separable up to `noise`.
+Dataset make_blobs(std::size_t n_per_class, double separation, double noise,
+                   std::uint64_t seed, std::size_t dims = 5) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < dims; ++f)
+    names.push_back("f" + std::to_string(f));
+  Dataset d(std::move(names), {"neg", "pos"});
+  Rng rng(seed);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 2; ++cls) {
+      const double center = cls == 0 ? 0.0 : separation;
+      for (std::size_t f = 0; f < dims; ++f)
+        x[f] = rng.gaussian(f == 0 ? center : 0.0, f == 0 ? noise : 1.0);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+/// A 3-class dataset separable along feature 0 (k > 2 batch lowering).
+Dataset make_three_class(std::size_t n_per_class, std::uint64_t seed) {
+  Dataset d({"f0", "f1", "f2"}, {"a", "b", "c"});
+  Rng rng(seed);
+  std::vector<double> x(3);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 3; ++cls) {
+      x[0] = rng.gaussian(cls * 4.0, 0.7);
+      x[1] = rng.gaussian(0.0, 1.0);
+      x[2] = rng.gaussian(0.0, 2.0);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+/// Sprinkle NaN / ±inf over the test rows so tree descent, rule predicates,
+/// and the dense standardize/GEMM paths all see special values.
+Dataset with_specials(Dataset d) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> row(d.feature_count());
+  for (std::size_t i = 0; i < d.size(); i += 7) {
+    for (std::size_t f = 0; f < d.feature_count(); ++f)
+      row[f] = d.features(i)[f];
+    row[i % d.feature_count()] = (i % 3 == 0) ? nan : (i % 3 == 1 ? inf : -inf);
+    d.add(row, d.label(i));
+  }
+  return d;
+}
+
+/// The batch contract: every prefix size 1..33 (covering 4-lane and 2-lane
+/// remainder tails) of predict_proba_batch_into is bit-identical to the
+/// per-sample predict_proba_into rows, in native and forced-scalar mode,
+/// and rows beyond class_count() in a padded output stride stay untouched.
+void expect_batch_matches(const Classifier& c, const Dataset& test) {
+  const ScalarModeGuard guard;
+  const auto lowered = compiled::compile(c);
+  ASSERT_NE(lowered, nullptr);
+  const std::size_t k = lowered->class_count();
+  const std::size_t stride = test.feature_count();
+  const double* x = test.features(0).data();  // rows are contiguous
+
+  std::vector<double> ref(test.size() * k);
+  for (std::size_t i = 0; i < test.size(); ++i)
+    lowered->predict_proba_into(test.features(i), {ref.data() + i * k, k});
+
+  for (const bool scalar_mode : {false, true}) {
+    simd::force_scalar(scalar_mode);
+    const std::size_t max_n = std::min<std::size_t>(33, test.size());
+    for (std::size_t n = 1; n <= max_n; ++n) {
+      std::vector<double> out(n * k, -1.0);
+      lowered->predict_proba_batch_into(x, n, stride, out.data(), k);
+      for (std::size_t i = 0; i < n * k; ++i)
+        ASSERT_EQ(bits(out[i]), bits(ref[i]))
+            << (scalar_mode ? "scalar" : "native") << " n=" << n
+            << " element " << i;
+    }
+
+    // Whole set in one call, through a padded output stride.
+    const std::size_t out_stride = k + 3;
+    std::vector<double> out(test.size() * out_stride, -1.0);
+    lowered->predict_proba_batch_into(x, test.size(), stride, out.data(),
+                                      out_stride);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      for (std::size_t j = 0; j < k; ++j)
+        ASSERT_EQ(bits(out[i * out_stride + j]), bits(ref[i * k + j]))
+            << "row " << i;
+      for (std::size_t j = k; j < out_stride; ++j)
+        ASSERT_EQ(out[i * out_stride + j], -1.0) << "padding clobbered";
+    }
+
+    // n = 0 is a no-op.
+    lowered->predict_proba_batch_into(x, 0, stride, out.data(), out_stride);
+  }
+}
+
+/// serialize -> load -> compile -> batch must match the original too.
+void expect_roundtrip_batch_matches(const Classifier& c, const Dataset& test) {
+  std::stringstream stream;
+  serialize_classifier(c, stream);
+  const auto restored = deserialize_classifier(stream);
+  ASSERT_NE(restored, nullptr);
+  expect_batch_matches(*restored, test);
+}
+
+TEST(SimdBatchTest, DecisionTreeLockstepDescent) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 111);
+  const Dataset test = with_specials(make_blobs(40, 3.0, 1.2, 112));
+  DecisionTree c;
+  c.fit(train);
+  expect_batch_matches(c, test);  // default dispatch: per-row loop
+  const TreeLockstepGuard lockstep;
+  expect_batch_matches(c, test);
+  expect_roundtrip_batch_matches(c, test);
+}
+
+TEST(SimdBatchTest, DecisionTreeThreeClass) {
+  const Dataset train = make_three_class(50, 121);
+  const Dataset test = make_three_class(30, 122);
+  DecisionTree c;
+  c.fit(train);
+  expect_batch_matches(c, test);
+  const TreeLockstepGuard lockstep;
+  expect_batch_matches(c, test);
+}
+
+/// Deep synthetic FlatTree: lanes diverge immediately and park at very
+/// different depths, so the self-loop blend logic runs for many levels
+/// with a mix of parked and descending lanes. Built directly (random
+/// splits over the node frontier) because trained trees on small corpora
+/// stay shallow.
+TEST(SimdBatchTest, DeepSyntheticTreeLockstepMatchesEval) {
+  constexpr std::size_t kFeatures = 7;
+  constexpr std::size_t kClasses = 3;
+  Rng rng(201);
+  std::vector<std::uint32_t> feature{0};
+  std::vector<double> threshold{0.0};
+  std::vector<std::int32_t> left{-1};
+  std::vector<std::int32_t> right{-1};
+  std::vector<std::size_t> frontier{0};
+  while (feature.size() + 2 <= 2047 && !frontier.empty()) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.uniform_index(frontier.size()));
+    const std::size_t node = frontier[pick];
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+    feature[node] = static_cast<std::uint32_t>(rng.uniform_index(kFeatures));
+    threshold[node] = rng.uniform();
+    left[node] = static_cast<std::int32_t>(feature.size());
+    right[node] = static_cast<std::int32_t>(feature.size() + 1);
+    for (int child = 0; child < 2; ++child) {
+      frontier.push_back(feature.size());
+      feature.push_back(0);
+      threshold.push_back(0.0);
+      left.push_back(-1);
+      right.push_back(-1);
+    }
+  }
+  std::size_t slot = 0;
+  std::vector<double> proba;
+  for (std::size_t q = 0; q < feature.size(); ++q) {
+    if (left[q] >= 0) continue;
+    left[q] = right[q] = static_cast<std::int32_t>(-1 - slot);
+    for (std::size_t c = 0; c < kClasses; ++c)
+      proba.push_back(c == slot % kClasses ? 1.0 : 0.0);
+    ++slot;
+  }
+  const compiled::FlatTree tree(kClasses, kFeatures, std::move(feature),
+                                std::move(threshold), std::move(left),
+                                std::move(right), std::move(proba));
+
+  constexpr std::size_t kRows = 37;  // remainder tail at every lane width
+  std::vector<double> x(kRows * kFeatures);
+  for (auto& v : x) v = rng.uniform();
+  std::vector<double> ref(kRows * kClasses);
+  for (std::size_t i = 0; i < kRows; ++i)
+    tree.predict_proba_into({x.data() + i * kFeatures, kFeatures},
+                            {ref.data() + i * kClasses, kClasses});
+
+  const ScalarModeGuard guard;
+  const TreeLockstepGuard lockstep;
+  for (const bool scalar_mode : {false, true}) {
+    simd::force_scalar(scalar_mode);
+    std::vector<double> out(kRows * kClasses, -1.0);
+    tree.predict_proba_batch_into(x.data(), kRows, kFeatures, out.data(),
+                                  kClasses);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(bits(out[i]), bits(ref[i]))
+          << (scalar_mode ? "scalar" : "native") << " element " << i;
+  }
+}
+
+TEST(SimdBatchTest, RipperLanewiseRules) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 131);
+  const Dataset test = with_specials(make_blobs(40, 3.0, 1.2, 132));
+  Ripper c;
+  c.fit(train);
+  expect_batch_matches(c, test);
+  expect_roundtrip_batch_matches(c, test);
+}
+
+TEST(SimdBatchTest, OneRSingleFeatureRules) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 141);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 142);
+  OneR c;
+  c.fit(train);
+  expect_batch_matches(c, test);
+}
+
+TEST(SimdBatchTest, NaiveBayesDefaultRowLoop) {
+  const Dataset train = make_three_class(50, 151);
+  const Dataset test = make_three_class(30, 152);
+  NaiveBayes c;
+  c.fit(train);
+  expect_batch_matches(c, test);
+}
+
+TEST(SimdBatchTest, LogisticRegressionBlockedGemm) {
+  const Dataset train = make_three_class(50, 161);
+  const Dataset test = with_specials(make_three_class(30, 162));
+  LogisticRegression c;
+  c.fit(train);
+  expect_batch_matches(c, test);
+  expect_roundtrip_batch_matches(c, test);
+}
+
+TEST(SimdBatchTest, MlpTwoLayerBlockedGemm) {
+  // 5 features exercises both the 4-wide gemm row tile and its tail.
+  const Dataset train = make_blobs(60, 3.0, 1.0, 171);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 172);
+  Mlp::Params params;
+  params.epochs = 30;
+  Mlp c(params);
+  c.fit(train);
+  expect_batch_matches(c, test);
+  expect_roundtrip_batch_matches(c, test);
+}
+
+TEST(SimdBatchTest, AdaBoostOfOneRBlockedMembers) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 181);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 182);
+  AdaBoost c(std::make_unique<OneR>());
+  c.fit(train);
+  expect_batch_matches(c, test);
+}
+
+TEST(SimdBatchTest, BaggingOfTreesBlockedMembers) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 191);
+  const Dataset test = with_specials(make_blobs(40, 3.0, 1.2, 192));
+  Bagging c(std::make_unique<DecisionTree>());
+  c.fit(train);
+  expect_batch_matches(c, test);
+  expect_roundtrip_batch_matches(c, test);
+  const TreeLockstepGuard lockstep;
+  expect_batch_matches(c, test);
+}
+
+}  // namespace
+}  // namespace smart2

