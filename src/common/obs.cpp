@@ -48,6 +48,7 @@ struct GlobalState {
       std::chrono::steady_clock::now();
 };
 
+// SMART2_HOT
 GlobalState& state() {
   static GlobalState* g = new GlobalState;  // never destroyed: spans and
   return *g;  // atexit sinks may outlive static-destruction order
@@ -187,6 +188,7 @@ bool trace_enabled() noexcept {
   return state().trace.load(std::memory_order_relaxed);
 }
 
+// SMART2_HOT
 bool metrics_enabled() noexcept {
   return state().metrics.load(std::memory_order_relaxed);
 }
@@ -215,6 +217,10 @@ std::uint64_t now_ns() noexcept {
 
 // ------------------------------------------------------------ metrics
 
+// SMART2_COLD: reached from hot code only on rare edges (alarms, stage-2
+// dispatch); the registration slow path allocates by design and the
+// catalog pre-registration keeps steady-state lookups on the shared-lock
+// fast path.
 Counter& counter(const char* name) {
   ensure_init();
   GlobalState& g = state();

@@ -7,6 +7,13 @@
 
 namespace smart2::stats {
 
+// SMART2_HOT
+double sum(std::span<const double> v) noexcept {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
 double mean(std::span<const double> v) noexcept {
   if (v.empty()) return 0.0;
   double acc = 0.0;

@@ -7,6 +7,13 @@
 
 namespace smart2::stats {
 
+/// Fixed-order (left-to-right) sum: the sanctioned scalar reducer. Code
+/// outside this file and the SIMD kernels must not spell its own
+/// std::accumulate over doubles — the library owns that association
+/// order, so sums would drift from the pinned-order kernels by last-bit
+/// differences (enforced by smart2-float-order in tools/smart2_lint).
+double sum(std::span<const double> v) noexcept;
+
 double mean(std::span<const double> v) noexcept;
 
 /// Unbiased sample variance; returns 0 for fewer than two elements.

@@ -173,6 +173,7 @@ void OnlineDetectorBank::observe_epoch(
         scores[i], kMalwareClasses[suspected_of[i]]);
 }
 
+// SMART2_HOT
 std::vector<OnlineDetector::WindowVerdict> OnlineDetectorBank::observe_batch(
     std::span<const std::vector<double>> windows) {
   if (windows.size() != streams_.size())

@@ -50,6 +50,7 @@ TwoStageHmd::TwoStageHmd(TwoStageConfig config) : config_(std::move(config)) {
     throw std::invalid_argument("TwoStageHmd: bad selection holdout");
 }
 
+// SMART2_HOT
 std::size_t TwoStageHmd::malware_slot(AppClass c) const {
   for (std::size_t m = 0; m < kNumMalwareClasses; ++m)
     if (kMalwareClasses[m] == c) return m;
@@ -329,6 +330,9 @@ Detection TwoStageHmd::detect(std::span<const double> features44) const {
   return out;
 }
 
+// SMART2_COLD: per-sample fallback when no compiled plan exists; it
+// allocates per call by design, and detect() never reaches it in the
+// compiled steady state the allocation lint guards.
 Detection TwoStageHmd::detect_interpreted(
     std::span<const double> features44) const {
   if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
@@ -471,6 +475,7 @@ void TwoStageHmd::detect_epoch(const Dataset& samples, std::size_t begin,
   }
 }
 
+// SMART2_HOT
 void TwoStageHmd::predict_batch_into(const Dataset& samples,
                                      std::span<Detection> out) const {
   if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
@@ -501,6 +506,7 @@ void TwoStageHmd::predict_batch_into(const Dataset& samples,
   }
 }
 
+// SMART2_HOT
 std::vector<Detection> TwoStageHmd::predict_batch(const Dataset& samples) const {
   if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
   SMART2_SPAN("two_stage.predict_batch");

@@ -34,6 +34,7 @@ class Dataset {
   std::size_t feature_count() const noexcept { return feature_names_.size(); }
   std::size_t class_count() const noexcept { return class_names_.size(); }
 
+  // SMART2_HOT
   std::span<const double> features(std::size_t i) const noexcept {
     return {x_.data() + i * feature_count(), feature_count()};
   }

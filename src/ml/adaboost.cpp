@@ -11,6 +11,7 @@
 #include "common/arena.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/stats.hpp"
 #include "ml/serialize.hpp"
 #include "ml/train_view.hpp"
 
@@ -39,7 +40,7 @@ void AdaBoost::fit_weighted(const Dataset& train,
 
   // Boosting weights start from the caller's weights, normalized.
   std::vector<double> w(weights.begin(), weights.end());
-  double total = std::accumulate(w.begin(), w.end(), 0.0);
+  double total = stats::sum(w);
   if (total <= 0.0) throw std::invalid_argument("AdaBoost: zero total weight");
   for (double& x : w) x /= total;
 

@@ -24,6 +24,8 @@ void Classifier::fit_view(const TrainView& view,
   fit_weighted(sample, entry_weights);
 }
 
+// SMART2_COLD: allocating convenience wrapper; steady-state callers use
+// predict_proba_into with borrowed scratch.
 std::vector<double> Classifier::predict_proba(
     std::span<const double> x) const {
   std::vector<double> out(class_count());
@@ -59,6 +61,7 @@ void Classifier::restore_schema(std::size_t class_count,
   feature_count_ = feature_count;
 }
 
+// SMART2_HOT
 void Classifier::require_trained() const {
   if (!trained_)
     throw std::logic_error(name() + ": predict called before fit");

@@ -12,6 +12,7 @@
 #include "common/matrix.hpp"
 #include "common/obs.hpp"
 #include "common/simd.hpp"
+#include "common/stats.hpp"
 #include "ml/adaboost.hpp"
 #include "ml/bagging.hpp"
 #include "ml/decision_tree.hpp"
@@ -25,6 +26,7 @@ namespace smart2::compiled {
 
 namespace {
 
+// SMART2_HOT
 std::atomic<bool>& tree_lockstep_flag() noexcept {
   static std::atomic<bool> flag = [] {
     const char* env = std::getenv("SMART2_TREE_LOCKSTEP");
@@ -35,6 +37,7 @@ std::atomic<bool>& tree_lockstep_flag() noexcept {
 
 }  // namespace
 
+// SMART2_HOT
 bool tree_lockstep_enabled() noexcept {
   return tree_lockstep_flag().load(std::memory_order_relaxed);
 }
@@ -134,6 +137,7 @@ void CompiledModel::eval_rows(const double* x, std::size_t begin,
          scratch);
 }
 
+// SMART2_HOT
 void CompiledModel::eval_batch(const double* x, std::size_t n,
                                std::size_t x_stride, double* out,
                                std::size_t out_stride, double* scratch) const {
@@ -805,9 +809,7 @@ std::unique_ptr<CompiledModel> lower_tree(const DecisionTree& tree) {
         // Laplace smoothing precomputed with the exact expression the
         // interpreted DecisionTree::predict_proba_into evaluates.
         const double total =
-            std::accumulate(n->class_weight.begin(), n->class_weight.end(),
-                            0.0) +
-            static_cast<double>(k);
+            stats::sum(n->class_weight) + static_cast<double>(k);
         for (std::size_t c = 0; c < k; ++c)
           leaf_proba.push_back((n->class_weight[c] + 1.0) / total);
         left[static_cast<std::size_t>(idx)] = -1 - slot;
@@ -863,8 +865,7 @@ std::unique_ptr<CompiledModel> lower_oner(const OneR& oner) {
   std::vector<double> proba;
   for (const auto& b : oner.buckets()) {
     upper.push_back(b.upper);
-    const double total =
-        std::accumulate(b.class_weight.begin(), b.class_weight.end(), 0.0);
+    const double total = stats::sum(b.class_weight);
     if (total > 0.0) {
       for (std::size_t c = 0; c < k; ++c)
         proba.push_back(b.class_weight[c] / total);

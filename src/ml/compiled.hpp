@@ -57,6 +57,7 @@ class CompiledModel {
 
   /// Allocation-free probability prediction (steady state; the calling
   /// thread's ScratchStack grows on first use unless pre-warmed).
+  // SMART2_HOT
   void predict_proba_into(std::span<const double> x,
                           std::span<double> out) const {
     // The flat tree/rule/bucket/NB lowerings need no temporaries; skip the

@@ -13,6 +13,7 @@
 #include "common/arena.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/stats.hpp"
 #include "ml/train_view.hpp"
 
 namespace smart2 {
@@ -30,10 +31,6 @@ double weighted_entropy(const std::vector<double>& class_weight) {
     h -= p * std::log2(p);
   }
   return h;
-}
-
-double sum(const std::vector<double>& v) {
-  return std::accumulate(v.begin(), v.end(), 0.0);
 }
 
 }  // namespace
@@ -163,7 +160,7 @@ std::unique_ptr<DecisionTree::Node> DecisionTree::build(
   for (std::size_t i : rows)
     node->class_weight[static_cast<std::size_t>(d.label(i))] += weights[i];
 
-  const double total = sum(node->class_weight);
+  const double total = stats::sum(node->class_weight);
   const double majority =
       *std::max_element(node->class_weight.begin(), node->class_weight.end());
   const bool pure = majority >= total - 1e-12;
@@ -357,7 +354,7 @@ std::unique_ptr<DecisionTree::Node> DecisionTree::build_presorted(
     node->class_weight[static_cast<std::size_t>(p.lbl[e])] += p.weights[e];
   }
 
-  const double total = sum(node->class_weight);
+  const double total = stats::sum(node->class_weight);
   const double majority =
       *std::max_element(node->class_weight.begin(), node->class_weight.end());
   const bool pure = majority >= total - 1e-12;
@@ -548,7 +545,7 @@ std::unique_ptr<DecisionTree::Node> DecisionTree::build_presorted(
 }
 
 double DecisionTree::prune_node(Node& node) {
-  const double total = sum(node.class_weight);
+  const double total = stats::sum(node.class_weight);
   const double majority =
       *std::max_element(node.class_weight.begin(), node.class_weight.end());
   const double leaf_errors = total - majority;
@@ -579,7 +576,7 @@ void DecisionTree::predict_proba_into(std::span<const double> x,
     node = x[node->feature] <= node->threshold ? node->left.get()
                                                : node->right.get();
   // Laplace-smoothed leaf distribution.
-  const double total = sum(node->class_weight) +
+  const double total = stats::sum(node->class_weight) +
                        static_cast<double>(out.size());
   for (std::size_t c = 0; c < out.size(); ++c)
     out[c] = (node->class_weight[c] + 1.0) / total;

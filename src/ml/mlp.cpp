@@ -9,11 +9,13 @@
 
 #include "common/arena.hpp"
 #include "common/obs.hpp"
+#include "common/stats.hpp"
 
 namespace smart2 {
 
 namespace {
 
+// SMART2_HOT
 double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
 
 }  // namespace
@@ -51,9 +53,7 @@ void Mlp::fit_weighted(const Dataset& train,
   // Normalized sample weights (mean 1) so the learning rate is independent
   // of the weight scale AdaBoost hands us.
   std::vector<double> norm_w(weights.begin(), weights.end());
-  const double mean_w =
-      std::accumulate(norm_w.begin(), norm_w.end(), 0.0) /
-      static_cast<double>(n);
+  const double mean_w = stats::sum(norm_w) / static_cast<double>(n);
   if (mean_w <= 0.0) throw std::invalid_argument("Mlp: zero total weight");
   for (double& w : norm_w) w /= mean_w;
 

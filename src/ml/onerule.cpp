@@ -14,6 +14,7 @@
 #include "common/arena.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/stats.hpp"
 #include "ml/train_view.hpp"
 
 namespace smart2 {
@@ -80,8 +81,7 @@ void OneR::fit_weighted(const Dataset& train,
       }
     }
     // Flush the tail bucket (upper bound = +inf).
-    if (std::accumulate(cur.class_weight.begin(), cur.class_weight.end(),
-                        0.0) > 0.0) {
+    if (stats::sum(cur.class_weight) > 0.0) {
       cur.upper = std::numeric_limits<double>::infinity();
       cur.majority = argmax(cur.class_weight);
       buckets.push_back(std::move(cur));
@@ -105,8 +105,7 @@ void OneR::fit_weighted(const Dataset& train,
     // Training error of this feature's rule.
     double err = 0.0;
     for (const auto& b : merged) {
-      const double total = std::accumulate(b.class_weight.begin(),
-                                           b.class_weight.end(), 0.0);
+      const double total = stats::sum(b.class_weight);
       err += total - b.class_weight[static_cast<std::size_t>(b.majority)];
     }
     if (!merged.empty() && err < best_error) {
@@ -179,8 +178,7 @@ void OneR::fit_view_impl(const TrainView& view,
         cur.class_weight.assign(k, 0.0);
       }
     }
-    if (std::accumulate(cur.class_weight.begin(), cur.class_weight.end(),
-                        0.0) > 0.0) {
+    if (stats::sum(cur.class_weight) > 0.0) {
       cur.upper = std::numeric_limits<double>::infinity();
       cur.majority = argmax(cur.class_weight);
       buckets.push_back(std::move(cur));
@@ -199,8 +197,7 @@ void OneR::fit_view_impl(const TrainView& view,
       }
     }
     for (const auto& b : out.merged) {
-      const double total = std::accumulate(b.class_weight.begin(),
-                                           b.class_weight.end(), 0.0);
+      const double total = stats::sum(b.class_weight);
       out.err += total - b.class_weight[static_cast<std::size_t>(b.majority)];
     }
   };
@@ -245,8 +242,7 @@ void OneR::predict_proba_into(std::span<const double> x,
       break;
     }
   }
-  const double total = std::accumulate(hit->class_weight.begin(),
-                                       hit->class_weight.end(), 0.0);
+  const double total = stats::sum(hit->class_weight);
   if (total > 0.0) {
     for (std::size_t c = 0; c < out.size(); ++c)
       out[c] = hit->class_weight[c] / total;

@@ -13,6 +13,7 @@
 #include "common/arena.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/stats.hpp"
 #include "ml/train_view.hpp"
 
 namespace smart2 {
@@ -301,8 +302,7 @@ void Ripper::fit_weighted(const Dataset& train,
   });
   default_class_ = order.back();
   default_distribution_ = class_total;
-  const double total_weight =
-      std::accumulate(class_total.begin(), class_total.end(), 0.0);
+  const double total_weight = stats::sum(class_total);
   if (total_weight > 0.0)
     for (double& w : default_distribution_) w /= total_weight;
 

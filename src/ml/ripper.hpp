@@ -48,6 +48,7 @@ class Ripper final : public Classifier {
     int predicted = 0;
     std::vector<double> class_weight;   // training coverage distribution
 
+    // SMART2_HOT
     bool matches(std::span<const double> x) const noexcept {
       for (const auto& c : conditions)
         if (!c.matches(x)) return false;

@@ -86,6 +86,7 @@ class TrainView {
 
   std::size_t entry_count() const noexcept { return entries_; }
   std::size_t feature_count() const noexcept { return features_; }
+  // SMART2_HOT
   std::size_t class_count() const noexcept { return data_->class_count(); }
 
   /// Dataset row backing entry `e`.

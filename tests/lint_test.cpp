@@ -6,13 +6,20 @@
 // string-literal content.
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "smart2_lint/baseline.hpp"
+#include "smart2_lint/callgraph.hpp"
 #include "smart2_lint/diagnostics.hpp"
+#include "smart2_lint/project.hpp"
 #include "smart2_lint/rules.hpp"
 
 namespace smart2::lint {
@@ -21,6 +28,15 @@ namespace {
 std::vector<Finding> active(std::string_view path, std::string_view src) {
   std::vector<Finding> out;
   for (Finding& f : lint_text(path, src))
+    if (!f.suppressed) out.push_back(std::move(f));
+  return out;
+}
+
+/// Multi-file variant: per-file AND interprocedural rules, NOLINT applied.
+std::vector<Finding> active_files(
+    std::vector<std::pair<std::string, std::string>> files) {
+  std::vector<Finding> out;
+  for (Finding& f : lint_files(files))
     if (!f.suppressed) out.push_back(std::move(f));
   return out;
 }
@@ -405,7 +421,433 @@ int f() { return std::rand(); }
 )cpp";
   for (const Finding& f : lint_text("src/ml/x.cpp", bad))
     EXPECT_TRUE(is_known_rule(f.rule)) << f.rule;
-  EXPECT_EQ(rule_catalog().size(), 11u);
+  EXPECT_EQ(rule_catalog().size(), 16u);
+}
+
+// ------------------------------------------------------ float determinism
+
+TEST(LintFloatOrder, FlagsAccumulateOutsideSanctionedReducers) {
+  const std::string_view src = R"cpp(#include <numeric>
+double f(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+)cpp";
+  const auto in_ml = active("src/ml/x.cpp", src);
+  ASSERT_EQ(count_rule(in_ml, "smart2-float-order"), 1u);
+  EXPECT_EQ(in_ml[0].line, 3u);
+  // The sanctioned reducer implementations own their association order.
+  EXPECT_EQ(count_rule(active("src/common/stats.cpp", src),
+                       "smart2-float-order"),
+            0u);
+  EXPECT_EQ(count_rule(active("src/common/simd.cpp", src),
+                       "smart2-float-order"),
+            0u);
+  // Outside src/ there is no determinism obligation.
+  EXPECT_EQ(count_rule(active("tools/x.cpp", src), "smart2-float-order"), 0u);
+}
+
+TEST(LintFloatOrder, FlagsReduceAndLongDouble) {
+  const auto fs = active("src/ml/x.cpp", R"cpp(#include <numeric>
+double f(const std::vector<double>& v) {
+  long double acc = std::reduce(v.begin(), v.end());
+  return static_cast<double>(acc);
+}
+)cpp");
+  EXPECT_EQ(count_rule(fs, "smart2-float-order"), 2u);
+}
+
+TEST(LintFma, FlagsStdFmaInSrcOnly) {
+  const std::string_view src = R"cpp(#include <cmath>
+double f(double a, double b, double c) { return std::fma(a, b, c); }
+)cpp";
+  ASSERT_EQ(count_rule(active("src/ml/x.cpp", src), "smart2-fma"), 1u);
+  EXPECT_EQ(count_rule(active("bench/x.cpp", src), "smart2-fma"), 0u);
+}
+
+TEST(LintFma, IgnoresMembersNamedFma) {
+  const auto fs = active("src/ml/x.cpp",
+                         "double f(Kernel& k) { return k.fma(1, 2, 3); }\n");
+  EXPECT_EQ(count_rule(fs, "smart2-fma"), 0u);
+}
+
+// ------------------------------------------------------------ call graph
+
+TEST(CallGraph, HeaderDeclAndSourceDefShareOneNode) {
+  ProjectIndex index;
+  index.add("src/a.hpp", R"cpp(#pragma once
+namespace n {
+void f();
+}
+)cpp");
+  index.add("src/a.cpp", R"cpp(#include "a.hpp"
+namespace n {
+void g() {}
+void f() { g(); }
+}
+)cpp");
+  const CallGraph g = build_call_graph(index);
+  const std::size_t f = g.find("n::f");
+  const std::size_t gg = g.find("n::g");
+  ASSERT_LT(f, g.nodes.size());
+  ASSERT_LT(gg, g.nodes.size());
+  EXPECT_EQ(g.nodes[f].decls.size(), 1u);
+  EXPECT_EQ(g.nodes[f].defs.size(), 1u);
+  ASSERT_EQ(g.nodes[f].callees.size(), 1u);
+  EXPECT_EQ(g.nodes[f].callees[0], gg);
+}
+
+TEST(CallGraph, OverloadsShareOneNode) {
+  ProjectIndex index;
+  index.add("src/a.cpp", R"cpp(namespace n {
+void h() {}
+void f(int) { h(); }
+void f(double) {}
+}
+)cpp");
+  const CallGraph g = build_call_graph(index);
+  const std::size_t f = g.find("n::f");
+  ASSERT_LT(f, g.nodes.size());
+  EXPECT_EQ(g.nodes[f].defs.size(), 2u);
+}
+
+TEST(CallGraph, MethodsResolveThroughOutOfLineDefinitions) {
+  ProjectIndex index;
+  index.add("src/a.hpp", R"cpp(#pragma once
+namespace n {
+class C {
+ public:
+  void m();
+  int inline_m() { return 1; }
+};
+}
+)cpp");
+  index.add("src/a.cpp", R"cpp(namespace n {
+void C::m() { helper(); }
+void helper() {}
+}
+)cpp");
+  const CallGraph g = build_call_graph(index);
+  const std::size_t m = g.find("n::C::m");
+  ASSERT_LT(m, g.nodes.size());
+  EXPECT_EQ(g.nodes[m].decls.size(), 1u);
+  EXPECT_EQ(g.nodes[m].defs.size(), 1u);
+  EXPECT_LT(g.find("n::C::inline_m"), g.nodes.size());
+  ASSERT_EQ(g.nodes[m].callees.size(), 1u);
+  EXPECT_EQ(g.nodes[m].callees[0], g.find("n::helper"));
+}
+
+TEST(CallGraph, QualifierNarrowsOverloadSets) {
+  ProjectIndex index;
+  index.add("src/a.cpp", R"cpp(namespace a { void run() {} }
+namespace b { void run() {} }
+void f() { a::run(); }
+)cpp");
+  const CallGraph g = build_call_graph(index);
+  const std::size_t f = g.find("f");
+  ASSERT_LT(f, g.nodes.size());
+  ASSERT_EQ(g.nodes[f].callees.size(), 1u);
+  EXPECT_EQ(g.nodes[f].callees[0], g.find("a::run"));
+}
+
+TEST(CallGraph, NamedLambdaLocalsDoNotResolveToProjectFunctions) {
+  ProjectIndex index;
+  index.add("src/a.cpp", R"cpp(namespace n {
+void run() {}
+void f() {
+  auto run = [&](int e) { (void)e; };
+  run(3);
+}
+}
+)cpp");
+  const CallGraph g = build_call_graph(index);
+  const std::size_t f = g.find("n::f");
+  ASSERT_LT(f, g.nodes.size());
+  EXPECT_TRUE(g.nodes[f].callees.empty());
+}
+
+// ------------------------------------------------- interprocedural rules
+
+TEST(LintHotClosure, UnmarkedCalleeOfHotRootIsFlaggedWithFixit) {
+  // `detect` is a hot root by name; nothing carries a marker. The root and
+  // helper are flagged unmarked; deep is a trivial leaf (growth call only)
+  // so it owes no marker, but its allocation is still caught below.
+  const auto fs = active_files({{"src/core/x.cpp", R"cpp(namespace n {
+void deep(std::vector<int>& v) { v.push_back(1); }
+void helper(std::vector<int>& v) { deep(v); }
+bool detect(std::vector<int>& v) { helper(v); return true; }
+}
+)cpp"}});
+  ASSERT_EQ(count_rule(fs, "smart2-hot-unmarked"), 2u);
+  EXPECT_EQ(count_rule(fs, "smart2-hot-callee-alloc"), 1u);
+  for (const Finding& f : fs) {
+    if (f.rule != "smart2-hot-unmarked") continue;
+    EXPECT_NE(f.fixit.find("insert `// SMART2_HOT`"), std::string::npos)
+        << f.fixit;
+  }
+}
+
+TEST(LintHotClosure, MarkersSilenceUnmarkedAndPerFileRuleTakesOver) {
+  const auto fs = active_files({{"src/core/x.cpp", R"cpp(namespace n {
+// SMART2_HOT
+void deep(std::vector<int>& v) { v.push_back(1); }
+// SMART2_HOT
+void helper(std::vector<int>& v) { deep(v); }
+// SMART2_HOT
+bool detect(std::vector<int>& v) { helper(v); return true; }
+}
+)cpp"}});
+  EXPECT_EQ(count_rule(fs, "smart2-hot-unmarked"), 0u);
+  EXPECT_EQ(count_rule(fs, "smart2-hot-callee-alloc"), 0u);
+  // The marked callee's allocation is now the per-file rule's business.
+  ASSERT_EQ(count_rule(fs, "smart2-hot-path-alloc"), 1u);
+}
+
+TEST(LintHotClosure, AllocationInIndirectCalleeIsFlagged) {
+  // Two hops from the hot root, across files, without any marker.
+  const auto fs = active_files(
+      {{"src/core/x.cpp", R"cpp(#include "y.hpp"
+namespace n {
+bool detect(int k) { return helper(k) != nullptr; }
+}
+)cpp"},
+       {"src/core/y.cpp", R"cpp(namespace n {
+int* deep(int k) { return new int(k); }
+int* helper(int k) { return deep(k); }
+}
+)cpp"}});
+  const auto alloc = count_rule(fs, "smart2-hot-callee-alloc");
+  ASSERT_EQ(alloc, 1u);
+  for (const Finding& f : fs)
+    if (f.rule == "smart2-hot-callee-alloc") {
+      EXPECT_EQ(f.file, "src/core/y.cpp");
+      EXPECT_NE(f.message.find("new expression"), std::string::npos);
+      EXPECT_NE(f.message.find("n::detect"), std::string::npos) << f.message;
+    }
+}
+
+TEST(LintHotClosure, ColdMarkerIsABarrier) {
+  const auto fs = active_files({{"src/core/x.cpp", R"cpp(namespace n {
+// SMART2_COLD: deliberate fallback
+int* slow(int k) { return new int(k); }
+// SMART2_HOT
+bool detect(int k) { return slow(k) != nullptr; }
+}
+)cpp"}});
+  EXPECT_EQ(count_rule(fs, "smart2-hot-unmarked"), 0u);
+  EXPECT_EQ(count_rule(fs, "smart2-hot-callee-alloc"), 0u);
+}
+
+TEST(LintHotClosure, NolintSuppressesProjectFindings) {
+  const auto all = lint_files({{"src/core/x.cpp", R"cpp(namespace n {
+void inner(std::vector<int>& v) { v.resize(v.size() + 1); }
+// NOLINTNEXTLINE(smart2-hot-unmarked)
+void helper(std::vector<int>& v) { inner(v); }
+// SMART2_HOT
+bool detect(std::vector<int>& v) { helper(v); return true; }
+}
+)cpp"}});
+  std::size_t suppressed = 0;
+  for (const Finding& f : all)
+    if (f.rule == "smart2-hot-unmarked" && f.suppressed) ++suppressed;
+  EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LintHotClosure, TrivialLeavesNeedNoMarker) {
+  const auto fs = active_files({{"src/core/x.cpp", R"cpp(namespace n {
+struct S {
+  int v = 0;
+  int value() const { return v; }
+};
+// SMART2_HOT
+bool detect(const S& s) { return s.value() > 0; }
+}
+)cpp"}});
+  EXPECT_EQ(count_rule(fs, "smart2-hot-unmarked"), 0u);
+}
+
+TEST(LintHotClosure, ProseMentionOfMarkerDoesNotMark) {
+  // The comment above helper mentions the // SMART2_HOT marker
+  // mid-sentence; that is prose, not a marker, so helper stays unmarked
+  // and is flagged.
+  const auto fs = active_files({{"src/core/x.cpp", R"cpp(namespace n {
+// SMART2_HOT
+void inner(std::vector<int>& v) { v.resize(v.size() + 1); }
+// Documented alongside a // SMART2_HOT sibling, which must not count.
+void helper(std::vector<int>& v) { inner(v); }
+// SMART2_HOT
+bool detect(std::vector<int>& v) { helper(v); return true; }
+}
+)cpp"}});
+  ASSERT_EQ(count_rule(fs, "smart2-hot-unmarked"), 1u);
+  for (const Finding& f : fs) {
+    if (f.rule != "smart2-hot-unmarked") continue;
+    EXPECT_NE(f.message.find("n::helper"), std::string::npos) << f.message;
+  }
+}
+
+TEST(LintParallelCalleeMutation, FlagsCalleeGrowingByRefCapture) {
+  const auto fs = active_files({{"src/core/x.cpp", R"cpp(namespace n {
+void append_to(std::vector<int>& sink, int v) { sink.push_back(v); }
+void f(std::vector<int>& out) {
+  smart2::parallel::parallel_for(0, 8, [&](std::size_t i) {
+    append_to(out, static_cast<int>(i));
+  });
+}
+}
+)cpp"}});
+  ASSERT_EQ(count_rule(fs, "smart2-parallel-callee-mutation"), 1u);
+  for (const Finding& f : fs)
+    if (f.rule == "smart2-parallel-callee-mutation") {
+      EXPECT_NE(f.message.find("'sink'"), std::string::npos) << f.message;
+      EXPECT_NE(f.message.find("'out'"), std::string::npos) << f.message;
+    }
+}
+
+TEST(LintParallelCalleeMutation, FlagsCalleeMutatingGlobal) {
+  const auto fs = active_files({{"src/core/x.cpp", R"cpp(namespace n {
+int g_total = 0;
+void bump() { g_total += 1; }
+void f() {
+  smart2::parallel::parallel_for(0, 8, [&](std::size_t i) {
+    (void)i;
+    bump();
+  });
+}
+}
+)cpp"}});
+  ASSERT_EQ(count_rule(fs, "smart2-parallel-callee-mutation"), 1u);
+}
+
+TEST(LintParallelCalleeMutation, ConstRefAndLocalArgsAreClean) {
+  const auto fs = active_files({{"src/core/x.cpp", R"cpp(namespace n {
+int sum_of(const std::vector<int>& v) { return static_cast<int>(v.size()); }
+void append_to(std::vector<int>& sink, int v) { sink.push_back(v); }
+void f(const std::vector<int>& in, std::vector<int>& out) {
+  smart2::parallel::parallel_for(0, 8, [&](std::size_t i) {
+    std::vector<int> local;
+    append_to(local, sum_of(in) + static_cast<int>(i));
+    out[i] = local.empty() ? 0 : local[0];
+  });
+}
+}
+)cpp"}});
+  EXPECT_EQ(count_rule(fs, "smart2-parallel-callee-mutation"), 0u);
+}
+
+// ------------------------------------------------------------ baseline
+
+TEST(Baseline, ParsesSerializesAndRoundTrips) {
+  Baseline b;
+  b.entries.push_back(
+      {"src/a.cpp", 12, "smart2-hot-callee-alloc", "deliberate"});
+  b.entries.push_back({"src/b.cpp", 3, "smart2-float-order", "reviewed"});
+  const std::string text = serialize_baseline(b);
+  Baseline parsed;
+  std::string error;
+  ASSERT_TRUE(parse_baseline(text, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries[0].file, "src/a.cpp");
+  EXPECT_EQ(parsed.entries[0].line, 12u);
+  EXPECT_EQ(parsed.entries[0].rule, "smart2-hot-callee-alloc");
+  EXPECT_EQ(parsed.entries[0].note, "deliberate");
+}
+
+TEST(Baseline, RejectsUnknownRulesAndMalformedJson) {
+  Baseline parsed;
+  std::string error;
+  EXPECT_FALSE(parse_baseline(
+      R"({"tool": "smart2_lint_baseline", "entries": [
+           {"file": "a.cpp", "line": 1, "rule": "not-a-rule"}]})",
+      &parsed, &error));
+  EXPECT_NE(error.find("not-a-rule"), std::string::npos) << error;
+  EXPECT_FALSE(parse_baseline("{", &parsed, &error));
+}
+
+TEST(Baseline, MatchesFindingsAndReportsStaleEntries) {
+  std::vector<Finding> findings = lint_text(
+      "repo/src/ml/x.cpp", "int f() { return std::rand(); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  Baseline b;
+  // Suffix match at a '/' boundary: baseline written from the repo root
+  // matches a scan rooted elsewhere.
+  b.entries.push_back({"src/ml/x.cpp", 1, "smart2-ban-rand", "legacy"});
+  b.entries.push_back({"src/ml/gone.cpp", 9, "smart2-ban-rand", "paid off"});
+  const BaselineMatch match = apply_baseline(b, &findings);
+  EXPECT_EQ(match.matched_findings, 1u);
+  EXPECT_TRUE(findings[0].baselined);
+  ASSERT_EQ(match.stale.size(), 1u);
+  EXPECT_EQ(match.stale[0].file, "src/ml/gone.cpp");
+}
+
+TEST(Baseline, BaselinedFindingsLeaveTheActionableCount) {
+  LintSummary summary;
+  summary.findings = lint_text("src/ml/x.cpp",
+                               "int f() { return std::rand(); }\n");
+  Baseline b = baseline_from_findings(summary.findings);
+  ASSERT_EQ(b.entries.size(), 1u);
+  EXPECT_EQ(b.entries[0].note, "TODO: justify");
+  apply_baseline(b, &summary.findings);
+  EXPECT_EQ(summary.actionable_count(), 0u);
+  EXPECT_EQ(summary.baselined_count(), 1u);
+  const std::string json = to_json(summary);
+  EXPECT_NE(json.find("\"baselined_findings\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"actionable_findings\": 0"), std::string::npos);
+}
+
+TEST(Baseline, RepoBaselineHasNoStaleEntriesAgainstItsRules) {
+  // Every entry in the committed baseline must name a known rule; staleness
+  // against the live tree is asserted by the lint_selfcheck ctest, which
+  // runs the real binary with --fail-stale-baseline.
+  const std::filesystem::path path =
+      std::filesystem::path(SMART2_SOURCE_DIR) / "tools" / "smart2_lint" /
+      "baseline.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  Baseline parsed;
+  std::string error;
+  EXPECT_TRUE(parse_baseline(ss.str(), &parsed, &error)) << error;
+}
+
+// ------------------------------------------- closure / alloc-test cross-check
+
+TEST(LintSourceTree, HotClosureCoversAllocTestedEntryPoints) {
+  // tests/alloc_test.cpp asserts these functions are allocation-free at
+  // run time; the static closure must therefore contain each of them, so
+  // the lint guards exactly what the run-time counter guards.
+  ProjectIndex index;
+  const std::filesystem::path root =
+      std::filesystem::path(SMART2_SOURCE_DIR) / "src";
+  ASSERT_TRUE(std::filesystem::exists(root));
+  std::vector<std::filesystem::path> paths;
+  for (const auto& e : std::filesystem::recursive_directory_iterator(root)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp") paths.push_back(e.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    std::ifstream in(p);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    index.add(p.string(), ss.str());
+  }
+
+  const CallGraph graph = build_call_graph(index);
+  const HotClosure closure = hot_closure(graph, index);
+  for (const char* fn :
+       {"smart2::TwoStageHmd::detect", "smart2::TwoStageHmd::predict_batch_into",
+        "smart2::OnlineDetector::observe"}) {
+    const std::size_t id = graph.find(fn);
+    ASSERT_LT(id, graph.nodes.size()) << fn;
+    EXPECT_TRUE(closure.in_closure[id]) << fn << " not in the hot closure";
+  }
+
+  // The dot dump renders and contains the seeds.
+  const std::string dot = to_dot(graph, closure);
+  EXPECT_NE(dot.find("digraph smart2_callgraph"), std::string::npos);
+  EXPECT_NE(dot.find("smart2::TwoStageHmd::detect"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,302 @@
+#include "smart2_lint/baseline.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace smart2::lint {
+namespace {
+
+// Minimal recursive-descent JSON reader for the baseline schema. No
+// dependency wanted for one fixed document shape; unknown keys are
+// skipped so the format can grow.
+struct JsonReader {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(std::string msg) {
+    if (error.empty())
+      error = "baseline: " + std::move(msg) + " at offset " +
+              std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  bool read_string(std::string* out) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char esc = text[pos++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'u': {
+            // Only the \u00XX range the serializer emits.
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text[pos++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad \\u escape");
+            }
+            c = static_cast<char>(v & 0xFF);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      }
+      *out += c;
+    }
+    if (pos >= text.size()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool read_number(std::size_t* out) {
+    skip_ws();
+    std::size_t v = 0;
+    bool any = false;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+      v = v * 10 + static_cast<std::size_t>(text[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any) return fail("expected number");
+    *out = v;
+    return true;
+  }
+
+  /// Skip any JSON value (for unknown keys).
+  bool skip_value() {
+    skip_ws();
+    if (pos >= text.size()) return fail("expected value");
+    const char c = text[pos];
+    if (c == '"') {
+      std::string dump;
+      return read_string(&dump);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos;
+      skip_ws();
+      if (peek(close)) {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        if (c == '{') {
+          std::string key;
+          if (!read_string(&key) || !consume(':')) return false;
+        }
+        if (!skip_value()) return false;
+        skip_ws();
+        if (peek(',')) {
+          ++pos;
+          continue;
+        }
+        return consume(close);
+      }
+    }
+    // true / false / null / number
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == '-' || text[pos] == '+'))
+      ++pos;
+    return true;
+  }
+
+  bool read_entry(BaselineEntry* e) {
+    if (!consume('{')) return false;
+    bool have_file = false, have_line = false, have_rule = false;
+    if (!peek('}')) {
+      while (true) {
+        std::string key;
+        if (!read_string(&key) || !consume(':')) return false;
+        if (key == "file") {
+          if (!read_string(&e->file)) return false;
+          have_file = true;
+        } else if (key == "line") {
+          if (!read_number(&e->line)) return false;
+          have_line = true;
+        } else if (key == "rule") {
+          if (!read_string(&e->rule)) return false;
+          have_rule = true;
+        } else if (key == "note") {
+          if (!read_string(&e->note)) return false;
+        } else if (!skip_value()) {
+          return false;
+        }
+        skip_ws();
+        if (peek(',')) {
+          ++pos;
+          continue;
+        }
+        break;
+      }
+    }
+    if (!consume('}')) return false;
+    if (!have_file || !have_line || !have_rule)
+      return fail("entry needs file, line, and rule");
+    if (!is_known_rule(e->rule))
+      return fail("unknown rule '" + e->rule + "'");
+    return true;
+  }
+};
+
+/// entry.file matches finding.file when equal, or when either is a suffix
+/// of the other starting at a path-component boundary.
+bool file_matches(std::string_view entry, std::string_view finding) {
+  if (entry == finding) return true;
+  const auto suffix_of = [](std::string_view small, std::string_view big) {
+    return big.size() > small.size() &&
+           big.compare(big.size() - small.size(), small.size(), small) == 0 &&
+           big[big.size() - small.size() - 1] == '/';
+  };
+  return suffix_of(entry, finding) || suffix_of(finding, entry);
+}
+
+}  // namespace
+
+bool parse_baseline(std::string_view text, Baseline* out, std::string* error) {
+  JsonReader r{text, 0, {}};
+  out->entries.clear();
+
+  bool ok = [&] {
+    if (!r.consume('{')) return false;
+    if (!r.peek('}')) {
+      while (true) {
+        std::string key;
+        if (!r.read_string(&key) || !r.consume(':')) return false;
+        if (key == "entries") {
+          if (!r.consume('[')) return false;
+          if (!r.peek(']')) {
+            while (true) {
+              BaselineEntry e;
+              if (!r.read_entry(&e)) return false;
+              out->entries.push_back(std::move(e));
+              r.skip_ws();
+              if (r.peek(',')) {
+                ++r.pos;
+                continue;
+              }
+              break;
+            }
+          }
+          if (!r.consume(']')) return false;
+        } else if (!r.skip_value()) {
+          return false;
+        }
+        r.skip_ws();
+        if (r.peek(',')) {
+          ++r.pos;
+          continue;
+        }
+        break;
+      }
+    }
+    return r.consume('}');
+  }();
+
+  if (!ok && error != nullptr) *error = r.error;
+  return ok;
+}
+
+std::string serialize_baseline(const Baseline& baseline) {
+  std::vector<BaselineEntry> entries = baseline.entries;
+  std::sort(entries.begin(), entries.end(),
+            [](const BaselineEntry& a, const BaselineEntry& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  const auto escape = [](std::string_view s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  };
+
+  std::string out = "{\n  \"tool\": \"smart2_lint_baseline\",\n"
+                    "  \"entries\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BaselineEntry& e = entries[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"" + escape(e.file) + "\", ";
+    out += "\"line\": " + std::to_string(e.line) + ", ";
+    out += "\"rule\": \"" + escape(e.rule) + "\", ";
+    out += "\"note\": \"" + escape(e.note) + "\"}";
+  }
+  out += entries.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Baseline baseline_from_findings(const std::vector<Finding>& findings) {
+  Baseline b;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    b.entries.push_back({f.file, f.line, f.rule, "TODO: justify"});
+  }
+  return b;
+}
+
+BaselineMatch apply_baseline(const Baseline& baseline,
+                             std::vector<Finding>* findings) {
+  BaselineMatch result;
+  for (const BaselineEntry& e : baseline.entries) {
+    bool hit = false;
+    for (Finding& f : *findings) {
+      if (f.suppressed || f.rule != e.rule || f.line != e.line) continue;
+      if (!file_matches(e.file, f.file)) continue;
+      if (!f.baselined) ++result.matched_findings;
+      f.baselined = true;
+      hit = true;
+    }
+    if (!hit) result.stale.push_back(e);
+  }
+  return result;
+}
+
+}  // namespace smart2::lint

@@ -1,0 +1,65 @@
+// Baseline (accepted-findings) support for smart2_lint.
+//
+// A baseline is a JSON file of deliberate, reviewed exceptions:
+//
+//   {
+//     "tool": "smart2_lint_baseline",
+//     "entries": [
+//       {"file": "src/core/two_stage.cpp", "line": 42,
+//        "rule": "smart2-hot-callee-alloc",
+//        "note": "interpreted fallback allocates by design"}
+//     ]
+//   }
+//
+// With --baseline FILE, findings matched by an entry are marked
+// `baselined` and stop affecting the exit code: only *regressions* (new
+// findings) fail CI. Entries that match nothing are *stale* — the debt
+// they recorded was paid — and are reported so the file shrinks
+// monotonically (--fail-stale-baseline turns them into an error).
+// Matching is exact on (rule, line) and suffix-wise on the file path at a
+// '/' boundary, so a baseline written from the repo root also matches
+// absolute-path scans.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "smart2_lint/diagnostics.hpp"
+
+namespace smart2::lint {
+
+struct BaselineEntry {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string note;  // WHY this exception is deliberate; required in review
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Parse a baseline document. Returns false (with a message in *error) on
+/// malformed JSON, a missing/ill-typed field, or an unknown rule id.
+bool parse_baseline(std::string_view text, Baseline* out, std::string* error);
+
+/// Serialize with stable field order, entries sorted by (file, line, rule).
+std::string serialize_baseline(const Baseline& baseline);
+
+/// Build a baseline accepting every unsuppressed finding in `findings`
+/// (the --write-baseline operation). Notes are stamped "TODO: justify".
+Baseline baseline_from_findings(const std::vector<Finding>& findings);
+
+struct BaselineMatch {
+  std::size_t matched_findings = 0;   // findings marked baselined
+  std::vector<BaselineEntry> stale;   // entries that matched no finding
+};
+
+/// Mark every finding matched by an entry as `baselined` and report which
+/// entries are stale. Suppressed findings do not consume entries.
+BaselineMatch apply_baseline(const Baseline& baseline,
+                             std::vector<Finding>* findings);
+
+}  // namespace smart2::lint

@@ -1,0 +1,277 @@
+#include "smart2_lint/callgraph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <set>
+
+#include "smart2_lint/token_util.hpp"
+
+namespace smart2::lint {
+namespace {
+
+/// Control keywords that read as `name (` inside a body but are not calls.
+bool is_call_excluded(std::string_view s) {
+  static constexpr std::array<std::string_view, 16> kExcluded = {
+      "if",     "for",     "while",    "switch",        "return",
+      "sizeof", "catch",   "throw",    "static_assert", "alignof",
+      "alignas", "decltype", "noexcept", "assert",       "defined",
+      "co_await"};
+  return std::find(kExcluded.begin(), kExcluded.end(), s) != kExcluded.end();
+}
+
+std::string_view last_component(std::string_view qualified) {
+  const std::size_t pos = qualified.rfind("::");
+  return pos == std::string_view::npos ? qualified
+                                       : qualified.substr(pos + 2);
+}
+
+/// Names declared inside a definition body or its parameter list. A call
+/// through such a name (`run(e)` where `auto run = [&]...`, or a callback
+/// parameter) is a call through a local callable, not a call into a
+/// same-named project function — resolving it by name would wire e.g.
+/// every named lambda to every project function sharing its name.
+std::set<std::string_view> collect_body_locals(const Tokens& t,
+                                               const FunctionSym& f) {
+  std::set<std::string_view> locals;
+  for (std::size_t q = f.params_begin; q < f.params_end; ++q)
+    if (is_id(t, q)) locals.insert(t[q].text);
+  for (std::size_t q = f.body_open + 1; q < f.body_close; ++q) {
+    if (!is_id(t, q) || q == 0) continue;
+    const Token& prev = t[q - 1];
+    const bool prev_ok =
+        (prev.kind == TokKind::kIdentifier && !is_call_excluded(prev.text) &&
+         prev.text != "else" && prev.text != "do") ||
+        (prev.kind == TokKind::kPunct &&
+         (prev.text == ">" || prev.text == "&" || prev.text == "*"));
+    const bool next_ok = punct_is(t, q + 1, "=") || punct_is(t, q + 1, ";") ||
+                         punct_is(t, q + 1, "{") || punct_is(t, q + 1, ":");
+    if (prev_ok && next_ok) locals.insert(t[q].text);
+  }
+  return locals;
+}
+
+}  // namespace
+
+std::size_t CallGraph::find(std::string_view qualified) const {
+  const auto it = std::lower_bound(
+      nodes.begin(), nodes.end(), qualified,
+      [](const Node& n, std::string_view q) { return n.qualified < q; });
+  if (it != nodes.end() && it->qualified == qualified)
+    return static_cast<std::size_t>(it - nodes.begin());
+  return nodes.size();
+}
+
+std::vector<std::size_t> CallGraph::resolve(std::string_view name,
+                                            std::string_view qualifier) const {
+  std::vector<std::size_t> out;
+  const auto [lo, hi] = by_name_.equal_range(name);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  if (qualifier.empty() || out.empty()) return out;
+
+  const std::string needle =
+      std::string(qualifier) + "::" + std::string(name);
+  std::vector<std::size_t> narrowed;
+  for (const std::size_t id : out) {
+    const std::string& q = nodes[id].qualified;
+    if (q == needle ||
+        (q.size() > needle.size() &&
+         q.compare(q.size() - needle.size(), needle.size(), needle) == 0 &&
+         q[q.size() - needle.size() - 1] == ':'))
+      narrowed.push_back(id);
+  }
+  // An unmatched qualifier usually names a namespace alias or an external
+  // library (std::, fs::): if nothing in the project matches, the call is
+  // either external (no edge wanted) — so return the narrowed (empty) set
+  // only when the qualifier looks external. Heuristic: a qualifier that
+  // matches NO project component at all is external.
+  if (!narrowed.empty()) return narrowed;
+  for (const std::size_t id : out) {
+    const std::string& q = nodes[id].qualified;
+    if (q.find(std::string(qualifier) + "::") != std::string::npos)
+      return out;  // qualifier exists somewhere in-project: keep wide set
+  }
+  return {};
+}
+
+CallGraph build_call_graph(const ProjectIndex& index) {
+  CallGraph g;
+
+  // Pass 1: nodes from every symbol, keyed by qualified name.
+  std::map<std::string, std::size_t, std::less<>> ids;
+  const auto& files = index.files();
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const FileSymbols& syms = files[fi]->symbols;
+    for (std::size_t si = 0; si < syms.functions.size(); ++si) {
+      const FunctionSym& f = syms.functions[si];
+      auto [it, inserted] = ids.emplace(f.qualified, g.nodes.size());
+      if (inserted) {
+        CallGraph::Node n;
+        n.qualified = f.qualified;
+        n.name = std::string(last_component(f.qualified));
+        g.nodes.push_back(std::move(n));
+      }
+      CallGraph::Node& node = g.nodes[it->second];
+      (f.is_definition ? node.defs : node.decls).push_back({fi, si});
+      node.hot_marked = node.hot_marked || f.hot_marked;
+      node.cold_marked = node.cold_marked || f.cold_marked;
+    }
+  }
+  // Re-sort nodes by qualified name so find() can binary-search; remap ids.
+  std::vector<std::size_t> order(g.nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return g.nodes[a].qualified < g.nodes[b].qualified;
+  });
+  std::vector<CallGraph::Node> sorted;
+  sorted.reserve(g.nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    sorted.push_back(std::move(g.nodes[order[i]]));
+  g.nodes = std::move(sorted);
+  for (std::size_t i = 0; i < g.nodes.size(); ++i)
+    g.by_name_.emplace(g.nodes[i].name, i);
+
+  // Pass 2: call edges from every definition body.
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const Tokens& t = files[fi]->lexed.code;
+    const FileSymbols& syms = files[fi]->symbols;
+    for (const FunctionSym& f : syms.functions) {
+      if (!f.is_definition) continue;
+      const std::size_t caller = g.find(f.qualified);
+      if (caller == g.nodes.size()) continue;
+      const std::set<std::string_view> locals = collect_body_locals(t, f);
+      std::set<std::size_t> targets;
+      for (std::size_t i = f.body_open + 1; i < f.body_close; ++i) {
+        if (!is_id(t, i) || is_call_excluded(t[i].text)) continue;
+        // A bare reference to a body-local callable (named lambda, callback
+        // parameter) is not a call into a project function of that name.
+        const bool bare =
+            i == 0 || !(punct_is(t, i - 1, ".") || punct_is(t, i - 1, "->") ||
+                        punct_is(t, i - 1, "::"));
+        if (bare && locals.count(t[i].text) != 0) continue;
+        std::size_t lp = i + 1;
+        if (punct_is(t, lp, "<")) {  // templated call: name<...>(
+          const std::size_t gt = match_angle(t, lp);
+          if (gt == t.size() || !punct_is(t, gt + 1, "(")) continue;
+          lp = gt + 1;
+        }
+        if (!punct_is(t, lp, "(")) continue;
+        const bool member_call =
+            i >= 1 && (punct_is(t, i - 1, ".") || punct_is(t, i - 1, "->"));
+        if (member_call && is_stl_collision_member(t[i].text)) continue;
+        std::string_view qualifier;
+        if (i >= 2 && punct_is(t, i - 1, "::") && is_id(t, i - 2))
+          qualifier = t[i - 2].text;
+        if (qualifier == "std") continue;  // standard library: no edge
+        for (const std::size_t id : g.resolve(t[i].text, qualifier))
+          targets.insert(id);
+      }
+      targets.erase(caller);  // recursion adds nothing to a closure
+      CallGraph::Node& cn = g.nodes[caller];
+      for (const std::size_t id : targets) cn.callees.push_back(id);
+    }
+  }
+  for (CallGraph::Node& n : g.nodes) {
+    std::sort(n.callees.begin(), n.callees.end());
+    n.callees.erase(std::unique(n.callees.begin(), n.callees.end()),
+                    n.callees.end());
+    g.edge_count += n.callees.size();
+  }
+  return g;
+}
+
+bool is_hot_root_name(std::string_view name) {
+  static constexpr std::array<std::string_view, 7> kRoots = {
+      "detect",        "predict_proba_into", "predict_proba_batch_into",
+      "observe",       "observe_batch",      "predict_batch",
+      "predict_batch_into"};
+  return std::find(kRoots.begin(), kRoots.end(), name) != kRoots.end();
+}
+
+namespace {
+
+bool is_parallel_impl_path(std::string_view path) {
+  return path.find("src/common/parallel.") != std::string_view::npos;
+}
+
+/// True when the node has at least one definition whose file is in
+/// analysis scope (src/), i.e. the closure may enter and scan it.
+bool node_in_scope(const CallGraph::Node& n, const ProjectIndex& index) {
+  for (const CallGraph::SymRef& d : n.defs) {
+    const std::string& p = index.files()[d.file]->path;
+    if (in_analysis_scope(p) && !is_parallel_impl_path(p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+HotClosure hot_closure(const CallGraph& graph, const ProjectIndex& index) {
+  HotClosure hc;
+  hc.in_closure.assign(graph.nodes.size(), false);
+  hc.parent.assign(graph.nodes.size(), graph.nodes.size());
+
+  std::deque<std::size_t> queue;
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    const CallGraph::Node& n = graph.nodes[id];
+    if (n.cold_marked) continue;
+    const bool seed =
+        (n.hot_marked || is_hot_root_name(n.name)) && node_in_scope(n, index);
+    if (!seed) continue;
+    hc.seeds.push_back(id);
+    hc.in_closure[id] = true;
+    hc.parent[id] = id;
+    queue.push_back(id);
+  }
+  while (!queue.empty()) {
+    const std::size_t id = queue.front();
+    queue.pop_front();
+    for (const std::size_t callee : graph.nodes[id].callees) {
+      if (hc.in_closure[callee]) continue;
+      const CallGraph::Node& n = graph.nodes[callee];
+      if (n.cold_marked) continue;           // explicit barrier
+      if (!node_in_scope(n, index)) continue;  // external / infra / test code
+      hc.in_closure[callee] = true;
+      hc.parent[callee] = id;
+      queue.push_back(callee);
+    }
+  }
+  hc.size = static_cast<std::size_t>(
+      std::count(hc.in_closure.begin(), hc.in_closure.end(), true));
+  return hc;
+}
+
+std::string to_dot(const CallGraph& graph, const HotClosure& closure) {
+  std::string out = "digraph smart2_callgraph {\n  rankdir=LR;\n  node "
+                    "[shape=box, fontsize=9];\n";
+  std::set<std::size_t> seeds(closure.seeds.begin(), closure.seeds.end());
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    const CallGraph::Node& n = graph.nodes[id];
+    // Keep the dump readable: only nodes that are in the closure or call
+    // into it appear; the full graph is dominated by test helpers.
+    bool relevant = closure.in_closure[id];
+    for (const std::size_t c : n.callees)
+      relevant = relevant || closure.in_closure[c];
+    if (!relevant) continue;
+    out += "  n" + std::to_string(id) + " [label=\"" + n.qualified + "\"";
+    if (seeds.count(id) != 0)
+      out += ", peripheries=2, style=filled, fillcolor=\"#ffd8a8\"";
+    else if (closure.in_closure[id])
+      out += ", style=filled, fillcolor=\"#ffec99\"";
+    out += "];\n";
+  }
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    bool relevant = closure.in_closure[id];
+    for (const std::size_t c : graph.nodes[id].callees)
+      relevant = relevant || closure.in_closure[c];
+    if (!relevant) continue;
+    for (const std::size_t c : graph.nodes[id].callees) {
+      if (!closure.in_closure[id] && !closure.in_closure[c]) continue;
+      out += "  n" + std::to_string(id) + " -> n" + std::to_string(c) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace smart2::lint

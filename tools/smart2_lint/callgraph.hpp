@@ -1,0 +1,81 @@
+// Project-wide call graph for smart2_lint.
+//
+// Nodes are distinct scope-qualified names; declarations and definitions
+// of the same qualified name (header prototype + source body, overload
+// sets) share one node. Edges come from a syntactic call scan over every
+// definition body: `name(`, `name<...>(`, `obj.name(`, `ns::name(`.
+// Resolution is name-based and deliberately over-approximate — a member
+// call resolves to every project function with that simple name — which is
+// the safe direction for the hot-path closure (it can only grow).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "smart2_lint/project.hpp"
+
+namespace smart2::lint {
+
+struct CallGraph {
+  struct SymRef {
+    std::size_t file = 0;  // index into ProjectIndex::files()
+    std::size_t sym = 0;   // index into that file's symbols.functions
+  };
+
+  struct Node {
+    std::string qualified;
+    std::string name;        // last component of `qualified`
+    bool hot_marked = false;   // any decl/def carries // SMART2_HOT
+    bool cold_marked = false;  // any decl/def carries // SMART2_COLD
+    std::vector<SymRef> defs;   // definitions (with bodies)
+    std::vector<SymRef> decls;  // body-less declarations
+    std::vector<std::size_t> callees;  // node ids, sorted, deduped
+  };
+
+  std::vector<Node> nodes;  // sorted by qualified name
+  std::size_t edge_count = 0;
+
+  /// Node id for a qualified name, or nodes.size().
+  std::size_t find(std::string_view qualified) const;
+
+  /// Node ids whose simple name matches `name`; when `qualifier` is
+  /// non-empty (the `q` of a `q::name(...)` call), candidates are narrowed
+  /// to nodes whose qualified name contains that component pair — unless
+  /// the narrowing matches nothing, in which case the name-only candidates
+  /// stand (over-approximation wins).
+  std::vector<std::size_t> resolve(std::string_view name,
+                                   std::string_view qualifier) const;
+
+ private:
+  friend CallGraph build_call_graph(const ProjectIndex& index);
+  std::multimap<std::string, std::size_t, std::less<>> by_name_;
+};
+
+CallGraph build_call_graph(const ProjectIndex& index);
+
+/// Known hot entry points seeded into the closure even without a marker.
+bool is_hot_root_name(std::string_view name);
+
+struct HotClosure {
+  /// closure[n] is true when node n is hot-reachable.
+  std::vector<bool> in_closure;
+  /// parent[n]: the node that first reached n in the BFS (n for seeds).
+  std::vector<std::size_t> parent;
+  std::vector<std::size_t> seeds;
+  std::size_t size = 0;
+};
+
+/// Transitive callees of every SMART2_HOT-marked node plus the named hot
+/// roots, restricted to nodes with at least one definition in analysis
+/// scope (src/). SMART2_COLD nodes are barriers: never entered, never
+/// traversed through. src/common/parallel.* bodies are pool plumbing and
+/// are likewise not traversed.
+HotClosure hot_closure(const CallGraph& graph, const ProjectIndex& index);
+
+/// Graphviz dump; closure nodes are highlighted, seeds double-circled.
+std::string to_dot(const CallGraph& graph, const HotClosure& closure);
+
+}  // namespace smart2::lint

@@ -25,6 +25,20 @@ const std::vector<RuleInfo>& rule_catalog() {
        "implementation-defined and can leak into output",
        "iterate a sorted copy of the keys, or use std::map/std::set when "
        "order reaches any output or accumulation"},
+      {"smart2-float-order",
+       "library-ordered float fold (std::accumulate/reduce/transform_reduce/"
+       "inner_product) or long double in src/ outside the sanctioned "
+       "reducers: association order / width is not ours to choose, so sums "
+       "drift from the fixed-order scalar and SIMD kernels",
+       "sum through smart2::stats (stats::sum / stats::mean), whose "
+       "association order is pinned and tested, and use double instead of "
+       "long double"},
+      {"smart2-fma",
+       "std::fma (or __builtin_fma) in src/: fused multiply-add rounds once "
+       "where the scalar and SIMD reference kernels round twice, silently "
+       "breaking scalar/SIMD bit-identity",
+       "write the separate multiply and add (a * b + c); the kernels rely "
+       "on two rounding steps and -ffp-contract stays off"},
       {"smart2-raw-thread",
        "raw std::thread/std::async outside src/common/parallel.*; ad-hoc "
        "threads bypass the deterministic fixed-lane pool",
@@ -35,6 +49,13 @@ const std::vector<RuleInfo>& rule_catalog() {
        "interleaving",
        "pre-size the container and write index-addressed slots (out[i] = "
        "...); reduce serially after the loop"},
+      {"smart2-parallel-callee-mutation",
+       "a parallel body calls a function that mutates a by-reference "
+       "capture (through a mutable-reference parameter) or a "
+       "namespace-scope mutable: the race is one call away but just as "
+       "real",
+       "pre-size and write index-addressed slots inside the callee, pass a "
+       "per-lane slice, or reduce serially after the loop"},
       {"smart2-shared-rng",
        "shared Rng captured by reference in a parallel body: draws race and "
        "their order depends on thread interleaving",
@@ -50,16 +71,31 @@ const std::vector<RuleInfo>& rule_catalog() {
        "names, index a constexpr array of literals and construct obs::Span "
        "directly, or suppress one registry lookup with // "
        "NOLINT(smart2-span-literal)"},
+      {"smart2-hot-path-alloc",
+       "heap allocation inside a function marked // SMART2_HOT",
+       "borrow from the thread-local ScratchStack, hoist the container out "
+       "of the hot loop, or reserve() it up front"},
+      {"smart2-hot-callee-alloc",
+       "heap allocation (new / make_unique / unreserved push_back / "
+       "std::function construction) inside an unmarked function that the "
+       "call graph proves reachable from a hot entry point",
+       "hoist the allocation out of the hot closure, borrow from the "
+       "thread-local ScratchStack, or mark the function // SMART2_COLD if "
+       "it is a deliberate non-steady-state fallback"},
+      {"smart2-hot-unmarked",
+       "function reachable from a hot entry point (detect / observe / the "
+       "batch kernels / any // SMART2_HOT function) without a // SMART2_HOT "
+       "marker of its own, so the per-function allocation lint never audits "
+       "it",
+       "insert // SMART2_HOT on its own line directly above the definition "
+       "(or // SMART2_COLD for a deliberate non-steady-state fallback, "
+       "which also stops closure traversal through it)"},
       {"smart2-header-guard",
        "header without #pragma once or an #ifndef include guard",
        "add #pragma once as the first non-comment line"},
       {"smart2-using-namespace-header",
        "using namespace in a header leaks the namespace into every includer",
        "qualify names, or move the using-directive into a .cpp file"},
-      {"smart2-hot-path-alloc",
-       "heap allocation inside a function marked // SMART2_HOT",
-       "borrow from the thread-local ScratchStack, hoist the container out "
-       "of the hot loop, or reserve() it up front"},
   };
   return kCatalog;
 }
@@ -81,6 +117,20 @@ std::size_t LintSummary::unsuppressed_count() const {
   std::size_t n = 0;
   for (const Finding& f : findings)
     if (!f.suppressed) ++n;
+  return n;
+}
+
+std::size_t LintSummary::actionable_count() const {
+  std::size_t n = 0;
+  for (const Finding& f : findings)
+    if (!f.suppressed && !f.baselined) ++n;
+  return n;
+}
+
+std::size_t LintSummary::baselined_count() const {
+  std::size_t n = 0;
+  for (const Finding& f : findings)
+    if (f.baselined && !f.suppressed) ++n;
   return n;
 }
 
@@ -120,11 +170,23 @@ std::string to_json(const LintSummary& summary) {
          ",\n";
   out += "  \"unsuppressed_findings\": " +
          std::to_string(summary.unsuppressed_count()) + ",\n";
+  out += "  \"baselined_findings\": " +
+         std::to_string(summary.baselined_count()) + ",\n";
+  out += "  \"actionable_findings\": " +
+         std::to_string(summary.actionable_count()) + ",\n";
 
-  // Per-rule counts of unsuppressed findings, sorted by rule id.
+  out += "  \"stats\": {";
+  out += "\"functions\": " + std::to_string(summary.stats.functions);
+  out += ", \"graph_nodes\": " + std::to_string(summary.stats.graph_nodes);
+  out += ", \"graph_edges\": " + std::to_string(summary.stats.graph_edges);
+  out += ", \"hot_seeds\": " + std::to_string(summary.stats.hot_seeds);
+  out += ", \"hot_closure\": " + std::to_string(summary.stats.hot_closure);
+  out += "},\n";
+
+  // Per-rule counts of actionable findings, sorted by rule id.
   std::map<std::string, std::size_t> counts;
   for (const Finding& f : summary.findings)
-    if (!f.suppressed) ++counts[f.rule];
+    if (!f.suppressed && !f.baselined) ++counts[f.rule];
   out += "  \"counts\": {";
   bool first = true;
   for (const auto& [rule, n] : counts) {
@@ -151,6 +213,8 @@ std::string to_json(const LintSummary& summary) {
     append_json_string(out, f.fixit);
     out += ", \"suppressed\": ";
     out += f.suppressed ? "true" : "false";
+    out += ", \"baselined\": ";
+    out += f.baselined ? "true" : "false";
     out += "}";
   }
   out += summary.findings.empty() ? "]\n" : "\n  ]\n";

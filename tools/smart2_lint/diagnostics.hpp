@@ -9,9 +9,10 @@
 namespace smart2::lint {
 
 /// One rule violation at a source location. `suppressed` is true when the
-/// line carries a matching NOLINT marker; suppressed findings are kept in
-/// the JSON report (so suppressions stay auditable) but do not affect the
-/// exit code.
+/// line carries a matching NOLINT marker; `baselined` is true when a
+/// baseline entry (tools/smart2_lint/baseline.json) accepts it as a known,
+/// deliberate exception. Both kinds are kept in the JSON report (so
+/// suppressions stay auditable) but do not affect the exit code.
 struct Finding {
   std::string file;
   std::size_t line = 0;
@@ -20,6 +21,7 @@ struct Finding {
   std::string message;  // what is wrong at this site
   std::string fixit;    // how to repair it
   bool suppressed = false;
+  bool baselined = false;
 };
 
 /// Static description of a rule, for --list-rules and the docs.
@@ -38,16 +40,32 @@ bool is_known_rule(std::string_view id);
 /// Render one finding as "file:line:col: [rule] message".
 std::string render_text(const Finding& f);
 
+/// Aggregate numbers from the whole-project pass, for --stats and the
+/// JSON report.
+struct ProjectStats {
+  std::size_t functions = 0;    // indexed function symbols (decl + def)
+  std::size_t graph_nodes = 0;  // distinct qualified names
+  std::size_t graph_edges = 0;  // resolved call edges
+  std::size_t hot_seeds = 0;    // SMART2_HOT-marked + named hot roots
+  std::size_t hot_closure = 0;  // nodes reachable from the seeds
+};
+
 /// Aggregate result of a lint run.
 struct LintSummary {
   std::size_t files_scanned = 0;
   std::vector<Finding> findings;  // suppressed and unsuppressed, file order
+  ProjectStats stats;
 
+  /// Findings without a NOLINT marker (baselined ones included).
   std::size_t unsuppressed_count() const;
+  /// Findings that should fail the run: neither NOLINTed nor baselined.
+  std::size_t actionable_count() const;
+  /// Findings accepted by the baseline.
+  std::size_t baselined_count() const;
 };
 
 /// Serialize a summary as a JSON document (stable key order, findings in
-/// input order, per-rule counts sorted by rule id).
+/// input order, per-rule counts of actionable findings sorted by rule id).
 std::string to_json(const LintSummary& summary);
 
 }  // namespace smart2::lint

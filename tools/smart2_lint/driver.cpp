@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "smart2_lint/project.hpp"
 #include "smart2_lint/rules.hpp"
 
 namespace smart2::lint {
@@ -51,15 +52,50 @@ std::vector<std::string> discover_files(
   return files;
 }
 
-LintSummary lint_paths(const std::vector<std::string>& paths) {
-  LintSummary summary;
+LintResult lint_paths(const std::vector<std::string>& paths,
+                      const LintOptions& options) {
+  LintResult result;
+  LintSummary& summary = result.summary;
+
+  // One lex + symbol index per file, shared by every pass.
+  ProjectIndex index;
   for (const std::string& file : discover_files(paths)) {
-    const std::string content = read_file(file);
+    index.add(file, read_file(file));
     ++summary.files_scanned;
-    for (Finding& f : lint_text(file, content))
-      summary.findings.push_back(std::move(f));
   }
-  return summary;
+
+  for (const auto& rec : index.files())
+    for (Finding& f : lint_file_tokens(rec->path, rec->content, rec->lexed))
+      summary.findings.push_back(std::move(f));
+
+  ProjectFindings project = lint_project(index, options.want_dot);
+  summary.stats = project.stats;
+  result.callgraph_dot = std::move(project.callgraph_dot);
+  for (Finding& f : project.findings)
+    summary.findings.push_back(std::move(f));
+
+  for (const auto& rec : index.files())
+    apply_nolint(rec->lexed, &summary.findings, rec->path);
+
+  if (!options.rules.empty()) {
+    const auto keep = [&](const Finding& f) {
+      return std::find(options.rules.begin(), options.rules.end(), f.rule) !=
+             options.rules.end();
+    };
+    summary.findings.erase(
+        std::remove_if(summary.findings.begin(), summary.findings.end(),
+                       [&](const Finding& f) { return !keep(f); }),
+        summary.findings.end());
+  }
+
+  std::stable_sort(summary.findings.begin(), summary.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.col != b.col) return a.col < b.col;
+                     return a.rule < b.rule;
+                   });
+  return result;
 }
 
 }  // namespace smart2::lint

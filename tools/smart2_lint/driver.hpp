@@ -13,7 +13,25 @@ namespace smart2::lint {
 /// report order is independent of filesystem enumeration order.
 std::vector<std::string> discover_files(const std::vector<std::string>& paths);
 
-/// Lint every discovered file. Unreadable files raise std::runtime_error.
-LintSummary lint_paths(const std::vector<std::string>& paths);
+struct LintOptions {
+  /// Keep only these rule ids (empty = all). Applied after analysis, so
+  /// the filter never changes what the project pass computes.
+  std::vector<std::string> rules;
+  /// Also produce the Graphviz call-graph dump.
+  bool want_dot = false;
+};
+
+struct LintResult {
+  LintSummary summary;
+  std::string callgraph_dot;  // filled when options.want_dot
+};
+
+/// Lint every discovered file: each file is lexed once into a project
+/// index, per-file lexical rules and the interprocedural passes
+/// (call graph, hot closure, parallel escape) both run over it, and
+/// NOLINT suppression applies to the merged findings. Unreadable files
+/// raise std::runtime_error.
+LintResult lint_paths(const std::vector<std::string>& paths,
+                      const LintOptions& options = {});
 
 }  // namespace smart2::lint

@@ -1,20 +1,27 @@
-// smart2_lint — determinism / parallel-safety / hygiene linter for the
-// 2SMaRT tree. See DESIGN.md "Correctness tooling" for the rule catalog.
+// smart2_lint — determinism / parallel-safety / hygiene linter and
+// whole-project analyzer for the 2SMaRT tree. See DESIGN.md "Correctness
+// tooling" for the rule catalog.
 //
 // Usage:
-//   smart2_lint [--json FILE] [--list-rules] [--quiet] [PATH...]
+//   smart2_lint [--json FILE] [--baseline FILE] [--write-baseline FILE]
+//               [--callgraph-dot FILE] [--rules a,b,c] [--stats]
+//               [--fail-stale-baseline] [--list-rules] [--quiet] [PATH...]
 //
 // PATHs may be files or directories (walked recursively for C++ sources);
 // with no PATH the standard project directories that exist under the
 // current working directory are scanned. Exit status: 0 clean, 1 when
-// unsuppressed findings exist, 2 on usage or I/O errors.
+// actionable (non-NOLINTed, non-baselined) findings exist — or when the
+// baseline has stale entries and --fail-stale-baseline is given — and 2
+// on usage or I/O errors.
 
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "smart2_lint/baseline.hpp"
 #include "smart2_lint/diagnostics.hpp"
 #include "smart2_lint/driver.hpp"
 
@@ -24,10 +31,19 @@ constexpr const char* kDefaultDirs[] = {"src", "bench", "tools", "examples",
                                         "tests"};
 
 int usage(std::ostream& os, int code) {
-  os << "usage: smart2_lint [--json FILE] [--list-rules] [--quiet] [PATH...]\n"
-     << "  --json FILE   also write a machine-readable report to FILE\n"
-     << "  --list-rules  print the rule catalog and exit\n"
-     << "  --quiet       suppress per-finding fix-it hints\n"
+  os << "usage: smart2_lint [options] [PATH...]\n"
+     << "  --json FILE            also write a machine-readable report\n"
+     << "  --baseline FILE        accept findings listed in FILE; only\n"
+     << "                         regressions affect the exit code\n"
+     << "  --fail-stale-baseline  exit 1 when a baseline entry matches\n"
+     << "                         nothing (the recorded debt was paid)\n"
+     << "  --write-baseline FILE  write every current unsuppressed finding\n"
+     << "                         as a baseline and exit 0\n"
+     << "  --callgraph-dot FILE   dump the hot-path call graph (Graphviz)\n"
+     << "  --rules a,b,c          report only the named rules\n"
+     << "  --stats                print project/call-graph statistics\n"
+     << "  --list-rules           print the rule catalog and exit\n"
+     << "  --quiet                suppress per-finding fix-it hints\n"
      << "Suppress a finding in source with // NOLINT(smart2-<rule>) on the\n"
      << "offending line or // NOLINTNEXTLINE(smart2-<rule>) above it.\n";
   return code;
@@ -40,12 +56,32 @@ void list_rules() {
   }
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream ss(csv);
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "smart2_lint: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
-  std::string json_path;
-  bool quiet = false;
+  std::string json_path, baseline_path, write_baseline_path, dot_path;
+  smart2::lint::LintOptions options;
+  bool quiet = false, stats = false, fail_stale = false;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -58,9 +94,34 @@ int main(int argc, char** argv) {
       quiet = true;
       continue;
     }
-    if (arg == "--json") {
+    if (arg == "--stats") {
+      stats = true;
+      continue;
+    }
+    if (arg == "--fail-stale-baseline") {
+      fail_stale = true;
+      continue;
+    }
+    if (arg == "--json" || arg == "--baseline" || arg == "--write-baseline" ||
+        arg == "--callgraph-dot" || arg == "--rules") {
       if (a + 1 >= argc) return usage(std::cerr, 2);
-      json_path = argv[++a];
+      const std::string value = argv[++a];
+      if (arg == "--json") json_path = value;
+      if (arg == "--baseline") baseline_path = value;
+      if (arg == "--write-baseline") write_baseline_path = value;
+      if (arg == "--callgraph-dot") {
+        dot_path = value;
+        options.want_dot = true;
+      }
+      if (arg == "--rules") {
+        options.rules = split_csv(value);
+        for (const std::string& r : options.rules)
+          if (!smart2::lint::is_known_rule(r)) {
+            std::cerr << "smart2_lint: unknown rule '" << r
+                      << "' (see --list-rules)\n";
+            return 2;
+          }
+      }
       continue;
     }
     if (!arg.empty() && arg[0] == '-') return usage(std::cerr, 2);
@@ -76,36 +137,87 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  smart2::lint::LintSummary summary;
+  smart2::lint::LintResult result;
   try {
-    summary = smart2::lint::lint_paths(paths);
+    result = smart2::lint::lint_paths(paths, options);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;
   }
+  smart2::lint::LintSummary& summary = result.summary;
 
-  std::size_t suppressed = 0;
+  if (!dot_path.empty() && !write_file(dot_path, result.callgraph_dot))
+    return 2;
+
+  if (!write_baseline_path.empty()) {
+    const smart2::lint::Baseline b =
+        smart2::lint::baseline_from_findings(summary.findings);
+    if (!write_file(write_baseline_path,
+                    smart2::lint::serialize_baseline(b)))
+      return 2;
+    std::cout << "smart2_lint: wrote " << b.entries.size()
+              << " baseline entr" << (b.entries.size() == 1 ? "y" : "ies")
+              << " to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  smart2::lint::BaselineMatch match;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "smart2_lint: cannot read " << baseline_path << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    smart2::lint::Baseline baseline;
+    std::string error;
+    if (!smart2::lint::parse_baseline(ss.str(), &baseline, &error)) {
+      std::cerr << "smart2_lint: " << baseline_path << ": " << error << "\n";
+      return 2;
+    }
+    match = smart2::lint::apply_baseline(baseline, &summary.findings);
+  }
+
+  std::size_t suppressed = 0, baselined = 0;
   for (const smart2::lint::Finding& f : summary.findings) {
     if (f.suppressed) {
       ++suppressed;
+      continue;
+    }
+    if (f.baselined) {
+      ++baselined;
       continue;
     }
     std::cout << smart2::lint::render_text(f) << "\n";
     if (!quiet) std::cout << "    fix-it: " << f.fixit << "\n";
   }
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path, std::ios::binary);
-    if (!out) {
-      std::cerr << "smart2_lint: cannot write " << json_path << "\n";
-      return 2;
-    }
-    out << smart2::lint::to_json(summary);
+  for (const smart2::lint::BaselineEntry& e : match.stale)
+    std::cerr << "smart2_lint: stale baseline entry: " << e.file << ":"
+              << e.line << " [" << e.rule << "] — no such finding remains\n";
+
+  if (!json_path.empty() &&
+      !write_file(json_path, smart2::lint::to_json(summary)))
+    return 2;
+
+  if (stats) {
+    const smart2::lint::ProjectStats& s = summary.stats;
+    std::cout << "smart2_lint: " << s.functions << " function symbols, "
+              << s.graph_nodes << " call-graph nodes, " << s.graph_edges
+              << " edges; hot closure " << s.hot_closure << " nodes from "
+              << s.hot_seeds << " seeds\n";
   }
 
-  const std::size_t bad = summary.unsuppressed_count();
+  const std::size_t bad = summary.actionable_count();
   std::cout << "smart2_lint: scanned " << summary.files_scanned << " files, "
             << bad << " finding" << (bad == 1 ? "" : "s") << " (" << suppressed
-            << " suppressed)\n";
-  return bad == 0 ? 0 : 1;
+            << " suppressed, " << baselined << " baselined";
+  if (!match.stale.empty())
+    std::cout << ", " << match.stale.size() << " stale baseline entr"
+              << (match.stale.size() == 1 ? "y" : "ies");
+  std::cout << ")\n";
+  if (bad != 0) return 1;
+  if (fail_stale && !match.stale.empty()) return 1;
+  return 0;
 }

@@ -1,0 +1,436 @@
+#include "smart2_lint/project.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "smart2_lint/callgraph.hpp"
+#include "smart2_lint/rules.hpp"
+#include "smart2_lint/token_util.hpp"
+
+namespace smart2::lint {
+
+bool in_analysis_scope(std::string_view path) {
+  if (path.rfind("src/", 0) == 0) return true;
+  return path.find("/src/") != std::string_view::npos;
+}
+
+void ProjectIndex::add(std::string path, std::string content) {
+  auto rec = std::make_unique<FileRecord>();
+  rec->path = std::move(path);
+  std::replace(rec->path.begin(), rec->path.end(), '\\', '/');
+  rec->content = std::move(content);
+  rec->lexed = lex(rec->content);
+  rec->symbols = index_symbols(rec->lexed);
+  files_.push_back(std::move(rec));
+}
+
+std::size_t ProjectIndex::function_count() const {
+  std::size_t n = 0;
+  for (const auto& f : files_) n += f->symbols.functions.size();
+  return n;
+}
+
+namespace {
+
+/// Qualified name of the seed whose BFS first reached `id`.
+const std::string& seed_of(const CallGraph& g, const HotClosure& hc,
+                           std::size_t id) {
+  while (hc.parent[id] != id) id = hc.parent[id];
+  return g.nodes[id].qualified;
+}
+
+/// First definition of the node that lives in analysis scope.
+const FunctionSym* primary_def(const CallGraph::Node& n,
+                               const ProjectIndex& index,
+                               const FileRecord** file_out) {
+  for (const CallGraph::SymRef& d : n.defs) {
+    const FileRecord& rec = *index.files()[d.file];
+    if (!in_analysis_scope(rec.path)) continue;
+    *file_out = &rec;
+    return &rec.symbols.functions[d.sym];
+  }
+  return nullptr;
+}
+
+bool is_call_keyword(std::string_view s) {
+  static constexpr std::array<std::string_view, 14> kExcluded = {
+      "if",          "for",        "while",
+      "switch",      "return",     "sizeof",
+      "catch",       "throw",      "static_assert",
+      "assert",      "static_cast", "const_cast",
+      "reinterpret_cast", "dynamic_cast"};
+  return std::find(kExcluded.begin(), kExcluded.end(), s) != kExcluded.end();
+}
+
+/// A leaf accessor: the body performs no calls (STL-collision member
+/// calls like `.size()` aside) and allocates nothing. Requiring a
+/// // SMART2_HOT marker on `rows()` or `feature_count()` would be pure
+/// noise — the callee-alloc scan audits the body either way — so the
+/// unmarked rule skips them.
+bool is_trivial_leaf(const Tokens& t, const FunctionSym& f) {
+  for (std::size_t m = f.body_open + 1; m < f.body_close; ++m) {
+    if (id_is(t, m, "new")) return false;
+    if (!is_id(t, m) || is_call_keyword(t[m].text)) continue;
+    std::size_t lp = m + 1;
+    if (punct_is(t, lp, "<")) {
+      const std::size_t gt = match_angle(t, lp);
+      if (gt == t.size() || !punct_is(t, gt + 1, "(")) continue;
+      lp = gt + 1;
+    }
+    if (!punct_is(t, lp, "(")) continue;
+    const bool member =
+        m >= 1 && (punct_is(t, m - 1, ".") || punct_is(t, m - 1, "->"));
+    if (member && is_stl_collision_member(t[m].text)) continue;
+    return false;  // a real call
+  }
+  return true;
+}
+
+// ------------------------------------------------------- hot-path closure
+
+// smart2-hot-unmarked: a function reachable from a hot entry point whose
+// definition (and every declaration) lacks the // SMART2_HOT marker. The
+// fix-it names the exact insertion point so the marker discipline stays
+// greppable.
+void rule_hot_unmarked(const CallGraph& g, const HotClosure& hc,
+                       const ProjectIndex& index,
+                       std::vector<Finding>* out) {
+  for (std::size_t id = 0; id < g.nodes.size(); ++id) {
+    if (!hc.in_closure[id]) continue;
+    const CallGraph::Node& n = g.nodes[id];
+    if (n.hot_marked) continue;
+    const FileRecord* rec = nullptr;
+    const FunctionSym* def = primary_def(n, index, &rec);
+    if (def == nullptr) continue;
+    // The SIMD primitive header is hot by construction — every wrapper in
+    // it exists only for the hot path; markers there would be pure
+    // repetition. Its bodies are still scanned by hot-callee-alloc.
+    if (rec->path.find("src/common/simd.") != std::string::npos) continue;
+    if (is_trivial_leaf(rec->lexed.code, *def)) continue;
+    out->push_back(Finding{
+        rec->path, def->line, def->col, "smart2-hot-unmarked",
+        "'" + n.qualified + "' is on the hot path (reachable from '" +
+            seed_of(g, hc, id) +
+            "') but carries no // SMART2_HOT marker, so the per-function "
+            "allocation lint never audits it",
+        "insert `// SMART2_HOT` on its own line directly above the "
+        "definition at " +
+            rec->path + ":" + std::to_string(def->line) +
+            " (or `// SMART2_COLD` if this is a deliberate non-steady-state "
+            "fallback)",
+        false});
+  }
+}
+
+// smart2-hot-callee-alloc: allocation idioms inside an unmarked function
+// that the call graph proves reachable from a hot entry point. Marked
+// functions are audited by the per-file smart2-hot-path-alloc rule; this
+// rule closes the callee loophole.
+void rule_hot_callee_alloc(const CallGraph& g, const HotClosure& hc,
+                           const ProjectIndex& index,
+                           std::vector<Finding>* out) {
+  for (std::size_t id = 0; id < g.nodes.size(); ++id) {
+    if (!hc.in_closure[id]) continue;
+    const CallGraph::Node& n = g.nodes[id];
+    for (const CallGraph::SymRef& d : n.defs) {
+      const FileRecord& rec = *index.files()[d.file];
+      if (!in_analysis_scope(rec.path)) continue;
+      const FunctionSym& f = rec.symbols.functions[d.sym];
+      if (f.hot_marked) continue;  // smart2-hot-path-alloc covers it
+      const Tokens& t = rec.lexed.code;
+      for (const AllocSite& site : scan_alloc_sites(
+               t, f.body_open, f.body_close, /*flag_std_function=*/true)) {
+        const Token& at = t[site.tok];
+        std::string what =
+            site.what.empty()
+                ? "'" + std::string(site.recv) + "." +
+                      std::string(site.member) + "' without a prior reserve()"
+                : std::string(site.what);
+        out->push_back(Finding{
+            rec.path, at.line, at.col, "smart2-hot-callee-alloc",
+            what + " in '" + n.qualified +
+                "', which is reachable from hot entry point '" +
+                seed_of(g, hc, id) + "'",
+            "hoist the allocation out of the hot closure, borrow from the "
+            "thread-local ScratchStack, or mark the function // SMART2_COLD "
+            "if it is a deliberate non-steady-state fallback",
+            false});
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- parallel escape (1 hop)
+
+struct ParamInfo {
+  std::string_view name;
+  bool mutable_ref = false;
+};
+
+/// Parameter list of a definition, split on top-level commas.
+std::vector<ParamInfo> parse_params(const Tokens& t, const FunctionSym& f) {
+  std::vector<ParamInfo> params;
+  std::size_t i = f.params_begin;
+  while (i < f.params_end) {
+    std::size_t end = i;
+    std::size_t depth = 0;
+    while (end < f.params_end) {
+      if (t[end].kind == TokKind::kPunct) {
+        const std::string_view p = t[end].text;
+        if (p == "(" || p == "{" || p == "[" || p == "<") ++depth;
+        if (p == ")" || p == "}" || p == "]" || p == ">") --depth;
+        if (p == "," && depth == 0) break;
+      }
+      ++end;
+    }
+    ParamInfo info;
+    bool has_ref = false, has_const = false;
+    std::size_t eq = end;
+    for (std::size_t k = i; k < end; ++k) {
+      if (punct_is(t, k, "&")) has_ref = true;
+      if (id_is(t, k, "const")) has_const = true;
+      if (punct_is(t, k, "=") && eq == end) eq = k;
+    }
+    for (std::size_t k = eq; k > i; --k)
+      if (is_id(t, k - 1)) {
+        info.name = t[k - 1].text;
+        break;
+      }
+    info.mutable_ref = has_ref && !has_const;
+    params.push_back(info);
+    i = end + 1;
+  }
+  return params;
+}
+
+/// True when the body growth-mutates or assigns the bare name `var`.
+bool body_mutates(const Tokens& t, const FunctionSym& f,
+                  std::string_view var) {
+  for (std::size_t m = f.body_open + 1; m < f.body_close; ++m) {
+    if (!is_id(t, m) || t[m].text != var) continue;
+    if (m >= 1 && (punct_is(t, m - 1, ".") || punct_is(t, m - 1, "->") ||
+                   punct_is(t, m - 1, "::")))
+      continue;  // member of something else
+    // var.push_back(...) / var->insert(...)
+    if ((punct_is(t, m + 1, ".") || punct_is(t, m + 1, "->")) &&
+        is_id(t, m + 2) && is_growth_mutator(t[m + 2].text) &&
+        punct_is(t, m + 3, "("))
+      return true;
+    // var = ... / var += ... / var++ / ++var (but not var == ...)
+    if (punct_is(t, m + 1, "=") && !punct_is(t, m + 2, "=") &&
+        !(m >= 1 && t[m - 1].kind == TokKind::kPunct &&
+          (t[m - 1].text == "=" || t[m - 1].text == "!" ||
+           t[m - 1].text == "<" || t[m - 1].text == ">")))
+      return true;
+    static constexpr std::array<std::string_view, 8> kCompound = {
+        "+", "-", "*", "/", "%", "&", "|", "^"};
+    if (m + 2 < t.size() && t[m + 1].kind == TokKind::kPunct &&
+        punct_is(t, m + 2, "=") && !punct_is(t, m + 3, "=") &&
+        std::find(kCompound.begin(), kCompound.end(), t[m + 1].text) !=
+            kCompound.end())
+      return true;
+    if ((punct_is(t, m + 1, "+") && punct_is(t, m + 2, "+")) ||
+        (punct_is(t, m + 1, "-") && punct_is(t, m + 2, "-")) ||
+        (m >= 2 && punct_is(t, m - 1, "+") && punct_is(t, m - 2, "+")) ||
+        (m >= 2 && punct_is(t, m - 1, "-") && punct_is(t, m - 2, "-")))
+      return true;
+  }
+  return false;
+}
+
+/// Mutable namespace-scope variables of the callee's own file that its
+/// body mutates.
+std::vector<std::string_view> mutated_globals(const FileRecord& rec,
+                                              const FunctionSym& f) {
+  std::vector<std::string_view> out;
+  for (const GlobalVar& g : rec.symbols.mutable_globals)
+    if (body_mutates(rec.lexed.code, f, g.name)) out.push_back(g.name);
+  return out;
+}
+
+// smart2-parallel-callee-mutation: one level of interprocedural escape
+// analysis for parallel bodies. A lambda handed to parallel_for /
+// parallel_map that calls a project function which (a) growth-mutates a
+// mutable-reference parameter bound to a by-reference capture, or (b)
+// mutates a namespace-scope mutable, is as racy as mutating inline — the
+// per-file rule cannot see it, this one can.
+void rule_parallel_callee_mutation(const CallGraph& g,
+                                   const ProjectIndex& index,
+                                   std::vector<Finding>* out) {
+  for (const auto& rec_ptr : index.files()) {
+    const FileRecord& rec = *rec_ptr;
+    const Tokens& t = rec.lexed.code;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!(id_is(t, i, "parallel_for") || id_is(t, i, "parallel_map")))
+        continue;
+      std::size_t j = i + 1;
+      if (punct_is(t, j, "<")) {
+        j = match_angle(t, j);
+        if (j == t.size()) continue;
+        ++j;
+      }
+      if (!punct_is(t, j, "(")) continue;
+      const std::size_t close = match_pair(t, j, "(", ")");
+      if (close == t.size()) continue;
+
+      for (const LambdaSpan& l : find_lambdas(t, j, close)) {
+        const CaptureInfo caps = parse_captures(t, l);
+        const std::set<std::string_view> locals = collect_locals(t, l);
+
+        for (std::size_t m = l.body_begin; m < l.body_end; ++m) {
+          if (!is_id(t, m) || is_call_keyword(t[m].text)) continue;
+          if (m >= 1 && (punct_is(t, m - 1, ".") || punct_is(t, m - 1, "->")))
+            continue;  // member calls need type info; out of scope
+          std::size_t lp = m + 1;
+          if (punct_is(t, lp, "<")) {
+            const std::size_t gt = match_angle(t, lp);
+            if (gt == t.size() || !punct_is(t, gt + 1, "(")) continue;
+            lp = gt + 1;
+          }
+          if (!punct_is(t, lp, "(")) continue;
+          const std::size_t rp = match_pair(t, lp, "(", ")");
+          if (rp >= l.body_end) continue;
+
+          std::string_view qualifier;
+          if (m >= 2 && punct_is(t, m - 1, "::") && is_id(t, m - 2))
+            qualifier = t[m - 2].text;
+          if (qualifier == "std") continue;
+          const std::vector<std::size_t> targets =
+              g.resolve(t[m].text, qualifier);
+          if (targets.empty()) continue;
+
+          // Bare-identifier arguments, by position.
+          std::vector<std::string_view> args;
+          {
+            std::size_t a = lp + 1;
+            while (a < rp) {
+              std::size_t end = a;
+              std::size_t depth = 0;
+              while (end < rp) {
+                if (t[end].kind == TokKind::kPunct) {
+                  const std::string_view p = t[end].text;
+                  if (p == "(" || p == "{" || p == "[") ++depth;
+                  if (p == ")" || p == "}" || p == "]") --depth;
+                  if (p == "," && depth == 0) break;
+                }
+                ++end;
+              }
+              args.push_back(end == a + 1 && is_id(t, a) ? t[a].text
+                                                         : std::string_view());
+              a = end + 1;
+            }
+          }
+
+          bool flagged = false;
+          for (const std::size_t target : targets) {
+            if (flagged) break;
+            const CallGraph::Node& node = g.nodes[target];
+            for (const CallGraph::SymRef& d : node.defs) {
+              if (flagged) break;
+              const FileRecord& drec = *index.files()[d.file];
+              const FunctionSym& def = drec.symbols.functions[d.sym];
+
+              // (a) by-ref capture handed to a mutable-ref parameter that
+              // the callee grows.
+              const std::vector<ParamInfo> params =
+                  parse_params(drec.lexed.code, def);
+              for (std::size_t ai = 0;
+                   ai < args.size() && ai < params.size(); ++ai) {
+                const std::string_view arg = args[ai];
+                if (arg.empty() || locals.count(arg) != 0) continue;
+                if (!caps.ref_captured(arg)) continue;
+                if (!params[ai].mutable_ref || params[ai].name.empty())
+                  continue;
+                if (!body_mutates(drec.lexed.code, def, params[ai].name))
+                  continue;
+                out->push_back(Finding{
+                    rec.path, t[m].line, t[m].col,
+                    "smart2-parallel-callee-mutation",
+                    "'" + node.qualified + "' mutates parameter '" +
+                        std::string(params[ai].name) +
+                        "', which is the by-reference capture '" +
+                        std::string(arg) +
+                        "' of this parallel body: the mutation races across "
+                        "lanes exactly as if it were inline",
+                    "", false});
+                flagged = true;
+                break;
+              }
+              if (flagged) break;
+
+              // (b) the callee mutates a namespace-scope mutable.
+              for (const std::string_view gv : mutated_globals(drec, def)) {
+                out->push_back(Finding{
+                    rec.path, t[m].line, t[m].col,
+                    "smart2-parallel-callee-mutation",
+                    "'" + node.qualified +
+                        "' mutates namespace-scope mutable '" +
+                        std::string(gv) +
+                        "' and is called from a parallel body: the mutation "
+                        "races across lanes",
+                    "", false});
+                flagged = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ProjectFindings lint_project(const ProjectIndex& index, bool want_dot) {
+  ProjectFindings out;
+  const CallGraph graph = build_call_graph(index);
+  const HotClosure closure = hot_closure(graph, index);
+
+  out.stats.functions = index.function_count();
+  out.stats.graph_nodes = graph.nodes.size();
+  out.stats.graph_edges = graph.edge_count;
+  out.stats.hot_seeds = closure.seeds.size();
+  out.stats.hot_closure = closure.size;
+
+  rule_hot_unmarked(graph, closure, index, &out.findings);
+  rule_hot_callee_alloc(graph, closure, index, &out.findings);
+  rule_parallel_callee_mutation(graph, index, &out.findings);
+
+  // Fill in catalog fix-its for findings constructed without one.
+  for (Finding& f : out.findings) {
+    if (!f.fixit.empty()) continue;
+    for (const RuleInfo& r : rule_catalog())
+      if (r.id == f.rule) f.fixit = std::string(r.fixit);
+  }
+
+  if (want_dot) out.callgraph_dot = to_dot(graph, closure);
+  return out;
+}
+
+std::vector<Finding> lint_files(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  ProjectIndex index;
+  for (const auto& [path, content] : files) index.add(path, content);
+
+  std::vector<Finding> all;
+  for (const auto& rec : index.files())
+    for (Finding& f :
+         lint_file_tokens(rec->path, rec->content, rec->lexed))
+      all.push_back(std::move(f));
+  for (Finding& f : lint_project(index).findings) all.push_back(std::move(f));
+
+  // Suppress via each file's NOLINT markers, then order per file.
+  for (const auto& rec : index.files())
+    apply_nolint(rec->lexed, &all, rec->path);
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.col != b.col) return a.col < b.col;
+                     return a.rule < b.rule;
+                   });
+  return all;
+}
+
+}  // namespace smart2::lint

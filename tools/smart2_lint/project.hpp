@@ -1,0 +1,68 @@
+// Whole-project analysis state for smart2_lint.
+//
+// A ProjectIndex owns every scanned file's content, token stream, and
+// symbol table; the call-graph pass (callgraph.hpp) and the
+// interprocedural rules (lint_project) run on top of it. Per-file lexical
+// rules keep using lint_text(); the driver composes both.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "smart2_lint/diagnostics.hpp"
+#include "smart2_lint/lexer.hpp"
+#include "smart2_lint/symbols.hpp"
+
+namespace smart2::lint {
+
+/// One scanned file: the content buffer must stay alive for as long as the
+/// token stream (string_views into it) is used, so records are
+/// heap-pinned and owned by the index.
+struct FileRecord {
+  std::string path;  // '/'-normalized, as given
+  std::string content;
+  LexResult lexed;
+  FileSymbols symbols;
+};
+
+/// True for paths the interprocedural hot-path / float rules audit: the
+/// production tree under src/. Tools, tests, benches and examples build
+/// call-graph context but do not raise hot-path obligations.
+bool in_analysis_scope(std::string_view path);
+
+class ProjectIndex {
+ public:
+  /// Lex + symbol-index one file and add it to the project.
+  void add(std::string path, std::string content);
+
+  const std::vector<std::unique_ptr<FileRecord>>& files() const {
+    return files_;
+  }
+  std::size_t function_count() const;
+
+ private:
+  std::vector<std::unique_ptr<FileRecord>> files_;
+};
+
+struct ProjectFindings {
+  std::vector<Finding> findings;  // NOT yet NOLINT-filtered
+  ProjectStats stats;
+  std::string callgraph_dot;  // filled when `want_dot`
+};
+
+/// Run the interprocedural rules (smart2-hot-unmarked,
+/// smart2-hot-callee-alloc, smart2-parallel-callee-mutation) over the
+/// whole project.
+ProjectFindings lint_project(const ProjectIndex& index, bool want_dot = false);
+
+/// Convenience for tests: build an index over (path, content) pairs, run
+/// the per-file rules AND the project rules, apply NOLINT, and return all
+/// findings sorted per file.
+std::vector<Finding> lint_files(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+}  // namespace smart2::lint

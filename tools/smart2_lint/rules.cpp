@@ -6,69 +6,11 @@
 #include <set>
 #include <string>
 
-#include "smart2_lint/lexer.hpp"
+#include "smart2_lint/project.hpp"
+#include "smart2_lint/token_util.hpp"
 
 namespace smart2::lint {
 namespace {
-
-// ------------------------------------------------------------ token utils
-
-using Tokens = std::vector<Token>;
-
-bool id_is(const Tokens& t, std::size_t i, std::string_view s) {
-  return i < t.size() && t[i].kind == TokKind::kIdentifier && t[i].text == s;
-}
-
-bool is_id(const Tokens& t, std::size_t i) {
-  return i < t.size() && t[i].kind == TokKind::kIdentifier;
-}
-
-bool punct_is(const Tokens& t, std::size_t i, std::string_view s) {
-  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == s;
-}
-
-/// Index of the closer matching the opener at `open`, or t.size().
-std::size_t match_pair(const Tokens& t, std::size_t open, std::string_view o,
-                       std::string_view c) {
-  std::size_t depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].kind != TokKind::kPunct) continue;
-    if (t[i].text == o) {
-      ++depth;
-    } else if (t[i].text == c) {
-      if (--depth == 0) return i;
-    }
-  }
-  return t.size();
-}
-
-/// Like match_pair for template argument lists; bails at tokens that cannot
-/// appear inside one, so a stray comparison `a < b;` never swallows the file.
-std::size_t match_angle(const Tokens& t, std::size_t open) {
-  std::size_t depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].kind != TokKind::kPunct) continue;
-    if (t[i].text == ";" || t[i].text == "{" || t[i].text == "}")
-      return t.size();
-    if (t[i].text == "<") {
-      ++depth;
-    } else if (t[i].text == ">") {
-      if (--depth == 0) return i;
-    }
-  }
-  return t.size();
-}
-
-/// True when token i reads as a std-or-global reference: not a member
-/// access (x.foo / x->foo) and not qualified by a namespace other than std.
-bool stdish_reference(const Tokens& t, std::size_t i) {
-  if (i == 0) return true;
-  if (punct_is(t, i - 1, ".") || punct_is(t, i - 1, "->")) return false;
-  if (punct_is(t, i - 1, "::") && i >= 2 && is_id(t, i - 2) &&
-      t[i - 2].text != "std")
-    return false;
-  return true;
-}
 
 // ------------------------------------------------------------ context
 
@@ -83,6 +25,12 @@ struct Ctx {
   }
   bool in_parallel_impl() const {
     return path.find("src/common/parallel.") != std::string::npos;
+  }
+  /// The sanctioned fixed-order reducers: the one place accumulate-style
+  /// folds are allowed, because they pin the association order explicitly.
+  bool in_float_sanctioned() const {
+    return path.find("src/common/stats.") != std::string::npos ||
+           path.find("src/common/simd.") != std::string::npos;
   }
 
   void add(std::string_view rule, const Token& at, std::string message) const {
@@ -207,6 +155,68 @@ void rule_unordered_iteration(const Ctx& ctx) {
   }
 }
 
+// ------------------------------------------------------------ float order
+
+// smart2-float-order: accumulate-style folds and long double outside the
+// sanctioned reducers. The SIMD batch kernels sum in a fixed blocked
+// association; any ad-hoc left fold over the same data produces a
+// different last-bit result, so every reduction must go through
+// stats/simd where the order is pinned (and tested) once. Applies to the
+// production tree (src/) only — tools and tests may fold freely.
+void rule_float_order(const Ctx& ctx) {
+  if (!in_analysis_scope(ctx.path) || ctx.in_float_sanctioned()) return;
+  static constexpr std::array<std::string_view, 4> kFolds = {
+      "accumulate", "reduce", "transform_reduce", "inner_product"};
+  const Tokens& t = *ctx.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (id_is(t, i, "long") && id_is(t, i + 1, "double")) {
+      ctx.add("smart2-float-order", t[i],
+              "long double: width and rounding are platform-defined, so "
+              "results stop being bit-identical across hosts");
+      continue;
+    }
+    if (!is_id(t, i) || std::find(kFolds.begin(), kFolds.end(), t[i].text) ==
+                            kFolds.end())
+      continue;
+    if (!stdish_reference(t, i)) continue;
+    std::size_t lp = i + 1;
+    if (punct_is(t, lp, "<")) {
+      const std::size_t gt = match_angle(t, lp);
+      if (gt == t.size() || !punct_is(t, gt + 1, "(")) continue;
+      lp = gt + 1;
+    }
+    if (!punct_is(t, lp, "(")) continue;
+    ctx.add("smart2-float-order", t[i],
+            "std::" + std::string(t[i].text) +
+                " outside the sanctioned reducers: its association order is "
+                "the library's choice, not ours, so sums drift from the "
+                "fixed-order SIMD kernels by last-bit differences");
+  }
+}
+
+// smart2-fma: contracted multiply-add rounds once where the scalar and
+// SIMD reference paths round twice; a single std::fma in scoring code
+// silently breaks scalar/SIMD bit-identity.
+void rule_fma(const Ctx& ctx) {
+  if (!in_analysis_scope(ctx.path)) return;
+  static constexpr std::array<std::string_view, 6> kFma = {
+      "fma", "fmaf", "fmal", "__builtin_fma", "__builtin_fmaf",
+      "__builtin_fmal"};
+  const Tokens& t = *ctx.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_id(t, i) ||
+        std::find(kFma.begin(), kFma.end(), t[i].text) == kFma.end())
+      continue;
+    if (!stdish_reference(t, i)) continue;
+    if (!punct_is(t, i + 1, "(")) continue;
+    ctx.add("smart2-fma", t[i],
+            std::string(t[i].text) +
+                ": fused multiply-add rounds once, the scalar/SIMD "
+                "reference kernels round twice — results diverge in the "
+                "last bit");
+  }
+}
+
 // ------------------------------------------------------------ parallel
 
 // smart2-raw-thread: std::thread / std::jthread / std::async /
@@ -233,97 +243,6 @@ void rule_raw_thread(const Ctx& ctx) {
                 " outside src/common/parallel.*: bypasses the deterministic "
                 "fixed-lane pool");
   }
-}
-
-/// A lambda literal inside a parallel_for/parallel_map argument list.
-struct LambdaSpan {
-  std::size_t cap_begin = 0, cap_end = 0;    // tokens inside [ ... ]
-  std::size_t param_begin = 0, param_end = 0;  // tokens inside ( ... ), may be empty
-  std::size_t body_begin = 0, body_end = 0;  // tokens inside { ... }
-};
-
-/// Mutating members whose call on a shared capture inside a parallel body
-/// is order-dependent (and racy).
-bool is_growth_mutator(std::string_view name) {
-  return name == "push_back" || name == "emplace_back" || name == "insert" ||
-         name == "emplace" || name == "push_front" || name == "emplace_front";
-}
-
-/// Names that look declared inside [from, to): lambda parameters plus
-/// body-local declarations (`Type name =`, `auto name =`, `Type name;`...).
-std::set<std::string_view> collect_locals(const Tokens& t,
-                                          const LambdaSpan& l) {
-  std::set<std::string_view> locals;
-  for (std::size_t q = l.param_begin; q < l.param_end; ++q)
-    if (is_id(t, q)) locals.insert(t[q].text);
-  for (std::size_t q = l.body_begin; q < l.body_end; ++q) {
-    if (!is_id(t, q) || q == 0) continue;
-    const Token& prev = t[q - 1];
-    const bool prev_ok =
-        prev.kind == TokKind::kIdentifier ||
-        (prev.kind == TokKind::kPunct &&
-         (prev.text == ">" || prev.text == "&" || prev.text == "*"));
-    const bool next_ok = punct_is(t, q + 1, "=") || punct_is(t, q + 1, ";") ||
-                         punct_is(t, q + 1, "{") || punct_is(t, q + 1, ":");
-    if (prev_ok && next_ok) locals.insert(t[q].text);
-  }
-  return locals;
-}
-
-struct CaptureInfo {
-  bool all_by_ref = false;
-  std::set<std::string_view> by_ref;
-
-  bool ref_captured(std::string_view name) const {
-    return all_by_ref || by_ref.count(name) != 0;
-  }
-};
-
-CaptureInfo parse_captures(const Tokens& t, const LambdaSpan& l) {
-  CaptureInfo info;
-  for (std::size_t c = l.cap_begin; c < l.cap_end; ++c) {
-    if (!punct_is(t, c, "&")) continue;
-    if (is_id(t, c + 1) && c + 1 < l.cap_end)
-      info.by_ref.insert(t[c + 1].text);
-    else
-      info.all_by_ref = true;  // lone & ( "[&]" or "[&, x]" )
-  }
-  return info;
-}
-
-/// Find every lambda literal between tokens (open, close) of a call's
-/// argument list.
-std::vector<LambdaSpan> find_lambdas(const Tokens& t, std::size_t open,
-                                     std::size_t close) {
-  std::vector<LambdaSpan> lambdas;
-  for (std::size_t k = open + 1; k < close; ++k) {
-    if (!punct_is(t, k, "[")) continue;
-    // Argument position only: a '[' after '(' or ',' starts a capture list,
-    // a '[' after an identifier or ']' is a subscript.
-    if (!(punct_is(t, k - 1, "(") || punct_is(t, k - 1, ","))) continue;
-    const std::size_t cap_close = match_pair(t, k, "[", "]");
-    if (cap_close >= close) continue;
-    LambdaSpan l;
-    l.cap_begin = k + 1;
-    l.cap_end = cap_close;
-    std::size_t b = cap_close + 1;
-    if (punct_is(t, b, "(")) {
-      const std::size_t pclose = match_pair(t, b, "(", ")");
-      if (pclose >= close) continue;
-      l.param_begin = b + 1;
-      l.param_end = pclose;
-      b = pclose + 1;
-    }
-    while (b < close && !punct_is(t, b, "{")) ++b;  // mutable / noexcept / ->
-    if (b >= close) continue;
-    const std::size_t body_close = match_pair(t, b, "{", "}");
-    if (body_close == t.size()) continue;
-    l.body_begin = b + 1;
-    l.body_end = body_close;
-    lambdas.push_back(l);
-    k = body_close;
-  }
-  return lambdas;
 }
 
 // smart2-parallel-mutation + smart2-shared-rng, both scoped to the lambda
@@ -456,16 +375,24 @@ void rule_span_literal(const Ctx& ctx) {
 
 // smart2-hot-path-alloc: a `// SMART2_HOT` comment on its own line marks the
 // function that starts below it as steady-state inference code. Inside that
-// function's body, heap allocation is a finding: `new` expressions,
-// std::make_unique / std::make_shared, and push_back / emplace_back on a
-// bare local container that the body never reserve()s. The rule is lexical
-// by design — it catches the allocation idioms this codebase actually uses,
-// and the alloc_test binary backstops it with a run-time counter.
+// function's body, heap allocation is a finding (see scan_alloc_sites for
+// the audited idioms). The rule is lexical by design — it catches the
+// allocation idioms this codebase actually uses, and the alloc_test binary
+// backstops it with a run-time counter. The interprocedural
+// smart2-hot-callee-alloc rule extends the same scan to every *unmarked*
+// function the call graph proves hot-reachable.
 void rule_hot_path_alloc(const Ctx& ctx, const LexResult& lexed) {
   const Tokens& t = *ctx.code;
   for (const Token& c : lexed.comments) {
     const std::size_t pos = c.text.find("SMART2_HOT");
     if (pos == std::string_view::npos) continue;
+    // A marker starts its comment line; prose mentioning the marker (or
+    // SMART2_HOTFIX-style names) marks nothing.
+    if (!marker_at_line_start(c.text, pos)) continue;
+    if (pos + 10 < c.text.size()) {
+      const char next = c.text[pos + 10];
+      if ((next >= 'A' && next <= 'Z') || next == '_') continue;
+    }
     std::size_t marker_line = c.line;
     for (std::size_t q = 0; q < pos; ++q)
       if (c.text[q] == '\n') ++marker_line;
@@ -482,46 +409,19 @@ void rule_hot_path_alloc(const Ctx& ctx, const LexResult& lexed) {
     const std::size_t close = match_pair(t, open, "{", "}");
     if (close == t.size()) continue;
 
-    // Containers the body reserve()s up front are amortized-allocation-free
-    // in steady state; growth calls on them are sanctioned.
-    std::set<std::string_view> reserved;
-    for (std::size_t m = open + 2; m + 2 < close; ++m)
-      if ((punct_is(t, m, ".") || punct_is(t, m, "->")) &&
-          id_is(t, m + 1, "reserve") && punct_is(t, m + 2, "(") &&
-          is_id(t, m - 1))
-        reserved.insert(t[m - 1].text);
-
-    for (std::size_t m = open + 1; m < close; ++m) {
-      if (id_is(t, m, "new")) {
-        ctx.add("smart2-hot-path-alloc", t[m],
-                "new expression inside a // SMART2_HOT function");
-        continue;
-      }
-      if ((id_is(t, m, "make_unique") || id_is(t, m, "make_shared")) &&
-          stdish_reference(t, m) &&
-          (punct_is(t, m + 1, "(") || punct_is(t, m + 1, "<"))) {
-        ctx.add("smart2-hot-path-alloc", t[m],
-                "std::" + std::string(t[m].text) +
-                    " inside a // SMART2_HOT function");
-        continue;
-      }
-      if ((punct_is(t, m, ".") || punct_is(t, m, "->")) && m >= 1 &&
-          (id_is(t, m + 1, "push_back") || id_is(t, m + 1, "emplace_back")) &&
-          punct_is(t, m + 2, "(") && is_id(t, m - 1)) {
-        // Only a bare named receiver: chained/indexed receivers
-        // (out[i].push_back, f().push_back) address pre-sized storage in
-        // this codebase's idiom.
-        if (m >= 2 && t[m - 2].kind == TokKind::kPunct &&
-            (t[m - 2].text == "." || t[m - 2].text == "->" ||
-             t[m - 2].text == "::" || t[m - 2].text == "]" ||
-             t[m - 2].text == ")"))
-          continue;
-        if (reserved.count(t[m - 1].text) != 0) continue;
-        ctx.add("smart2-hot-path-alloc", t[m - 1],
-                "'" + std::string(t[m - 1].text) + "." +
-                    std::string(t[m + 1].text) +
+    for (const AllocSite& site :
+         scan_alloc_sites(t, open, close, /*flag_std_function=*/true)) {
+      if (site.what.empty()) {
+        ctx.add("smart2-hot-path-alloc", t[site.tok],
+                "'" + std::string(site.recv) + "." + std::string(site.member) +
                     "' without a prior reserve() inside a // SMART2_HOT "
                     "function");
+      } else {
+        ctx.add("smart2-hot-path-alloc", t[site.tok],
+                std::string(site.what) +
+                    (site.what == "std::function object" ? " construction"
+                                                         : "") +
+                    " inside a // SMART2_HOT function");
       }
     }
   }
@@ -625,10 +525,9 @@ bool is_header_path(std::string_view path) {
 
 }  // namespace
 
-std::vector<Finding> lint_text(std::string_view path,
-                               std::string_view content) {
-  const LexResult lexed = lex(content);
-
+std::vector<Finding> lint_file_tokens(std::string_view path,
+                                      std::string_view content,
+                                      const LexResult& lexed) {
   std::vector<Finding> findings;
   Ctx ctx;
   ctx.path = normalize_path(path);
@@ -640,21 +539,36 @@ std::vector<Finding> lint_text(std::string_view path,
   rule_seed_entropy(ctx);
   rule_raw_engine(ctx);
   rule_unordered_iteration(ctx);
+  rule_float_order(ctx);
+  rule_fma(ctx);
   rule_raw_thread(ctx);
   rule_parallel_bodies(ctx);
   rule_span_literal(ctx);
   rule_hot_path_alloc(ctx, lexed);
   rule_header_guard(ctx, lexed, content);
   rule_using_namespace(ctx);
+  return findings;
+}
 
+void apply_nolint(const LexResult& lexed, std::vector<Finding>* findings,
+                  std::string_view path) {
   const auto nolint = collect_nolint(lexed);
-  for (Finding& f : findings) {
+  if (nolint.empty()) return;
+  const std::string p = normalize_path(path);
+  for (Finding& f : *findings) {
+    if (f.file != p) continue;
     const auto it = nolint.find(f.line);
     if (it == nolint.end()) continue;
     if (it->second.count("*") != 0 || it->second.count(f.rule) != 0)
       f.suppressed = true;
   }
+}
 
+std::vector<Finding> lint_text(std::string_view path,
+                               std::string_view content) {
+  const LexResult lexed = lex(content);
+  std::vector<Finding> findings = lint_file_tokens(path, content, lexed);
+  apply_nolint(lexed, &findings, path);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      if (a.line != b.line) return a.line < b.line;

@@ -1,18 +1,25 @@
-// The smart2_lint rule engine.
+// The smart2_lint per-file rule engine.
 //
-// lint_text() is the whole analysis for one translation unit: lex, run
-// every rule, then mark findings whose line carries a matching
-// // NOLINT(smart2-<rule>) (or // NOLINTNEXTLINE(...) on the previous
-// line) as suppressed. The path is part of the contract: some rules are
-// exempt inside the files that *implement* the audited facility
+// lint_text() is the whole per-file analysis for one translation unit:
+// lex, run every lexical rule, then mark findings whose line carries a
+// matching // NOLINT(smart2-<rule>) (or // NOLINTNEXTLINE(...) on the
+// previous line) as suppressed. The path is part of the contract: some
+// rules are exempt inside the files that *implement* the audited facility
 // (src/common/rng.* may touch <random>, src/common/parallel.* may touch
-// std::thread), and hygiene rules only apply to headers.
+// std::thread, src/common/stats.* / simd.* are the sanctioned float
+// reducers), and hygiene rules only apply to headers.
+//
+// The whole-project pass (project.hpp) reuses the pieces: it lexes each
+// file once into a ProjectIndex and calls lint_file_tokens() +
+// apply_nolint() so per-file and interprocedural findings share one
+// suppression mechanism.
 #pragma once
 
 #include <string_view>
 #include <vector>
 
 #include "smart2_lint/diagnostics.hpp"
+#include "smart2_lint/lexer.hpp"
 
 namespace smart2::lint {
 
@@ -21,5 +28,18 @@ namespace smart2::lint {
 /// Returns all findings (suppressed ones included) ordered by line, col,
 /// then rule id.
 std::vector<Finding> lint_text(std::string_view path, std::string_view content);
+
+/// Same as lint_text but over an already-lexed token stream, so the
+/// project pass lexes each file exactly once. Does NOT apply NOLINT.
+std::vector<Finding> lint_file_tokens(std::string_view path,
+                                      std::string_view content,
+                                      const LexResult& lexed);
+
+/// Mark findings of file `path` suppressed where `lexed`'s NOLINT /
+/// NOLINTNEXTLINE comments match their line and rule. Findings for other
+/// files are left untouched, so the project pass can run it per file over
+/// the merged list.
+void apply_nolint(const LexResult& lexed, std::vector<Finding>* findings,
+                  std::string_view path);
 
 }  // namespace smart2::lint

@@ -1,0 +1,495 @@
+#include "smart2_lint/symbols.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace smart2::lint {
+namespace {
+
+/// Keywords that read as `name (` but can never declare a function.
+bool is_reject_keyword(std::string_view s) {
+  static constexpr std::array<std::string_view, 10> kReject = {
+      "if",    "for",   "while", "switch",        "return",
+      "catch", "throw", "sizeof", "static_assert", "co_return"};
+  return std::find(kReject.begin(), kReject.end(), s) != kReject.end();
+}
+
+/// Keywords whose parenthesized operand is part of a declaration's type or
+/// specifier list; the scan hops over the parens and keeps looking.
+bool is_paren_specifier(std::string_view s) {
+  return s == "decltype" || s == "noexcept" || s == "alignas" ||
+         s == "__attribute__";
+}
+
+bool is_decl_keyword(std::string_view s) {
+  static constexpr std::array<std::string_view, 12> kDecl = {
+      "const",  "constexpr", "consteval", "constinit", "using", "namespace",
+      "typedef", "friend",   "template",  "struct",    "class", "enum"};
+  return std::find(kDecl.begin(), kDecl.end(), s) != kDecl.end();
+}
+
+class SymbolScanner {
+ public:
+  explicit SymbolScanner(const LexResult& lexed)
+      : t_(lexed.code), comments_(lexed.comments) {}
+
+  FileSymbols run() {
+    parse_scope(0, t_.size(), "", /*ns_scope=*/true);
+    attach_markers();
+    return std::move(out_);
+  }
+
+ private:
+  const Tokens& t_;
+  const Tokens& comments_;
+  FileSymbols out_;
+
+  /// Skip a balanced-pair region starting at `i`; returns one past the
+  /// closer (or `end` when unmatched).
+  std::size_t skip_pair(std::size_t i, std::size_t end, std::string_view o,
+                        std::string_view c) const {
+    const std::size_t close = match_pair(t_, i, o, c);
+    return close >= end ? end : close + 1;
+  }
+
+  /// One past the top-level ';' terminating the statement at `i` (pairs of
+  /// (), {}, [] are skipped whole).
+  std::size_t skip_statement(std::size_t i, std::size_t end) const {
+    while (i < end) {
+      if (punct_is(t_, i, ";")) return i + 1;
+      if (punct_is(t_, i, "(")) { i = skip_pair(i, end, "(", ")"); continue; }
+      if (punct_is(t_, i, "{")) { i = skip_pair(i, end, "{", "}"); continue; }
+      if (punct_is(t_, i, "[")) { i = skip_pair(i, end, "[", "]"); continue; }
+      ++i;
+    }
+    return end;
+  }
+
+  // ---------------------------------------------------------------- scope
+
+  void parse_scope(std::size_t begin, std::size_t end, const std::string& prefix,
+                   bool ns_scope) {
+    std::size_t i = begin;
+    while (i < end) {
+      const std::size_t stmt_start = i;
+
+      if (id_is(t_, i, "template") && punct_is(t_, i + 1, "<")) {
+        const std::size_t gt = match_angle(t_, i + 1);
+        if (gt >= end) { i = end; break; }
+        // The templated declaration continues; keep stmt_start at
+        // `template` so markers above the prefix still attach.
+        i = try_statement(stmt_start, gt + 1, end, prefix, ns_scope);
+        continue;
+      }
+      i = try_statement(stmt_start, i, end, prefix, ns_scope);
+    }
+  }
+
+  /// Parse one statement whose declaration part starts at `i` (stmt_start
+  /// <= i marks where the whole statement began, e.g. at `template`).
+  /// Returns the index one past the statement.
+  std::size_t try_statement(std::size_t stmt_start, std::size_t i,
+                            std::size_t end, const std::string& prefix,
+                            bool ns_scope) {
+    if (i >= end) return end;
+
+    if (id_is(t_, i, "namespace")) return parse_namespace(i, end, prefix);
+    if (id_is(t_, i, "class") || id_is(t_, i, "struct") ||
+        id_is(t_, i, "union"))
+      return parse_class(stmt_start, i, end, prefix, ns_scope);
+    if (id_is(t_, i, "enum")) return skip_enum(i, end);
+    if (id_is(t_, i, "using") || id_is(t_, i, "typedef") ||
+        id_is(t_, i, "friend") || id_is(t_, i, "static_assert"))
+      return skip_statement(i, end);
+    if (id_is(t_, i, "extern") && i + 2 < end &&
+        t_[i + 1].kind == TokKind::kString && punct_is(t_, i + 2, "{")) {
+      const std::size_t close = match_pair(t_, i + 2, "{", "}");
+      if (close >= end) return end;
+      parse_scope(i + 3, close, prefix, ns_scope);
+      return close + 1;
+    }
+    if (punct_is(t_, i, "{")) return skip_pair(i, end, "{", "}");
+    if (punct_is(t_, i, ";") || punct_is(t_, i, "}")) return i + 1;
+
+    return parse_declaration(stmt_start, i, end, prefix, ns_scope);
+  }
+
+  std::size_t parse_namespace(std::size_t i, std::size_t end,
+                              const std::string& prefix) {
+    std::size_t j = i + 1;
+    std::string name;
+    while (j < end && (is_id(t_, j) || punct_is(t_, j, "::"))) {
+      if (is_id(t_, j)) {
+        if (!name.empty()) name += "::";
+        name += t_[j].text;
+      }
+      ++j;
+    }
+    if (punct_is(t_, j, "{")) {
+      const std::size_t close = match_pair(t_, j, "{", "}");
+      if (close >= end) return end;
+      std::string inner = prefix;
+      if (!name.empty()) {  // anonymous namespaces add no qualifier
+        if (!inner.empty()) inner += "::";
+        inner += name;
+      }
+      parse_scope(j + 1, close, inner, /*ns_scope=*/true);
+      return close + 1;
+    }
+    return skip_statement(j, end);  // alias or ill-formed
+  }
+
+  std::size_t parse_class(std::size_t stmt_start, std::size_t i,
+                          std::size_t end, const std::string& prefix,
+                          bool ns_scope) {
+    (void)stmt_start;
+    (void)ns_scope;
+    std::size_t j = i + 1;
+    while (j < end && is_id(t_, j) && is_paren_specifier(t_[j].text))
+      j = punct_is(t_, j + 1, "(") ? skip_pair(j + 1, end, "(", ")") : j + 1;
+    std::string name;
+    if (is_id(t_, j)) {
+      name = std::string(t_[j].text);
+      ++j;
+    }
+    // Find the body '{' or the ';' of a forward declaration; base lists may
+    // carry template arguments.
+    while (j < end) {
+      if (punct_is(t_, j, "{")) {
+        const std::size_t close = match_pair(t_, j, "{", "}");
+        if (close >= end) return end;
+        std::string inner = prefix;
+        if (!name.empty()) {
+          if (!inner.empty()) inner += "::";
+          inner += name;
+        }
+        parse_scope(j + 1, close, inner, /*ns_scope=*/false);
+        // `struct X { ... } instance;` — skip any trailing declarators.
+        return skip_statement(close + 1, end);
+      }
+      if (punct_is(t_, j, ";")) return j + 1;
+      if (punct_is(t_, j, "<")) {
+        const std::size_t gt = match_angle(t_, j);
+        j = gt >= end ? end : gt + 1;
+        continue;
+      }
+      if (punct_is(t_, j, "(")) {  // not a class after all (e.g. macro)
+        return skip_statement(j, end);
+      }
+      ++j;
+    }
+    return end;
+  }
+
+  std::size_t skip_enum(std::size_t i, std::size_t end) {
+    std::size_t j = i + 1;
+    while (j < end && !punct_is(t_, j, "{") && !punct_is(t_, j, ";")) ++j;
+    if (punct_is(t_, j, "{")) return skip_statement(j, end);
+    return j >= end ? end : j + 1;
+  }
+
+  // ---------------------------------------------------------- declarations
+
+  /// A (member) function declaration/definition, or a plain declaration
+  /// statement. Scans for the `name (` declarator, then classifies by what
+  /// follows the parameter list.
+  std::size_t parse_declaration(std::size_t stmt_start, std::size_t i,
+                                std::size_t end, const std::string& prefix,
+                                bool ns_scope) {
+    std::size_t j = i;
+    std::size_t name_tok = t_.size();
+    while (j < end) {
+      if (punct_is(t_, j, ";") || punct_is(t_, j, "}")) break;
+      if (punct_is(t_, j, "=") || punct_is(t_, j, "{")) break;
+      if (is_id(t_, j)) {
+        if (is_reject_keyword(t_[j].text)) break;
+        if (is_paren_specifier(t_[j].text)) {
+          j = punct_is(t_, j + 1, "(") ? skip_pair(j + 1, end, "(", ")")
+                                       : j + 1;
+          continue;
+        }
+        if (id_is(t_, j, "operator")) {
+          const std::size_t adv = parse_operator(stmt_start, j, end, prefix);
+          if (adv != 0) return adv;
+          return skip_statement(j, end);
+        }
+        if (punct_is(t_, j + 1, "(")) {
+          name_tok = j;
+          break;
+        }
+        if (punct_is(t_, j + 1, "<")) {  // template-id in a type
+          const std::size_t gt = match_angle(t_, j + 1);
+          j = gt >= end ? end : gt + 1;
+          continue;
+        }
+      }
+      ++j;
+    }
+
+    if (name_tok == t_.size()) {
+      if (ns_scope) maybe_record_global(stmt_start, end);
+      return skip_statement(j, end);
+    }
+    const std::size_t adv =
+        parse_function(stmt_start, name_tok, name_tok + 1, end, prefix,
+                       qualified_name(name_tok, prefix));
+    if (adv != 0) return adv;
+    return skip_statement(name_tok + 1, end);
+  }
+
+  /// `operator` declarators: handles operator(), operator[], and the
+  /// single-token operators (operator==, operator+, ...). Returns 0 when
+  /// it does not parse as a function.
+  std::size_t parse_operator(std::size_t stmt_start, std::size_t op_tok,
+                             std::size_t end, const std::string& prefix) {
+    std::string opname = "operator";
+    std::size_t lparen;
+    if (punct_is(t_, op_tok + 1, "(") && punct_is(t_, op_tok + 2, ")") &&
+        punct_is(t_, op_tok + 3, "(")) {
+      opname += "()";
+      lparen = op_tok + 3;
+    } else if (punct_is(t_, op_tok + 1, "[") && punct_is(t_, op_tok + 2, "]") &&
+               punct_is(t_, op_tok + 3, "(")) {
+      opname += "[]";
+      lparen = op_tok + 3;
+    } else if (op_tok + 2 < end && t_[op_tok + 1].kind == TokKind::kPunct &&
+               punct_is(t_, op_tok + 2, "(")) {
+      opname += std::string(t_[op_tok + 1].text);
+      lparen = op_tok + 2;
+    } else {
+      return 0;  // conversion operators, operator new, ... out of scope
+    }
+    std::string qual = prefix;
+    if (!qual.empty()) qual += "::";
+    qual += opname;
+    return parse_function_from(stmt_start, op_tok, opname, qual, lparen, end);
+  }
+
+  /// Scope-qualified name for the declarator name at `name_tok`,
+  /// resolving explicit `A::B::name` qualifiers to the left.
+  std::string qualified_name(std::size_t name_tok,
+                             const std::string& prefix) const {
+    std::vector<std::string_view> comps;
+    comps.push_back(t_[name_tok].text);
+    std::size_t q = name_tok;
+    while (q >= 2 && punct_is(t_, q - 1, "::")) {
+      if (is_id(t_, q - 2)) {
+        comps.insert(comps.begin(), t_[q - 2].text);
+        q -= 2;
+        continue;
+      }
+      break;  // `Foo<T>::name` — template-id qualifiers are out of scope
+    }
+    std::string qual = prefix;
+    for (const std::string_view c : comps) {
+      if (!qual.empty()) qual += "::";
+      qual += c;
+    }
+    return qual;
+  }
+
+  std::size_t parse_function(std::size_t stmt_start, std::size_t name_tok,
+                             std::size_t lparen, std::size_t end,
+                             const std::string& prefix,
+                             const std::string& qualified) {
+    (void)prefix;
+    return parse_function_from(stmt_start, name_tok,
+                               std::string(t_[name_tok].text), qualified,
+                               lparen, end);
+  }
+
+  /// Classify the declarator tail after the parameter list. Returns one
+  /// past the statement when a function was recorded, 0 otherwise.
+  std::size_t parse_function_from(std::size_t stmt_start, std::size_t name_tok,
+                                  const std::string& name,
+                                  const std::string& qualified,
+                                  std::size_t lparen, std::size_t end) {
+    const std::size_t pclose = match_pair(t_, lparen, "(", ")");
+    if (pclose >= end) return 0;
+
+    FunctionSym sym;
+    sym.name = name;
+    sym.qualified = qualified;
+    sym.line = t_[name_tok].line;
+    sym.col = t_[name_tok].col;
+    sym.sig_begin = stmt_start;
+    sym.name_tok = name_tok;
+    sym.params_begin = lparen + 1;
+    sym.params_end = pclose;
+
+    std::size_t k = pclose + 1;
+    while (k < end) {
+      if (punct_is(t_, k, ";")) {  // declaration
+        out_.functions.push_back(std::move(sym));
+        return k + 1;
+      }
+      if (punct_is(t_, k, "=")) {  // = default / = delete / = 0
+        const std::size_t after = skip_statement(k, end);
+        out_.functions.push_back(std::move(sym));
+        return after;
+      }
+      if (punct_is(t_, k, "{")) {  // the body
+        const std::size_t close = match_pair(t_, k, "{", "}");
+        if (close >= end) return 0;
+        sym.is_definition = true;
+        sym.body_open = k;
+        sym.body_close = close;
+        out_.functions.push_back(std::move(sym));
+        return close + 1;
+      }
+      if (punct_is(t_, k, ":")) {  // constructor initializer list
+        const std::size_t body = find_ctor_body(k + 1, end);
+        if (body >= end || !punct_is(t_, body, "{")) return 0;
+        const std::size_t close = match_pair(t_, body, "{", "}");
+        if (close >= end) return 0;
+        sym.is_definition = true;
+        sym.body_open = body;
+        sym.body_close = close;
+        out_.functions.push_back(std::move(sym));
+        return close + 1;
+      }
+      if (is_id(t_, k) &&
+          (t_[k].text == "const" || t_[k].text == "noexcept" ||
+           t_[k].text == "override" || t_[k].text == "final" ||
+           t_[k].text == "mutable" || t_[k].text == "try" ||
+           t_[k].text == "requires")) {
+        k = punct_is(t_, k + 1, "(") ? skip_pair(k + 1, end, "(", ")") : k + 1;
+        continue;
+      }
+      if (punct_is(t_, k, "->")) {  // trailing return type
+        ++k;
+        while (k < end &&
+               (is_id(t_, k) || punct_is(t_, k, "::") || punct_is(t_, k, "*") ||
+                punct_is(t_, k, "&"))) {
+          if (punct_is(t_, k + 1, "<")) {
+            const std::size_t gt = match_angle(t_, k + 1);
+            k = gt >= end ? end : gt + 1;
+            continue;
+          }
+          ++k;
+        }
+        continue;
+      }
+      if (punct_is(t_, k, "[")) {  // [[attribute]]
+        k = skip_pair(k, end, "[", "]");
+        continue;
+      }
+      return 0;  // `int x(3) + 1` or other non-function shapes
+    }
+    return 0;
+  }
+
+  /// Position of the constructor body '{' after an initializer list
+  /// starting at `i` (member parens and brace-inits are skipped whole).
+  std::size_t find_ctor_body(std::size_t i, std::size_t end) const {
+    while (i < end) {
+      if (punct_is(t_, i, "(")) { i = skip_pair(i, end, "(", ")"); continue; }
+      if (punct_is(t_, i, "{")) {
+        // A brace directly after an identifier or '>' is a member
+        // brace-init; anything else opens the body.
+        if (i >= 1 && (is_id(t_, i - 1) || punct_is(t_, i - 1, ">"))) {
+          i = skip_pair(i, end, "{", "}");
+          continue;
+        }
+        return i;
+      }
+      if (punct_is(t_, i, ";")) return end;
+      ++i;
+    }
+    return end;
+  }
+
+  // --------------------------------------------------------------- globals
+
+  /// Record a namespace-scope mutable variable from the statement at
+  /// [stmt_start, next ';'). Const, constexpr, thread_local, references to
+  /// other declaration kinds, and alias-ish statements are skipped.
+  void maybe_record_global(std::size_t stmt_start, std::size_t end) {
+    std::size_t stop = stmt_start;
+    std::size_t eq = t_.size();
+    while (stop < end && !punct_is(t_, stop, ";")) {
+      if (punct_is(t_, stop, "(")) { stop = skip_pair(stop, end, "(", ")"); continue; }
+      if (punct_is(t_, stop, "{")) { stop = skip_pair(stop, end, "{", "}"); continue; }
+      if (punct_is(t_, stop, "[")) { stop = skip_pair(stop, end, "[", "]"); continue; }
+      if (punct_is(t_, stop, "<")) {
+        const std::size_t gt = match_angle(t_, stop);
+        if (gt < end) { stop = gt + 1; continue; }
+      }
+      if (punct_is(t_, stop, "=") && eq == t_.size()) eq = stop;
+      if (is_id(t_, stop) &&
+          (is_decl_keyword(t_[stop].text) || t_[stop].text == "thread_local" ||
+           t_[stop].text == "extern" || t_[stop].text == "operator"))
+        return;
+      ++stop;
+    }
+    const std::size_t tail = eq != t_.size() ? eq : stop;
+    if (tail == stmt_start || tail > end) return;
+    // The declarator name is the identifier immediately left of '=' / ';'.
+    std::size_t n = tail;
+    while (n > stmt_start && !is_id(t_, n - 1)) {
+      if (punct_is(t_, n - 1, "]")) {  // skip array extents: name[N]
+        std::size_t d = 1, p = n - 1;
+        while (p > stmt_start && d != 0) {
+          --p;
+          if (punct_is(t_, p, "]")) ++d;
+          if (punct_is(t_, p, "[")) --d;
+        }
+        n = p;
+        continue;
+      }
+      break;
+    }
+    if (n > stmt_start && is_id(t_, n - 1))
+      out_.mutable_globals.push_back(
+          {std::string(t_[n - 1].text), t_[n - 1].line});
+  }
+
+  // --------------------------------------------------------------- markers
+
+  void attach_markers() {
+    for (const Token& c : comments_) {
+      attach_marker(c, "SMART2_HOT", &FunctionSym::hot_marked);
+      attach_marker(c, "SMART2_COLD", &FunctionSym::cold_marked);
+    }
+  }
+
+  void attach_marker(const Token& c, std::string_view marker,
+                     bool FunctionSym::* flag) {
+    std::size_t pos = 0;
+    while ((pos = c.text.find(marker, pos)) != std::string_view::npos) {
+      const std::size_t at = pos;
+      pos += marker.size();
+      // SMART2_COLD contains no SMART2_HOT (and vice versa), but guard
+      // against SMART2_HOT matching inside e.g. SMART2_HOTFIX.
+      if (pos < c.text.size()) {
+        const char next = c.text[pos];
+        if ((next >= 'A' && next <= 'Z') || next == '_') continue;
+      }
+      // Only a marker at the start of its comment line counts; prose that
+      // mentions the marker mid-sentence does not mark anything.
+      if (!marker_at_line_start(c.text, at)) continue;
+      std::size_t marker_line = c.line;
+      for (std::size_t q = 0; q < at; ++q)
+        if (c.text[q] == '\n') ++marker_line;
+
+      // First code token strictly below the marker line; the function whose
+      // signature contains it gets the flag.
+      std::size_t idx = 0;
+      while (idx < t_.size() && t_[idx].line <= marker_line) ++idx;
+      if (idx == t_.size()) return;
+      for (FunctionSym& f : out_.functions)
+        if (f.sig_begin <= idx && idx <= f.name_tok) {
+          f.*flag = true;
+          break;
+        }
+    }
+  }
+};
+
+}  // namespace
+
+FileSymbols index_symbols(const LexResult& lexed) {
+  return SymbolScanner(lexed).run();
+}
+
+}  // namespace smart2::lint

@@ -1,0 +1,55 @@
+// Symbol indexing for smart2_lint's interprocedural passes.
+//
+// index_symbols() walks one file's code-token stream and records every
+// function/method declaration and definition it can recognize, together
+// with its scope-qualified name (namespaces and class scope resolved
+// syntactically), parameter and body token ranges, and any // SMART2_HOT /
+// // SMART2_COLD marker attached above the signature. It also records
+// namespace-scope mutable variables, which power the parallel escape
+// analysis.
+//
+// This is a syntactic indexer over the lexer's token stream, not a C++
+// front end. Known limits (documented in the README): templates are
+// indexed but not instantiated, `operator` overloads other than simple
+// ones are skipped, function pointers and lambdas bound to names are not
+// functions, and overloads share one call-graph node per qualified name.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "smart2_lint/lexer.hpp"
+#include "smart2_lint/token_util.hpp"
+
+namespace smart2::lint {
+
+struct FunctionSym {
+  std::string name;       // last component, e.g. "detect"
+  std::string qualified;  // scope-qualified, e.g. "smart2::TwoStageHmd::detect"
+  std::size_t line = 0;   // line of the name token
+  std::size_t col = 0;
+  bool is_definition = false;  // has a brace body (not `;` / `= default`)
+  bool hot_marked = false;     // // SMART2_HOT on the line(s) above
+  bool cold_marked = false;    // // SMART2_COLD: closure traversal barrier
+  // Token index ranges into the file's code-token stream.
+  std::size_t sig_begin = 0;                     // first token of the statement
+  std::size_t name_tok = 0;                      // the name identifier
+  std::size_t params_begin = 0, params_end = 0;  // inside ( ... )
+  std::size_t body_open = 0, body_close = 0;     // the { and } (definitions)
+};
+
+struct GlobalVar {
+  std::string name;
+  std::size_t line = 0;
+};
+
+struct FileSymbols {
+  std::vector<FunctionSym> functions;      // in source order
+  std::vector<GlobalVar> mutable_globals;  // namespace-scope, non-const
+};
+
+/// Index one lexed file. Token indices in the result refer to lexed.code.
+FileSymbols index_symbols(const LexResult& lexed);
+
+}  // namespace smart2::lint

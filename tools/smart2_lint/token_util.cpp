@@ -1,0 +1,213 @@
+#include "smart2_lint/token_util.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace smart2::lint {
+
+bool id_is(const Tokens& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kIdentifier && t[i].text == s;
+}
+
+bool is_id(const Tokens& t, std::size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdentifier;
+}
+
+bool punct_is(const Tokens& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == s;
+}
+
+std::size_t match_pair(const Tokens& t, std::size_t open, std::string_view o,
+                       std::string_view c) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    if (t[i].text == o) {
+      ++depth;
+    } else if (t[i].text == c) {
+      if (--depth == 0) return i;
+    }
+  }
+  return t.size();
+}
+
+std::size_t match_angle(const Tokens& t, std::size_t open) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    if (t[i].text == ";" || t[i].text == "{" || t[i].text == "}")
+      return t.size();
+    if (t[i].text == "<") {
+      ++depth;
+    } else if (t[i].text == ">") {
+      if (--depth == 0) return i;
+    }
+  }
+  return t.size();
+}
+
+bool stdish_reference(const Tokens& t, std::size_t i) {
+  if (i == 0) return true;
+  if (punct_is(t, i - 1, ".") || punct_is(t, i - 1, "->")) return false;
+  if (punct_is(t, i - 1, "::") && i >= 2 && is_id(t, i - 2) &&
+      t[i - 2].text != "std")
+    return false;
+  return true;
+}
+
+bool is_growth_mutator(std::string_view name) {
+  return name == "push_back" || name == "emplace_back" || name == "insert" ||
+         name == "emplace" || name == "push_front" || name == "emplace_front";
+}
+
+std::set<std::string_view> collect_locals(const Tokens& t,
+                                          const LambdaSpan& l) {
+  std::set<std::string_view> locals;
+  for (std::size_t q = l.param_begin; q < l.param_end; ++q)
+    if (is_id(t, q)) locals.insert(t[q].text);
+  for (std::size_t q = l.body_begin; q < l.body_end; ++q) {
+    if (!is_id(t, q) || q == 0) continue;
+    const Token& prev = t[q - 1];
+    const bool prev_ok =
+        prev.kind == TokKind::kIdentifier ||
+        (prev.kind == TokKind::kPunct &&
+         (prev.text == ">" || prev.text == "&" || prev.text == "*"));
+    const bool next_ok = punct_is(t, q + 1, "=") || punct_is(t, q + 1, ";") ||
+                         punct_is(t, q + 1, "{") || punct_is(t, q + 1, ":");
+    if (prev_ok && next_ok) locals.insert(t[q].text);
+  }
+  return locals;
+}
+
+CaptureInfo parse_captures(const Tokens& t, const LambdaSpan& l) {
+  CaptureInfo info;
+  for (std::size_t c = l.cap_begin; c < l.cap_end; ++c) {
+    if (!punct_is(t, c, "&")) continue;
+    if (is_id(t, c + 1) && c + 1 < l.cap_end)
+      info.by_ref.insert(t[c + 1].text);
+    else
+      info.all_by_ref = true;  // lone & ( "[&]" or "[&, x]" )
+  }
+  return info;
+}
+
+std::vector<LambdaSpan> find_lambdas(const Tokens& t, std::size_t open,
+                                     std::size_t close) {
+  std::vector<LambdaSpan> lambdas;
+  for (std::size_t k = open + 1; k < close; ++k) {
+    if (!punct_is(t, k, "[")) continue;
+    // Argument position only: a '[' after '(' or ',' starts a capture list,
+    // a '[' after an identifier or ']' is a subscript.
+    if (!(punct_is(t, k - 1, "(") || punct_is(t, k - 1, ","))) continue;
+    const std::size_t cap_close = match_pair(t, k, "[", "]");
+    if (cap_close >= close) continue;
+    LambdaSpan l;
+    l.cap_begin = k + 1;
+    l.cap_end = cap_close;
+    std::size_t b = cap_close + 1;
+    if (punct_is(t, b, "(")) {
+      const std::size_t pclose = match_pair(t, b, "(", ")");
+      if (pclose >= close) continue;
+      l.param_begin = b + 1;
+      l.param_end = pclose;
+      b = pclose + 1;
+    }
+    while (b < close && !punct_is(t, b, "{")) ++b;  // mutable / noexcept / ->
+    if (b >= close) continue;
+    const std::size_t body_close = match_pair(t, b, "{", "}");
+    if (body_close == t.size()) continue;
+    l.body_begin = b + 1;
+    l.body_end = body_close;
+    lambdas.push_back(l);
+    k = body_close;
+  }
+  return lambdas;
+}
+
+bool is_stl_collision_member(std::string_view s) {
+  static constexpr std::array<std::string_view, 45> kMembers = {
+      "add",     "append",  "assign",      "at",       "back",    "begin",
+      "c_str",   "capacity", "cbegin",     "cend",     "clear",   "compare",
+      "contains", "count",  "data",        "emplace",  "emplace_back",
+      "empty",   "end",     "erase",       "exchange", "extract", "fill",
+      "find",    "front",   "get",         "insert",   "length",  "load",
+      "lock",    "name",    "pop",         "pop_back", "push",    "push_back",
+      "release", "reserve", "reset",       "resize",   "size",    "store",
+      "str",     "substr",  "swap",        "top"};
+  return std::find(kMembers.begin(), kMembers.end(), s) != kMembers.end();
+}
+
+bool marker_at_line_start(std::string_view comment, std::size_t pos) {
+  while (pos > 0) {
+    const char c = comment[pos - 1];
+    if (c == '\n') return true;
+    if (c != ' ' && c != '\t' && c != '/' && c != '*' && c != '!')
+      return false;
+    --pos;
+  }
+  return true;
+}
+
+std::vector<AllocSite> scan_alloc_sites(const Tokens& t, std::size_t open,
+                                        std::size_t close,
+                                        bool flag_std_function) {
+  std::vector<AllocSite> out;
+  if (open >= close || close > t.size()) return out;
+
+  // Containers the body reserve()s up front are amortized-allocation-free
+  // in steady state; growth calls on them are sanctioned.
+  std::set<std::string_view> reserved;
+  for (std::size_t m = open + 2; m + 2 < close; ++m)
+    if ((punct_is(t, m, ".") || punct_is(t, m, "->")) &&
+        id_is(t, m + 1, "reserve") && punct_is(t, m + 2, "(") &&
+        is_id(t, m - 1))
+      reserved.insert(t[m - 1].text);
+
+  for (std::size_t m = open + 1; m < close; ++m) {
+    if (id_is(t, m, "new")) {
+      out.push_back({m, "new expression", {}, {}});
+      continue;
+    }
+    if ((id_is(t, m, "make_unique") || id_is(t, m, "make_shared")) &&
+        stdish_reference(t, m) &&
+        (punct_is(t, m + 1, "(") || punct_is(t, m + 1, "<"))) {
+      out.push_back({m,
+                     t[m].text == "make_unique" ? "std::make_unique"
+                                                : "std::make_shared",
+                     {},
+                     {}});
+      continue;
+    }
+    // std::function construction: a declared object or a temporary. A
+    // pointer or reference to std::function (the pool's own plumbing) does
+    // not allocate at this site.
+    if (flag_std_function && id_is(t, m, "function") && m >= 2 &&
+        punct_is(t, m - 1, "::") && id_is(t, m - 2, "std") &&
+        punct_is(t, m + 1, "<")) {
+      const std::size_t gt = match_angle(t, m + 1);
+      if (gt != t.size() && !punct_is(t, gt + 1, "*") &&
+          !punct_is(t, gt + 1, "&") &&
+          !(punct_is(t, gt + 1, "(") && punct_is(t, gt + 2, "*"))) {
+        out.push_back({m, "std::function object", {}, {}});
+      }
+      continue;
+    }
+    if ((punct_is(t, m, ".") || punct_is(t, m, "->")) && m >= 1 &&
+        (id_is(t, m + 1, "push_back") || id_is(t, m + 1, "emplace_back")) &&
+        punct_is(t, m + 2, "(") && is_id(t, m - 1)) {
+      // Only a bare named receiver: chained/indexed receivers
+      // (out[i].push_back, f().push_back) address pre-sized storage in
+      // this codebase's idiom.
+      if (m >= 2 && t[m - 2].kind == TokKind::kPunct &&
+          (t[m - 2].text == "." || t[m - 2].text == "->" ||
+           t[m - 2].text == "::" || t[m - 2].text == "]" ||
+           t[m - 2].text == ")"))
+        continue;
+      if (reserved.count(t[m - 1].text) != 0) continue;
+      out.push_back({m - 1, {}, t[m - 1].text, t[m + 1].text});
+    }
+  }
+  return out;
+}
+
+}  // namespace smart2::lint

@@ -1,0 +1,100 @@
+// Token-stream matching helpers shared by the per-file rule engine
+// (rules.cpp) and the interprocedural passes (symbols.cpp / project.cpp).
+//
+// Everything here operates on the flat code-token vector a LexResult
+// carries: comments, strings and preprocessor lines are already stripped,
+// so matching identifiers is safe against literal content.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "smart2_lint/token.hpp"
+
+namespace smart2::lint {
+
+using Tokens = std::vector<Token>;
+
+bool id_is(const Tokens& t, std::size_t i, std::string_view s);
+bool is_id(const Tokens& t, std::size_t i);
+bool punct_is(const Tokens& t, std::size_t i, std::string_view s);
+
+/// Index of the closer matching the opener at `open`, or t.size().
+std::size_t match_pair(const Tokens& t, std::size_t open, std::string_view o,
+                       std::string_view c);
+
+/// Like match_pair for template argument lists; bails at tokens that cannot
+/// appear inside one, so a stray comparison `a < b;` never swallows the file.
+std::size_t match_angle(const Tokens& t, std::size_t open);
+
+/// True when token i reads as a std-or-global reference: not a member
+/// access (x.foo / x->foo) and not qualified by a namespace other than std.
+bool stdish_reference(const Tokens& t, std::size_t i);
+
+/// A lambda literal inside a call's argument list.
+struct LambdaSpan {
+  std::size_t cap_begin = 0, cap_end = 0;      // tokens inside [ ... ]
+  std::size_t param_begin = 0, param_end = 0;  // tokens inside ( ... )
+  std::size_t body_begin = 0, body_end = 0;    // tokens inside { ... }
+};
+
+/// Mutating members whose call on a shared object inside a parallel body
+/// is order-dependent (and racy).
+bool is_growth_mutator(std::string_view name);
+
+/// Names that look declared inside the lambda: parameters plus body-local
+/// declarations (`Type name =`, `auto name =`, `Type name;`...).
+std::set<std::string_view> collect_locals(const Tokens& t, const LambdaSpan& l);
+
+struct CaptureInfo {
+  bool all_by_ref = false;
+  std::set<std::string_view> by_ref;
+
+  bool ref_captured(std::string_view name) const {
+    return all_by_ref || by_ref.count(name) != 0;
+  }
+};
+
+CaptureInfo parse_captures(const Tokens& t, const LambdaSpan& l);
+
+/// Find every lambda literal between tokens (open, close) of a call's
+/// argument list.
+std::vector<LambdaSpan> find_lambdas(const Tokens& t, std::size_t open,
+                                     std::size_t close);
+
+/// Member names shared with the standard containers / smart pointers /
+/// atomics. A member call `x.data()` is overwhelmingly more likely to be
+/// an STL call than a call into a same-named project function, and
+/// resolving it by name floods the hot closure with false edges — so the
+/// call graph does not resolve member calls through these names, and the
+/// triviality scan ignores them. Documented limit: a project method named
+/// e.g. `size` is invisible to the graph when called through an object.
+bool is_stl_collision_member(std::string_view s);
+
+/// True when the marker occurrence at `pos` inside a comment's text sits
+/// at the start of its line — only whitespace and comment punctuation
+/// (slashes, '*', '!') before it. Distinguishes a real `// SMART2_HOT`
+/// marker from prose that merely mentions one.
+bool marker_at_line_start(std::string_view comment, std::size_t pos);
+
+/// One heap-allocation idiom inside a token range (see scan_alloc_sites).
+struct AllocSite {
+  std::size_t tok = 0;      // index of the offending token
+  std::string_view what;    // "new expression", "std::make_unique", ...
+  std::string_view recv;    // receiver name for growth calls, else empty
+  std::string_view member;  // "push_back"/"emplace_back" for growth calls
+};
+
+/// Scan (open, close) — a function body given by its brace pair — for the
+/// allocation idioms this codebase uses: `new` expressions,
+/// std::make_unique / std::make_shared, push_back / emplace_back on a bare
+/// local container the body never reserve()s, and (when
+/// `flag_std_function`) std::function object construction. Lexical by
+/// design; the alloc_test binary backstops it with a run-time counter.
+std::vector<AllocSite> scan_alloc_sites(const Tokens& t, std::size_t open,
+                                        std::size_t close,
+                                        bool flag_std_function);
+
+}  // namespace smart2::lint
