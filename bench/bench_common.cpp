@@ -19,7 +19,7 @@ constexpr const char* kPhaseSpans[] = {"phase.load", "phase.featurize",
                                        "phase.train", "phase.predict"};
 
 double env_double(const char* name, double fallback) {
-  const char* value = std::getenv(name);
+  const char* value = obs::env_knob(name);
   if (value == nullptr) return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(value, &end);
@@ -145,7 +145,7 @@ double ScopedTiming::elapsed() const {
 
 ScopedTiming::~ScopedTiming() {
   const double wall = elapsed();
-  const char* path = std::getenv("SMART2_BENCH_JSON");
+  const char* path = obs::env_knob("SMART2_BENCH_JSON");
   if (path == nullptr) path = "bench_timings.json";
   std::ofstream out(path, std::ios::app);
   if (!out) {

@@ -38,6 +38,16 @@ struct GlobalState {
   std::map<std::string_view, std::size_t> counter_index;
   std::map<std::string_view, std::size_t> histogram_index;
 
+  // Env-knob registry: {name, set, value} in first-consult order, guarded
+  // by registry_mutex like the metric deques.
+  struct KnobEntry {
+    std::string name;
+    bool set = false;
+    std::string value;
+  };
+  std::deque<KnobEntry> knob_entries;
+  std::map<std::string_view, std::size_t> knob_index;
+
   // Root span buffers, one per tracing thread, in first-use order. In
   // practice only the main thread opens spans outside a ParallelRegion, so
   // this list has one entry and the trace order is deterministic.
@@ -62,6 +72,10 @@ constexpr const char* kCatalogCounters[] = {
     "cv.folds",                   "online.alarms",
     "train.presort_builds",       "train.bootstrap_views",
     "train.ensemble_reuse",       "pipeline.batch_lanes",
+    "serve.ingest.accepted",      "serve.ingest.dropped",
+    "serve.stream.admitted",      "serve.stream.evicted",
+    "serve.swap.generations",     "serve.alarms",
+    "serve.verdicts",
 };
 constexpr const char* kCatalogHistograms[] = {
     "phase.load",           "phase.featurize",
@@ -87,6 +101,9 @@ constexpr const char* kCatalogHistograms[] = {
     "stage1.mlr.predict_simd",      "stage2.backdoor.predict_simd",
     "stage2.rootkit.predict_simd",  "stage2.virus.predict_simd",
     "stage2.trojan.predict_simd",
+    "serve.tick",           "serve.shard.ingest",
+    "serve.epoch.infer",    "serve.swap",
+    "serve.verdict.latency",
 };
 
 void register_catalog_locked(GlobalState& g) {
@@ -108,6 +125,30 @@ void register_catalog_locked(GlobalState& g) {
 
 std::once_flag g_init_once;
 
+/// env_knob without the ensure_init() preamble: init_from_env runs inside
+/// the call_once and re-entering it would deadlock.
+const char* env_knob_impl(const char* name) {
+  const char* value = std::getenv(name);
+  GlobalState& g = state();
+  std::unique_lock<std::shared_mutex> lock(g.registry_mutex);
+  const std::string_view key(name);
+  const auto it = g.knob_index.find(key);
+  if (it == g.knob_index.end()) {
+    GlobalState::KnobEntry entry;
+    entry.name = std::string(key);
+    entry.set = value != nullptr;
+    if (value != nullptr) entry.value = value;
+    g.knob_entries.push_back(std::move(entry));
+    g.knob_index.emplace(g.knob_entries.back().name,
+                         g.knob_entries.size() - 1);
+  } else {
+    GlobalState::KnobEntry& entry = g.knob_entries[it->second];
+    entry.set = value != nullptr;
+    entry.value = value != nullptr ? value : "";
+  }
+  return value;
+}
+
 void init_from_env() {
   GlobalState& g = state();
   {
@@ -115,14 +156,14 @@ void init_from_env() {
     if (g.counter_entries.empty()) register_catalog_locked(g);
   }
   Config cfg;
-  const char* trace_path = std::getenv("SMART2_TRACE_JSON");
+  const char* trace_path = env_knob_impl("SMART2_TRACE_JSON");
   if (trace_path != nullptr && trace_path[0] != '\0') {
     cfg.trace = true;
     cfg.metrics = true;  // the trace file carries the metrics sections too
   }
-  const char* summary = std::getenv("SMART2_OBS_SUMMARY");
+  const char* summary = env_knob_impl("SMART2_OBS_SUMMARY");
   if (summary != nullptr && summary[0] == '1') cfg.metrics = true;
-  const char* cpu = std::getenv("SMART2_OBS_CPU");
+  const char* cpu = env_knob_impl("SMART2_OBS_CPU");
   if (cpu != nullptr && cpu[0] == '1') cfg.cpu_time = true;
   g.config = cfg;
   g.trace.store(cfg.trace, std::memory_order_release);
@@ -208,6 +249,7 @@ void reset() {
   for (auto& [name, h] : g.histogram_entries) h.clear();
 }
 
+// SMART2_HOT
 std::uint64_t now_ns() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -282,6 +324,27 @@ std::vector<HistogramView> histograms() {
   out.reserve(g.histogram_entries.size());
   for (const auto& [name, h] : g.histogram_entries)
     out.push_back({name.c_str(), &h});
+  return out;
+}
+
+// ------------------------------------------------------------ env knobs
+
+// SMART2_COLD: consulted once per knob at configuration time (function-
+// local static initializers, config construction) — never in a per-sample
+// loop; the registry upsert allocates by design.
+const char* env_knob(const char* name) {
+  ensure_init();
+  return env_knob_impl(name);
+}
+
+std::vector<EnvKnobView> env_knobs() {
+  ensure_init();
+  GlobalState& g = state();
+  std::shared_lock<std::shared_mutex> lock(g.registry_mutex);
+  std::vector<EnvKnobView> out;
+  out.reserve(g.knob_entries.size());
+  for (const auto& entry : g.knob_entries)
+    out.push_back({entry.name, entry.set, entry.value});
   return out;
 }
 

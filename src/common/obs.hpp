@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace smart2::obs {
@@ -94,6 +95,7 @@ class Histogram {
       1'000'000'000ULL,  10'000'000'000ULL};
   static constexpr std::size_t kBucketCount = kEdges.size() + 1;
 
+  // SMART2_HOT
   void observe_ns(std::uint64_t ns) noexcept {
     std::size_t b = 0;
     while (b < kEdges.size() && ns >= kEdges[b]) ++b;
@@ -144,6 +146,25 @@ struct HistogramView {
 };
 std::vector<CounterView> counters();
 std::vector<HistogramView> histograms();
+
+// ------------------------------------------------------------ env knobs
+
+/// Read an environment variable through the observability registry:
+/// returns std::getenv(name) and records {name, set, value} in
+/// first-consult order, so the summary sink can show exactly which knobs
+/// the run consulted and what it saw — the docs/code drift guard SERVING.md
+/// relies on (every knob a doc documents must reach the registry).
+/// Re-consulting a name updates its recorded value. `name` should be a
+/// [A-Z0-9_]+ string literal (the env-var spelling, e.g. "SMART2_THREADS").
+const char* env_knob(const char* name);
+
+/// First-consult-order snapshot of every knob consulted so far.
+struct EnvKnobView {
+  std::string name;
+  bool set = false;
+  std::string value;  // empty when !set
+};
+std::vector<EnvKnobView> env_knobs();
 
 // ------------------------------------------------------------ spans
 

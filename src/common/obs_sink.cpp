@@ -163,6 +163,17 @@ std::string render_summary() {
   }
   if (any_hist) out += hist_table.render();
   if (!any_counter && !any_hist) out += "(no observations)\n";
+
+  // Env knobs the run consulted, in first-consult order — the docs/code
+  // drift guard: a knob documented in SERVING.md / README.md that never
+  // shows up here was never read by the code.
+  const std::vector<EnvKnobView> knobs = env_knobs();
+  if (!knobs.empty()) {
+    TableWriter knob_table({"env knob", "value"});
+    for (const EnvKnobView& k : knobs)
+      knob_table.add_row({k.name, k.set ? k.value : "(unset)"});
+    out += knob_table.render();
+  }
   return out;
 }
 

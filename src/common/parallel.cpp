@@ -19,7 +19,7 @@ namespace {
 thread_local bool t_on_worker = false;
 
 std::size_t env_thread_count() {
-  if (const char* env = std::getenv("SMART2_THREADS")) {
+  if (const char* env = obs::env_knob("SMART2_THREADS")) {
     char* end = nullptr;
     const long parsed = std::strtol(env, &end, 10);
     if (end != env && parsed >= 1) return static_cast<std::size_t>(parsed);

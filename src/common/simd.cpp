@@ -1,8 +1,9 @@
 #include "common/simd.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
+
+#include "common/obs.hpp"
 
 namespace smart2::simd {
 
@@ -12,7 +13,7 @@ namespace {
 /// probe (function-local static: no init-order dependence on other TUs).
 std::atomic<bool>& scalar_flag() noexcept {
   static std::atomic<bool> forced{[] {
-    const char* env = std::getenv("SMART2_SIMD");
+    const char* env = obs::env_knob("SMART2_SIMD");
     return env != nullptr && std::strcmp(env, "scalar") == 0;
   }()};
   return forced;

@@ -154,6 +154,18 @@ std::vector<std::vector<std::uint64_t>> HpcCollector::trace(
   return out;
 }
 
+std::vector<double> HpcCollector::trace_features(const AppSpec& app,
+                                                 std::span<const Event> events,
+                                                 std::size_t windows) const {
+  const std::vector<std::vector<std::uint64_t>> counts =
+      trace(app, events, windows);
+  std::vector<double> out;
+  out.reserve(windows * events.size());
+  for (const std::vector<std::uint64_t>& row : counts)
+    for (const std::uint64_t c : row) out.push_back(static_cast<double>(c));
+  return out;
+}
+
 Dataset build_hpc_dataset(const std::vector<AppSpec>& corpus,
                           const HpcCollector& collector) {
   std::vector<std::string> feature_names;

@@ -59,6 +59,13 @@ class HpcCollector {
                                                 std::span<const Event> events,
                                                 std::size_t windows) const;
 
+  /// trace() flattened into detector feature space: per-window counts as
+  /// doubles, row-major (window-major, `events.size()` values per window) —
+  /// the layout the serving feed and the on-line detectors consume.
+  std::vector<double> trace_features(const AppSpec& app,
+                                     std::span<const Event> events,
+                                     std::size_t windows) const;
+
  private:
   std::uint64_t run_seed(const AppSpec& app, std::uint64_t run_index) const;
 

@@ -29,7 +29,7 @@ namespace {
 // SMART2_HOT
 std::atomic<bool>& tree_lockstep_flag() noexcept {
   static std::atomic<bool> flag = [] {
-    const char* env = std::getenv("SMART2_TREE_LOCKSTEP");
+    const char* env = obs::env_knob("SMART2_TREE_LOCKSTEP");
     return env != nullptr && std::strcmp(env, "1") == 0;
   }();
   return flag;

@@ -17,7 +17,7 @@ namespace {
 std::atomic<int> g_engine{0};
 
 int resolve_engine_from_env() {
-  const char* env = std::getenv("SMART2_TRAIN_PRESORT");
+  const char* env = obs::env_knob("SMART2_TRAIN_PRESORT");
   if (env != nullptr && env[0] == '0' && env[1] == '\0') return 2;
   return 1;
 }

@@ -1,0 +1,91 @@
+#include "serve/feed.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/feature_plan.hpp"
+#include "serve/hash.hpp"
+#include "workload/appmodels.hpp"
+
+namespace smart2::serve {
+
+StreamFeed::StreamFeed(FeedConfig config, const HpcCollector& collector,
+                       std::span<const std::size_t> common_features)
+    : config_(config) {
+  if (config_.streams == 0)
+    throw std::invalid_argument("StreamFeed: need >= 1 stream");
+  if (config_.profiles_per_class == 0 || config_.bank_windows == 0)
+    throw std::invalid_argument("StreamFeed: empty window bank");
+  if (config_.benign_fraction < 0.0 || config_.benign_fraction > 1.0)
+    throw std::invalid_argument("StreamFeed: benign fraction outside [0,1]");
+  if (common_features.size() != kCommonFeatureCount)
+    throw std::invalid_argument(
+        "StreamFeed: need the 4 Common feature indices (plan().common)");
+
+  std::array<Event, kCommonFeatureCount> events{};
+  for (std::size_t j = 0; j < kCommonFeatureCount; ++j)
+    events[j] = event_at(common_features[j]);
+
+  // Trace the bank: one run per (class, profile) app across the pool.
+  // Substream Rngs are forked serially before the fan-out, so the bank is
+  // bit-identical for every thread count.
+  const std::size_t profiles = config_.profiles_per_class;
+  const std::size_t windows = config_.bank_windows;
+  const std::size_t rows = kNumAppClasses * profiles;
+  Rng root(config_.seed);
+  std::vector<AppSpec> apps(rows);
+  for (std::size_t c = 0; c < kNumAppClasses; ++c) {
+    for (std::size_t p = 0; p < profiles; ++p) {
+      Rng sub = root.fork();
+      AppSpec& app = apps[c * profiles + p];
+      app.profile = sample_profile(static_cast<AppClass>(c), sub);
+      app.app_seed = sub.next_u64();
+    }
+  }
+  bank_.assign(rows * windows * kCommonFeatureCount, 0.0);
+  parallel::parallel_for(0, rows, [&](std::size_t r) {
+    const std::vector<double> trace =
+        collector.trace_features(apps[r], events, windows);
+    std::copy(trace.begin(), trace.end(),
+              bank_.begin() +
+                  static_cast<std::ptrdiff_t>(r * windows *
+                                              kCommonFeatureCount));
+  });
+}
+
+// SMART2_HOT
+std::uint64_t StreamFeed::stream_hash(std::uint64_t stream) const noexcept {
+  return mix64(config_.seed ^ mix64(stream + 1));
+}
+
+// SMART2_HOT
+AppClass StreamFeed::class_of(std::uint64_t stream) const noexcept {
+  const std::uint64_t h = stream_hash(stream);
+  if (unit_of(h) < config_.benign_fraction) return AppClass::kBenign;
+  return kMalwareClasses[(h >> 32) % kNumMalwareClasses];
+}
+
+// SMART2_HOT
+void StreamFeed::window(std::uint64_t stream, std::uint64_t tick,
+                        std::span<double> out) const {
+  const std::uint64_t h = stream_hash(stream);
+  const std::size_t c = static_cast<std::size_t>(label_of(class_of(stream)));
+  const std::size_t p = (h >> 8) % config_.profiles_per_class;
+  const std::size_t phase = (h >> 20) % config_.bank_windows;
+  const std::size_t w =
+      (phase + static_cast<std::size_t>(tick)) % config_.bank_windows;
+  const double* base =
+      bank_.data() + ((c * config_.profiles_per_class + p) *
+                          config_.bank_windows +
+                      w) *
+                         kCommonFeatureCount;
+  for (std::size_t j = 0; j < kCommonFeatureCount; ++j) {
+    const double u = unit_of(mix64(h ^ mix64(tick * 8 + j)));
+    out[j] = base[j] * (1.0 + config_.jitter_sigma * (2.0 * u - 1.0));
+  }
+}
+
+}  // namespace smart2::serve

@@ -1,0 +1,67 @@
+// Synthetic fleet workload for the serving engine: 100k–1M monitored
+// process streams drawn from the src/workload application models.
+//
+// Tracing one fresh machine simulation per stream per tick would cap the
+// simulated fleet at a few hundred streams, so the feed separates the
+// expensive part from the hot part. At construction it traces a small bank
+// of real per-window HPC vectors (collector trace over sample_profile
+// apps — a few profiles per class, a few dozen windows each); window()
+// then synthesizes stream s's window at tick t by picking a bank row and
+// jittering it, as a pure function of (seed, s, t) via splitmix64 mixing.
+// No sequential Rng state means any subset of (stream, tick) pairs can be
+// generated in any order — or on any thread — and replay exactly, which
+// is what the serve determinism tests and bench_serving need.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/labels.hpp"
+#include "hpc/collector.hpp"
+
+namespace smart2::serve {
+
+struct FeedConfig {
+  /// Simulated concurrent monitored processes.
+  std::size_t streams = 100'000;
+  /// Distinct applications traced per class for the window bank.
+  std::size_t profiles_per_class = 3;
+  /// Windows traced per application (streams cycle through them).
+  std::size_t bank_windows = 32;
+  /// Fraction of streams running benign workloads.
+  double benign_fraction = 0.7;
+  /// Multiplicative per-value jitter: counts scale by 1 ± sigma.
+  double jitter_sigma = 0.05;
+  std::uint64_t seed = 42;
+};
+
+class StreamFeed {
+ public:
+  /// Trace the window bank for the 4 Common events given by
+  /// `common_features` (feature indices into the 44-event space, i.e.
+  /// hmd.plan().common — the registers a deployed fleet programs).
+  StreamFeed(FeedConfig config, const HpcCollector& collector,
+             std::span<const std::size_t> common_features);
+
+  std::size_t streams() const noexcept { return config_.streams; }
+  const FeedConfig& config() const noexcept { return config_; }
+
+  /// Ground-truth class of stream `s` (fixed for the feed's lifetime).
+  AppClass class_of(std::uint64_t stream) const noexcept;
+
+  /// Fill `out` (kCommonFeatureCount doubles, plan order) with stream
+  /// `s`'s sampling window at tick `t`. Pure function of
+  /// (config.seed, s, t): identical values for any call order or thread.
+  void window(std::uint64_t stream, std::uint64_t tick,
+              std::span<double> out) const;
+
+ private:
+  std::uint64_t stream_hash(std::uint64_t stream) const noexcept;
+
+  FeedConfig config_;
+  /// [class][profile][window][feature], row-major.
+  std::vector<double> bank_;
+};
+
+}  // namespace smart2::serve

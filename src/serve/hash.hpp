@@ -1,0 +1,29 @@
+// Deterministic 64-bit mixing for the serving layer.
+//
+// Stream→shard routing and the synthetic feed's per-(stream, tick) draws
+// must be pure functions of their integer inputs: never std::hash (its
+// value is implementation-defined, so routing would differ across
+// platforms) and never a sequential Rng (a shared stream would make window
+// generation order-dependent and parallel-unsafe). The splitmix64
+// finalizer is the repository's standard answer (Rng seeding and the
+// collector's run-seed derivation use the same construction).
+#pragma once
+
+#include <cstdint>
+
+namespace smart2::serve {
+
+/// splitmix64 finalizer: a high-quality stateless mix of one 64-bit value.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a mixed value (Rng::uniform's mapping).
+constexpr double unit_of(std::uint64_t x) noexcept {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace smart2::serve

@@ -1,0 +1,89 @@
+// Fixed-capacity FIFO ring of HPC window samples — one per serving shard.
+//
+// The ring is the shard's ingestion queue: producers push one Sample per
+// monitored-process sampling window, the shard's tick drains it in arrival
+// order through the epoch-batched inference path. Capacity is fixed at
+// construction (the backpressure bound); a full ring never reallocates —
+// admission control decides whether the new sample is rejected
+// (drop-newest) or the queue head is overwritten (drop-oldest). See
+// SERVING.md for the drop-policy contract.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/feature_plan.hpp"
+
+namespace smart2::serve {
+
+/// One sampling window of one monitored stream: the 4 Common HPC values in
+/// the pipeline's plan().common order. `ingest_ns` (obs::now_ns() at
+/// submit) feeds only the serve.verdict.latency histogram — verdict bytes
+/// never depend on it.
+struct Sample {
+  std::uint64_t stream_id = 0;
+  std::uint64_t ingest_ns = 0;
+  std::array<double, kCommonFeatureCount> window{};
+};
+
+/// Single-writer fixed-capacity circular FIFO. All storage is allocated at
+/// construction; push/pop never touch the heap (the steady-state ingest
+/// path is zero-allocation, alloc_test asserts it).
+class SampleRing {
+ public:
+  explicit SampleRing(std::size_t capacity)
+      : slots_(capacity > 0 ? capacity : 1) {}
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  bool full() const noexcept { return count_ == slots_.size(); }
+
+  /// Append at the tail. Returns false (ring unchanged) when full.
+  // SMART2_HOT
+  bool push(const Sample& s) noexcept {
+    if (count_ == slots_.size()) return false;
+    slots_[wrap(head_ + count_)] = s;
+    ++count_;
+    return true;
+  }
+
+  /// Drop the oldest queued sample (the kDropOldest admission policy).
+  // SMART2_HOT
+  void pop_front() noexcept {
+    if (count_ == 0) return;
+    head_ = wrap(head_ + 1);
+    --count_;
+  }
+
+  /// The i-th queued sample in arrival order (i < size()).
+  // SMART2_HOT
+  const Sample& at(std::size_t i) const noexcept {
+    return slots_[wrap(head_ + i)];
+  }
+
+  /// Release the first n queued samples (after an epoch consumed them).
+  // SMART2_HOT
+  void consume(std::size_t n) noexcept {
+    head_ = wrap(head_ + n);
+    count_ -= n;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t wrap(std::size_t i) const noexcept {
+    return i < slots_.size() ? i : i - slots_.size();
+  }
+
+  std::vector<Sample> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace smart2::serve

@@ -1,0 +1,490 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "common/arena.hpp"
+#include "common/parallel.hpp"
+#include "serve/hash.hpp"
+
+namespace smart2::serve {
+
+namespace {
+
+/// Parse a positive integer env value; `fallback` on unset/unparsable/0.
+std::size_t knob_size(const char* value, std::size_t fallback) {
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Parse a non-negative integer env value (0 is meaningful: "never").
+std::uint64_t knob_u64(const char* value, std::uint64_t fallback) {
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+/// The constructor / swap_model admission contract for a pipeline.
+void validate_model(const TwoStageHmd& model) {
+  if (!model.trained())
+    throw std::invalid_argument("DetectionService: pipeline is not trained");
+  if (!model.compiled())
+    throw std::invalid_argument(
+        "DetectionService: pipeline is not compiled (train() and load() "
+        "compile automatically; call compile() after manual assembly)");
+  if (model.config().stage2_features != Stage2Features::kCommon4)
+    throw std::invalid_argument(
+        "DetectionService: per-window serving needs Common4 stage-2 "
+        "detectors (a window only yields the 4 run-time HPC values)");
+  if (model.plan().common.size() != kCommonFeatureCount)
+    throw std::invalid_argument(
+        "DetectionService: pipeline common plan must have exactly 4 events");
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_env() {
+  ServeConfig cfg;
+  cfg.shards = knob_size(obs::env_knob("SMART2_SERVE_SHARDS"), cfg.shards);
+  cfg.queue_capacity =
+      knob_size(obs::env_knob("SMART2_SERVE_QUEUE"), cfg.queue_capacity);
+  cfg.max_streams_per_shard = knob_size(
+      obs::env_knob("SMART2_SERVE_STREAM_CAP"), cfg.max_streams_per_shard);
+  cfg.evict_after_ticks =
+      knob_u64(obs::env_knob("SMART2_SERVE_EVICT_TTL"), cfg.evict_after_ticks);
+  const char* policy = obs::env_knob("SMART2_SERVE_DROP_POLICY");
+  if (policy != nullptr) {
+    const std::string_view p(policy);
+    if (p == "oldest") cfg.drop_policy = DropPolicy::kDropOldest;
+    else if (p == "newest") cfg.drop_policy = DropPolicy::kDropNewest;
+  }
+  return cfg;
+}
+
+DetectionService::Shard::Shard(const ServeConfig& cfg)
+    : ring(cfg.queue_capacity) {
+  slots.resize(cfg.max_streams_per_shard);
+  // Pop order is back-first: fill in reverse so slot 0 is admitted first
+  // (stable slot assignment for a fixed ingest script).
+  free_slots.reserve(cfg.max_streams_per_shard);
+  for (std::size_t s = cfg.max_streams_per_shard; s > 0; --s)
+    free_slots.push_back(static_cast<std::uint32_t>(s - 1));
+  // Probe table at <= 50% load: smallest power of two holding twice the
+  // slot capacity. Linear probing then always finds an empty cell.
+  std::size_t cells = 8;
+  while (cells < 2 * cfg.max_streams_per_shard) cells *= 2;
+  table.assign(cells, kNull);
+  table_mask = static_cast<std::uint32_t>(cells - 1);
+  log.resize(cfg.queue_capacity);
+}
+
+// SMART2_HOT
+std::uint32_t DetectionService::index_lookup(const Shard& sh,
+                                             std::uint64_t id) const noexcept {
+  std::uint32_t p = table_home(id, sh.table_mask);
+  while (sh.table[p] != kNull) {
+    if (sh.slots[sh.table[p]].stream_id == id) return sh.table[p];
+    p = (p + 1) & sh.table_mask;
+  }
+  return kNull;
+}
+
+// SMART2_HOT
+void DetectionService::index_insert(Shard& sh, std::uint64_t id,
+                                    std::uint32_t slot) noexcept {
+  std::uint32_t p = table_home(id, sh.table_mask);
+  while (sh.table[p] != kNull) p = (p + 1) & sh.table_mask;
+  sh.table[p] = slot;
+}
+
+// SMART2_HOT
+void DetectionService::index_erase(Shard& sh, std::uint64_t id) noexcept {
+  const std::uint32_t mask = sh.table_mask;
+  std::uint32_t p = table_home(id, mask);
+  while (sh.slots[sh.table[p]].stream_id != id) p = (p + 1) & mask;
+  // Backward-shift deletion: pull every displaced successor of the probe
+  // run into the hole so lookups never need tombstones.
+  std::uint32_t q = (p + 1) & mask;
+  while (sh.table[q] != kNull) {
+    const std::uint32_t home = table_home(sh.slots[sh.table[q]].stream_id,
+                                          mask);
+    // q's entry may fill the hole iff its home precedes-or-is the hole in
+    // circular probe order: (q - home) spans at least back to p.
+    if (((q - home) & mask) >= ((q - p) & mask)) {
+      sh.table[p] = sh.table[q];
+      p = q;
+    }
+    q = (q + 1) & mask;
+  }
+  sh.table[p] = kNull;
+}
+
+DetectionService::DetectionService(std::shared_ptr<const TwoStageHmd> model,
+                                   ServeConfig config)
+    : config_(config),
+      model_(std::move(model)),
+      c_accepted_(&obs::counter("serve.ingest.accepted")),
+      c_dropped_(&obs::counter("serve.ingest.dropped")),
+      c_admitted_(&obs::counter("serve.stream.admitted")),
+      c_evicted_(&obs::counter("serve.stream.evicted")),
+      c_alarms_(&obs::counter("serve.alarms")),
+      c_verdicts_(&obs::counter("serve.verdicts")),
+      h_latency_(&obs::histogram("serve.verdict.latency")) {
+  if (model_ == nullptr)
+    throw std::invalid_argument("DetectionService: null pipeline");
+  validate_model(*model_);
+  if (config_.shards == 0)
+    throw std::invalid_argument("DetectionService: need >= 1 shard");
+  if (config_.queue_capacity == 0)
+    throw std::invalid_argument("DetectionService: need queue capacity >= 1");
+  if (config_.max_streams_per_shard == 0)
+    throw std::invalid_argument(
+        "DetectionService: need >= 1 stream slot per shard");
+  // Validate the detector parameters the same way OnlineDetector does.
+  if (config_.detector.smoothing <= 0.0 || config_.detector.smoothing > 1.0)
+    throw std::invalid_argument("DetectionService: smoothing must be in (0,1]");
+  if (config_.detector.clear_threshold > config_.detector.raise_threshold)
+    throw std::invalid_argument(
+        "DetectionService: clear threshold above raise threshold");
+  if (config_.detector.confirm_windows == 0)
+    throw std::invalid_argument("DetectionService: need >= 1 confirm window");
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s)
+    shards_.emplace_back(config_);
+}
+
+// SMART2_HOT
+std::size_t DetectionService::shard_of(std::uint64_t stream_id) const noexcept {
+  return static_cast<std::size_t>(mix64(stream_id) % shards_.size());
+}
+
+// SMART2_HOT
+bool DetectionService::submit(std::uint64_t stream_id,
+                              std::span<const double> window) {
+  if (window.size() != kCommonFeatureCount)
+    throw std::invalid_argument(
+        "DetectionService: a window is the 4 Common HPC values");
+  Shard& sh = shards_[shard_of(stream_id)];
+  ++sh.submitted;
+  const bool metrics = obs::metrics_enabled();
+
+  Sample sample;
+  sample.stream_id = stream_id;
+  sample.ingest_ns = metrics ? obs::now_ns() : 0;
+  for (std::size_t j = 0; j < kCommonFeatureCount; ++j)
+    sample.window[j] = window[j];
+
+  if (sh.ring.full()) {
+    ++sh.dropped;
+    if (metrics) c_dropped_->add();
+    if (config_.drop_policy == DropPolicy::kDropNewest) return false;
+    sh.ring.pop_front();  // kDropOldest: freshness wins over history
+  }
+  sh.ring.push(sample);
+  ++sh.accepted;
+  if (metrics) c_accepted_->add();
+  return true;
+}
+
+void DetectionService::lru_unlink(Shard& sh, std::uint32_t slot) noexcept {
+  StreamState& st = sh.slots[slot];
+  if (st.lru_prev != kNull) sh.slots[st.lru_prev].lru_next = st.lru_next;
+  else sh.lru_head = st.lru_next;
+  if (st.lru_next != kNull) sh.slots[st.lru_next].lru_prev = st.lru_prev;
+  else sh.lru_tail = st.lru_prev;
+  st.lru_prev = kNull;
+  st.lru_next = kNull;
+}
+
+void DetectionService::lru_push_front(Shard& sh, std::uint32_t slot) noexcept {
+  StreamState& st = sh.slots[slot];
+  st.lru_prev = kNull;
+  st.lru_next = sh.lru_head;
+  if (sh.lru_head != kNull) sh.slots[sh.lru_head].lru_prev = slot;
+  sh.lru_head = slot;
+  if (sh.lru_tail == kNull) sh.lru_tail = slot;
+}
+
+// SMART2_HOT
+void DetectionService::evict_slot(Shard& sh, std::uint32_t slot) noexcept {
+  lru_unlink(sh, slot);
+  index_erase(sh, sh.slots[slot].stream_id);
+  sh.free_slots.push_back(slot);  // capacity reserved at construction
+  ++sh.evicted;
+  if (obs::metrics_enabled()) c_evicted_->add();
+}
+
+// SMART2_HOT
+std::uint32_t DetectionService::admit(Shard& sh, std::uint64_t id) {
+  const std::uint32_t resident = index_lookup(sh, id);
+  if (resident != kNull) return resident;
+  // New stream: reuse a free slot, evicting the least-recently-active
+  // resident when the shard is at stream capacity.
+  if (sh.free_slots.empty()) evict_slot(sh, sh.lru_tail);
+  const std::uint32_t slot = sh.free_slots.back();
+  sh.free_slots.pop_back();
+  StreamState& st = sh.slots[slot];
+  st = StreamState{};
+  st.stream_id = id;
+  index_insert(sh, id, slot);
+  lru_push_front(sh, slot);
+  ++sh.admitted;
+  if (obs::metrics_enabled()) c_admitted_->add();
+  return slot;
+}
+
+// SMART2_HOT
+void DetectionService::sweep_idle(Shard& sh, std::uint64_t now_tick) noexcept {
+  // The LRU list is ordered by last activity, so walking from the tail
+  // stops at the first fresh stream: O(evicted), not O(resident).
+  while (sh.lru_tail != kNull) {
+    const StreamState& st = sh.slots[sh.lru_tail];
+    if (now_tick - st.last_tick <= config_.evict_after_ticks) break;
+    evict_slot(sh, sh.lru_tail);
+  }
+}
+
+// One epoch of a shard's tick — the serving analogue of
+// OnlineDetectorBank::observe_epoch: stage 1 over the whole block via the
+// SIMD batch kernel, the low-benign-confidence subset gathered per
+// suspected class and scored by that class's stage-2 detector in slot
+// order, then every stream's EWMA/hysteresis state advanced in FIFO
+// arrival order — the identical update OnlineDetector::apply_window runs,
+// so verdicts match a lone detector bit for bit (serve_test's oracle).
+// SMART2_HOT
+void DetectionService::infer_epoch(Shard& sh, const TwoStageHmd& model,
+                                   std::uint64_t generation,
+                                   std::uint64_t now_tick, std::size_t begin,
+                                   std::size_t m) {
+  SMART2_SPAN("serve.epoch.infer");
+  constexpr std::size_t nc = kCommonFeatureCount;
+
+  const ScratchSpan common_s(m * nc);
+  double* common = common_s.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const Sample& sample = sh.ring.at(begin + i);
+    for (std::size_t j = 0; j < nc; ++j)
+      common[i * nc + j] = sample.window[j];
+  }
+  const ScratchSpan proba_s(m * kNumAppClasses);
+  double* proba = proba_s.data();
+  model.stage1_proba_batch_into(common, m, nc, proba);
+
+  // Score each window: confident-benign rows keep their residual malware
+  // mass, the rest queue for their suspected class's stage-2 detector.
+  const ScratchSpan scores_s(m);
+  double* scores = scores_s.data();
+  ScratchArray<std::uint8_t> slot_of(m);
+  ScratchArray<std::uint8_t> suspected_of(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* p = proba + i * kNumAppClasses;
+    std::size_t best_slot = 0;
+    for (std::size_t s = 1; s < kNumMalwareClasses; ++s)
+      if (p[static_cast<std::size_t>(label_of(kMalwareClasses[s]))] >
+          p[static_cast<std::size_t>(label_of(kMalwareClasses[best_slot]))])
+        best_slot = s;
+    suspected_of[i] = static_cast<std::uint8_t>(best_slot);
+    const double benign_p =
+        p[static_cast<std::size_t>(label_of(AppClass::kBenign))];
+    if (benign_p >= 0.95) {
+      scores[i] = 1.0 - benign_p;
+      slot_of[i] = static_cast<std::uint8_t>(kNumMalwareClasses);
+    } else {
+      slot_of[i] = suspected_of[i];
+    }
+  }
+
+  const ScratchSpan feats_s(m * nc);
+  const ScratchSpan sub_scores_s(m);
+  ScratchArray<std::uint32_t> rows(m);
+  for (std::size_t s = 0; s < kNumMalwareClasses; ++s) {
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < m; ++i)
+      if (slot_of[i] == s) rows[cnt++] = static_cast<std::uint32_t>(i);
+    if (cnt == 0) continue;
+    double* feats = feats_s.data();
+    for (std::size_t j = 0; j < cnt; ++j) {
+      // For Common4 detectors the window itself is the stage-2 vector.
+      const double* src = common + rows[j] * nc;
+      std::copy(src, src + nc, feats + j * nc);
+    }
+    model.stage2_score_batch_into(kMalwareClasses[s], feats, cnt, nc,
+                                  {sub_scores_s.data(), cnt});
+    for (std::size_t j = 0; j < cnt; ++j)
+      scores[rows[j]] = sub_scores_s.data()[j];
+  }
+
+  // Apply in FIFO arrival order: a stream with several queued windows must
+  // fold them into its EWMA in the order they arrived.
+  const bool metrics = obs::metrics_enabled();
+  const std::uint64_t drain_ns = metrics ? obs::now_ns() : 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Sample& sample = sh.ring.at(begin + i);
+    const std::uint32_t slot = admit(sh, sample.stream_id);
+    StreamState& st = sh.slots[slot];
+
+    // OnlineDetector::apply_window, verbatim, over the pooled state.
+    OnlineDetector::WindowVerdict v;
+    v.window_score = scores[i];
+    v.suspected_class = kMalwareClasses[suspected_of[i]];
+    ++st.seq;
+    st.score = st.seq == 1
+                   ? v.window_score
+                   : config_.detector.smoothing * v.window_score +
+                         (1.0 - config_.detector.smoothing) * st.score;
+    v.smoothed_score = st.score;
+    const bool was_alarmed = st.alarmed;
+    if (st.score >= config_.detector.raise_threshold) {
+      ++st.consecutive_high;
+      if (st.consecutive_high >= config_.detector.confirm_windows)
+        st.alarmed = true;
+    } else {
+      st.consecutive_high = 0;
+      if (st.score < config_.detector.clear_threshold) st.alarmed = false;
+    }
+    v.alarmed = st.alarmed;
+    v.alarm_edge = st.alarmed && !was_alarmed;
+    if (v.alarm_edge) {
+      ++sh.alarms;
+      if (metrics) c_alarms_->add();
+    }
+
+    // LRU touch + idle clock.
+    if (sh.lru_head != slot) {
+      lru_unlink(sh, slot);
+      lru_push_front(sh, slot);
+    }
+    st.last_tick = now_tick;
+
+    StreamVerdict& rec = sh.log[sh.log_count++];
+    rec.stream_id = sample.stream_id;
+    rec.seq = st.seq;
+    rec.generation = generation;
+    rec.verdict = v;
+    if (metrics) h_latency_->observe_ns(drain_ns - sample.ingest_ns);
+  }
+}
+
+// SMART2_HOT
+void DetectionService::process_shard(Shard& sh, const TwoStageHmd& model,
+                                     std::uint64_t generation,
+                                     std::uint64_t now_tick) {
+  SMART2_SPAN("serve.shard.ingest");
+  sh.log_count = 0;
+  if (config_.evict_after_ticks != 0) sweep_idle(sh, now_tick);
+  const std::size_t n = sh.ring.size();
+  constexpr std::size_t kEpoch = TwoStageHmd::kDetectEpoch;
+  std::size_t begin = 0;
+  while (begin < n) {
+    const std::size_t m = std::min(kEpoch, n - begin);
+    infer_epoch(sh, model, generation, now_tick, begin, m);
+    begin += m;
+  }
+  sh.ring.consume(n);
+}
+
+// SMART2_HOT
+std::size_t DetectionService::tick() {
+  SMART2_SPAN("serve.tick");
+  // Snapshot {model, generation} exactly once: the whole tick — every
+  // shard, every epoch — scores on this generation. A concurrent
+  // swap_model() takes effect at the next tick boundary (the hot-swap
+  // consistency guarantee in SERVING.md).
+  std::shared_ptr<const TwoStageHmd> model;
+  std::uint64_t generation = 0;
+  {
+    const std::lock_guard<std::mutex> lock(model_mutex_);
+    model = model_;
+    generation = generation_;
+  }
+  ++tick_;
+  const std::uint64_t now_tick = tick_;
+
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) total += sh.ring.size();
+
+  // Shards hold disjoint streams and disjoint rings, so the fan-out is
+  // embarrassingly parallel; each shard is still processed sequentially,
+  // which is what makes the verdict stream thread-count independent. The
+  // serial branch keeps SMART2_THREADS=1 free of the pooled call's task
+  // record (the zero-alloc budget alloc_test measures).
+  auto run_shard = [&](std::size_t s) {
+    process_shard(shards_[s], *model, generation, now_tick);
+  };
+  if (parallel::thread_count() == 1 || shards_.size() == 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) run_shard(s);
+  } else {
+    parallel::parallel_for(0, shards_.size(), run_shard);
+  }
+
+  verdict_total_ += total;
+  if (obs::metrics_enabled()) c_verdicts_->add(total);
+  return total;
+}
+
+std::span<const StreamVerdict> DetectionService::verdicts(
+    std::size_t s) const {
+  const Shard& sh = shards_.at(s);
+  return {sh.log.data(), sh.log_count};
+}
+
+void DetectionService::swap_model(std::shared_ptr<const TwoStageHmd> next) {
+  SMART2_SPAN("serve.swap");
+  if (next == nullptr)
+    throw std::invalid_argument("DetectionService: null successor pipeline");
+  validate_model(*next);
+  {
+    const std::lock_guard<std::mutex> lock(model_mutex_);
+    // The fleet's HPC registers are programmed with the current common
+    // events; a successor wanting different ones is a redeploy, not a swap.
+    if (next->plan().common != model_->plan().common)
+      throw std::invalid_argument(
+          "DetectionService: successor changes the common-event plan");
+    model_ = std::move(next);
+    ++generation_;
+  }
+  if (obs::metrics_enabled()) obs::counter("serve.swap.generations").add();
+}
+
+std::uint64_t DetectionService::generation() const {
+  const std::lock_guard<std::mutex> lock(model_mutex_);
+  return generation_;
+}
+
+std::size_t DetectionService::active_streams() const noexcept {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_)
+    n += sh.slots.size() - sh.free_slots.size();
+  return n;
+}
+
+std::size_t DetectionService::alarmed_streams() const noexcept {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_)
+    for (std::uint32_t s = sh.lru_head; s != kNull; s = sh.slots[s].lru_next)
+      if (sh.slots[s].alarmed) ++n;
+  return n;
+}
+
+ServeStats DetectionService::stats() const noexcept {
+  ServeStats s;
+  for (const Shard& sh : shards_) {
+    s.submitted += sh.submitted;
+    s.accepted += sh.accepted;
+    s.dropped += sh.dropped;
+    s.admitted += sh.admitted;
+    s.evicted += sh.evicted;
+    s.alarms += sh.alarms;
+  }
+  s.verdicts = verdict_total_;
+  return s;
+}
+
+}  // namespace smart2::serve

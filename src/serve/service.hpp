@@ -1,0 +1,246 @@
+// Sharded streaming detection service — the deployment shape of 2SMaRT.
+//
+// ROADMAP item 1: turn the library into something that *serves*. The paper
+// frames the detector as run-time hardware-assisted monitoring, so the
+// service models a fleet monitor: every monitored process is a stream of
+// 10 ms HPC sampling windows; the service routes each stream to one of N
+// shards, buffers windows in a per-shard fixed-capacity ring, and on every
+// tick drains all shards through the compiled+SIMD epoch-batched two-stage
+// pipeline, advancing each stream's EWMA/hysteresis state exactly as a
+// lone OnlineDetector would (bit-identical verdicts — serve_test holds the
+// equivalence oracle).
+//
+// Determinism contract (DESIGN.md §14): the shard count is fixed by config
+// — never derived from the thread count — stream→shard routing is a pure
+// hash, shards are data-disjoint, and each shard processes its queue
+// sequentially in FIFO epochs, so the verdict stream is byte-identical for
+// every SMART2_THREADS value. Hot model swap is generation-counted: a tick
+// snapshots {model, generation} once at entry, so an in-flight tick
+// finishes entirely on the old generation and a swap takes effect at the
+// next tick boundary (SERVING.md, "Hot-swap consistency").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/obs.hpp"
+#include "core/online_detector.hpp"
+#include "core/two_stage.hpp"
+#include "serve/hash.hpp"
+#include "serve/ring.hpp"
+
+namespace smart2::serve {
+
+/// What happens when a sample arrives for a shard whose ring is full.
+enum class DropPolicy {
+  /// Reject the arriving sample (the queued backlog is preserved).
+  kDropNewest,
+  /// Overwrite the oldest queued sample (freshness wins over history).
+  kDropOldest,
+};
+
+struct ServeConfig {
+  /// Number of shards. Fixed at construction and NEVER derived from the
+  /// thread count: routing and verdict order must not change with
+  /// SMART2_THREADS.
+  std::size_t shards = 8;
+  /// Ring capacity per shard — the backpressure bound (samples buffered
+  /// between ticks). Full ring ⇒ drop_policy applies.
+  std::size_t queue_capacity = 4096;
+  /// Resident per-stream detector states per shard. Admitting a stream
+  /// beyond this evicts the least-recently-active stream of that shard.
+  std::size_t max_streams_per_shard = 4096;
+  /// Evict streams idle for more than this many ticks (0 = never). Swept
+  /// at tick entry, so an evicted id that re-appears is re-admitted with
+  /// fresh state (seq restarts at 1).
+  std::uint64_t evict_after_ticks = 0;
+  DropPolicy drop_policy = DropPolicy::kDropNewest;
+  /// EWMA/hysteresis parameters applied to every stream.
+  OnlineDetectorConfig detector;
+
+  /// Read SMART2_SERVE_SHARDS / SMART2_SERVE_QUEUE / SMART2_SERVE_STREAM_CAP
+  /// / SMART2_SERVE_EVICT_TTL / SMART2_SERVE_DROP_POLICY over the defaults
+  /// (knob table in SERVING.md; each consult is recorded in the obs
+  /// env-knob registry so the summary shows what the run actually used).
+  static ServeConfig from_env();
+};
+
+/// One verdict emitted by tick(): stream, its per-incarnation window
+/// sequence number, the model generation that scored it, and the
+/// OnlineDetector verdict itself.
+struct StreamVerdict {
+  std::uint64_t stream_id = 0;
+  /// Windows observed by this stream since (re-)admission; 1 = first.
+  std::uint64_t seq = 0;
+  /// Model generation in effect for the tick that scored this window.
+  std::uint64_t generation = 0;
+  OnlineDetector::WindowVerdict verdict;
+};
+
+/// Aggregate service statistics (sums over shards; single-threaded
+/// counters, deterministic).
+struct ServeStats {
+  std::uint64_t submitted = 0;  // submit() calls
+  std::uint64_t accepted = 0;   // samples enqueued (== verdicts eventually)
+  std::uint64_t dropped = 0;    // samples lost to backpressure
+  std::uint64_t admitted = 0;   // stream admissions (incl. revivals)
+  std::uint64_t evicted = 0;    // stream evictions (capacity + TTL)
+  std::uint64_t verdicts = 0;   // verdicts produced by tick()
+  std::uint64_t alarms = 0;     // alarm edges raised
+};
+
+/// The sharded streaming engine. Single ingest thread: submit() and tick()
+/// must not race each other (the bench/monitor driver alternates them);
+/// tick() itself fans the shards out across the smart2::parallel pool.
+class DetectionService {
+ public:
+  /// `model` must be trained, compiled, and configured for Common4 stage-2
+  /// features with a 4-event common plan (the run-time measurement shape).
+  DetectionService(std::shared_ptr<const TwoStageHmd> model,
+                   ServeConfig config = ServeConfig{});
+
+  const ServeConfig& config() const noexcept { return config_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Stream→shard routing: splitmix64-style mix of the id modulo the shard
+  /// count. Pure function of (id, shards) — never of the thread count.
+  std::size_t shard_of(std::uint64_t stream_id) const noexcept;
+
+  /// Enqueue one sampling window (plan().common order) for a stream.
+  /// Returns false when backpressure dropped a sample (under kDropNewest
+  /// the arriving one; under kDropOldest the queue head — the call itself
+  /// then still enqueues and returns true).
+  bool submit(std::uint64_t stream_id, std::span<const double> window);
+
+  /// Drain every shard through the epoch-batched pipeline. Returns the
+  /// number of verdicts produced (== samples queued at entry). Verdicts
+  /// are readable per shard via verdicts() until the next tick() call.
+  std::size_t tick();
+
+  /// Verdicts of shard `s` from the last tick, in processing (FIFO) order.
+  /// Concatenating shards 0..N-1 gives the canonical deterministic order.
+  std::span<const StreamVerdict> verdicts(std::size_t s) const;
+
+  /// Atomically install a new model generation. Validates the successor
+  /// the same way the constructor does, plus plan compatibility (identical
+  /// common-feature indices — the HPC registers a deployed fleet has
+  /// programmed). Takes effect at the next tick() boundary; an in-flight
+  /// tick finishes on the generation it snapshotted.
+  void swap_model(std::shared_ptr<const TwoStageHmd> next);
+
+  /// Generation currently installed (1 = the constructor's model).
+  std::uint64_t generation() const;
+
+  /// Streams currently holding resident detector state.
+  std::size_t active_streams() const noexcept;
+  /// Streams currently holding a raised alarm.
+  std::size_t alarmed_streams() const noexcept;
+  /// Ticks executed so far.
+  std::uint64_t ticks() const noexcept { return tick_; }
+
+  ServeStats stats() const noexcept;
+
+ private:
+  /// Null slot/link sentinel in the per-shard tables.
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+
+  /// Resident per-stream detector state: OnlineDetector's EWMA/hysteresis
+  /// fields flattened into a pooled slot, plus LRU links and the idle
+  /// clock. serve_test proves the update below is bit-equal to
+  /// OnlineDetector::apply_window.
+  struct StreamState {
+    std::uint64_t stream_id = 0;
+    std::uint64_t seq = 0;        // == OnlineDetector::windows_
+    std::uint64_t last_tick = 0;  // last tick that scored this stream
+    double score = 0.0;           // == OnlineDetector::score_
+    std::uint32_t consecutive_high = 0;
+    bool alarmed = false;
+    std::uint32_t lru_prev = kNull;
+    std::uint32_t lru_next = kNull;
+  };
+
+  /// One shard: ingestion ring, the resident stream table (slot pool +
+  /// open-addressing id index + intrusive LRU list), and the tick's
+  /// verdict log. All storage is sized at construction; nothing on the
+  /// serving path allocates — not even admission/eviction, which only
+  /// move entries inside the fixed-capacity probe table.
+  struct Shard {
+    explicit Shard(const ServeConfig& cfg);
+
+    SampleRing ring;
+    std::vector<StreamState> slots;
+    std::vector<std::uint32_t> free_slots;  // stack of unused slot ids
+    /// stream id → slot: linear-probing table of slot indices (kNull =
+    /// empty), power-of-two sized at <= 50% load so probes terminate.
+    /// Erase is backward-shift (no tombstones), so lookup cost stays
+    /// bounded under admission/eviction churn.
+    std::vector<std::uint32_t> table;
+    std::uint32_t table_mask = 0;
+    std::uint32_t lru_head = kNull;  // most recently active
+    std::uint32_t lru_tail = kNull;  // least recently active
+    std::vector<StreamVerdict> log;  // pre-sized to queue_capacity
+    std::size_t log_count = 0;
+    // Single-writer stats (submit thread or the shard's tick lane).
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t alarms = 0;
+  };
+
+  /// Probe-table home position of a stream id. Deliberately a different
+  /// bit range of the mix than shard_of (which is low-bits for power-of-2
+  /// shard counts): every id in a shard shares those low bits, so reusing
+  /// them here would cluster the whole shard onto a fraction of the table.
+  // SMART2_HOT
+  static std::uint32_t table_home(std::uint64_t id,
+                                  std::uint32_t mask) noexcept {
+    return static_cast<std::uint32_t>(mix64(id) >> 32) & mask;
+  }
+  /// Slot of `id`, or kNull when not resident.
+  std::uint32_t index_lookup(const Shard& sh, std::uint64_t id) const noexcept;
+  void index_insert(Shard& sh, std::uint64_t id, std::uint32_t slot) noexcept;
+  void index_erase(Shard& sh, std::uint64_t id) noexcept;
+  void lru_unlink(Shard& sh, std::uint32_t slot) noexcept;
+  void lru_push_front(Shard& sh, std::uint32_t slot) noexcept;
+  /// Slot of `id`, admitting (and possibly evicting) as needed.
+  std::uint32_t admit(Shard& sh, std::uint64_t id);
+  void evict_slot(Shard& sh, std::uint32_t slot) noexcept;
+  void sweep_idle(Shard& sh, std::uint64_t now_tick) noexcept;
+  /// Drain one shard's ring through epochs of <= kDetectEpoch samples.
+  void process_shard(Shard& sh, const TwoStageHmd& model,
+                     std::uint64_t generation, std::uint64_t now_tick);
+  /// One epoch: samples [begin, begin+m) of the ring, batch-scored then
+  /// applied to stream state in FIFO order.
+  void infer_epoch(Shard& sh, const TwoStageHmd& model,
+                   std::uint64_t generation, std::uint64_t now_tick,
+                   std::size_t begin, std::size_t m);
+
+  ServeConfig config_;
+  std::vector<Shard> shards_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t verdict_total_ = 0;
+
+  // Generation-counted model pointer (examples/concept_drift.cpp style).
+  // The mutex only guards the {model_, generation_} pair; tick() holds it
+  // for the snapshot copy, never across inference.
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const TwoStageHmd> model_;
+  std::uint64_t generation_ = 1;
+
+  // Cached obs handles (registry references are process-stable), so the
+  // hot path never walks the name index.
+  obs::Counter* c_accepted_;
+  obs::Counter* c_dropped_;
+  obs::Counter* c_admitted_;
+  obs::Counter* c_evicted_;
+  obs::Counter* c_alarms_;
+  obs::Counter* c_verdicts_;
+  obs::Histogram* h_latency_;
+};
+
+}  // namespace smart2::serve

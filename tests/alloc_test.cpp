@@ -18,6 +18,7 @@
 #include "hpc/dataset_cache.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/train_view.hpp"
+#include "serve/service.hpp"
 #include "workload/appmodels.hpp"
 
 namespace {
@@ -214,6 +215,52 @@ TEST(AllocTest, OnlineObserveSteadyStateIsAllocationFree) {
   for (const auto& w : windows) (void)detector.observe(w);
   EXPECT_EQ(allocation_count(), before)
       << "observe() allocated on the hot path";
+}
+
+TEST(AllocTest, ServingLoopSteadyStateIsAllocationFree) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";
+  auto hmd = std::make_shared<TwoStageHmd>(cfg);
+  hmd->train(small_dataset());
+
+  // Pre-gather Common-4 windows outside the measured loop (as the online
+  // observe test does); streams cycle through them.
+  std::vector<std::vector<double>> windows;
+  windows.reserve(small_dataset().size());
+  for (std::size_t i = 0; i < small_dataset().size(); ++i) {
+    std::vector<double> common;
+    common.reserve(hmd->plan().common.size());
+    for (std::size_t f : hmd->plan().common)
+      common.push_back(small_dataset().features(i)[f]);
+    windows.push_back(std::move(common));
+  }
+
+  serve::ServeConfig serve_cfg;
+  serve_cfg.shards = 2;
+  serve_cfg.queue_capacity = 256;
+  serve_cfg.max_streams_per_shard = 128;
+  serve_cfg.evict_after_ticks = 0;  // fixed population: nobody is evicted
+  serve::DetectionService service(std::move(hmd), serve_cfg);
+
+  // Serial tick (the pool fan-out builds per-call task state); a fixed
+  // stream population so every admission (the one allocating step: the
+  // stream-index map node) happens during warm-up.
+  parallel::set_thread_count(1);
+  constexpr std::uint64_t kStreams = 64;
+  auto cycle = [&](std::uint64_t tick) {
+    for (std::uint64_t s = 0; s < kStreams; ++s)
+      ASSERT_TRUE(
+          service.submit(s, windows[(s + tick * kStreams) % windows.size()]));
+    ASSERT_EQ(service.tick(), kStreams);
+  };
+  cycle(0);  // warm: admits all streams, grows the scratch arena
+
+  const std::uint64_t before = allocation_count();
+  for (std::uint64_t tick = 1; tick <= 10; ++tick) cycle(tick);
+  EXPECT_EQ(allocation_count(), before)
+      << "submit()/tick() allocated on the warm serving path";
+  parallel::set_thread_count(0);
+  EXPECT_EQ(service.stats().verdicts, 11 * kStreams);
 }
 
 // --------------------------------------------- presorted training engine ---

@@ -1,0 +1,602 @@
+// smart2::serve — the sharded streaming service's contracts:
+//  * ring FIFO + backpressure accounting for both drop policies,
+//  * verdict equivalence with a lone OnlineDetector (the oracle),
+//  * byte-identical verdict streams across SMART2_THREADS lanes and SIMD
+//    modes for a fixed ingest script,
+//  * hot model swap: serialize-round-trip no-op, tick-boundary effect,
+//    single-generation-per-tick consistency under a concurrent swap,
+//  * LRU / TTL eviction and stream revival,
+//  * the SERVING.md env-knob drift guard.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/obs.hpp"
+#include "common/parallel.hpp"
+#include "common/simd.hpp"
+#include "core/online_detector.hpp"
+#include "core/two_stage.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "serve/feed.hpp"
+#include "serve/ring.hpp"
+#include "serve/service.hpp"
+
+namespace smart2::serve {
+namespace {
+
+CollectorConfig fast_collector() {
+  CollectorConfig cfg;
+  cfg.cycles_per_sample = 20'000;
+  cfg.samples_per_run = 2;
+  cfg.warmup_cycles = 20'000;
+  return cfg;
+}
+
+/// Shared small profiled dataset (built once; profiling dominates runtime).
+const Dataset& small_dataset() {
+  static const Dataset d = [] {
+    CorpusConfig corpus;
+    corpus.scale = 0.04;  // ~145 apps
+    return cached_hpc_dataset(corpus, fast_collector(), /*cache_dir=*/"");
+  }();
+  return d;
+}
+
+/// Shared trained pipeline (Common4 + fixed J48 stage 2, compiled).
+std::shared_ptr<const TwoStageHmd> shared_model() {
+  static const std::shared_ptr<const TwoStageHmd> model = [] {
+    TwoStageConfig cfg;
+    cfg.stage2_model = "J48";
+    auto hmd = std::make_shared<TwoStageHmd>(cfg);
+    hmd->train(small_dataset());
+    return std::shared_ptr<const TwoStageHmd>(hmd);
+  }();
+  return model;
+}
+
+/// Shared synthetic fleet feed over the model's common events.
+const StreamFeed& shared_feed() {
+  static const StreamFeed feed = [] {
+    FeedConfig cfg;
+    cfg.streams = 512;
+    cfg.profiles_per_class = 2;
+    cfg.bank_windows = 8;
+    const HpcCollector collector(fast_collector());
+    return StreamFeed(cfg, collector, shared_model()->plan().common);
+  }();
+  return feed;
+}
+
+Sample make_sample(std::uint64_t id, double v) {
+  Sample s;
+  s.stream_id = id;
+  for (double& x : s.window) x = v;
+  return s;
+}
+
+/// Canonical byte serialization of a verdict stream: every double as its
+/// raw bit pattern, so equality means bit-identity.
+void append_verdict(std::string& log, const StreamVerdict& rec) {
+  log += std::to_string(rec.stream_id);
+  log += ':';
+  log += std::to_string(rec.seq);
+  log += ':';
+  log += std::to_string(rec.generation);
+  log += ':';
+  log += std::to_string(std::bit_cast<std::uint64_t>(rec.verdict.window_score));
+  log += ':';
+  log +=
+      std::to_string(std::bit_cast<std::uint64_t>(rec.verdict.smoothed_score));
+  log += ':';
+  log += rec.verdict.alarmed ? '1' : '0';
+  log += rec.verdict.alarm_edge ? '1' : '0';
+  log += std::to_string(label_of(rec.verdict.suspected_class));
+  log += '\n';
+}
+
+/// The fixed ingest script every determinism test replays: `streams`
+/// streams submit one feed window per tick for `ticks` ticks; when
+/// `swap_to` is set, it is installed before the tick at `swap_at` (1-based
+/// tick numbering). Returns the concatenated canonical verdict stream
+/// (shards in index order per tick).
+std::string run_script(const ServeConfig& cfg, std::size_t streams,
+                       std::size_t ticks,
+                       std::shared_ptr<const TwoStageHmd> swap_to = nullptr,
+                       std::size_t swap_at = 0) {
+  DetectionService service(shared_model(), cfg);
+  std::vector<double> window(kCommonFeatureCount);
+  std::string log;
+  for (std::size_t t = 1; t <= ticks; ++t) {
+    if (swap_to != nullptr && t == swap_at) service.swap_model(swap_to);
+    for (std::uint64_t s = 0; s < streams; ++s) {
+      shared_feed().window(s, t, window);
+      service.submit(s, window);
+    }
+    service.tick();
+    for (std::size_t sh = 0; sh < service.shard_count(); ++sh)
+      for (const StreamVerdict& rec : service.verdicts(sh))
+        append_verdict(log, rec);
+  }
+  return log;
+}
+
+// --------------------------------------------------------------- ring ---
+
+TEST(SampleRingTest, FifoPushAtConsume) {
+  SampleRing ring(3);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_TRUE(ring.push(make_sample(1, 1.0)));
+  EXPECT_TRUE(ring.push(make_sample(2, 2.0)));
+  EXPECT_TRUE(ring.push(make_sample(3, 3.0)));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push(make_sample(4, 4.0)));  // full: rejected
+  EXPECT_EQ(ring.at(0).stream_id, 1u);
+  EXPECT_EQ(ring.at(2).stream_id, 3u);
+  ring.pop_front();  // drop-oldest path
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.at(0).stream_id, 2u);
+  EXPECT_TRUE(ring.push(make_sample(4, 4.0)));  // wraps around
+  EXPECT_EQ(ring.at(2).stream_id, 4u);
+  ring.consume(2);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.at(0).stream_id, 4u);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+}
+
+// ------------------------------------------------------------- config ---
+
+TEST(ServeConfigTest, FromEnvReadsEveryKnob) {
+  ASSERT_EQ(setenv("SMART2_SERVE_SHARDS", "3", 1), 0);
+  ASSERT_EQ(setenv("SMART2_SERVE_QUEUE", "17", 1), 0);
+  ASSERT_EQ(setenv("SMART2_SERVE_STREAM_CAP", "9", 1), 0);
+  ASSERT_EQ(setenv("SMART2_SERVE_EVICT_TTL", "5", 1), 0);
+  ASSERT_EQ(setenv("SMART2_SERVE_DROP_POLICY", "oldest", 1), 0);
+  const ServeConfig cfg = ServeConfig::from_env();
+  EXPECT_EQ(cfg.shards, 3u);
+  EXPECT_EQ(cfg.queue_capacity, 17u);
+  EXPECT_EQ(cfg.max_streams_per_shard, 9u);
+  EXPECT_EQ(cfg.evict_after_ticks, 5u);
+  EXPECT_EQ(cfg.drop_policy, DropPolicy::kDropOldest);
+  // Every consult lands in the obs env-knob registry (the SERVING.md
+  // docs/code drift guard).
+  const std::vector<obs::EnvKnobView> knobs = obs::env_knobs();
+  for (const char* name :
+       {"SMART2_SERVE_SHARDS", "SMART2_SERVE_QUEUE", "SMART2_SERVE_STREAM_CAP",
+        "SMART2_SERVE_EVICT_TTL", "SMART2_SERVE_DROP_POLICY"}) {
+    bool found = false;
+    for (const obs::EnvKnobView& k : knobs)
+      if (k.name == name) {
+        found = true;
+        EXPECT_TRUE(k.set) << name;
+      }
+    EXPECT_TRUE(found) << name << " never consulted via obs::env_knob";
+  }
+  unsetenv("SMART2_SERVE_SHARDS");
+  unsetenv("SMART2_SERVE_QUEUE");
+  unsetenv("SMART2_SERVE_STREAM_CAP");
+  unsetenv("SMART2_SERVE_EVICT_TTL");
+  unsetenv("SMART2_SERVE_DROP_POLICY");
+  const ServeConfig defaults = ServeConfig::from_env();
+  EXPECT_EQ(defaults.shards, ServeConfig{}.shards);
+  EXPECT_EQ(defaults.drop_policy, DropPolicy::kDropNewest);
+}
+
+TEST(DetectionServiceTest, RejectsInvalidModelsAndConfigs) {
+  ServeConfig cfg;
+  EXPECT_THROW(DetectionService(nullptr, cfg), std::invalid_argument);
+  {
+    TwoStageConfig untrained;
+    EXPECT_THROW(
+        DetectionService(std::make_shared<TwoStageHmd>(untrained), cfg),
+        std::invalid_argument);
+  }
+  {
+    ServeConfig bad = cfg;
+    bad.shards = 0;
+    EXPECT_THROW(DetectionService(shared_model(), bad), std::invalid_argument);
+  }
+  {
+    ServeConfig bad = cfg;
+    bad.queue_capacity = 0;
+    EXPECT_THROW(DetectionService(shared_model(), bad), std::invalid_argument);
+  }
+  {
+    ServeConfig bad = cfg;
+    bad.detector.smoothing = 0.0;
+    EXPECT_THROW(DetectionService(shared_model(), bad), std::invalid_argument);
+  }
+  DetectionService service(shared_model(), cfg);
+  const std::vector<double> short_window(2, 0.0);
+  EXPECT_THROW(service.submit(1, short_window), std::invalid_argument);
+}
+
+// -------------------------------------------------------- equivalence ---
+
+TEST(DetectionServiceTest, VerdictsMatchLoneOnlineDetector) {
+  ServeConfig cfg;
+  cfg.shards = 4;
+  cfg.queue_capacity = 256;
+  cfg.max_streams_per_shard = 64;
+  DetectionService service(shared_model(), cfg);
+
+  constexpr std::size_t kStreams = 96;
+  constexpr std::size_t kTicks = 6;
+  std::vector<double> window(kCommonFeatureCount);
+  std::map<std::uint64_t, std::vector<StreamVerdict>> by_stream;
+  for (std::size_t t = 1; t <= kTicks; ++t) {
+    for (std::uint64_t s = 0; s < kStreams; ++s) {
+      shared_feed().window(s, t, window);
+      ASSERT_TRUE(service.submit(s, window));
+    }
+    ASSERT_EQ(service.tick(), kStreams);
+    for (std::size_t sh = 0; sh < service.shard_count(); ++sh)
+      for (const StreamVerdict& rec : service.verdicts(sh))
+        by_stream[rec.stream_id].push_back(rec);
+  }
+
+  // Oracle: a lone OnlineDetector fed the same per-stream window sequence
+  // must agree bit for bit.
+  for (std::uint64_t s = 0; s < kStreams; ++s) {
+    OnlineDetector lone(*shared_model(), cfg.detector);
+    const std::vector<StreamVerdict>& got = by_stream[s];
+    ASSERT_EQ(got.size(), kTicks);
+    for (std::size_t t = 1; t <= kTicks; ++t) {
+      shared_feed().window(s, t, window);
+      const OnlineDetector::WindowVerdict want = lone.observe(window);
+      const OnlineDetector::WindowVerdict& have = got[t - 1].verdict;
+      EXPECT_EQ(got[t - 1].seq, t);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(have.window_score),
+                std::bit_cast<std::uint64_t>(want.window_score));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(have.smoothed_score),
+                std::bit_cast<std::uint64_t>(want.smoothed_score));
+      EXPECT_EQ(have.alarmed, want.alarmed);
+      EXPECT_EQ(have.alarm_edge, want.alarm_edge);
+      EXPECT_EQ(have.suspected_class, want.suspected_class);
+    }
+  }
+}
+
+// -------------------------------------------------------- determinism ---
+
+TEST(DetectionServiceTest, VerdictStreamByteIdenticalAcrossThreadCounts) {
+  ServeConfig cfg;
+  cfg.shards = 4;
+  cfg.queue_capacity = 256;
+  cfg.max_streams_per_shard = 32;  // small: forces LRU churn into the script
+  cfg.evict_after_ticks = 2;       // and TTL sweeps
+  // Swap to a serialize-round-tripped copy mid-script so the generation
+  // bump is part of the byte stream being compared.
+  std::stringstream blob;
+  shared_model()->save(blob);
+  const auto reloaded =
+      std::make_shared<const TwoStageHmd>(TwoStageHmd::load(blob));
+
+  parallel::set_thread_count(1);
+  const std::string lanes1 = run_script(cfg, 128, 5, reloaded, 3);
+  parallel::set_thread_count(2);
+  const std::string lanes2 = run_script(cfg, 128, 5, reloaded, 3);
+  parallel::set_thread_count(4);
+  const std::string lanes4 = run_script(cfg, 128, 5, reloaded, 3);
+  parallel::set_thread_count(0);  // restore the env-derived default
+
+  EXPECT_EQ(lanes1, lanes2);
+  EXPECT_EQ(lanes1, lanes4);
+  EXPECT_NE(lanes1.find(":2:"), std::string::npos);  // generation 2 appears
+}
+
+TEST(DetectionServiceTest, VerdictStreamIdenticalUnderForcedScalarSimd) {
+  ServeConfig cfg;
+  cfg.shards = 2;
+  cfg.queue_capacity = 128;
+  cfg.max_streams_per_shard = 64;
+  const std::string native = run_script(cfg, 64, 3);
+  simd::force_scalar(true);
+  const std::string scalar = run_script(cfg, 64, 3);
+  simd::force_scalar(false);
+  EXPECT_EQ(native, scalar);
+}
+
+// ----------------------------------------------------------- hot swap ---
+
+TEST(DetectionServiceTest, SwapToRoundTrippedModelIsVerdictNoOp) {
+  ServeConfig cfg;
+  cfg.shards = 3;
+  cfg.queue_capacity = 128;
+  cfg.max_streams_per_shard = 64;
+  std::stringstream blob;
+  shared_model()->save(blob);
+  const auto reloaded =
+      std::make_shared<const TwoStageHmd>(TwoStageHmd::load(blob));
+
+  const std::string control = run_script(cfg, 64, 6);
+  const std::string swapped = run_script(cfg, 64, 6, reloaded, 4);
+  // The only difference a round-trip swap may introduce is the generation
+  // field: verdict values are untouched (save/load restores detection
+  // behaviour exactly). Normalize generations and compare.
+  auto strip_generation = [](const std::string& log) {
+    std::string out;
+    std::size_t field = 0;
+    for (const char c : log) {
+      if (c == ':') ++field;
+      if (c == '\n') field = 0;
+      if (field == 2 && c != ':') continue;  // the generation digits
+      out += c;
+    }
+    return out;
+  };
+  EXPECT_NE(control, swapped);  // generations differ after the swap tick
+  EXPECT_EQ(strip_generation(control), strip_generation(swapped));
+}
+
+TEST(DetectionServiceTest, SwapTakesEffectAtNextTickBoundary) {
+  ServeConfig cfg;
+  cfg.shards = 2;
+  DetectionService service(shared_model(), cfg);
+  EXPECT_EQ(service.generation(), 1u);
+  std::vector<double> window(kCommonFeatureCount);
+  shared_feed().window(7, 1, window);
+  service.submit(7, window);
+  service.tick();
+  for (std::size_t sh = 0; sh < service.shard_count(); ++sh)
+    for (const StreamVerdict& rec : service.verdicts(sh))
+      EXPECT_EQ(rec.generation, 1u);
+
+  std::stringstream blob;
+  shared_model()->save(blob);
+  service.swap_model(
+      std::make_shared<const TwoStageHmd>(TwoStageHmd::load(blob)));
+  EXPECT_EQ(service.generation(), 2u);
+  shared_feed().window(7, 2, window);
+  service.submit(7, window);
+  service.tick();
+  for (std::size_t sh = 0; sh < service.shard_count(); ++sh)
+    for (const StreamVerdict& rec : service.verdicts(sh)) {
+      EXPECT_EQ(rec.generation, 2u);
+      EXPECT_EQ(rec.seq, 2u);  // stream state survives the swap
+    }
+}
+
+TEST(DetectionServiceTest, ConcurrentSwapYieldsSingleGenerationPerTick) {
+  // Race a swap against a running tick through the pool (never a raw
+  // std::thread). Whatever the interleaving, the tick must score every
+  // verdict on the one generation it snapshotted at entry, and the
+  // generation sequence across ticks must be non-decreasing.
+  ServeConfig cfg;
+  cfg.shards = 2;
+  cfg.queue_capacity = 2048;
+  cfg.max_streams_per_shard = 1024;
+  DetectionService service(shared_model(), cfg);
+  std::stringstream blob;
+  shared_model()->save(blob);
+  const auto reloaded =
+      std::make_shared<const TwoStageHmd>(TwoStageHmd::load(blob));
+
+  parallel::set_thread_count(2);
+  std::vector<double> window(kCommonFeatureCount);
+  for (std::uint64_t s = 0; s < 512; ++s) {
+    shared_feed().window(s, 1, window);
+    service.submit(s, window);
+  }
+  parallel::parallel_for(0, 2, [&](std::size_t i) {
+    if (i == 0) service.tick();
+    else service.swap_model(reloaded);
+  });
+  parallel::set_thread_count(0);
+
+  std::uint64_t tick_generation = 0;
+  for (std::size_t sh = 0; sh < service.shard_count(); ++sh)
+    for (const StreamVerdict& rec : service.verdicts(sh)) {
+      if (tick_generation == 0) tick_generation = rec.generation;
+      EXPECT_EQ(rec.generation, tick_generation)
+          << "verdicts of one tick span two generations";
+    }
+  EXPECT_GE(tick_generation, 1u);
+  EXPECT_EQ(service.generation(), 2u);
+}
+
+TEST(DetectionServiceTest, SwapRejectsIncompatiblePlan) {
+  DetectionService service(shared_model(), ServeConfig{});
+  EXPECT_THROW(service.swap_model(nullptr), std::invalid_argument);
+  TwoStageConfig cfg;
+  EXPECT_THROW(service.swap_model(std::make_shared<TwoStageHmd>(cfg)),
+               std::invalid_argument);  // untrained successor
+}
+
+// ----------------------------------------------- eviction / admission ---
+
+TEST(DetectionServiceTest, IdleStreamIsEvictedThenRevivedFresh) {
+  ServeConfig cfg;
+  cfg.shards = 1;
+  cfg.evict_after_ticks = 2;
+  DetectionService service(shared_model(), cfg);
+  std::vector<double> window(kCommonFeatureCount);
+
+  // Tick 1: streams A and B. Ticks 2-4: only B. Tick 5: A returns.
+  const std::uint64_t kA = 11, kB = 22;
+  auto submit_tick = [&](std::size_t t, bool with_a) {
+    if (with_a) {
+      shared_feed().window(kA, t, window);
+      service.submit(kA, window);
+    }
+    shared_feed().window(kB, t, window);
+    service.submit(kB, window);
+    service.tick();
+  };
+  submit_tick(1, true);
+  EXPECT_EQ(service.active_streams(), 2u);
+  submit_tick(2, false);
+  submit_tick(3, false);
+  submit_tick(4, false);  // sweep at tick 4 entry: A idle since 1 → evicted
+  EXPECT_EQ(service.active_streams(), 1u);
+  EXPECT_EQ(service.stats().evicted, 1u);
+
+  submit_tick(5, true);  // revival: A re-admitted with fresh state
+  EXPECT_EQ(service.active_streams(), 2u);
+  bool saw_a = false;
+  for (const StreamVerdict& rec : service.verdicts(0))
+    if (rec.stream_id == kA) {
+      saw_a = true;
+      EXPECT_EQ(rec.seq, 1u);  // seq restarted
+      // First window: EWMA state is exactly the raw score.
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(rec.verdict.smoothed_score),
+                std::bit_cast<std::uint64_t>(rec.verdict.window_score));
+    }
+  EXPECT_TRUE(saw_a);
+  EXPECT_EQ(service.stats().admitted, 3u);  // A, B, then A again
+}
+
+TEST(DetectionServiceTest, CapacityAdmissionEvictsLeastRecentlyActive) {
+  ServeConfig cfg;
+  cfg.shards = 1;
+  cfg.max_streams_per_shard = 2;
+  DetectionService service(shared_model(), cfg);
+  std::vector<double> window(kCommonFeatureCount);
+  // Three streams into two slots, every tick: the stream untouched longest
+  // is displaced on each admission.
+  for (std::size_t t = 1; t <= 3; ++t) {
+    for (const std::uint64_t id : {1ull, 2ull, 3ull}) {
+      shared_feed().window(id, t, window);
+      service.submit(id, window);
+    }
+    service.tick();
+  }
+  EXPECT_EQ(service.active_streams(), 2u);
+  const ServeStats stats = service.stats();
+  // Thrash: with three streams over two slots, every sample displaces the
+  // least-recently-active resident, so all 9 samples are fresh admissions.
+  EXPECT_EQ(stats.admitted, 9u);
+  EXPECT_EQ(stats.evicted, 7u);
+  // All verdicts have seq 1: no stream survives long enough to accumulate.
+  for (const StreamVerdict& rec : service.verdicts(0))
+    EXPECT_EQ(rec.seq, 1u);
+}
+
+// ------------------------------------------------------- backpressure ---
+
+TEST(DetectionServiceTest, DropNewestAccountsEverySubmittedSample) {
+  ServeConfig cfg;
+  cfg.shards = 1;
+  cfg.queue_capacity = 2;
+  DetectionService service(shared_model(), cfg);
+  std::vector<double> window(kCommonFeatureCount);
+  shared_feed().window(5, 1, window);
+  EXPECT_TRUE(service.submit(5, window));
+  EXPECT_TRUE(service.submit(5, window));
+  EXPECT_FALSE(service.submit(5, window));  // full: the arrival is dropped
+  EXPECT_EQ(service.tick(), 2u);
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_EQ(stats.verdicts, 2u);
+  // The universal accounting identity (SERVING.md): every submitted sample
+  // is eventually either scored or dropped.
+  EXPECT_EQ(stats.submitted, stats.verdicts + stats.dropped);
+}
+
+TEST(DetectionServiceTest, DropOldestKeepsFreshestSamples) {
+  ServeConfig cfg;
+  cfg.shards = 1;
+  cfg.queue_capacity = 2;
+  cfg.drop_policy = DropPolicy::kDropOldest;
+  DetectionService service(shared_model(), cfg);
+  std::vector<double> w1(kCommonFeatureCount), w2(kCommonFeatureCount),
+      w3(kCommonFeatureCount);
+  shared_feed().window(5, 1, w1);
+  shared_feed().window(5, 2, w2);
+  shared_feed().window(5, 3, w3);
+  EXPECT_TRUE(service.submit(5, w1));
+  EXPECT_TRUE(service.submit(5, w2));
+  EXPECT_TRUE(service.submit(5, w3));  // displaces w1, enqueues w3
+  EXPECT_EQ(service.tick(), 2u);
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.accepted, 3u);  // every arrival entered the ring
+  EXPECT_EQ(stats.dropped, 1u);   // ...at the cost of the queue head
+  EXPECT_EQ(stats.verdicts, 2u);
+  EXPECT_EQ(stats.submitted, stats.verdicts + stats.dropped);
+  // The two verdicts are w2 and w3: the survivor set is the freshest.
+  ASSERT_EQ(service.verdicts(0).size(), 2u);
+  EXPECT_EQ(service.verdicts(0)[0].seq, 1u);
+  EXPECT_EQ(service.verdicts(0)[1].seq, 2u);
+}
+
+// ------------------------------------------------------------- obs ------
+
+TEST(DetectionServiceTest, LatencyHistogramCountsEveryVerdict) {
+  obs::Config saved = obs::config();
+  obs::Config cfg;
+  cfg.metrics = true;
+  obs::configure(cfg);
+  obs::histogram("serve.verdict.latency").clear();
+
+  ServeConfig serve_cfg;
+  serve_cfg.shards = 2;
+  DetectionService service(shared_model(), serve_cfg);
+  std::vector<double> window(kCommonFeatureCount);
+  for (std::size_t t = 1; t <= 3; ++t) {
+    for (std::uint64_t s = 0; s < 32; ++s) {
+      shared_feed().window(s, t, window);
+      service.submit(s, window);
+    }
+    service.tick();
+  }
+  EXPECT_EQ(obs::histogram("serve.verdict.latency").count(),
+            service.stats().verdicts);
+  obs::configure(saved);
+}
+
+// ------------------------------------------------------------- feed -----
+
+TEST(StreamFeedTest, WindowIsPureFunctionOfStreamAndTick) {
+  std::vector<double> a(kCommonFeatureCount), b(kCommonFeatureCount);
+  shared_feed().window(123, 7, a);
+  shared_feed().window(99, 1, b);  // interleave other draws
+  shared_feed().window(123, 7, b);
+  for (std::size_t j = 0; j < kCommonFeatureCount; ++j)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[j]),
+              std::bit_cast<std::uint64_t>(b[j]));
+  // Ground truth is stable and spans both populations at this benign mix.
+  std::size_t benign = 0;
+  for (std::uint64_t s = 0; s < 256; ++s) {
+    EXPECT_EQ(shared_feed().class_of(s), shared_feed().class_of(s));
+    if (shared_feed().class_of(s) == AppClass::kBenign) ++benign;
+  }
+  EXPECT_GT(benign, 128u);
+  EXPECT_LT(benign, 256u);
+}
+
+// ------------------------------------------------------ docs drift ------
+
+TEST(ServingDocsTest, ServingMdDocumentsEveryEnvKnob) {
+  const std::string path = std::string(SMART2_SOURCE_DIR) + "/SERVING.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "SERVING.md missing at " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  for (const char* knob :
+       {"SMART2_SERVE_SHARDS", "SMART2_SERVE_QUEUE", "SMART2_SERVE_STREAM_CAP",
+        "SMART2_SERVE_EVICT_TTL", "SMART2_SERVE_DROP_POLICY",
+        "SMART2_SERVE_STREAMS", "SMART2_SERVE_TICKS", "SMART2_THREADS"})
+    EXPECT_NE(doc.find(knob), std::string::npos)
+        << knob << " undocumented in SERVING.md";
+  // And the serve observability names SERVING.md points readers at.
+  for (const char* name :
+       {"serve.shard.ingest", "serve.epoch.infer", "serve.swap",
+        "serve.verdict.latency", "serve.ingest.dropped"})
+    EXPECT_NE(doc.find(name), std::string::npos)
+        << name << " undocumented in SERVING.md";
+}
+
+}  // namespace
+}  // namespace smart2::serve

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gate the streaming-service perf smoke.
+
+Usage: check_serving.py [--min-streams N] [--min-speedup X] BENCH_SERVING_JSON
+
+Reads the summary bench_serving writes (one JSON object; schema below) and
+fails when:
+
+  * the run simulated fewer than --min-streams concurrent streams (default
+    100000 — the serving target the bench exists to demonstrate);
+  * the backpressure accounting identity is violated: after a full drain
+    every submitted sample must be either scored or dropped, so
+    submitted == verdicts + dropped for BOTH drop policies (kDropNewest
+    rejects arrivals, kDropOldest displaces queue heads; either way the
+    identity holds — SERVING.md "Backpressure and the drop policy");
+  * the epoch-batched service is slower than the per-sample baseline (one
+    OnlineDetector per stream driven window by window — the pre-existing
+    way to monitor a fleet). Both sides are best-of measurements, but the
+    1-CPU CI runner still jitters the ratio, so the gate allows serving to
+    trail by SPEEDUP_TOLERANCE before failing; --min-speedup raises the
+    bar on quiet hardware;
+  * the latency percentiles are missing or not monotone (p50 <= p99 <=
+    p999; they are decade-bucket upper bounds, so ties are expected);
+  * the mid-run hot swap did not happen (generations must reach >= 2).
+
+Exits nonzero with an explanatory assertion on any mismatch. Used by the
+CI serving smoke job.
+"""
+import argparse
+import json
+
+# The serving path must not lose to the per-sample loop. Tolerance covers
+# scheduler jitter between the two best-of measurements on shared CI
+# hardware; a real regression (the batch path collapsing to per-sample
+# cost plus overhead) overshoots it by far.
+SPEEDUP_TOLERANCE = 1.10
+
+REQUIRED_FIELDS = [
+    "streams", "shards", "ticks", "queue_capacity", "submitted", "accepted",
+    "dropped", "admitted", "evicted", "alarms", "verdicts", "generations",
+    "wall_seconds", "samples_per_sec", "serving_ns_per_sample",
+    "baseline_ns_per_sample", "latency_p50_ns", "latency_p99_ns",
+    "latency_p999_ns",
+]
+
+
+def check(path, min_streams, min_speedup):
+    with open(path) as f:
+        summary = json.load(f)
+    missing = [k for k in REQUIRED_FIELDS if k not in summary]
+    assert not missing, f"BENCH_serving.json lacks fields: {missing}"
+
+    streams = summary["streams"]
+    assert streams >= min_streams, (
+        f"simulated only {streams} concurrent streams; the serving smoke "
+        f"must demonstrate >= {min_streams}"
+    )
+    print(f"ok: {streams} simulated concurrent streams over "
+          f"{summary['shards']} shards")
+
+    submitted = summary["submitted"]
+    verdicts = summary["verdicts"]
+    dropped = summary["dropped"]
+    assert submitted == verdicts + dropped, (
+        f"backpressure accounting broken: submitted {submitted} != "
+        f"verdicts {verdicts} + dropped {dropped}"
+    )
+    print(f"ok: accounting: submitted {submitted} == "
+          f"verdicts {verdicts} + dropped {dropped}")
+
+    serving_ns = summary["serving_ns_per_sample"]
+    baseline_ns = summary["baseline_ns_per_sample"]
+    assert serving_ns > 0 and baseline_ns > 0, summary
+    assert serving_ns <= baseline_ns * SPEEDUP_TOLERANCE, (
+        f"epoch-batched serving ({serving_ns} ns/sample) is slower than the "
+        f"per-sample OnlineDetector baseline ({baseline_ns} ns/sample) "
+        f"beyond the {SPEEDUP_TOLERANCE}x jitter tolerance"
+    )
+    speedup = baseline_ns / serving_ns
+    if min_speedup is not None:
+        assert speedup >= min_speedup, (
+            f"serving speedup {speedup:.2f}x below required "
+            f"{min_speedup}x (serving {serving_ns} vs baseline "
+            f"{baseline_ns} ns/sample)"
+        )
+    print(f"ok: serving {serving_ns} ns/sample vs per-sample baseline "
+          f"{baseline_ns} ns/sample ({speedup:.2f}x, "
+          f"{summary['samples_per_sec']:.0f} sustained samples/sec)")
+
+    p50 = summary["latency_p50_ns"]
+    p99 = summary["latency_p99_ns"]
+    p999 = summary["latency_p999_ns"]
+    assert 0 < p50 <= p99 <= p999, (
+        f"latency percentiles not monotone: p50 {p50}, p99 {p99}, p999 {p999}"
+    )
+    print(f"ok: verdict latency p50 <= {p50} ns, p99 <= {p99} ns, "
+          f"p999 <= {p999} ns (decade-bucket upper bounds)")
+
+    generations = summary["generations"]
+    assert generations >= 2, (
+        f"hot swap never happened: still generation {generations}"
+    )
+    print(f"ok: hot model swap mid-run (generation {generations} at exit)")
+    print("serving smoke: OK")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("summary", help="BENCH_serving.json path")
+    parser.add_argument(
+        "--min-streams",
+        type=int,
+        default=100_000,
+        help="minimum simulated concurrent streams (default 100000)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="require serving to beat the per-sample baseline by this factor "
+        "(only meaningful on quiet hardware)",
+    )
+    args = parser.parse_args()
+    check(args.summary, args.min_streams, args.min_speedup)
