@@ -1,0 +1,298 @@
+// Quantized integer inference: speed and detection-quality cost.
+//
+// Two questions, one JSON (BENCH_quantized.json, gated by
+// tools/check_quantized.py in the quant-smoke CI job):
+//
+//  1. Is the int8 path actually faster? Times the full two-stage pipeline's
+//     predict_batch at batch 256 on the double compiled path (scalar-forced
+//     and SIMD) and on the quantized path at int16 and int8 (auto-fit
+//     formats). The gate: int8 must beat the double SIMD path by >= 1.5x
+//     ns/sample.
+//
+//  2. What does each bit width cost in detection quality? For every stage-2
+//     detector family, re-lowers the same trained pipeline at widths
+//     16/12/10/8/6 (auto-fit Qm.n per model) and reports the mean stage-2
+//     F-measure across the four malware classes next to the double baseline.
+//     The gate: int16 and int8 stay within the declared degradation budgets.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/simd.hpp"
+
+namespace {
+
+using namespace smart2;
+
+/// Declared F-measure degradation budgets vs the double baseline (mean over
+/// the four malware classes). The gate in tools/check_quantized.py enforces
+/// exactly these numbers, so the JSON documents the contract it is held to.
+/// int16 auto-fit keeps every fraction bit the features need and has always
+/// measured at or above the double baseline; int8 leaves the compare-only
+/// families (J48/JRip) within a few points but costs the arithmetic
+/// families real accuracy (MLP ~0.13, OneR ~0.11 mean-F on this corpus —
+/// the bit-width sweep table documents the per-family reality), so its
+/// declared envelope is the honest 0.15, not an aspirational 0.05.
+constexpr double kBudgetInt16 = 0.02;
+constexpr double kBudgetInt8 = 0.15;
+
+constexpr int kSweepWidths[] = {16, 12, 10, 8, 6};
+constexpr std::size_t kBatchN = 256;
+
+/// Per-feature max |value| over the raw 44-event training rows — the scale
+/// reference quantize() expects (what the RTL input frontend is calibrated
+/// with).
+std::vector<double> feature_max_abs(const Dataset& d) {
+  std::vector<double> m(d.feature_count(), 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto x = d.features(i);
+    for (std::size_t f = 0; f < x.size(); ++f)
+      m[f] = std::max(m[f], std::abs(x[f]));
+  }
+  return m;
+}
+
+double mean_f_measure(const TwoStageEval& ev) {
+  double sum = 0.0;
+  for (const BinaryEval& c : ev.per_class) sum += c.f_measure;
+  return sum / static_cast<double>(kNumMalwareClasses);
+}
+
+struct WidthPoint {
+  int width = 0;
+  double f_measure = 0.0;
+};
+
+struct FamilyResult {
+  std::string model;
+  double double_f = 0.0;
+  std::vector<WidthPoint> widths;  // kSweepWidths order
+};
+
+struct PipelineTiming {
+  double double_scalar_ns = 0.0;
+  double double_simd_ns = 0.0;
+  double int16_simd_ns = 0.0;
+  double int8_simd_ns = 0.0;
+
+  double int8_speedup() const {
+    return int8_simd_ns > 0.0 ? double_simd_ns / int8_simd_ns : 0.0;
+  }
+};
+
+/// Best-of-N ns/sample over enough predict_batch_into calls per rep to stay
+/// above timer granularity.
+template <typename Pass>
+double time_batch_ns(Pass&& pass, int reps = 30) {
+  constexpr std::size_t kCalls = 16;
+  pass();  // warm caches and the thread-local scratch arena
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < kCalls; ++c) pass();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    best = std::min(best, ns / static_cast<double>(kBatchN * kCalls));
+  }
+  return best;
+}
+
+std::unique_ptr<TwoStageHmd> train_pipeline(const std::string& family) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = family;
+  auto hmd = std::make_unique<TwoStageHmd>(cfg);
+  const bench::Phase phase(bench::Phase::kTrain);
+  hmd->train(bench::train());
+  return hmd;
+}
+
+/// F-measure sweep for one stage-2 family: double baseline, then the same
+/// pipeline re-lowered at each sweep width (auto-fit format per model).
+FamilyResult sweep_family(const std::string& family,
+                          std::span<const double> max_abs) {
+  auto hmd = train_pipeline(family);
+  const bench::Phase phase(bench::Phase::kPredict);
+
+  FamilyResult out;
+  out.model = family;
+  hmd->clear_quantized();
+  out.double_f = mean_f_measure(evaluate_two_stage(*hmd, bench::test()));
+
+  // Auto-fit only exists at the storage widths (8 / 16); the intermediate
+  // ablation widths get an explicit Qm.n that keeps the integer bits the
+  // int16 auto-fit proved the constants need (shrinking fraction bits, the
+  // way an RTL width ablation would).
+  hmd->quantize({.width = 16, .format = {}}, max_abs);
+  int needed_ib = 2;
+  for (const AppClass c : kMalwareClasses)
+    needed_ib =
+        std::max(needed_ib, hmd->quantized_stage2(c).format().integer_bits);
+  needed_ib =
+      std::max(needed_ib, hmd->quantized_stage1().format().integer_bits);
+
+  for (const int width : kSweepWidths) {
+    if (width == 16 || width == 8) {
+      hmd->quantize({.width = width, .format = {}}, max_abs);
+    } else {
+      const int ib = std::clamp(needed_ib, 2, width - 1);
+      hmd->quantize(
+          {.width = width,
+           .format = FixedPointFormat{ib, width - ib}},
+          max_abs);
+    }
+    out.widths.push_back(
+        {width, mean_f_measure(evaluate_two_stage(*hmd, bench::test()))});
+  }
+  return out;
+}
+
+/// Batch-256 pipeline latency: double (scalar-forced / SIMD), then the
+/// quantized path at int16 and int8. One J48 pipeline, one cyclic batch.
+PipelineTiming time_pipeline(std::span<const double> max_abs) {
+  auto hmd = train_pipeline("J48");
+  const bench::Phase phase(bench::Phase::kPredict);
+
+  const Dataset& te = bench::test();
+  Dataset big(te.feature_names(), te.class_names());
+  big.reserve(kBatchN);
+  for (std::size_t i = 0; i < kBatchN; ++i)
+    big.add(te.features(i % te.size()), te.label(i % te.size()));
+  std::vector<Detection> out(kBatchN);
+  const auto pass = [&] {
+    hmd->predict_batch_into(big, out);
+    benchmark::DoNotOptimize(out.data());
+  };
+
+  PipelineTiming t;
+  const bool saved = simd::scalar_forced();
+  hmd->clear_quantized();
+  simd::force_scalar(true);
+  t.double_scalar_ns = time_batch_ns(pass);
+  simd::force_scalar(false);
+  t.double_simd_ns = time_batch_ns(pass);
+  hmd->quantize({.width = 16, .format = {}}, max_abs);
+  t.int16_simd_ns = time_batch_ns(pass);
+  hmd->quantize({.width = 8, .format = {}}, max_abs);
+  t.int8_simd_ns = time_batch_ns(pass);
+  simd::force_scalar(saved);
+  return t;
+}
+
+void print_results(const PipelineTiming& t,
+                   const std::vector<FamilyResult>& families) {
+  bench::print_banner(std::string("Quantized pipeline latency (batch ") +
+                      std::to_string(kBatchN) + ", ns/sample, " + simd::kIsa +
+                      ", " + std::to_string(simd::kIntLanes) + " int lanes)");
+  TableWriter lt({"path", "ns/sample", "vs double SIMD"});
+  lt.add_row({"double scalar", TableWriter::num(t.double_scalar_ns, 1),
+              TableWriter::num(t.double_simd_ns / t.double_scalar_ns, 2) +
+                  "x"});
+  lt.add_row({"double SIMD", TableWriter::num(t.double_simd_ns, 1), "1.00x"});
+  lt.add_row({"int16 SIMD", TableWriter::num(t.int16_simd_ns, 1),
+              TableWriter::num(t.double_simd_ns / t.int16_simd_ns, 2) + "x"});
+  lt.add_row({"int8 SIMD", TableWriter::num(t.int8_simd_ns, 1),
+              TableWriter::num(t.int8_speedup(), 2) + "x"});
+  std::printf("%s\n", lt.render().c_str());
+
+  bench::print_banner(
+      "Stage-2 F-measure vs quantization width (mean over the 4 classes; "
+      "auto-fit Qm.n per model)");
+  TableWriter ft({"stage-2 family", "double", "w16", "w12", "w10", "w8",
+                  "w6"});
+  for (const FamilyResult& f : families) {
+    std::vector<std::string> row{f.model, TableWriter::num(f.double_f, 3)};
+    for (const WidthPoint& p : f.widths)
+      row.push_back(TableWriter::num(p.f_measure, 3));
+    ft.add_row(std::move(row));
+  }
+  std::printf("%s\n", ft.render().c_str());
+  std::printf(
+      "Degradation budgets the CI gate enforces (mean F vs double): int16\n"
+      "within %.2f, int8 within %.2f. Summary written to "
+      "BENCH_quantized.json.\n\n",
+      kBudgetInt16, kBudgetInt8);
+}
+
+void write_summary_json(const PipelineTiming& t,
+                        const std::vector<FamilyResult>& families) {
+  std::ofstream out("BENCH_quantized.json", std::ios::trunc);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"bench\": \"quantized\", \"threads\": %zu, \"simd_isa\": \"%s\", "
+      "\"int_lanes\": %zu, \"pipeline\": {\"batch_n\": %zu, "
+      "\"double_scalar_ns\": %.1f, \"double_simd_ns\": %.1f, "
+      "\"int16_simd_ns\": %.1f, \"int8_simd_ns\": %.1f, "
+      "\"int8_speedup_vs_double_simd\": %.2f}, "
+      "\"fmeasure_budget\": {\"int16\": %.3f, \"int8\": %.3f}, "
+      "\"families\": [",
+      parallel::thread_count(), simd::kIsa,
+      static_cast<std::size_t>(simd::kIntLanes), kBatchN, t.double_scalar_ns,
+      t.double_simd_ns, t.int16_simd_ns, t.int8_simd_ns, t.int8_speedup(),
+      kBudgetInt16, kBudgetInt8);
+  out << buf;
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const FamilyResult& f = families[i];
+    if (i != 0) out << ", ";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"model\": \"%s\", \"double_f\": %.4f, \"widths\": [",
+                  f.model.c_str(), f.double_f);
+    out << buf;
+    for (std::size_t w = 0; w < f.widths.size(); ++w) {
+      if (w != 0) out << ", ";
+      std::snprintf(buf, sizeof(buf),
+                    "{\"width\": %d, \"f_measure\": %.4f}",
+                    f.widths[w].width, f.widths[w].f_measure);
+      out << buf;
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+}
+
+// The steady-state quantized batch under the google-benchmark harness too.
+void BM_PredictBatchInt8(benchmark::State& state) {
+  auto hmd = train_pipeline("J48");
+  hmd->quantize({.width = 8, .format = {}},
+                feature_max_abs(bench::train()));
+  const Dataset& te = bench::test();
+  Dataset big(te.feature_names(), te.class_names());
+  big.reserve(kBatchN);
+  for (std::size_t i = 0; i < kBatchN; ++i)
+    big.add(te.features(i % te.size()), te.label(i % te.size()));
+  std::vector<Detection> out(kBatchN);
+  for (auto _ : state) {
+    hmd->predict_batch_into(big, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatchN));
+}
+BENCHMARK(BM_PredictBatchInt8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  smart2::bench::ScopedTiming timing("quantized");
+  const std::vector<double> max_abs = feature_max_abs(bench::train());
+
+  std::vector<FamilyResult> families;
+  for (const char* family : {"J48", "JRip", "MLP", "OneR"})
+    families.push_back(sweep_family(family, max_abs));
+  const PipelineTiming t = time_pipeline(max_abs);
+
+  print_results(t, families);
+  write_summary_json(t, families);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

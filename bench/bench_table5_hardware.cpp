@@ -34,7 +34,8 @@ void print_table5() {
   const std::size_t trojan_slot = 3;  // kMalwareClasses order
 
   TableWriter t({"Classifier", "8HPC lat", "8HPC area%", "4HPC lat",
-                 "4HPC area%", "4HPC-Boosted lat", "4HPC-Boosted area%"});
+                 "4HPC area%", "4HPC const/acc bits", "4HPC-Boosted lat",
+                 "4HPC-Boosted area%"});
   for (const auto& name : classifier_names()) {
     const auto m8 =
         hls.synthesize(*trained(name, bench::plan().custom[trojan_slot],
@@ -47,10 +48,17 @@ void print_table5() {
                TableWriter::num(m8.area_percent, 2),
                std::to_string(m4.latency_cycles),
                TableWriter::num(m4.area_percent, 2),
+               std::to_string(m4.constant_bits) + "/" +
+                   std::to_string(m4.accumulator_bits),
                std::to_string(mb.latency_cycles),
                TableWriter::num(mb.area_percent, 2)});
   }
-  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "%s\nconst/acc bits: widths proven by the quantized lowering "
+      "(ml/quantized.hpp)\nand used to size comparators, constant ROMs, and "
+      "accumulators above;\nequal to the assumed format width for models "
+      "without an integer lowering.\n\n",
+      t.render().c_str());
 
   // Stage-1 MLR hardware cost (deployed alongside every stage-2 detector).
   TwoStageConfig cfg;
@@ -61,9 +69,11 @@ void print_table5() {
     hmd.train(bench::train());
   }
   const auto mlr = hls.synthesize(hmd.stage1());
-  std::printf("Stage-1 MLR (4 Common HPCs): latency %u cycles, area %s%%\n\n",
-              mlr.latency_cycles,
-              TableWriter::num(mlr.area_percent, 2).c_str());
+  std::printf(
+      "Stage-1 MLR (4 Common HPCs): latency %u cycles, area %s%%, "
+      "%d-bit constants, %d-bit accumulators\n\n",
+      mlr.latency_cycles, TableWriter::num(mlr.area_percent, 2).c_str(),
+      mlr.constant_bits, mlr.accumulator_bits);
 
   std::printf(
       "Paper's Table V shape to compare against: OneR/JRip/J48 are 1-9\n"

@@ -101,6 +101,10 @@ constexpr const char* kCatalogHistograms[] = {
     "stage1.mlr.predict_simd",      "stage2.backdoor.predict_simd",
     "stage2.rootkit.predict_simd",  "stage2.virus.predict_simd",
     "stage2.trojan.predict_simd",
+    "stage1.mlr.predict_quant",     "stage2.backdoor.predict_quant",
+    "stage2.rootkit.predict_quant", "stage2.virus.predict_quant",
+    "stage2.trojan.predict_quant",
+    "quantize.model",       "quantize.two_stage",
     "serve.tick",           "serve.shard.ingest",
     "serve.epoch.infer",    "serve.swap",
     "serve.verdict.latency",

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -116,6 +117,16 @@ inline VecD vmul(VecD a, VecD b) noexcept {
 inline VecD vdiv(VecD a, VecD b) noexcept {
   return {_mm256_div_pd(a.v, b.v)};
 }
+/// Lane-wise std::rint (round to nearest integer in the current FP mode).
+inline VecD vrint(VecD a) noexcept {
+  return {_mm256_round_pd(a.v, _MM_FROUND_CUR_DIRECTION)};
+}
+/// Store kLanes int32s truncated from integral-valued doubles (each lane
+/// already an exact integer within int32 range, so the truncation is the
+/// identity conversion).
+inline void vtoi32(std::int32_t* p, VecD a) noexcept {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), _mm256_cvttpd_epi32(a.v));
+}
 inline VecD vle(VecD a, VecD b) noexcept {
   return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
 }
@@ -169,6 +180,16 @@ inline VecD vadd(VecD a, VecD b) noexcept { return {_mm_add_pd(a.v, b.v)}; }
 inline VecD vsub(VecD a, VecD b) noexcept { return {_mm_sub_pd(a.v, b.v)}; }
 inline VecD vmul(VecD a, VecD b) noexcept { return {_mm_mul_pd(a.v, b.v)}; }
 inline VecD vdiv(VecD a, VecD b) noexcept { return {_mm_div_pd(a.v, b.v)}; }
+/// Lane-wise std::rint (roundpd is SSE4.1, so go through the lanes).
+inline VecD vrint(VecD a) noexcept {
+  double lanes[2];
+  _mm_storeu_pd(lanes, a.v);
+  return {_mm_set_pd(std::rint(lanes[1]), std::rint(lanes[0]))};
+}
+/// Store kLanes int32s truncated from integral-valued doubles.
+inline void vtoi32(std::int32_t* p, VecD a) noexcept {
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(p), _mm_cvttpd_epi32(a.v));
+}
 inline VecD vle(VecD a, VecD b) noexcept { return {_mm_cmple_pd(a.v, b.v)}; }
 inline VecD vge(VecD a, VecD b) noexcept { return {_mm_cmpge_pd(a.v, b.v)}; }
 inline VecD veq(VecD a, VecD b) noexcept { return {_mm_cmpeq_pd(a.v, b.v)}; }
@@ -202,6 +223,12 @@ inline VecD vadd(VecD a, VecD b) noexcept { return {vaddq_f64(a.v, b.v)}; }
 inline VecD vsub(VecD a, VecD b) noexcept { return {vsubq_f64(a.v, b.v)}; }
 inline VecD vmul(VecD a, VecD b) noexcept { return {vmulq_f64(a.v, b.v)}; }
 inline VecD vdiv(VecD a, VecD b) noexcept { return {vdivq_f64(a.v, b.v)}; }
+/// Lane-wise std::rint (frinti: round using the current FP mode).
+inline VecD vrint(VecD a) noexcept { return {vrndiq_f64(a.v)}; }
+/// Store kLanes int32s truncated from integral-valued doubles.
+inline void vtoi32(std::int32_t* p, VecD a) noexcept {
+  vst1_s32(p, vmovn_s64(vcvtq_s64_f64(a.v)));
+}
 inline VecD vle(VecD a, VecD b) noexcept {
   return {vreinterpretq_f64_u64(vcleq_f64(a.v, b.v))};
 }
@@ -265,6 +292,11 @@ inline VecD vadd(VecD a, VecD b) noexcept { return {a.v + b.v}; }
 inline VecD vsub(VecD a, VecD b) noexcept { return {a.v - b.v}; }
 inline VecD vmul(VecD a, VecD b) noexcept { return {a.v * b.v}; }
 inline VecD vdiv(VecD a, VecD b) noexcept { return {a.v / b.v}; }
+inline VecD vrint(VecD a) noexcept { return {std::rint(a.v)}; }
+/// Store kLanes int32s truncated from integral-valued doubles.
+inline void vtoi32(std::int32_t* p, VecD a) noexcept {
+  p[0] = static_cast<std::int32_t>(a.v);
+}
 inline VecD vle(VecD a, VecD b) noexcept {
   return {detail::mask_of(a.v <= b.v)};
 }
@@ -307,5 +339,293 @@ inline bool vall(VecD mask) noexcept {
 }
 /// Any lane's mask bit set.
 inline bool vany(VecD mask) noexcept { return vmovemask(mask) != 0; }
+
+// --------------------------------------------------------- integer lanes
+//
+// Quantized inference (src/ml/quantized.*) runs in the int16 domain with
+// int32 accumulators — the same datapath widths the emitted RTL uses. The
+// central primitive is smadd: the pairwise int16 multiply-accumulate
+// (x86 pmaddwd), which multiplies adjacent int16 pairs and sums each pair
+// into one int32 lane. Kernels therefore lay samples out pair-interleaved
+// (two consecutive features of one sample next to each other) so the
+// int32 lanes that fall out of smadd are sample-aligned. int8 is a
+// storage format only: sload8 widens int8 memory to int16 lanes, so the
+// arithmetic — and thus every rounding/wrap decision — is identical for
+// both storage widths.
+//
+// Wrap discipline: iadd and smadd wrap modulo 2^32 exactly like the
+// hardware instructions; the quantizer proves at model-build time that no
+// accumulator can exceed int32 (see quantized.hpp), which makes wrapping,
+// saturating, and exact arithmetic indistinguishable — the determinism
+// argument of DESIGN.md §15.
+
+#if defined(SMART2_SIMD_AVX2)
+/// int32 lanes per VecI; VecS holds 2*kIntLanes int16, one madd pair per
+/// int32 lane.
+inline constexpr std::size_t kIntLanes = 8;
+struct VecI {
+  __m256i v;
+};
+struct VecS {
+  __m256i v;
+};
+
+inline VecI izero() noexcept { return {_mm256_setzero_si256()}; }
+inline VecI ibroadcast(std::int32_t x) noexcept {
+  return {_mm256_set1_epi32(x)};
+}
+inline VecI iload(const std::int32_t* p) noexcept {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+}
+inline void istore(std::int32_t* p, VecI a) noexcept {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a.v);
+}
+/// Wrapping int32 add (the accumulator step).
+inline VecI iadd(VecI a, VecI b) noexcept {
+  return {_mm256_add_epi32(a.v, b.v)};
+}
+
+inline VecS sbroadcast(std::int16_t x) noexcept {
+  return {_mm256_set1_epi16(x)};
+}
+/// Broadcast the pair (lo, hi) into every int32 slot: lo at even int16
+/// lanes, hi at odd — the weight operand of smadd over pair-interleaved
+/// sample data.
+inline VecS sbroadcast_pair(std::int16_t lo, std::int16_t hi) noexcept {
+  const auto packed = static_cast<std::int32_t>(
+      (static_cast<std::uint32_t>(static_cast<std::uint16_t>(hi)) << 16) |
+      static_cast<std::uint16_t>(lo));
+  return {_mm256_set1_epi32(packed)};
+}
+inline VecS sload(const std::int16_t* p) noexcept {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+}
+inline void sstore(std::int16_t* p, VecS a) noexcept {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a.v);
+}
+/// Widening load: 2*kIntLanes int8 values sign-extended to int16 lanes.
+inline VecS sload8(const std::int8_t* p) noexcept {
+  return {_mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)))};
+}
+/// Lane-wise a > b (signed); all-ones / all-zero int16 lanes.
+inline VecS scmpgt(VecS a, VecS b) noexcept {
+  return {_mm256_cmpgt_epi16(a.v, b.v)};
+}
+inline VecS sand(VecS a, VecS b) noexcept {
+  return {_mm256_and_si256(a.v, b.v)};
+}
+inline VecS sor(VecS a, VecS b) noexcept {
+  return {_mm256_or_si256(a.v, b.v)};
+}
+/// ~a & b.
+inline VecS sandnot(VecS a, VecS b) noexcept {
+  return {_mm256_andnot_si256(a.v, b.v)};
+}
+inline VecS strue() noexcept {
+  return {_mm256_set1_epi32(-1)};
+}
+/// Pairwise multiply-accumulate: int32 lane i = a[2i]*b[2i] + a[2i+1]*
+/// b[2i+1], wrapping (x86 pmaddwd semantics).
+inline VecI smadd(VecS a, VecS b) noexcept {
+  return {_mm256_madd_epi16(a.v, b.v)};
+}
+/// One verdict bit per int32 pair: bit i set iff BOTH int16 lanes 2i and
+/// 2i+1 of the mask are all-ones (the per-sample fold of a
+/// pair-interleaved rule mask; don't-care parity slots are kept all-true).
+inline std::uint32_t smask_pairs(VecS mask) noexcept {
+  const auto bytes =
+      static_cast<std::uint32_t>(_mm256_movemask_epi8(mask.v));
+  std::uint32_t out = 0;
+  for (std::size_t i = 0; i < kIntLanes; ++i)
+    out |= ((bytes >> (4 * i)) & 0xfu) == 0xfu ? (1u << i) : 0u;
+  return out;
+}
+
+#elif defined(SMART2_SIMD_SSE2)
+inline constexpr std::size_t kIntLanes = 4;
+struct VecI {
+  __m128i v;
+};
+struct VecS {
+  __m128i v;
+};
+
+inline VecI izero() noexcept { return {_mm_setzero_si128()}; }
+inline VecI ibroadcast(std::int32_t x) noexcept { return {_mm_set1_epi32(x)}; }
+inline VecI iload(const std::int32_t* p) noexcept {
+  return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+}
+inline void istore(std::int32_t* p, VecI a) noexcept {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a.v);
+}
+inline VecI iadd(VecI a, VecI b) noexcept {
+  return {_mm_add_epi32(a.v, b.v)};
+}
+
+inline VecS sbroadcast(std::int16_t x) noexcept { return {_mm_set1_epi16(x)}; }
+inline VecS sbroadcast_pair(std::int16_t lo, std::int16_t hi) noexcept {
+  const auto packed = static_cast<std::int32_t>(
+      (static_cast<std::uint32_t>(static_cast<std::uint16_t>(hi)) << 16) |
+      static_cast<std::uint16_t>(lo));
+  return {_mm_set1_epi32(packed)};
+}
+inline VecS sload(const std::int16_t* p) noexcept {
+  return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+}
+inline void sstore(std::int16_t* p, VecS a) noexcept {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a.v);
+}
+inline VecS sload8(const std::int8_t* p) noexcept {
+  // SSE2 has no cvtepi8_epi16: duplicate each byte into both halves of an
+  // int16 lane, then arithmetic-shift the high copy down (sign-extends).
+  const __m128i x =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return {_mm_srai_epi16(_mm_unpacklo_epi8(x, x), 8)};
+}
+inline VecS scmpgt(VecS a, VecS b) noexcept {
+  return {_mm_cmpgt_epi16(a.v, b.v)};
+}
+inline VecS sand(VecS a, VecS b) noexcept {
+  return {_mm_and_si128(a.v, b.v)};
+}
+inline VecS sor(VecS a, VecS b) noexcept { return {_mm_or_si128(a.v, b.v)}; }
+inline VecS sandnot(VecS a, VecS b) noexcept {
+  return {_mm_andnot_si128(a.v, b.v)};
+}
+inline VecS strue() noexcept { return {_mm_set1_epi32(-1)}; }
+inline VecI smadd(VecS a, VecS b) noexcept {
+  return {_mm_madd_epi16(a.v, b.v)};
+}
+inline std::uint32_t smask_pairs(VecS mask) noexcept {
+  const auto bytes = static_cast<std::uint32_t>(_mm_movemask_epi8(mask.v));
+  std::uint32_t out = 0;
+  for (std::size_t i = 0; i < kIntLanes; ++i)
+    out |= ((bytes >> (4 * i)) & 0xfu) == 0xfu ? (1u << i) : 0u;
+  return out;
+}
+
+#elif defined(SMART2_SIMD_NEON)
+inline constexpr std::size_t kIntLanes = 4;
+struct VecI {
+  int32x4_t v;
+};
+struct VecS {
+  int16x8_t v;
+};
+
+inline VecI izero() noexcept { return {vdupq_n_s32(0)}; }
+inline VecI ibroadcast(std::int32_t x) noexcept { return {vdupq_n_s32(x)}; }
+inline VecI iload(const std::int32_t* p) noexcept { return {vld1q_s32(p)}; }
+inline void istore(std::int32_t* p, VecI a) noexcept { vst1q_s32(p, a.v); }
+inline VecI iadd(VecI a, VecI b) noexcept { return {vaddq_s32(a.v, b.v)}; }
+
+inline VecS sbroadcast(std::int16_t x) noexcept { return {vdupq_n_s16(x)}; }
+inline VecS sbroadcast_pair(std::int16_t lo, std::int16_t hi) noexcept {
+  const auto packed = static_cast<std::int32_t>(
+      (static_cast<std::uint32_t>(static_cast<std::uint16_t>(hi)) << 16) |
+      static_cast<std::uint16_t>(lo));
+  return {vreinterpretq_s16_s32(vdupq_n_s32(packed))};
+}
+inline VecS sload(const std::int16_t* p) noexcept { return {vld1q_s16(p)}; }
+inline void sstore(std::int16_t* p, VecS a) noexcept { vst1q_s16(p, a.v); }
+inline VecS sload8(const std::int8_t* p) noexcept {
+  return {vmovl_s8(vld1_s8(p))};
+}
+inline VecS scmpgt(VecS a, VecS b) noexcept {
+  return {vreinterpretq_s16_u16(vcgtq_s16(a.v, b.v))};
+}
+inline VecS sand(VecS a, VecS b) noexcept { return {vandq_s16(a.v, b.v)}; }
+inline VecS sor(VecS a, VecS b) noexcept { return {vorrq_s16(a.v, b.v)}; }
+inline VecS sandnot(VecS a, VecS b) noexcept {
+  return {vbicq_s16(b.v, a.v)};
+}
+inline VecS strue() noexcept { return {vdupq_n_s16(-1)}; }
+inline VecI smadd(VecS a, VecS b) noexcept {
+  // vpaddq folds [lo0+lo1, lo2+lo3, hi0+hi1, hi2+hi3] — exactly the
+  // pmaddwd pairing (widening multiplies cannot overflow int32).
+  const int32x4_t lo = vmull_s16(vget_low_s16(a.v), vget_low_s16(b.v));
+  const int32x4_t hi = vmull_s16(vget_high_s16(a.v), vget_high_s16(b.v));
+  return {vpaddq_s32(lo, hi)};
+}
+inline std::uint32_t smask_pairs(VecS mask) noexcept {
+  const uint16x8_t m = vreinterpretq_u16_s16(mask.v);
+  std::uint16_t lanes[8];
+  vst1q_u16(lanes, m);
+  std::uint32_t out = 0;
+  for (std::size_t i = 0; i < kIntLanes; ++i)
+    out |= (lanes[2 * i] == 0xffffu && lanes[2 * i + 1] == 0xffffu)
+               ? (1u << i)
+               : 0u;
+  return out;
+}
+
+#else  // scalar fallback: one int32 lane, one int16 madd pair
+
+inline constexpr std::size_t kIntLanes = 1;
+struct VecI {
+  std::int32_t v;
+};
+struct VecS {
+  std::int16_t v[2];
+};
+
+namespace detail {
+inline std::int32_t wrap_add32(std::int32_t a, std::int32_t b) noexcept {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+}  // namespace detail
+
+inline VecI izero() noexcept { return {0}; }
+inline VecI ibroadcast(std::int32_t x) noexcept { return {x}; }
+inline VecI iload(const std::int32_t* p) noexcept { return {*p}; }
+inline void istore(std::int32_t* p, VecI a) noexcept { *p = a.v; }
+inline VecI iadd(VecI a, VecI b) noexcept {
+  return {detail::wrap_add32(a.v, b.v)};
+}
+
+inline VecS sbroadcast(std::int16_t x) noexcept { return {{x, x}}; }
+inline VecS sbroadcast_pair(std::int16_t lo, std::int16_t hi) noexcept {
+  return {{lo, hi}};
+}
+inline VecS sload(const std::int16_t* p) noexcept { return {{p[0], p[1]}}; }
+inline void sstore(std::int16_t* p, VecS a) noexcept {
+  p[0] = a.v[0];
+  p[1] = a.v[1];
+}
+inline VecS sload8(const std::int8_t* p) noexcept {
+  return {{static_cast<std::int16_t>(p[0]), static_cast<std::int16_t>(p[1])}};
+}
+inline VecS scmpgt(VecS a, VecS b) noexcept {
+  return {{static_cast<std::int16_t>(a.v[0] > b.v[0] ? -1 : 0),
+           static_cast<std::int16_t>(a.v[1] > b.v[1] ? -1 : 0)}};
+}
+inline VecS sand(VecS a, VecS b) noexcept {
+  return {{static_cast<std::int16_t>(a.v[0] & b.v[0]),
+           static_cast<std::int16_t>(a.v[1] & b.v[1])}};
+}
+inline VecS sor(VecS a, VecS b) noexcept {
+  return {{static_cast<std::int16_t>(a.v[0] | b.v[0]),
+           static_cast<std::int16_t>(a.v[1] | b.v[1])}};
+}
+inline VecS sandnot(VecS a, VecS b) noexcept {
+  return {{static_cast<std::int16_t>(~a.v[0] & b.v[0]),
+           static_cast<std::int16_t>(~a.v[1] & b.v[1])}};
+}
+inline VecS strue() noexcept {
+  return {{static_cast<std::int16_t>(-1), static_cast<std::int16_t>(-1)}};
+}
+inline VecI smadd(VecS a, VecS b) noexcept {
+  // 16x16 products fit int32 exactly; the pair sum wraps like pmaddwd.
+  const std::int32_t p0 = static_cast<std::int32_t>(a.v[0]) * b.v[0];
+  const std::int32_t p1 = static_cast<std::int32_t>(a.v[1]) * b.v[1];
+  return {detail::wrap_add32(p0, p1)};
+}
+inline std::uint32_t smask_pairs(VecS mask) noexcept {
+  return (mask.v[0] == -1 && mask.v[1] == -1) ? 1u : 0u;
+}
+
+#endif
 
 }  // namespace smart2::simd

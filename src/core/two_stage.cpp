@@ -33,6 +33,9 @@ constexpr const char* kStage2PredictCompiledSpans[kNumMalwareClasses] = {
 constexpr const char* kStage2PredictSimdSpans[kNumMalwareClasses] = {
     "stage2.backdoor.predict_simd", "stage2.rootkit.predict_simd",
     "stage2.virus.predict_simd", "stage2.trojan.predict_simd"};
+constexpr const char* kStage2PredictQuantSpans[kNumMalwareClasses] = {
+    "stage2.backdoor.predict_quant", "stage2.rootkit.predict_quant",
+    "stage2.virus.predict_quant", "stage2.trojan.predict_quant"};
 
 }  // namespace
 
@@ -132,6 +135,75 @@ void TwoStageHmd::train(const Dataset& multiclass_train) {
 
   trained_ = true;
   compile();
+
+  // SMART2_QUANT lowers the freshly trained pipeline onto the integer
+  // path, scaled by the training set's per-feature max |value| (the same
+  // reference the RTL input_scale would use).
+  if (const auto spec = compiled::quant_spec_from_env()) {
+    std::vector<double> max_abs(multiclass_train.feature_count(), 0.0);
+    for (std::size_t i = 0; i < multiclass_train.size(); ++i) {
+      const auto x = multiclass_train.features(i);
+      for (std::size_t f = 0; f < x.size(); ++f)
+        max_abs[f] = std::max(max_abs[f], std::abs(x[f]));
+    }
+    quantize(*spec, max_abs);
+  }
+}
+
+// SMART2_COLD: setup-time lowering, never on the steady-state path.
+void TwoStageHmd::quantize(const compiled::QuantSpec& spec,
+                           std::span<const double> feature_max_abs) {
+  if (!trained_) throw std::logic_error("TwoStageHmd::quantize: not trained");
+  if (!compiled_stage1_) compile();
+  SMART2_SPAN("quantize.two_stage");
+
+  std::vector<double> scales(kMaxPlanFeatures);
+  for (std::size_t j = 0; j < cplan_.common_count; ++j) {
+    if (cplan_.common[j] >= feature_max_abs.size())
+      throw std::invalid_argument(
+          "TwoStageHmd::quantize: max-abs reference too narrow");
+    scales[j] = feature_max_abs[cplan_.common[j]];
+  }
+  quantized_stage1_ = compiled::quantize(
+      *stage1_, spec, {scales.data(), cplan_.common_count});
+
+  std::size_t block_elems = quantized_stage1_->block_elems();
+  for (std::size_t m = 0; m < kNumMalwareClasses; ++m) {
+    const std::size_t ncf = cplan_.stage2_count[m];
+    for (std::size_t j = 0; j < ncf; ++j) {
+      if (cplan_.stage2[m][j] >= feature_max_abs.size())
+        throw std::invalid_argument(
+            "TwoStageHmd::quantize: max-abs reference too narrow");
+      scales[j] = feature_max_abs[cplan_.stage2[m][j]];
+    }
+    quantized_stage2_[m] = compiled::quantize(*stage2_[m].model, spec,
+                                              {scales.data(), ncf});
+    block_elems = std::max(block_elems, quantized_stage2_[m]->block_elems());
+  }
+
+  // Pre-reserve the quantized epoch's scratch frames: the gather blocks
+  // plus one pair-interleaved int16 block and its int32 class outputs.
+  ScratchStack::current().reserve(
+      kDetectEpoch * (cplan_.common_count + kMaxPlanFeatures + 4) +
+      block_elems / 2 + compiled::QuantizedModel::kQuantBlock + 64);
+}
+
+void TwoStageHmd::clear_quantized() noexcept {
+  quantized_stage1_.reset();
+  for (auto& q : quantized_stage2_) q.reset();
+}
+
+const compiled::QuantizedModel& TwoStageHmd::quantized_stage1() const {
+  if (!quantized_stage1_)
+    throw std::logic_error("TwoStageHmd: not quantized");
+  return *quantized_stage1_;
+}
+
+const compiled::QuantizedModel& TwoStageHmd::quantized_stage2(
+    AppClass c) const {
+  if (!quantized_stage1_)
+    throw std::logic_error("TwoStageHmd: not quantized");
+  return *quantized_stage2_[malware_slot(c)];
 }
 
 void TwoStageHmd::compile() {
@@ -158,6 +230,9 @@ void TwoStageHmd::compile() {
     cplan_.stage2_count[m] = features.size();
     for (std::size_t i = 0; i < features.size(); ++i)
       cplan_.stage2[m][i] = static_cast<std::uint32_t>(features[i]);
+    cplan_.stage2_from_common[m] =
+        features.size() <= plan_.common.size() &&
+        std::equal(features.begin(), features.end(), plan_.common.begin());
     scratch = std::max(scratch, compiled_stage2_[m]->scratch_doubles() + 2);
   }
   // Batch-path worst case: one epoch's gather / proba / dispatch blocks
@@ -275,6 +350,7 @@ const Classifier& TwoStageHmd::stage2(AppClass c) const {
 // SMART2_HOT
 Detection TwoStageHmd::detect(std::span<const double> features44) const {
   if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  if (quantized_stage1_) return detect_quant(features44);
   if (!compiled_stage1_) return detect_interpreted(features44);
 
   // Pre-gathered feature plan: fixed-width index tables, stack buffers, and
@@ -326,6 +402,47 @@ Detection TwoStageHmd::detect(std::span<const double> features44) const {
   if (out.stage2_score > config_.stage2_threshold) {
     out.is_malware = true;
     out.predicted_class = cls;
+  }
+  return out;
+}
+
+// detect() on the integer path: stage-1 routes by quantized argmax (no
+// softmax, no benign-confidence band — the RTL has neither), stage 2
+// answers with its integer class decision. stage1_confidence is 0 and
+// stage2_score is binary by construction (see quantize()'s contract).
+// SMART2_HOT
+Detection TwoStageHmd::detect_quant(std::span<const double> features44) const {
+  double common[kMaxPlanFeatures];
+  const std::size_t nc = cplan_.common_count;
+  for (std::size_t i = 0; i < nc; ++i)
+    common[i] = features44[cplan_.common[i]];
+
+  Detection out;
+  int cls1;
+  {
+    SMART2_SPAN("stage1.mlr.predict_quant");
+    cls1 = quantized_stage1_->predict_raw({common, nc});
+  }
+  if (cls1 == label_of(AppClass::kBenign)) {
+    if (obs::metrics_enabled())
+      obs::counter("stage1.benign_shortcircuit").add();
+    return out;
+  }
+
+  const auto cls = static_cast<AppClass>(cls1);
+  const std::size_t slot = malware_slot(cls);
+  if (obs::metrics_enabled()) obs::counter("stage2.dispatch").add();
+  const obs::Span stage2_span(kStage2PredictQuantSpans[slot]);
+  double class_features[kMaxPlanFeatures];
+  const std::size_t ncf = cplan_.stage2_count[slot];
+  for (std::size_t i = 0; i < ncf; ++i)
+    class_features[i] = features44[cplan_.stage2[slot][i]];
+
+  const int cls2 = quantized_stage2_[slot]->predict_raw({class_features, ncf});
+  if (cls2 == 1) {
+    out.is_malware = true;
+    out.predicted_class = cls;
+    out.stage2_score = 1.0;
   }
   return out;
 }
@@ -457,10 +574,17 @@ void TwoStageHmd::detect_epoch(const Dataset& samples, std::size_t begin,
     if (cnt == 0) continue;
     const std::size_t ncf = cplan_.stage2_count[s];
     double* feats = feats_s.data();
-    for (std::size_t j = 0; j < cnt; ++j) {
-      const double* row = samples.features(begin + rows[j]).data();
-      for (std::size_t q = 0; q < ncf; ++q)
-        feats[j * ncf + q] = row[cplan_.stage2[s][q]];
+    if (cplan_.stage2_from_common[s]) {
+      for (std::size_t j = 0; j < cnt; ++j) {
+        const double* src = common + rows[j] * nc;
+        std::copy(src, src + ncf, feats + j * ncf);
+      }
+    } else {
+      for (std::size_t j = 0; j < cnt; ++j) {
+        const double* row = samples.features(begin + rows[j]).data();
+        for (std::size_t q = 0; q < ncf; ++q)
+          feats[j * ncf + q] = row[cplan_.stage2[s][q]];
+      }
     }
     stage2_score_batch_into(kMalwareClasses[s], feats, cnt, ncf,
                             {scores_s.data(), cnt});
@@ -472,6 +596,156 @@ void TwoStageHmd::detect_epoch(const Dataset& samples, std::size_t begin,
         det.predicted_class = kMalwareClasses[s];
       }
     }
+  }
+}
+
+// detect_epoch on the integer path: the whole block quantizes into
+// pair-interleaved 16-sample sub-blocks and runs the integer SIMD kernels
+// (lane = sample); the routing scan replicates detect_quant() exactly.
+// All temporaries come from the thread-local ScratchStack (quantize()
+// pre-reserves the worst case), so a warm epoch allocates nothing.
+// SMART2_HOT
+void TwoStageHmd::detect_epoch_quant(const Dataset& samples,
+                                     std::size_t begin, std::size_t end,
+                                     Detection* out) const {
+  constexpr std::size_t kBlk = compiled::QuantizedModel::kQuantBlock;
+  const std::size_t m = end - begin;
+  const std::size_t nc = cplan_.common_count;
+
+  // Gather the Common features, then stage-1 over 16-sample blocks.
+  const ScratchSpan common_s(m * nc);
+  double* common = common_s.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = samples.features(begin + i).data();
+    for (std::size_t j = 0; j < nc; ++j)
+      common[i * nc + j] = row[cplan_.common[j]];
+  }
+  std::size_t block_elems = quantized_stage1_->block_elems();
+  for (const auto& q : quantized_stage2_)
+    block_elems = std::max(block_elems, q->block_elems());
+  ScratchArray<std::int32_t> cls1(m);
+  ScratchArray<std::int16_t> block(block_elems);
+  {
+    SMART2_SPAN("stage1.mlr.predict_quant");
+    for (std::size_t b = 0; b < m; b += kBlk) {
+      const std::size_t bn = std::min(kBlk, m - b);
+      quantized_stage1_->quantize_block(common + b * nc, bn, nc,
+                                        block.data());
+      quantized_stage1_->eval_block(block.data(), bn, &cls1[b]);
+    }
+  }
+
+  // Route each row exactly as detect_quant() does.
+  ScratchArray<std::uint8_t> slot_of(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out[begin + i] = Detection{};
+    if (cls1[i] == label_of(AppClass::kBenign)) {
+      if (obs::metrics_enabled())
+        obs::counter("stage1.benign_shortcircuit").add();
+      slot_of[i] = static_cast<std::uint8_t>(kNumMalwareClasses);
+    } else {
+      slot_of[i] =
+          static_cast<std::uint8_t>(malware_slot(static_cast<AppClass>(cls1[i])));
+    }
+  }
+
+  // Dispatch the non-benign subset per stage-2 detector, in slot order.
+  const ScratchSpan feats_s(m * kMaxPlanFeatures);
+  ScratchArray<std::int32_t> cls2(m);
+  ScratchArray<std::uint32_t> rows(m);
+  for (std::size_t s = 0; s < kNumMalwareClasses; ++s) {
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < m; ++i)
+      if (slot_of[i] == s) rows[cnt++] = static_cast<std::uint32_t>(i);
+    if (cnt == 0) continue;
+    if (obs::metrics_enabled()) obs::counter("stage2.dispatch").add(cnt);
+    const obs::Span span(kStage2PredictQuantSpans[s]);
+    const std::size_t ncf = cplan_.stage2_count[s];
+    const compiled::QuantizedModel& qm = *quantized_stage2_[s];
+    if (cplan_.stage2_from_common[s]) {
+      // The slot's features are a prefix of the common plan: quantize the
+      // routed rows straight out of the gathered common buffer.
+      for (std::size_t b = 0; b < cnt; b += kBlk) {
+        const std::size_t bn = std::min(kBlk, cnt - b);
+        qm.quantize_rows(common, nc, &rows[b], bn, block.data());
+        qm.eval_block(block.data(), bn, &cls2[b]);
+      }
+    } else {
+      double* feats = feats_s.data();
+      for (std::size_t j = 0; j < cnt; ++j) {
+        const double* row = samples.features(begin + rows[j]).data();
+        for (std::size_t q = 0; q < ncf; ++q)
+          feats[j * ncf + q] = row[cplan_.stage2[s][q]];
+      }
+      for (std::size_t b = 0; b < cnt; b += kBlk) {
+        const std::size_t bn = std::min(kBlk, cnt - b);
+        qm.quantize_block(feats + b * ncf, bn, ncf, block.data());
+        qm.eval_block(block.data(), bn, &cls2[b]);
+      }
+    }
+    for (std::size_t j = 0; j < cnt; ++j) {
+      if (cls2[j] != 1) continue;
+      Detection& det = out[begin + rows[j]];
+      det.is_malware = true;
+      det.predicted_class = kMalwareClasses[s];
+      det.stage2_score = 1.0;
+    }
+  }
+}
+
+// SMART2_HOT
+void TwoStageHmd::score_epoch_quant(const double* common, std::size_t n,
+                                    std::size_t stride, double* scores,
+                                    std::uint8_t* suspected) const {
+  if (!quantized_stage1_)
+    throw std::logic_error("TwoStageHmd::score_epoch_quant: not quantized");
+  if (n == 0) return;
+  constexpr std::size_t kBlk = compiled::QuantizedModel::kQuantBlock;
+
+  std::size_t block_elems = quantized_stage1_->block_elems();
+  for (const auto& q : quantized_stage2_)
+    block_elems = std::max(block_elems, q->block_elems());
+  ScratchArray<std::int32_t> cls1(n);
+  ScratchArray<std::int16_t> block(block_elems);
+  {
+    SMART2_SPAN("stage1.mlr.predict_quant");
+    for (std::size_t b = 0; b < n; b += kBlk) {
+      const std::size_t bn = std::min(kBlk, n - b);
+      quantized_stage1_->quantize_block(common + b * stride, bn, stride,
+                                        block.data());
+      quantized_stage1_->eval_block(block.data(), bn, &cls1[b]);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = 0.0;
+    suspected[i] = cls1[i] == label_of(AppClass::kBenign)
+                       ? std::uint8_t{0}
+                       : static_cast<std::uint8_t>(
+                             malware_slot(static_cast<AppClass>(cls1[i])));
+  }
+
+  ScratchArray<std::int32_t> cls2(n);
+  ScratchArray<std::uint32_t> rows(n);
+  for (std::size_t s = 0; s < kNumMalwareClasses; ++s) {
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (cls1[i] != label_of(AppClass::kBenign) && suspected[i] == s)
+        rows[cnt++] = static_cast<std::uint32_t>(i);
+    if (cnt == 0) continue;
+    if (obs::metrics_enabled()) obs::counter("stage2.dispatch").add(cnt);
+    const obs::Span span(kStage2PredictQuantSpans[s]);
+    if (!cplan_.stage2_from_common[s])
+      throw std::logic_error(
+          "TwoStageHmd::score_epoch_quant: stage-2 plan is not a prefix of "
+          "the common plan (Common4 serving contract)");
+    const compiled::QuantizedModel& qm = *quantized_stage2_[s];
+    for (std::size_t b = 0; b < cnt; b += kBlk) {
+      const std::size_t bn = std::min(kBlk, cnt - b);
+      qm.quantize_rows(common, stride, &rows[b], bn, block.data());
+      qm.eval_block(block.data(), bn, &cls2[b]);
+    }
+    for (std::size_t j = 0; j < cnt; ++j)
+      scores[rows[j]] = cls2[j] == 1 ? 1.0 : 0.0;
   }
 }
 
@@ -492,10 +766,14 @@ void TwoStageHmd::predict_batch_into(const Dataset& samples,
   }
   const std::size_t epochs =
       (samples.size() + kDetectEpoch - 1) / kDetectEpoch;
+  const bool quant = quantized_stage1_ != nullptr;
   auto run = [&](std::size_t e) {
-    detect_epoch(samples, e * kDetectEpoch,
-                 std::min(samples.size(), (e + 1) * kDetectEpoch),
-                 out.data());
+    const std::size_t lo = e * kDetectEpoch;
+    const std::size_t hi = std::min(samples.size(), (e + 1) * kDetectEpoch);
+    if (quant)
+      detect_epoch_quant(samples, lo, hi, out.data());
+    else
+      detect_epoch(samples, lo, hi, out.data());
   };
   // The single-thread / single-epoch path calls the epochs directly: no
   // std::function is materialized, keeping the warm loop allocation-free.

@@ -22,6 +22,7 @@
 #include "data/labels.hpp"
 #include "ml/compiled.hpp"
 #include "ml/metrics.hpp"
+#include "ml/quantized.hpp"
 
 namespace smart2 {
 
@@ -95,6 +96,36 @@ class TwoStageHmd {
   /// build the pre-gathered feature-plan index tables. Idempotent.
   void compile();
   bool compiled() const noexcept { return compiled_stage1_ != nullptr; }
+
+  /// Lower the pipeline onto the quantized integer path (ml/quantized.hpp):
+  /// stage 1 routes by integer argmax (no softmax, no benign-confidence
+  /// band), stage 2 answers with its integer class decision, so
+  /// Detection::stage1_confidence is 0 and stage2_score is binary {0, 1} —
+  /// the answer the emitted hardware gives, not an approximation of the
+  /// double path. `feature_max_abs` holds the per-feature max |value| of a
+  /// scale reference over the full event space (one entry per raw feature
+  /// column). train() quantizes automatically from the training set when
+  /// SMART2_QUANT is set; load() does NOT auto-quantize (the stream has no
+  /// scale reference — call quantize() after load with one).
+  void quantize(const compiled::QuantSpec& spec,
+                std::span<const double> feature_max_abs);
+  void clear_quantized() noexcept;
+  bool quantized() const noexcept { return quantized_stage1_ != nullptr; }
+
+  /// The lowered integer models (quantized() must hold): verilog_gen's
+  /// tables and the golden reference for the hardware tests.
+  const compiled::QuantizedModel& quantized_stage1() const;
+  const compiled::QuantizedModel& quantized_stage2(AppClass c) const;
+
+  /// Quantized serving epoch: stage-1 integer argmax over `n` rows of
+  /// `common` (row-major, `stride` doubles per row, plan().common order);
+  /// rows routed to a malware class are scored {0.0, 1.0} by that class's
+  /// quantized stage-2 detector on the same values (Common4 serving).
+  /// suspected[i] is the stage-2 slot consulted; benign rows score 0.0 and
+  /// report slot 0 (the integer path has no runner-up probabilities).
+  void score_epoch_quant(const double* common, std::size_t n,
+                         std::size_t stride, double* scores,
+                         std::uint8_t* suspected) const;
 
   /// Rows per batch epoch: the fixed block width of the batched detect
   /// path. Each epoch runs stage 1 over the whole block, then dispatches
@@ -192,6 +223,11 @@ class TwoStageHmd {
                kNumMalwareClasses>
         stage2{};
     std::array<std::size_t, kNumMalwareClasses> stage2_count{};
+    /// Slot s's stage-2 features are exactly the first stage2_count[s]
+    /// entries of the common plan (true for the kCommon4 serving plan), so
+    /// the epoch paths can re-read the already-gathered contiguous common
+    /// rows instead of re-gathering from the raw 44-wide samples.
+    std::array<bool, kNumMalwareClasses> stage2_from_common{};
   };
 
   std::size_t malware_slot(AppClass c) const;
@@ -201,6 +237,12 @@ class TwoStageHmd {
   /// end - begin <= kDetectEpoch.
   void detect_epoch(const Dataset& samples, std::size_t begin,
                     std::size_t end, Detection* out) const;
+  /// detect() on the quantized integer path (quantized() must hold).
+  Detection detect_quant(std::span<const double> features44) const;
+  /// detect_epoch on the quantized integer path: 16-sample pair-interleaved
+  /// blocks through the integer SIMD kernels.
+  void detect_epoch_quant(const Dataset& samples, std::size_t begin,
+                          std::size_t end, Detection* out) const;
   Specialized train_specialized(const Dataset& multiclass_train,
                                 std::size_t slot, Rng& rng) const;
 
@@ -212,6 +254,9 @@ class TwoStageHmd {
   std::unique_ptr<compiled::CompiledModel> compiled_stage1_;
   std::array<std::unique_ptr<compiled::CompiledModel>, kNumMalwareClasses>
       compiled_stage2_;
+  std::unique_ptr<compiled::QuantizedModel> quantized_stage1_;
+  std::array<std::unique_ptr<compiled::QuantizedModel>, kNumMalwareClasses>
+      quantized_stage2_;
   CompiledPlan cplan_;
 };
 

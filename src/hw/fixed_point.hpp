@@ -4,8 +4,13 @@
 // quantize/dequantize round-trips let the cost model measure how much
 // detection quality a given width costs (an ablation the paper's Vivado
 // flow implies but does not report).
+//
+// Header-only so the quantized inference lowering (src/ml/quantized.*) can
+// share the exact rounding/saturation semantics without a link-time
+// dependency from smart2_ml onto smart2_hw (which links smart2_ml).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace smart2 {
@@ -17,15 +22,69 @@ struct FixedPointFormat {
   int width() const noexcept { return integer_bits + fraction_bits; }
 
   /// Max/min representable values.
-  double max_value() const noexcept;
-  double min_value() const noexcept;
+  // SMART2_HOT
+  double max_value() const noexcept {
+    return std::ldexp(1.0, integer_bits - 1) -
+           std::ldexp(1.0, -fraction_bits);
+  }
+  // SMART2_HOT
+  double min_value() const noexcept {
+    return -std::ldexp(1.0, integer_bits - 1);
+  }
 
-  /// Round-to-nearest quantization with saturation.
-  std::int64_t quantize(double v) const noexcept;
-  double dequantize(std::int64_t q) const noexcept;
+  /// Round-to-nearest quantization (half away from zero) with saturation.
+  // SMART2_HOT
+  std::int64_t quantize(double v) const noexcept {
+    if (std::isnan(v)) return 0;
+    const double scaled = v * std::ldexp(1.0, fraction_bits);
+    const double hi = max_value() * std::ldexp(1.0, fraction_bits);
+    const double lo = min_value() * std::ldexp(1.0, fraction_bits);
+    double clamped = scaled;
+    if (clamped > hi) clamped = hi;
+    if (clamped < lo) clamped = lo;
+    return static_cast<std::int64_t>(std::llround(clamped));
+  }
+  double dequantize(std::int64_t q) const noexcept {
+    return static_cast<double>(q) * std::ldexp(1.0, -fraction_bits);
+  }
 
   /// Quantize-dequantize round trip.
   double round_trip(double v) const noexcept { return dequantize(quantize(v)); }
+};
+
+/// FixedPointFormat::quantize with the three format-derived constants
+/// hoisted into the object and the final llround replaced by an inlinable
+/// rint + half-tie fixup: bit-identical results for every input under the
+/// default round-to-nearest-even FP mode (the only mode this codebase ever
+/// runs in), but no libm call per quantized value — the batch
+/// input-quantization hot path.
+struct FixedPointQuantizer {
+  double two_fb;
+  double hi;
+  double lo;
+
+  explicit FixedPointQuantizer(const FixedPointFormat& f) noexcept
+      : two_fb(std::ldexp(1.0, f.fraction_bits)),
+        hi(f.max_value() * two_fb),
+        lo(f.min_value() * two_fb) {}
+
+  // SMART2_HOT
+  std::int64_t quantize(double v) const noexcept {
+    if (std::isnan(v)) return 0;
+    double clamped = v * two_fb;
+    if (clamped > hi) clamped = hi;
+    if (clamped < lo) clamped = lo;
+    // llround semantics (round half AWAY from zero) from rint (half to
+    // even): after clamping |x| <= 2^15, x - rint(x) is exact (Sterbenz),
+    // so a tie is detectable as an exact +/-0.5 difference and only the
+    // even-tie that rounded toward zero needs the one-step correction.
+    double t = std::rint(clamped);
+    if (clamped > 0.0 && clamped - t == 0.5)
+      t += 1.0;
+    else if (clamped < 0.0 && t - clamped == 0.5)
+      t -= 1.0;
+    return static_cast<std::int64_t>(t);
+  }
 };
 
 }  // namespace smart2

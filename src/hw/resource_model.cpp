@@ -21,17 +21,13 @@ Resources operator+(Resources lhs, const Resources& rhs) noexcept {
 }
 
 Resources ResourceLibrary::comparator() const noexcept {
-  // ~1 LUT per 2 bits plus carry logic.
-  return {static_cast<std::uint64_t>(data_width) / 2 + 2, 0, 0, 0};
+  return comparator(data_width);
 }
 
-Resources ResourceLibrary::adder() const noexcept {
-  return {static_cast<std::uint64_t>(data_width) + 2, 0, 0, 0};
-}
+Resources ResourceLibrary::adder() const noexcept { return adder(data_width); }
 
 Resources ResourceLibrary::multiplier() const noexcept {
-  // One DSP48 covers a 16x16 product.
-  return {4, 0, 1, 0};
+  return multiplier(data_width);
 }
 
 Resources ResourceLibrary::pipeline_register() const noexcept {
@@ -39,9 +35,26 @@ Resources ResourceLibrary::pipeline_register() const noexcept {
 }
 
 Resources ResourceLibrary::rom(std::uint64_t words) const noexcept {
+  return rom(words, data_width);
+}
+
+Resources ResourceLibrary::comparator(int width) const noexcept {
+  // ~1 LUT per 2 bits plus carry logic.
+  return {static_cast<std::uint64_t>(width) / 2 + 2, 0, 0, 0};
+}
+
+Resources ResourceLibrary::adder(int width) const noexcept {
+  return {static_cast<std::uint64_t>(width) + 2, 0, 0, 0};
+}
+
+Resources ResourceLibrary::multiplier(int width) const noexcept {
+  // One DSP48 covers up to an 18x25 product; wider operands cascade two.
+  return {4, 0, width <= 18 ? std::uint64_t{1} : std::uint64_t{2}, 0};
+}
+
+Resources ResourceLibrary::rom(std::uint64_t words, int bits) const noexcept {
   // LUT-ROM: 1 LUT6 stores 64 bits.
-  const std::uint64_t bits = words * static_cast<std::uint64_t>(data_width);
-  return {bits / 64 + 1, 0, 0, 0};
+  return {words * static_cast<std::uint64_t>(bits) / 64 + 1, 0, 0, 0};
 }
 
 Resources ResourceLibrary::sigmoid_unit() const noexcept {

@@ -36,6 +36,15 @@ struct ResourceLibrary {
   Resources pipeline_register() const noexcept;
   /// Constant storage (LUT-ROM), `words` entries of data_width bits.
   Resources rom(std::uint64_t words) const noexcept;
+
+  /// Explicit-width variants of the primitives above, for costing the
+  /// widths a QuantizedModel actually proves it needs (constant_bits /
+  /// accumulator_bits) instead of the assumed format width — narrow
+  /// constants shrink comparators and ROMs, wide accumulators grow adders.
+  Resources comparator(int width) const noexcept;
+  Resources adder(int width) const noexcept;
+  Resources multiplier(int width) const noexcept;
+  Resources rom(std::uint64_t words, int bits) const noexcept;
   /// Piecewise-linear sigmoid evaluation unit.
   Resources sigmoid_unit() const noexcept;
   /// Priority encoder over n inputs.

@@ -9,6 +9,7 @@
 #include "ml/logistic.hpp"
 #include "ml/mlp.hpp"
 #include "ml/onerule.hpp"
+#include "ml/quantized.hpp"
 #include "ml/ripper.hpp"
 
 namespace smart2 {
@@ -44,15 +45,33 @@ HwDesign HlsEstimator::synthesize(const Classifier& c) const {
   HwDesign design;
   design.classifier = c.name();
 
+  // Cost the widths the quantized lowering actually proves it needs rather
+  // than assuming format-width constants everywhere: lower the model through
+  // ml/quantized.hpp at unit input scale and read back its table widths.
+  // Models without a quantized lowering keep the assumed format width.
+  int cw = lib_.data_width;
+  int aw = lib_.data_width;
+  try {
+    const std::vector<double> unit(c.feature_count(), 1.0);
+    const auto quant = compiled::quantize(
+        c, {params_.format.width(), params_.format}, unit);
+    cw = quant->constant_bits();
+    aw = quant->accumulator_bits();
+  } catch (const std::invalid_argument&) {
+  }
+  design.constant_bits = cw;
+  design.accumulator_bits = aw;
+
   if (const auto* tree = dynamic_cast<const DecisionTree*>(&c)) {
     const std::uint64_t internal = tree->node_count() - tree->leaf_count();
     const std::uint64_t depth = std::max<std::size_t>(tree->depth(), 1);
     // One comparator + threshold constant per internal node; a pipeline
     // register stage per level; leaf distribution ROM.
-    design.resources += lib_.comparator().scaled(std::max<std::uint64_t>(internal, 1));
-    design.resources += lib_.rom(std::max<std::uint64_t>(internal, 1));
+    design.resources +=
+        lib_.comparator(cw).scaled(std::max<std::uint64_t>(internal, 1));
+    design.resources += lib_.rom(std::max<std::uint64_t>(internal, 1), cw);
     design.resources += lib_.pipeline_register().scaled(depth);
-    design.resources += lib_.rom(tree->leaf_count());
+    design.resources += lib_.rom(tree->leaf_count(), cw);
     design.resources += lib_.priority_encoder(tree->leaf_count());
     design.latency_cycles = static_cast<std::uint32_t>(depth);
   } else if (const auto* rules = dynamic_cast<const Ripper*>(&c)) {
@@ -63,8 +82,8 @@ HwDesign HlsEstimator::synthesize(const Classifier& c) const {
       max_conds = std::max<std::uint64_t>(max_conds, r.conditions.size());
     // All conditions evaluate in parallel; each rule ANDs its conditions;
     // a priority encoder picks the first matching rule.
-    design.resources += lib_.comparator().scaled(conds);
-    design.resources += lib_.rom(conds);
+    design.resources += lib_.comparator(cw).scaled(conds);
+    design.resources += lib_.rom(conds, cw);
     design.resources += Resources{conds / 2 + 4, 0, 0, 0};  // AND network
     design.resources +=
         lib_.priority_encoder(rules->rules().size() + 1);
@@ -72,8 +91,9 @@ HwDesign HlsEstimator::synthesize(const Classifier& c) const {
   } else if (const auto* oner = dynamic_cast<const OneR*>(&c)) {
     const std::uint64_t buckets =
         std::max<std::uint64_t>(oner->buckets().size(), 1);
-    design.resources += lib_.comparator().scaled(buckets - 1 ? buckets - 1 : 1);
-    design.resources += lib_.rom(buckets);
+    design.resources +=
+        lib_.comparator(cw).scaled(buckets - 1 ? buckets - 1 : 1);
+    design.resources += lib_.rom(buckets, cw);
     design.resources += lib_.priority_encoder(buckets);
     design.latency_cycles = 1;
   } else if (const auto* mlp = dynamic_cast<const Mlp*>(&c)) {
@@ -85,8 +105,8 @@ HwDesign HlsEstimator::synthesize(const Classifier& c) const {
     // per hidden neuron, adder trees. Layers are scheduled serially over the
     // available MAC columns.
     design.resources += lib_.multiplier().scaled(weights);
-    design.resources += lib_.rom(weights);
-    design.resources += lib_.adder().scaled(hid + out);
+    design.resources += lib_.rom(weights, cw);
+    design.resources += lib_.adder(aw).scaled(hid + out);
     design.resources += lib_.sigmoid_unit().scaled(hid);
     design.resources += lib_.exp_unit().scaled(out);
     design.resources += lib_.pipeline_register().scaled(hid + out);
@@ -101,8 +121,8 @@ HwDesign HlsEstimator::synthesize(const Classifier& c) const {
     const std::uint64_t out = mlr->coefficients().size();
     const std::uint64_t weights = in * out;
     design.resources += lib_.multiplier().scaled(weights);
-    design.resources += lib_.rom(weights);
-    design.resources += lib_.adder().scaled(out);
+    design.resources += lib_.rom(weights, cw);
+    design.resources += lib_.adder(aw).scaled(out);
     design.resources += lib_.exp_unit().scaled(out);
     design.latency_cycles =
         ceil_div(weights, params_.mac_columns) + log2_ceil(in) + 6;
@@ -116,7 +136,7 @@ HwDesign HlsEstimator::synthesize(const Classifier& c) const {
       latency += member.latency_cycles + 2;  // vote multiply-accumulate
     }
     design.resources +=
-        lib_.multiplier().scaled(1) + lib_.adder().scaled(1);
+        lib_.multiplier().scaled(1) + lib_.adder(aw).scaled(1);
     design.latency_cycles = latency + 3;
   } else {
     throw std::invalid_argument("HlsEstimator: no hardware mapping for " +

@@ -28,6 +28,12 @@ struct HwDesign {
   Resources resources;
   std::uint32_t latency_cycles = 0;  // @10 ns clock
   double area_percent = 0.0;         // vs OpenSPARC core
+  /// Widths taken from the quantized lowering's tables (ml/quantized.hpp):
+  /// the widest stored constant and the widest proven accumulator. Equal
+  /// to the format width when the model has no quantized lowering (the
+  /// estimate then assumes format-width constants throughout).
+  int constant_bits = 0;
+  int accumulator_bits = 0;
 };
 
 struct HlsParams {

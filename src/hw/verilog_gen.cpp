@@ -5,15 +5,21 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "ml/adaboost.hpp"
-#include "ml/decision_tree.hpp"
-#include "ml/logistic.hpp"
-#include "ml/onerule.hpp"
-#include "ml/ripper.hpp"
+#include "ml/quantized.hpp"
 
 namespace smart2 {
 
 namespace {
+
+using compiled::QuantLinear;
+using compiled::QuantMajority;
+using compiled::QuantMlp;
+using compiled::QuantOneR;
+using compiled::QuantRuleList;
+using compiled::QuantSpec;
+using compiled::QuantTree;
+using compiled::QuantVote;
+using compiled::QuantizedModel;
 
 int class_bits(std::size_t classes) {
   int bits = 1;
@@ -34,40 +40,39 @@ std::string class_literal(int bits, int value) {
   return std::to_string(bits) + "'d" + std::to_string(value);
 }
 
-/// Scaled, quantized threshold for comparisons against input f.
-std::int64_t quantize_threshold(double threshold, double scale,
-                                const FixedPointFormat& fmt) {
-  return fmt.quantize(threshold / scale);
+/// Lower a classifier through the exact quantization the C++ integer path
+/// runs: the emitted constants are the QuantizedModel tables verbatim, so
+/// RTL and software agree bit for bit.
+std::unique_ptr<QuantizedModel> lower_for_rtl(
+    const Classifier& c, const FixedPointFormat& fmt,
+    std::span<const double> input_max_abs) {
+  return compiled::quantize(c, QuantSpec{fmt.width(), fmt}, input_max_abs);
 }
 
+/// Emits expressions against quantized tables; constants come pre-quantized
+/// from the QuantizedModel, never re-derived here.
 struct Emitter {
   const FixedPointFormat& fmt;
-  const std::vector<double>& scale;
   int cbits;
   std::ostringstream body;
 
   std::string input(std::size_t f) const {
     return "in" + std::to_string(f);
   }
-  std::string cmp_le(std::size_t f, double threshold) const {
+  std::string cmp_le(std::size_t f, std::int64_t threshold_q) const {
     return "(" + input(f) + " <= " +
-           signed_literal(fmt.width(),
-                          quantize_threshold(threshold, scale[f], fmt)) +
-           ")";
+           signed_literal(fmt.width(), threshold_q) + ")";
   }
 };
 
-std::string tree_expr(const Emitter& e, const DecisionTree::Node* node) {
-  if (node->is_leaf) {
-    const int cls = static_cast<int>(
-        std::max_element(node->class_weight.begin(),
-                         node->class_weight.end()) -
-        node->class_weight.begin());
-    return class_literal(e.cbits, cls);
-  }
-  return "(" + e.cmp_le(node->feature, node->threshold) + " ? " +
-         tree_expr(e, node->left.get()) + " : " +
-         tree_expr(e, node->right.get()) + ")";
+std::string tree_expr(const Emitter& e, const QuantTree& tree,
+                      std::int32_t node) {
+  const auto i = static_cast<std::size_t>(node);
+  if (tree.node_left()[i] < 0)
+    return class_literal(e.cbits, -1 - tree.node_left()[i]);
+  return "(" + e.cmp_le(tree.node_feature()[i], tree.node_threshold()[i]) +
+         " ? " + tree_expr(e, tree, tree.node_left()[i]) + " : " +
+         tree_expr(e, tree, tree.node_right()[i]) + ")";
 }
 
 /// Declare-and-assign helper: `target` empty means the module output.
@@ -76,38 +81,38 @@ std::string target_decl(const Emitter& e, const std::string& target) {
   return "  wire [" + std::to_string(e.cbits - 1) + ":0] " + target + " =";
 }
 
-void emit_tree(Emitter& e, const DecisionTree& tree,
+void emit_tree(Emitter& e, const QuantTree& tree,
                const std::string& target = "") {
-  e.body << target_decl(e, target) << " " << tree_expr(e, tree.root())
-         << ";\n";
+  e.body << target_decl(e, target) << " " << tree_expr(e, tree, 0) << ";\n";
 }
 
-void emit_oner(Emitter& e, const OneR& oner, const std::string& target = "") {
-  const auto& buckets = oner.buckets();
+void emit_oner(Emitter& e, const QuantOneR& oner,
+               const std::string& target = "") {
   // Cascade of threshold comparisons, lowest bucket first (the trained
-  // buckets are ordered by upper bound).
+  // buckets are ordered by upper bound); the last bucket is the default.
+  const auto upper = oner.upper();
+  const auto majority = oner.majority();
   e.body << target_decl(e, target) << "\n";
-  for (std::size_t b = 0; b + 1 < buckets.size(); ++b) {
-    e.body << "    " << e.cmp_le(oner.rule_feature(), buckets[b].upper)
-           << " ? " << class_literal(e.cbits, buckets[b].majority)
-           << " :\n";
+  for (std::size_t b = 0; b < upper.size(); ++b) {
+    e.body << "    " << e.cmp_le(oner.rule_feature(), upper[b]) << " ? "
+           << class_literal(e.cbits, majority[b]) << " :\n";
   }
-  e.body << "    " << class_literal(e.cbits, buckets.back().majority)
-         << ";\n";
+  e.body << "    " << class_literal(e.cbits, majority.back()) << ";\n";
 }
 
-void emit_ripper(Emitter& e, const Ripper& ripper,
+void emit_ripper(Emitter& e, const QuantRuleList& rules,
                  const std::string& target = "",
                  const std::string& prefix = "rule") {
-  const auto& rules = ripper.rules();
-  for (std::size_t r = 0; r < rules.size(); ++r) {
+  const auto conds = rules.conditions();
+  const auto begin = rules.cond_begin();
+  const auto predicted = rules.rule_class();
+  for (std::size_t r = 0; r < predicted.size(); ++r) {
     e.body << "  wire " << prefix << r << " = ";
-    const auto& conds = rules[r].conditions;
-    if (conds.empty()) {
+    if (begin[r] == begin[r + 1]) {
       e.body << "1'b1";
     } else {
-      for (std::size_t c = 0; c < conds.size(); ++c) {
-        if (c) e.body << " & ";
+      for (std::uint32_t c = begin[r]; c < begin[r + 1]; ++c) {
+        if (c != begin[r]) e.body << " & ";
         const std::string le = e.cmp_le(conds[c].feature, conds[c].threshold);
         e.body << (conds[c].less_equal ? le : "~" + le);
       }
@@ -116,57 +121,53 @@ void emit_ripper(Emitter& e, const Ripper& ripper,
   }
   // First-match priority encoder; the default class closes the chain.
   e.body << target_decl(e, target) << "\n";
-  for (std::size_t r = 0; r < rules.size(); ++r)
+  for (std::size_t r = 0; r < predicted.size(); ++r)
     e.body << "    " << prefix << r << " ? "
-           << class_literal(e.cbits, rules[r].predicted) << " :\n";
-  e.body << "    " << class_literal(e.cbits, ripper.default_class())
-         << ";\n";
+           << class_literal(e.cbits, predicted[r]) << " :\n";
+  e.body << "    " << class_literal(e.cbits, rules.default_class()) << ";\n";
 }
 
 /// One ensemble member lowered to a named wire; true if the member type has
 /// a combinational mapping.
-bool emit_member(Emitter& e, const Classifier& member,
+bool emit_member(Emitter& e, const QuantizedModel& member,
                  const std::string& target, std::size_t index) {
-  if (const auto* tree = dynamic_cast<const DecisionTree*>(&member)) {
+  if (const auto* tree = dynamic_cast<const QuantTree*>(&member)) {
     emit_tree(e, *tree, target);
     return true;
   }
-  if (const auto* oner = dynamic_cast<const OneR*>(&member)) {
+  if (const auto* oner = dynamic_cast<const QuantOneR*>(&member)) {
     emit_oner(e, *oner, target);
     return true;
   }
-  if (const auto* rules = dynamic_cast<const Ripper*>(&member)) {
+  if (const auto* rules = dynamic_cast<const QuantRuleList*>(&member)) {
     emit_ripper(e, *rules, target, "m" + std::to_string(index) + "_rule");
     return true;
   }
   return false;
 }
 
-void emit_adaboost(Emitter& e, const AdaBoost& boost,
+void emit_adaboost(Emitter& e, const QuantVote& boost,
                    std::size_t num_classes) {
   // Members evaluate in parallel; each contributes its (fixed-point
-  // quantized) alpha to the class it votes for; argmax wins.
-  constexpr int kAlphaFraction = 8;
-  const int vote_width = 24;
+  // quantized) alpha to the class it votes for; argmax wins. The vote
+  // accumulator width covers the proven sum of alphas.
+  const int vote_width = std::max(24, boost.accumulator_bits());
 
-  std::vector<std::string> member_wire(boost.round_count());
-  for (std::size_t m = 0; m < boost.round_count(); ++m) {
+  std::vector<std::string> member_wire(boost.member_count());
+  for (std::size_t m = 0; m < boost.member_count(); ++m) {
     member_wire[m] = "member" + std::to_string(m) + "_class";
     if (!emit_member(e, boost.member(m), member_wire[m], m))
       throw std::invalid_argument(
-          "generate_verilog: AdaBoost member has no combinational mapping: " +
-          boost.member(m).name());
+          "generate_verilog: AdaBoost member has no combinational mapping");
   }
 
   for (std::size_t c = 0; c < num_classes; ++c) {
     e.body << "  wire [" << vote_width - 1 << ":0] vote" << c << " =";
-    for (std::size_t m = 0; m < boost.round_count(); ++m) {
-      const auto alpha_q = static_cast<std::int64_t>(
-          boost.member_weight(m) * (1 << kAlphaFraction));
+    for (std::size_t m = 0; m < boost.member_count(); ++m) {
       if (m) e.body << "\n    +";
       e.body << " ((" << member_wire[m]
              << " == " << class_literal(e.cbits, static_cast<int>(c))
-             << ") ? " << vote_width << "'d" << alpha_q << " : "
+             << ") ? " << vote_width << "'d" << boost.alpha_q()[m] << " : "
              << vote_width << "'d0)";
     }
     e.body << ";\n";
@@ -190,46 +191,39 @@ void emit_adaboost(Emitter& e, const AdaBoost& boost,
          << ";\n";
 }
 
-void emit_mlr(Emitter& e, const LogisticRegression& mlr,
-              std::size_t features) {
-  // The trained model scores standardized inputs: score_c = sum_f w[c][f] *
-  // (raw_f - mu_f) / sigma_f + b_c. The hardware sees in_f = raw_f /
-  // scale_f, so the standardizer folds into the constants: w' = w * scale /
-  // sigma and b' = b - sum(w * mu / sigma).
-  const auto& w = mlr.coefficients();
-  const auto& bias = mlr.bias();
-  const auto& mu = mlr.scaler().mean();
-  const auto& sigma = mlr.scaler().stddev();
-  const int acc_width = 2 * e.fmt.width() + 4;
+void emit_mlr(Emitter& e, const QuantLinear& mlr, std::size_t features) {
+  // The trained model scores standardized inputs; the standardizer is
+  // already folded into the quantized weights/biases by the lowering
+  // (w' = w * scale / sigma, b' = b - sum(w * mu / sigma)); biases come
+  // pre-shifted by fraction_bits. The accumulator width covers the proven
+  // score bound.
+  const int acc_width =
+      std::max(2 * e.fmt.width() + 4, mlr.accumulator_bits() + 1);
+  const auto w = mlr.weights();
+  const auto bias = mlr.bias();
+  const std::size_t stride = mlr.weight_stride();
 
-  for (std::size_t c = 0; c < w.size(); ++c) {
+  for (std::size_t c = 0; c < bias.size(); ++c) {
     e.body << "  wire signed [" << acc_width - 1 << ":0] score" << c
            << " =\n      ";
-    double folded_bias = bias[c];
     for (std::size_t f = 0; f < features; ++f) {
-      const double s = sigma[f] > 1e-12 ? sigma[f] : 1.0;
-      const double folded_w = w[c][f] * e.scale[f] / s;
-      folded_bias -= w[c][f] * mu[f] / s;
       if (f) e.body << "\n    + ";
-      const std::int64_t q = e.fmt.quantize(folded_w);
       e.body << "(" << e.input(f) << " * "
-             << signed_literal(e.fmt.width(), q) << ")";
+             << signed_literal(e.fmt.width(), w[c * stride + f]) << ")";
     }
-    const std::int64_t qb = e.fmt.quantize(folded_bias)
-                            << e.fmt.fraction_bits;
-    e.body << "\n    + " << signed_literal(acc_width, qb) << ";\n";
+    e.body << "\n    + " << signed_literal(acc_width, bias[c]) << ";\n";
   }
   // Argmax over class scores.
   e.body << "  assign class_out =\n";
-  for (std::size_t c = 0; c < w.size(); ++c) {
-    if (c + 1 == w.size()) {
+  for (std::size_t c = 0; c < bias.size(); ++c) {
+    if (c + 1 == bias.size()) {
       e.body << "    " << class_literal(e.cbits, static_cast<int>(c))
              << ";\n";
       break;
     }
     e.body << "    (";
     bool first = true;
-    for (std::size_t o = 0; o < w.size(); ++o) {
+    for (std::size_t o = 0; o < bias.size(); ++o) {
       if (o == c) continue;
       if (!first) e.body << " && ";
       e.body << "score" << c << " >= score" << o;
@@ -253,29 +247,32 @@ VerilogModule generate_verilog(const Classifier& c, const std::string& name,
     throw std::invalid_argument(
         "generate_verilog: scale reference feature width mismatch");
 
-  VerilogModule module;
-  module.name = name;
-  module.format = options.format;
-  module.input_scale.assign(c.feature_count(), 1.0);
+  std::vector<double> max_abs(c.feature_count(), 0.0);
   for (std::size_t i = 0; i < ref.size(); ++i) {
     const auto x = ref.features(i);
     for (std::size_t f = 0; f < x.size(); ++f)
-      module.input_scale[f] =
-          std::max(module.input_scale[f], std::abs(x[f]));
+      max_abs[f] = std::max(max_abs[f], std::abs(x[f]));
   }
+  const auto quant = lower_for_rtl(c, options.format, max_abs);
 
-  Emitter e{options.format, module.input_scale,
+  VerilogModule module;
+  module.name = name;
+  module.format = options.format;
+  module.input_scale = quant->input_scale();
+
+  Emitter e{options.format,
             class_bits(std::max<std::size_t>(c.class_count(), 2)), {}};
 
-  if (const auto* tree = dynamic_cast<const DecisionTree*>(&c)) {
+  if (const auto* tree = dynamic_cast<const QuantTree*>(quant.get())) {
     emit_tree(e, *tree);
-  } else if (const auto* oner = dynamic_cast<const OneR*>(&c)) {
+  } else if (const auto* oner = dynamic_cast<const QuantOneR*>(quant.get())) {
     emit_oner(e, *oner);
-  } else if (const auto* rules = dynamic_cast<const Ripper*>(&c)) {
+  } else if (const auto* rules =
+                 dynamic_cast<const QuantRuleList*>(quant.get())) {
     emit_ripper(e, *rules);
-  } else if (const auto* mlr = dynamic_cast<const LogisticRegression*>(&c)) {
+  } else if (const auto* mlr = dynamic_cast<const QuantLinear*>(quant.get())) {
     emit_mlr(e, *mlr, c.feature_count());
-  } else if (const auto* boost = dynamic_cast<const AdaBoost*>(&c)) {
+  } else if (const auto* boost = dynamic_cast<const QuantVote*>(quant.get())) {
     emit_adaboost(e, *boost, std::max<std::size_t>(c.class_count(), 2));
   } else {
     throw std::invalid_argument(
@@ -312,6 +309,13 @@ std::string generate_testbench(const VerilogModule& module,
   if (n == 0)
     throw std::invalid_argument("generate_testbench: empty probe set");
 
+  // Re-lower through the same quantization the module was emitted from:
+  // input_scale is already floored at 1.0, so passing it as the max-abs
+  // reference reproduces the identical scales, and eval_class() is the
+  // bit-exact golden model for the emitted datapath.
+  const auto quant =
+      lower_for_rtl(c, module.format, module.input_scale);
+
   const FixedPointFormat& fmt = module.format;
   const std::size_t inputs = module.input_scale.size();
   const int cbits = class_bits(std::max<std::size_t>(c.class_count(), 2));
@@ -342,22 +346,22 @@ std::string generate_testbench(const VerilogModule& module,
       << "  endtask\n\n";
   out << "  initial begin\n";
 
+  std::vector<std::int16_t> q(inputs);
   for (std::size_t i = 0; i < n; ++i) {
     const auto x = probe.features(i);
-    // Quantize through the same frontend path the module expects, then ask
-    // the C++ model what the hardware should answer on those exact values.
-    std::vector<double> quantized(inputs);
+    // Drive the module's input ports with the quantized integers the C++
+    // path computes, and check against its integer answer: golden vectors
+    // come from the same tables the RTL constants were printed from.
+    quant->quantize_inputs(x, q.data());
     for (std::size_t f = 0; f < inputs; ++f) {
-      const std::int64_t q = fmt.quantize(x[f] / module.input_scale[f]);
-      quantized[f] = fmt.dequantize(q) * module.input_scale[f];
       out << "    in" << f << " = ";
-      if (q < 0)
-        out << "-" << fmt.width() << "'sd" << -q;
+      if (q[f] < 0)
+        out << "-" << fmt.width() << "'sd" << -static_cast<int>(q[f]);
       else
-        out << fmt.width() << "'sd" << q;
+        out << fmt.width() << "'sd" << static_cast<int>(q[f]);
       out << "; ";
     }
-    const int expected = c.predict(quantized);
+    const int expected = quant->eval_class(q.data());
     out << "check(" << cbits << "'d" << expected << ", " << i << ");\n";
   }
 

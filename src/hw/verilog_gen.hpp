@@ -11,6 +11,11 @@
 // Feature inputs are expected pre-scaled by the per-feature factors in
 // VerilogModule::input_scale (raw counter value / scale, then quantized to
 // the fixed-point format) — the same max-scaling quantized_agreement() uses.
+//
+// All constants are printed from the tables of the smart2::compiled
+// QuantizedModel lowering (ml/quantized.hpp), and the testbench golden
+// vectors come from the same model's eval_class() — the emitted RTL and
+// the C++ quantized inference path agree bit for bit by construction.
 #pragma once
 
 #include <string>

@@ -484,12 +484,16 @@ DenseLinear::DenseLinear(std::size_t classes, std::size_t features,
   // SoA transpose + logit block for one kLanes-sample step (covers the
   // per-row fallback too: features_ <= kLanes * (features_ + classes_)).
   set_batch_scratch(simd::kLanes * (features_ + classes_));
+  // Narrow models standardize into eval()'s stack buffer — skipping the
+  // arena frame entirely on the per-sample path.
+  if (features_ <= kStackFeatures) scratch_ = 0;
 }
 
 // SMART2_HOT
 void DenseLinear::eval(std::span<const double> x, std::span<double> out,
                        double* scratch) const {
-  double* xstd = scratch;
+  double stack_buf[kStackFeatures];
+  double* xstd = features_ <= kStackFeatures ? stack_buf : scratch;
   for (std::size_t f = 0; f < features_; ++f)
     xstd[f] = scale_stddev_[f] > 1e-12
                   ? (x[f] - scale_mean_[f]) / scale_stddev_[f]
@@ -666,11 +670,60 @@ CompiledVote::CompiledVote(std::size_t classes, std::size_t features,
   // Same summation order as the interpreted per-call loop -> same double.
   for (double a : alphas_) total_alpha_ += a;
   set_batch_scratch(member_batch_scratch(members_, classes_));
+
+  // All-OneR ensembles fuse into one SoA table walked without virtual
+  // dispatch; the fused eval() needs no temporaries, so the arena frame
+  // (the dominant cost at OneR scale) disappears from predict_proba_into.
+  fused_oner_ = !members_.empty();
+  for (const auto& m : members_)
+    if (dynamic_cast<const FlatOneR*>(m.get()) == nullptr) {
+      fused_oner_ = false;
+      break;
+    }
+  if (fused_oner_) {
+    oner_begin_.push_back(0);
+    for (const auto& m : members_) {
+      const auto& r = static_cast<const FlatOneR&>(*m);
+      oner_feature_.push_back(r.rule_feature());
+      oner_upper_.insert(oner_upper_.end(), r.upper().begin(),
+                         r.upper().end());
+      oner_proba_.insert(oner_proba_.end(), r.proba().begin(),
+                         r.proba().end());
+      oner_begin_.push_back(static_cast<std::uint32_t>(oner_upper_.size()));
+    }
+    scratch_ = 0;
+    set_batch_scratch(0);
+  }
 }
 
 // SMART2_HOT
 void CompiledVote::eval(std::span<const double> x, std::span<double> out,
                         double* scratch) const {
+  if (fused_oner_) {
+    // The FlatOneR bucket scan inlined per member: identical comparisons,
+    // identical accumulation order -> bit-identical to the member loop.
+    for (double& p : out) p = 0.0;
+    for (std::size_t m = 0; m < oner_feature_.size(); ++m) {
+      const double v = x[oner_feature_[m]];
+      const std::uint32_t b0 = oner_begin_[m];
+      const std::uint32_t b1 = oner_begin_[m + 1];
+      std::uint32_t hit = b1 - 1;
+      for (std::uint32_t b = b0; b < b1; ++b) {
+        if (v < oner_upper_[b]) {
+          hit = b;
+          break;
+        }
+      }
+      const double* dist = oner_proba_.data() + hit * classes_;
+      const double alpha = alphas_[m];
+      for (std::size_t c = 0; c < out.size(); ++c) out[c] += alpha * dist[c];
+    }
+    if (total_alpha_ > 0.0)
+      for (double& p : out) p /= total_alpha_;
+    else
+      for (double& p : out) p = 1.0 / static_cast<double>(out.size());
+    return;
+  }
   double* member_p = scratch;
   double* inner = scratch + classes_;
   for (double& p : out) p = 0.0;
@@ -690,6 +743,12 @@ void CompiledVote::eval(std::span<const double> x, std::span<double> out,
 void CompiledVote::eval_batch(const double* x, std::size_t n,
                               std::size_t x_stride, double* out,
                               std::size_t out_stride, double* scratch) const {
+  if (fused_oner_) {
+    // The fused per-row loop already beats the blocked member sweep (the
+    // members' own batch kernels are the default row loop for OneR).
+    eval_rows(x, 0, n, x_stride, out, out_stride, scratch);
+    return;
+  }
   // Block over the batch so the member_p scratch stays fixed-width; the
   // members' own batch kernels vectorize inside each block. Per (row, c)
   // the accumulation runs in member order then divides, exactly the

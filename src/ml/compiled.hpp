@@ -226,6 +226,12 @@ class FlatOneR final : public CompiledModel {
   void eval(std::span<const double> x, std::span<double> out,
             double* scratch) const override;
 
+  /// Table accessors so CompiledVote can fuse all-OneR ensembles into one
+  /// SoA scan (and the quantized lowering tests can cross-check).
+  std::uint32_t rule_feature() const noexcept { return feature_; }
+  std::span<const double> upper() const { return upper_; }
+  std::span<const double> proba() const { return proba_; }
+
  private:
   std::uint32_t feature_;
   std::vector<double> upper_;
@@ -265,6 +271,12 @@ class DenseLinear final : public CompiledModel {
                   double* scratch) const override;
 
  private:
+  /// Standardized-input rows up to this wide live in a stack buffer inside
+  /// eval() instead of the thread-local arena: at stage-1 scale (4-16
+  /// features) the arena frame bookkeeping is a measurable fraction of the
+  /// whole gemv, and 64 doubles of stack is free.
+  static constexpr std::size_t kStackFeatures = 64;
+
   std::size_t stride_;
   std::vector<double> w_;  // k rows of `stride_` doubles (cols = features_)
   std::vector<double> b_;
@@ -315,6 +327,17 @@ class CompiledVote final : public CompiledModel {
   std::vector<std::unique_ptr<CompiledModel>> members_;
   std::vector<double> alphas_;
   double total_alpha_ = 0.0;  // summed in member order at lower time
+
+  /// Fused all-OneR fast path: when every member is a FlatOneR, the
+  /// per-member virtual call + distribution-row copy costs more than the
+  /// bucket scan itself, so the ctor flattens the members into SoA rows
+  /// and eval() runs one scratch-free loop (same accumulation order,
+  /// bit-identical probabilities).
+  bool fused_oner_ = false;
+  std::vector<std::uint32_t> oner_feature_;  // per member
+  std::vector<std::uint32_t> oner_begin_;    // member -> bucket offset
+  std::vector<double> oner_upper_;           // concatenated bucket bounds
+  std::vector<double> oner_proba_;           // concatenated bucket rows x k
 };
 
 /// Bagging lowered to a uniform average over compiled members.

@@ -1,0 +1,956 @@
+#include "ml/quantized.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/arena.hpp"
+#include "common/obs.hpp"
+#include "common/simd.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/onerule.hpp"
+#include "ml/ripper.hpp"
+
+namespace smart2::compiled {
+
+namespace {
+
+/// Class and feature caps for the fixed-size kernel temporaries. Generous
+/// vs. the 5-class / 16-feature pipeline shapes; quantize() rejects models
+/// beyond them so the hot loops never need dynamic buffers.
+constexpr std::size_t kMaxQuantClasses = 16;
+constexpr std::size_t kMaxQuantFeatures = 64;
+constexpr std::size_t kMaxQuantHidden = 256;
+
+constexpr std::size_t kB = QuantizedModel::kQuantBlock;
+
+/// Wrapping int32 add — the accumulator step of pmaddwd-based kernels
+/// (associative/commutative mod 2^32, so any summation grouping of the
+/// same products is identical).
+inline std::int32_t wadd32(std::int32_t a, std::int32_t b) noexcept {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+
+/// Smallest signed bit width holding `v`.
+int bits_for_int(std::int64_t v) noexcept {
+  const std::uint64_t mag =
+      v < 0 ? static_cast<std::uint64_t>(-(v + 1)) + 1
+            : static_cast<std::uint64_t>(v) + 1;  // need mag <= 2^(b-1)
+  int b = 2;
+  while (b < 63 && (std::uint64_t{1} << (b - 1)) < mag) ++b;
+  return b;
+}
+
+/// Smallest integer_bits (incl. sign) with |m| < 2^(b-1).
+int bits_for_magnitude(double m) noexcept {
+  int b = 2;
+  while (b < 62 && std::ldexp(1.0, b - 1) <= m) ++b;
+  return b;
+}
+
+/// Largest |q| over a span of quantized constants.
+template <typename T>
+std::int64_t max_abs_q(std::span<const T> q) noexcept {
+  std::int64_t m = 0;
+  for (T v : q)
+    m = std::max(m, static_cast<std::int64_t>(v < 0 ? -static_cast<std::int64_t>(v)
+                                                    : static_cast<std::int64_t>(v)));
+  return m;
+}
+
+/// First-max argmax — the RTL `>=`-chain priority (ties -> lowest index).
+template <typename T>
+int argmax_first(const T* score, std::size_t k) noexcept {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < k; ++c)
+    if (score[c] > score[best]) best = c;
+  return static_cast<int>(best);
+}
+
+/// Element offset of (feature f, sample i) in a pair-interleaved block.
+inline std::size_t block_at(std::size_t f, std::size_t i) noexcept {
+  return (f >> 1) * 2 * kB + 2 * i + (f & 1);
+}
+
+/// Load one VecS (simd::kIntLanes samples of one feature pair) from a
+/// block at element offset `off`, widening int8 storage to int16 lanes.
+// SMART2_HOT
+inline simd::VecS load_pair(const void* block, bool i8,
+                            std::size_t off) noexcept {
+  if (i8)
+    return simd::sload8(static_cast<const std::int8_t*>(block) + off);
+  return simd::sload(static_cast<const std::int16_t*>(block) + off);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- env knob
+
+std::optional<QuantSpec> quant_spec_from_env() {
+  const char* v = obs::env_knob("SMART2_QUANT");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  const std::string s(v);
+  if (s == "off") return std::nullopt;
+  if (s == "int8") return QuantSpec{8, std::nullopt};
+  if (s == "int16") return QuantSpec{16, std::nullopt};
+  if (s.size() > 1 && s[0] == 'Q') {
+    const std::size_t dot = s.find('.');
+    if (dot != std::string::npos) {
+      const int ib = std::stoi(s.substr(1, dot - 1));
+      const int fb = std::stoi(s.substr(dot + 1));
+      if (ib >= 2 && fb >= 1 && ib + fb <= 16)
+        return QuantSpec{ib + fb, FixedPointFormat{ib, fb}};
+    }
+  }
+  throw std::invalid_argument(
+      "SMART2_QUANT: expected int8, int16, Qm.n (m+n <= 16), or off; got " +
+      s);
+}
+
+// --------------------------------------------------------------- base
+
+namespace {
+
+/// FixedPointQuantizer's constants pre-broadcast into vector registers,
+/// hoisted out of the per-sample loop.
+struct QuantConsts {
+  simd::VecD two_fb, hiv, lov, half, neg_half, one;
+  explicit QuantConsts(const FixedPointQuantizer& quant) noexcept
+      : two_fb(simd::vbroadcast(quant.two_fb)),
+        hiv(simd::vbroadcast(quant.hi)),
+        lov(simd::vbroadcast(quant.lo)),
+        half(simd::vbroadcast(0.5)),
+        neg_half(simd::vbroadcast(-0.5)),
+        one(simd::vbroadcast(1.0)) {}
+};
+
+/// FixedPointQuantizer::quantize over simd::kLanes features of one sample
+/// row, written out as int32 lanes. Every op is IEEE-exact per lane
+/// (correctly-rounded divide, ordered compares, rint, exact tie fixup), so
+/// the lanes are bit-equal to the scalar quantizer — SMART2_SIMD only
+/// changes speed.
+// SMART2_HOT
+inline void quantize_lanes(const double* row, const double* scale,
+                           const QuantConsts& k, std::int32_t* q) noexcept {
+  using namespace simd;
+  VecD v = vmul(vdiv(vload(row), vload(scale)), k.two_fb);
+  const VecD numeric = veq(v, v);  // NaN lanes -> quantize to 0
+  v = vblend(vge(v, k.hiv), k.hiv, v);
+  v = vblend(vle(v, k.lov), k.lov, v);
+  VecD t = vrint(v);
+  // Round-half-away-from-zero from rint's half-to-even: a tie shows up as
+  // an exact +/-0.5 difference (|v| <= 2^15 after the clamp, so v - t is
+  // exact), and only the even tie that rounded toward zero moves.
+  const VecD pos_tie = vand(veq(vsub(v, t), k.half), vge(v, k.half));
+  const VecD neg_tie = vand(veq(vsub(t, v), k.half), vle(v, k.neg_half));
+  t = vadd(t, vand(pos_tie, k.one));
+  t = vsub(t, vand(neg_tie, k.one));
+  vtoi32(q, vand(numeric, t));
+}
+
+/// The shared quantize-into-block body: sample slot i of the block takes
+/// the row `row_of(i)` points at. simd::kLanes features at a time per
+/// sample row; the conversion into the pair-interleaved block stays scalar
+/// (kLanes narrow stores).
+// SMART2_HOT
+template <typename RowOf>
+inline void quantize_into_block(std::size_t n, std::size_t features,
+                                const double* scale,
+                                const FixedPointQuantizer& quant, bool i8,
+                                void* block, const RowOf& row_of) noexcept {
+  auto* b8 = static_cast<std::int8_t*>(block);
+  auto* b16 = static_cast<std::int16_t*>(block);
+  const std::size_t vf =
+      simd::scalar_forced() ? 0 : features & ~(simd::kLanes - 1);
+  const QuantConsts consts(quant);
+  std::int32_t lanes[simd::kLanes];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = row_of(i);
+    for (std::size_t f = 0; f < vf; f += simd::kLanes) {
+      quantize_lanes(row + f, scale + f, consts, lanes);
+      if (i8)
+        for (std::size_t l = 0; l < simd::kLanes; ++l)
+          b8[block_at(f + l, i)] = static_cast<std::int8_t>(lanes[l]);
+      else
+        for (std::size_t l = 0; l < simd::kLanes; ++l)
+          b16[block_at(f + l, i)] = static_cast<std::int16_t>(lanes[l]);
+    }
+    for (std::size_t f = vf; f < features; ++f) {
+      const std::int64_t q = quant.quantize(row[f] / scale[f]);
+      if (i8)
+        b8[block_at(f, i)] = static_cast<std::int8_t>(q);
+      else
+        b16[block_at(f, i)] = static_cast<std::int16_t>(q);
+    }
+  }
+}
+
+}  // namespace
+
+void QuantizedModel::quantize_block(const double* x, std::size_t n,
+                                    std::size_t x_stride,
+                                    void* block) const noexcept {
+  std::memset(block, 0, block_bytes());
+  const FixedPointQuantizer quant(format_);
+  quantize_into_block(n, features_, scale_.data(), quant, int8_storage(),
+                      block,
+                      [&](std::size_t i) { return x + i * x_stride; });
+}
+
+void QuantizedModel::quantize_rows(const double* x, std::size_t x_stride,
+                                   const std::uint32_t* rows, std::size_t n,
+                                   void* block) const noexcept {
+  std::memset(block, 0, block_bytes());
+  const FixedPointQuantizer quant(format_);
+  quantize_into_block(n, features_, scale_.data(), quant, int8_storage(),
+                      block,
+                      [&](std::size_t i) { return x + rows[i] * x_stride; });
+}
+
+// SMART2_HOT
+void QuantizedModel::unpack_sample(const void* block, std::size_t i,
+                                   std::int16_t* q) const noexcept {
+  if (int8_storage()) {
+    const auto* b = static_cast<const std::int8_t*>(block);
+    for (std::size_t f = 0; f < features_; ++f) q[f] = b[block_at(f, i)];
+  } else {
+    const auto* b = static_cast<const std::int16_t*>(block);
+    for (std::size_t f = 0; f < features_; ++f) q[f] = b[block_at(f, i)];
+  }
+}
+
+// SMART2_HOT
+void QuantizedModel::eval_block(const void* block, std::size_t n,
+                                std::int32_t* out) const {
+  std::int16_t q[kMaxQuantFeatures];
+  for (std::size_t i = 0; i < n; ++i) {
+    unpack_sample(block, i, q);
+    out[i] = eval_class(q);
+  }
+}
+
+// SMART2_HOT
+int QuantizedModel::predict_raw(std::span<const double> x) const {
+  const ScratchArray<std::int16_t> q(features_);
+  quantize_inputs(x, q.data());
+  return eval_class(q.data());
+}
+
+// --------------------------------------------------------------- tree
+
+QuantTree::QuantTree(std::size_t classes, std::size_t features,
+                     const FixedPointFormat& fmt, std::vector<double> scale,
+                     std::vector<std::uint32_t> feature,
+                     std::vector<std::int16_t> threshold,
+                     std::vector<std::int32_t> left,
+                     std::vector<std::int32_t> right)
+    : QuantizedModel(classes, features, fmt, std::move(scale)),
+      feature_(std::move(feature)),
+      threshold_(std::move(threshold)),
+      left_(std::move(left)),
+      right_(std::move(right)) {
+  const int cb =
+      bits_for_int(max_abs_q(std::span<const std::int16_t>(threshold_)));
+  set_widths(cb, fmt.width());
+  packed_.resize(feature_.size());
+  for (std::size_t i = 0; i < feature_.size(); ++i) {
+    const std::size_t f = feature_[i];
+    packed_[i] = {static_cast<std::int32_t>(block_at(f, 0)),
+                  static_cast<std::int32_t>(threshold_[i]), left_[i],
+                  right_[i]};
+  }
+}
+
+// SMART2_HOT
+int QuantTree::eval_class(const std::int16_t* q) const {
+  std::int32_t node = 0;
+  while (left_[static_cast<std::size_t>(node)] >= 0) {
+    const auto i = static_cast<std::size_t>(node);
+    node = q[feature_[i]] <= threshold_[i] ? left_[i] : right_[i];
+  }
+  return -1 - left_[static_cast<std::size_t>(node)];
+}
+
+// The descent touches one feature per level, so de-interleaving the whole
+// sample first (the base eval_block) copies values the walk never reads;
+// indexing the block directly through the packed nodes visits the same
+// nodes in the same order with one 16-byte node read per level.
+// SMART2_HOT
+void QuantTree::eval_block(const void* block, std::size_t n,
+                           std::int32_t* out) const {
+  const auto* b8 = static_cast<const std::int8_t*>(block);
+  const auto* b16 = static_cast<const std::int16_t*>(block);
+  const bool i8 = int8_storage();
+  const PackedNode* nodes = packed_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PackedNode* nd = nodes;
+    while (nd->left >= 0) {
+      const std::size_t at = static_cast<std::size_t>(nd->base) + 2 * i;
+      const std::int32_t v = i8 ? b8[at] : b16[at];
+      nd = nodes + (v <= nd->threshold ? nd->left : nd->right);
+    }
+    out[i] = -1 - nd->left;
+  }
+}
+
+// --------------------------------------------------------------- rules
+
+QuantRuleList::QuantRuleList(std::size_t classes, std::size_t features,
+                             const FixedPointFormat& fmt,
+                             std::vector<double> scale,
+                             std::vector<Cond> conds,
+                             std::vector<std::uint32_t> cond_begin,
+                             std::vector<std::int32_t> predicted,
+                             std::int32_t default_class)
+    : QuantizedModel(classes, features, fmt, std::move(scale)),
+      conds_(std::move(conds)),
+      cond_begin_(std::move(cond_begin)),
+      predicted_(std::move(predicted)),
+      default_class_(default_class) {
+  std::int64_t m = 0;
+  for (const Cond& c : conds_)
+    m = std::max<std::int64_t>(m, std::abs(static_cast<std::int64_t>(c.threshold)));
+  set_widths(bits_for_int(m), fmt.width());
+}
+
+// SMART2_HOT
+int QuantRuleList::eval_class(const std::int16_t* q) const {
+  const std::size_t rules = predicted_.size();
+  for (std::size_t r = 0; r < rules; ++r) {
+    bool match = true;
+    for (std::uint32_t c = cond_begin_[r]; c < cond_begin_[r + 1]; ++c) {
+      const Cond& cond = conds_[c];
+      const bool le = q[cond.feature] <= cond.threshold;
+      if (cond.less_equal != le) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return predicted_[r];
+  }
+  return default_class_;
+}
+
+// SMART2_HOT
+void QuantRuleList::eval_block(const void* block, std::size_t n,
+                               std::int32_t* out) const {
+  if (simd::scalar_forced()) {
+    QuantizedModel::eval_block(block, n, out);
+    return;
+  }
+  const bool i8 = int8_storage();
+  // Parity don't-care masks: a condition on feature f only constrains the
+  // int16 lanes of parity f&1; the other parity's lanes are forced true so
+  // the per-sample pair fold (smask_pairs) is the conjunction.
+  const simd::VecS odd_true = simd::sbroadcast_pair(0, -1);
+  const simd::VecS even_true = simd::sbroadcast_pair(-1, 0);
+  constexpr std::size_t kSub = kB / simd::kIntLanes;  // VecS per block
+
+  std::uint32_t undecided =
+      n >= 32 ? ~0u : ((1u << n) - 1u);  // kQuantBlock <= 32
+  const std::size_t rules = predicted_.size();
+  for (std::size_t r = 0; r < rules && undecided != 0; ++r) {
+    std::uint32_t bits = 0;
+    for (std::size_t j = 0; j < kSub; ++j) {
+      simd::VecS m = simd::strue();
+      for (std::uint32_t c = cond_begin_[r]; c < cond_begin_[r + 1]; ++c) {
+        const Cond& cond = conds_[c];
+        const std::size_t off =
+            (cond.feature >> 1) * 2 * kB + j * 2 * simd::kIntLanes;
+        const simd::VecS x = load_pair(block, i8, off);
+        const simd::VecS t = simd::sbroadcast(cond.threshold);
+        simd::VecS cm = simd::scmpgt(x, t);                   // x > t
+        if (cond.less_equal) cm = simd::sandnot(cm, simd::strue());
+        cm = simd::sor(cm, (cond.feature & 1) ? even_true : odd_true);
+        m = simd::sand(m, cm);
+      }
+      bits |= simd::smask_pairs(m) << (j * simd::kIntLanes);
+    }
+    const std::uint32_t hit = bits & undecided;
+    std::uint32_t pending = hit;
+    while (pending != 0) {
+      const unsigned i = static_cast<unsigned>(std::countr_zero(pending));
+      out[i] = predicted_[r];
+      pending &= pending - 1;
+    }
+    undecided &= ~hit;
+  }
+  while (undecided != 0) {
+    const unsigned i = static_cast<unsigned>(std::countr_zero(undecided));
+    out[i] = default_class_;
+    undecided &= undecided - 1;
+  }
+}
+
+// --------------------------------------------------------------- oner
+
+QuantOneR::QuantOneR(std::size_t classes, std::size_t features,
+                     const FixedPointFormat& fmt, std::vector<double> scale,
+                     std::uint32_t feature, std::vector<std::int16_t> upper,
+                     std::vector<std::int32_t> majority)
+    : QuantizedModel(classes, features, fmt, std::move(scale)),
+      feature_(feature),
+      upper_(std::move(upper)),
+      majority_(std::move(majority)) {
+  const int cb = bits_for_int(max_abs_q(std::span<const std::int16_t>(upper_)));
+  set_widths(cb, fmt.width());
+}
+
+// SMART2_HOT
+int QuantOneR::eval_class(const std::int16_t* q) const {
+  const std::int16_t v = q[feature_];
+  const std::size_t last = majority_.size() - 1;
+  for (std::size_t b = 0; b < last; ++b)
+    if (v <= upper_[b]) return majority_[b];
+  return majority_[last];
+}
+
+// --------------------------------------------------------------- linear
+
+QuantLinear::QuantLinear(std::size_t classes, std::size_t features,
+                         const FixedPointFormat& fmt,
+                         std::vector<double> scale,
+                         std::vector<std::int16_t> w,
+                         std::vector<std::int64_t> bias)
+    : QuantizedModel(classes, features, fmt, std::move(scale)),
+      stride_((features + 1) / 2 * 2),
+      w_(std::move(w)),
+      bias_(std::move(bias)) {
+  // Overflow proof: bound every accumulator by the saturated input range.
+  const std::int64_t q_max = std::int64_t{1} << (fmt.width() - 1);
+  std::int64_t worst = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::int64_t b = std::abs(bias_[c]);
+    for (std::size_t f = 0; f < stride_; ++f)
+      b += std::abs(static_cast<std::int64_t>(w_[c * stride_ + f])) * q_max;
+    worst = std::max(worst, b);
+  }
+  int32_exact_ = worst <= std::numeric_limits<std::int32_t>::max();
+  const std::int64_t wq = max_abs_q(std::span<const std::int16_t>(w_));
+  const std::int64_t bq = max_abs_q(std::span<const std::int64_t>(bias_));
+  set_widths(bits_for_int(std::max(wq, bq)), bits_for_int(worst));
+}
+
+// SMART2_HOT
+int QuantLinear::eval_class(const std::int16_t* q) const {
+  if (int32_exact_) {
+    std::int32_t score[kMaxQuantClasses];
+    for (std::size_t c = 0; c < classes_; ++c) {
+      std::int32_t acc = static_cast<std::int32_t>(bias_[c]);
+      const std::int16_t* wc = w_.data() + c * stride_;
+      for (std::size_t f = 0; f < features_; ++f)
+        acc = wadd32(acc, static_cast<std::int32_t>(q[f]) * wc[f]);
+      score[c] = acc;
+    }
+    return argmax_first(score, classes_);
+  }
+  std::int64_t score[kMaxQuantClasses];
+  for (std::size_t c = 0; c < classes_; ++c) {
+    std::int64_t acc = bias_[c];
+    const std::int16_t* wc = w_.data() + c * stride_;
+    for (std::size_t f = 0; f < features_; ++f)
+      acc += static_cast<std::int64_t>(q[f]) * wc[f];
+    score[c] = acc;
+  }
+  return argmax_first(score, classes_);
+}
+
+// SMART2_HOT
+void QuantLinear::eval_block(const void* block, std::size_t n,
+                             std::int32_t* out) const {
+  if (!int32_exact_ || simd::scalar_forced()) {
+    QuantizedModel::eval_block(block, n, out);
+    return;
+  }
+  const bool i8 = int8_storage();
+  const std::size_t pairs = stride_ / 2;
+  std::int32_t score[kMaxQuantClasses][simd::kIntLanes];
+  constexpr std::size_t kSub = kB / simd::kIntLanes;
+  for (std::size_t j = 0; j < kSub; ++j) {
+    const std::size_t base_i = j * simd::kIntLanes;
+    if (base_i >= n) break;
+    for (std::size_t c = 0; c < classes_; ++c) {
+      const std::int16_t* wc = w_.data() + c * stride_;
+      simd::VecI acc = simd::ibroadcast(static_cast<std::int32_t>(bias_[c]));
+      for (std::size_t p = 0; p < pairs; ++p) {
+        const simd::VecS x =
+            load_pair(block, i8, p * 2 * kB + j * 2 * simd::kIntLanes);
+        const simd::VecS w = simd::sbroadcast_pair(wc[2 * p], wc[2 * p + 1]);
+        acc = simd::iadd(acc, simd::smadd(x, w));
+      }
+      simd::istore(score[c], acc);
+    }
+    const std::size_t m = std::min(simd::kIntLanes, n - base_i);
+    for (std::size_t l = 0; l < m; ++l) {
+      std::int32_t s[kMaxQuantClasses];
+      for (std::size_t c = 0; c < classes_; ++c) s[c] = score[c][l];
+      out[base_i + l] = argmax_first(s, classes_);
+    }
+  }
+}
+
+// --------------------------------------------------------------- mlp
+
+QuantMlp::QuantMlp(std::size_t classes, std::size_t features,
+                   const FixedPointFormat& fmt, std::vector<double> scale,
+                   std::size_t hidden, std::vector<std::int16_t> w1,
+                   std::vector<std::int64_t> b1,
+                   std::vector<std::int16_t> w2, std::vector<std::int64_t> b2)
+    : QuantizedModel(classes, features, fmt, std::move(scale)),
+      hidden_(hidden),
+      stride1_((features + 1) / 2 * 2),
+      stride2_((hidden + 1) / 2 * 2),
+      w1_(std::move(w1)),
+      b1_(std::move(b1)),
+      w2_(std::move(w2)),
+      b2_(std::move(b2)) {
+  const std::int64_t q_max = std::int64_t{1} << (fmt.width() - 1);
+  std::int64_t worst = 0;
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    std::int64_t b = std::abs(b1_[h]);
+    for (std::size_t f = 0; f < stride1_; ++f)
+      b += std::abs(static_cast<std::int64_t>(w1_[h * stride1_ + f])) * q_max;
+    worst = std::max(worst, b);
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::int64_t b = std::abs(b2_[c]);
+    for (std::size_t h = 0; h < stride2_; ++h)
+      b += std::abs(static_cast<std::int64_t>(w2_[c * stride2_ + h])) * q_max;
+    worst = std::max(worst, b);
+  }
+  int32_exact_ = worst <= std::numeric_limits<std::int32_t>::max();
+  const std::int64_t wq =
+      std::max(max_abs_q(std::span<const std::int16_t>(w1_)),
+               max_abs_q(std::span<const std::int16_t>(w2_)));
+  const std::int64_t bq =
+      std::max(max_abs_q(std::span<const std::int64_t>(b1_)),
+               max_abs_q(std::span<const std::int64_t>(b2_)));
+  set_widths(bits_for_int(std::max(wq, bq)), bits_for_int(worst));
+}
+
+// SMART2_HOT
+void QuantMlp::hidden_into(const std::int16_t* q,
+                           std::int16_t* h) const noexcept {
+  // acc scales by 2^(2·fb) (input q-format times weight q-format); the
+  // sigmoid evaluates on the dequantized value and requantizes — the
+  // sigmoid-LUT datapath.
+  const double down = std::ldexp(1.0, -2 * format_.fraction_bits);
+  for (std::size_t u = 0; u < hidden_; ++u) {
+    const std::int16_t* wu = w1_.data() + u * stride1_;
+    std::int64_t acc = b1_[u];
+    for (std::size_t f = 0; f < features_; ++f)
+      acc += static_cast<std::int64_t>(q[f]) * wu[f];
+    const double a = static_cast<double>(acc) * down;
+    const double act = 1.0 / (1.0 + std::exp(-a));
+    h[u] = static_cast<std::int16_t>(format_.quantize(act));
+  }
+}
+
+// SMART2_HOT
+int QuantMlp::output_class(const std::int16_t* h) const noexcept {
+  std::int64_t score[kMaxQuantClasses];
+  for (std::size_t c = 0; c < classes_; ++c) {
+    const std::int16_t* wc = w2_.data() + c * stride2_;
+    std::int64_t acc = b2_[c];
+    for (std::size_t u = 0; u < hidden_; ++u)
+      acc += static_cast<std::int64_t>(h[u]) * wc[u];
+    score[c] = acc;
+  }
+  return argmax_first(score, classes_);
+}
+
+// SMART2_HOT
+int QuantMlp::eval_class(const std::int16_t* q) const {
+  std::int16_t h[kMaxQuantHidden];
+  hidden_into(q, h);
+  return output_class(h);
+}
+
+// SMART2_HOT
+void QuantMlp::eval_block(const void* block, std::size_t n,
+                          std::int32_t* out) const {
+  // The sigmoid keeps this path per-sample; the block form only saves the
+  // de-interleave of the base implementation.
+  QuantizedModel::eval_block(block, n, out);
+}
+
+// --------------------------------------------------------------- vote
+
+QuantVote::QuantVote(std::size_t classes, std::size_t features,
+                     const FixedPointFormat& fmt, std::vector<double> scale,
+                     std::vector<std::unique_ptr<QuantizedModel>> members,
+                     std::vector<std::int64_t> alpha_q)
+    : QuantizedModel(classes, features, fmt, std::move(scale)),
+      members_(std::move(members)),
+      alpha_q_(std::move(alpha_q)) {
+  int cb = 2;
+  std::int64_t total = 0;
+  for (const auto& m : members_) cb = std::max(cb, m->constant_bits());
+  for (std::int64_t a : alpha_q_) total += std::abs(a);
+  set_widths(cb, bits_for_int(total));
+}
+
+// SMART2_HOT
+int QuantVote::eval_class(const std::int16_t* q) const {
+  std::int64_t vote[kMaxQuantClasses] = {};
+  for (std::size_t m = 0; m < members_.size(); ++m)
+    vote[static_cast<std::size_t>(members_[m]->eval_class(q))] += alpha_q_[m];
+  return argmax_first(vote, classes_);
+}
+
+// SMART2_HOT
+void QuantVote::eval_block(const void* block, std::size_t n,
+                           std::int32_t* out) const {
+  std::int64_t vote[kB][kMaxQuantClasses] = {};
+  std::int32_t cls[kB];
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    members_[m]->eval_block(block, n, cls);
+    for (std::size_t i = 0; i < n; ++i)
+      vote[i][static_cast<std::size_t>(cls[i])] += alpha_q_[m];
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = argmax_first(vote[i], classes_);
+}
+
+// --------------------------------------------------------------- majority
+
+QuantMajority::QuantMajority(
+    std::size_t classes, std::size_t features, const FixedPointFormat& fmt,
+    std::vector<double> scale,
+    std::vector<std::unique_ptr<QuantizedModel>> members)
+    : QuantizedModel(classes, features, fmt, std::move(scale)),
+      members_(std::move(members)) {
+  int cb = 2;
+  for (const auto& m : members_) cb = std::max(cb, m->constant_bits());
+  set_widths(cb, bits_for_int(static_cast<std::int64_t>(members_.size())));
+}
+
+// SMART2_HOT
+int QuantMajority::eval_class(const std::int16_t* q) const {
+  std::int32_t vote[kMaxQuantClasses] = {};
+  for (const auto& m : members_)
+    ++vote[static_cast<std::size_t>(m->eval_class(q))];
+  return argmax_first(vote, classes_);
+}
+
+// SMART2_HOT
+void QuantMajority::eval_block(const void* block, std::size_t n,
+                               std::int32_t* out) const {
+  std::int32_t vote[kB][kMaxQuantClasses] = {};
+  std::int32_t cls[kB];
+  for (const auto& m : members_) {
+    m->eval_block(block, n, cls);
+    for (std::size_t i = 0; i < n; ++i)
+      ++vote[i][static_cast<std::size_t>(cls[i])];
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = argmax_first(vote[i], classes_);
+}
+
+// --------------------------------------------------------------- factory
+
+namespace {
+
+/// Largest |constant| of the lowered tables in the value domain (before
+/// quantization) — drives the auto-fit integer width.
+double max_abs_constant(const Classifier& c, std::span<const double> scale);
+
+double tree_max_const(const DecisionTree::Node* n,
+                      std::span<const double> scale) {
+  if (n->is_leaf) return 0.0;
+  return std::max({std::abs(n->threshold / scale[n->feature]),
+                   tree_max_const(n->left.get(), scale),
+                   tree_max_const(n->right.get(), scale)});
+}
+
+double max_abs_constant(const Classifier& c, std::span<const double> scale) {
+  if (const auto* tree = dynamic_cast<const DecisionTree*>(&c))
+    return tree_max_const(tree->root(), scale);
+  if (const auto* oner = dynamic_cast<const OneR*>(&c)) {
+    double m = 0.0;
+    const auto& buckets = oner->buckets();
+    for (std::size_t b = 0; b + 1 < buckets.size(); ++b)
+      m = std::max(m,
+                   std::abs(buckets[b].upper / scale[oner->rule_feature()]));
+    return m;
+  }
+  if (const auto* rip = dynamic_cast<const Ripper*>(&c)) {
+    double m = 0.0;
+    for (const auto& rule : rip->rules())
+      for (const auto& cond : rule.conditions)
+        m = std::max(m, std::abs(cond.threshold / scale[cond.feature]));
+    return m;
+  }
+  if (const auto* mlr = dynamic_cast<const LogisticRegression*>(&c)) {
+    const auto& w = mlr->coefficients();
+    const auto& mu = mlr->scaler().mean();
+    const auto& sigma = mlr->scaler().stddev();
+    double m = 0.0;
+    for (std::size_t cl = 0; cl < w.size(); ++cl) {
+      double folded_bias = mlr->bias()[cl];
+      for (std::size_t f = 0; f < w[cl].size(); ++f) {
+        const double s = sigma[f] > 1e-12 ? sigma[f] : 1.0;
+        m = std::max(m, std::abs(w[cl][f] * scale[f] / s));
+        folded_bias -= w[cl][f] * mu[f] / s;
+      }
+      m = std::max(m, std::abs(folded_bias));
+    }
+    return m;
+  }
+  if (const auto* mlp = dynamic_cast<const Mlp*>(&c)) {
+    const auto& mu = mlp->scaler().mean();
+    const auto& sigma = mlp->scaler().stddev();
+    const auto& w1 = mlp->hidden_weights();
+    double m = 0.0;
+    for (std::size_t h = 0; h < w1.rows(); ++h) {
+      double folded_bias = mlp->hidden_bias()[h];
+      for (std::size_t f = 0; f < w1.cols(); ++f) {
+        const double s = sigma[f] > 1e-12 ? sigma[f] : 1.0;
+        m = std::max(m, std::abs(w1(h, f) * scale[f] / s));
+        folded_bias -= w1(h, f) * mu[f] / s;
+      }
+      m = std::max(m, std::abs(folded_bias));
+    }
+    const auto& w2 = mlp->output_weights();
+    for (std::size_t cl = 0; cl < w2.rows(); ++cl) {
+      m = std::max(m, std::abs(mlp->output_bias()[cl]));
+      for (std::size_t h = 0; h < w2.cols(); ++h)
+        m = std::max(m, std::abs(w2(cl, h)));
+    }
+    return m;
+  }
+  if (const auto* boost = dynamic_cast<const AdaBoost*>(&c)) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < boost->round_count(); ++i)
+      m = std::max(m, max_abs_constant(boost->member(i), scale));
+    return m;
+  }
+  if (const auto* bag = dynamic_cast<const Bagging*>(&c)) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < bag->bag_count(); ++i)
+      m = std::max(m, max_abs_constant(bag->member(i), scale));
+    return m;
+  }
+  throw std::invalid_argument("quantize: no quantized lowering for " +
+                              c.name());
+}
+
+/// First-max argmax of a leaf/bucket distribution (matches verilog_gen's
+/// std::max_element tie-break).
+int majority_class(std::span<const double> weight) {
+  return static_cast<int>(
+      std::max_element(weight.begin(), weight.end()) - weight.begin());
+}
+
+std::int16_t quant16(const FixedPointFormat& fmt, double v) {
+  return static_cast<std::int16_t>(fmt.quantize(v));
+}
+
+void lower_tree_nodes(const DecisionTree::Node* n,
+                      const FixedPointFormat& fmt,
+                      std::span<const double> scale,
+                      std::vector<std::uint32_t>& feature,
+                      std::vector<std::int16_t>& threshold,
+                      std::vector<std::int32_t>& left,
+                      std::vector<std::int32_t>& right) {
+  const auto id = static_cast<std::int32_t>(feature.size());
+  feature.push_back(static_cast<std::uint32_t>(n->is_leaf ? 0 : n->feature));
+  threshold.push_back(
+      n->is_leaf ? std::int16_t{0}
+                 : quant16(fmt, n->threshold / scale[n->feature]));
+  left.push_back(0);
+  right.push_back(0);
+  if (n->is_leaf) {
+    left[static_cast<std::size_t>(id)] = -1 - majority_class(n->class_weight);
+    right[static_cast<std::size_t>(id)] = left[static_cast<std::size_t>(id)];
+    return;
+  }
+  left[static_cast<std::size_t>(id)] =
+      static_cast<std::int32_t>(feature.size());
+  lower_tree_nodes(n->left.get(), fmt, scale, feature, threshold, left,
+                   right);
+  right[static_cast<std::size_t>(id)] =
+      static_cast<std::int32_t>(feature.size());
+  lower_tree_nodes(n->right.get(), fmt, scale, feature, threshold, left,
+                   right);
+}
+
+std::unique_ptr<QuantizedModel> lower(const Classifier& c,
+                                      const FixedPointFormat& fmt,
+                                      std::vector<double> scale) {
+  const std::size_t k = c.class_count();
+  const std::size_t d = c.feature_count();
+
+  if (const auto* tree = dynamic_cast<const DecisionTree*>(&c)) {
+    std::vector<std::uint32_t> feature;
+    std::vector<std::int16_t> threshold;
+    std::vector<std::int32_t> left;
+    std::vector<std::int32_t> right;
+    lower_tree_nodes(tree->root(), fmt, scale, feature, threshold, left,
+                     right);
+    return std::make_unique<QuantTree>(k, d, fmt, std::move(scale),
+                                       std::move(feature),
+                                       std::move(threshold), std::move(left),
+                                       std::move(right));
+  }
+
+  if (const auto* oner = dynamic_cast<const OneR*>(&c)) {
+    const auto& buckets = oner->buckets();
+    std::vector<std::int16_t> upper;
+    std::vector<std::int32_t> majority;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (b + 1 < buckets.size())
+        upper.push_back(
+            quant16(fmt, buckets[b].upper / scale[oner->rule_feature()]));
+      majority.push_back(buckets[b].majority);
+    }
+    return std::make_unique<QuantOneR>(
+        k, d, fmt, std::move(scale),
+        static_cast<std::uint32_t>(oner->rule_feature()), std::move(upper),
+        std::move(majority));
+  }
+
+  if (const auto* rip = dynamic_cast<const Ripper*>(&c)) {
+    std::vector<QuantRuleList::Cond> conds;
+    std::vector<std::uint32_t> begin{0};
+    std::vector<std::int32_t> predicted;
+    for (const auto& rule : rip->rules()) {
+      for (const auto& cond : rule.conditions)
+        conds.push_back({static_cast<std::uint32_t>(cond.feature),
+                         cond.less_equal,
+                         quant16(fmt, cond.threshold / scale[cond.feature])});
+      begin.push_back(static_cast<std::uint32_t>(conds.size()));
+      predicted.push_back(rule.predicted);
+    }
+    return std::make_unique<QuantRuleList>(
+        k, d, fmt, std::move(scale), std::move(conds), std::move(begin),
+        std::move(predicted), rip->default_class());
+  }
+
+  if (const auto* mlr = dynamic_cast<const LogisticRegression*>(&c)) {
+    const auto& w = mlr->coefficients();
+    const auto& mu = mlr->scaler().mean();
+    const auto& sigma = mlr->scaler().stddev();
+    const std::size_t stride = (d + 1) / 2 * 2;
+    std::vector<std::int16_t> wq(k * stride, 0);
+    std::vector<std::int64_t> bias(k, 0);
+    for (std::size_t cl = 0; cl < k; ++cl) {
+      double folded_bias = mlr->bias()[cl];
+      for (std::size_t f = 0; f < d; ++f) {
+        const double s = sigma[f] > 1e-12 ? sigma[f] : 1.0;
+        wq[cl * stride + f] = quant16(fmt, w[cl][f] * scale[f] / s);
+        folded_bias -= w[cl][f] * mu[f] / s;
+      }
+      bias[cl] = fmt.quantize(folded_bias) << fmt.fraction_bits;
+    }
+    return std::make_unique<QuantLinear>(k, d, fmt, std::move(scale),
+                                         std::move(wq), std::move(bias));
+  }
+
+  if (const auto* mlp = dynamic_cast<const Mlp*>(&c)) {
+    if (mlp->hidden_units() > kMaxQuantHidden)
+      throw std::invalid_argument("quantize: MLP hidden layer too wide");
+    const auto& mu = mlp->scaler().mean();
+    const auto& sigma = mlp->scaler().stddev();
+    const auto& w1 = mlp->hidden_weights();
+    const auto& w2 = mlp->output_weights();
+    const std::size_t h = mlp->hidden_units();
+    const std::size_t stride1 = (d + 1) / 2 * 2;
+    const std::size_t stride2 = (h + 1) / 2 * 2;
+    std::vector<std::int16_t> w1q(h * stride1, 0);
+    std::vector<std::int64_t> b1q(h, 0);
+    for (std::size_t u = 0; u < h; ++u) {
+      double folded_bias = mlp->hidden_bias()[u];
+      for (std::size_t f = 0; f < d; ++f) {
+        const double s = sigma[f] > 1e-12 ? sigma[f] : 1.0;
+        w1q[u * stride1 + f] = quant16(fmt, w1(u, f) * scale[f] / s);
+        folded_bias -= w1(u, f) * mu[f] / s;
+      }
+      b1q[u] = fmt.quantize(folded_bias) << fmt.fraction_bits;
+    }
+    std::vector<std::int16_t> w2q(k * stride2, 0);
+    std::vector<std::int64_t> b2q(k, 0);
+    for (std::size_t cl = 0; cl < k; ++cl) {
+      for (std::size_t u = 0; u < h; ++u)
+        w2q[cl * stride2 + u] = quant16(fmt, w2(cl, u));
+      b2q[cl] = fmt.quantize(mlp->output_bias()[cl]) << fmt.fraction_bits;
+    }
+    return std::make_unique<QuantMlp>(k, d, fmt, std::move(scale), h,
+                                      std::move(w1q), std::move(b1q),
+                                      std::move(w2q), std::move(b2q));
+  }
+
+  if (const auto* boost = dynamic_cast<const AdaBoost*>(&c)) {
+    std::vector<std::unique_ptr<QuantizedModel>> members;
+    std::vector<std::int64_t> alpha;
+    for (std::size_t m = 0; m < boost->round_count(); ++m) {
+      members.push_back(lower(boost->member(m), fmt, scale));
+      // Truncation — exactly verilog_gen's emit_adaboost alpha cast.
+      alpha.push_back(static_cast<std::int64_t>(
+          boost->member_weight(m) * (1 << QuantVote::kAlphaFraction)));
+    }
+    return std::make_unique<QuantVote>(k, d, fmt, std::move(scale),
+                                       std::move(members), std::move(alpha));
+  }
+
+  if (const auto* bag = dynamic_cast<const Bagging*>(&c)) {
+    std::vector<std::unique_ptr<QuantizedModel>> members;
+    for (std::size_t m = 0; m < bag->bag_count(); ++m)
+      members.push_back(lower(bag->member(m), fmt, scale));
+    return std::make_unique<QuantMajority>(k, d, fmt, std::move(scale),
+                                           std::move(members));
+  }
+
+  throw std::invalid_argument("quantize: no quantized lowering for " +
+                              c.name());
+}
+
+}  // namespace
+
+// SMART2_COLD: train/load-time lowering, never on the steady-state path.
+std::unique_ptr<QuantizedModel> quantize(
+    const Classifier& model, const QuantSpec& spec,
+    std::span<const double> input_max_abs) {
+  SMART2_SPAN("quantize.model");
+  if (!model.trained())
+    throw std::invalid_argument("quantize: classifier is not trained");
+  if (input_max_abs.size() != model.feature_count())
+    throw std::invalid_argument("quantize: input_max_abs width mismatch");
+  if (model.class_count() > kMaxQuantClasses)
+    throw std::invalid_argument("quantize: too many classes");
+  if (model.feature_count() > kMaxQuantFeatures)
+    throw std::invalid_argument("quantize: too many features");
+
+  std::vector<double> scale(model.feature_count());
+  for (std::size_t f = 0; f < scale.size(); ++f)
+    scale[f] = std::max(1.0, input_max_abs[f]);
+
+  FixedPointFormat fmt;
+  if (spec.format.has_value()) {
+    // Explicit formats admit any int16-storable width (the RTL ablation
+    // sweeps e.g. Q10.2 = 12 bits); storage drops to int8 at width <= 8.
+    fmt = *spec.format;
+    if (fmt.width() != spec.width)
+      throw std::invalid_argument("quantize: format width != spec width");
+    if (fmt.width() < 4 || fmt.width() > 16 || fmt.integer_bits < 2 ||
+        fmt.fraction_bits < 1)
+      throw std::invalid_argument("quantize: unsupported explicit format");
+  } else {
+    if (spec.width != 8 && spec.width != 16)
+      throw std::invalid_argument("quantize: auto-fit width must be 8 or 16");
+    const double m = max_abs_constant(model, scale);
+    const int ib = std::clamp(bits_for_magnitude(m), 2, spec.width - 1);
+    fmt = FixedPointFormat{ib, spec.width - ib};
+  }
+  return lower(model, fmt, std::move(scale));
+}
+
+}  // namespace smart2::compiled

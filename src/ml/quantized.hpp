@@ -1,0 +1,394 @@
+// smart2::compiled quantized lowering — integer inference bit-matched to
+// the emitted hardware (DESIGN.md §15).
+//
+// quantize() turns a trained Classifier into a QuantizedModel whose
+// decision function is EXACTLY the combinational datapath verilog_gen
+// emits: inputs are max-scaled per feature and quantized to a Q-format
+// (FixedPointFormat — round half away from zero, saturate at ±max),
+// thresholds/weights are quantized through the same format, comparisons
+// are signed integer `<=`, linear scores accumulate in integer MACs, and
+// ties in every argmax resolve to the lowest class index (the RTL
+// `>=`-chain priority). generate_verilog() consumes the tables of the
+// same QuantizedModel, so RTL constants and the C++ integer path agree
+// bit for bit, and the self-checking testbenches take their golden
+// vectors from eval_class().
+//
+// The quantized path is NOT bit-identical to the double path — that is
+// the point: it is the hardware's answer, and the accuracy it costs per
+// bit-width is measured by bench_quantized's degradation sweep. What IS
+// guaranteed, and tested, is determinism: for a given model and format
+// the integer path returns identical classes for every SMART2_THREADS
+// value and every SMART2_SIMD mode, because
+//   - all accumulators are int32 two's-complement adds of int16×int16
+//     products in ascending feature order; wrapping addition is
+//     associative and commutative mod 2^32, so the SIMD madd pairing
+//     (features 2p, 2p+1 fused per step) equals the scalar left fold;
+//   - quantize() proves at build time that no accumulator can exceed
+//     int32: bound = Σ_f |w_q[f]|·q_max + |bias_q| with q_max = 2^(w-1)
+//     (the saturation bound of the input format). Under that proof,
+//     wrapping, saturating, and exact arithmetic are the same function.
+//     Models whose bound exceeds int31 fall back to an exact int64
+//     scalar accumulator (and report the wider accumulator_bits()).
+//
+// Storage: tables and block inputs are int8 when format().width() <= 8,
+// int16 otherwise. int8 is purely a storage/bandwidth format — sload8
+// widens to int16 lanes, so both widths run the identical arithmetic.
+//
+// Block layout (eval_block): samples are quantized into a pair-interleaved
+// SoA block of kQuantBlock samples — element (f, i) lives at
+// block[(f>>1)*2*kQuantBlock + 2*i + (f&1)] — so the x86 pmaddwd pairing
+// (simd::smadd) naturally yields sample-aligned int32 lanes. Odd feature
+// counts are zero-padded (a zero weight × zero input contributes 0).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hw/fixed_point.hpp"
+#include "ml/classifier.hpp"
+
+namespace smart2::compiled {
+
+/// How to pick the Q-format when lowering a model.
+struct QuantSpec {
+  /// Total operand width in bits: 8 or 16 (storage follows: int8 / int16).
+  int width = 16;
+  /// Explicit Qm.n (m + n must equal `width`). Empty = auto-fit per model:
+  /// integer_bits = bits needed by the largest |constant| of the lowered
+  /// tables (clamped to [2, width - 1]), fraction_bits = the rest.
+  std::optional<FixedPointFormat> format;
+};
+
+/// SMART2_QUANT parse (consulted through obs::env_knob): "int8" / "int16"
+/// select the auto-fit width; "Qm.n" (e.g. "Q10.6") forces that format;
+/// "off" / "" / unset return nullopt. Throws std::invalid_argument on any
+/// other value.
+std::optional<QuantSpec> quant_spec_from_env();
+
+class QuantizedModel {
+ public:
+  /// Samples per pair-interleaved input block (eval_block granularity).
+  static constexpr std::size_t kQuantBlock = 16;
+
+  virtual ~QuantizedModel() = default;
+
+  std::size_t class_count() const noexcept { return classes_; }
+  std::size_t feature_count() const noexcept { return features_; }
+  /// The resolved Q-format (explicit or auto-fit).
+  const FixedPointFormat& format() const noexcept { return format_; }
+  /// Per-feature max-abs scale the inputs divide by before quantization
+  /// (>= 1.0; the RTL input_scale).
+  const std::vector<double>& input_scale() const noexcept { return scale_; }
+  /// Tables and blocks stored as int8 (format().width() <= 8)?
+  // SMART2_HOT
+  bool int8_storage() const noexcept { return format_.width() <= 8; }
+
+  /// Smallest signed width holding every stored constant (thresholds,
+  /// weights, biases) of this model — what the RTL datapath actually
+  /// needs, vs. the assumed format width (resource_model costing).
+  int constant_bits() const noexcept { return constant_bits_; }
+  /// Smallest signed width proven to hold every accumulator value
+  /// (compare-only models: the operand width).
+  int accumulator_bits() const noexcept { return accumulator_bits_; }
+
+  /// Quantize one raw sample into the integer input domain — exactly the
+  /// values the RTL input ports would see: q[f] = quantize(x[f]/scale[f]).
+  // SMART2_HOT
+  void quantize_inputs(std::span<const double> x,
+                       std::int16_t* q) const noexcept {
+    const FixedPointQuantizer quant(format_);
+    for (std::size_t f = 0; f < features_; ++f)
+      q[f] = static_cast<std::int16_t>(quant.quantize(x[f] / scale_[f]));
+  }
+
+  /// int16 (or int8) elements one pair-interleaved block occupies.
+  std::size_t block_elems() const noexcept {
+    return ((features_ + 1) / 2) * 2 * kQuantBlock;
+  }
+  /// Bytes one block occupies under the active storage width.
+  // SMART2_HOT
+  std::size_t block_bytes() const noexcept {
+    return block_elems() * (int8_storage() ? 1 : 2);
+  }
+
+  /// Quantize n (<= kQuantBlock) row-major samples into `block`
+  /// (block_bytes() of storage, pair-interleaved, zero-padded to the full
+  /// block).
+  // SMART2_HOT
+  void quantize_block(const double* x, std::size_t n, std::size_t x_stride,
+                      void* block) const noexcept;
+
+  /// quantize_block over a gathered subset: sample slot j of the block
+  /// takes row rows[j] of `x` (row-major, x_stride doubles per row) — the
+  /// dispatch paths quantize routed rows straight out of the gathered
+  /// common buffer without copying them into a dense batch first.
+  /// Bit-identical to copying the rows out and calling quantize_block.
+  // SMART2_HOT
+  void quantize_rows(const double* x, std::size_t x_stride,
+                     const std::uint32_t* rows, std::size_t n,
+                     void* block) const noexcept;
+
+  /// The RTL class_out for one quantized sample (feature-contiguous q).
+  virtual int eval_class(const std::int16_t* q) const = 0;
+
+  /// Batched eval_class over a quantized block: out[i] = the class of
+  /// sample i. Identical results for every SMART2_SIMD mode and lane
+  /// count (lane = sample). The base implementation de-interleaves and
+  /// loops eval_class; integer-SIMD lowerings override it.
+  virtual void eval_block(const void* block, std::size_t n,
+                          std::int32_t* out) const;
+
+  /// Convenience: quantize + classify one raw sample (tests, testbench
+  /// golden vectors). Allocation-free for kQuantBlock-bounded widths.
+  int predict_raw(std::span<const double> x) const;
+
+ protected:
+  QuantizedModel(std::size_t classes, std::size_t features,
+                 const FixedPointFormat& fmt, std::vector<double> scale)
+      : classes_(classes),
+        features_(features),
+        format_(fmt),
+        scale_(std::move(scale)) {}
+
+  /// De-interleave sample i of a block into q[0..features). Shared by the
+  /// base eval_block and the scalar tails of the SIMD kernels.
+  void unpack_sample(const void* block, std::size_t i,
+                     std::int16_t* q) const noexcept;
+
+  void set_widths(int constant_bits, int accumulator_bits) noexcept {
+    constant_bits_ = constant_bits;
+    accumulator_bits_ = accumulator_bits;
+  }
+
+  std::size_t classes_;
+  std::size_t features_;
+  FixedPointFormat format_;
+  std::vector<double> scale_;
+  int constant_bits_ = 0;
+  int accumulator_bits_ = 0;
+};
+
+/// Decision tree: SoA nodes descended with the RTL comparison
+/// `q[f] <= threshold_q`. Leaf i stores `-1 - class` in left_.
+class QuantTree final : public QuantizedModel {
+ public:
+  QuantTree(std::size_t classes, std::size_t features,
+            const FixedPointFormat& fmt, std::vector<double> scale,
+            std::vector<std::uint32_t> feature,
+            std::vector<std::int16_t> threshold,
+            std::vector<std::int32_t> left, std::vector<std::int32_t> right);
+
+  int eval_class(const std::int16_t* q) const override;
+  /// Per-sample descent reading features straight out of the
+  /// pair-interleaved block (no unpack copy); identical decisions to the
+  /// base de-interleave + eval_class loop.
+  void eval_block(const void* block, std::size_t n,
+                  std::int32_t* out) const override;
+
+  std::size_t node_count() const noexcept { return feature_.size(); }
+  std::span<const std::uint32_t> node_feature() const { return feature_; }
+  std::span<const std::int16_t> node_threshold() const { return threshold_; }
+  std::span<const std::int32_t> node_left() const { return left_; }
+  std::span<const std::int32_t> node_right() const { return right_; }
+
+ private:
+  /// One node per 16 bytes for the block walk: the sample-independent part
+  /// of the feature's block offset (block_at(f, i) == base + 2 * i), the
+  /// threshold widened to int32, and both child links — one cache-line
+  /// touch per level instead of four SoA array reads.
+  struct PackedNode {
+    std::int32_t base;
+    std::int32_t threshold;
+    std::int32_t left;
+    std::int32_t right;
+  };
+
+  std::vector<std::uint32_t> feature_;
+  std::vector<std::int16_t> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<PackedNode> packed_;
+};
+
+/// JRip rule list: per-rule condition conjunctions with first-match
+/// priority, `<=` (or its negation) on quantized thresholds — the emitted
+/// priority chain. The block kernel evaluates conditions with int16 SIMD
+/// compares across samples (pair-interleaved; don't-care parity lanes
+/// forced true, folded per sample by simd::smask_pairs).
+class QuantRuleList final : public QuantizedModel {
+ public:
+  struct Cond {
+    std::uint32_t feature = 0;
+    bool less_equal = true;
+    std::int16_t threshold = 0;
+  };
+
+  QuantRuleList(std::size_t classes, std::size_t features,
+                const FixedPointFormat& fmt, std::vector<double> scale,
+                std::vector<Cond> conds, std::vector<std::uint32_t> cond_begin,
+                std::vector<std::int32_t> predicted,
+                std::int32_t default_class);
+
+  int eval_class(const std::int16_t* q) const override;
+  void eval_block(const void* block, std::size_t n,
+                  std::int32_t* out) const override;
+
+  std::span<const Cond> conditions() const { return conds_; }
+  std::span<const std::uint32_t> cond_begin() const { return cond_begin_; }
+  std::span<const std::int32_t> rule_class() const { return predicted_; }
+  std::int32_t default_class() const noexcept { return default_class_; }
+
+ private:
+  std::vector<Cond> conds_;
+  std::vector<std::uint32_t> cond_begin_;  // rule_count + 1 offsets
+  std::vector<std::int32_t> predicted_;
+  std::int32_t default_class_ = 0;
+};
+
+/// OneR: cascade of `q <= upper_q` bucket bounds, last bucket as default —
+/// the RTL cascade (note: the double FlatOneR uses strict `<` on doubles;
+/// the hardware uses `<=` on the quantized bound, and so does this).
+class QuantOneR final : public QuantizedModel {
+ public:
+  QuantOneR(std::size_t classes, std::size_t features,
+            const FixedPointFormat& fmt, std::vector<double> scale,
+            std::uint32_t feature, std::vector<std::int16_t> upper,
+            std::vector<std::int32_t> majority);
+
+  int eval_class(const std::int16_t* q) const override;
+
+  std::uint32_t rule_feature() const noexcept { return feature_; }
+  std::span<const std::int16_t> upper() const { return upper_; }
+  std::span<const std::int32_t> majority() const { return majority_; }
+
+ private:
+  std::uint32_t feature_;
+  std::vector<std::int16_t> upper_;
+  std::vector<std::int32_t> majority_;
+};
+
+/// Multinomial logistic regression with the standardizer folded into the
+/// quantized constants (w' = w·scale/σ, b' = b − Σ w·μ/σ — exactly
+/// emit_mlr): score_c = Σ_f q[f]·w_q[c][f] + (b_q[c] << fraction_bits),
+/// argmax with first-max priority. The block kernel runs pmaddwd pairs
+/// into int32 lanes when the overflow proof holds; otherwise an exact
+/// int64 scalar fold.
+class QuantLinear final : public QuantizedModel {
+ public:
+  QuantLinear(std::size_t classes, std::size_t features,
+              const FixedPointFormat& fmt, std::vector<double> scale,
+              std::vector<std::int16_t> w, std::vector<std::int64_t> bias);
+
+  int eval_class(const std::int16_t* q) const override;
+  void eval_block(const void* block, std::size_t n,
+                  std::int32_t* out) const override;
+
+  /// Row-major class weights, padded to an even feature count.
+  std::span<const std::int16_t> weights() const { return w_; }
+  std::size_t weight_stride() const noexcept { return stride_; }
+  /// Shifted biases (already << fraction_bits).
+  std::span<const std::int64_t> bias() const { return bias_; }
+  /// int32 accumulators proven exact (the SIMD path's precondition)?
+  bool int32_exact() const noexcept { return int32_exact_; }
+
+ private:
+  std::size_t stride_;              // padded feature pairs * 2
+  std::vector<std::int16_t> w_;     // classes x stride_
+  std::vector<std::int64_t> bias_;  // classes
+  bool int32_exact_ = true;
+};
+
+/// MLP lowered to two integer MAC layers with the sigmoid evaluated on the
+/// dequantized layer-1 accumulator and requantized — the datapath a
+/// sigmoid-LUT RTL implements. No emitted-Verilog counterpart (the RTL
+/// flow has no MLP mapping); semantics are defined by this class and
+/// pinned by the equivalence tests.
+class QuantMlp final : public QuantizedModel {
+ public:
+  QuantMlp(std::size_t classes, std::size_t features,
+           const FixedPointFormat& fmt, std::vector<double> scale,
+           std::size_t hidden, std::vector<std::int16_t> w1,
+           std::vector<std::int64_t> b1, std::vector<std::int16_t> w2,
+           std::vector<std::int64_t> b2);
+
+  int eval_class(const std::int16_t* q) const override;
+  void eval_block(const void* block, std::size_t n,
+                  std::int32_t* out) const override;
+
+  std::size_t hidden_units() const noexcept { return hidden_; }
+
+ private:
+  /// Hidden activations for one sample (int16, requantized post-sigmoid).
+  void hidden_into(const std::int16_t* q, std::int16_t* h) const noexcept;
+  /// Layer-2 argmax over hidden activations.
+  int output_class(const std::int16_t* h) const noexcept;
+
+  std::size_t hidden_;
+  std::size_t stride1_;  // padded input pairs * 2
+  std::size_t stride2_;  // padded hidden pairs * 2
+  std::vector<std::int16_t> w1_;  // hidden x stride1_
+  std::vector<std::int64_t> b1_;
+  std::vector<std::int16_t> w2_;  // classes x stride2_
+  std::vector<std::int64_t> b2_;
+  bool int32_exact_ = true;
+};
+
+/// AdaBoost: members vote their predicted class weighted by the truncated
+/// fixed-point alpha (alpha_q = trunc(alpha · 2^kAlphaFraction) — exactly
+/// emit_adaboost); argmax with first-max priority.
+class QuantVote final : public QuantizedModel {
+ public:
+  /// The RTL's alpha quantization (verilog_gen kAlphaFraction).
+  static constexpr int kAlphaFraction = 8;
+
+  QuantVote(std::size_t classes, std::size_t features,
+            const FixedPointFormat& fmt, std::vector<double> scale,
+            std::vector<std::unique_ptr<QuantizedModel>> members,
+            std::vector<std::int64_t> alpha_q);
+
+  int eval_class(const std::int16_t* q) const override;
+  void eval_block(const void* block, std::size_t n,
+                  std::int32_t* out) const override;
+
+  std::size_t member_count() const noexcept { return members_.size(); }
+  const QuantizedModel& member(std::size_t i) const { return *members_[i]; }
+  std::span<const std::int64_t> alpha_q() const { return alpha_q_; }
+
+ private:
+  std::vector<std::unique_ptr<QuantizedModel>> members_;
+  std::vector<std::int64_t> alpha_q_;
+};
+
+/// Bagging: unweighted majority vote over member classes, ties to the
+/// lowest class index. No emitted counterpart; defined here, pinned by
+/// tests.
+class QuantMajority final : public QuantizedModel {
+ public:
+  QuantMajority(std::size_t classes, std::size_t features,
+                const FixedPointFormat& fmt, std::vector<double> scale,
+                std::vector<std::unique_ptr<QuantizedModel>> members);
+
+  int eval_class(const std::int16_t* q) const override;
+  void eval_block(const void* block, std::size_t n,
+                  std::int32_t* out) const override;
+
+  std::size_t member_count() const noexcept { return members_.size(); }
+  const QuantizedModel& member(std::size_t i) const { return *members_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<QuantizedModel>> members_;
+};
+
+/// Lower a trained classifier into its quantized form. `input_max_abs` is
+/// the per-feature max |value| of a scale reference (the RTL input_scale
+/// before the max(1, ·) floor, which this function applies). Throws
+/// std::invalid_argument for untrained models and types without a
+/// quantized lowering (NaiveBayes).
+std::unique_ptr<QuantizedModel> quantize(const Classifier& model,
+                                         const QuantSpec& spec,
+                                         std::span<const double> input_max_abs);
+
+}  // namespace smart2::compiled

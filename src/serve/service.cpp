@@ -32,13 +32,17 @@ std::uint64_t knob_u64(const char* value, std::uint64_t fallback) {
 }
 
 /// The constructor / swap_model admission contract for a pipeline.
-void validate_model(const TwoStageHmd& model) {
+void validate_model(const TwoStageHmd& model, bool quantized) {
   if (!model.trained())
     throw std::invalid_argument("DetectionService: pipeline is not trained");
   if (!model.compiled())
     throw std::invalid_argument(
         "DetectionService: pipeline is not compiled (train() and load() "
         "compile automatically; call compile() after manual assembly)");
+  if (quantized && !model.quantized())
+    throw std::invalid_argument(
+        "DetectionService: quantized serving needs a quantize()d pipeline "
+        "(train with SMART2_QUANT set, or call quantize() after load)");
   if (model.config().stage2_features != Stage2Features::kCommon4)
     throw std::invalid_argument(
         "DetectionService: per-window serving needs Common4 stage-2 "
@@ -65,6 +69,7 @@ ServeConfig ServeConfig::from_env() {
     if (p == "oldest") cfg.drop_policy = DropPolicy::kDropOldest;
     else if (p == "newest") cfg.drop_policy = DropPolicy::kDropNewest;
   }
+  cfg.quantized = compiled::quant_spec_from_env().has_value();
   return cfg;
 }
 
@@ -139,7 +144,7 @@ DetectionService::DetectionService(std::shared_ptr<const TwoStageHmd> model,
       h_latency_(&obs::histogram("serve.verdict.latency")) {
   if (model_ == nullptr)
     throw std::invalid_argument("DetectionService: null pipeline");
-  validate_model(*model_);
+  validate_model(*model_, config_.quantized);
   if (config_.shards == 0)
     throw std::invalid_argument("DetectionService: need >= 1 shard");
   if (config_.queue_capacity == 0)
@@ -273,6 +278,19 @@ void DetectionService::infer_epoch(Shard& sh, const TwoStageHmd& model,
     for (std::size_t j = 0; j < nc; ++j)
       common[i * nc + j] = sample.window[j];
   }
+
+  if (config_.quantized) {
+    // Integer path: binary {0,1} window scores straight from the quantized
+    // pipeline; the per-stream EWMA smooths them into an alarm duty cycle.
+    const ScratchSpan qscores_s(m);
+    ScratchArray<std::uint8_t> qsuspected(m);
+    model.score_epoch_quant(common, m, nc, qscores_s.data(),
+                            qsuspected.data());
+    apply_verdicts(sh, generation, now_tick, begin, m, qscores_s.data(),
+                   qsuspected.data());
+    return;
+  }
+
   const ScratchSpan proba_s(m * kNumAppClasses);
   double* proba = proba_s.data();
   model.stage1_proba_batch_into(common, m, nc, proba);
@@ -321,8 +339,18 @@ void DetectionService::infer_epoch(Shard& sh, const TwoStageHmd& model,
       scores[rows[j]] = sub_scores_s.data()[j];
   }
 
-  // Apply in FIFO arrival order: a stream with several queued windows must
-  // fold them into its EWMA in the order they arrived.
+  apply_verdicts(sh, generation, now_tick, begin, m, scores,
+                 suspected_of.data());
+}
+
+// Apply in FIFO arrival order: a stream with several queued windows must
+// fold them into its EWMA in the order they arrived.
+// SMART2_HOT
+void DetectionService::apply_verdicts(Shard& sh, std::uint64_t generation,
+                                      std::uint64_t now_tick,
+                                      std::size_t begin, std::size_t m,
+                                      const double* scores,
+                                      const std::uint8_t* suspected_of) {
   const bool metrics = obs::metrics_enabled();
   const std::uint64_t drain_ns = metrics ? obs::now_ns() : 0;
   for (std::size_t i = 0; i < m; ++i) {
@@ -439,7 +467,7 @@ void DetectionService::swap_model(std::shared_ptr<const TwoStageHmd> next) {
   SMART2_SPAN("serve.swap");
   if (next == nullptr)
     throw std::invalid_argument("DetectionService: null successor pipeline");
-  validate_model(*next);
+  validate_model(*next, config_.quantized);
   {
     const std::lock_guard<std::mutex> lock(model_mutex_);
     // The fleet's HPC registers are programmed with the current common

@@ -60,11 +60,18 @@ struct ServeConfig {
   DropPolicy drop_policy = DropPolicy::kDropNewest;
   /// EWMA/hysteresis parameters applied to every stream.
   OnlineDetectorConfig detector;
+  /// Score windows on the quantized integer path (the pipeline must have
+  /// quantize()d models). Window scores become the hardware's binary {0,1}
+  /// malware decisions; the per-stream EWMA then smooths alarm duty cycle
+  /// rather than probability mass — thresholds tuned for the double path
+  /// usually need retuning (SERVING.md).
+  bool quantized = false;
 
   /// Read SMART2_SERVE_SHARDS / SMART2_SERVE_QUEUE / SMART2_SERVE_STREAM_CAP
-  /// / SMART2_SERVE_EVICT_TTL / SMART2_SERVE_DROP_POLICY over the defaults
-  /// (knob table in SERVING.md; each consult is recorded in the obs
-  /// env-knob registry so the summary shows what the run actually used).
+  /// / SMART2_SERVE_EVICT_TTL / SMART2_SERVE_DROP_POLICY / SMART2_QUANT
+  /// over the defaults (knob table in SERVING.md; each consult is recorded
+  /// in the obs env-knob registry so the summary shows what the run
+  /// actually used).
   static ServeConfig from_env();
 };
 
@@ -219,6 +226,12 @@ class DetectionService {
   void infer_epoch(Shard& sh, const TwoStageHmd& model,
                    std::uint64_t generation, std::uint64_t now_tick,
                    std::size_t begin, std::size_t m);
+  /// Fold one epoch's window scores into per-stream EWMA/hysteresis state
+  /// in FIFO arrival order (shared by the double and quantized paths).
+  void apply_verdicts(Shard& sh, std::uint64_t generation,
+                      std::uint64_t now_tick, std::size_t begin,
+                      std::size_t m, const double* scores,
+                      const std::uint8_t* suspected_of);
 
   ServeConfig config_;
   std::vector<Shard> shards_;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <new>
 #include <vector>
@@ -188,6 +189,46 @@ TEST(AllocTest, PredictBatchSteadyStateIsAllocationFree) {
   for (const Detection& det : out)
     if (det.is_malware) ++malware;
   EXPECT_GT(malware, 0u);  // the loop exercised the stage-2 batch branch
+}
+
+TEST(AllocTest, QuantizedPredictBatchSteadyStateIsAllocationFree) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+  std::vector<double> max_abs(small_dataset().feature_count(), 0.0);
+  for (std::size_t i = 0; i < small_dataset().size(); ++i) {
+    const auto x = small_dataset().features(i);
+    for (std::size_t f = 0; f < max_abs.size(); ++f)
+      max_abs[f] = std::max(max_abs[f], std::abs(x[f]));
+  }
+  hmd.quantize({.width = 8, .format = {}}, max_abs);
+  ASSERT_TRUE(hmd.quantized());
+
+  Dataset big(small_dataset().feature_names(), small_dataset().class_names());
+  const std::size_t target = 2 * TwoStageHmd::kDetectEpoch + 37;
+  big.reserve(target);
+  for (std::size_t i = 0; i < target; ++i) {
+    const std::size_t src = i % small_dataset().size();
+    big.add(small_dataset().features(src), small_dataset().label(src));
+  }
+  std::vector<Detection> out(big.size());
+
+  parallel::set_thread_count(1);
+  hmd.predict_batch_into(big, out);
+
+  const std::uint64_t before = allocation_count();
+  for (int iter = 0; iter < 10; ++iter) hmd.predict_batch_into(big, out);
+  for (std::size_t i = 0; i < small_dataset().size(); ++i)
+    (void)hmd.detect(small_dataset().features(i));
+  EXPECT_EQ(allocation_count(), before)
+      << "quantized batch/detect allocated on the warm epoch path";
+  parallel::set_thread_count(0);
+
+  std::size_t malware = 0;
+  for (const Detection& det : out)
+    if (det.is_malware) ++malware;
+  EXPECT_GT(malware, 0u);  // the loop exercised the quantized stage 2
 }
 
 TEST(AllocTest, OnlineObserveSteadyStateIsAllocationFree) {

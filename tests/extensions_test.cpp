@@ -2,6 +2,8 @@
 // the next-line hardware prefetcher, and Verilog generation.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
 #include <filesystem>
 
 #include "common/stats.hpp"
@@ -14,6 +16,7 @@
 #include "ml/logistic.hpp"
 #include "ml/mlp.hpp"
 #include "ml/onerule.hpp"
+#include "ml/quantized.hpp"
 #include "ml/ripper.hpp"
 #include "uarch/core.hpp"
 #include "workload/appmodels.hpp"
@@ -250,6 +253,96 @@ TEST(VerilogTest, UntrainedAndBadOptionsThrow) {
   const Dataset wrong = make_blobs(10, 0x37, 7);
   EXPECT_THROW(generate_verilog(tree, "x", options_for(wrong)),
                std::invalid_argument);
+}
+
+/// A Verilog signed decimal literal as verilog_gen prints it.
+std::string signed_literal(int width, std::int64_t value) {
+  if (value < 0)
+    return "-" + std::to_string(width) + "'sd" + std::to_string(-value);
+  return std::to_string(width) + "'sd" + std::to_string(value);
+}
+
+/// Per-feature max |value| — quantize()'s scale reference, matching the
+/// scan generate_verilog runs over its scale_reference dataset.
+std::vector<double> max_abs_of(const Dataset& d) {
+  std::vector<double> out(d.feature_count(), 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto x = d.features(i);
+    for (std::size_t f = 0; f < out.size(); ++f)
+      out[f] = std::max(out[f], std::abs(x[f]));
+  }
+  return out;
+}
+
+TEST(VerilogTest, TreeConstantsMatchQuantizedTables) {
+  const Dataset d = make_blobs(100, 0x41, 4);
+  DecisionTree tree;
+  tree.fit(d);
+  const auto module = generate_verilog(tree, "qmatch", options_for(d));
+
+  // Re-lower through the same quantization the RTL was printed from.
+  const auto qm = compiled::quantize(
+      tree, {module.format.width(), module.format}, max_abs_of(d));
+  const auto* qt = dynamic_cast<const compiled::QuantTree*>(qm.get());
+  ASSERT_NE(qt, nullptr);
+  ASSERT_EQ(module.input_scale.size(), qm->input_scale().size());
+  for (std::size_t f = 0; f < module.input_scale.size(); ++f)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(module.input_scale[f]),
+              std::bit_cast<std::uint64_t>(qm->input_scale()[f]));
+
+  // Every internal-node threshold of the integer model appears verbatim as
+  // an RTL constant — the bit-match is textual, not approximate.
+  for (std::size_t i = 0; i < qt->node_count(); ++i) {
+    if (qt->node_left()[i] < 0) continue;  // leaf
+    const std::string lit =
+        signed_literal(module.format.width(), qt->node_threshold()[i]);
+    EXPECT_NE(module.source.find(lit), std::string::npos)
+        << "missing threshold constant " << lit;
+  }
+}
+
+TEST(VerilogTest, MlrConstantsMatchQuantizedTables) {
+  const Dataset d = make_blobs(80, 0x42, 3, 3);
+  LogisticRegression mlr;
+  mlr.fit(d);
+  const auto module = generate_verilog(mlr, "qmlr", options_for(d));
+
+  const auto qm = compiled::quantize(
+      mlr, {module.format.width(), module.format}, max_abs_of(d));
+  const auto* ql = dynamic_cast<const compiled::QuantLinear*>(qm.get());
+  ASSERT_NE(ql, nullptr);
+  for (std::size_t c = 0; c < ql->class_count(); ++c)
+    for (std::size_t f = 0; f < ql->feature_count(); ++f) {
+      const std::string lit = signed_literal(
+          module.format.width(), ql->weights()[c * ql->weight_stride() + f]);
+      EXPECT_NE(module.source.find(lit), std::string::npos)
+          << "missing weight constant " << lit;
+    }
+}
+
+TEST(VerilogTest, TestbenchGoldenVectorsMatchQuantizedModel) {
+  const Dataset d = make_blobs(60, 0x43, 4);
+  DecisionTree tree;
+  tree.fit(d);
+  const auto module = generate_verilog(tree, "tb_match", options_for(d));
+  const std::size_t vectors = 12;
+  const std::string tb = generate_testbench(module, tree, d, vectors);
+  EXPECT_NE(tb.find("module tb_match_tb"), std::string::npos);
+  EXPECT_NE(tb.find("PASS: all 12 vectors"), std::string::npos);
+
+  // Each golden vector is the quantized model's own answer on the same
+  // integer inputs the testbench drives.
+  const auto qm = compiled::quantize(
+      tree, {module.format.width(), module.format}, max_abs_of(d));
+  std::vector<std::int16_t> q(d.feature_count());
+  for (std::size_t i = 0; i < vectors; ++i) {
+    qm->quantize_inputs(d.features(i), q.data());
+    const std::string check = "check(1'd" +
+                              std::to_string(qm->eval_class(q.data())) + ", " +
+                              std::to_string(i) + ");";
+    EXPECT_NE(tb.find(check), std::string::npos)
+        << "missing golden vector " << check;
+  }
 }
 
 TEST(VerilogTest, LintCatchesCorruption) {

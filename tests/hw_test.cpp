@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "hw/fixed_point.hpp"
 #include "hw/resource_model.hpp"
@@ -63,6 +64,55 @@ TEST(FixedPointTest, SaturatesOutOfRange) {
 TEST(FixedPointTest, NanQuantizesToZero) {
   const FixedPointFormat q{8, 8};
   EXPECT_EQ(q.quantize(std::nan("")), 0);
+}
+
+TEST(FixedPointTest, SaturatesToExactIntegerBounds) {
+  // The quantized-domain bounds the overflow proof in ml/quantized.cpp
+  // assumes: +max is 2^(w-1) - 1 codes, -max is -2^(w-1) codes.
+  const FixedPointFormat q{4, 4};
+  EXPECT_EQ(q.quantize(1e12), 127);
+  EXPECT_EQ(q.quantize(-1e12), -128);
+  EXPECT_EQ(q.quantize(std::numeric_limits<double>::infinity()), 127);
+  EXPECT_EQ(q.quantize(-std::numeric_limits<double>::infinity()), -128);
+  EXPECT_EQ(q.quantize(q.max_value()), 127);
+  EXPECT_EQ(q.quantize(q.min_value()), -128);
+}
+
+TEST(FixedPointTest, RoundsHalfAwayFromZero) {
+  // One fraction bit makes every x.25/x.75 a representable half-step: the
+  // tie-break must move away from zero on both signs (llround semantics —
+  // what the RTL constant tables were generated with).
+  const FixedPointFormat q{4, 1};
+  EXPECT_EQ(q.quantize(0.25), 1);
+  EXPECT_EQ(q.quantize(-0.25), -1);
+  EXPECT_EQ(q.quantize(0.75), 2);
+  EXPECT_EQ(q.quantize(-0.75), -2);
+  EXPECT_EQ(q.quantize(1.25), 3);
+  EXPECT_EQ(q.quantize(-1.25), -3);
+  // Non-ties still round to nearest.
+  EXPECT_EQ(q.quantize(0.74), 1);
+  EXPECT_EQ(q.quantize(-0.74), -1);
+}
+
+TEST(FixedPointTest, DegenerateWidthsStayConsistent) {
+  // The narrowest format quantize() admits: sign + 1 integer bit + 1
+  // fraction bit. Four codes: -2.0, -1.5 .. +1.5 in 0.5 steps.
+  const FixedPointFormat q{2, 1};
+  EXPECT_EQ(q.width(), 3);
+  EXPECT_DOUBLE_EQ(q.max_value(), 1.5);
+  EXPECT_DOUBLE_EQ(q.min_value(), -2.0);
+  EXPECT_EQ(q.quantize(100.0), 3);
+  EXPECT_EQ(q.quantize(-100.0), -4);
+  EXPECT_EQ(q.quantize(0.0), 0);
+  EXPECT_DOUBLE_EQ(q.round_trip(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(q.round_trip(-2.0), -2.0);
+
+  // An all-fraction wide format keeps sub-unit resolution symmetric.
+  const FixedPointFormat fine{2, 14};
+  EXPECT_DOUBLE_EQ(fine.round_trip(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(fine.round_trip(-0.5), -0.5);
+  EXPECT_EQ(fine.quantize(10.0), (1 << 15) - 1);
+  EXPECT_EQ(fine.quantize(-10.0), -(1 << 15));
 }
 
 // ----------------------------------------------------------- resources ---

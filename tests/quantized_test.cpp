@@ -1,0 +1,532 @@
+// smart2::compiled quantized lowering — the integer path's contracts:
+//  * eval_block (SIMD or scalar-forced) equals eval_class per sample for
+//    every lowered family, int8 and int16 storage, full and ragged blocks,
+//  * SMART2_QUANT parsing, explicit-format validation, unsupported models,
+//  * the quantized two-stage pipeline is deterministic across
+//    SMART2_THREADS values and SMART2_SIMD modes, and score_epoch_quant
+//    agrees with detect() on every row.
+//
+// NOT tested here: bitwise equality with the double path — quantization is
+// lossy by design (DESIGN.md §15); the accuracy cost is measured by
+// bench_quantized's degradation sweep instead.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/simd.hpp"
+#include "core/two_stage.hpp"
+#include "hpc/dataset_cache.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/onerule.hpp"
+#include "ml/quantized.hpp"
+#include "ml/ripper.hpp"
+#include "workload/appmodels.hpp"
+
+namespace smart2 {
+namespace {
+
+class ScalarModeGuard {
+ public:
+  ScalarModeGuard() : saved_(simd::scalar_forced()) {}
+  ~ScalarModeGuard() { simd::force_scalar(saved_); }
+
+  ScalarModeGuard(const ScalarModeGuard&) = delete;
+  ScalarModeGuard& operator=(const ScalarModeGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+/// Scoped SMART2_QUANT value ("" = unset) restoring the prior state.
+class QuantEnvGuard {
+ public:
+  explicit QuantEnvGuard(const char* value) {
+    const char* prev = std::getenv("SMART2_QUANT");
+    had_ = prev != nullptr;
+    if (had_) saved_ = prev;
+    if (value != nullptr)
+      ::setenv("SMART2_QUANT", value, 1);
+    else
+      ::unsetenv("SMART2_QUANT");
+  }
+  ~QuantEnvGuard() {
+    if (had_)
+      ::setenv("SMART2_QUANT", saved_.c_str(), 1);
+    else
+      ::unsetenv("SMART2_QUANT");
+  }
+
+  QuantEnvGuard(const QuantEnvGuard&) = delete;
+  QuantEnvGuard& operator=(const QuantEnvGuard&) = delete;
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+/// Two-class Gaussian blobs, linearly separable up to `noise`.
+Dataset make_blobs(std::size_t n_per_class, double separation, double noise,
+                   std::uint64_t seed, std::size_t dims = 5) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < dims; ++f)
+    names.push_back("f" + std::to_string(f));
+  Dataset d(std::move(names), {"neg", "pos"});
+  Rng rng(seed);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 2; ++cls) {
+      const double center = cls == 0 ? 0.0 : separation;
+      for (std::size_t f = 0; f < dims; ++f)
+        x[f] = rng.gaussian(f == 0 ? center : 0.0, f == 0 ? noise : 1.0);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+/// A 3-class dataset separable along feature 0 (k > 2 argmax priority).
+Dataset make_three_class(std::size_t n_per_class, std::uint64_t seed) {
+  Dataset d({"f0", "f1", "f2"}, {"a", "b", "c"});
+  Rng rng(seed);
+  std::vector<double> x(3);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 3; ++cls) {
+      x[0] = rng.gaussian(cls * 4.0, 0.7);
+      x[1] = rng.gaussian(0.0, 1.0);
+      x[2] = rng.gaussian(0.0, 2.0);
+      d.add(x, cls);
+    }
+  }
+  return d;
+}
+
+/// Per-feature max |value| — the quantize() scale reference.
+std::vector<double> max_abs_of(const Dataset& d) {
+  std::vector<double> out(d.feature_count(), 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto x = d.features(i);
+    for (std::size_t f = 0; f < out.size(); ++f)
+      out[f] = std::max(out[f], std::abs(x[f]));
+  }
+  return out;
+}
+
+/// eval_block == eval_class for every row of `test`, in the active SIMD
+/// mode, for full 16-sample blocks and the ragged tail.
+void expect_block_matches_scalar(const compiled::QuantizedModel& qm,
+                                 const Dataset& test) {
+  constexpr std::size_t kBlk = compiled::QuantizedModel::kQuantBlock;
+  const std::size_t d = qm.feature_count();
+  ASSERT_EQ(d, test.feature_count());
+
+  std::vector<double> rows(kBlk * d);
+  std::vector<std::int16_t> block(qm.block_elems());
+  std::vector<std::int16_t> q(d);
+  std::vector<std::int32_t> out(kBlk);
+  for (std::size_t b = 0; b < test.size(); b += kBlk) {
+    const std::size_t n = std::min(kBlk, test.size() - b);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto x = test.features(b + i);
+      std::copy(x.begin(), x.end(), rows.begin() + i * d);
+    }
+    qm.quantize_block(rows.data(), n, d, block.data());
+    qm.eval_block(block.data(), n, out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto x = test.features(b + i);
+      qm.quantize_inputs(x, q.data());
+      const int scalar = qm.eval_class(q.data());
+      EXPECT_EQ(out[i], scalar) << "row " << b + i;
+      EXPECT_EQ(qm.predict_raw(x), scalar) << "row " << b + i;
+    }
+  }
+}
+
+/// The full per-model contract: lower at the given spec, then prove the
+/// block kernel equals the scalar path in both the native SIMD mode and
+/// under forced-scalar dispatch (identical classes, not just close ones).
+void expect_quantized_consistent(const Classifier& c, const Dataset& test,
+                                 const compiled::QuantSpec& spec) {
+  const auto qm = compiled::quantize(c, spec, max_abs_of(test));
+  ASSERT_NE(qm, nullptr);
+  ASSERT_EQ(qm->class_count(), c.class_count());
+  ASSERT_EQ(qm->feature_count(), c.feature_count());
+  EXPECT_EQ(qm->format().width(), spec.width);
+  EXPECT_EQ(qm->int8_storage(), spec.width <= 8);
+  // Width introspection: constants can be wider than the operand format
+  // (linear biases are stored pre-shifted by fraction_bits) and ensemble
+  // vote accumulators can be narrower than member constants — only
+  // positivity is structural.
+  EXPECT_GE(qm->constant_bits(), 1);
+  EXPECT_GE(qm->accumulator_bits(), 1);
+
+  expect_block_matches_scalar(*qm, test);
+  {
+    const ScalarModeGuard guard;
+    simd::force_scalar(true);
+    expect_block_matches_scalar(*qm, test);
+  }
+}
+
+void expect_quantized_consistent_both_widths(const Classifier& c,
+                                             const Dataset& test) {
+  expect_quantized_consistent(c, test, {.width = 16, .format = {}});
+  expect_quantized_consistent(c, test, {.width = 8, .format = {}});
+}
+
+// ------------------------------------------------------ spec parsing ----
+
+TEST(QuantSpecTest, EnvUnsetOrOffIsDisabled) {
+  {
+    const QuantEnvGuard guard(nullptr);
+    EXPECT_FALSE(compiled::quant_spec_from_env().has_value());
+  }
+  {
+    const QuantEnvGuard guard("off");
+    EXPECT_FALSE(compiled::quant_spec_from_env().has_value());
+  }
+  {
+    const QuantEnvGuard guard("");
+    EXPECT_FALSE(compiled::quant_spec_from_env().has_value());
+  }
+}
+
+TEST(QuantSpecTest, EnvSelectsAutoFitWidths) {
+  {
+    const QuantEnvGuard guard("int8");
+    const auto spec = compiled::quant_spec_from_env();
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->width, 8);
+    EXPECT_FALSE(spec->format.has_value());
+  }
+  {
+    const QuantEnvGuard guard("int16");
+    const auto spec = compiled::quant_spec_from_env();
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->width, 16);
+    EXPECT_FALSE(spec->format.has_value());
+  }
+}
+
+TEST(QuantSpecTest, EnvParsesExplicitQFormat) {
+  const QuantEnvGuard guard("Q10.6");
+  const auto spec = compiled::quant_spec_from_env();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->width, 16);
+  ASSERT_TRUE(spec->format.has_value());
+  EXPECT_EQ(spec->format->integer_bits, 10);
+  EXPECT_EQ(spec->format->fraction_bits, 6);
+}
+
+TEST(QuantSpecTest, EnvRejectsMalformedValues) {
+  for (const char* bad : {"int12", "Q20.6", "Q10", "Q1.7", "Q10.0", "eight"}) {
+    const QuantEnvGuard guard(bad);
+    EXPECT_THROW((void)compiled::quant_spec_from_env(), std::invalid_argument)
+        << "SMART2_QUANT=" << bad;
+  }
+}
+
+// -------------------------------------------------- per-model lowering --
+
+TEST(QuantizedTest, DecisionTreeBlockMatchesScalar) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 11);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 12);
+  DecisionTree c;
+  c.fit(train);
+  expect_quantized_consistent_both_widths(c, test);
+}
+
+TEST(QuantizedTest, DecisionTreeThreeClassBlockMatchesScalar) {
+  const Dataset train = make_three_class(50, 21);
+  const Dataset test = make_three_class(30, 22);
+  DecisionTree c;
+  c.fit(train);
+  expect_quantized_consistent_both_widths(c, test);
+}
+
+TEST(QuantizedTest, RipperBlockMatchesScalar) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 31);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 32);
+  Ripper c;
+  c.fit(train);
+  expect_quantized_consistent_both_widths(c, test);
+}
+
+TEST(QuantizedTest, OneRBlockMatchesScalar) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 41);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 42);
+  OneR c;
+  c.fit(train);
+  expect_quantized_consistent_both_widths(c, test);
+}
+
+TEST(QuantizedTest, LogisticBlockMatchesScalar) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 51);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 52);
+  LogisticRegression c;
+  c.fit(train);
+  expect_quantized_consistent_both_widths(c, test);
+}
+
+TEST(QuantizedTest, LogisticThreeClassBlockMatchesScalar) {
+  const Dataset train = make_three_class(50, 61);
+  const Dataset test = make_three_class(30, 62);
+  LogisticRegression c;
+  c.fit(train);
+  expect_quantized_consistent_both_widths(c, test);
+
+  // Small folded weights over in-range inputs: the int32 overflow proof
+  // must hold, enabling the pmaddwd kernel the RTL datapath mirrors.
+  const auto qm =
+      compiled::quantize(c, {.width = 16, .format = {}}, max_abs_of(test));
+  const auto* lin = dynamic_cast<const compiled::QuantLinear*>(qm.get());
+  ASSERT_NE(lin, nullptr);
+  EXPECT_TRUE(lin->int32_exact());
+}
+
+TEST(QuantizedTest, MlpBlockMatchesScalar) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 71);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 72);
+  Mlp::Params params;
+  params.epochs = 100;
+  Mlp c(params);
+  c.fit(train);
+  expect_quantized_consistent_both_widths(c, test);
+}
+
+TEST(QuantizedTest, AdaBoostOfOneRBlockMatchesScalar) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 81);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 82);
+  AdaBoost c(std::make_unique<OneR>());
+  c.fit(train);
+  expect_quantized_consistent_both_widths(c, test);
+}
+
+TEST(QuantizedTest, BaggingOfTreesBlockMatchesScalar) {
+  const Dataset train = make_blobs(60, 3.0, 1.0, 91);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 92);
+  Bagging c(std::make_unique<DecisionTree>());
+  c.fit(train);
+  expect_quantized_consistent_both_widths(c, test);
+}
+
+TEST(QuantizedTest, ExplicitNarrowFormatsLowerForRtlAblation) {
+  // The RTL width sweep uses formats like Q10.2 (width 12): explicit
+  // formats may take any width in [4, 16], not just the storage widths.
+  const Dataset train = make_blobs(60, 3.0, 1.0, 101);
+  const Dataset test = make_blobs(40, 3.0, 1.2, 102);
+  DecisionTree c;
+  c.fit(train);
+  for (const FixedPointFormat fmt :
+       {FixedPointFormat{10, 2}, FixedPointFormat{3, 3},
+        FixedPointFormat{2, 2}}) {
+    expect_quantized_consistent(c, test,
+                                {.width = fmt.width(), .format = fmt});
+  }
+}
+
+TEST(QuantizedTest, QuantizationIsFaithfulOnSeparableData) {
+  // Lossy, but not arbitrarily so: on well-separated blobs the int16
+  // auto-fit lowering must agree with the double model almost everywhere.
+  const Dataset train = make_blobs(60, 4.0, 0.8, 111);
+  const Dataset test = make_blobs(40, 4.0, 0.8, 112);
+  DecisionTree c;
+  c.fit(train);
+  const auto qm =
+      compiled::quantize(c, {.width = 16, .format = {}}, max_abs_of(test));
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if (qm->predict_raw(test.features(i)) == c.predict(test.features(i)))
+      ++agree;
+  EXPECT_GE(agree * 10, test.size() * 9);  // >= 90% agreement
+}
+
+TEST(QuantizedTest, UnsupportedModelsThrow) {
+  const Dataset train = make_blobs(30, 3.0, 1.0, 121);
+  const std::vector<double> max_abs(train.feature_count(), 1.0);
+
+  const DecisionTree untrained;
+  EXPECT_THROW(
+      (void)compiled::quantize(untrained, {.width = 16, .format = {}},
+                               max_abs),
+      std::invalid_argument);
+
+  NaiveBayes nb;
+  nb.fit(train);
+  EXPECT_THROW(
+      (void)compiled::quantize(nb, {.width = 16, .format = {}}, max_abs),
+      std::invalid_argument);
+
+  DecisionTree tree;
+  tree.fit(train);
+  // Auto-fit widths must be a storage width (8/16)...
+  EXPECT_THROW(
+      (void)compiled::quantize(tree, {.width = 12, .format = {}}, max_abs),
+      std::invalid_argument);
+  // ...and explicit formats need a sign+magnitude integer part and at
+  // least one fraction bit.
+  EXPECT_THROW((void)compiled::quantize(
+                   tree, {.width = 8, .format = FixedPointFormat{1, 7}},
+                   max_abs),
+               std::invalid_argument);
+  EXPECT_THROW((void)compiled::quantize(
+                   tree, {.width = 8, .format = FixedPointFormat{8, 0}},
+                   max_abs),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- two-stage pipeline ---
+
+CollectorConfig fast_collector() {
+  CollectorConfig cfg;
+  cfg.cycles_per_sample = 20'000;
+  cfg.samples_per_run = 2;
+  cfg.warmup_cycles = 20'000;
+  return cfg;
+}
+
+/// Shared small profiled dataset (built once; profiling dominates runtime).
+const Dataset& small_dataset() {
+  static const Dataset d = [] {
+    CorpusConfig corpus;
+    corpus.scale = 0.04;  // ~145 apps
+    return cached_hpc_dataset(corpus, fast_collector(), /*cache_dir=*/"");
+  }();
+  return d;
+}
+
+/// Shared quantized pipeline (J48 stage 2, int16 auto-fit).
+const TwoStageHmd& quant_pipeline() {
+  static const TwoStageHmd hmd = [] {
+    TwoStageConfig cfg;
+    cfg.stage2_model = "J48";
+    TwoStageHmd h(cfg);
+    h.train(small_dataset());
+    h.quantize({.width = 16, .format = {}}, max_abs_of(small_dataset()));
+    return h;
+  }();
+  return hmd;
+}
+
+void expect_detections_equal(const Detection& a, const Detection& b) {
+  EXPECT_EQ(a.is_malware, b.is_malware);
+  EXPECT_EQ(a.predicted_class, b.predicted_class);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.stage1_confidence),
+            std::bit_cast<std::uint64_t>(b.stage1_confidence));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.stage2_score),
+            std::bit_cast<std::uint64_t>(b.stage2_score));
+}
+
+TEST(QuantTwoStageTest, DetectionsAreBinaryAndNonTrivial) {
+  const TwoStageHmd& hmd = quant_pipeline();
+  ASSERT_TRUE(hmd.quantized());
+  std::size_t malware = 0;
+  for (std::size_t i = 0; i < small_dataset().size(); ++i) {
+    const Detection det = hmd.detect(small_dataset().features(i));
+    // The integer path has no softmax and no probability mass: confidence
+    // is 0 and the stage-2 score is the hardware's binary decision.
+    EXPECT_EQ(det.stage1_confidence, 0.0);
+    EXPECT_TRUE(det.stage2_score == 0.0 || det.stage2_score == 1.0);
+    EXPECT_EQ(det.is_malware, det.stage2_score == 1.0);
+    if (det.is_malware) ++malware;
+  }
+  EXPECT_GT(malware, 0u);  // the loop exercised the quantized stage 2
+}
+
+TEST(QuantTwoStageTest, PredictBatchMatchesDetectAcrossThreadsAndSimd) {
+  const TwoStageHmd& hmd = quant_pipeline();
+  ASSERT_TRUE(hmd.quantized());
+
+  parallel::set_thread_count(1);
+  const auto one = hmd.predict_batch(small_dataset());
+  parallel::set_thread_count(2);
+  const auto two = hmd.predict_batch(small_dataset());
+  parallel::set_thread_count(4);
+  const auto four = hmd.predict_batch(small_dataset());
+  parallel::set_thread_count(0);
+
+  std::vector<Detection> scalar(small_dataset().size());
+  {
+    const ScalarModeGuard guard;
+    simd::force_scalar(true);
+    const auto batch = hmd.predict_batch(small_dataset());
+    std::copy(batch.begin(), batch.end(), scalar.begin());
+  }
+
+  ASSERT_EQ(one.size(), small_dataset().size());
+  ASSERT_EQ(two.size(), one.size());
+  ASSERT_EQ(four.size(), one.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    expect_detections_equal(one[i], two[i]);
+    expect_detections_equal(one[i], four[i]);
+    expect_detections_equal(one[i], scalar[i]);
+    // The 16-sample epoch kernel must reproduce the per-sample path.
+    expect_detections_equal(one[i], hmd.detect(small_dataset().features(i)));
+  }
+}
+
+TEST(QuantTwoStageTest, ScoreEpochQuantAgreesWithDetect) {
+  const TwoStageHmd& hmd = quant_pipeline();
+  const auto& common_plan = hmd.plan().common;
+  const std::size_t nc = common_plan.size();
+  const std::size_t n = small_dataset().size();
+
+  std::vector<double> common(n * nc);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = small_dataset().features(i);
+    for (std::size_t j = 0; j < nc; ++j) common[i * nc + j] = x[common_plan[j]];
+  }
+  std::vector<double> scores(n);
+  std::vector<std::uint8_t> suspected(n);
+  hmd.score_epoch_quant(common.data(), n, nc, scores.data(), suspected.data());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Detection det = hmd.detect(small_dataset().features(i));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(scores[i]),
+              std::bit_cast<std::uint64_t>(det.stage2_score))
+        << "row " << i;
+  }
+}
+
+TEST(QuantTwoStageTest, ClearQuantizedRestoresDoublePath) {
+  TwoStageConfig cfg;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+
+  const auto baseline = hmd.predict_batch(small_dataset());
+  hmd.quantize({.width = 8, .format = {}}, max_abs_of(small_dataset()));
+  ASSERT_TRUE(hmd.quantized());
+  (void)hmd.quantized_stage1();  // must not throw while quantized
+  hmd.clear_quantized();
+  EXPECT_FALSE(hmd.quantized());
+  EXPECT_THROW((void)hmd.quantized_stage1(), std::logic_error);
+
+  const auto restored = hmd.predict_batch(small_dataset());
+  ASSERT_EQ(restored.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i)
+    expect_detections_equal(baseline[i], restored[i]);
+}
+
+TEST(QuantTwoStageTest, TrainAutoQuantizesFromEnv) {
+  const QuantEnvGuard guard("int8");
+  TwoStageConfig cfg;
+  cfg.stage2_model = "OneR";
+  TwoStageHmd hmd(cfg);
+  hmd.train(small_dataset());
+  ASSERT_TRUE(hmd.quantized());
+  EXPECT_TRUE(hmd.quantized_stage1().int8_storage());
+  EXPECT_EQ(hmd.quantized_stage1().format().width(), 8);
+}
+
+}  // namespace
+}  // namespace smart2

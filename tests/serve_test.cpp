@@ -587,7 +587,8 @@ TEST(ServingDocsTest, ServingMdDocumentsEveryEnvKnob) {
   for (const char* knob :
        {"SMART2_SERVE_SHARDS", "SMART2_SERVE_QUEUE", "SMART2_SERVE_STREAM_CAP",
         "SMART2_SERVE_EVICT_TTL", "SMART2_SERVE_DROP_POLICY",
-        "SMART2_SERVE_STREAMS", "SMART2_SERVE_TICKS", "SMART2_THREADS"})
+        "SMART2_SERVE_STREAMS", "SMART2_SERVE_TICKS", "SMART2_THREADS",
+        "SMART2_QUANT"})
     EXPECT_NE(doc.find(knob), std::string::npos)
         << knob << " undocumented in SERVING.md";
   // And the serve observability names SERVING.md points readers at.

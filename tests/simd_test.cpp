@@ -192,6 +192,93 @@ TEST(SimdWrapperTest, RowOffsetsAreLaneTimesStride) {
 
 // ----------------------------------------------------- runtime override --
 
+// -------------------------------------------------- integer lane ops ----
+
+TEST(SimdIntWrapperTest, WrappingAddAndMaddMatchScalarLanewise) {
+  constexpr std::size_t kS = 2 * simd::kIntLanes;
+  // Values chosen so both int16 products and the int32 pair sums exercise
+  // sign mixes, and the int32 add path wraps at least once.
+  std::int16_t a16[kS], b16[kS];
+  for (std::size_t i = 0; i < kS; ++i) {
+    a16[i] = static_cast<std::int16_t>(i % 2 == 0 ? 32000 - 7 * i : -31000);
+    b16[i] = static_cast<std::int16_t>(i % 3 == 0 ? -32768 : 29876 - i);
+  }
+  std::int32_t madd[simd::kIntLanes];
+  simd::istore(madd, simd::smadd(simd::sload(a16), simd::sload(b16)));
+  for (std::size_t l = 0; l < simd::kIntLanes; ++l) {
+    // pmaddwd reference: exact int64 pair sum truncated to int32.
+    const std::int64_t wide =
+        static_cast<std::int64_t>(a16[2 * l]) * b16[2 * l] +
+        static_cast<std::int64_t>(a16[2 * l + 1]) * b16[2 * l + 1];
+    EXPECT_EQ(madd[l], static_cast<std::int32_t>(wide)) << "lane " << l;
+  }
+
+  std::int32_t x32[simd::kIntLanes], add[simd::kIntLanes];
+  for (std::size_t l = 0; l < simd::kIntLanes; ++l)
+    x32[l] = l % 2 == 0 ? 0x7ffffff0 : -0x70000000;
+  simd::istore(add, simd::iadd(simd::iload(x32), simd::ibroadcast(0x123)));
+  for (std::size_t l = 0; l < simd::kIntLanes; ++l) {
+    const std::uint32_t wrapped =
+        static_cast<std::uint32_t>(x32[l]) + std::uint32_t{0x123};
+    EXPECT_EQ(add[l], static_cast<std::int32_t>(wrapped)) << "lane " << l;
+  }
+}
+
+TEST(SimdIntWrapperTest, CompareMaskAndPairFoldMatchScalar) {
+  constexpr std::size_t kS = 2 * simd::kIntLanes;
+  std::int16_t a16[kS], b16[kS];
+  for (std::size_t i = 0; i < kS; ++i) {
+    a16[i] = static_cast<std::int16_t>(static_cast<int>(i) - 3);
+    b16[i] = static_cast<std::int16_t>(i % 2 == 0 ? 0 : i - 3);
+  }
+  const simd::VecS gt = simd::scmpgt(simd::sload(a16), simd::sload(b16));
+  std::int16_t mask[kS];
+  simd::sstore(mask, gt);
+  for (std::size_t i = 0; i < kS; ++i)
+    EXPECT_EQ(mask[i], a16[i] > b16[i] ? -1 : 0) << "elem " << i;
+
+  // smask_pairs: bit l set iff BOTH int16 halves of pair l are all-ones —
+  // the per-sample AND the rule kernel folds with.
+  const std::uint32_t bits = simd::smask_pairs(gt);
+  for (std::size_t l = 0; l < simd::kIntLanes; ++l) {
+    const bool both = a16[2 * l] > b16[2 * l] && a16[2 * l + 1] > b16[2 * l + 1];
+    EXPECT_EQ((bits >> l) & 1u, both ? 1u : 0u) << "pair " << l;
+  }
+  EXPECT_EQ(simd::smask_pairs(simd::strue()),
+            (1u << simd::kIntLanes) - 1u);
+
+  // Mask logic identities the rule kernel relies on.
+  std::int16_t andv[kS], orv[kS], andnotv[kS];
+  const simd::VecS t = simd::strue();
+  simd::sstore(andv, simd::sand(gt, t));
+  simd::sstore(orv, simd::sor(gt, simd::sbroadcast(0)));
+  simd::sstore(andnotv, simd::sandnot(gt, t));  // ~gt & true
+  for (std::size_t i = 0; i < kS; ++i) {
+    EXPECT_EQ(andv[i], mask[i]);
+    EXPECT_EQ(orv[i], mask[i]);
+    EXPECT_EQ(andnotv[i], static_cast<std::int16_t>(~mask[i]));
+  }
+}
+
+TEST(SimdIntWrapperTest, WideningLoadAndPairBroadcast) {
+  constexpr std::size_t kS = 2 * simd::kIntLanes;
+  std::int8_t a8[kS];
+  for (std::size_t i = 0; i < kS; ++i)
+    a8[i] = static_cast<std::int8_t>(i % 2 == 0 ? -128 + static_cast<int>(i)
+                                                : 127 - static_cast<int>(i));
+  std::int16_t widened[kS];
+  simd::sstore(widened, simd::sload8(a8));
+  for (std::size_t i = 0; i < kS; ++i)
+    EXPECT_EQ(widened[i], static_cast<std::int16_t>(a8[i])) << "elem " << i;
+
+  std::int16_t pair[kS];
+  simd::sstore(pair, simd::sbroadcast_pair(-12345, 31000));
+  for (std::size_t l = 0; l < simd::kIntLanes; ++l) {
+    EXPECT_EQ(pair[2 * l], -12345) << "pair " << l;
+    EXPECT_EQ(pair[2 * l + 1], 31000) << "pair " << l;
+  }
+}
+
 TEST(SimdModeTest, ForceScalarSwitchesActiveLanesAndIsa) {
   const ScalarModeGuard guard;
   simd::force_scalar(true);

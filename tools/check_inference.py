@@ -10,7 +10,8 @@ batch: [{n, scalar_ns, simd_ns}]}) and fails when:
   * the best compiled way to evaluate samples — per-sample eval or the
     batched path at any swept batch size, whichever is fastest — loses
     to the interpreted per-sample loop on any of the models whose
-    lowerings promise a win (J48, JRip, Bagging(J48), AdaBoost(OneR)).
+    lowerings promise a win (J48, JRip, Bagging(J48), AdaBoost(OneR),
+    MLR).
     The single-sample compiled-vs-interpreted margin on the small rule /
     ensemble models is single-digit nanoseconds and flips with host and
     ISA flags, so the primary gate compares the batched form (the
@@ -33,7 +34,7 @@ CI build-test / simd jobs.
 import argparse
 import json
 
-GATED_TREE_MODELS = {"J48", "JRip", "Bagging(J48)", "AdaBoost(OneR)"}
+GATED_TREE_MODELS = {"J48", "JRip", "Bagging(J48)", "AdaBoost(OneR)", "MLR"}
 
 # Per-sample compiled may trail per-sample interpreted by jitter on tiny
 # models (a few ns of virtual-dispatch / arena bookkeeping); it must

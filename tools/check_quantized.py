@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate the quantized-inference perf / quality smoke.
+
+Usage: check_quantized.py [--min-int8-speedup X] BENCH_QUANTIZED_JSON
+
+Reads the summary bench_quantized writes (one JSON object with a
+"pipeline" timing block and a "families" bit-width sweep) and fails when:
+
+  * with --min-int8-speedup X (the AVX2 CI job and local runs on vector
+    hardware): the int8 quantized batched pipeline is not at least X times
+    faster than the double SIMD predict_batch path at batch 256 (ns/sample
+    ratio measured in the same run, so host frequency drift cancels);
+  * the int16 quantized path is slower than the double SIMD path at all —
+    int16 keeps every fraction bit the auto-fit proved the features need,
+    so it has no accuracy excuse and must win outright (10% timer-noise
+    tolerance);
+  * any stage-2 family's mean F-measure at width 16 / width 8 degrades
+    from the double baseline by more than the budget the JSON itself
+    declares (fmeasure_budget.int16 / .int8) — the bench binary and this
+    gate share one set of numbers, printed next to the sweep table;
+  * the sweep is missing a family or one of the gated widths.
+
+Exits nonzero with an explanatory assertion on any mismatch. Used by the
+CI quant-smoke job.
+"""
+import argparse
+import json
+
+EXPECTED_FAMILIES = {"J48", "JRip", "MLP", "OneR"}
+
+# int16 carries full fraction precision; it only needs headroom for timer
+# noise against the double SIMD baseline, not an accuracy allowance.
+INT16_VS_DOUBLE_TOLERANCE = 1.10
+
+
+def check(path, min_int8_speedup=None):
+    with open(path) as f:
+        summary = json.load(f)
+
+    pipe = summary["pipeline"]
+    assert pipe["double_simd_ns"] > 0 and pipe["int8_simd_ns"] > 0, pipe
+    assert pipe["int16_simd_ns"] > 0, pipe
+
+    assert pipe["int16_simd_ns"] <= (
+        pipe["double_simd_ns"] * INT16_VS_DOUBLE_TOLERANCE
+    ), (
+        f"int16 quantized pipeline ({pipe['int16_simd_ns']} ns/sample) is "
+        f"slower than the double SIMD path ({pipe['double_simd_ns']} "
+        f"ns/sample) at batch {pipe['batch_n']}"
+    )
+    print(
+        f"ok: int16 {pipe['int16_simd_ns']} ns <= double SIMD "
+        f"{pipe['double_simd_ns']} ns at batch {pipe['batch_n']}"
+    )
+
+    if min_int8_speedup is not None:
+        speedup = pipe["double_simd_ns"] / pipe["int8_simd_ns"]
+        assert speedup >= min_int8_speedup, (
+            f"int8 quantized pipeline ({pipe['int8_simd_ns']} ns/sample) is "
+            f"only {speedup:.2f}x the double SIMD path "
+            f"({pipe['double_simd_ns']} ns/sample) at batch "
+            f"{pipe['batch_n']}; need >= {min_int8_speedup}x"
+        )
+        print(
+            f"ok: int8 {pipe['int8_simd_ns']} ns vs double SIMD "
+            f"{pipe['double_simd_ns']} ns = {speedup:.2f}x "
+            f">= {min_int8_speedup}x"
+        )
+
+    budget = summary["fmeasure_budget"]
+    assert budget["int16"] > 0 and budget["int8"] > 0, budget
+    families = {f["model"]: f for f in summary["families"]}
+    missing = EXPECTED_FAMILIES - set(families)
+    assert not missing, f"bench_quantized summary lacks families: {missing}"
+    for name in sorted(EXPECTED_FAMILIES):
+        fam = families[name]
+        widths = {p["width"]: p["f_measure"] for p in fam["widths"]}
+        for width, allowed in ((16, budget["int16"]), (8, budget["int8"])):
+            assert width in widths, f"{name}: sweep lacks width {width}"
+            drop = fam["double_f"] - widths[width]
+            assert drop <= allowed, (
+                f"{name}: width-{width} mean F-measure {widths[width]:.4f} "
+                f"degrades {drop:.4f} from the double baseline "
+                f"{fam['double_f']:.4f}; budget is {allowed}"
+            )
+            print(
+                f"ok: {name}: w{width} F {widths[width]:.4f} within "
+                f"{allowed} of double {fam['double_f']:.4f} "
+                f"(drop {drop:+.4f})"
+            )
+    print(f"checked {len(EXPECTED_FAMILIES)} families: OK")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("summary", help="BENCH_quantized.json path")
+    parser.add_argument(
+        "--min-int8-speedup",
+        type=float,
+        default=None,
+        help="require the int8 batched pipeline to beat the double SIMD "
+        "path by this factor (only meaningful on vector hardware)",
+    )
+    args = parser.parse_args()
+    check(args.summary, args.min_int8_speedup)
