@@ -19,8 +19,10 @@
 
 #include <cstddef>
 #include <memory>
+#include <new>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace smart2 {
@@ -123,6 +125,60 @@ class ScratchArray {
  private:
   std::size_t size_;
   T* data_;
+};
+
+/// Fixed-size cache-line-aligned heap array of a trivial type — the
+/// backing store for long-lived hot-path structures that want their rows
+/// on aligned lines (the serving ring's SoA window block, the shard
+/// hot-state array). Unlike ScratchStack this is not thread-local and has
+/// no push/pop discipline: allocate once at construction, never resize.
+/// Elements start uninitialized; owners establish their own invariants
+/// (the ring writes before it reads, the slot pool resets on admission).
+template <typename T>
+class AlignedArray {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "AlignedArray holds trivial element types only");
+  static_assert(alignof(T) <= 64, "AlignedArray aligns to cache lines");
+
+ public:
+  static constexpr std::size_t kAlign = 64;
+
+  AlignedArray() = default;
+  explicit AlignedArray(std::size_t n)
+      : size_(n),
+        data_(n == 0 ? nullptr
+                     : static_cast<T*>(::operator new(
+                           n * sizeof(T), std::align_val_t{kAlign}))) {}
+  ~AlignedArray() {
+    if (data_ != nullptr)
+      ::operator delete(data_, std::align_val_t{kAlign});
+  }
+
+  AlignedArray(AlignedArray&& other) noexcept
+      : size_(std::exchange(other.size_, 0)),
+        data_(std::exchange(other.data_, nullptr)) {}
+  AlignedArray& operator=(AlignedArray&& other) noexcept {
+    if (this != &other) {
+      if (data_ != nullptr)
+        ::operator delete(data_, std::align_val_t{kAlign});
+      size_ = std::exchange(other.size_, 0);
+      data_ = std::exchange(other.data_, nullptr);
+    }
+    return *this;
+  }
+  AlignedArray(const AlignedArray&) = delete;
+  AlignedArray& operator=(const AlignedArray&) = delete;
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  std::size_t size_ = 0;
+  T* data_ = nullptr;
 };
 
 }  // namespace smart2

@@ -77,37 +77,53 @@ constexpr const char* kCatalogCounters[] = {
     "serve.swap.generations",     "serve.alarms",
     "serve.verdicts",
 };
-constexpr const char* kCatalogHistograms[] = {
-    "phase.load",           "phase.featurize",
-    "phase.train",          "phase.predict",
-    "two_stage.train",      "two_stage.predict_batch",
-    "stage1.mlr.train",     "stage1.mlr.predict",
-    "stage2.backdoor.train", "stage2.rootkit.train",
-    "stage2.virus.train",    "stage2.trojan.train",
-    "stage2.backdoor.predict", "stage2.rootkit.predict",
-    "stage2.virus.predict",    "stage2.trojan.predict",
-    "ml.mlr.fit",           "ml.j48.fit",
-    "ml.jrip.fit",          "ml.mlp.fit",
-    "ml.oner.fit",          "ml.nb.fit",
-    "ml.bagging.fit",       "adaboost.fit",
-    "adaboost.round",       "cv.run",
-    "cv.fold",              "online.observe",
-    "online.observe_batch", "monitor.scan",
-    "stage1.mlr.predict_compiled",  "stage2.backdoor.predict_compiled",
-    "stage2.rootkit.predict_compiled", "stage2.virus.predict_compiled",
-    "stage2.trojan.predict_compiled",  "compile.two_stage",
-    "compile.model",        "train.presort",
-    "train.split_scan",
-    "stage1.mlr.predict_simd",      "stage2.backdoor.predict_simd",
-    "stage2.rootkit.predict_simd",  "stage2.virus.predict_simd",
-    "stage2.trojan.predict_simd",
-    "stage1.mlr.predict_quant",     "stage2.backdoor.predict_quant",
-    "stage2.rootkit.predict_quant", "stage2.virus.predict_quant",
-    "stage2.trojan.predict_quant",
-    "quantize.model",       "quantize.two_stage",
-    "serve.tick",           "serve.shard.ingest",
-    "serve.epoch.infer",    "serve.swap",
-    "serve.verdict.latency",
+struct CatalogHistogram {
+  const char* name;
+  Histogram::Layout layout;
+};
+constexpr Histogram::Layout kDecade = Histogram::Layout::kDecade;
+constexpr CatalogHistogram kCatalogHistograms[] = {
+    {"phase.load", kDecade},           {"phase.featurize", kDecade},
+    {"phase.train", kDecade},          {"phase.predict", kDecade},
+    {"two_stage.train", kDecade},      {"two_stage.predict_batch", kDecade},
+    {"stage1.mlr.train", kDecade},     {"stage1.mlr.predict", kDecade},
+    {"stage2.backdoor.train", kDecade}, {"stage2.rootkit.train", kDecade},
+    {"stage2.virus.train", kDecade},    {"stage2.trojan.train", kDecade},
+    {"stage2.backdoor.predict", kDecade}, {"stage2.rootkit.predict", kDecade},
+    {"stage2.virus.predict", kDecade},    {"stage2.trojan.predict", kDecade},
+    {"ml.mlr.fit", kDecade},           {"ml.j48.fit", kDecade},
+    {"ml.jrip.fit", kDecade},          {"ml.mlp.fit", kDecade},
+    {"ml.oner.fit", kDecade},          {"ml.nb.fit", kDecade},
+    {"ml.bagging.fit", kDecade},       {"adaboost.fit", kDecade},
+    {"adaboost.round", kDecade},       {"cv.run", kDecade},
+    {"cv.fold", kDecade},              {"online.observe", kDecade},
+    {"online.observe_batch", kDecade}, {"monitor.scan", kDecade},
+    {"stage1.mlr.predict_compiled", kDecade},
+    {"stage2.backdoor.predict_compiled", kDecade},
+    {"stage2.rootkit.predict_compiled", kDecade},
+    {"stage2.virus.predict_compiled", kDecade},
+    {"stage2.trojan.predict_compiled", kDecade},
+    {"compile.two_stage", kDecade},
+    {"compile.model", kDecade},        {"train.presort", kDecade},
+    {"train.split_scan", kDecade},
+    {"stage1.mlr.predict_simd", kDecade},
+    {"stage2.backdoor.predict_simd", kDecade},
+    {"stage2.rootkit.predict_simd", kDecade},
+    {"stage2.virus.predict_simd", kDecade},
+    {"stage2.trojan.predict_simd", kDecade},
+    {"stage1.mlr.predict_quant", kDecade},
+    {"stage2.backdoor.predict_quant", kDecade},
+    {"stage2.rootkit.predict_quant", kDecade},
+    {"stage2.virus.predict_quant", kDecade},
+    {"stage2.trojan.predict_quant", kDecade},
+    {"quantize.model", kDecade},       {"quantize.two_stage", kDecade},
+    {"serve.tick", kDecade},           {"serve.shard.ingest", kDecade},
+    {"serve.epoch.infer", kDecade},    {"serve.epoch.index", kDecade},
+    {"serve.epoch.verdict", kDecade},  {"serve.ingest", kDecade},
+    {"serve.swap", kDecade},
+    // Sub-tick per-sample latencies: the decade layout collapses them into
+    // one bucket (p50 == p999); fine buckets keep percentiles meaningful.
+    {"serve.verdict.latency", Histogram::Layout::kFine},
 };
 
 void register_catalog_locked(GlobalState& g) {
@@ -118,10 +134,10 @@ void register_catalog_locked(GlobalState& g) {
     g.counter_index.emplace(g.counter_entries.back().first,
                             g.counter_entries.size() - 1);
   }
-  for (const char* name : kCatalogHistograms) {
+  for (const CatalogHistogram& entry : kCatalogHistograms) {
     g.histogram_entries.emplace_back(std::piecewise_construct,
-                                     std::forward_as_tuple(name),
-                                     std::forward_as_tuple());
+                                     std::forward_as_tuple(entry.name),
+                                     std::forward_as_tuple(entry.layout));
     g.histogram_index.emplace(g.histogram_entries.back().first,
                               g.histogram_entries.size() - 1);
   }
@@ -288,6 +304,10 @@ Counter& counter(const char* name) {
 }
 
 Histogram& histogram(const char* name) {
+  return histogram(name, Histogram::Layout::kDecade);
+}
+
+Histogram& histogram(const char* name, Histogram::Layout layout) {
   ensure_init();
   GlobalState& g = state();
   const std::string_view key(name);
@@ -303,7 +323,7 @@ Histogram& histogram(const char* name) {
     return g.histogram_entries[it->second].second;
   g.histogram_entries.emplace_back(std::piecewise_construct,
                                    std::forward_as_tuple(key),
-                                   std::forward_as_tuple());
+                                   std::forward_as_tuple(layout));
   g.histogram_index.emplace(g.histogram_entries.back().first,
                             g.histogram_entries.size() - 1);
   return g.histogram_entries.back().second;

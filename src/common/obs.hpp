@@ -29,8 +29,11 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -81,27 +84,102 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Latency histogram with fixed decade bucket edges (1us .. 10s). The
-/// edges are compile-time constants so bucket boundaries never depend on
-/// observed data, and all state is integer atomics so totals are exact and
-/// thread-count independent.
+/// Latency histogram with data-independent bucket edges. All state is
+/// integer atomics so totals are exact and thread-count independent; the
+/// edges are pure functions of the layout so bucket boundaries never
+/// depend on observed data.
 class Histogram {
  public:
-  /// Upper edges in nanoseconds; values >= the last edge land in the
-  /// overflow bucket, so there are kEdges.size() + 1 buckets.
+  /// Bucket geometries (OBSERVABILITY.md, "Histogram buckets"):
+  ///  - kDecade: 9 fixed decade buckets (1 us .. 10 s + overflow). Cheap,
+  ///    order-of-magnitude resolution — the default for every span.
+  ///  - kFine: HdrHistogram-style log-linear buckets, 32 sub-buckets per
+  ///    octave (≈3% relative resolution), exact below 32 ns, overflow at
+  ///    2^35 ns ≈ 34 s; 993 buckets. For distributions whose percentiles
+  ///    must stay distinguishable at nanosecond scale — a decade layout
+  ///    collapses sub-tick serving latencies into one bucket, reporting
+  ///    p50 == p99 == p999 (the serve.verdict.latency failure mode
+  ///    check_serving.py rejects).
+  enum class Layout { kDecade, kFine };
+
+  /// kDecade upper edges in nanoseconds; values >= the last edge land in
+  /// the overflow bucket, so there are kEdges.size() + 1 buckets.
   static constexpr std::array<std::uint64_t, 8> kEdges = {
       1'000ULL,          10'000ULL,        100'000ULL,
       1'000'000ULL,      10'000'000ULL,    100'000'000ULL,
       1'000'000'000ULL,  10'000'000'000ULL};
   static constexpr std::size_t kBucketCount = kEdges.size() + 1;
 
+  /// kFine geometry: one bucket per nanosecond below 2^kFineSubBits, then
+  /// kFineSubBuckets buckets per power-of-two octave up to the overflow
+  /// threshold 2^kFineOverflowExp.
+  static constexpr std::size_t kFineSubBits = 5;
+  static constexpr std::size_t kFineSubBuckets = std::size_t{1}
+                                                << kFineSubBits;
+  static constexpr std::size_t kFineOverflowExp = 35;
+  static constexpr std::size_t kFineBucketCount =
+      kFineSubBuckets +
+      (kFineOverflowExp - kFineSubBits) * kFineSubBuckets + 1;
+
+  explicit Histogram(Layout layout = Layout::kDecade)
+      : layout_(layout),
+        bucket_count_(layout == Layout::kFine ? kFineBucketCount
+                                              : kBucketCount),
+        buckets_(new std::atomic<std::uint64_t>[bucket_count_]) {
+    for (std::size_t i = 0; i < bucket_count_; ++i)
+      buckets_[i].store(0, std::memory_order_relaxed);
+  }
+
+  Layout layout() const noexcept { return layout_; }
+  std::size_t bucket_count() const noexcept { return bucket_count_; }
+
+  /// Bucket index of a duration under this layout.
+  // SMART2_HOT
+  std::size_t bucket_index(std::uint64_t ns) const noexcept {
+    if (layout_ == Layout::kDecade) {
+      std::size_t b = 0;
+      while (b < kEdges.size() && ns >= kEdges[b]) ++b;
+      return b;
+    }
+    if (ns < kFineSubBuckets) return static_cast<std::size_t>(ns);
+    const std::size_t e = static_cast<std::size_t>(std::bit_width(ns)) - 1;
+    if (e >= kFineOverflowExp) return kFineBucketCount - 1;
+    return kFineSubBuckets + (e - kFineSubBits) * kFineSubBuckets +
+           static_cast<std::size_t>((ns >> (e - kFineSubBits)) &
+                                    (kFineSubBuckets - 1));
+  }
+
+  /// Exclusive upper edge of bucket i in nanoseconds (UINT64_MAX for the
+  /// overflow bucket).
+  std::uint64_t bucket_edge(std::size_t i) const noexcept {
+    if (layout_ == Layout::kDecade)
+      return i < kEdges.size() ? kEdges[i]
+                               : std::numeric_limits<std::uint64_t>::max();
+    if (i < kFineSubBuckets) return i + 1;
+    if (i >= kFineBucketCount - 1)
+      return std::numeric_limits<std::uint64_t>::max();
+    const std::size_t octave = (i - kFineSubBuckets) >> kFineSubBits;
+    const std::size_t sub = (i - kFineSubBuckets) & (kFineSubBuckets - 1);
+    return static_cast<std::uint64_t>(kFineSubBuckets + sub + 1) << octave;
+  }
+
   // SMART2_HOT
   void observe_ns(std::uint64_t ns) noexcept {
-    std::size_t b = 0;
-    while (b < kEdges.size() && ns >= kEdges[b]) ++b;
-    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  /// Record `n` observations of the same duration with one set of atomic
+  /// adds. Bit-identical registry state to calling observe_ns(ns) n times
+  /// — the run-length fast path for producers whose timestamps arrive in
+  /// equal-valued runs (the serving path's strided ingest stamps).
+  // SMART2_HOT
+  void observe_ns_n(std::uint64_t ns, std::uint64_t n) noexcept {
+    if (n == 0) return;
+    buckets_[bucket_index(ns)].fetch_add(n, std::memory_order_relaxed);
+    count_.fetch_add(n, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns * n, std::memory_order_relaxed);
   }
 
   std::uint64_t count() const noexcept {
@@ -114,14 +192,35 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Upper edge of the bucket holding the q-quantile observation (a
+  /// conservative bound: the true quantile is <= the returned value, and
+  /// at most one bucket width below it). 0 when empty; UINT64_MAX when the
+  /// quantile lands in the overflow bucket.
+  std::uint64_t quantile_upper_ns(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(n));
+    if (rank >= n) rank = n - 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bucket_count_; ++i) {
+      seen += bucket(i);
+      if (seen > rank) return bucket_edge(i);
+    }
+    return bucket_edge(bucket_count_ - 1);
+  }
+
   void clear() noexcept {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < bucket_count_; ++i)
+      buckets_[i].store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_ns_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  Layout layout_;
+  std::size_t bucket_count_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_ns_{0};
 };
@@ -133,6 +232,10 @@ class Histogram {
 /// stays greppable and schema-stable.
 Counter& counter(const char* name);
 Histogram& histogram(const char* name);
+/// As histogram(name), but a first-use registration takes `layout`. An
+/// already-registered name keeps its existing layout (the catalog wins —
+/// pick the layout there, not at call sites).
+Histogram& histogram(const char* name, Histogram::Layout layout);
 
 /// Insertion-order snapshot of the registry (never hash-order; rendering
 /// from these is bit-stable).

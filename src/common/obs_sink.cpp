@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "common/parallel.hpp"
@@ -26,12 +27,33 @@ void append_json_string(std::string& out, std::string_view s) {
   out += '"';
 }
 
-/// Human label for histogram bucket `i` ("<1ms", ">=10s").
-std::string bucket_label(std::size_t i) {
-  static const char* kLabels[] = {"1us",   "10us", "100us", "1ms", "10ms",
-                                  "100ms", "1s",   "10s"};
-  if (i < Histogram::kEdges.size()) return std::string("<") + kLabels[i];
-  return std::string(">=") + kLabels[Histogram::kEdges.size() - 1];
+/// Compact duration label ("740ns", "23.4us", "1.2ms").
+std::string format_ns(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= std::numeric_limits<std::uint64_t>::max() / 2) return ">=34s";
+  if (ns < 1'000)
+    std::snprintf(buf, sizeof buf, "%lluns",
+                  static_cast<unsigned long long>(ns));
+  else if (ns < 1'000'000)
+    std::snprintf(buf, sizeof buf, "%.1fus", static_cast<double>(ns) / 1e3);
+  else if (ns < 1'000'000'000ULL)
+    std::snprintf(buf, sizeof buf, "%.1fms", static_cast<double>(ns) / 1e6);
+  else
+    std::snprintf(buf, sizeof buf, "%.1fs", static_cast<double>(ns) / 1e9);
+  return buf;
+}
+
+/// Human label for bucket `i` of `h` ("<1ms", ">=10s"; fine layouts use
+/// the exact bucket edge, e.g. "<23.4us").
+std::string bucket_label(const Histogram& h, std::size_t i) {
+  if (h.layout() == Histogram::Layout::kDecade) {
+    static const char* kLabels[] = {"1us",   "10us", "100us", "1ms", "10ms",
+                                    "100ms", "1s",   "10s"};
+    if (i < Histogram::kEdges.size()) return std::string("<") + kLabels[i];
+    return std::string(">=") + kLabels[Histogram::kEdges.size() - 1];
+  }
+  if (i >= h.bucket_count() - 1) return ">=34s";
+  return std::string("<") + format_ns(h.bucket_edge(i));
 }
 
 /// Upper-edge label of the bucket containing the p-quantile.
@@ -40,11 +62,11 @@ std::string quantile_label(const Histogram& h, double p) {
   if (total == 0) return "-";
   const double target = p * static_cast<double>(total);
   std::uint64_t cumulative = 0;
-  for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
     cumulative += h.bucket(b);
-    if (static_cast<double>(cumulative) >= target) return bucket_label(b);
+    if (static_cast<double>(cumulative) >= target) return bucket_label(h, b);
   }
-  return bucket_label(Histogram::kBucketCount - 1);
+  return bucket_label(h, h.bucket_count() - 1);
 }
 
 }  // namespace
@@ -94,7 +116,7 @@ std::string trace_to_json() {
     out += ", \"timing\": {\"sum_ns\": " +
            std::to_string(h.histogram->sum_ns());
     out += ", \"buckets\": [";
-    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+    for (std::size_t b = 0; b < h.histogram->bucket_count(); ++b) {
       if (b != 0) out += ", ";
       out += std::to_string(h.histogram->bucket(b));
     }

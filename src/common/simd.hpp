@@ -79,6 +79,22 @@ struct VecD {
 };
 #endif
 
+// ------------------------------------------------------------ prefetch
+
+/// Read-prefetch the cache line holding `p` into all cache levels. A pure
+/// latency hint for pointer-chasing hot loops (the serving stream-index
+/// probes and LRU walks): issuing it a few iterations ahead overlaps the
+/// miss with useful work. No-op on toolchains without __builtin_prefetch —
+/// never affects results, only timing.
+// SMART2_HOT
+inline void prefetch(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 // ------------------------------------------------------------ runtime mode
 
 /// True when SMART2_SIMD=scalar (or force_scalar(true)) has disabled the
@@ -629,3 +645,9 @@ inline std::uint32_t smask_pairs(VecS mask) noexcept {
 #endif
 
 }  // namespace smart2::simd
+
+namespace smart2 {
+/// The serving hot paths use the hint as smart2::prefetch; one name, one
+/// implementation (simd::prefetch above).
+using simd::prefetch;
+}  // namespace smart2

@@ -101,13 +101,14 @@ OnlineDetectorBank::OnlineDetectorBank(const TwoStageHmd& hmd,
   for (std::size_t s = 0; s < streams; ++s) streams_.emplace_back(hmd, config);
 }
 
-// One epoch of the batched tick. The whole block runs stage 1 through the
-// SIMD batch kernel; the low-benign-confidence subset is then gathered per
-// suspected class and scored by that class's stage-2 detector in slot
-// order (for Common4 detectors the window itself is the stage-2 feature
-// vector). Finally each stream's EWMA / hysteresis state advances via the
-// same apply_window() the lone observe() uses, so verdicts are
-// bit-identical to feeding each stream individually.
+// One epoch of the batched tick. The bank's streams arrive as one window
+// vector each, so the block is gathered into a row-major common buffer
+// once, then scored by the shared serving epoch kernel
+// (TwoStageHmd::score_epoch_into — stage 1 through the SIMD batch kernel,
+// the low-benign-confidence subset scored in place by each suspected
+// class's stage-2 detector). Finally each stream's EWMA / hysteresis state
+// advances via the same apply_window() the lone observe() uses, so
+// verdicts are bit-identical to feeding each stream individually.
 // SMART2_HOT
 void OnlineDetectorBank::observe_epoch(
     std::span<const std::vector<double>> windows, std::size_t begin,
@@ -121,56 +122,14 @@ void OnlineDetectorBank::observe_epoch(
     const std::vector<double>& w = windows[begin + i];
     for (std::size_t j = 0; j < nc; ++j) common[i * nc + j] = w[j];
   }
-  const ScratchSpan proba_s(m * kNumAppClasses);
-  double* proba = proba_s.data();
-  hmd_->stage1_proba_batch_into(common, m, nc, proba);
 
-  // Score each window: confident-benign rows keep their residual malware
-  // mass, the rest queue for their suspected class's stage-2 detector.
   const ScratchSpan scores_s(m);
-  double* scores = scores_s.data();
-  ScratchArray<std::uint8_t> slot_of(m);
   ScratchArray<std::uint8_t> suspected_of(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* p = proba + i * kNumAppClasses;
-    std::size_t best_slot = 0;
-    for (std::size_t s = 1; s < kNumMalwareClasses; ++s)
-      if (p[static_cast<std::size_t>(label_of(kMalwareClasses[s]))] >
-          p[static_cast<std::size_t>(label_of(kMalwareClasses[best_slot]))])
-        best_slot = s;
-    suspected_of[i] = static_cast<std::uint8_t>(best_slot);
-    const double benign_p =
-        p[static_cast<std::size_t>(label_of(AppClass::kBenign))];
-    if (benign_p >= 0.95) {
-      scores[i] = 1.0 - benign_p;
-      slot_of[i] = static_cast<std::uint8_t>(kNumMalwareClasses);
-    } else {
-      slot_of[i] = suspected_of[i];
-    }
-  }
-
-  const ScratchSpan feats_s(m * nc);
-  const ScratchSpan sub_scores_s(m);
-  ScratchArray<std::uint32_t> rows(m);
-  for (std::size_t s = 0; s < kNumMalwareClasses; ++s) {
-    std::size_t cnt = 0;
-    for (std::size_t i = 0; i < m; ++i)
-      if (slot_of[i] == s) rows[cnt++] = static_cast<std::uint32_t>(i);
-    if (cnt == 0) continue;
-    double* feats = feats_s.data();
-    for (std::size_t j = 0; j < cnt; ++j) {
-      const double* src = common + rows[j] * nc;
-      std::copy(src, src + nc, feats + j * nc);
-    }
-    hmd_->stage2_score_batch_into(kMalwareClasses[s], feats, cnt, nc,
-                                  {sub_scores_s.data(), cnt});
-    for (std::size_t j = 0; j < cnt; ++j)
-      scores[rows[j]] = sub_scores_s.data()[j];
-  }
+  hmd_->score_epoch_into(common, m, nc, scores_s.data(), suspected_of.data());
 
   for (std::size_t i = 0; i < m; ++i)
     out[begin + i] = streams_[begin + i].apply_window(
-        scores[i], kMalwareClasses[suspected_of[i]]);
+        scores_s.data()[i], kMalwareClasses[suspected_of[i]]);
 }
 
 // SMART2_HOT

@@ -693,6 +693,68 @@ void TwoStageHmd::detect_epoch_quant(const Dataset& samples,
   }
 }
 
+// The double-path analogue of score_epoch_quant: one epoch of per-window
+// serving scores straight off a caller-owned row-major common block (the
+// serving ring's SoA window storage — nothing is copied in). Routing is
+// OnlineDetector::observe's, row-batched; the stage-2 subset is scored by
+// predict_proba_rows_into reading the common rows in place.
+// SMART2_HOT
+void TwoStageHmd::score_epoch_into(const double* common, std::size_t n,
+                                   std::size_t stride, double* scores,
+                                   std::uint8_t* suspected) const {
+  if (!trained_) throw std::logic_error("TwoStageHmd: not trained");
+  if (!compiled_stage1_)
+    throw std::logic_error(
+        "TwoStageHmd::score_epoch_into: pipeline is not compiled");
+  if (n == 0) return;
+
+  const ScratchSpan proba_s(n * kNumAppClasses);
+  double* proba = proba_s.data();
+  stage1_proba_batch_into(common, n, stride, proba);
+
+  // Score each window exactly as OnlineDetector::observe does: a
+  // confident-benign row keeps its residual malware mass, the rest queue
+  // for their suspected class's stage-2 detector.
+  ScratchArray<std::uint8_t> slot_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* p = proba + i * kNumAppClasses;
+    std::size_t best_slot = 0;
+    for (std::size_t s = 1; s < kNumMalwareClasses; ++s)
+      if (p[static_cast<std::size_t>(label_of(kMalwareClasses[s]))] >
+          p[static_cast<std::size_t>(label_of(kMalwareClasses[best_slot]))])
+        best_slot = s;
+    suspected[i] = static_cast<std::uint8_t>(best_slot);
+    const double benign_p =
+        p[static_cast<std::size_t>(label_of(AppClass::kBenign))];
+    if (benign_p >= 0.95) {
+      scores[i] = 1.0 - benign_p;
+      slot_of[i] = static_cast<std::uint8_t>(kNumMalwareClasses);
+    } else {
+      slot_of[i] = suspected[i];
+    }
+  }
+
+  const ScratchSpan sub_proba_s(n * 2);
+  ScratchArray<std::uint32_t> rows(n);
+  for (std::size_t s = 0; s < kNumMalwareClasses; ++s) {
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (slot_of[i] == s) rows[cnt++] = static_cast<std::uint32_t>(i);
+    if (cnt == 0) continue;
+    if (!cplan_.stage2_from_common[s])
+      throw std::logic_error(
+          "TwoStageHmd::score_epoch_into: stage-2 plan is not a prefix of "
+          "the common plan (Common4 serving contract)");
+    if (obs::metrics_enabled()) obs::counter("stage2.dispatch").add(cnt);
+    const obs::Span span(kStage2PredictSimdSpans[s]);
+    compiled_stage2_[s]->predict_proba_rows_into(common, &rows[0], cnt,
+                                                 stride, sub_proba_s.data(),
+                                                 2);
+    for (std::size_t j = 0; j < cnt; ++j)
+      scores[rows[j]] = sub_proba_s.data()[j * 2 + 1];
+  }
+}
+
 // SMART2_HOT
 void TwoStageHmd::score_epoch_quant(const double* common, std::size_t n,
                                     std::size_t stride, double* scores,

@@ -117,6 +117,22 @@ class TwoStageHmd {
   const compiled::QuantizedModel& quantized_stage1() const;
   const compiled::QuantizedModel& quantized_stage2(AppClass c) const;
 
+  /// Double-path serving epoch over a caller-owned SoA block: stage-1
+  /// probabilities for `n` rows of `common` (row-major, `stride` doubles
+  /// per row, plan().common order) through the SIMD batch kernel, then
+  /// OnlineDetector::observe's routing per row — a row with
+  /// P(benign) >= 0.95 keeps its residual malware mass 1 - P(benign), the
+  /// rest are scored by the suspected class's stage-2 detector reading the
+  /// common rows in place (Common4 serving: the stage-2 features are a
+  /// prefix of the common row, so there is no re-gather). suspected[i] is
+  /// the stage-2 slot of the likeliest malware class. (scores[i],
+  /// suspected[i]) is bit-identical to OnlineDetector::observe on row i
+  /// for every SMART2_SIMD mode and every way of chunking rows into
+  /// epochs. Requires a compile()d pipeline.
+  void score_epoch_into(const double* common, std::size_t n,
+                        std::size_t stride, double* scores,
+                        std::uint8_t* suspected) const;
+
   /// Quantized serving epoch: stage-1 integer argmax over `n` rows of
   /// `common` (row-major, `stride` doubles per row, plan().common order);
   /// rows routed to a malware class are scored {0.0, 1.0} by that class's

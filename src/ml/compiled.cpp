@@ -158,6 +158,38 @@ void CompiledModel::predict_proba_batch_into(const double* x, std::size_t n,
 }
 
 // SMART2_HOT
+void CompiledModel::eval_rows_batch(const double* x, const std::uint32_t* rows,
+                                    std::size_t cnt, std::size_t x_stride,
+                                    double* out, std::size_t out_stride,
+                                    double* scratch) const {
+  // Gather the scattered rows into one contiguous block, then reuse the
+  // (possibly SIMD-overridden) contiguous batch kernel. Row-wise
+  // bit-identity of eval_batch makes the gather semantically invisible.
+  const ScratchSpan gathered(cnt * features_);
+  double* g = gathered.data();
+  for (std::size_t j = 0; j < cnt; ++j) {
+    const double* src = x + rows[j] * x_stride;
+    for (std::size_t f = 0; f < features_; ++f) g[j * features_ + f] = src[f];
+  }
+  eval_batch(g, cnt, features_, out, out_stride, scratch);
+}
+
+// SMART2_HOT
+void CompiledModel::predict_proba_rows_into(const double* x,
+                                            const std::uint32_t* rows,
+                                            std::size_t cnt,
+                                            std::size_t x_stride, double* out,
+                                            std::size_t out_stride) const {
+  if (cnt == 0) return;
+  if (batch_scratch_ == 0) {
+    eval_rows_batch(x, rows, cnt, x_stride, out, out_stride, nullptr);
+    return;
+  }
+  const ScratchSpan scratch(batch_scratch_);
+  eval_rows_batch(x, rows, cnt, x_stride, out, out_stride, scratch.data());
+}
+
+// SMART2_HOT
 int CompiledModel::predict(std::span<const double> x) const {
   const ScratchSpan s(classes_ + scratch_);
   const std::span<double> proba(s.data(), classes_);
@@ -295,6 +327,20 @@ void FlatTree::eval_batch(const double* x, std::size_t n,
     }
   }
   eval_rows(x, i, n, x_stride, out, out_stride, scratch);
+}
+
+// SMART2_HOT
+void FlatTree::eval_rows_batch(const double* x, const std::uint32_t* rows,
+                               std::size_t cnt, std::size_t x_stride,
+                               double* out, std::size_t out_stride,
+                               double* scratch) const {
+  // A descent touches at most depth features of each row, so walking the
+  // scattered rows in place beats gathering them first. eval_batch's
+  // per-row loop is eval() row by row, so this is bit-identical to the
+  // base gather-then-batch path.
+  for (std::size_t j = 0; j < cnt; ++j)
+    eval({x + rows[j] * x_stride, features_},
+         {out + j * out_stride, classes_}, scratch);
 }
 
 // ---------------------------------------------------------------------------

@@ -86,6 +86,17 @@ class CompiledModel {
                                 std::size_t x_stride, double* out,
                                 std::size_t out_stride) const;
 
+  /// predict_proba_batch_into over `cnt` scattered rows of a row-major
+  /// block: entry j reads x[rows[j] * x_stride .. +feature_count()) and
+  /// writes out[j * out_stride ..). The serving epoch path routes each
+  /// stage-2 subset through this so suspect rows are scored straight out
+  /// of the shared common block. Entry j is bit-identical to
+  /// predict_proba_into on row rows[j] (the batch kernels are row-wise
+  /// bit-identical, so gathering first changes nothing).
+  void predict_proba_rows_into(const double* x, const std::uint32_t* rows,
+                               std::size_t cnt, std::size_t x_stride,
+                               double* out, std::size_t out_stride) const;
+
   /// Raw evaluation into `out` with caller-provided scratch of at least
   /// scratch_doubles() doubles. Public so ensemble lowerings can drive
   /// member models with partitions of their own scratch block.
@@ -99,6 +110,16 @@ class CompiledModel {
   virtual void eval_batch(const double* x, std::size_t n,
                           std::size_t x_stride, double* out,
                           std::size_t out_stride, double* scratch) const;
+
+  /// Raw scattered-row evaluation behind predict_proba_rows_into. The base
+  /// implementation gathers the rows into a scratch block and runs
+  /// eval_batch on it; FlatTree overrides it to descend each row in place
+  /// (a tree eval reads a handful of features — gathering whole rows first
+  /// costs more than the descent).
+  virtual void eval_rows_batch(const double* x, const std::uint32_t* rows,
+                               std::size_t cnt, std::size_t x_stride,
+                               double* out, std::size_t out_stride,
+                               double* scratch) const;
 
  protected:
   CompiledModel(std::size_t classes, std::size_t features, std::size_t scratch)
@@ -159,6 +180,10 @@ class FlatTree final : public CompiledModel {
   void eval_batch(const double* x, std::size_t n, std::size_t x_stride,
                   double* out, std::size_t out_stride,
                   double* scratch) const override;
+  void eval_rows_batch(const double* x, const std::uint32_t* rows,
+                       std::size_t cnt, std::size_t x_stride, double* out,
+                       std::size_t out_stride,
+                       double* scratch) const override;
 
   std::size_t node_count() const noexcept { return feature_.size(); }
 

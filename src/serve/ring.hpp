@@ -1,51 +1,63 @@
 // Fixed-capacity FIFO ring of HPC window samples — one per serving shard.
 //
-// The ring is the shard's ingestion queue: producers push one Sample per
+// The ring is the shard's ingestion queue: producers push one sample per
 // monitored-process sampling window, the shard's tick drains it in arrival
 // order through the epoch-batched inference path. Capacity is fixed at
 // construction (the backpressure bound); a full ring never reallocates —
 // admission control decides whether the new sample is rejected
 // (drop-newest) or the queue head is overwritten (drop-oldest). See
 // SERVING.md for the drop-policy contract.
+//
+// Storage is structure-of-arrays: stream ids, ingest timestamps, and the
+// window values live in three parallel circular arrays, with the windows
+// packed row-major (kCommonFeatureCount doubles per sample) in one
+// cache-line-aligned block. A physically contiguous run of queued samples
+// is therefore ALREADY the row-major `common` block the SIMD epoch kernels
+// consume — the tick hands window_block() straight to
+// TwoStageHmd::score_epoch_into with zero per-sample copying. consume()
+// rebases the head to 0 whenever the ring empties, so in the steady state
+// (every tick drains the whole queue) epochs never straddle the physical
+// wrap point and every epoch is one contiguous block.
 #pragma once
 
-#include <array>
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
+#include "common/arena.hpp"
 #include "core/feature_plan.hpp"
 
 namespace smart2::serve {
 
-/// One sampling window of one monitored stream: the 4 Common HPC values in
-/// the pipeline's plan().common order. `ingest_ns` (obs::now_ns() at
-/// submit) feeds only the serve.verdict.latency histogram — verdict bytes
-/// never depend on it.
-struct Sample {
-  std::uint64_t stream_id = 0;
-  std::uint64_t ingest_ns = 0;
-  std::array<double, kCommonFeatureCount> window{};
-};
-
-/// Single-writer fixed-capacity circular FIFO. All storage is allocated at
-/// construction; push/pop never touch the heap (the steady-state ingest
-/// path is zero-allocation, alloc_test asserts it).
+/// Single-writer fixed-capacity circular FIFO over SoA storage. All
+/// storage is allocated at construction; push/pop never touch the heap
+/// (the steady-state ingest path is zero-allocation, alloc_test asserts
+/// it). `ingest_ns` (obs::now_ns() at submit) feeds only the
+/// serve.verdict.latency histogram — verdict bytes never depend on it.
 class SampleRing {
  public:
   explicit SampleRing(std::size_t capacity)
-      : slots_(capacity > 0 ? capacity : 1) {}
+      : cap_(capacity > 0 ? capacity : 1),
+        ids_(cap_),
+        ingest_ns_(cap_),
+        windows_(cap_ * kCommonFeatureCount) {}
 
-  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t capacity() const noexcept { return cap_; }
   std::size_t size() const noexcept { return count_; }
   bool empty() const noexcept { return count_ == 0; }
-  bool full() const noexcept { return count_ == slots_.size(); }
+  bool full() const noexcept { return count_ == cap_; }
 
-  /// Append at the tail. Returns false (ring unchanged) when full.
+  /// Append at the tail (window holds kCommonFeatureCount doubles in
+  /// plan().common order). Returns false (ring unchanged) when full.
   // SMART2_HOT
-  bool push(const Sample& s) noexcept {
-    if (count_ == slots_.size()) return false;
-    slots_[wrap(head_ + count_)] = s;
+  bool push(std::uint64_t stream_id, std::uint64_t ingest_ns,
+            const double* window) noexcept {
+    if (count_ == cap_) return false;
+    const std::size_t p = wrap(head_ + count_);
+    ids_[p] = stream_id;
+    ingest_ns_[p] = ingest_ns;
+    double* dst = windows_.data() + p * kCommonFeatureCount;
+    for (std::size_t j = 0; j < kCommonFeatureCount; ++j) dst[j] = window[j];
     ++count_;
     return true;
   }
@@ -58,17 +70,14 @@ class SampleRing {
     --count_;
   }
 
-  /// The i-th queued sample in arrival order (i < size()).
-  // SMART2_HOT
-  const Sample& at(std::size_t i) const noexcept {
-    return slots_[wrap(head_ + i)];
-  }
-
-  /// Release the first n queued samples (after an epoch consumed them).
+  /// Release the first n queued samples (after the tick consumed them).
+  /// Rebases the head to the physical start whenever the ring empties, so
+  /// full drains keep future epochs contiguous.
   // SMART2_HOT
   void consume(std::size_t n) noexcept {
     head_ = wrap(head_ + n);
     count_ -= n;
+    if (count_ == 0) head_ = 0;
   }
 
   void clear() noexcept {
@@ -76,12 +85,50 @@ class SampleRing {
     count_ = 0;
   }
 
- private:
-  std::size_t wrap(std::size_t i) const noexcept {
-    return i < slots_.size() ? i : i - slots_.size();
+  /// Per-sample accessors, logical index i in arrival order (i < size()).
+  std::uint64_t stream_id_at(std::size_t i) const noexcept {
+    return ids_[wrap(head_ + i)];
+  }
+  std::uint64_t ingest_ns_at(std::size_t i) const noexcept {
+    return ingest_ns_[wrap(head_ + i)];
+  }
+  const double* window_at(std::size_t i) const noexcept {
+    return windows_.data() + wrap(head_ + i) * kCommonFeatureCount;
   }
 
-  std::vector<Sample> slots_;
+  /// Longest physically contiguous run of queued samples starting at
+  /// logical index i: min(size() - i, distance to the wrap point). The
+  /// block accessors below are valid for exactly this many samples.
+  // SMART2_HOT
+  std::size_t contiguous(std::size_t i) const noexcept {
+    return std::min(count_ - i, cap_ - wrap(head_ + i));
+  }
+
+  /// Zero-copy block views starting at logical index i (row-major, one
+  /// sample per row; windows stride kCommonFeatureCount doubles). Valid
+  /// for contiguous(i) samples.
+  // SMART2_HOT
+  const double* window_block(std::size_t i) const noexcept {
+    return windows_.data() + wrap(head_ + i) * kCommonFeatureCount;
+  }
+  // SMART2_HOT
+  const std::uint64_t* id_block(std::size_t i) const noexcept {
+    return ids_.data() + wrap(head_ + i);
+  }
+  // SMART2_HOT
+  const std::uint64_t* ingest_block(std::size_t i) const noexcept {
+    return ingest_ns_.data() + wrap(head_ + i);
+  }
+
+ private:
+  std::size_t wrap(std::size_t i) const noexcept {
+    return i < cap_ ? i : i - cap_;
+  }
+
+  std::size_t cap_;
+  AlignedArray<std::uint64_t> ids_;
+  AlignedArray<std::uint64_t> ingest_ns_;
+  AlignedArray<double> windows_;  // cap_ rows of kCommonFeatureCount
   std::size_t head_ = 0;
   std::size_t count_ = 0;
 };

@@ -7,6 +7,7 @@
 
 #include "common/arena.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "serve/hash.hpp"
 
 namespace smart2::serve {
@@ -74,8 +75,8 @@ ServeConfig ServeConfig::from_env() {
 }
 
 DetectionService::Shard::Shard(const ServeConfig& cfg)
-    : ring(cfg.queue_capacity) {
-  slots.resize(cfg.max_streams_per_shard);
+    : ring(cfg.queue_capacity), hot(cfg.max_streams_per_shard) {
+  cold.resize(cfg.max_streams_per_shard);
   // Pop order is back-first: fill in reverse so slot 0 is admitted first
   // (stable slot assignment for a fixed ingest script).
   free_slots.reserve(cfg.max_streams_per_shard);
@@ -85,7 +86,7 @@ DetectionService::Shard::Shard(const ServeConfig& cfg)
   // slot capacity. Linear probing then always finds an empty cell.
   std::size_t cells = 8;
   while (cells < 2 * cfg.max_streams_per_shard) cells *= 2;
-  table.assign(cells, kNull);
+  table.assign(cells, IndexCell{});
   table_mask = static_cast<std::uint32_t>(cells - 1);
   log.resize(cfg.queue_capacity);
 }
@@ -93,9 +94,11 @@ DetectionService::Shard::Shard(const ServeConfig& cfg)
 // SMART2_HOT
 std::uint32_t DetectionService::index_lookup(const Shard& sh,
                                              std::uint64_t id) const noexcept {
+  // Cells carry the id, so the probe run stays inside the table — no
+  // slot-pool dereference per step.
   std::uint32_t p = table_home(id, sh.table_mask);
-  while (sh.table[p] != kNull) {
-    if (sh.slots[sh.table[p]].stream_id == id) return sh.table[p];
+  while (sh.table[p].slot != kNull) {
+    if (sh.table[p].id == id) return sh.table[p].slot;
     p = (p + 1) & sh.table_mask;
   }
   return kNull;
@@ -105,21 +108,22 @@ std::uint32_t DetectionService::index_lookup(const Shard& sh,
 void DetectionService::index_insert(Shard& sh, std::uint64_t id,
                                     std::uint32_t slot) noexcept {
   std::uint32_t p = table_home(id, sh.table_mask);
-  while (sh.table[p] != kNull) p = (p + 1) & sh.table_mask;
-  sh.table[p] = slot;
+  while (sh.table[p].slot != kNull) p = (p + 1) & sh.table_mask;
+  sh.table[p].id = id;
+  sh.table[p].slot = slot;
 }
 
 // SMART2_HOT
 void DetectionService::index_erase(Shard& sh, std::uint64_t id) noexcept {
   const std::uint32_t mask = sh.table_mask;
   std::uint32_t p = table_home(id, mask);
-  while (sh.slots[sh.table[p]].stream_id != id) p = (p + 1) & mask;
+  while (sh.table[p].id != id || sh.table[p].slot == kNull)
+    p = (p + 1) & mask;
   // Backward-shift deletion: pull every displaced successor of the probe
   // run into the hole so lookups never need tombstones.
   std::uint32_t q = (p + 1) & mask;
-  while (sh.table[q] != kNull) {
-    const std::uint32_t home = table_home(sh.slots[sh.table[q]].stream_id,
-                                          mask);
+  while (sh.table[q].slot != kNull) {
+    const std::uint32_t home = table_home(sh.table[q].id, mask);
     // q's entry may fill the hole iff its home precedes-or-is the hole in
     // circular probe order: (q - home) spans at least back to p.
     if (((q - home) & mask) >= ((q - p) & mask)) {
@@ -128,12 +132,14 @@ void DetectionService::index_erase(Shard& sh, std::uint64_t id) noexcept {
     }
     q = (q + 1) & mask;
   }
-  sh.table[p] = kNull;
+  sh.table[p] = IndexCell{};
 }
 
 DetectionService::DetectionService(std::shared_ptr<const TwoStageHmd> model,
                                    ServeConfig config)
     : config_(config),
+      batched_index_(config.index_mode == IndexMode::kAuto &&
+                     config.max_streams_per_shard > TwoStageHmd::kDetectEpoch),
       model_(std::move(model)),
       c_accepted_(&obs::counter("serve.ingest.accepted")),
       c_dropped_(&obs::counter("serve.ingest.dropped")),
@@ -180,39 +186,44 @@ bool DetectionService::submit(std::uint64_t stream_id,
   ++sh.submitted;
   const bool metrics = obs::metrics_enabled();
 
-  Sample sample;
-  sample.stream_id = stream_id;
-  sample.ingest_ns = metrics ? obs::now_ns() : 0;
-  for (std::size_t j = 0; j < kCommonFeatureCount; ++j)
-    sample.window[j] = window[j];
-
   if (sh.ring.full()) {
     ++sh.dropped;
-    if (metrics) c_dropped_->add();
     if (config_.drop_policy == DropPolicy::kDropNewest) return false;
     sh.ring.pop_front();  // kDropOldest: freshness wins over history
   }
-  sh.ring.push(sample);
+  // A clock read per sample is a measurable slice of the serving budget,
+  // so the ingest stamp is strided: read the clock every 16th submission
+  // per shard, reuse the last value in between. The verdict drain this
+  // feeds is tick-scale (>= tens of microseconds), so the stride error is
+  // below the latency histogram's ~3% bucket resolution (OBSERVABILITY.md
+  // "Verdict latency"). Ingest obs counters flush at tick boundaries.
+  std::uint64_t ingest_ns = 0;
+  if (metrics) {
+    if ((sh.submitted & 15u) == 1u) sh.last_ingest_ns = obs::now_ns();
+    ingest_ns = sh.last_ingest_ns;
+  }
+  // One write straight into the ring's SoA arrays — the same block the
+  // epoch kernel later reads in place, so this is the window's only copy.
+  sh.ring.push(stream_id, ingest_ns, window.data());
   ++sh.accepted;
-  if (metrics) c_accepted_->add();
   return true;
 }
 
 void DetectionService::lru_unlink(Shard& sh, std::uint32_t slot) noexcept {
-  StreamState& st = sh.slots[slot];
-  if (st.lru_prev != kNull) sh.slots[st.lru_prev].lru_next = st.lru_next;
-  else sh.lru_head = st.lru_next;
-  if (st.lru_next != kNull) sh.slots[st.lru_next].lru_prev = st.lru_prev;
-  else sh.lru_tail = st.lru_prev;
-  st.lru_prev = kNull;
-  st.lru_next = kNull;
+  ColdState& cs = sh.cold[slot];
+  if (cs.lru_prev != kNull) sh.cold[cs.lru_prev].lru_next = cs.lru_next;
+  else sh.lru_head = cs.lru_next;
+  if (cs.lru_next != kNull) sh.cold[cs.lru_next].lru_prev = cs.lru_prev;
+  else sh.lru_tail = cs.lru_prev;
+  cs.lru_prev = kNull;
+  cs.lru_next = kNull;
 }
 
 void DetectionService::lru_push_front(Shard& sh, std::uint32_t slot) noexcept {
-  StreamState& st = sh.slots[slot];
-  st.lru_prev = kNull;
-  st.lru_next = sh.lru_head;
-  if (sh.lru_head != kNull) sh.slots[sh.lru_head].lru_prev = slot;
+  ColdState& cs = sh.cold[slot];
+  cs.lru_prev = kNull;
+  cs.lru_next = sh.lru_head;
+  if (sh.lru_head != kNull) sh.cold[sh.lru_head].lru_prev = slot;
   sh.lru_head = slot;
   if (sh.lru_tail == kNull) sh.lru_tail = slot;
 }
@@ -220,184 +231,209 @@ void DetectionService::lru_push_front(Shard& sh, std::uint32_t slot) noexcept {
 // SMART2_HOT
 void DetectionService::evict_slot(Shard& sh, std::uint32_t slot) noexcept {
   lru_unlink(sh, slot);
-  index_erase(sh, sh.slots[slot].stream_id);
+  index_erase(sh, sh.cold[slot].stream_id);
   sh.free_slots.push_back(slot);  // capacity reserved at construction
   ++sh.evicted;
   if (obs::metrics_enabled()) c_evicted_->add();
 }
 
 // SMART2_HOT
-std::uint32_t DetectionService::admit(Shard& sh, std::uint64_t id) {
-  const std::uint32_t resident = index_lookup(sh, id);
-  if (resident != kNull) return resident;
-  // New stream: reuse a free slot, evicting the least-recently-active
-  // resident when the shard is at stream capacity.
-  if (sh.free_slots.empty()) evict_slot(sh, sh.lru_tail);
-  const std::uint32_t slot = sh.free_slots.back();
-  sh.free_slots.pop_back();
-  StreamState& st = sh.slots[slot];
-  st = StreamState{};
-  st.stream_id = id;
-  index_insert(sh, id, slot);
-  lru_push_front(sh, slot);
-  ++sh.admitted;
-  if (obs::metrics_enabled()) c_admitted_->add();
+std::uint32_t DetectionService::admit_touch(Shard& sh, std::uint64_t id,
+                                            std::uint64_t now_tick) {
+  std::uint32_t slot = index_lookup(sh, id);
+  if (slot == kNull) {
+    // New stream: reuse a free slot, evicting the least-recently-active
+    // resident when the shard is at stream capacity.
+    if (sh.free_slots.empty()) evict_slot(sh, sh.lru_tail);
+    slot = sh.free_slots.back();
+    sh.free_slots.pop_back();
+    sh.hot[slot] = HotState{};
+    sh.cold[slot].stream_id = id;
+    index_insert(sh, id, slot);
+    lru_push_front(sh, slot);
+    ++sh.admitted;
+    if (obs::metrics_enabled()) c_admitted_->add();
+  } else if (sh.lru_head != slot) {
+    lru_unlink(sh, slot);
+    lru_push_front(sh, slot);
+  }
+  sh.hot[slot].last_tick = now_tick;
   return slot;
 }
 
 // SMART2_HOT
 void DetectionService::sweep_idle(Shard& sh, std::uint64_t now_tick) noexcept {
   // The LRU list is ordered by last activity, so walking from the tail
-  // stops at the first fresh stream: O(evicted), not O(resident).
+  // stops at the first fresh stream: O(evicted), not O(resident). The
+  // predecessor's state is prefetched one step ahead so an eviction burst
+  // (TTL expiring a whole cohort) overlaps its cache misses with the
+  // current slot's erase work.
   while (sh.lru_tail != kNull) {
-    const StreamState& st = sh.slots[sh.lru_tail];
-    if (now_tick - st.last_tick <= config_.evict_after_ticks) break;
-    evict_slot(sh, sh.lru_tail);
+    const std::uint32_t slot = sh.lru_tail;
+    const std::uint32_t prev = sh.cold[slot].lru_prev;
+    if (prev != kNull) {
+      simd::prefetch(&sh.cold[prev]);
+      simd::prefetch(&sh.hot[prev]);
+    }
+    if (now_tick - sh.hot[slot].last_tick <= config_.evict_after_ticks) break;
+    evict_slot(sh, slot);
   }
 }
 
 // One epoch of a shard's tick — the serving analogue of
-// OnlineDetectorBank::observe_epoch: stage 1 over the whole block via the
-// SIMD batch kernel, the low-benign-confidence subset gathered per
-// suspected class and scored by that class's stage-2 detector in slot
-// order, then every stream's EWMA/hysteresis state advanced in FIFO
-// arrival order — the identical update OnlineDetector::apply_window runs,
-// so verdicts match a lone detector bit for bit (serve_test's oracle).
+// OnlineDetectorBank::observe_epoch. The ring's SoA layout IS the epoch
+// kernel's row-major common block, so the whole two-stage cascade
+// (TwoStageHmd::score_epoch_into: stage 1 through the SIMD batch kernel,
+// the low-benign-confidence subset scored in place by each suspected
+// class's stage-2 detector) runs zero-copy out of the queue. The fold
+// then advances every stream's EWMA/hysteresis state in FIFO arrival
+// order — the identical update OnlineDetector::apply_window runs, so
+// verdicts match a lone detector bit for bit (serve_test's oracle).
 // SMART2_HOT
 void DetectionService::infer_epoch(Shard& sh, const TwoStageHmd& model,
                                    std::uint64_t generation,
                                    std::uint64_t now_tick, std::size_t begin,
                                    std::size_t m) {
-  SMART2_SPAN("serve.epoch.infer");
   constexpr std::size_t nc = kCommonFeatureCount;
-
-  const ScratchSpan common_s(m * nc);
-  double* common = common_s.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const Sample& sample = sh.ring.at(begin + i);
-    for (std::size_t j = 0; j < nc; ++j)
-      common[i * nc + j] = sample.window[j];
+  const double* common = sh.ring.window_block(begin);
+  const ScratchSpan scores_s(m);
+  ScratchArray<std::uint8_t> suspected(m);
+  {
+    const obs::Span span("serve.epoch.infer");
+    if (config_.quantized) {
+      // Integer path: binary {0,1} window scores straight from the
+      // quantized pipeline; the per-stream EWMA smooths them into an
+      // alarm duty cycle.
+      model.score_epoch_quant(common, m, nc, scores_s.data(),
+                              suspected.data());
+    } else {
+      model.score_epoch_into(common, m, nc, scores_s.data(),
+                             suspected.data());
+    }
   }
 
-  if (config_.quantized) {
-    // Integer path: binary {0,1} window scores straight from the quantized
-    // pipeline; the per-stream EWMA smooths them into an alarm duty cycle.
-    const ScratchSpan qscores_s(m);
-    ScratchArray<std::uint8_t> qsuspected(m);
-    model.score_epoch_quant(common, m, nc, qscores_s.data(),
-                            qsuspected.data());
-    apply_verdicts(sh, generation, now_tick, begin, m, qscores_s.data(),
-                   qsuspected.data());
+  if (!batched_index_) {
+    const obs::Span span("serve.epoch.verdict");
+    apply_interleaved(sh, generation, now_tick, begin, m, scores_s.data(),
+                      suspected.data());
     return;
   }
-
-  const ScratchSpan proba_s(m * kNumAppClasses);
-  double* proba = proba_s.data();
-  model.stage1_proba_batch_into(common, m, nc, proba);
-
-  // Score each window: confident-benign rows keep their residual malware
-  // mass, the rest queue for their suspected class's stage-2 detector.
-  const ScratchSpan scores_s(m);
-  double* scores = scores_s.data();
-  ScratchArray<std::uint8_t> slot_of(m);
-  ScratchArray<std::uint8_t> suspected_of(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* p = proba + i * kNumAppClasses;
-    std::size_t best_slot = 0;
-    for (std::size_t s = 1; s < kNumMalwareClasses; ++s)
-      if (p[static_cast<std::size_t>(label_of(kMalwareClasses[s]))] >
-          p[static_cast<std::size_t>(label_of(kMalwareClasses[best_slot]))])
-        best_slot = s;
-    suspected_of[i] = static_cast<std::uint8_t>(best_slot);
-    const double benign_p =
-        p[static_cast<std::size_t>(label_of(AppClass::kBenign))];
-    if (benign_p >= 0.95) {
-      scores[i] = 1.0 - benign_p;
-      slot_of[i] = static_cast<std::uint8_t>(kNumMalwareClasses);
-    } else {
-      slot_of[i] = suspected_of[i];
-    }
+  ScratchArray<std::uint32_t> slot_idx(m);
+  {
+    const obs::Span span("serve.epoch.index");
+    resolve_epoch(sh, sh.ring.id_block(begin), m, now_tick, slot_idx.data());
   }
-
-  const ScratchSpan feats_s(m * nc);
-  const ScratchSpan sub_scores_s(m);
-  ScratchArray<std::uint32_t> rows(m);
-  for (std::size_t s = 0; s < kNumMalwareClasses; ++s) {
-    std::size_t cnt = 0;
-    for (std::size_t i = 0; i < m; ++i)
-      if (slot_of[i] == s) rows[cnt++] = static_cast<std::uint32_t>(i);
-    if (cnt == 0) continue;
-    double* feats = feats_s.data();
-    for (std::size_t j = 0; j < cnt; ++j) {
-      // For Common4 detectors the window itself is the stage-2 vector.
-      const double* src = common + rows[j] * nc;
-      std::copy(src, src + nc, feats + j * nc);
-    }
-    model.stage2_score_batch_into(kMalwareClasses[s], feats, cnt, nc,
-                                  {sub_scores_s.data(), cnt});
-    for (std::size_t j = 0; j < cnt; ++j)
-      scores[rows[j]] = sub_scores_s.data()[j];
+  {
+    const obs::Span span("serve.epoch.verdict");
+    apply_verdicts(sh, generation, begin, m, scores_s.data(),
+                   suspected.data(), slot_idx.data());
   }
-
-  apply_verdicts(sh, generation, now_tick, begin, m, scores,
-                 suspected_of.data());
 }
 
-// Apply in FIFO arrival order: a stream with several queued windows must
-// fold them into its EWMA in the order they arrived.
+// SMART2_HOT
+void DetectionService::resolve_epoch(Shard& sh, const std::uint64_t* ids,
+                                     std::size_t m, std::uint64_t now_tick,
+                                     std::uint32_t* slot_idx) {
+  // Probe-table misses dominate this pass on big fleets (the table is far
+  // larger than L2), so the home cell of sample i+kAhead is prefetched
+  // while sample i resolves — deep enough to cover a memory load, shallow
+  // enough that the lines survive until use.
+  constexpr std::size_t kAhead = 8;
+  for (std::size_t i = 0; i < std::min(kAhead, m); ++i)
+    simd::prefetch(&sh.table[table_home(ids[i], sh.table_mask)]);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i + kAhead < m)
+      simd::prefetch(&sh.table[table_home(ids[i + kAhead], sh.table_mask)]);
+    slot_idx[i] = admit_touch(sh, ids[i], now_tick);
+  }
+}
+
+// Fold in FIFO arrival order: a stream with several queued windows must
+// fold them into its EWMA in the order they arrived. With slots
+// pre-resolved this loop is pure math over the dense HotState array plus
+// sequential log writes — the admission/LRU branches live in
+// resolve_epoch, not here.
 // SMART2_HOT
 void DetectionService::apply_verdicts(Shard& sh, std::uint64_t generation,
-                                      std::uint64_t now_tick,
                                       std::size_t begin, std::size_t m,
                                       const double* scores,
-                                      const std::uint8_t* suspected_of) {
+                                      const std::uint8_t* suspected_of,
+                                      const std::uint32_t* slot_idx) {
   const bool metrics = obs::metrics_enabled();
   const std::uint64_t drain_ns = metrics ? obs::now_ns() : 0;
+  const std::uint64_t* ids = sh.ring.id_block(begin);
+  const std::uint64_t* ingest = sh.ring.ingest_block(begin);
+  StreamVerdict* log = sh.log.data() + sh.log_count;
+  std::uint64_t alarm_edges = 0;
+  // Ingest stamps are strided (submit() reads the clock every 16th
+  // sample), so latencies arrive in runs of equal values; each run folds
+  // into the histogram as one batched observation instead of one set of
+  // atomic adds per sample.
+  std::uint64_t run_ns = 0;
+  std::uint64_t run_len = 0;
   for (std::size_t i = 0; i < m; ++i) {
-    const Sample& sample = sh.ring.at(begin + i);
-    const std::uint32_t slot = admit(sh, sample.stream_id);
-    StreamState& st = sh.slots[slot];
+    HotState& st = sh.hot[slot_idx[i]];
+    const FoldResult fr = fold_window(st, scores[i], config_.detector);
+    alarm_edges += fr.alarm_edge ? 1u : 0u;
 
-    // OnlineDetector::apply_window, verbatim, over the pooled state.
-    OnlineDetector::WindowVerdict v;
-    v.window_score = scores[i];
-    v.suspected_class = kMalwareClasses[suspected_of[i]];
-    ++st.seq;
-    st.score = st.seq == 1
-                   ? v.window_score
-                   : config_.detector.smoothing * v.window_score +
-                         (1.0 - config_.detector.smoothing) * st.score;
-    v.smoothed_score = st.score;
-    const bool was_alarmed = st.alarmed;
-    if (st.score >= config_.detector.raise_threshold) {
-      ++st.consecutive_high;
-      if (st.consecutive_high >= config_.detector.confirm_windows)
-        st.alarmed = true;
-    } else {
-      st.consecutive_high = 0;
-      if (st.score < config_.detector.clear_threshold) st.alarmed = false;
+    StreamVerdict& rec = log[i];
+    rec.stream_id = ids[i];
+    rec.seq = st.seq;
+    rec.generation = generation;
+    rec.verdict.window_score = scores[i];
+    rec.verdict.smoothed_score = st.score;
+    rec.verdict.alarmed = fr.alarmed;
+    rec.verdict.alarm_edge = fr.alarm_edge;
+    rec.verdict.suspected_class = kMalwareClasses[suspected_of[i]];
+    if (metrics) {
+      const std::uint64_t lat = drain_ns - ingest[i];
+      if (run_len != 0 && lat == run_ns) {
+        ++run_len;
+      } else {
+        h_latency_->observe_ns_n(run_ns, run_len);
+        run_ns = lat;
+        run_len = 1;
+      }
     }
-    v.alarmed = st.alarmed;
-    v.alarm_edge = st.alarmed && !was_alarmed;
-    if (v.alarm_edge) {
+  }
+  h_latency_->observe_ns_n(run_ns, run_len);  // no-op when run_len == 0
+  sh.log_count += m;
+  sh.alarms += alarm_edges;
+  if (metrics && alarm_edges != 0) c_alarms_->add(alarm_edges);
+}
+
+// SMART2_HOT
+void DetectionService::apply_interleaved(Shard& sh, std::uint64_t generation,
+                                         std::uint64_t now_tick,
+                                         std::size_t begin, std::size_t m,
+                                         const double* scores,
+                                         const std::uint8_t* suspected_of) {
+  const bool metrics = obs::metrics_enabled();
+  const std::uint64_t drain_ns = metrics ? obs::now_ns() : 0;
+  const std::uint64_t* ids = sh.ring.id_block(begin);
+  const std::uint64_t* ingest = sh.ring.ingest_block(begin);
+  StreamVerdict* log = sh.log.data() + sh.log_count;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t slot = admit_touch(sh, ids[i], now_tick);
+    HotState& st = sh.hot[slot];
+    const FoldResult fr = fold_window(st, scores[i], config_.detector);
+    if (fr.alarm_edge) {
       ++sh.alarms;
       if (metrics) c_alarms_->add();
     }
 
-    // LRU touch + idle clock.
-    if (sh.lru_head != slot) {
-      lru_unlink(sh, slot);
-      lru_push_front(sh, slot);
-    }
-    st.last_tick = now_tick;
-
-    StreamVerdict& rec = sh.log[sh.log_count++];
-    rec.stream_id = sample.stream_id;
+    StreamVerdict& rec = log[i];
+    rec.stream_id = ids[i];
     rec.seq = st.seq;
     rec.generation = generation;
-    rec.verdict = v;
-    if (metrics) h_latency_->observe_ns(drain_ns - sample.ingest_ns);
+    rec.verdict.window_score = scores[i];
+    rec.verdict.smoothed_score = st.score;
+    rec.verdict.alarmed = fr.alarmed;
+    rec.verdict.alarm_edge = fr.alarm_edge;
+    rec.verdict.suspected_class = kMalwareClasses[suspected_of[i]];
+    if (metrics) h_latency_->observe_ns(drain_ns - ingest[i]);
   }
+  sh.log_count += m;
 }
 
 // SMART2_HOT
@@ -411,7 +447,14 @@ void DetectionService::process_shard(Shard& sh, const TwoStageHmd& model,
   constexpr std::size_t kEpoch = TwoStageHmd::kDetectEpoch;
   std::size_t begin = 0;
   while (begin < n) {
-    const std::size_t m = std::min(kEpoch, n - begin);
+    // Clamp each epoch to the ring's physically contiguous run so the
+    // kernel reads the SoA block in place. The ring rebases to offset 0
+    // whenever it drains empty, so in steady state (tick drains all) the
+    // clamp never bites; at most one short epoch per wrap otherwise.
+    // Re-chunking is verdict-neutral: the batch kernels are row-wise
+    // bit-identical for every batch size (SERVING.md, "Epoch chunking").
+    const std::size_t m =
+        std::min({kEpoch, n - begin, sh.ring.contiguous(begin)});
     infer_epoch(sh, model, generation, now_tick, begin, m);
     begin += m;
   }
@@ -453,7 +496,25 @@ std::size_t DetectionService::tick() {
   }
 
   verdict_total_ += total;
-  if (obs::metrics_enabled()) c_verdicts_->add(total);
+  if (obs::metrics_enabled()) {
+    c_verdicts_->add(total);
+    // Flush the ingest-path counters the submit fast path batched: one
+    // delta-add per tick instead of an atomic RMW per sample.
+    std::uint64_t accepted = 0;
+    std::uint64_t dropped = 0;
+    for (const Shard& sh : shards_) {
+      accepted += sh.accepted;
+      dropped += sh.dropped;
+    }
+    if (accepted > flushed_accepted_) {
+      c_accepted_->add(accepted - flushed_accepted_);
+      flushed_accepted_ = accepted;
+    }
+    if (dropped > flushed_dropped_) {
+      c_dropped_->add(dropped - flushed_dropped_);
+      flushed_dropped_ = dropped;
+    }
+  }
   return total;
 }
 
@@ -489,15 +550,15 @@ std::uint64_t DetectionService::generation() const {
 std::size_t DetectionService::active_streams() const noexcept {
   std::size_t n = 0;
   for (const Shard& sh : shards_)
-    n += sh.slots.size() - sh.free_slots.size();
+    n += sh.cold.size() - sh.free_slots.size();
   return n;
 }
 
 std::size_t DetectionService::alarmed_streams() const noexcept {
   std::size_t n = 0;
   for (const Shard& sh : shards_)
-    for (std::uint32_t s = sh.lru_head; s != kNull; s = sh.slots[s].lru_next)
-      if (sh.slots[s].alarmed) ++n;
+    for (std::uint32_t s = sh.lru_head; s != kNull; s = sh.cold[s].lru_next)
+      if (sh.hot[s].alarmed != 0) ++n;
   return n;
 }
 

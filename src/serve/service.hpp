@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/obs.hpp"
 #include "core/online_detector.hpp"
 #include "core/two_stage.hpp"
@@ -40,6 +41,19 @@ enum class DropPolicy {
   kDropNewest,
   /// Overwrite the oldest queued sample (freshness wins over history).
   kDropOldest,
+};
+
+/// How the tick resolves stream→slot state for each epoch.
+enum class IndexMode {
+  /// Batch all of an epoch's index probes (software-prefetched, cache
+  /// misses overlapped) before the verdict fold — taken whenever the
+  /// shard's stream capacity exceeds the epoch width, where the batched
+  /// order is provably identical to the interleaved one (SERVING.md,
+  /// "Index batching"); smaller shards fall back to kInterleaved.
+  kAuto,
+  /// Force the per-sample interleaved resolve+fold reference loop
+  /// everywhere (the equivalence oracle serve_test drives).
+  kInterleaved,
 };
 
 struct ServeConfig {
@@ -66,6 +80,9 @@ struct ServeConfig {
   /// rather than probability mass — thresholds tuned for the double path
   /// usually need retuning (SERVING.md).
   bool quantized = false;
+  /// Epoch index-resolve strategy (no env knob: a deployment never needs
+  /// the reference loop; tests force it for byte-equality comparison).
+  IndexMode index_mode = IndexMode::kAuto;
 
   /// Read SMART2_SERVE_SHARDS / SMART2_SERVE_QUEUE / SMART2_SERVE_STREAM_CAP
   /// / SMART2_SERVE_EVICT_TTL / SMART2_SERVE_DROP_POLICY / SMART2_QUANT
@@ -154,37 +171,63 @@ class DetectionService {
   /// Null slot/link sentinel in the per-shard tables.
   static constexpr std::uint32_t kNull = 0xffffffffu;
 
-  /// Resident per-stream detector state: OnlineDetector's EWMA/hysteresis
-  /// fields flattened into a pooled slot, plus LRU links and the idle
-  /// clock. serve_test proves the update below is bit-equal to
+  /// The verdict fold's working set: exactly the OnlineDetector
+  /// EWMA/hysteresis fields plus the idle clock, packed into half a cache
+  /// line and stored in a dense per-slot array — the fold touches nothing
+  /// else, so an epoch of 256 streams reads at most 128 lines of state.
+  /// serve_test proves the update is bit-equal to
   /// OnlineDetector::apply_window.
-  struct StreamState {
-    std::uint64_t stream_id = 0;
+  struct HotState {
+    double score = 0.0;           // == OnlineDetector::score_
     std::uint64_t seq = 0;        // == OnlineDetector::windows_
     std::uint64_t last_tick = 0;  // last tick that scored this stream
-    double score = 0.0;           // == OnlineDetector::score_
     std::uint32_t consecutive_high = 0;
-    bool alarmed = false;
+    std::uint8_t alarmed = 0;
+    std::uint8_t pad_[3] = {};
+  };
+  static_assert(sizeof(HotState) == 32,
+                "HotState must pack two states per cache line");
+
+  /// Admission bookkeeping the fold never reads: the slot's identity and
+  /// its intrusive LRU links. Split from HotState so eviction churn stays
+  /// off the fold's cache lines.
+  struct ColdState {
+    std::uint64_t stream_id = 0;
     std::uint32_t lru_prev = kNull;
     std::uint32_t lru_next = kNull;
   };
 
-  /// One shard: ingestion ring, the resident stream table (slot pool +
-  /// open-addressing id index + intrusive LRU list), and the tick's
-  /// verdict log. All storage is sized at construction; nothing on the
-  /// serving path allocates — not even admission/eviction, which only
+  /// One probe-table cell. Carrying the id beside the slot keeps lookup
+  /// and backward-shift erase entirely inside the table — the probe loop
+  /// never dereferences the slot pool. Empty ⇔ slot == kNull (never test
+  /// occupancy via id: stream id 0 is valid).
+  struct IndexCell {
+    std::uint64_t id = 0;
+    std::uint32_t slot = kNull;
+    std::uint32_t pad_ = 0;
+  };
+  static_assert(sizeof(IndexCell) == 16, "four probe cells per cache line");
+
+  /// One shard: ingestion ring, the resident stream table (hot/cold slot
+  /// pools + open-addressing id index + intrusive LRU list), and the
+  /// tick's verdict log. All storage is sized at construction; nothing on
+  /// the serving path allocates — not even admission/eviction, which only
   /// move entries inside the fixed-capacity probe table.
   struct Shard {
     explicit Shard(const ServeConfig& cfg);
 
     SampleRing ring;
-    std::vector<StreamState> slots;
+    /// Dense per-slot fold state, 64-byte aligned so HotState pairs never
+    /// straddle lines. Elements are uninitialized until admit_touch()
+    /// resets them; only slots reachable from the LRU list are live.
+    AlignedArray<HotState> hot;
+    std::vector<ColdState> cold;
     std::vector<std::uint32_t> free_slots;  // stack of unused slot ids
-    /// stream id → slot: linear-probing table of slot indices (kNull =
-    /// empty), power-of-two sized at <= 50% load so probes terminate.
-    /// Erase is backward-shift (no tombstones), so lookup cost stays
-    /// bounded under admission/eviction churn.
-    std::vector<std::uint32_t> table;
+    /// stream id → slot: linear-probing table of {id, slot} cells,
+    /// power-of-two sized at <= 50% load so probes terminate. Erase is
+    /// backward-shift (no tombstones), so lookup cost stays bounded under
+    /// admission/eviction churn.
+    std::vector<IndexCell> table;
     std::uint32_t table_mask = 0;
     std::uint32_t lru_head = kNull;  // most recently active
     std::uint32_t lru_tail = kNull;  // least recently active
@@ -197,6 +240,8 @@ class DetectionService {
     std::uint64_t admitted = 0;
     std::uint64_t evicted = 0;
     std::uint64_t alarms = 0;
+    /// Last clock read of the strided ingest stamp (see submit()).
+    std::uint64_t last_ingest_ns = 0;
   };
 
   /// Probe-table home position of a stream id. Deliberately a different
@@ -214,29 +259,81 @@ class DetectionService {
   void index_erase(Shard& sh, std::uint64_t id) noexcept;
   void lru_unlink(Shard& sh, std::uint32_t slot) noexcept;
   void lru_push_front(Shard& sh, std::uint32_t slot) noexcept;
-  /// Slot of `id`, admitting (and possibly evicting) as needed.
-  std::uint32_t admit(Shard& sh, std::uint64_t id);
+  /// Slot of `id`, admitting (and possibly evicting) as needed, moved to
+  /// the LRU head with its idle clock stamped — the full per-sample
+  /// bookkeeping step, shared by the batched and interleaved paths.
+  std::uint32_t admit_touch(Shard& sh, std::uint64_t id,
+                            std::uint64_t now_tick);
   void evict_slot(Shard& sh, std::uint32_t slot) noexcept;
   void sweep_idle(Shard& sh, std::uint64_t now_tick) noexcept;
+  /// One EWMA/hysteresis step over pooled hot state — bit-equal to
+  /// OnlineDetector::apply_window (same expressions, same order).
+  struct FoldResult {
+    bool alarmed;
+    bool alarm_edge;
+  };
+  // SMART2_HOT
+  static FoldResult fold_window(HotState& st, double window_score,
+                                const OnlineDetectorConfig& det) noexcept {
+    ++st.seq;
+    st.score = st.seq == 1 ? window_score
+                           : det.smoothing * window_score +
+                                 (1.0 - det.smoothing) * st.score;
+    const bool was_alarmed = st.alarmed != 0;
+    if (st.score >= det.raise_threshold) {
+      ++st.consecutive_high;
+      if (st.consecutive_high >= det.confirm_windows) st.alarmed = 1;
+    } else {
+      st.consecutive_high = 0;
+      if (st.score < det.clear_threshold) st.alarmed = 0;
+    }
+    const bool alarmed = st.alarmed != 0;
+    return {alarmed, alarmed && !was_alarmed};
+  }
   /// Drain one shard's ring through epochs of <= kDetectEpoch samples.
   void process_shard(Shard& sh, const TwoStageHmd& model,
                      std::uint64_t generation, std::uint64_t now_tick);
-  /// One epoch: samples [begin, begin+m) of the ring, batch-scored then
-  /// applied to stream state in FIFO order.
+  /// One epoch: samples [begin, begin+m) of the ring (physically
+  /// contiguous — process_shard clamps at the wrap), batch-scored straight
+  /// out of the ring's SoA block, then folded into stream state in FIFO
+  /// order.
   void infer_epoch(Shard& sh, const TwoStageHmd& model,
                    std::uint64_t generation, std::uint64_t now_tick,
                    std::size_t begin, std::size_t m);
-  /// Fold one epoch's window scores into per-stream EWMA/hysteresis state
-  /// in FIFO arrival order (shared by the double and quantized paths).
-  void apply_verdicts(Shard& sh, std::uint64_t generation,
-                      std::uint64_t now_tick, std::size_t begin,
+  /// Batched resolve pass: every sample's stream→slot in arrival order,
+  /// probe cache lines software-prefetched a few samples ahead. Only valid
+  /// when max_streams_per_shard > kDetectEpoch (see SERVING.md, "Index
+  /// batching", for why the batched order is then identical to the
+  /// interleaved one).
+  void resolve_epoch(Shard& sh, const std::uint64_t* ids, std::size_t m,
+                     std::uint64_t now_tick, std::uint32_t* slot_idx);
+  /// Fold one epoch's window scores into pre-resolved slots in FIFO
+  /// arrival order (shared by the double and quantized paths). Pure math +
+  /// log writes: no admission, no LRU edits, no probe-table reads.
+  void apply_verdicts(Shard& sh, std::uint64_t generation, std::size_t begin,
                       std::size_t m, const double* scores,
-                      const std::uint8_t* suspected_of);
+                      const std::uint8_t* suspected_of,
+                      const std::uint32_t* slot_idx);
+  /// Reference path: resolve and fold each sample in one interleaved loop
+  /// (the pre-batching order). Taken for small stream capacities and under
+  /// IndexMode::kInterleaved.
+  void apply_interleaved(Shard& sh, std::uint64_t generation,
+                         std::uint64_t now_tick, std::size_t begin,
+                         std::size_t m, const double* scores,
+                         const std::uint8_t* suspected_of);
 
   ServeConfig config_;
+  /// Decided once at construction: kAuto + capacity > kDetectEpoch takes
+  /// the batched resolve; otherwise the interleaved reference loop.
+  bool batched_index_;
   std::vector<Shard> shards_;
   std::uint64_t tick_ = 0;
   std::uint64_t verdict_total_ = 0;
+  // Ingest-path obs counters are flushed as deltas at tick boundaries
+  // (one atomic add per tick instead of one per sample); these remember
+  // what has already been pushed to the registry.
+  std::uint64_t flushed_accepted_ = 0;
+  std::uint64_t flushed_dropped_ = 0;
 
   // Generation-counted model pointer (examples/concept_drift.cpp style).
   // The mutex only guards the {model_, generation_} pair; tick() holds it

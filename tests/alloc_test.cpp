@@ -304,6 +304,51 @@ TEST(AllocTest, ServingLoopSteadyStateIsAllocationFree) {
   EXPECT_EQ(service.stats().verdicts, 11 * kStreams);
 }
 
+TEST(AllocTest, BatchedIndexServingSteadyStateIsAllocationFree) {
+  // Same contract as above, but on the batched-resolve path (stream
+  // capacity > kDetectEpoch) with a multi-epoch tick (300 samples = one
+  // full epoch + a partial), so the prefetched probe pass, the slot_idx
+  // scratch, and the pure-math fold are all inside the measured window.
+  TwoStageConfig cfg;
+  cfg.stage2_model = "J48";
+  auto hmd = std::make_shared<TwoStageHmd>(cfg);
+  hmd->train(small_dataset());
+
+  std::vector<std::vector<double>> windows;
+  windows.reserve(small_dataset().size());
+  for (std::size_t i = 0; i < small_dataset().size(); ++i) {
+    std::vector<double> common;
+    common.reserve(hmd->plan().common.size());
+    for (std::size_t f : hmd->plan().common)
+      common.push_back(small_dataset().features(i)[f]);
+    windows.push_back(std::move(common));
+  }
+
+  serve::ServeConfig serve_cfg;
+  serve_cfg.shards = 1;
+  serve_cfg.queue_capacity = 512;
+  serve_cfg.max_streams_per_shard = 512;  // > kDetectEpoch: batched resolve
+  serve_cfg.evict_after_ticks = 0;
+  serve::DetectionService service(std::move(hmd), serve_cfg);
+
+  parallel::set_thread_count(1);
+  constexpr std::uint64_t kStreams = 300;
+  auto cycle = [&](std::uint64_t tick) {
+    for (std::uint64_t s = 0; s < kStreams; ++s)
+      ASSERT_TRUE(
+          service.submit(s, windows[(s + tick * kStreams) % windows.size()]));
+    ASSERT_EQ(service.tick(), kStreams);
+  };
+  cycle(0);  // warm: admits all streams, grows the scratch arena
+
+  const std::uint64_t before = allocation_count();
+  for (std::uint64_t tick = 1; tick <= 10; ++tick) cycle(tick);
+  EXPECT_EQ(allocation_count(), before)
+      << "batched submit()/tick() allocated on the warm serving path";
+  parallel::set_thread_count(0);
+  EXPECT_EQ(service.stats().verdicts, 11 * kStreams);
+}
+
 // --------------------------------------------- presorted training engine ---
 
 /// Warm fit + counted second fit under the given engine.

@@ -110,6 +110,74 @@ TEST(ObsMetricsTest, HistogramBucketEdges) {
   EXPECT_EQ(h.sum_ns(), 0 + 999 + 1'000 + 999'999 + 10'000'000'000ULL);
 }
 
+TEST(ObsMetricsTest, FineLayoutBucketGeometry) {
+  using H = obs::Histogram;
+  const H h(H::Layout::kFine);
+  EXPECT_EQ(h.layout(), H::Layout::kFine);
+  EXPECT_EQ(h.bucket_count(), H::kFineBucketCount);
+  EXPECT_EQ(H::kFineBucketCount, 993u);
+
+  // Exact region: one bucket per nanosecond below 32.
+  EXPECT_EQ(h.bucket_index(0), 0u);
+  EXPECT_EQ(h.bucket_index(31), 31u);
+  EXPECT_EQ(h.bucket_edge(0), 1u);
+  EXPECT_EQ(h.bucket_edge(31), 32u);
+  // First octave [32, 64) still has width-1 buckets.
+  EXPECT_EQ(h.bucket_index(32), 32u);
+  EXPECT_EQ(h.bucket_index(63), 63u);
+  EXPECT_EQ(h.bucket_edge(63), 64u);
+  // Every bucket index is consistent with its edges: edge(b-1) <= ns <
+  // edge(b) across octave boundaries.
+  for (const std::uint64_t ns :
+       {64ULL, 100ULL, 1'000ULL, 123'456ULL, 1'000'000ULL, 987'654'321ULL}) {
+    const std::size_t b = h.bucket_index(ns);
+    EXPECT_LT(ns, h.bucket_edge(b)) << ns;
+    EXPECT_GE(ns, b == 0 ? 0 : h.bucket_edge(b - 1)) << ns;
+    // <= ~3.2% relative resolution past the exact region (1/32 + rounding).
+    if (ns >= 32) {
+      const std::uint64_t lo = h.bucket_edge(b - 1);
+      EXPECT_LE(h.bucket_edge(b) - lo, lo / 32 + 1) << ns;
+    }
+  }
+  // Overflow bucket at 2^35 ns.
+  EXPECT_EQ(h.bucket_index(1ULL << 35), H::kFineBucketCount - 1);
+  EXPECT_EQ(h.bucket_index(~0ULL), H::kFineBucketCount - 1);
+  EXPECT_EQ(h.bucket_edge(H::kFineBucketCount - 2), 1ULL << 35);
+}
+
+TEST(ObsMetricsTest, FineLayoutQuantilesDistinguishPercentiles) {
+  using H = obs::Histogram;
+  H h(H::Layout::kFine);
+  // A latency-shaped distribution: a tight body with a sparse tail. A
+  // decade histogram puts all 1000 observations below its first 1 us edge
+  // or smears them over two buckets, reporting p50 == p99 == p999; fine
+  // buckets must keep the percentiles apart and ordered.
+  for (int i = 0; i < 990; ++i) h.observe_ns(200);
+  for (int i = 0; i < 9; ++i) h.observe_ns(10'000);
+  h.observe_ns(1'000'000);
+  const std::uint64_t p50 = h.quantile_upper_ns(0.50);
+  const std::uint64_t p99 = h.quantile_upper_ns(0.99);
+  const std::uint64_t p999 = h.quantile_upper_ns(0.999);
+  EXPECT_LT(p50, p99);
+  EXPECT_LT(p99, p999);
+  // Conservative upper bounds, within one bucket (~3%) of the truth.
+  EXPECT_GE(p50, 200u);
+  EXPECT_LE(p50, 208u);
+  EXPECT_GE(p99, 10'000u);
+  EXPECT_LE(p99, 10'320u);
+  EXPECT_GE(p999, 1'000'000u);
+  EXPECT_LE(p999, 1'032'000u);
+
+  // The registry serves the catalog's fine layout for the serving latency
+  // histogram (the name check_serving.py keys on).
+  EXPECT_EQ(obs::histogram("serve.verdict.latency").layout(),
+            H::Layout::kFine);
+  // An already-registered name keeps its layout even if a call site asks
+  // for another one.
+  EXPECT_EQ(obs::histogram("cv.run", H::Layout::kFine).layout(),
+            H::Layout::kDecade);
+}
+
 TEST(ObsMetricsTest, RegistrySnapshotsAreInsertionOrdered) {
   const ObsGuard guard(/*trace=*/false, /*metrics=*/true);
   // The pre-registered catalog pins the order of the well-known names;

@@ -9,6 +9,7 @@
 //  * the SERVING.md env-knob drift guard.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <bit>
 #include <cstdlib>
 #include <fstream>
@@ -74,11 +75,11 @@ const StreamFeed& shared_feed() {
   return feed;
 }
 
-Sample make_sample(std::uint64_t id, double v) {
-  Sample s;
-  s.stream_id = id;
-  for (double& x : s.window) x = v;
-  return s;
+/// Push one sample whose window is the constant v (SoA ring API).
+bool push_sample(SampleRing& ring, std::uint64_t id, double v) {
+  std::array<double, kCommonFeatureCount> window;
+  window.fill(v);
+  return ring.push(id, /*ingest_ns=*/0, window.data());
 }
 
 /// Canonical byte serialization of a verdict stream: every double as its
@@ -133,23 +134,59 @@ TEST(SampleRingTest, FifoPushAtConsume) {
   SampleRing ring(3);
   EXPECT_TRUE(ring.empty());
   EXPECT_EQ(ring.capacity(), 3u);
-  EXPECT_TRUE(ring.push(make_sample(1, 1.0)));
-  EXPECT_TRUE(ring.push(make_sample(2, 2.0)));
-  EXPECT_TRUE(ring.push(make_sample(3, 3.0)));
+  EXPECT_TRUE(push_sample(ring, 1, 1.0));
+  EXPECT_TRUE(push_sample(ring, 2, 2.0));
+  EXPECT_TRUE(push_sample(ring, 3, 3.0));
   EXPECT_TRUE(ring.full());
-  EXPECT_FALSE(ring.push(make_sample(4, 4.0)));  // full: rejected
-  EXPECT_EQ(ring.at(0).stream_id, 1u);
-  EXPECT_EQ(ring.at(2).stream_id, 3u);
+  EXPECT_FALSE(push_sample(ring, 4, 4.0));  // full: rejected
+  EXPECT_EQ(ring.stream_id_at(0), 1u);
+  EXPECT_EQ(ring.stream_id_at(2), 3u);
+  EXPECT_EQ(ring.window_at(0)[0], 1.0);
   ring.pop_front();  // drop-oldest path
   EXPECT_EQ(ring.size(), 2u);
-  EXPECT_EQ(ring.at(0).stream_id, 2u);
-  EXPECT_TRUE(ring.push(make_sample(4, 4.0)));  // wraps around
-  EXPECT_EQ(ring.at(2).stream_id, 4u);
+  EXPECT_EQ(ring.stream_id_at(0), 2u);
+  EXPECT_TRUE(push_sample(ring, 4, 4.0));  // wraps around
+  EXPECT_EQ(ring.stream_id_at(2), 4u);
+  EXPECT_EQ(ring.window_at(2)[kCommonFeatureCount - 1], 4.0);
   ring.consume(2);
   EXPECT_EQ(ring.size(), 1u);
-  EXPECT_EQ(ring.at(0).stream_id, 4u);
+  EXPECT_EQ(ring.stream_id_at(0), 4u);
   ring.clear();
   EXPECT_TRUE(ring.empty());
+}
+
+TEST(SampleRingTest, ContiguousRunsAndBlockViewsAcrossTheWrap) {
+  SampleRing ring(4);
+  for (std::uint64_t id = 1; id <= 4; ++id)
+    ASSERT_TRUE(push_sample(ring, id, static_cast<double>(id)));
+  // Head at 0: the whole queue is one run and the block views are the
+  // backing arrays themselves.
+  EXPECT_EQ(ring.contiguous(0), 4u);
+  EXPECT_EQ(ring.id_block(0)[3], 4u);
+  EXPECT_EQ(ring.window_block(0)[3 * kCommonFeatureCount], 4.0);
+
+  // Partial drain + refill: head is mid-array, the queue straddles the
+  // physical wrap and splits into two runs.
+  ring.consume(3);                             // head -> 3, id 4 queued
+  ASSERT_TRUE(push_sample(ring, 5, 5.0));      // lands at physical 0
+  ASSERT_TRUE(push_sample(ring, 6, 6.0));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.contiguous(0), 1u);  // run A: id 4 at the physical end
+  EXPECT_EQ(ring.id_block(0)[0], 4u);
+  EXPECT_EQ(ring.contiguous(1), 2u);  // run B: ids 5, 6 from physical 0
+  EXPECT_EQ(ring.id_block(1)[0], 5u);
+  EXPECT_EQ(ring.id_block(1)[1], 6u);
+  EXPECT_EQ(ring.window_block(1)[kCommonFeatureCount], 6.0);
+  // Logical accessors agree with the split block views.
+  EXPECT_EQ(ring.stream_id_at(0), 4u);
+  EXPECT_EQ(ring.stream_id_at(2), 6u);
+
+  // Full drain rebases the head: the next fill is contiguous again.
+  ring.consume(3);
+  EXPECT_TRUE(ring.empty());
+  ASSERT_TRUE(push_sample(ring, 7, 7.0));
+  EXPECT_EQ(ring.contiguous(0), 1u);
+  EXPECT_EQ(ring.id_block(0)[0], 7u);
 }
 
 // ------------------------------------------------------------- config ---
@@ -303,6 +340,66 @@ TEST(DetectionServiceTest, VerdictStreamIdenticalUnderForcedScalarSimd) {
   const std::string scalar = run_script(cfg, 64, 3);
   simd::force_scalar(false);
   EXPECT_EQ(native, scalar);
+}
+
+TEST(DetectionServiceTest, BatchedIndexMatchesInterleavedReference) {
+  // The batched resolve pass reorders an epoch's index probes ahead of the
+  // verdict fold; SERVING.md argues the reordering is invisible whenever
+  // the stream capacity exceeds the epoch width. Drive both paths through
+  // heavy capacity churn (600 streams over 512 slots), TTL sweeps, and a
+  // mid-script model swap: the verdict streams must be byte-identical.
+  ServeConfig batched;
+  batched.shards = 1;
+  batched.queue_capacity = 1024;
+  batched.max_streams_per_shard = 512;  // > kDetectEpoch: kAuto batches
+  batched.evict_after_ticks = 3;
+  ASSERT_GT(batched.max_streams_per_shard, TwoStageHmd::kDetectEpoch);
+  ServeConfig interleaved = batched;
+  interleaved.index_mode = IndexMode::kInterleaved;
+
+  std::stringstream blob;
+  shared_model()->save(blob);
+  const auto reloaded =
+      std::make_shared<const TwoStageHmd>(TwoStageHmd::load(blob));
+  const std::string a = run_script(batched, 600, 6, reloaded, 4);
+  const std::string b = run_script(interleaved, 600, 6, reloaded, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find(":2:"), std::string::npos);  // generation 2 appears
+}
+
+TEST(DetectionServiceTest, WrappedQueueMatchesUnwrappedSurvivors) {
+  // Drop-oldest on a small ring leaves the queue straddling the physical
+  // wrap point, so the tick's zero-copy clamp carves it into short epochs
+  // (250 + 50 here, partial final epoch included). A large-ring service
+  // fed only the surviving samples chunks differently (256 + 44) — the
+  // verdict streams must still match byte for byte (the epoch-chunking
+  // invariance SERVING.md documents).
+  ServeConfig wrapped;
+  wrapped.shards = 1;
+  wrapped.queue_capacity = 300;
+  wrapped.max_streams_per_shard = 512;
+  wrapped.drop_policy = DropPolicy::kDropOldest;
+  ServeConfig plain = wrapped;
+  plain.queue_capacity = 512;
+
+  DetectionService a(shared_model(), wrapped);
+  DetectionService b(shared_model(), plain);
+  std::vector<double> window(kCommonFeatureCount);
+  for (std::uint64_t s = 0; s < 350; ++s) {
+    shared_feed().window(s, 1, window);
+    a.submit(s, window);
+    if (s >= 50) b.submit(s, window);  // `a` drops its 50 oldest
+  }
+  EXPECT_EQ(a.tick(), 300u);
+  EXPECT_EQ(b.tick(), 300u);
+  const ServeStats sa = a.stats();
+  EXPECT_EQ(sa.submitted, 350u);
+  EXPECT_EQ(sa.dropped, 50u);
+  EXPECT_EQ(sa.submitted, sa.verdicts + sa.dropped);
+  std::string la, lb;
+  for (const StreamVerdict& rec : a.verdicts(0)) append_verdict(la, rec);
+  for (const StreamVerdict& rec : b.verdicts(0)) append_verdict(lb, rec);
+  EXPECT_EQ(la, lb);
 }
 
 // ----------------------------------------------------------- hot swap ---

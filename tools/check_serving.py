@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Gate the streaming-service perf smoke.
 
-Usage: check_serving.py [--min-streams N] [--min-speedup X] BENCH_SERVING_JSON
+Usage: check_serving.py [--min-streams N] [--min-speedup X]
+                        [--max-kernel-ratio X] BENCH_SERVING_JSON
 
 Reads the summary bench_serving writes (one JSON object; schema below) and
 fails when:
@@ -19,8 +20,17 @@ fails when:
     1-CPU CI runner still jitters the ratio, so the gate allows serving to
     trail by SPEEDUP_TOLERANCE before failing; --min-speedup raises the
     bar on quiet hardware;
-  * the latency percentiles are missing or not monotone (p50 <= p99 <=
-    p999; they are decade-bucket upper bounds, so ties are expected);
+  * the serving overhead over the same-run raw epoch kernel exceeds
+    --max-kernel-ratio (serving_ns_per_sample / kernel_ns_per_sample; the
+    kernel floor is measured in the same process on the same windows, so
+    the ratio cancels machine speed and isolates the service's own ring /
+    index / verdict cost);
+  * the latency percentiles are missing, not monotone (p50 <= p99 <=
+    p999), or fully degenerate (p50 == p999): the fine log-linear
+    histogram layout (~3% buckets; OBSERVABILITY.md "Histogram buckets")
+    must distinguish the tail from the median;
+  * the per-phase breakdown (phases.{ingest,index,infer,verdict}
+    _ns_per_sample) is missing or carries a negative value;
   * the mid-run hot swap did not happen (generations must reach >= 2).
 
 Exits nonzero with an explanatory assertion on any mismatch. Used by the
@@ -39,12 +49,17 @@ REQUIRED_FIELDS = [
     "streams", "shards", "ticks", "queue_capacity", "submitted", "accepted",
     "dropped", "admitted", "evicted", "alarms", "verdicts", "generations",
     "wall_seconds", "samples_per_sec", "serving_ns_per_sample",
-    "baseline_ns_per_sample", "latency_p50_ns", "latency_p99_ns",
-    "latency_p999_ns",
+    "baseline_ns_per_sample", "kernel_ns_per_sample", "phases",
+    "latency_p50_ns", "latency_p99_ns", "latency_p999_ns",
+]
+
+PHASE_FIELDS = [
+    "ingest_ns_per_sample", "index_ns_per_sample", "infer_ns_per_sample",
+    "verdict_ns_per_sample",
 ]
 
 
-def check(path, min_streams, min_speedup):
+def check(path, min_streams, min_speedup, max_kernel_ratio):
     with open(path) as f:
         summary = json.load(f)
     missing = [k for k in REQUIRED_FIELDS if k not in summary]
@@ -87,14 +102,40 @@ def check(path, min_streams, min_speedup):
           f"{baseline_ns} ns/sample ({speedup:.2f}x, "
           f"{summary['samples_per_sec']:.0f} sustained samples/sec)")
 
+    kernel_ns = summary["kernel_ns_per_sample"]
+    assert kernel_ns > 0, summary
+    ratio = serving_ns / kernel_ns
+    if max_kernel_ratio is not None:
+        assert ratio <= max_kernel_ratio, (
+            f"serving overhead {ratio:.2f}x over the same-run epoch kernel "
+            f"(serving {serving_ns} vs kernel {kernel_ns} ns/sample) exceeds "
+            f"the {max_kernel_ratio}x budget: the ring/index/verdict data "
+            f"path got more expensive relative to raw inference"
+        )
+    print(f"ok: serving overhead {ratio:.2f}x over the same-run kernel "
+          f"floor ({kernel_ns} ns/sample)")
+
+    phases = summary["phases"]
+    missing_phases = [k for k in PHASE_FIELDS if k not in phases]
+    assert not missing_phases, f"phases lacks fields: {missing_phases}"
+    assert all(phases[k] >= 0 for k in PHASE_FIELDS), phases
+    print("ok: phase breakdown " +
+          ", ".join(f"{k.split('_')[0]} {phases[k]}" for k in PHASE_FIELDS) +
+          " ns/sample")
+
     p50 = summary["latency_p50_ns"]
     p99 = summary["latency_p99_ns"]
     p999 = summary["latency_p999_ns"]
     assert 0 < p50 <= p99 <= p999, (
         f"latency percentiles not monotone: p50 {p50}, p99 {p99}, p999 {p999}"
     )
+    assert p50 < p999, (
+        f"latency percentiles fully degenerate (p50 == p999 == {p50} ns): "
+        f"the fine histogram layout must distinguish the tail from the "
+        f"median — is serve.verdict.latency still on the fine layout?"
+    )
     print(f"ok: verdict latency p50 <= {p50} ns, p99 <= {p99} ns, "
-          f"p999 <= {p999} ns (decade-bucket upper bounds)")
+          f"p999 <= {p999} ns (fine-bucket upper bounds)")
 
     generations = summary["generations"]
     assert generations >= 2, (
@@ -122,5 +163,13 @@ if __name__ == "__main__":
         help="require serving to beat the per-sample baseline by this factor "
         "(only meaningful on quiet hardware)",
     )
+    parser.add_argument(
+        "--max-kernel-ratio",
+        type=float,
+        default=None,
+        help="cap serving_ns_per_sample / kernel_ns_per_sample; the kernel "
+        "is measured in the same run, so this gate is machine-independent",
+    )
     args = parser.parse_args()
-    check(args.summary, args.min_streams, args.min_speedup)
+    check(args.summary, args.min_streams, args.min_speedup,
+          args.max_kernel_ratio)

@@ -29,7 +29,9 @@ def check_trace(path):
             if rec["type"] == "counter":
                 assert rec["value"] > 0, rec
             if rec["type"] == "hist":
-                assert len(rec["timing"]["buckets"]) == 9, rec
+                # 9 = decade layout, 993 = fine (log-linear) layout; see
+                # OBSERVABILITY.md "Histogram buckets".
+                assert len(rec["timing"]["buckets"]) in (9, 993), rec
                 assert rec["count"] == sum(rec["timing"]["buckets"]), rec
     assert types == {"meta", "span", "counter", "hist"}, types
     assert any(n.startswith("stage1.") for n in names), names

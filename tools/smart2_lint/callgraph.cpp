@@ -181,10 +181,14 @@ CallGraph build_call_graph(const ProjectIndex& index) {
 }
 
 bool is_hot_root_name(std::string_view name) {
-  static constexpr std::array<std::string_view, 7> kRoots = {
+  // "submit" and "tick" seed the serving data path: everything the
+  // DetectionService touches per sample or per epoch (ring push, index
+  // probes, verdict fold) is steady-state inference code.
+  static constexpr std::array<std::string_view, 9> kRoots = {
       "detect",        "predict_proba_into", "predict_proba_batch_into",
       "observe",       "observe_batch",      "predict_batch",
-      "predict_batch_into"};
+      "predict_batch_into",                  "submit",
+      "tick"};
   return std::find(kRoots.begin(), kRoots.end(), name) != kRoots.end();
 }
 

@@ -364,9 +364,15 @@ void rule_span_literal(const Ctx& ctx) {
               site + " name \"" + std::string(lit) +
                   "\" must match [a-z0-9_.]+");
     } else if (!punct_is(t, i + 3, ")")) {
-      // "a" "b" concatenation or a trailing expression is still computed.
-      ctx.add("smart2-span-literal", t[i],
-              site + " name must be a single string literal");
+      // obs::histogram takes an optional second layout argument; the name
+      // is still the single literal this rule cares about.
+      const bool layout_arg = registry_call &&
+                              std::string_view(t[i].text) == "histogram" &&
+                              punct_is(t, i + 3, ",");
+      if (!layout_arg)
+        // "a" "b" concatenation or a trailing expression is still computed.
+        ctx.add("smart2-span-literal", t[i],
+                site + " name must be a single string literal");
     }
   }
 }
